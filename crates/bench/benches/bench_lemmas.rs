@@ -1,0 +1,60 @@
+//! Experiments E9–E11 — cost of the executable compiler-metatheory checkers:
+//! compositionality (Lemma 5.1), preservation of reduction (Lemmas 5.2/5.3),
+//! and coherence (Lemma 5.4). These are the checks the integration test
+//! suite runs over thousands of programs; the bench quantifies their
+//! per-program cost.
+
+use cccc_core::verify::{
+    check_coherence, check_compositionality, check_reduction_preservation,
+};
+use cccc_source as src;
+use cccc_source::builder as s;
+use cccc_source::prelude;
+use cccc_util::Symbol;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_lemmas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metatheory_checkers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    // Lemma 5.1: the motivating example — a function capturing a variable
+    // that gets substituted away.
+    let env = src::Env::new()
+        .with_assumption(Symbol::intern("x"), s::bool_ty())
+        .with_assumption(Symbol::intern("other"), s::bool_ty());
+    let e1 = s::lam("y", s::bool_ty(), s::ite(s::var("x"), s::var("y"), s::var("other")));
+    group.bench_function("compositionality_lemma_5_1", |b| {
+        b.iter(|| {
+            check_compositionality(&env, &e1, Symbol::intern("x"), &s::tt())
+                .expect("lemma 5.1 holds")
+        });
+    });
+
+    // Lemmas 5.2/5.3: follow the reduction sequence of a ground program.
+    let reduction_program = s::app(
+        prelude::church_is_even(),
+        s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(2)),
+    );
+    group.bench_function("reduction_preservation_lemma_5_2", |b| {
+        let empty = src::Env::new();
+        b.iter(|| {
+            check_reduction_preservation(&empty, &reduction_program, 16).expect("lemma 5.2 holds")
+        });
+    });
+
+    // Lemma 5.4: η-equivalent terms stay equivalent after translation.
+    let eta_env =
+        src::Env::new().with_assumption(Symbol::intern("f"), s::arrow(s::bool_ty(), s::bool_ty()));
+    let expanded = s::lam("x", s::bool_ty(), s::app(s::var("f"), s::var("x")));
+    group.bench_function("coherence_lemma_5_4", |b| {
+        b.iter(|| check_coherence(&eta_env, &expanded, &s::var("f")).expect("lemma 5.4 holds"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemmas);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E7 — cost of the model translation CC-CC → CC (Figure 8) and
+//! of the model type-preservation check (Lemma 4.6), which is the
+//! machine-checkable core of the consistency/type-safety argument (§4.1).
+
+use cccc_bench::{church_workloads, corpus_workloads};
+use cccc_model::translate::model;
+use cccc_model::verify::check_type_preservation;
+use cccc_target as tgt;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_translation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+
+    // Aggregate: model the whole translated corpus back into CC.
+    let translated_corpus: Vec<tgt::Term> =
+        corpus_workloads().iter().map(|w| w.translated()).collect();
+    group.bench_function("corpus_all", |b| {
+        b.iter(|| {
+            for term in &translated_corpus {
+                let _ = model(term);
+            }
+        });
+    });
+
+    // Sweep over Church-arithmetic sizes.
+    for workload in church_workloads(&[2, 4, 6]) {
+        let translated = workload.translated();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &translated,
+            |b, term| b.iter(|| model(term)),
+        );
+    }
+    group.finish();
+
+    // The Lemma 4.6 checker: model and re-check in CC.
+    let mut group = c.benchmark_group("model_type_preservation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for workload in church_workloads(&[2, 3]) {
+        let translated = workload.translated();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &translated,
+            |b, term| {
+                let env = tgt::Env::new();
+                b.iter(|| check_type_preservation(&env, term).expect("lemma 4.6 holds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E2/E5 — cost of normalization (the engine behind definitional
+//! equivalence, Figure 2 and Figure 6) in CC and in CC-CC.
+//!
+//! Series: Church-arithmetic programs `is_even (n × n)` for growing `n`,
+//! normalized before and after closure conversion. The paper's §7 notes that
+//! abstract closure conversion adds allocations and dereferences; the
+//! CC-CC series quantifies that as extra reduction work (environment
+//! projections) relative to the CC series.
+
+use cccc_bench::{church_workloads, Workload};
+use cccc_source as src;
+use cccc_target as tgt;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_normalization(c: &mut Criterion) {
+    let workloads: Vec<Workload> = church_workloads(&[2, 4, 6]);
+
+    let mut group = c.benchmark_group("normalize_cc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for workload in &workloads {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            workload,
+            |b, w| {
+                let env = src::Env::new();
+                b.iter(|| src::reduce::normalize_default(&env, &w.term));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("normalize_cccc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for workload in &workloads {
+        let translated = workload.translated();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &translated,
+            |b, term| {
+                let env = tgt::Env::new();
+                b.iter(|| tgt::reduce::normalize_default(&env, term));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E13 — cost of the two paths of Theorem 5.7 (correctness of
+//! separate compilation): "link in CC then run" versus "compile the
+//! component and the library separately, link in CC-CC, then run", plus the
+//! full checker that compares the two observations.
+
+use cccc_core::link;
+use cccc_core::verify::check_separate_compilation;
+use cccc_core::Compiler;
+use cccc_source as src;
+use cccc_source::builder as s;
+use cccc_source::prelude;
+use cccc_util::Symbol;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// The library/client scenario used throughout §5.2-style experiments.
+fn scenario() -> (src::Env, src::Term, link::SourceSubstitution) {
+    let id = Symbol::intern("id");
+    let flag = Symbol::intern("flag");
+    let interface = src::Env::new()
+        .with_assumption(id, prelude::poly_id_ty())
+        .with_assumption(flag, s::bool_ty());
+    let client = s::ite(
+        s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
+        s::ff(),
+        s::tt(),
+    );
+    let library = vec![(id, prelude::poly_id()), (flag, s::tt())];
+    (interface, client, library)
+}
+
+fn bench_separate_compilation(c: &mut Criterion) {
+    let (interface, client, library) = scenario();
+    let compiler = Compiler::new();
+
+    let mut group = c.benchmark_group("separate_compilation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    group.bench_function("link_then_run_in_cc", |b| {
+        b.iter(|| {
+            let linked = link::link_source(&client, &library);
+            link::observe_source(&linked).expect("ground observation")
+        });
+    });
+
+    group.bench_function("compile_separately_then_link_in_cccc", |b| {
+        b.iter(|| {
+            let compiled = compiler.compile(&interface, &client).expect("compiles");
+            let compiled_library =
+                link::translate_substitution(&interface, &library).expect("library compiles");
+            let linked = link::link_target(&compiled.target, &compiled_library);
+            link::observe_target(&linked).expect("ground observation")
+        });
+    });
+
+    group.bench_function("theorem_5_7_checker", |b| {
+        b.iter(|| {
+            check_separate_compilation(&interface, &client, &library).expect("theorem 5.7 holds")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_separate_compilation);
+criterion_main!(benches);

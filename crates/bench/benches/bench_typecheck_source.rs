@@ -1,0 +1,45 @@
+//! Experiment E3 — cost of CC type checking (Figure 3).
+//!
+//! Series: the standard corpus (aggregate) and Church-arithmetic programs of
+//! growing size. This is the baseline against which the CC-CC type-checking
+//! bench (E6) is compared: the interesting ratio is "how much more expensive
+//! is checking closure-converted code".
+
+use cccc_bench::{church_workloads, corpus_workloads};
+use cccc_source as src;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_typecheck_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typecheck_cc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+
+    // Aggregate: the whole corpus in one measurement.
+    let corpus = corpus_workloads();
+    group.bench_function("corpus_all", |b| {
+        let env = src::Env::new();
+        b.iter(|| {
+            for workload in &corpus {
+                src::typecheck::infer(&env, &workload.term).expect("corpus is well-typed");
+            }
+        });
+    });
+
+    // Sweep: Church arithmetic of growing size.
+    for workload in church_workloads(&[2, 4, 6]) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &workload,
+            |b, w| {
+                let env = src::Env::new();
+                b.iter(|| src::typecheck::infer(&env, &w.term).expect("well-typed"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck_source);
+criterion_main!(benches);

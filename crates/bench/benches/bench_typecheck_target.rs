@@ -1,0 +1,47 @@
+//! Experiment E6 — cost of CC-CC type checking (Figure 7), i.e. checking the
+//! *output* of closure conversion, including the `[Code]` closedness checks
+//! and the `[Clo]` environment substitutions.
+//!
+//! Compare against `bench_typecheck_source` (E3) to read off the overhead
+//! ratio of checking compiled code versus checking source code.
+
+use cccc_bench::{church_workloads, corpus_workloads};
+use cccc_target as tgt;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_typecheck_target(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typecheck_cccc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+
+    // Aggregate: the translated corpus.
+    let translated_corpus: Vec<tgt::Term> =
+        corpus_workloads().iter().map(|w| w.translated()).collect();
+    group.bench_function("corpus_all", |b| {
+        let env = tgt::Env::new();
+        b.iter(|| {
+            for term in &translated_corpus {
+                tgt::typecheck::infer(&env, term).expect("translated corpus is well-typed");
+            }
+        });
+    });
+
+    // Sweep: translated Church arithmetic of growing size.
+    for workload in church_workloads(&[2, 4, 6]) {
+        let translated = workload.translated();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &translated,
+            |b, term| {
+                let env = tgt::Env::new();
+                b.iter(|| tgt::typecheck::infer(&env, term).expect("well-typed"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck_target);
+criterion_main!(benches);

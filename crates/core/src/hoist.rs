@@ -1,0 +1,376 @@
+//! Hoisting closed code to top-level definitions.
+//!
+//! The point of closure conversion (§1, §3) is that after the translation
+//! "the closed code can be lifted to the top-level and statically
+//! allocated", while environments remain dynamically allocated. This module
+//! implements that lifting as a separate pass over CC-CC:
+//!
+//! * every `Code { … }` subterm — which rule `[Code]` guarantees is closed —
+//!   is replaced by a reference to a fresh top-level *code label*;
+//! * the result is a [`Program`]: an ordered list of named code definitions
+//!   plus a `main` term that contains no literal code, only labels;
+//! * a [`Program`] can be type checked (each definition in the empty
+//!   environment, `main` under definitions-as-δ-bindings), evaluated, and
+//!   flattened back into a single CC-CC term.
+//!
+//! Hoisting is semantics-preserving: labels are ordinary variables bound as
+//! definitions, so δ-reduction restores the original term, and the tests
+//! below (plus `tests/hoisting.rs`) check typing and behaviour are unchanged.
+
+use cccc_target as tgt;
+use cccc_target::subst::is_closed;
+use cccc_util::symbol::Symbol;
+use std::fmt;
+
+/// A single hoisted code definition: a label together with the closed code
+/// it names and that code's type.
+#[derive(Clone, Debug)]
+pub struct CodeDefinition {
+    /// The fresh top-level name of the code.
+    pub label: Symbol,
+    /// The closed code value.
+    pub code: tgt::Term,
+    /// The `Code (…)…` type of the definition.
+    pub ty: tgt::Term,
+}
+
+/// A hoisted CC-CC program: statically allocated code plus a main term.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Top-level code definitions, in dependency order (a definition may
+    /// reference earlier labels inside *its own* nested closures' code —
+    /// but never later ones).
+    pub definitions: Vec<CodeDefinition>,
+    /// The main term; contains code labels but no literal `Code` nodes.
+    pub main: tgt::Term,
+}
+
+/// Errors produced by the hoisting pass.
+#[derive(Clone, Debug)]
+pub enum HoistError {
+    /// A `Code` node with free variables was encountered; such a term is
+    /// ill-typed (rule `[Code]`) and cannot be statically allocated.
+    OpenCode(String),
+    /// The program (or one of its definitions) failed to re-check after
+    /// hoisting.
+    IllTyped(String),
+}
+
+impl fmt::Display for HoistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoistError::OpenCode(code) => {
+                write!(f, "cannot hoist open code `{code}`; rule [Code] requires closed code")
+            }
+            HoistError::IllTyped(e) => write!(f, "hoisted program is ill-typed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HoistError {}
+
+/// Result type for the hoisting pass.
+pub type Result<T> = std::result::Result<T, HoistError>;
+
+impl Program {
+    /// The number of statically allocated code blocks.
+    pub fn code_block_count(&self) -> usize {
+        self.definitions.len()
+    }
+
+    /// Total AST size of the program (definitions plus main).
+    pub fn size(&self) -> usize {
+        self.definitions.iter().map(|d| d.code.size()).sum::<usize>() + self.main.size()
+    }
+
+    /// The environment binding every code label as a definition, used to
+    /// type check and evaluate the main term.
+    pub fn label_environment(&self) -> tgt::Env {
+        let mut env = tgt::Env::new();
+        for definition in &self.definitions {
+            env.push_definition(definition.label, definition.code.clone(), definition.ty.clone());
+        }
+        env
+    }
+
+    /// Type checks the program: every definition's code — with earlier code
+    /// labels δ-expanded, since the paper's `[Code]` rule has no notion of
+    /// top-level constants — must check closed, and `main` must check under
+    /// the label environment. Returns the type of `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HoistError::IllTyped`] naming the offending definition or
+    /// the main term.
+    pub fn typecheck(&self) -> Result<tgt::Term> {
+        let mut env = tgt::Env::new();
+        let mut expansions: Vec<(Symbol, tgt::Term)> = Vec::new();
+        for definition in &self.definitions {
+            // Earlier labels may appear inside later definitions (a nested
+            // closure references the label of its inner code); expand them
+            // so the standard, empty-environment [Code] rule applies.
+            let expanded = expand_labels(&definition.code, &expansions);
+            let inferred = tgt::typecheck::infer(&tgt::Env::new(), &expanded).map_err(|e| {
+                HoistError::IllTyped(format!("definition `{}`: {e}", definition.label))
+            })?;
+            if !tgt::equiv::definitionally_equal(&tgt::Env::new(), &inferred, &definition.ty) {
+                return Err(HoistError::IllTyped(format!(
+                    "definition `{}` has type `{inferred}` but was recorded at `{}`",
+                    definition.label, definition.ty
+                )));
+            }
+            expansions.push((definition.label, expanded));
+            env.push_definition(definition.label, definition.code.clone(), definition.ty.clone());
+        }
+        tgt::typecheck::infer(&env, &self.main)
+            .map_err(|e| HoistError::IllTyped(format!("main term: {e}")))
+    }
+
+    /// Flattens the program back into a single term by δ-expanding every
+    /// label (the inverse of hoisting).
+    pub fn flatten(&self) -> tgt::Term {
+        let mut term = self.main.clone();
+        // Later definitions may mention earlier labels, so substitute from
+        // the last definition backwards.
+        for definition in self.definitions.iter().rev() {
+            term = tgt::subst::subst(&term, definition.label, &definition.code);
+        }
+        term
+    }
+
+    /// Evaluates the program: code labels are expanded (statically allocated
+    /// code is "loaded") and the resulting closed term is normalized.
+    pub fn evaluate(&self) -> tgt::Term {
+        tgt::reduce::normalize_default(&tgt::Env::new(), &self.flatten())
+    }
+}
+
+/// Hoists every (necessarily closed) `Code` node of `term` to a top-level
+/// definition, returning the resulting [`Program`].
+///
+/// # Errors
+///
+/// Returns [`HoistError::OpenCode`] if a `Code` node with free variables is
+/// encountered (such a term is ill-typed to begin with).
+pub fn hoist(term: &tgt::Term) -> Result<Program> {
+    let mut definitions = Vec::new();
+    let main = hoist_term(term, &mut definitions)?;
+    Ok(Program { definitions, main })
+}
+
+/// Hoists and then re-checks the resulting program.
+///
+/// # Errors
+///
+/// See [`hoist`] and [`Program::typecheck`].
+pub fn hoist_checked(term: &tgt::Term) -> Result<(Program, tgt::Term)> {
+    let program = hoist(term)?;
+    let ty = program.typecheck()?;
+    Ok((program, ty))
+}
+
+fn hoist_term(term: &tgt::Term, definitions: &mut Vec<CodeDefinition>) -> Result<tgt::Term> {
+    use tgt::Term;
+    Ok(match term {
+        Term::Var(_)
+        | Term::Sort(_)
+        | Term::Unit
+        | Term::UnitVal
+        | Term::BoolTy
+        | Term::BoolLit(_) => term.clone(),
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            // Hoist nested code inside this code's own components first, so
+            // inner labels are defined before the outer definition that
+            // mentions them.
+            let hoisted = Term::Code {
+                env_binder: *env_binder,
+                env_ty: hoist_term(env_ty, definitions)?.rc(),
+                arg_binder: *arg_binder,
+                arg_ty: hoist_term(arg_ty, definitions)?.rc(),
+                body: hoist_term(body, definitions)?.rc(),
+            };
+            // Code must be closed *up to previously hoisted labels*, which
+            // are static constants.
+            let labels: Vec<Symbol> = definitions.iter().map(|d| d.label).collect();
+            let stray: Vec<Symbol> = tgt::subst::free_vars(&hoisted)
+                .into_iter()
+                .filter(|v| !labels.contains(v))
+                .collect();
+            if !stray.is_empty() {
+                return Err(HoistError::OpenCode(hoisted.to_string()));
+            }
+            // Record the type of the fully expanded (label-free) code, which
+            // is what the paper's [Code] rule checks.
+            let expansions: Vec<(Symbol, tgt::Term)> = definitions
+                .iter()
+                .map(|d| (d.label, d.code.clone()))
+                .collect();
+            let expanded = expand_labels(&hoisted, &expansions);
+            debug_assert!(is_closed(&expanded));
+            let ty = tgt::typecheck::infer(&tgt::Env::new(), &expanded)
+                .map_err(|e| HoistError::IllTyped(e.to_string()))?;
+            let label = Symbol::fresh("code");
+            definitions.push(CodeDefinition { label, code: hoisted, ty });
+            Term::Var(label)
+        }
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => Term::CodeTy {
+            env_binder: *env_binder,
+            env_ty: hoist_term(env_ty, definitions)?.rc(),
+            arg_binder: *arg_binder,
+            arg_ty: hoist_term(arg_ty, definitions)?.rc(),
+            result: hoist_term(result, definitions)?.rc(),
+        },
+        Term::Closure { code, env } => Term::Closure {
+            code: hoist_term(code, definitions)?.rc(),
+            env: hoist_term(env, definitions)?.rc(),
+        },
+        Term::Pi { binder, domain, codomain } => Term::Pi {
+            binder: *binder,
+            domain: hoist_term(domain, definitions)?.rc(),
+            codomain: hoist_term(codomain, definitions)?.rc(),
+        },
+        Term::Sigma { binder, first, second } => Term::Sigma {
+            binder: *binder,
+            first: hoist_term(first, definitions)?.rc(),
+            second: hoist_term(second, definitions)?.rc(),
+        },
+        Term::App { func, arg } => Term::App {
+            func: hoist_term(func, definitions)?.rc(),
+            arg: hoist_term(arg, definitions)?.rc(),
+        },
+        Term::Let { binder, annotation, bound, body } => Term::Let {
+            binder: *binder,
+            annotation: hoist_term(annotation, definitions)?.rc(),
+            bound: hoist_term(bound, definitions)?.rc(),
+            body: hoist_term(body, definitions)?.rc(),
+        },
+        Term::Pair { first, second, annotation } => Term::Pair {
+            first: hoist_term(first, definitions)?.rc(),
+            second: hoist_term(second, definitions)?.rc(),
+            annotation: hoist_term(annotation, definitions)?.rc(),
+        },
+        Term::Fst(e) => Term::Fst(hoist_term(e, definitions)?.rc()),
+        Term::Snd(e) => Term::Snd(hoist_term(e, definitions)?.rc()),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: hoist_term(scrutinee, definitions)?.rc(),
+            then_branch: hoist_term(then_branch, definitions)?.rc(),
+            else_branch: hoist_term(else_branch, definitions)?.rc(),
+        },
+    })
+}
+
+/// δ-expands code labels into `term`, later definitions first so that
+/// references to earlier labels introduced by the expansion are themselves
+/// expanded by the remaining iterations.
+fn expand_labels(term: &tgt::Term, expansions: &[(Symbol, tgt::Term)]) -> tgt::Term {
+    let mut out = term.clone();
+    for (label, code) in expansions.iter().rev() {
+        out = tgt::subst::subst(&out, *label, code);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate;
+    use cccc_source as src;
+    use cccc_source::prelude;
+    use cccc_target::builder as t;
+    use cccc_target::subst::alpha_eq;
+
+    fn compile(term: &src::Term) -> tgt::Term {
+        translate(&src::Env::new(), term).unwrap()
+    }
+
+    #[test]
+    fn hoisting_a_literal_produces_no_definitions() {
+        let program = hoist(&t::tt()).unwrap();
+        assert_eq!(program.code_block_count(), 0);
+        assert!(alpha_eq(&program.main, &t::tt()));
+        assert!(alpha_eq(&program.flatten(), &t::tt()));
+    }
+
+    #[test]
+    fn each_closure_yields_one_code_block() {
+        let compiled = compile(&prelude::poly_id());
+        let program = hoist(&compiled).unwrap();
+        assert_eq!(program.code_block_count(), 2);
+        // Main mentions labels but contains no literal code.
+        let mut literal_code = 0;
+        program.main.visit(&mut |node| {
+            if matches!(node, tgt::Term::Code { .. }) {
+                literal_code += 1;
+            }
+        });
+        assert_eq!(literal_code, 0);
+    }
+
+    #[test]
+    fn hoisted_programs_type_check_and_flatten_back() {
+        for entry in prelude::corpus().into_iter().take(12) {
+            let compiled = compile(&entry.term);
+            let (program, ty) = hoist_checked(&compiled).unwrap_or_else(|e| {
+                panic!("hoisting `{}` failed: {e}", entry.name)
+            });
+            // The hoisted program has the same type as the original term.
+            let original_ty = tgt::typecheck::infer(&tgt::Env::new(), &compiled).unwrap();
+            assert!(
+                tgt::equiv::definitionally_equal(&program.label_environment(), &ty, &original_ty),
+                "`{}` changed type after hoisting",
+                entry.name
+            );
+            // Flattening restores an α-equivalent term.
+            assert!(alpha_eq(&program.flatten(), &compiled), "`{}` flatten mismatch", entry.name);
+        }
+    }
+
+    #[test]
+    fn hoisted_programs_evaluate_to_the_same_values() {
+        for (entry, expected) in prelude::ground_corpus().into_iter().take(10) {
+            let compiled = compile(&entry.term);
+            let program = hoist(&compiled).unwrap();
+            let value = program.evaluate();
+            assert!(
+                matches!(value, tgt::Term::BoolLit(b) if b == expected),
+                "`{}` evaluated to {value} after hoisting",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn open_code_cannot_be_hoisted() {
+        let open = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("leak"));
+        assert!(matches!(hoist(&open), Err(HoistError::OpenCode(_))));
+    }
+
+    #[test]
+    fn program_size_accounts_for_definitions_and_main() {
+        let compiled = compile(&prelude::poly_compose());
+        let program = hoist(&compiled).unwrap();
+        assert!(program.size() >= compiled.size());
+        assert!(program.code_block_count() >= 1);
+    }
+
+    #[test]
+    fn nested_code_definitions_appear_before_their_users() {
+        let compiled = compile(&prelude::poly_id());
+        let program = hoist(&compiled).unwrap();
+        // The inner code (which the outer code's body references via its
+        // label) must come first; checking the program enforces this.
+        assert!(program.typecheck().is_ok());
+        // And reordering the definitions breaks it.
+        if program.definitions.len() >= 2 {
+            let mut reordered = program.clone();
+            reordered.definitions.reverse();
+            assert!(reordered.typecheck().is_err());
+        }
+    }
+
+    #[test]
+    fn hoist_error_display() {
+        let err = HoistError::OpenCode("code".into());
+        assert!(err.to_string().contains("closed"));
+    }
+}

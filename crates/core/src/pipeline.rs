@@ -1,0 +1,335 @@
+//! A user-facing compiler pipeline: parse → type check → closure convert →
+//! re-check → (optionally) verify the metatheory on the given program.
+//!
+//! This is the API the examples and benchmarks drive. It packages the
+//! lower-level pieces ([`crate::translate`], [`crate::verify`],
+//! [`crate::link`]) behind a [`Compiler`] value with explicit options.
+
+use crate::link::{LinkError, SourceSubstitution};
+use crate::translate::{translate, translate_env, TranslateError};
+use crate::verify::{check_type_preservation, VerifyError};
+use cccc_source as src;
+use cccc_target as tgt;
+use std::fmt;
+
+/// Configuration for the [`Compiler`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompilerOptions {
+    /// Re-type-check the produced CC-CC term (rule-by-rule, in the target
+    /// type system). On by default: this is the "typed" in typed closure
+    /// conversion.
+    pub typecheck_output: bool,
+    /// Additionally check that the output's type is the translation of the
+    /// input's type (Theorem 5.6), not merely some type.
+    pub verify_type_preservation: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions { typecheck_output: true, verify_type_preservation: true }
+    }
+}
+
+/// Errors produced by the compiler pipeline.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The program text did not parse.
+    Parse(src::parse::ParseError),
+    /// The source program is ill-typed.
+    SourceType(src::TypeError),
+    /// The closure-conversion translation failed.
+    Translate(TranslateError),
+    /// The produced CC-CC program is ill-typed (this would contradict type
+    /// preservation and indicates a compiler bug).
+    TargetType(tgt::TypeError),
+    /// Type preservation verification failed.
+    Verify(VerifyError),
+    /// Linking failed.
+    Link(LinkError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::SourceType(e) => write!(f, "source type error: {e}"),
+            CompileError::Translate(e) => write!(f, "{e}"),
+            CompileError::TargetType(e) => write!(f, "target type error: {e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+            CompileError::Link(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<src::parse::ParseError> for CompileError {
+    fn from(e: src::parse::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<src::TypeError> for CompileError {
+    fn from(e: src::TypeError) -> Self {
+        CompileError::SourceType(e)
+    }
+}
+
+impl From<TranslateError> for CompileError {
+    fn from(e: TranslateError) -> Self {
+        CompileError::Translate(e)
+    }
+}
+
+impl From<tgt::TypeError> for CompileError {
+    fn from(e: tgt::TypeError) -> Self {
+        CompileError::TargetType(e)
+    }
+}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
+impl From<LinkError> for CompileError {
+    fn from(e: LinkError) -> Self {
+        CompileError::Link(e)
+    }
+}
+
+/// Result type for the compiler pipeline.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// The output of a successful compilation.
+#[derive(Clone, Debug)]
+pub struct Compilation {
+    /// The source term that was compiled.
+    pub source: src::Term,
+    /// Its inferred CC type.
+    pub source_type: src::Term,
+    /// The closure-converted CC-CC term.
+    pub target: tgt::Term,
+    /// The translation of the source type (the target term checks at this
+    /// type).
+    pub target_type: tgt::Term,
+}
+
+impl Compilation {
+    /// AST size of the source term.
+    pub fn source_size(&self) -> usize {
+        self.source.size()
+    }
+
+    /// AST size of the compiled term.
+    pub fn target_size(&self) -> usize {
+        self.target.size()
+    }
+
+    /// Code-size blow-up factor introduced by closure conversion.
+    pub fn expansion_factor(&self) -> f64 {
+        self.target_size() as f64 / self.source_size() as f64
+    }
+
+    /// Number of closures in the output (one per source λ).
+    pub fn closure_count(&self) -> usize {
+        self.target.closure_count()
+    }
+}
+
+/// The closure-conversion compiler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Compiler {
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// A compiler with the default options (full checking).
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(options: CompilerOptions) -> Compiler {
+        Compiler { options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> CompilerOptions {
+        self.options
+    }
+
+    /// Compiles an open component `Γ ⊢ e : A` to CC-CC.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if any stage fails.
+    pub fn compile(&self, env: &src::Env, term: &src::Term) -> Result<Compilation> {
+        let source_type = src::typecheck::infer(env, term)?;
+        let target = translate(env, term)?;
+        let target_type = translate(env, &source_type)?;
+
+        if self.options.typecheck_output {
+            let target_env = translate_env(env)?;
+            let inferred = tgt::typecheck::infer(&target_env, &target)?;
+            if self.options.verify_type_preservation {
+                // Re-use the full checker so the error message names the
+                // theorem being violated.
+                check_type_preservation(env, term)?;
+            } else if !tgt::equiv::definitionally_equal(&target_env, &inferred, &target_type) {
+                return Err(CompileError::Verify(VerifyError::NotEquivalent {
+                    context: "compiled type does not match translated type".to_owned(),
+                    left: inferred.to_string(),
+                    right: target_type.to_string(),
+                }));
+            }
+        }
+
+        Ok(Compilation { source: term.clone(), source_type, target, target_type })
+    }
+
+    /// Compiles a closed program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn compile_closed(&self, term: &src::Term) -> Result<Compilation> {
+        self.compile(&src::Env::new(), term)
+    }
+
+    /// Parses and compiles a closed program written in the CC surface
+    /// syntax.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`]; additionally returns parse errors.
+    pub fn compile_text(&self, source_text: &str) -> Result<Compilation> {
+        let term = src::parse::parse_term(source_text)?;
+        self.compile_closed(&term)
+    }
+
+    /// Compiles a component and a closing substitution separately, links the
+    /// results in CC-CC, and returns the linked target program (the
+    /// "compile separately, link later" workflow of §5.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`]; additionally returns linking errors.
+    pub fn compile_and_link(
+        &self,
+        env: &src::Env,
+        term: &src::Term,
+        substitution: &SourceSubstitution,
+    ) -> Result<tgt::Term> {
+        crate::link::check_source_substitution(env, substitution)?;
+        let compilation = self.compile(env, term)?;
+        let compiled_substitution =
+            crate::link::translate_substitution(env, substitution).map_err(CompileError::from)?;
+        Ok(crate::link::link_target(&compilation.target, &compiled_substitution))
+    }
+
+    /// Compiles a closed ground program and runs both the source and the
+    /// compiled versions, returning `(source_value, target_value)` as
+    /// booleans.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation fails or either side fails to produce
+    /// a boolean.
+    pub fn compile_and_run(&self, term: &src::Term) -> Result<(bool, bool)> {
+        let compilation = self.compile_closed(term)?;
+        let source_value = crate::link::observe_source(term).ok_or_else(|| {
+            CompileError::Verify(VerifyError::NotGround(term.to_string()))
+        })?;
+        let target_value = crate::link::observe_target(&compilation.target).ok_or_else(|| {
+            CompileError::Verify(VerifyError::NotGround(compilation.target.to_string()))
+        })?;
+        Ok((source_value, target_value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccc_source::builder as s;
+    use cccc_source::prelude;
+    use cccc_util::symbol::Symbol;
+
+    #[test]
+    fn default_compiler_compiles_the_corpus() {
+        let compiler = Compiler::new();
+        for entry in prelude::corpus() {
+            let compilation = compiler
+                .compile_closed(&entry.term)
+                .unwrap_or_else(|e| panic!("`{}` failed to compile: {e}", entry.name));
+            assert_eq!(compilation.closure_count(), entry.term.lambda_count());
+            assert!(compilation.expansion_factor() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn compile_text_round_trips_through_the_parser() {
+        let compiler = Compiler::new();
+        let compilation = compiler.compile_text("\\(A : *). \\(x : A). x").unwrap();
+        assert_eq!(compilation.closure_count(), 2);
+        assert!(compiler.compile_text("\\(A : *").is_err());
+        assert!(compiler.compile_text("fst true").is_err());
+    }
+
+    #[test]
+    fn compile_and_run_agree_on_ground_programs() {
+        let compiler = Compiler::new();
+        for (entry, expected) in prelude::ground_corpus() {
+            let (source_value, target_value) = compiler.compile_and_run(&entry.term).unwrap();
+            assert_eq!(source_value, expected, "`{}`", entry.name);
+            assert_eq!(target_value, expected, "`{}`", entry.name);
+        }
+    }
+
+    #[test]
+    fn compile_and_link_produces_runnable_targets() {
+        let compiler = Compiler::new();
+        let env = src::Env::new()
+            .with_assumption(Symbol::intern("id"), prelude::poly_id_ty())
+            .with_assumption(Symbol::intern("flag"), s::bool_ty());
+        let component = s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag"));
+        let gamma = vec![
+            (Symbol::intern("id"), prelude::poly_id()),
+            (Symbol::intern("flag"), s::ff()),
+        ];
+        let linked = compiler.compile_and_link(&env, &component, &gamma).unwrap();
+        assert_eq!(crate::link::observe_target(&linked), Some(false));
+    }
+
+    #[test]
+    fn options_can_disable_verification() {
+        let options = CompilerOptions { typecheck_output: false, verify_type_preservation: false };
+        let compiler = Compiler::with_options(options);
+        assert!(!compiler.options().typecheck_output);
+        compiler.compile_closed(&prelude::poly_id()).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_per_stage() {
+        let compiler = Compiler::new();
+        assert!(matches!(compiler.compile_text("(((").unwrap_err(), CompileError::Parse(_)));
+        assert!(matches!(
+            compiler.compile_closed(&s::app(s::tt(), s::ff())).unwrap_err(),
+            CompileError::SourceType(_)
+        ));
+        let env = src::Env::new().with_assumption(Symbol::intern("x"), s::bool_ty());
+        assert!(matches!(
+            compiler.compile_and_link(&env, &s::var("x"), &Vec::new()).unwrap_err(),
+            CompileError::Link(_)
+        ));
+    }
+
+    #[test]
+    fn compilation_reports_sizes() {
+        let compilation = Compiler::new().compile_closed(&prelude::poly_compose()).unwrap();
+        assert!(compilation.source_size() > 0);
+        assert!(compilation.target_size() > compilation.source_size());
+        assert!(compilation.expansion_factor() > 1.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The baseline translation of §3.1: closure conversion with **existential
+//! types**, applicable only to the *simply typed fragment* of CC.
+//!
+//! The encoding is the classic one (Minamide et al. 1996, Morrisett et al.
+//! 1998):
+//!
+//! ```text
+//! (A → B)⁺  =  ∃ α. ((α × A⁺) → B⁺) × α
+//! λ x:A. e  ⇝  pack ⟨Env, ⟨λ p : Env × A⁺. e⁺[xi ↦ proj_i (fst p), x ↦ snd p], ⟨x0, …, ⟨⟩⟩⟩⟩
+//! e1 e2     ⇝  unpack ⟨α, p⟩ = e1⁺ in (fst p) ⟨snd p, e2⁺⟩
+//! ```
+//!
+//! The translation is *partial*: it succeeds exactly on terms whose types
+//! never mention terms (no `Π A:⋆`, no dependent Σ, no type-level
+//! computation). On anything else it reports which dependent feature broke
+//! it — reproducing, as executable evidence, the paper's argument for why
+//! the well-known solution does not scale to CC and a new target language
+//! (CC-CC) is needed.
+
+use crate::lang::{Expr, Ty};
+use cccc_source as src;
+use cccc_source::subst::free_vars;
+use cccc_util::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why the baseline translation could not handle a program.
+#[derive(Clone, Debug)]
+pub enum BaselineError {
+    /// The program (or its type) uses a dependently typed feature outside
+    /// the simply typed fragment.
+    NotSimplyTyped {
+        /// Which construct was encountered.
+        construct: String,
+        /// The offending type or term, pretty-printed.
+        offender: String,
+    },
+    /// The source term is ill-typed, so no translation is defined.
+    SourceType(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NotSimplyTyped { construct, offender } => write!(
+                f,
+                "the existential-type baseline only handles the simply typed fragment: \
+                 {construct} in `{offender}`"
+            ),
+            BaselineError::SourceType(e) => write!(f, "source term is ill-typed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Result type for the baseline translation.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Translates a *simple* CC type into the existential target. Function types
+/// become existential closure types.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NotSimplyTyped`] on dependent types, universes,
+/// and type variables.
+pub fn translate_type(ty: &src::Term) -> Result<Ty> {
+    match ty {
+        src::Term::BoolTy => Ok(Ty::Bool),
+        src::Term::Pi { binder, domain, codomain } => {
+            if cccc_source::subst::occurs_free(*binder, codomain) {
+                return Err(BaselineError::NotSimplyTyped {
+                    construct: "a dependent Π type".to_owned(),
+                    offender: ty.to_string(),
+                });
+            }
+            let domain = translate_type(domain)?;
+            let codomain = translate_type(codomain)?;
+            let alpha = Symbol::fresh("alpha");
+            Ok(Ty::Exists(
+                alpha,
+                Ty::Product(
+                    Ty::Arrow(Ty::Product(Ty::Var(alpha).rc(), domain.rc()).rc(), codomain.rc())
+                        .rc(),
+                    Ty::Var(alpha).rc(),
+                )
+                .rc(),
+            ))
+        }
+        src::Term::Sigma { binder, first, second } => {
+            if cccc_source::subst::occurs_free(*binder, second) {
+                return Err(BaselineError::NotSimplyTyped {
+                    construct: "a dependent Σ type".to_owned(),
+                    offender: ty.to_string(),
+                });
+            }
+            Ok(Ty::Product(translate_type(first)?.rc(), translate_type(second)?.rc()))
+        }
+        src::Term::Sort(_) => Err(BaselineError::NotSimplyTyped {
+            construct: "a universe (polymorphism / type abstraction)".to_owned(),
+            offender: ty.to_string(),
+        }),
+        src::Term::Var(_) => Err(BaselineError::NotSimplyTyped {
+            construct: "a type variable".to_owned(),
+            offender: ty.to_string(),
+        }),
+        other => Err(BaselineError::NotSimplyTyped {
+            construct: "type-level computation".to_owned(),
+            offender: other.to_string(),
+        }),
+    }
+}
+
+/// Translates a well-typed, simply typed CC term under `env` into the
+/// existential target language.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NotSimplyTyped`] as soon as a dependently typed
+/// feature is encountered, or [`BaselineError::SourceType`] if the source
+/// term is ill-typed.
+pub fn translate(env: &src::Env, term: &src::Term) -> Result<Expr> {
+    translate_with(env, &HashMap::new(), term)
+}
+
+/// Translates a closed simply typed program and returns both the term and
+/// its translated type.
+///
+/// # Errors
+///
+/// See [`translate`].
+pub fn translate_program(term: &src::Term) -> Result<(Expr, Ty)> {
+    let env = src::Env::new();
+    let ty = src::typecheck::infer(&env, term)
+        .map_err(|e| BaselineError::SourceType(e.to_string()))?;
+    Ok((translate(&env, term)?, translate_type(&ty)?))
+}
+
+fn translate_with(
+    env: &src::Env,
+    replacements: &HashMap<Symbol, Expr>,
+    term: &src::Term,
+) -> Result<Expr> {
+    match term {
+        src::Term::Var(x) => Ok(replacements.get(x).cloned().unwrap_or(Expr::Var(*x))),
+        src::Term::BoolLit(b) => Ok(Expr::Bool(*b)),
+        src::Term::If { scrutinee, then_branch, else_branch } => Ok(Expr::If(
+            translate_with(env, replacements, scrutinee)?.rc(),
+            translate_with(env, replacements, then_branch)?.rc(),
+            translate_with(env, replacements, else_branch)?.rc(),
+        )),
+        src::Term::Lam { .. } => translate_lambda(env, replacements, term),
+        src::Term::App { func, arg } => {
+            let package = translate_with(env, replacements, func)?;
+            let argument = translate_with(env, replacements, arg)?;
+            let alpha = Symbol::fresh("alpha");
+            let p = Symbol::fresh("p");
+            Ok(Expr::Unpack {
+                ty_var: alpha,
+                var: p,
+                package: package.rc(),
+                body: Expr::App(
+                    Expr::Fst(Expr::Var(p).rc()).rc(),
+                    Expr::Pair(Expr::Snd(Expr::Var(p).rc()).rc(), argument.rc()).rc(),
+                )
+                .rc(),
+            })
+        }
+        src::Term::Let { binder, annotation, bound, body } => {
+            // Encode let as an immediately applied function (simply typed,
+            // so the annotation must be simple).
+            let function = src::Term::Lam {
+                binder: *binder,
+                domain: annotation.clone(),
+                body: body.clone(),
+            };
+            let application =
+                src::Term::App { func: function.rc(), arg: bound.clone() };
+            translate_with(env, replacements, &application)
+        }
+        src::Term::Pair { first, second, annotation } => {
+            // Only non-dependent pairs are simple.
+            if let src::Term::Sigma { binder, second: second_ty, .. } = &**annotation {
+                if cccc_source::subst::occurs_free(*binder, second_ty) {
+                    return Err(BaselineError::NotSimplyTyped {
+                        construct: "a dependent pair".to_owned(),
+                        offender: term.to_string(),
+                    });
+                }
+            }
+            Ok(Expr::Pair(
+                translate_with(env, replacements, first)?.rc(),
+                translate_with(env, replacements, second)?.rc(),
+            ))
+        }
+        src::Term::Fst(e) => Ok(Expr::Fst(translate_with(env, replacements, e)?.rc())),
+        src::Term::Snd(e) => Ok(Expr::Snd(translate_with(env, replacements, e)?.rc())),
+        src::Term::BoolTy | src::Term::Sort(_) | src::Term::Pi { .. } | src::Term::Sigma { .. } => {
+            Err(BaselineError::NotSimplyTyped {
+                construct: "a type used as a term (type abstraction or application)".to_owned(),
+                offender: term.to_string(),
+            })
+        }
+    }
+}
+
+fn translate_lambda(
+    env: &src::Env,
+    replacements: &HashMap<Symbol, Expr>,
+    lambda: &src::Term,
+) -> Result<Expr> {
+    let (binder, domain, body) = match lambda {
+        src::Term::Lam { binder, domain, body } => (*binder, domain.clone(), body.clone()),
+        _ => unreachable!("translate_lambda is only called on λ"),
+    };
+
+    // The codomain, via the CC type checker.
+    let lambda_ty = src::typecheck::infer(env, lambda)
+        .map_err(|e| BaselineError::SourceType(e.to_string()))?;
+    let (domain_simple, codomain_simple) = match &lambda_ty {
+        src::Term::Pi { binder: pi_binder, domain: d, codomain: c } => {
+            if cccc_source::subst::occurs_free(*pi_binder, c) {
+                return Err(BaselineError::NotSimplyTyped {
+                    construct: "a dependent function type".to_owned(),
+                    offender: lambda_ty.to_string(),
+                });
+            }
+            (translate_type(d)?, translate_type(c)?)
+        }
+        other => {
+            return Err(BaselineError::SourceType(format!("λ has non-Π type `{other}`")))
+        }
+    };
+    let _ = &domain; // the annotation's translation equals `domain_simple`
+
+    // Free variables and their (simple) types, in environment order.
+    let mut captured: Vec<(Symbol, Ty)> = Vec::new();
+    for x in free_vars(lambda) {
+        let decl = env.lookup(x).ok_or_else(|| BaselineError::SourceType(format!(
+            "free variable `{x}` is not bound in the environment"
+        )))?;
+        captured.push((x, translate_type(decl.ty())?));
+    }
+
+    // Environment type and value: right-nested products terminated by Unit.
+    let mut env_ty = Ty::Unit;
+    let mut env_value = Expr::Unit;
+    for (x, ty) in captured.iter().rev() {
+        env_ty = Ty::Product(ty.clone().rc(), env_ty.rc());
+        let reference = replacements.get(x).cloned().unwrap_or(Expr::Var(*x));
+        env_value = Expr::Pair(reference.rc(), env_value.rc());
+    }
+
+    // Code: λ p : env_ty × A⁺. body⁺ with captured variables replaced by
+    // projections from `fst p` and the argument by `snd p`.
+    let p = Symbol::fresh("p");
+    let mut inner_replacements: HashMap<Symbol, Expr> = HashMap::new();
+    for (index, (x, _)) in captured.iter().enumerate() {
+        let mut projection = Expr::Fst(Expr::Var(p).rc());
+        for _ in 0..index {
+            projection = Expr::Snd(projection.rc());
+        }
+        inner_replacements.insert(*x, Expr::Fst(projection.rc()));
+    }
+    inner_replacements.insert(binder, Expr::Snd(Expr::Var(p).rc()));
+
+    let inner_env = env.with_assumption(binder, (*domain).clone());
+    let translated_body = translate_with(&inner_env, &inner_replacements, &body)?;
+    let code = Expr::Lam(
+        p,
+        Ty::Product(env_ty.clone().rc(), domain_simple.clone().rc()).rc(),
+        translated_body.rc(),
+    );
+
+    // The existential closure type ∃α. ((α × A⁺) → B⁺) × α and the package.
+    let alpha = Symbol::fresh("alpha");
+    let closure_ty = Ty::Exists(
+        alpha,
+        Ty::Product(
+            Ty::Arrow(
+                Ty::Product(Ty::Var(alpha).rc(), domain_simple.rc()).rc(),
+                codomain_simple.rc(),
+            )
+            .rc(),
+            Ty::Var(alpha).rc(),
+        )
+        .rc(),
+    );
+    Ok(Expr::Pack {
+        witness: env_ty.rc(),
+        body: Expr::Pair(code.rc(), env_value.rc()).rc(),
+        annotation: closure_ty.rc(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{evaluate, infer};
+    use cccc_source::builder as s;
+    use cccc_source::prelude;
+
+    fn run_baseline(term: &src::Term) -> Expr {
+        let (translated, ty) = translate_program(term).unwrap();
+        infer(&Vec::new(), &translated)
+            .unwrap_or_else(|e| panic!("baseline output ill-typed: {e}\n{translated}"));
+        let inferred = infer(&Vec::new(), &translated).unwrap();
+        assert!(inferred.alpha_eq(&ty), "baseline type mismatch: {inferred} vs {ty}");
+        evaluate(&translated)
+    }
+
+    #[test]
+    fn simply_typed_programs_translate_and_run() {
+        assert!(matches!(run_baseline(&s::app(prelude::not_fn(), s::tt())), Expr::Bool(false)));
+        assert!(matches!(
+            run_baseline(&s::app(s::app(prelude::and_fn(), s::tt()), s::ff())),
+            Expr::Bool(false)
+        ));
+        assert!(matches!(
+            run_baseline(&s::app(s::app(prelude::or_fn(), s::ff()), s::tt())),
+            Expr::Bool(true)
+        ));
+        // A higher-order, capture-heavy but simply typed program.
+        let twice_mono = s::lam(
+            "f",
+            s::arrow(s::bool_ty(), s::bool_ty()),
+            s::lam("x", s::bool_ty(), s::app(s::var("f"), s::app(s::var("f"), s::var("x")))),
+        );
+        let program = s::app(s::app(twice_mono, prelude::not_fn()), s::tt());
+        assert!(matches!(run_baseline(&program), Expr::Bool(true)));
+    }
+
+    #[test]
+    fn the_existential_type_hides_the_environment() {
+        // (λ x : Bool. y)⁺ and (λ x : Bool. x)⁺ get the *same* type — the §1
+        // observation that motivates the encoding in the first place.
+        let env = src::Env::new().with_assumption(Symbol::intern("y"), s::bool_ty());
+        let captures = translate(&env, &s::lam("x", s::bool_ty(), s::var("y"))).unwrap();
+        let identity = translate(&env, &s::lam("x", s::bool_ty(), s::var("x"))).unwrap();
+        let ctx = vec![(Symbol::intern("y"), Ty::Bool)];
+        let ty_captures = infer(&ctx, &captures).unwrap();
+        let ty_identity = infer(&ctx, &identity).unwrap();
+        assert!(ty_captures.alpha_eq(&ty_identity));
+    }
+
+    #[test]
+    fn lets_and_pairs_in_the_simple_fragment_work() {
+        let program = s::let_(
+            "p",
+            s::product(s::bool_ty(), s::bool_ty()),
+            s::pair(s::tt(), s::ff(), s::product(s::bool_ty(), s::bool_ty())),
+            s::ite(s::fst(s::var("p")), s::snd(s::var("p")), s::tt()),
+        );
+        assert!(matches!(run_baseline(&program), Expr::Bool(false)));
+    }
+
+    #[test]
+    fn polymorphism_defeats_the_baseline() {
+        // The paper's running example: the polymorphic identity function.
+        let err = translate_program(&prelude::poly_id()).unwrap_err();
+        assert!(matches!(err, BaselineError::NotSimplyTyped { .. }));
+        assert!(err.to_string().contains("simply typed fragment"));
+        // Even just its type is untranslatable.
+        assert!(translate_type(&prelude::poly_id_ty()).is_err());
+    }
+
+    #[test]
+    fn dependent_types_defeat_the_baseline() {
+        // Dependent Π.
+        assert!(translate_type(&s::pi("b", s::bool_ty(), s::app(prelude::is_true_predicate(), s::var("b")))).is_err());
+        // Dependent Σ (refinement type) and its witness.
+        assert!(translate_type(&prelude::refined_true_ty()).is_err());
+        assert!(translate_program(&prelude::refined_true_witness()).is_err());
+        // Type-level computation in a type.
+        assert!(translate_type(&s::app(s::lam("A", s::star(), s::var("A")), s::bool_ty())).is_err());
+        // Church numerals are impredicatively typed, hence out of fragment.
+        assert!(translate_program(&prelude::church_numeral(2)).is_err());
+    }
+
+    #[test]
+    fn errors_identify_the_offending_construct() {
+        let err = translate_type(&prelude::poly_id_ty()).unwrap_err();
+        match err {
+            BaselineError::NotSimplyTyped { construct, .. } => {
+                // Π A : ⋆. Π x : A. A is rejected as a dependent Π (the
+                // codomain mentions the bound type variable A).
+                assert!(
+                    construct.contains("dependent")
+                        || construct.contains("universe")
+                        || construct.contains("type variable"),
+                    "unexpected construct description: {construct}"
+                );
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn baseline_and_source_agree_on_simply_typed_observations() {
+        let programs = vec![
+            s::app(prelude::not_fn(), s::ff()),
+            s::app(s::app(prelude::xor_fn(), s::tt()), s::tt()),
+            s::ite(s::tt(), s::app(prelude::not_fn(), s::tt()), s::tt()),
+        ];
+        for program in programs {
+            let source_value = src::reduce::normalize_default(&src::Env::new(), &program);
+            let expected = matches!(source_value, src::Term::BoolLit(true));
+            let baseline_value = run_baseline(&program);
+            assert!(matches!(baseline_value, Expr::Bool(b) if b == expected));
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! A simply typed target language with existential types (System-F-style
+//! existentials over simple types), used to implement the *baseline*
+//! closure-conversion translation of §3.1 (Minamide et al. / Morrisett et
+//! al.) that the paper contrasts with its abstract closures.
+//!
+//! The language has booleans, functions, products, unit, type variables, and
+//! existential packages `pack ⟨T, e⟩ as ∃α. B` eliminated by
+//! `unpack ⟨α, x⟩ = e in e'`. It is deliberately *simply typed*: types never
+//! mention terms, which is exactly the assumption that makes the
+//! existential-type encoding of closures work — and exactly what fails for
+//! CC (see [`crate::baseline`]).
+
+use cccc_util::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Simple types, possibly mentioning type variables bound by ∃.
+#[derive(Clone, Debug)]
+pub enum Ty {
+    /// The ground type of booleans.
+    Bool,
+    /// The unit type.
+    Unit,
+    /// A type variable bound by an enclosing existential.
+    Var(Symbol),
+    /// Function type `T → U`.
+    Arrow(Rc<Ty>, Rc<Ty>),
+    /// Product type `T × U`.
+    Product(Rc<Ty>, Rc<Ty>),
+    /// Existential type `∃ α. T`.
+    Exists(Symbol, Rc<Ty>),
+}
+
+impl Ty {
+    /// Wraps in an [`Rc`].
+    pub fn rc(self) -> Rc<Ty> {
+        Rc::new(self)
+    }
+
+    /// α-aware equality of types.
+    pub fn alpha_eq(&self, other: &Ty) -> bool {
+        fn go(a: &Ty, b: &Ty, map: &mut HashMap<Symbol, Symbol>) -> bool {
+            match (a, b) {
+                (Ty::Bool, Ty::Bool) | (Ty::Unit, Ty::Unit) => true,
+                (Ty::Var(x), Ty::Var(y)) => map.get(x).copied().unwrap_or(*x) == *y,
+                (Ty::Arrow(a1, b1), Ty::Arrow(a2, b2))
+                | (Ty::Product(a1, b1), Ty::Product(a2, b2)) => {
+                    go(a1, a2, map) && go(b1, b2, map)
+                }
+                (Ty::Exists(x, t1), Ty::Exists(y, t2)) => {
+                    let previous = map.insert(*x, *y);
+                    let result = go(t1, t2, map);
+                    match previous {
+                        Some(p) => {
+                            map.insert(*x, p);
+                        }
+                        None => {
+                            map.remove(x);
+                        }
+                    }
+                    result
+                }
+                _ => false,
+            }
+        }
+        go(self, other, &mut HashMap::new())
+    }
+
+    /// Substitutes `replacement` for the type variable `alpha`.
+    pub fn subst(&self, alpha: Symbol, replacement: &Ty) -> Ty {
+        match self {
+            Ty::Bool => Ty::Bool,
+            Ty::Unit => Ty::Unit,
+            Ty::Var(x) => {
+                if *x == alpha {
+                    replacement.clone()
+                } else {
+                    Ty::Var(*x)
+                }
+            }
+            Ty::Arrow(a, b) => {
+                Ty::Arrow(a.subst(alpha, replacement).rc(), b.subst(alpha, replacement).rc())
+            }
+            Ty::Product(a, b) => {
+                Ty::Product(a.subst(alpha, replacement).rc(), b.subst(alpha, replacement).rc())
+            }
+            Ty::Exists(x, t) => {
+                if *x == alpha {
+                    Ty::Exists(*x, t.clone())
+                } else {
+                    Ty::Exists(*x, t.subst(alpha, replacement).rc())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bool => write!(f, "Bool"),
+            Ty::Unit => write!(f, "Unit"),
+            Ty::Var(x) => write!(f, "{x}"),
+            Ty::Arrow(a, b) => write!(f, "({a} -> {b})"),
+            Ty::Product(a, b) => write!(f, "({a} * {b})"),
+            Ty::Exists(x, t) => write!(f, "(exists {x}. {t})"),
+        }
+    }
+}
+
+/// Terms of the simply typed existential language.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A term variable.
+    Var(Symbol),
+    /// A boolean literal.
+    Bool(bool),
+    /// The unit value.
+    Unit,
+    /// Conditional.
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// Function `λ x : T. e`.
+    Lam(Symbol, Rc<Ty>, Rc<Expr>),
+    /// Application.
+    App(Rc<Expr>, Rc<Expr>),
+    /// Pair.
+    Pair(Rc<Expr>, Rc<Expr>),
+    /// First projection.
+    Fst(Rc<Expr>),
+    /// Second projection.
+    Snd(Rc<Expr>),
+    /// `pack ⟨witness, body⟩ as ∃α. T`.
+    Pack {
+        /// The hidden witness type.
+        witness: Rc<Ty>,
+        /// The packaged value.
+        body: Rc<Expr>,
+        /// The existential type of the package.
+        annotation: Rc<Ty>,
+    },
+    /// `unpack ⟨α, x⟩ = package in body`.
+    Unpack {
+        /// The bound type variable.
+        ty_var: Symbol,
+        /// The bound term variable.
+        var: Symbol,
+        /// The package being opened.
+        package: Rc<Expr>,
+        /// The continuation.
+        body: Rc<Expr>,
+    },
+}
+
+impl Expr {
+    /// Wraps in an [`Rc`].
+    pub fn rc(self) -> Rc<Expr> {
+        Rc::new(self)
+    }
+
+    /// Number of AST nodes (used to compare code-size blow-up against the
+    /// abstract closure conversion).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Bool(_) | Expr::Unit => 1,
+            Expr::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Lam(_, _, b) => 2 + b.size(),
+            Expr::App(a, b) | Expr::Pair(a, b) => 1 + a.size() + b.size(),
+            Expr::Fst(e) | Expr::Snd(e) => 1 + e.size(),
+            Expr::Pack { body, .. } => 2 + body.size(),
+            Expr::Unpack { package, body, .. } => 1 + package.size() + body.size(),
+        }
+    }
+
+    /// Capture-avoiding substitution of a term for a term variable.
+    pub fn subst(&self, x: Symbol, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Var(y) => {
+                if *y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Bool(_) | Expr::Unit => self.clone(),
+            Expr::If(a, b, c) => Expr::If(
+                a.subst(x, replacement).rc(),
+                b.subst(x, replacement).rc(),
+                c.subst(x, replacement).rc(),
+            ),
+            Expr::Lam(y, ty, body) => {
+                if *y == x {
+                    self.clone()
+                } else {
+                    // Free variables of replacements are always closed in
+                    // our usage (values), so capture cannot occur; still,
+                    // freshen defensively.
+                    let fresh = y.freshen();
+                    let renamed = body.subst(*y, &Expr::Var(fresh));
+                    Expr::Lam(fresh, ty.clone(), renamed.subst(x, replacement).rc())
+                }
+            }
+            Expr::App(a, b) => {
+                Expr::App(a.subst(x, replacement).rc(), b.subst(x, replacement).rc())
+            }
+            Expr::Pair(a, b) => {
+                Expr::Pair(a.subst(x, replacement).rc(), b.subst(x, replacement).rc())
+            }
+            Expr::Fst(e) => Expr::Fst(e.subst(x, replacement).rc()),
+            Expr::Snd(e) => Expr::Snd(e.subst(x, replacement).rc()),
+            Expr::Pack { witness, body, annotation } => Expr::Pack {
+                witness: witness.clone(),
+                body: body.subst(x, replacement).rc(),
+                annotation: annotation.clone(),
+            },
+            Expr::Unpack { ty_var, var, package, body } => {
+                let package = package.subst(x, replacement).rc();
+                if *var == x {
+                    Expr::Unpack { ty_var: *ty_var, var: *var, package, body: body.clone() }
+                } else {
+                    let fresh = var.freshen();
+                    let renamed = body.subst(*var, &Expr::Var(fresh));
+                    Expr::Unpack {
+                        ty_var: *ty_var,
+                        var: fresh,
+                        package,
+                        body: renamed.subst(x, replacement).rc(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Unit => write!(f, "<>"),
+            Expr::If(a, b, c) => write!(f, "(if {a} then {b} else {c})"),
+            Expr::Lam(x, ty, body) => write!(f, "(\\({x} : {ty}). {body})"),
+            Expr::App(a, b) => write!(f, "({a} {b})"),
+            Expr::Pair(a, b) => write!(f, "<{a}, {b}>"),
+            Expr::Fst(e) => write!(f, "(fst {e})"),
+            Expr::Snd(e) => write!(f, "(snd {e})"),
+            Expr::Pack { witness, body, annotation } => {
+                write!(f, "(pack <{witness}, {body}> as {annotation})")
+            }
+            Expr::Unpack { ty_var, var, package, body } => {
+                write!(f, "(unpack <{ty_var}, {var}> = {package} in {body})")
+            }
+        }
+    }
+}
+
+/// Type errors of the existential language.
+#[derive(Clone, Debug)]
+pub struct ExistTypeError(pub String);
+
+impl fmt::Display for ExistTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ExistTypeError {}
+
+/// A simple typing context: term variables to types.
+pub type Context = Vec<(Symbol, Ty)>;
+
+/// Infers the type of `expr` under `ctx`.
+///
+/// # Errors
+///
+/// Returns an [`ExistTypeError`] when the expression is ill-typed.
+pub fn infer(ctx: &Context, expr: &Expr) -> Result<Ty, ExistTypeError> {
+    match expr {
+        Expr::Var(x) => ctx
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| ExistTypeError(format!("unbound variable `{x}`"))),
+        Expr::Bool(_) => Ok(Ty::Bool),
+        Expr::Unit => Ok(Ty::Unit),
+        Expr::If(c, t, e) => {
+            expect(ctx, c, &Ty::Bool)?;
+            let then_ty = infer(ctx, t)?;
+            expect(ctx, e, &then_ty)?;
+            Ok(then_ty)
+        }
+        Expr::Lam(x, ty, body) => {
+            let mut inner = ctx.clone();
+            inner.push((*x, (**ty).clone()));
+            let body_ty = infer(&inner, body)?;
+            Ok(Ty::Arrow(ty.clone(), body_ty.rc()))
+        }
+        Expr::App(func, arg) => match infer(ctx, func)? {
+            Ty::Arrow(domain, codomain) => {
+                expect(ctx, arg, &domain)?;
+                Ok((*codomain).clone())
+            }
+            other => Err(ExistTypeError(format!("`{func}` has non-function type `{other}`"))),
+        },
+        Expr::Pair(a, b) => Ok(Ty::Product(infer(ctx, a)?.rc(), infer(ctx, b)?.rc())),
+        Expr::Fst(e) => match infer(ctx, e)? {
+            Ty::Product(a, _) => Ok((*a).clone()),
+            other => Err(ExistTypeError(format!("`{e}` has non-product type `{other}`"))),
+        },
+        Expr::Snd(e) => match infer(ctx, e)? {
+            Ty::Product(_, b) => Ok((*b).clone()),
+            other => Err(ExistTypeError(format!("`{e}` has non-product type `{other}`"))),
+        },
+        Expr::Pack { witness, body, annotation } => match &**annotation {
+            Ty::Exists(alpha, inner) => {
+                let expected = inner.subst(*alpha, witness);
+                expect(ctx, body, &expected)?;
+                Ok((**annotation).clone())
+            }
+            other => Err(ExistTypeError(format!("pack annotation `{other}` is not existential"))),
+        },
+        Expr::Unpack { ty_var, var, package, body } => {
+            match infer(ctx, package)? {
+                Ty::Exists(alpha, inner) => {
+                    // Rename the bound type variable to the one chosen by the
+                    // unpack.
+                    let opened = inner.subst(alpha, &Ty::Var(*ty_var));
+                    let mut extended = ctx.clone();
+                    extended.push((*var, opened));
+                    let body_ty = infer(&extended, body)?;
+                    // The scoping condition: the abstract type must not
+                    // escape.
+                    if type_mentions(&body_ty, *ty_var) {
+                        return Err(ExistTypeError(format!(
+                            "abstract type `{ty_var}` escapes its unpack scope in `{body_ty}`"
+                        )));
+                    }
+                    Ok(body_ty)
+                }
+                other => {
+                    Err(ExistTypeError(format!("`{package}` has non-existential type `{other}`")))
+                }
+            }
+        }
+    }
+}
+
+/// Checks `expr` against `expected`.
+///
+/// # Errors
+///
+/// Returns an [`ExistTypeError`] on mismatch.
+pub fn expect(ctx: &Context, expr: &Expr, expected: &Ty) -> Result<(), ExistTypeError> {
+    let actual = infer(ctx, expr)?;
+    if actual.alpha_eq(expected) {
+        Ok(())
+    } else {
+        Err(ExistTypeError(format!(
+            "`{expr}` has type `{actual}` but `{expected}` was expected"
+        )))
+    }
+}
+
+fn type_mentions(ty: &Ty, alpha: Symbol) -> bool {
+    match ty {
+        Ty::Bool | Ty::Unit => false,
+        Ty::Var(x) => *x == alpha,
+        Ty::Arrow(a, b) | Ty::Product(a, b) => type_mentions(a, alpha) || type_mentions(b, alpha),
+        Ty::Exists(x, t) => *x != alpha && type_mentions(t, alpha),
+    }
+}
+
+/// Call-by-value evaluation to a value. Panics are impossible on well-typed
+/// closed terms; a step bound guards against accidental divergence.
+pub fn evaluate(expr: &Expr) -> Expr {
+    fn is_value(expr: &Expr) -> bool {
+        matches!(
+            expr,
+            Expr::Bool(_) | Expr::Unit | Expr::Lam(..) | Expr::Pack { .. }
+        ) || matches!(expr, Expr::Pair(a, b) if is_value(a) && is_value(b))
+    }
+
+    fn step(expr: &Expr) -> Option<Expr> {
+        match expr {
+            _ if is_value(expr) => None,
+            Expr::If(c, t, e) => match &**c {
+                Expr::Bool(true) => Some((**t).clone()),
+                Expr::Bool(false) => Some((**e).clone()),
+                _ => step(c).map(|c2| Expr::If(c2.rc(), t.clone(), e.clone())),
+            },
+            Expr::App(f, a) => {
+                if let Expr::Lam(x, _, body) = &**f {
+                    if is_value(a) {
+                        return Some(body.subst(*x, a));
+                    }
+                }
+                if !is_value(f) {
+                    step(f).map(|f2| Expr::App(f2.rc(), a.clone()))
+                } else {
+                    step(a).map(|a2| Expr::App(f.clone(), a2.rc()))
+                }
+            }
+            Expr::Pair(a, b) => {
+                if !is_value(a) {
+                    step(a).map(|a2| Expr::Pair(a2.rc(), b.clone()))
+                } else {
+                    step(b).map(|b2| Expr::Pair(a.clone(), b2.rc()))
+                }
+            }
+            Expr::Fst(e) => match &**e {
+                Expr::Pair(a, _) if is_value(e) => Some((**a).clone()),
+                _ => step(e).map(|e2| Expr::Fst(e2.rc())),
+            },
+            Expr::Snd(e) => match &**e {
+                Expr::Pair(_, b) if is_value(e) => Some((**b).clone()),
+                _ => step(e).map(|e2| Expr::Snd(e2.rc())),
+            },
+            Expr::Pack { witness, body, annotation } => step(body).map(|b2| Expr::Pack {
+                witness: witness.clone(),
+                body: b2.rc(),
+                annotation: annotation.clone(),
+            }),
+            Expr::Unpack { ty_var, var, package, body } => match &**package {
+                Expr::Pack { body: packaged, .. } if is_value(package) => {
+                    Some(body.subst(*var, packaged))
+                }
+                _ => step(package).map(|p2| Expr::Unpack {
+                    ty_var: *ty_var,
+                    var: *var,
+                    package: p2.rc(),
+                    body: body.clone(),
+                }),
+            },
+            _ => None,
+        }
+    }
+
+    let mut current = expr.clone();
+    for _ in 0..1_000_000 {
+        match step(&current) {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn not_fn() -> Expr {
+        Expr::Lam(
+            sym("b"),
+            Ty::Bool.rc(),
+            Expr::If(Expr::Var(sym("b")).rc(), Expr::Bool(false).rc(), Expr::Bool(true).rc()).rc(),
+        )
+    }
+
+    #[test]
+    fn simple_typing_and_evaluation() {
+        let program = Expr::App(not_fn().rc(), Expr::Bool(true).rc());
+        assert!(infer(&Vec::new(), &program).unwrap().alpha_eq(&Ty::Bool));
+        assert!(matches!(evaluate(&program), Expr::Bool(false)));
+    }
+
+    #[test]
+    fn products_and_projections() {
+        let pair = Expr::Pair(Expr::Bool(true).rc(), Expr::Unit.rc());
+        let ty = infer(&Vec::new(), &pair).unwrap();
+        assert!(ty.alpha_eq(&Ty::Product(Ty::Bool.rc(), Ty::Unit.rc())));
+        assert!(matches!(evaluate(&Expr::Fst(pair.clone().rc())), Expr::Bool(true)));
+        assert!(matches!(evaluate(&Expr::Snd(pair.rc())), Expr::Unit));
+    }
+
+    #[test]
+    fn pack_and_unpack_round_trip() {
+        // pack ⟨Bool, ⟨true, not⟩⟩ as ∃α. α × (α → Bool), then unpack and apply.
+        let alpha = sym("alpha");
+        let package_ty = Ty::Exists(
+            alpha,
+            Ty::Product(Ty::Var(alpha).rc(), Ty::Arrow(Ty::Var(alpha).rc(), Ty::Bool.rc()).rc()).rc(),
+        );
+        let package = Expr::Pack {
+            witness: Ty::Bool.rc(),
+            body: Expr::Pair(Expr::Bool(true).rc(), not_fn().rc()).rc(),
+            annotation: package_ty.clone().rc(),
+        };
+        assert!(infer(&Vec::new(), &package).unwrap().alpha_eq(&package_ty));
+
+        let program = Expr::Unpack {
+            ty_var: alpha,
+            var: sym("p"),
+            package: package.rc(),
+            body: Expr::App(
+                Expr::Snd(Expr::Var(sym("p")).rc()).rc(),
+                Expr::Fst(Expr::Var(sym("p")).rc()).rc(),
+            )
+            .rc(),
+        };
+        assert!(infer(&Vec::new(), &program).unwrap().alpha_eq(&Ty::Bool));
+        assert!(matches!(evaluate(&program), Expr::Bool(false)));
+    }
+
+    #[test]
+    fn abstract_types_cannot_escape() {
+        let alpha = sym("beta");
+        let package = Expr::Pack {
+            witness: Ty::Bool.rc(),
+            body: Expr::Bool(true).rc(),
+            annotation: Ty::Exists(alpha, Ty::Var(alpha).rc()).rc(),
+        };
+        let escaping = Expr::Unpack {
+            ty_var: alpha,
+            var: sym("x"),
+            package: package.rc(),
+            body: Expr::Var(sym("x")).rc(),
+        };
+        let err = infer(&Vec::new(), &escaping).unwrap_err();
+        assert!(err.to_string().contains("escapes"));
+    }
+
+    #[test]
+    fn mismatched_packs_are_rejected() {
+        let alpha = sym("gamma");
+        // Claim the witness is Unit but store a Bool at type α.
+        let bad = Expr::Pack {
+            witness: Ty::Unit.rc(),
+            body: Expr::Bool(true).rc(),
+            annotation: Ty::Exists(alpha, Ty::Var(alpha).rc()).rc(),
+        };
+        assert!(infer(&Vec::new(), &bad).is_err());
+    }
+
+    #[test]
+    fn type_alpha_equivalence() {
+        let a = Ty::Exists(sym("a"), Ty::Arrow(Ty::Var(sym("a")).rc(), Ty::Bool.rc()).rc());
+        let b = Ty::Exists(sym("b"), Ty::Arrow(Ty::Var(sym("b")).rc(), Ty::Bool.rc()).rc());
+        assert!(a.alpha_eq(&b));
+        let c = Ty::Exists(sym("c"), Ty::Arrow(Ty::Bool.rc(), Ty::Var(sym("c")).rc()).rc());
+        assert!(!a.alpha_eq(&c));
+    }
+}

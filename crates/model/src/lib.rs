@@ -1,0 +1,40 @@
+//! The model of CC-CC in CC (Figure 8 and §4.1 of Bowman & Ahmed,
+//! PLDI 2018), used to establish consistency and type safety of the
+//! closure-converted language.
+//!
+//! The model "decompiles" CC-CC back into CC: code becomes curried
+//! functions, closures become partial applications, and the unit type is
+//! Church-encoded. Because the model preserves falseness, typing, and
+//! reduction, any inconsistency or undefined behaviour in CC-CC would
+//! translate into one in CC — which is known to have neither. This reduces
+//! Theorem 4.7 (consistency) and Theorem 4.8 (type safety) of CC-CC to the
+//! corresponding properties of CC.
+//!
+//! * [`translate`] — the model translation `e ↦ e°` (Figure 8);
+//! * [`verify`] — executable checkers for Lemmas 4.1–4.6, per-candidate
+//!   refutation for Theorem 4.7, per-program evaluation for Theorem 4.8, and
+//!   the §6 round-trip conjecture `e ≡ (e⁺)°`.
+//!
+//! # Example
+//!
+//! ```
+//! use cccc_model::translate::model;
+//! use cccc_model::verify::check_type_preservation;
+//! use cccc_target::builder as t;
+//!
+//! // The closure-converted boolean identity …
+//! let identity = t::closure(
+//!     t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
+//!     t::unit_val(),
+//! );
+//! // … models to a CC term (a partial application) of the modelled type.
+//! let modelled = model(&identity);
+//! assert!(matches!(modelled, cccc_source::Term::App { .. }));
+//! check_type_preservation(&cccc_target::Env::new(), &identity).unwrap();
+//! ```
+
+pub mod translate;
+pub mod verify;
+
+pub use translate::{model, model_env, source_false, target_false};
+pub use verify::ModelError;

@@ -1,0 +1,378 @@
+//! Executable checkers for the model metatheory (§4.1).
+//!
+//! | Paper statement | Checker |
+//! |---|---|
+//! | Lemma 4.1 (False preservation) | [`check_false_preservation`] |
+//! | Lemma 4.2 (Compositionality) | [`check_compositionality`] |
+//! | Lemmas 4.3/4.4 (Preservation of reduction) | [`check_reduction_preservation`] |
+//! | Lemma 4.5 (Coherence) | [`check_coherence`] |
+//! | Lemma 4.6 (Type preservation) | [`check_type_preservation`] |
+//! | Theorem 4.7 (Consistency) | [`check_no_proof_of_false`] (per-candidate refutation) |
+//! | Theorem 4.8 (Type safety) | [`check_type_safety`] (per-program evaluation) |
+//!
+//! The §6 conjecture `e ≡ (e⁺)°` — compiling to CC-CC and then modelling
+//! back into CC yields an equivalent term — is checked by
+//! [`check_round_trip`].
+
+use crate::translate::{model, model_env, source_false, target_false};
+use cccc_source as src;
+use cccc_target as tgt;
+use cccc_util::symbol::Symbol;
+use std::fmt;
+
+/// Errors (potential counterexamples) produced by the model checkers.
+#[derive(Clone, Debug)]
+pub enum ModelError {
+    /// The premise of the statement does not hold for the supplied terms.
+    Premise(String),
+    /// The modelled term is ill-typed in CC — a counterexample to Lemma 4.6.
+    ModelIllTyped(String),
+    /// Two CC terms required to be definitionally equal are not.
+    NotEquivalent {
+        /// Which statement was being checked.
+        context: String,
+        /// Left-hand side, pretty-printed.
+        left: String,
+        /// Right-hand side, pretty-printed.
+        right: String,
+    },
+    /// A CC-CC term claimed to prove `False` actually type checks — this
+    /// would witness an inconsistency.
+    ProvesFalse(String),
+    /// A well-typed program failed to evaluate to a value.
+    Stuck(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Premise(e) => write!(f, "premise not satisfied: {e}"),
+            ModelError::ModelIllTyped(e) => write!(f, "modelled term is ill-typed in CC: {e}"),
+            ModelError::NotEquivalent { context, left, right } => {
+                write!(f, "{context}: `{left}` is not definitionally equal to `{right}`")
+            }
+            ModelError::ProvesFalse(e) => {
+                write!(f, "`{e}` type checks at False — inconsistency witness")
+            }
+            ModelError::Stuck(e) => write!(f, "`{e}` did not evaluate to a value"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result type for the model checkers.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// **Lemma 4.1 (False preservation).** `False° = False`, syntactically.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotEquivalent`] if the identity fails (it cannot).
+pub fn check_false_preservation() -> Result<()> {
+    let modelled = model(&target_false());
+    if src::subst::alpha_eq(&modelled, &source_false()) {
+        Ok(())
+    } else {
+        Err(ModelError::NotEquivalent {
+            context: "False preservation (Lemma 4.1)".to_owned(),
+            left: modelled.to_string(),
+            right: source_false().to_string(),
+        })
+    }
+}
+
+/// **Lemma 4.2 (Compositionality).** `(e[e'/x])° = e°[e'°/x]` (we check up
+/// to definitional equivalence, which is what the paper's later lemmas use).
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotEquivalent`] on a counterexample.
+pub fn check_compositionality(
+    env: &tgt::Env,
+    e1: &tgt::Term,
+    x: Symbol,
+    e2: &tgt::Term,
+) -> Result<()> {
+    let substituted_then_modelled = model(&tgt::subst::subst(e1, x, e2));
+    let modelled_then_substituted = src::subst::subst(&model(e1), x, &model(e2));
+    let source_env = model_env(env);
+    if src::equiv::definitionally_equal(
+        &source_env,
+        &substituted_then_modelled,
+        &modelled_then_substituted,
+    ) {
+        Ok(())
+    } else {
+        Err(ModelError::NotEquivalent {
+            context: "model compositionality (Lemma 4.2)".to_owned(),
+            left: substituted_then_modelled.to_string(),
+            right: modelled_then_substituted.to_string(),
+        })
+    }
+}
+
+/// **Lemmas 4.3/4.4 (Preservation of reduction).** Follows the CC-CC
+/// reduction sequence of `term` for at most `max_steps` steps, checking that
+/// the CC models of successive reducts remain definitionally equal
+/// (`e ⊲ e'` implies `e° ⊲* e'°`, hence `e° ≡ e'°`). Returns the number of
+/// steps validated.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotEquivalent`] naming the first offending step.
+pub fn check_reduction_preservation(
+    env: &tgt::Env,
+    term: &tgt::Term,
+    max_steps: usize,
+) -> Result<usize> {
+    let source_env = model_env(env);
+    let mut current = term.clone();
+    let mut current_model = model(&current);
+    let mut steps = 0;
+    while steps < max_steps {
+        match tgt::reduce::step(env, &current) {
+            None => break,
+            Some(next) => {
+                let next_model = model(&next);
+                if !src::equiv::definitionally_equal(&source_env, &current_model, &next_model) {
+                    return Err(ModelError::NotEquivalent {
+                        context: format!("model preservation of reduction (Lemma 4.3) at step {steps}"),
+                        left: current_model.to_string(),
+                        right: next_model.to_string(),
+                    });
+                }
+                current = next;
+                current_model = next_model;
+                steps += 1;
+            }
+        }
+    }
+    Ok(steps)
+}
+
+/// **Lemma 4.5 (Coherence).** If `e1 ≡ e2` in CC-CC then `e1° ≡ e2°` in CC.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Premise`] if the CC-CC terms are not equivalent,
+/// and [`ModelError::NotEquivalent`] if their models are not.
+pub fn check_coherence(env: &tgt::Env, e1: &tgt::Term, e2: &tgt::Term) -> Result<()> {
+    if !tgt::equiv::definitionally_equal(env, e1, e2) {
+        return Err(ModelError::Premise(format!(
+            "`{e1}` and `{e2}` are not definitionally equal in CC-CC"
+        )));
+    }
+    let source_env = model_env(env);
+    let left = model(e1);
+    let right = model(e2);
+    if src::equiv::definitionally_equal(&source_env, &left, &right) {
+        Ok(())
+    } else {
+        Err(ModelError::NotEquivalent {
+            context: "model coherence (Lemma 4.5)".to_owned(),
+            left: left.to_string(),
+            right: right.to_string(),
+        })
+    }
+}
+
+/// **Lemma 4.6 (Type preservation).** If `Γ ⊢ e : A` in CC-CC then
+/// `Γ° ⊢ e° : A°` in CC. Returns the CC type of the model.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ModelIllTyped`] or [`ModelError::NotEquivalent`] on
+/// a counterexample.
+pub fn check_type_preservation(env: &tgt::Env, term: &tgt::Term) -> Result<src::Term> {
+    let target_type = tgt::typecheck::infer(env, term)
+        .map_err(|e| ModelError::Premise(e.to_string()))?;
+    let source_env = model_env(env);
+    let modelled_term = model(term);
+    let expected_type = model(&target_type);
+    let inferred = src::typecheck::infer(&source_env, &modelled_term)
+        .map_err(|e| ModelError::ModelIllTyped(e.to_string()))?;
+    if src::equiv::definitionally_equal(&source_env, &inferred, &expected_type) {
+        Ok(inferred)
+    } else {
+        Err(ModelError::NotEquivalent {
+            context: "model type preservation (Lemma 4.6)".to_owned(),
+            left: inferred.to_string(),
+            right: expected_type.to_string(),
+        })
+    }
+}
+
+/// **Theorem 4.7 (Consistency), per candidate.** Checks that `candidate`
+/// does *not* prove `False` in CC-CC: either it fails to type check, or its
+/// type is not `False`. (The theorem itself is the ∀-statement; this checker
+/// refutes individual would-be witnesses.)
+///
+/// # Errors
+///
+/// Returns [`ModelError::ProvesFalse`] if the candidate does check at
+/// `False`, which would witness an inconsistency.
+pub fn check_no_proof_of_false(candidate: &tgt::Term) -> Result<()> {
+    if tgt::typecheck::check(&tgt::Env::new(), candidate, &target_false()).is_ok() {
+        return Err(ModelError::ProvesFalse(candidate.to_string()));
+    }
+    Ok(())
+}
+
+/// **Theorem 4.8 (Type safety), per program.** A closed well-typed CC-CC
+/// program evaluates, without getting stuck, to a value. Returns the value.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Premise`] if the program is not closed and
+/// well-typed, and [`ModelError::Stuck`] if evaluation gets stuck or runs
+/// out of fuel.
+pub fn check_type_safety(term: &tgt::Term) -> Result<tgt::Term> {
+    tgt::typecheck::infer(&tgt::Env::new(), term)
+        .map_err(|e| ModelError::Premise(e.to_string()))?;
+    let mut fuel = cccc_util::Fuel::default();
+    let value = tgt::reduce::eval(&tgt::Env::new(), term, &mut fuel)
+        .map_err(|e| ModelError::Stuck(format!("{term}: {e}")))?;
+    if value.is_value() || tgt::reduce::step(&tgt::Env::new(), &value).is_none() {
+        Ok(value)
+    } else {
+        Err(ModelError::Stuck(value.to_string()))
+    }
+}
+
+/// The §6 round-trip conjecture: `e ≡ (e⁺)°` — closure converting a CC term
+/// and then modelling the result back into CC yields a term definitionally
+/// equal to the original.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotEquivalent`] on a counterexample, or
+/// [`ModelError::Premise`] if the source term is ill-typed.
+pub fn check_round_trip(env: &src::Env, term: &src::Term) -> Result<()> {
+    let compiled = cccc_core::translate::translate(env, term)
+        .map_err(|e| ModelError::Premise(e.to_string()))?;
+    let round_tripped = model(&compiled);
+    if src::equiv::definitionally_equal(env, term, &round_tripped) {
+        Ok(())
+    } else {
+        Err(ModelError::NotEquivalent {
+            context: "round trip e ≡ (e⁺)° (§6 conjecture)".to_owned(),
+            left: term.to_string(),
+            right: round_tripped.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccc_target::builder as t;
+
+    fn sym(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn identity_closure() -> tgt::Term {
+        t::closure(t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")), t::unit_val())
+    }
+
+    #[test]
+    fn false_preservation_holds() {
+        check_false_preservation().unwrap();
+    }
+
+    #[test]
+    fn model_type_preservation_on_closure_programs() {
+        check_type_preservation(&tgt::Env::new(), &identity_closure()).unwrap();
+        check_type_preservation(&tgt::Env::new(), &t::app(identity_closure(), t::tt())).unwrap();
+        check_type_preservation(&tgt::Env::new(), &t::unit_val()).unwrap();
+        // The paper's nested polymorphic identity closure.
+        let inner_env_ty = t::sigma("A", t::star(), t::unit_ty());
+        let inner_code = t::code("n2", inner_env_ty.clone(), "x", t::fst(t::var("n2")), t::var("x"));
+        let outer_code = t::code(
+            "n1",
+            t::unit_ty(),
+            "A",
+            t::star(),
+            t::closure(inner_code, t::pair(t::var("A"), t::unit_val(), inner_env_ty)),
+        );
+        check_type_preservation(&tgt::Env::new(), &t::closure(outer_code, t::unit_val())).unwrap();
+    }
+
+    #[test]
+    fn model_type_preservation_requires_well_typed_input() {
+        let err = check_type_preservation(&tgt::Env::new(), &t::var("ghost")).unwrap_err();
+        assert!(matches!(err, ModelError::Premise(_)));
+    }
+
+    #[test]
+    fn model_compositionality_on_environment_substitution() {
+        let env = tgt::Env::new().with_assumption(sym("b"), t::bool_ty());
+        // e1 is a closure whose environment mentions b.
+        let e1 = t::closure(
+            t::code("n", t::bool_ty(), "x", t::bool_ty(), t::var("n")),
+            t::var("b"),
+        );
+        check_compositionality(&env, &e1, sym("b"), &t::tt()).unwrap();
+    }
+
+    #[test]
+    fn model_reduction_preservation_on_closure_application() {
+        let program = t::app(identity_closure(), t::ite(t::tt(), t::ff(), t::tt()));
+        let steps = check_reduction_preservation(&tgt::Env::new(), &program, 32).unwrap();
+        assert!(steps >= 2);
+    }
+
+    #[test]
+    fn model_coherence_on_closure_eta() {
+        let env = tgt::Env::new().with_assumption(sym("f"), t::pi("x", t::bool_ty(), t::bool_ty()));
+        let expanded = t::closure(
+            t::code("n", t::unit_ty(), "x", t::bool_ty(), t::app(t::var("f"), t::var("x"))),
+            t::unit_val(),
+        );
+        check_coherence(&env, &expanded, &t::var("f")).unwrap();
+    }
+
+    #[test]
+    fn coherence_premise_is_enforced() {
+        let err = check_coherence(&tgt::Env::new(), &t::tt(), &t::ff()).unwrap_err();
+        assert!(matches!(err, ModelError::Premise(_)));
+    }
+
+    #[test]
+    fn known_false_candidates_are_refuted() {
+        // A few classic attempts to inhabit False, all rejected by the CC-CC
+        // type checker.
+        let candidates = vec![
+            t::var("false_axiom"),
+            t::app(identity_closure(), t::tt()),
+            t::unit_val(),
+            t::closure(t::code("n", t::unit_ty(), "A", t::star(), t::var("A")), t::unit_val()),
+        ];
+        for candidate in candidates {
+            check_no_proof_of_false(&candidate).unwrap();
+        }
+    }
+
+    #[test]
+    fn type_safety_on_closed_programs() {
+        let value = check_type_safety(&t::app(identity_closure(), t::ff())).unwrap();
+        assert!(matches!(value, tgt::Term::BoolLit(false)));
+        let err = check_type_safety(&t::var("ghost")).unwrap_err();
+        assert!(matches!(err, ModelError::Premise(_)));
+    }
+
+    #[test]
+    fn round_trip_on_the_source_corpus() {
+        for entry in cccc_source::prelude::corpus() {
+            check_round_trip(&src::Env::new(), &entry.term)
+                .unwrap_or_else(|e| panic!("round trip failed on `{}`: {e}", entry.name));
+        }
+    }
+
+    #[test]
+    fn model_error_display() {
+        let err = ModelError::ProvesFalse("bad".into());
+        assert!(err.to_string().contains("inconsistency"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Abstract syntax of CC (Figure 1 of the paper).
+//!
+//! CC is the Calculus of Constructions extended with strong dependent pairs
+//! (Σ types), dependent let, and η-equivalence for functions. Expressions
+//! make no syntactic distinction between terms, types, and kinds; the
+//! universe `⋆` (small types) is itself typed by `□` (large types), and `□`
+//! has no type.
+//!
+//! Following §5.2 of the paper we also include the ground type `Bool` with
+//! literals and a non-dependent `if`, which is what the correctness-of-
+//! separate-compilation theorem observes.
+
+use cccc_util::symbol::Symbol;
+use std::fmt;
+use std::rc::Rc;
+
+/// The two universes of CC.
+///
+/// `⋆` ([`Universe::Star`]) is the impredicative universe of small types
+/// (the types of programs); `□` ([`Universe::Box`]) is the predicative
+/// universe of large types (the types of types). `□` is not a term: it never
+/// appears in well-typed programs, only as the inferred type of `⋆` and of
+/// kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Universe {
+    /// The impredicative universe `⋆` of small types.
+    Star,
+    /// The predicative universe `□` of large types.
+    Box,
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Universe::Star => write!(f, "*"),
+            Universe::Box => write!(f, "□"),
+        }
+    }
+}
+
+/// A reference-counted CC term. Terms are immutable; substitution and
+/// reduction build new terms, sharing unchanged subterms.
+pub type RcTerm = Rc<Term>;
+
+/// CC expressions (Figure 1).
+///
+/// The meta-variables `e`, `A`, `B` of the paper all range over this single
+/// syntactic category.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// A variable `x`.
+    Var(Symbol),
+    /// A universe `⋆` or `□`.
+    Sort(Universe),
+    /// Dependent function type `Π x : A. B`.
+    Pi {
+        /// The bound variable `x` (may occur in `codomain`).
+        binder: Symbol,
+        /// The domain `A`.
+        domain: RcTerm,
+        /// The codomain `B`, which may mention `binder`.
+        codomain: RcTerm,
+    },
+    /// Function `λ x : A. e`.
+    Lam {
+        /// The bound variable `x`.
+        binder: Symbol,
+        /// The annotation `A` on the argument.
+        domain: RcTerm,
+        /// The body `e`.
+        body: RcTerm,
+    },
+    /// Application `e1 e2`.
+    App {
+        /// The function position `e1`.
+        func: RcTerm,
+        /// The argument position `e2`.
+        arg: RcTerm,
+    },
+    /// Dependent let `let x = e : A in e'`.
+    Let {
+        /// The bound variable `x`.
+        binder: Symbol,
+        /// The annotation `A` on the definition.
+        annotation: RcTerm,
+        /// The definition `e`.
+        bound: RcTerm,
+        /// The body `e'`, which may mention `binder`.
+        body: RcTerm,
+    },
+    /// Strong dependent pair type `Σ x : A. B`.
+    Sigma {
+        /// The bound variable `x` (names the first component in `second`).
+        binder: Symbol,
+        /// The type `A` of the first component.
+        first: RcTerm,
+        /// The type `B` of the second component, which may mention `binder`.
+        second: RcTerm,
+    },
+    /// Dependent pair `⟨e1, e2⟩ as Σ x : A. B`.
+    Pair {
+        /// The first component `e1`.
+        first: RcTerm,
+        /// The second component `e2`.
+        second: RcTerm,
+        /// The Σ-type annotation the pair is formed at.
+        annotation: RcTerm,
+    },
+    /// First projection `fst e`.
+    Fst(RcTerm),
+    /// Second projection `snd e`.
+    Snd(RcTerm),
+    /// The ground type `Bool` (§5.2).
+    BoolTy,
+    /// A boolean literal `true` or `false`.
+    BoolLit(bool),
+    /// Non-dependent conditional `if e then e1 else e2`.
+    If {
+        /// The scrutinee, of type `Bool`.
+        scrutinee: RcTerm,
+        /// The branch taken when the scrutinee is `true`.
+        then_branch: RcTerm,
+        /// The branch taken when the scrutinee is `false`.
+        else_branch: RcTerm,
+    },
+}
+
+impl Term {
+    /// Wraps the term in an [`Rc`].
+    pub fn rc(self) -> RcTerm {
+        Rc::new(self)
+    }
+
+    /// Returns `true` for the universe `⋆`.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Term::Sort(Universe::Star))
+    }
+
+    /// Returns `true` for the universe `□`.
+    pub fn is_box(&self) -> bool {
+        matches!(self, Term::Sort(Universe::Box))
+    }
+
+    /// Returns the universe if the term is a sort.
+    pub fn as_sort(&self) -> Option<Universe> {
+        match self {
+            Term::Sort(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Returns the variable name if the term is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the term is a *value* in the sense of Theorem 4.8:
+    /// a universe, a function, a pair, a type constructor, or a boolean
+    /// literal.
+    pub fn is_value(&self) -> bool {
+        matches!(
+            self,
+            Term::Sort(_)
+                | Term::Lam { .. }
+                | Term::Pi { .. }
+                | Term::Sigma { .. }
+                | Term::Pair { .. }
+                | Term::BoolTy
+                | Term::BoolLit(_)
+        )
+    }
+
+    /// The number of AST nodes in the term. Used by the benchmarks to report
+    /// code-size blow-up of the translation.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => 1,
+            Term::Pi { domain, codomain, .. } => 1 + domain.size() + codomain.size(),
+            Term::Lam { domain, body, .. } => 1 + domain.size() + body.size(),
+            Term::App { func, arg } => 1 + func.size() + arg.size(),
+            Term::Let { annotation, bound, body, .. } => {
+                1 + annotation.size() + bound.size() + body.size()
+            }
+            Term::Sigma { first, second, .. } => 1 + first.size() + second.size(),
+            Term::Pair { first, second, annotation } => {
+                1 + first.size() + second.size() + annotation.size()
+            }
+            Term::Fst(e) | Term::Snd(e) => 1 + e.size(),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                1 + scrutinee.size() + then_branch.size() + else_branch.size()
+            }
+        }
+    }
+
+    /// The maximum depth of the AST.
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => 1,
+            Term::Pi { domain, codomain, .. } => 1 + domain.depth().max(codomain.depth()),
+            Term::Lam { domain, body, .. } => 1 + domain.depth().max(body.depth()),
+            Term::App { func, arg } => 1 + func.depth().max(arg.depth()),
+            Term::Let { annotation, bound, body, .. } => {
+                1 + annotation.depth().max(bound.depth()).max(body.depth())
+            }
+            Term::Sigma { first, second, .. } => 1 + first.depth().max(second.depth()),
+            Term::Pair { first, second, annotation } => {
+                1 + first.depth().max(second.depth()).max(annotation.depth())
+            }
+            Term::Fst(e) | Term::Snd(e) => 1 + e.depth(),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                1 + scrutinee.depth().max(then_branch.depth()).max(else_branch.depth())
+            }
+        }
+    }
+
+    /// Counts the number of λ-abstractions in the term; every one of them
+    /// becomes a closure after closure conversion.
+    pub fn lambda_count(&self) -> usize {
+        let mut count = 0;
+        self.visit(&mut |t| {
+            if matches!(t, Term::Lam { .. }) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Calls `f` on this term and every subterm, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        match self {
+            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+            Term::Pi { domain, codomain, .. } => {
+                domain.visit(f);
+                codomain.visit(f);
+            }
+            Term::Lam { domain, body, .. } => {
+                domain.visit(f);
+                body.visit(f);
+            }
+            Term::App { func, arg } => {
+                func.visit(f);
+                arg.visit(f);
+            }
+            Term::Let { annotation, bound, body, .. } => {
+                annotation.visit(f);
+                bound.visit(f);
+                body.visit(f);
+            }
+            Term::Sigma { first, second, .. } => {
+                first.visit(f);
+                second.visit(f);
+            }
+            Term::Pair { first, second, annotation } => {
+                first.visit(f);
+                second.visit(f);
+                annotation.visit(f);
+            }
+            Term::Fst(e) | Term::Snd(e) => e.visit(f),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                scrutinee.visit(f);
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+        }
+    }
+
+    /// Splits an application spine: `f a b c` becomes `(f, [a, b, c])`.
+    pub fn spine(&self) -> (&Term, Vec<&RcTerm>) {
+        let mut args = Vec::new();
+        let mut head = self;
+        while let Term::App { func, arg } = head {
+            args.push(arg);
+            head = func;
+        }
+        args.reverse();
+        (head, args)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::term_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn universe_display() {
+        assert_eq!(Universe::Star.to_string(), "*");
+        assert_eq!(Universe::Box.to_string(), "□");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        // λ x : Bool. x  has 3 nodes: Lam, BoolTy, Var.
+        let t = lam("x", bool_ty(), var("x"));
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn lambda_count_counts_abstractions() {
+        let t = lam("a", star(), lam("x", var("a"), var("x")));
+        assert_eq!(t.lambda_count(), 2);
+        assert_eq!(star().lambda_count(), 0);
+    }
+
+    #[test]
+    fn values_are_recognized() {
+        assert!(star().is_value());
+        assert!(lam("x", bool_ty(), var("x")).is_value());
+        assert!(bool_lit(true).is_value());
+        assert!(!app(lam("x", bool_ty(), var("x")), bool_lit(true)).is_value());
+        assert!(!var("x").is_value());
+    }
+
+    #[test]
+    fn as_sort_and_as_var() {
+        assert_eq!(star().as_sort(), Some(Universe::Star));
+        assert_eq!(var("q").as_var().map(|s| s.base_name()), Some("q".to_owned()));
+        assert_eq!(var("q").as_sort(), None);
+        assert!(star().is_star());
+        assert!(boxu().is_box());
+    }
+
+    #[test]
+    fn spine_splits_applications() {
+        let t = app(app(var("f"), var("a")), var("b"));
+        let (head, args) = t.spine();
+        assert!(matches!(head, Term::Var(_)));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn visit_reaches_every_node() {
+        let t = pair(bool_lit(true), bool_lit(false), sigma("x", bool_ty(), bool_ty()));
+        let mut n = 0;
+        t.visit(&mut |_| n += 1);
+        assert_eq!(n, t.size());
+    }
+}

@@ -1,0 +1,532 @@
+//! A surface-syntax parser for CC.
+//!
+//! The concrete syntax is the one produced by [`crate::pretty`]:
+//!
+//! ```text
+//! term  ::= \(x : term). term            (functions)
+//!         | Pi (x : term). term          (dependent function types)
+//!         | Sigma (x : term). term       (dependent pair types)
+//!         | let x = term : term in term  (dependent let)
+//!         | if term then term else term
+//!         | app -> term                  (non-dependent function type)
+//!         | app
+//! app   ::= proj proj …                  (left-associative application)
+//! proj  ::= fst proj | snd proj | atom
+//! atom  ::= x | * | BOX | Bool | true | false
+//!         | < term , term > as atom      (dependent pairs)
+//!         | ( term )
+//! ```
+//!
+//! Identifiers may contain `$`, so pretty-printed generated names re-parse.
+//! Pretty-printing a term and parsing the output yields an α-equivalent
+//! term; this round-trip property is exercised in the tests.
+
+use crate::ast::Term;
+use crate::builder::*;
+use cccc_util::span::Span;
+use cccc_util::symbol::Symbol;
+use std::fmt;
+
+/// A parse error with a message and the span where it occurred.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result type for the parser.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// Tokens of the surface syntax.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Token {
+    Ident(String),
+    Lambda,
+    Pi,
+    Sigma,
+    Let,
+    In,
+    As,
+    Fst,
+    Snd,
+    If,
+    Then,
+    Else,
+    True,
+    False,
+    BoolKw,
+    Star,
+    BoxKw,
+    LParen,
+    RParen,
+    LAngle,
+    RAngle,
+    Dot,
+    Colon,
+    Comma,
+    Equals,
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Lambda => write!(f, "`\\`"),
+            Token::Pi => write!(f, "`Pi`"),
+            Token::Sigma => write!(f, "`Sigma`"),
+            Token::Let => write!(f, "`let`"),
+            Token::In => write!(f, "`in`"),
+            Token::As => write!(f, "`as`"),
+            Token::Fst => write!(f, "`fst`"),
+            Token::Snd => write!(f, "`snd`"),
+            Token::If => write!(f, "`if`"),
+            Token::Then => write!(f, "`then`"),
+            Token::Else => write!(f, "`else`"),
+            Token::True => write!(f, "`true`"),
+            Token::False => write!(f, "`false`"),
+            Token::BoolKw => write!(f, "`Bool`"),
+            Token::Star => write!(f, "`*`"),
+            Token::BoxKw => write!(f, "`BOX`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LAngle => write!(f, "`<`"),
+            Token::RAngle => write!(f, "`>`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Equals => write!(f, "`=`"),
+            Token::Arrow => write!(f, "`->`"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '$' || c == '\''
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, Span)>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i as u32;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push((Token::LParen, Span::new(start, start + 1)));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '<' => {
+                tokens.push((Token::LAngle, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '>' => {
+                tokens.push((Token::RAngle, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '.' => {
+                tokens.push((Token::Dot, Span::new(start, start + 1)));
+                i += 1;
+            }
+            ':' => {
+                tokens.push((Token::Colon, Span::new(start, start + 1)));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Equals, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((Token::Star, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '\\' => {
+                tokens.push((Token::Lambda, Span::new(start, start + 1)));
+                i += 1;
+            }
+            '-' if i + 1 < chars.len() && chars[i + 1] == '>' => {
+                tokens.push((Token::Arrow, Span::new(start, start + 2)));
+                i += 2;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                let span = Span::new(start, j as u32);
+                let token = match word.as_str() {
+                    "Pi" | "forall" => Token::Pi,
+                    "Sigma" | "exists" => Token::Sigma,
+                    "lambda" | "fun" => Token::Lambda,
+                    "let" => Token::Let,
+                    "in" => Token::In,
+                    "as" => Token::As,
+                    "fst" => Token::Fst,
+                    "snd" => Token::Snd,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "Bool" => Token::BoolKw,
+                    "BOX" => Token::BoxKw,
+                    _ => Token::Ident(word),
+                };
+                tokens.push((token, span));
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    Span::new(start, start + 1),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, Span)>,
+    position: usize,
+    input_len: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position).map(|(t, _)| t)
+    }
+
+    fn current_span(&self) -> Span {
+        self.tokens
+            .get(self.position)
+            .map(|(_, s)| *s)
+            .unwrap_or(Span::new(self.input_len, self.input_len))
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.position).map(|(t, _)| t.clone());
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<()> {
+        let span = self.current_span();
+        match self.advance() {
+            Some(found) if found == expected => Ok(()),
+            Some(found) => Err(ParseError::new(format!("expected {expected}, found {found}"), span)),
+            None => Err(ParseError::new(format!("expected {expected}, found end of input"), span)),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        let span = self.current_span();
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            Some(found) => Err(ParseError::new(format!("expected identifier, found {found}"), span)),
+            None => Err(ParseError::new("expected identifier, found end of input", span)),
+        }
+    }
+
+    /// Parses a `(x : term)` binder group followed by `.` and a body.
+    fn binder_body(&mut self) -> Result<(Symbol, Term, Term)> {
+        self.expect(Token::LParen)?;
+        let name = self.expect_ident()?;
+        self.expect(Token::Colon)?;
+        let annotation = self.term()?;
+        self.expect(Token::RParen)?;
+        self.expect(Token::Dot)?;
+        let body = self.term()?;
+        Ok((Symbol::intern(&name), annotation, body))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some(Token::Lambda) => {
+                self.advance();
+                let (name, annotation, body) = self.binder_body()?;
+                Ok(lam_sym(name, annotation, body))
+            }
+            Some(Token::Pi) => {
+                self.advance();
+                let (name, annotation, body) = self.binder_body()?;
+                Ok(pi_sym(name, annotation, body))
+            }
+            Some(Token::Sigma) => {
+                self.advance();
+                let (name, annotation, body) = self.binder_body()?;
+                Ok(sigma_sym(name, annotation, body))
+            }
+            Some(Token::Let) => {
+                self.advance();
+                let name = self.expect_ident()?;
+                self.expect(Token::Equals)?;
+                let bound = self.term()?;
+                self.expect(Token::Colon)?;
+                let annotation = self.term()?;
+                self.expect(Token::In)?;
+                let body = self.term()?;
+                Ok(let_sym(Symbol::intern(&name), annotation, bound, body))
+            }
+            Some(Token::If) => {
+                self.advance();
+                let scrutinee = self.term()?;
+                self.expect(Token::Then)?;
+                let then_branch = self.term()?;
+                self.expect(Token::Else)?;
+                let else_branch = self.term()?;
+                Ok(ite(scrutinee, then_branch, else_branch))
+            }
+            _ => {
+                let left = self.application()?;
+                if matches!(self.peek(), Some(Token::Arrow)) {
+                    self.advance();
+                    let right = self.term()?;
+                    Ok(arrow(left, right))
+                } else {
+                    Ok(left)
+                }
+            }
+        }
+    }
+
+    fn application(&mut self) -> Result<Term> {
+        let mut result = self.projection()?;
+        while self.starts_atom() {
+            let argument = self.projection()?;
+            result = app(result, argument);
+        }
+        Ok(result)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Ident(_)
+                    | Token::Star
+                    | Token::BoxKw
+                    | Token::BoolKw
+                    | Token::True
+                    | Token::False
+                    | Token::LParen
+                    | Token::LAngle
+                    | Token::Fst
+                    | Token::Snd
+            )
+        )
+    }
+
+    fn projection(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some(Token::Fst) => {
+                self.advance();
+                Ok(fst(self.projection()?))
+            }
+            Some(Token::Snd) => {
+                self.advance();
+                Ok(snd(self.projection()?))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Term> {
+        let span = self.current_span();
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(var(&name)),
+            Some(Token::Star) => Ok(star()),
+            Some(Token::BoxKw) => Ok(boxu()),
+            Some(Token::BoolKw) => Ok(bool_ty()),
+            Some(Token::True) => Ok(tt()),
+            Some(Token::False) => Ok(ff()),
+            Some(Token::LParen) => {
+                let inner = self.term()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::LAngle) => {
+                let first = self.term()?;
+                self.expect(Token::Comma)?;
+                let second = self.term()?;
+                self.expect(Token::RAngle)?;
+                self.expect(Token::As)?;
+                let annotation = self.atom()?;
+                Ok(pair(first, second, annotation))
+            }
+            Some(found) => Err(ParseError::new(format!("expected a term, found {found}"), span)),
+            None => Err(ParseError::new("expected a term, found end of input", span)),
+        }
+    }
+}
+
+/// Parses a complete CC term from `input`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input does not conform to the grammar
+/// or contains trailing tokens.
+pub fn parse_term(input: &str) -> Result<Term> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, position: 0, input_len: input.len() as u32 };
+    let term = parser.term()?;
+    if parser.position != parser.tokens.len() {
+        return Err(ParseError::new("unexpected trailing input", parser.current_span()));
+    }
+    Ok(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::term_to_string;
+    use crate::subst::alpha_eq;
+
+    fn round_trips(term: &Term) {
+        let printed = term_to_string(term);
+        let reparsed = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
+        assert!(
+            alpha_eq(term, &reparsed),
+            "round trip changed term:\n  original: {term}\n  reparsed: {reparsed}"
+        );
+    }
+
+    #[test]
+    fn parses_atoms() {
+        assert!(alpha_eq(&parse_term("x").unwrap(), &var("x")));
+        assert!(alpha_eq(&parse_term("*").unwrap(), &star()));
+        assert!(alpha_eq(&parse_term("Bool").unwrap(), &bool_ty()));
+        assert!(alpha_eq(&parse_term("true").unwrap(), &tt()));
+        assert!(alpha_eq(&parse_term("false").unwrap(), &ff()));
+    }
+
+    #[test]
+    fn parses_lambda_all_spellings() {
+        let expected = lam("x", bool_ty(), var("x"));
+        assert!(alpha_eq(&parse_term("\\(x : Bool). x").unwrap(), &expected));
+        assert!(alpha_eq(&parse_term("lambda (x : Bool). x").unwrap(), &expected));
+        assert!(alpha_eq(&parse_term("fun (x : Bool). x").unwrap(), &expected));
+    }
+
+    #[test]
+    fn parses_pi_and_arrow_sugar() {
+        let dependent = parse_term("Pi (A : *). A").unwrap();
+        assert!(alpha_eq(&dependent, &pi("A", star(), var("A"))));
+        let sugar = parse_term("Bool -> Bool").unwrap();
+        match sugar {
+            Term::Pi { domain, codomain, .. } => {
+                assert!(alpha_eq(&domain, &bool_ty()));
+                assert!(alpha_eq(&codomain, &bool_ty()));
+            }
+            other => panic!("expected Pi, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arrow_is_right_associative() {
+        let t = parse_term("Bool -> Bool -> Bool").unwrap();
+        match t {
+            Term::Pi { codomain, .. } => assert!(matches!(&*codomain, Term::Pi { .. })),
+            _ => panic!("expected Pi"),
+        }
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let t = parse_term("f a b").unwrap();
+        assert!(alpha_eq(&t, &app(app(var("f"), var("a")), var("b"))));
+    }
+
+    #[test]
+    fn parses_let_if_pair_projections() {
+        let t = parse_term("let x = true : Bool in if x then false else true").unwrap();
+        assert!(alpha_eq(
+            &t,
+            &let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()))
+        ));
+        let p = parse_term("<true, false> as (Sigma (x : Bool). Bool)").unwrap();
+        assert!(alpha_eq(&p, &pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()))));
+        assert!(alpha_eq(&parse_term("fst p").unwrap(), &fst(var("p"))));
+        assert!(alpha_eq(&parse_term("snd (fst p)").unwrap(), &snd(fst(var("p")))));
+    }
+
+    #[test]
+    fn parses_polymorphic_identity() {
+        let t = parse_term("\\(A : *). \\(x : A). x").unwrap();
+        assert!(alpha_eq(&t, &crate::prelude::poly_id()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("(x").is_err());
+        assert!(parse_term("x )").is_err());
+        assert!(parse_term("let x = in y").is_err());
+        assert!(parse_term("#!?").is_err());
+        assert!(parse_term("if true then false").is_err());
+    }
+
+    #[test]
+    fn error_messages_mention_position() {
+        let err = parse_term("(x").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn corpus_round_trips_through_pretty_printer() {
+        for entry in crate::prelude::corpus() {
+            round_trips(&entry.term);
+        }
+    }
+
+    #[test]
+    fn generated_names_round_trip() {
+        // `arrow` introduces a generated binder whose printed form contains `$`.
+        round_trips(&arrow(bool_ty(), bool_ty()));
+    }
+
+    #[test]
+    fn deeply_nested_terms_round_trip() {
+        let mut t = var("x");
+        for _ in 0..30 {
+            t = app(lam("x", bool_ty(), t.clone()), tt());
+        }
+        round_trips(&t);
+    }
+}

@@ -1,0 +1,567 @@
+//! Standard CC terms and the program corpus used throughout the test suite
+//! and benchmarks.
+//!
+//! The corpus plays the role of the paper's informal examples: the
+//! polymorphic identity function of §3, `False = Π A:⋆. A` of §4.1,
+//! refinement-style Σ types of §2, and Church-encoded data. Every term in
+//! [`corpus`] is closed and well-typed; every term in [`ground_corpus`]
+//! additionally has the ground type `Bool` and evaluates to a literal, which
+//! is what Theorem 5.7 (correctness of separate compilation) observes.
+
+use crate::ast::Term;
+use crate::builder::*;
+
+/// `False`, encoded as `Π A : ⋆. A` (§4.1 of the paper).
+pub fn false_ty() -> Term {
+    pi("A", star(), var("A"))
+}
+
+/// `True`, encoded as `Π A : ⋆. A → A`.
+pub fn true_ty() -> Term {
+    pi("A", star(), pi("x", var("A"), var("A")))
+}
+
+/// The canonical inhabitant of [`true_ty`]: the polymorphic identity
+/// function `λ A : ⋆. λ x : A. x`.
+pub fn poly_id() -> Term {
+    lam("A", star(), lam("x", var("A"), var("x")))
+}
+
+/// The type of the polymorphic identity function, `Π A : ⋆. Π x : A. A`.
+pub fn poly_id_ty() -> Term {
+    pi("A", star(), pi("x", var("A"), var("A")))
+}
+
+/// Polymorphic constant function `λ A : ⋆. λ B : ⋆. λ x : A. λ y : B. x`.
+pub fn poly_const() -> Term {
+    lam(
+        "A",
+        star(),
+        lam("B", star(), lam("x", var("A"), lam("y", var("B"), var("x")))),
+    )
+}
+
+/// Polymorphic function composition
+/// `λ A B C : ⋆. λ f : B → C. λ g : A → B. λ x : A. f (g x)`.
+pub fn poly_compose() -> Term {
+    lam(
+        "A",
+        star(),
+        lam(
+            "B",
+            star(),
+            lam(
+                "C",
+                star(),
+                lam(
+                    "f",
+                    arrow(var("B"), var("C")),
+                    lam(
+                        "g",
+                        arrow(var("A"), var("B")),
+                        lam("x", var("A"), app(var("f"), app(var("g"), var("x")))),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// `λ A : ⋆. λ f : A → A. λ x : A. f (f x)` — applies a function twice.
+pub fn apply_twice() -> Term {
+    lam(
+        "A",
+        star(),
+        lam(
+            "f",
+            arrow(var("A"), var("A")),
+            lam("x", var("A"), app(var("f"), app(var("f"), var("x")))),
+        ),
+    )
+}
+
+/// Boolean negation on the ground type, `λ b : Bool. if b then false else true`.
+pub fn not_fn() -> Term {
+    lam("b", bool_ty(), ite(var("b"), ff(), tt()))
+}
+
+/// Boolean conjunction on the ground type.
+pub fn and_fn() -> Term {
+    lam("a", bool_ty(), lam("b", bool_ty(), ite(var("a"), var("b"), ff())))
+}
+
+/// Boolean disjunction on the ground type.
+pub fn or_fn() -> Term {
+    lam("a", bool_ty(), lam("b", bool_ty(), ite(var("a"), tt(), var("b"))))
+}
+
+/// Boolean exclusive or on the ground type.
+pub fn xor_fn() -> Term {
+    lam(
+        "a",
+        bool_ty(),
+        lam(
+            "b",
+            bool_ty(),
+            ite(var("a"), ite(var("b"), ff(), tt()), var("b")),
+        ),
+    )
+}
+
+/// The type of Church numerals, `Π A : ⋆. (A → A) → A → A`.
+/// Impredicativity of `⋆` is what makes this a small type.
+pub fn church_nat_ty() -> Term {
+    pi(
+        "A",
+        star(),
+        arrow(arrow(var("A"), var("A")), arrow(var("A"), var("A"))),
+    )
+}
+
+/// The Church numeral for `n`.
+pub fn church_numeral(n: usize) -> Term {
+    let mut body = var("x");
+    for _ in 0..n {
+        body = app(var("f"), body);
+    }
+    lam(
+        "A",
+        star(),
+        lam("f", arrow(var("A"), var("A")), lam("x", var("A"), body)),
+    )
+}
+
+/// Successor on Church numerals.
+pub fn church_succ() -> Term {
+    lam(
+        "n",
+        church_nat_ty(),
+        lam(
+            "A",
+            star(),
+            lam(
+                "f",
+                arrow(var("A"), var("A")),
+                lam(
+                    "x",
+                    var("A"),
+                    app(
+                        var("f"),
+                        app(app(app(var("n"), var("A")), var("f")), var("x")),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Addition on Church numerals.
+pub fn church_add() -> Term {
+    lam(
+        "m",
+        church_nat_ty(),
+        lam(
+            "n",
+            church_nat_ty(),
+            lam(
+                "A",
+                star(),
+                lam(
+                    "f",
+                    arrow(var("A"), var("A")),
+                    lam(
+                        "x",
+                        var("A"),
+                        app(
+                            app(app(var("m"), var("A")), var("f")),
+                            app(app(app(var("n"), var("A")), var("f")), var("x")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Multiplication on Church numerals.
+pub fn church_mul() -> Term {
+    lam(
+        "m",
+        church_nat_ty(),
+        lam(
+            "n",
+            church_nat_ty(),
+            lam(
+                "A",
+                star(),
+                lam(
+                    "f",
+                    arrow(var("A"), var("A")),
+                    app(app(var("m"), var("A")), app(app(var("n"), var("A")), var("f"))),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Tests whether a Church numeral is even, producing a ground `Bool` by
+/// iterating boolean negation starting from `true`.
+pub fn church_is_even() -> Term {
+    lam(
+        "n",
+        church_nat_ty(),
+        app(app(app(var("n"), bool_ty()), not_fn()), tt()),
+    )
+}
+
+/// The type of Church booleans, `Π A : ⋆. A → A → A`.
+pub fn church_bool_ty() -> Term {
+    pi("A", star(), arrow(var("A"), arrow(var("A"), var("A"))))
+}
+
+/// Church-encoded `true`.
+pub fn church_true() -> Term {
+    lam("A", star(), lam("t", var("A"), lam("f", var("A"), var("t"))))
+}
+
+/// Church-encoded `false`.
+pub fn church_false() -> Term {
+    lam("A", star(), lam("t", var("A"), lam("f", var("A"), var("f"))))
+}
+
+/// Converts a Church boolean to the ground type `Bool`.
+pub fn church_bool_to_ground() -> Term {
+    lam(
+        "b",
+        church_bool_ty(),
+        app(app(app(var("b"), bool_ty()), tt()), ff()),
+    )
+}
+
+/// A refinement-style predicate on booleans: `IsTrue b` is inhabited exactly
+/// when `b` is `true`. `λ b : Bool. if b then True else False`, where `True`
+/// and `False` are the impredicative encodings above.
+pub fn is_true_predicate() -> Term {
+    lam("b", bool_ty(), ite(var("b"), true_ty(), false_ty()))
+}
+
+/// The refinement type `Σ b : Bool. IsTrue b` of booleans that are provably
+/// `true` (§2's "positive numbers" example transported to booleans).
+pub fn refined_true_ty() -> Term {
+    sigma("b", bool_ty(), app(is_true_predicate(), var("b")))
+}
+
+/// The canonical inhabitant of [`refined_true_ty`]: `⟨true, id⟩`.
+pub fn refined_true_witness() -> Term {
+    pair(tt(), poly_id(), refined_true_ty())
+}
+
+/// Polymorphic pair swap on non-dependent products:
+/// `λ A B : ⋆. λ p : A × B. ⟨snd p, fst p⟩ as B × A`.
+pub fn poly_swap() -> Term {
+    lam(
+        "A",
+        star(),
+        lam(
+            "B",
+            star(),
+            lam(
+                "p",
+                product(var("A"), var("B")),
+                pair(snd(var("p")), fst(var("p")), product(var("B"), var("A"))),
+            ),
+        ),
+    )
+}
+
+/// A named, closed, well-typed CC program used by tests and benchmarks.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Human-readable name of the program.
+    pub name: &'static str,
+    /// The program itself (closed and well-typed).
+    pub term: Term,
+}
+
+/// The corpus of closed well-typed CC programs exercised by the integration
+/// tests, property tests, and benchmarks. Every entry type checks in the
+/// empty environment.
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry { name: "poly_id", term: poly_id() },
+        CorpusEntry { name: "poly_const", term: poly_const() },
+        CorpusEntry { name: "poly_compose", term: poly_compose() },
+        CorpusEntry { name: "apply_twice", term: apply_twice() },
+        CorpusEntry { name: "not", term: not_fn() },
+        CorpusEntry { name: "and", term: and_fn() },
+        CorpusEntry { name: "or", term: or_fn() },
+        CorpusEntry { name: "xor", term: xor_fn() },
+        CorpusEntry { name: "church_zero", term: church_numeral(0) },
+        CorpusEntry { name: "church_three", term: church_numeral(3) },
+        CorpusEntry { name: "church_succ", term: church_succ() },
+        CorpusEntry { name: "church_add", term: church_add() },
+        CorpusEntry { name: "church_mul", term: church_mul() },
+        CorpusEntry { name: "church_is_even", term: church_is_even() },
+        CorpusEntry { name: "church_true", term: church_true() },
+        CorpusEntry { name: "church_false", term: church_false() },
+        CorpusEntry { name: "church_bool_to_ground", term: church_bool_to_ground() },
+        CorpusEntry { name: "is_true_predicate", term: is_true_predicate() },
+        CorpusEntry { name: "refined_true_witness", term: refined_true_witness() },
+        CorpusEntry { name: "poly_swap", term: poly_swap() },
+        CorpusEntry { name: "false_ty", term: false_ty() },
+        CorpusEntry { name: "church_nat_ty", term: church_nat_ty() },
+        CorpusEntry { name: "refined_true_ty", term: refined_true_ty() },
+        CorpusEntry {
+            name: "id_applied_to_bool",
+            term: app(app(poly_id(), bool_ty()), tt()),
+        },
+        CorpusEntry {
+            name: "id_self_application",
+            term: app(app(poly_id(), poly_id_ty()), poly_id()),
+        },
+        CorpusEntry {
+            name: "compose_not_not",
+            term: apps(
+                poly_compose(),
+                vec![bool_ty(), bool_ty(), bool_ty(), not_fn(), not_fn()],
+            ),
+        },
+        CorpusEntry {
+            name: "twice_not_true",
+            term: app(app(app(apply_twice(), bool_ty()), not_fn()), tt()),
+        },
+        CorpusEntry {
+            name: "let_bound_identity",
+            term: let_(
+                "id",
+                poly_id_ty(),
+                poly_id(),
+                app(app(var("id"), bool_ty()), ff()),
+            ),
+        },
+        CorpusEntry {
+            name: "nested_let_pair",
+            term: let_(
+                "p",
+                sigma("x", bool_ty(), bool_ty()),
+                pair(tt(), ff(), sigma("x", bool_ty(), bool_ty())),
+                ite(fst(var("p")), snd(var("p")), tt()),
+            ),
+        },
+        CorpusEntry {
+            name: "dependent_pair_of_type_and_value",
+            term: pair(bool_ty(), tt(), sigma("A", star(), var("A"))),
+        },
+        CorpusEntry {
+            name: "swap_bool_pair",
+            term: apps(
+                poly_swap(),
+                vec![
+                    bool_ty(),
+                    bool_ty(),
+                    pair(tt(), ff(), product(bool_ty(), bool_ty())),
+                ],
+            ),
+        },
+        CorpusEntry {
+            name: "add_two_three_is_even",
+            term: app(
+                church_is_even(),
+                app(app(church_add(), church_numeral(2)), church_numeral(3)),
+            ),
+        },
+        CorpusEntry {
+            name: "mul_two_three_is_even",
+            term: app(
+                church_is_even(),
+                app(app(church_mul(), church_numeral(2)), church_numeral(3)),
+            ),
+        },
+    ]
+}
+
+/// The subset of programs whose type is the ground type `Bool`; these are
+/// the observations used for the separate-compilation correctness theorem.
+/// Each entry is paired with the boolean value it evaluates to.
+pub fn ground_corpus() -> Vec<(CorpusEntry, bool)> {
+    vec![
+        (CorpusEntry { name: "id_applied_to_bool", term: app(app(poly_id(), bool_ty()), tt()) }, true),
+        (CorpusEntry { name: "not_true", term: app(not_fn(), tt()) }, false),
+        (CorpusEntry { name: "not_false", term: app(not_fn(), ff()) }, true),
+        (CorpusEntry { name: "and_true_false", term: app(app(and_fn(), tt()), ff()) }, false),
+        (CorpusEntry { name: "or_false_true", term: app(app(or_fn(), ff()), tt()) }, true),
+        (CorpusEntry { name: "xor_true_true", term: app(app(xor_fn(), tt()), tt()) }, false),
+        (
+            CorpusEntry {
+                name: "twice_not_true",
+                term: app(app(app(apply_twice(), bool_ty()), not_fn()), tt()),
+            },
+            true,
+        ),
+        (
+            CorpusEntry {
+                name: "four_is_even",
+                term: app(church_is_even(), church_numeral(4)),
+            },
+            true,
+        ),
+        (
+            CorpusEntry {
+                name: "five_is_even",
+                term: app(church_is_even(), church_numeral(5)),
+            },
+            false,
+        ),
+        (
+            CorpusEntry {
+                name: "add_two_three_is_even",
+                term: app(
+                    church_is_even(),
+                    app(app(church_add(), church_numeral(2)), church_numeral(3)),
+                ),
+            },
+            false,
+        ),
+        (
+            CorpusEntry {
+                name: "mul_two_three_is_even",
+                term: app(
+                    church_is_even(),
+                    app(app(church_mul(), church_numeral(2)), church_numeral(3)),
+                ),
+            },
+            true,
+        ),
+        (
+            CorpusEntry {
+                name: "church_true_to_ground",
+                term: app(church_bool_to_ground(), church_true()),
+            },
+            true,
+        ),
+        (
+            CorpusEntry {
+                name: "church_false_to_ground",
+                term: app(church_bool_to_ground(), church_false()),
+            },
+            false,
+        ),
+        (
+            CorpusEntry {
+                name: "refined_witness_projection",
+                term: fst(refined_true_witness()),
+            },
+            true,
+        ),
+        (
+            CorpusEntry {
+                name: "let_bound_identity",
+                term: let_(
+                    "id",
+                    poly_id_ty(),
+                    poly_id(),
+                    app(app(var("id"), bool_ty()), ff()),
+                ),
+            },
+            false,
+        ),
+        (
+            CorpusEntry {
+                name: "swap_then_project",
+                term: fst(apps(
+                    poly_swap(),
+                    vec![
+                        bool_ty(),
+                        bool_ty(),
+                        pair(tt(), ff(), product(bool_ty(), bool_ty())),
+                    ],
+                )),
+            },
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::equiv::definitionally_equal;
+    use crate::reduce::normalize_default;
+    use crate::subst::alpha_eq;
+    use crate::typecheck::infer;
+
+    #[test]
+    fn poly_id_has_expected_type() {
+        let ty = infer(&Env::new(), &poly_id()).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &poly_id_ty()));
+    }
+
+    #[test]
+    fn false_ty_is_a_small_type() {
+        let ty = infer(&Env::new(), &false_ty()).unwrap();
+        assert!(ty.is_star());
+    }
+
+    #[test]
+    fn every_corpus_entry_type_checks() {
+        for entry in corpus() {
+            assert!(
+                infer(&Env::new(), &entry.term).is_ok(),
+                "corpus entry `{}` failed to type check",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_reasonably_large_and_named_uniquely() {
+        let entries = corpus();
+        assert!(entries.len() >= 30);
+        let mut names: Vec<_> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "corpus names must be unique");
+    }
+
+    #[test]
+    fn ground_corpus_entries_have_type_bool_and_expected_value() {
+        for (entry, expected) in ground_corpus() {
+            let ty = infer(&Env::new(), &entry.term)
+                .unwrap_or_else(|e| panic!("`{}` ill-typed: {e}", entry.name));
+            assert!(
+                definitionally_equal(&Env::new(), &ty, &bool_ty()),
+                "`{}` does not have type Bool",
+                entry.name
+            );
+            let value = normalize_default(&Env::new(), &entry.term);
+            assert!(
+                alpha_eq(&value, &bool_lit(expected)),
+                "`{}` evaluated to {value} but {expected} was expected",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn church_arithmetic_normalizes_correctly() {
+        let env = Env::new();
+        let two_plus_three = app(app(church_add(), church_numeral(2)), church_numeral(3));
+        assert!(definitionally_equal(&env, &two_plus_three, &church_numeral(5)));
+        let two_times_three = app(app(church_mul(), church_numeral(2)), church_numeral(3));
+        assert!(definitionally_equal(&env, &two_times_three, &church_numeral(6)));
+        let succ_four = app(church_succ(), church_numeral(4));
+        assert!(definitionally_equal(&env, &succ_four, &church_numeral(5)));
+    }
+
+    #[test]
+    fn refined_witness_type_checks_at_refinement_type() {
+        use crate::typecheck::check;
+        assert!(check(&Env::new(), &refined_true_witness(), &refined_true_ty()).is_ok());
+    }
+
+    #[test]
+    fn church_numeral_size_grows_linearly() {
+        assert!(church_numeral(10).size() > church_numeral(2).size());
+    }
+}

@@ -1,0 +1,296 @@
+//! A cost-instrumented evaluator for CC.
+//!
+//! Counts how many times each reduction rule fires while normalizing a term.
+//! Together with [`cccc-target`'s profiler](https://docs.rs/cccc-target)
+//! this quantifies the dynamic overhead introduced by closure conversion
+//! (§7 of the paper): every source β-step becomes a closure application plus
+//! one environment construction and one projection per captured variable.
+
+use crate::ast::Term;
+use crate::env::Env;
+use crate::reduce::ReduceError;
+use crate::subst::subst;
+use cccc_util::fuel::Fuel;
+use std::fmt;
+use std::ops::Add;
+
+/// Counters for the CC reduction rules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// β-steps: `(λ x : A. e1) e2 ⊲ e1[e2/x]`.
+    pub beta: usize,
+    /// ζ-steps: `let x = e in e1 ⊲ e1[e/x]`.
+    pub zeta: usize,
+    /// δ-steps: unfolding a defined variable.
+    pub delta: usize,
+    /// π-steps: `fst`/`snd` of a pair.
+    pub projection: usize,
+    /// `if` on a literal.
+    pub conditional: usize,
+    /// Pair values built while producing the result (an allocation proxy).
+    pub pairs_built: usize,
+    /// λ-values encountered as evaluation results (an allocation proxy for
+    /// the closures an implementation would create).
+    pub functions_built: usize,
+}
+
+impl Cost {
+    /// Total number of reduction steps of any kind.
+    pub fn total_steps(&self) -> usize {
+        self.beta + self.zeta + self.delta + self.projection + self.conditional
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            beta: self.beta + other.beta,
+            zeta: self.zeta + other.zeta,
+            delta: self.delta + other.delta,
+            projection: self.projection + other.projection,
+            conditional: self.conditional + other.conditional,
+            pairs_built: self.pairs_built + other.pairs_built,
+            functions_built: self.functions_built + other.functions_built,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "β={} ζ={} δ={} π={} if={} pairs={} functions={} (total {})",
+            self.beta,
+            self.zeta,
+            self.delta,
+            self.projection,
+            self.conditional,
+            self.pairs_built,
+            self.functions_built,
+            self.total_steps()
+        )
+    }
+}
+
+/// Normalizes `term` under `env`, returning the value together with the cost
+/// counters accumulated along the way.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn evaluate_with_cost(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+) -> Result<(Term, Cost), ReduceError> {
+    let mut cost = Cost::default();
+    let value = normalize(env, term, fuel, &mut cost)?;
+    Ok((value, cost))
+}
+
+/// Normalizes with the default fuel budget.
+///
+/// # Panics
+///
+/// Panics if the default budget is exhausted.
+pub fn evaluate_with_cost_default(env: &Env, term: &Term) -> (Term, Cost) {
+    let mut fuel = Fuel::default();
+    evaluate_with_cost(env, term, &mut fuel).expect("instrumented evaluation exhausted fuel")
+}
+
+fn whnf(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term, ReduceError> {
+    let mut current = term.clone();
+    loop {
+        if !fuel.tick() {
+            return Err(ReduceError::OutOfFuel);
+        }
+        match current {
+            Term::Var(x) => match env.lookup_definition(x) {
+                Some(definition) => {
+                    cost.delta += 1;
+                    current = (**definition).clone();
+                }
+                None => return Ok(Term::Var(x)),
+            },
+            Term::Let { binder, bound, body, .. } => {
+                cost.zeta += 1;
+                current = subst(&body, binder, &bound);
+            }
+            Term::App { func, arg } => {
+                let func_whnf = whnf(env, &func, fuel, cost)?;
+                match func_whnf {
+                    Term::Lam { binder, body, .. } => {
+                        cost.beta += 1;
+                        current = subst(&body, binder, &arg);
+                    }
+                    other => return Ok(Term::App { func: other.rc(), arg }),
+                }
+            }
+            Term::Fst(e) => {
+                let inner = whnf(env, &e, fuel, cost)?;
+                match inner {
+                    Term::Pair { first, .. } => {
+                        cost.projection += 1;
+                        current = (*first).clone();
+                    }
+                    other => return Ok(Term::Fst(other.rc())),
+                }
+            }
+            Term::Snd(e) => {
+                let inner = whnf(env, &e, fuel, cost)?;
+                match inner {
+                    Term::Pair { second, .. } => {
+                        cost.projection += 1;
+                        current = (*second).clone();
+                    }
+                    other => return Ok(Term::Snd(other.rc())),
+                }
+            }
+            Term::If { scrutinee, then_branch, else_branch } => {
+                let s = whnf(env, &scrutinee, fuel, cost)?;
+                match s {
+                    Term::BoolLit(true) => {
+                        cost.conditional += 1;
+                        current = (*then_branch).clone();
+                    }
+                    Term::BoolLit(false) => {
+                        cost.conditional += 1;
+                        current = (*else_branch).clone();
+                    }
+                    other => {
+                        return Ok(Term::If { scrutinee: other.rc(), then_branch, else_branch })
+                    }
+                }
+            }
+            done => return Ok(done),
+        }
+    }
+}
+
+fn normalize(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term, ReduceError> {
+    let head = whnf(env, term, fuel, cost)?;
+    Ok(match head {
+        Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => head,
+        Term::Pi { binder, domain, codomain } => Term::Pi {
+            binder,
+            domain: normalize(env, &domain, fuel, cost)?.rc(),
+            codomain: normalize(env, &codomain, fuel, cost)?.rc(),
+        },
+        Term::Lam { binder, domain, body } => {
+            cost.functions_built += 1;
+            Term::Lam {
+                binder,
+                domain: normalize(env, &domain, fuel, cost)?.rc(),
+                body: normalize(env, &body, fuel, cost)?.rc(),
+            }
+        }
+        Term::App { func, arg } => Term::App {
+            func: normalize(env, &func, fuel, cost)?.rc(),
+            arg: normalize(env, &arg, fuel, cost)?.rc(),
+        },
+        Term::Let { .. } => unreachable!("whnf eliminates let"),
+        Term::Sigma { binder, first, second } => Term::Sigma {
+            binder,
+            first: normalize(env, &first, fuel, cost)?.rc(),
+            second: normalize(env, &second, fuel, cost)?.rc(),
+        },
+        Term::Pair { first, second, annotation } => {
+            cost.pairs_built += 1;
+            Term::Pair {
+                first: normalize(env, &first, fuel, cost)?.rc(),
+                second: normalize(env, &second, fuel, cost)?.rc(),
+                annotation: normalize(env, &annotation, fuel, cost)?.rc(),
+            }
+        }
+        Term::Fst(e) => Term::Fst(normalize(env, &e, fuel, cost)?.rc()),
+        Term::Snd(e) => Term::Snd(normalize(env, &e, fuel, cost)?.rc()),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: normalize(env, &scrutinee, fuel, cost)?.rc(),
+            then_branch: normalize(env, &then_branch, fuel, cost)?.rc(),
+            else_branch: normalize(env, &else_branch, fuel, cost)?.rc(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::prelude;
+    use crate::subst::alpha_eq;
+
+    fn run(term: &Term) -> (Term, Cost) {
+        evaluate_with_cost_default(&Env::new(), term)
+    }
+
+    #[test]
+    fn beta_steps_are_counted() {
+        let (value, cost) = run(&app(lam("x", bool_ty(), var("x")), tt()));
+        assert!(alpha_eq(&value, &tt()));
+        assert_eq!(cost.beta, 1);
+        assert_eq!(cost.total_steps(), 1);
+    }
+
+    #[test]
+    fn all_rule_counters_fire() {
+        let term = let_(
+            "p",
+            sigma("x", bool_ty(), bool_ty()),
+            pair(tt(), ff(), sigma("x", bool_ty(), bool_ty())),
+            ite(fst(var("p")), snd(var("p")), tt()),
+        );
+        let (value, cost) = run(&term);
+        assert!(alpha_eq(&value, &ff()));
+        assert_eq!(cost.zeta, 1);
+        assert_eq!(cost.projection, 2);
+        assert_eq!(cost.conditional, 1);
+        assert_eq!(cost.beta, 0);
+    }
+
+    #[test]
+    fn delta_steps_count_definition_unfolding() {
+        let env = Env::new().with_definition(
+            cccc_util::Symbol::intern("flag"),
+            tt(),
+            bool_ty(),
+        );
+        let mut fuel = Fuel::default();
+        let (_, cost) = evaluate_with_cost(&env, &ite(var("flag"), ff(), tt()), &mut fuel).unwrap();
+        assert_eq!(cost.delta, 1);
+        assert_eq!(cost.conditional, 1);
+    }
+
+    #[test]
+    fn instrumented_and_plain_normalization_agree() {
+        for (entry, expected) in prelude::ground_corpus() {
+            let (value, cost) = run(&entry.term);
+            assert!(alpha_eq(&value, &bool_lit(expected)), "{}", entry.name);
+            assert!(cost.total_steps() > 0, "{} took no steps", entry.name);
+            let plain = crate::reduce::normalize_default(&Env::new(), &entry.term);
+            assert!(alpha_eq(&plain, &value));
+        }
+    }
+
+    #[test]
+    fn cost_display_and_addition() {
+        let (_, a) = run(&app(prelude::not_fn(), tt()));
+        let (_, b) = run(&app(prelude::not_fn(), ff()));
+        let sum = a + b;
+        assert_eq!(sum.beta, a.beta + b.beta);
+        assert!(sum.to_string().contains("β="));
+    }
+
+    #[test]
+    fn church_multiplication_costs_grow_with_operands() {
+        let program = |n: usize| {
+            app(
+                prelude::church_is_even(),
+                app(app(prelude::church_mul(), prelude::church_numeral(n)), prelude::church_numeral(n)),
+            )
+        };
+        let (_, small) = run(&program(2));
+        let (_, large) = run(&program(5));
+        assert!(large.total_steps() > small.total_steps());
+    }
+}

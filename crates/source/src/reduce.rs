@@ -1,0 +1,402 @@
+//! Reduction for CC (Figure 2).
+//!
+//! The paper defines a small-step relation `Γ ⊢ e ⊲ e'` with five rules —
+//! δ (unfold a defined variable), ζ (dependent let), β (application), π1 and
+//! π2 (projections) — plus its reflexive, transitive, contextual closure
+//! `⊲*`. We additionally reduce `if` on boolean literals, matching the ground
+//! types added in §5.2.
+//!
+//! This module provides:
+//!
+//! * [`step`] — one leftmost-outermost reduction step (the `⊲` relation),
+//! * [`reduce_steps`] — iterated stepping with a step bound,
+//! * [`whnf`] — weak-head normalization (what the equivalence checker and
+//!   type checker need),
+//! * [`normalize`] — full normalization to β/δ/ζ/π-normal form,
+//! * [`eval`] — evaluation of closed programs to values (Theorem 4.8 / 5.7
+//!   use this to observe results).
+
+use crate::ast::{RcTerm, Term};
+use crate::env::Env;
+use crate::subst::subst;
+use cccc_util::fuel::Fuel;
+use std::fmt;
+
+/// Errors produced by the reduction engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceError {
+    /// The fuel budget was exhausted before a normal form was reached.
+    /// On well-typed terms this indicates the budget was too small; on
+    /// ill-typed terms it may indicate divergence.
+    OutOfFuel,
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::OutOfFuel => write!(f, "reduction fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// Performs one reduction step in leftmost-outermost order, or returns
+/// `None` if the term is in normal form with respect to `env`.
+pub fn step(env: &Env, term: &Term) -> Option<Term> {
+    match term {
+        // ⊲δ: unfold a variable that has a definition in Γ.
+        Term::Var(x) => env.lookup_definition(*x).map(|def| (**def).clone()),
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => None,
+        // ⊲ζ: let x = e : A in e1  ⊲  e1[e/x]
+        Term::Let { binder, bound, body, .. } => Some(subst(body, *binder, bound)),
+        Term::App { func, arg } => {
+            if let Term::Lam { binder, body, .. } = &**func {
+                // ⊲β
+                return Some(subst(body, *binder, arg));
+            }
+            if let Some(stepped) = step(env, func) {
+                return Some(Term::App { func: stepped.rc(), arg: arg.clone() });
+            }
+            step(env, arg).map(|stepped| Term::App { func: func.clone(), arg: stepped.rc() })
+        }
+        Term::Fst(e) => {
+            if let Term::Pair { first, .. } = &**e {
+                // ⊲π1
+                return Some((**first).clone());
+            }
+            step(env, e).map(|stepped| Term::Fst(stepped.rc()))
+        }
+        Term::Snd(e) => {
+            if let Term::Pair { second, .. } = &**e {
+                // ⊲π2
+                return Some((**second).clone());
+            }
+            step(env, e).map(|stepped| Term::Snd(stepped.rc()))
+        }
+        Term::If { scrutinee, then_branch, else_branch } => {
+            if let Term::BoolLit(b) = &**scrutinee {
+                return Some(if *b { (**then_branch).clone() } else { (**else_branch).clone() });
+            }
+            if let Some(s) = step(env, scrutinee) {
+                return Some(Term::If {
+                    scrutinee: s.rc(),
+                    then_branch: then_branch.clone(),
+                    else_branch: else_branch.clone(),
+                });
+            }
+            if let Some(t) = step(env, then_branch) {
+                return Some(Term::If {
+                    scrutinee: scrutinee.clone(),
+                    then_branch: t.rc(),
+                    else_branch: else_branch.clone(),
+                });
+            }
+            step(env, else_branch).map(|e| Term::If {
+                scrutinee: scrutinee.clone(),
+                then_branch: then_branch.clone(),
+                else_branch: e.rc(),
+            })
+        }
+        Term::Lam { binder, domain, body } => {
+            if let Some(d) = step(env, domain) {
+                return Some(Term::Lam { binder: *binder, domain: d.rc(), body: body.clone() });
+            }
+            step(env, body).map(|b| Term::Lam { binder: *binder, domain: domain.clone(), body: b.rc() })
+        }
+        Term::Pi { binder, domain, codomain } => {
+            if let Some(d) = step(env, domain) {
+                return Some(Term::Pi { binder: *binder, domain: d.rc(), codomain: codomain.clone() });
+            }
+            step(env, codomain).map(|c| Term::Pi {
+                binder: *binder,
+                domain: domain.clone(),
+                codomain: c.rc(),
+            })
+        }
+        Term::Sigma { binder, first, second } => {
+            if let Some(a) = step(env, first) {
+                return Some(Term::Sigma { binder: *binder, first: a.rc(), second: second.clone() });
+            }
+            step(env, second).map(|b| Term::Sigma { binder: *binder, first: first.clone(), second: b.rc() })
+        }
+        Term::Pair { first, second, annotation } => {
+            if let Some(a) = step(env, first) {
+                return Some(Term::Pair {
+                    first: a.rc(),
+                    second: second.clone(),
+                    annotation: annotation.clone(),
+                });
+            }
+            if let Some(b) = step(env, second) {
+                return Some(Term::Pair {
+                    first: first.clone(),
+                    second: b.rc(),
+                    annotation: annotation.clone(),
+                });
+            }
+            step(env, annotation).map(|t| Term::Pair {
+                first: first.clone(),
+                second: second.clone(),
+                annotation: t.rc(),
+            })
+        }
+    }
+}
+
+/// Repeatedly applies [`step`] at most `max_steps` times; returns the final
+/// term and the number of steps actually taken.
+pub fn reduce_steps(env: &Env, term: &Term, max_steps: usize) -> (Term, usize) {
+    let mut current = term.clone();
+    for taken in 0..max_steps {
+        match step(env, &current) {
+            Some(next) => current = next,
+            None => return (current, taken),
+        }
+    }
+    (current, max_steps)
+}
+
+/// Reduces `term` to weak-head normal form under `env`.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn whnf(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    let mut current = term.clone();
+    loop {
+        if !fuel.tick() {
+            return Err(ReduceError::OutOfFuel);
+        }
+        match current {
+            Term::Var(x) => match env.lookup_definition(x) {
+                Some(def) => current = (**def).clone(),
+                None => return Ok(Term::Var(x)),
+            },
+            Term::Let { binder, bound, body, .. } => {
+                current = subst(&body, binder, &bound);
+            }
+            Term::App { func, arg } => {
+                let func_whnf = whnf(env, &func, fuel)?;
+                match func_whnf {
+                    Term::Lam { binder, body, .. } => {
+                        current = subst(&body, binder, &arg);
+                    }
+                    other => {
+                        return Ok(Term::App { func: other.rc(), arg });
+                    }
+                }
+            }
+            Term::Fst(e) => {
+                let inner = whnf(env, &e, fuel)?;
+                match inner {
+                    Term::Pair { first, .. } => current = (*first).clone(),
+                    other => return Ok(Term::Fst(other.rc())),
+                }
+            }
+            Term::Snd(e) => {
+                let inner = whnf(env, &e, fuel)?;
+                match inner {
+                    Term::Pair { second, .. } => current = (*second).clone(),
+                    other => return Ok(Term::Snd(other.rc())),
+                }
+            }
+            Term::If { scrutinee, then_branch, else_branch } => {
+                let s = whnf(env, &scrutinee, fuel)?;
+                match s {
+                    Term::BoolLit(true) => current = (*then_branch).clone(),
+                    Term::BoolLit(false) => current = (*else_branch).clone(),
+                    other => {
+                        return Ok(Term::If {
+                            scrutinee: other.rc(),
+                            then_branch,
+                            else_branch,
+                        })
+                    }
+                }
+            }
+            done => return Ok(done),
+        }
+    }
+}
+
+/// Fully normalizes `term` under `env`: weak-head normalizes, then recurses
+/// into all remaining subterms (including under binders).
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn normalize(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    let head = whnf(env, term, fuel)?;
+    let norm = |e: &RcTerm, fuel: &mut Fuel| -> Result<RcTerm, ReduceError> {
+        Ok(normalize(env, e, fuel)?.rc())
+    };
+    Ok(match head {
+        Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => head,
+        Term::Pi { binder, domain, codomain } => Term::Pi {
+            binder,
+            domain: norm(&domain, fuel)?,
+            codomain: norm(&codomain, fuel)?,
+        },
+        Term::Lam { binder, domain, body } => Term::Lam {
+            binder,
+            domain: norm(&domain, fuel)?,
+            body: norm(&body, fuel)?,
+        },
+        Term::App { func, arg } => Term::App { func: norm(&func, fuel)?, arg: norm(&arg, fuel)? },
+        Term::Let { .. } => unreachable!("whnf eliminates let"),
+        Term::Sigma { binder, first, second } => Term::Sigma {
+            binder,
+            first: norm(&first, fuel)?,
+            second: norm(&second, fuel)?,
+        },
+        Term::Pair { first, second, annotation } => Term::Pair {
+            first: norm(&first, fuel)?,
+            second: norm(&second, fuel)?,
+            annotation: norm(&annotation, fuel)?,
+        },
+        Term::Fst(e) => Term::Fst(norm(&e, fuel)?),
+        Term::Snd(e) => Term::Snd(norm(&e, fuel)?),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: norm(&scrutinee, fuel)?,
+            then_branch: norm(&then_branch, fuel)?,
+            else_branch: norm(&else_branch, fuel)?,
+        },
+    })
+}
+
+/// Normalizes with the default fuel budget.
+///
+/// # Panics
+///
+/// Panics if the default budget is exhausted; intended for tests and
+/// examples operating on well-typed terms.
+pub fn normalize_default(env: &Env, term: &Term) -> Term {
+    let mut fuel = Fuel::default();
+    normalize(env, term, &mut fuel).expect("normalization exhausted default fuel")
+}
+
+/// Evaluates a closed program to a value (Theorem 4.8's `e ⊲* v`).
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn eval(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    normalize(env, term, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::subst::alpha_eq;
+    use cccc_util::symbol::Symbol;
+
+    fn nf(t: &Term) -> Term {
+        normalize_default(&Env::new(), t)
+    }
+
+    #[test]
+    fn beta_reduction() {
+        let t = app(lam("x", bool_ty(), var("x")), tt());
+        assert!(alpha_eq(&nf(&t), &tt()));
+    }
+
+    #[test]
+    fn zeta_reduction() {
+        let t = let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()));
+        assert!(alpha_eq(&nf(&t), &ff()));
+    }
+
+    #[test]
+    fn delta_reduction_uses_environment() {
+        let env = Env::new().with_definition(Symbol::intern("b"), tt(), bool_ty());
+        let mut fuel = Fuel::default();
+        let result = normalize(&env, &var("b"), &mut fuel).unwrap();
+        assert!(alpha_eq(&result, &tt()));
+    }
+
+    #[test]
+    fn projections_reduce() {
+        let p = pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()));
+        assert!(alpha_eq(&nf(&fst(p.clone())), &tt()));
+        assert!(alpha_eq(&nf(&snd(p)), &ff()));
+    }
+
+    #[test]
+    fn if_reduces_on_literals() {
+        assert!(alpha_eq(&nf(&ite(tt(), ff(), tt())), &ff()));
+        assert!(alpha_eq(&nf(&ite(ff(), ff(), tt())), &tt()));
+    }
+
+    #[test]
+    fn nested_beta_normalizes_under_binders() {
+        // λ y : Bool. (λ x : Bool. x) y  normalizes to  λ y : Bool. y
+        let t = lam("y", bool_ty(), app(lam("x", bool_ty(), var("x")), var("y")));
+        assert!(alpha_eq(&nf(&t), &lam("y", bool_ty(), var("y"))));
+    }
+
+    #[test]
+    fn whnf_stops_at_head() {
+        // whnf of  λ y. (λ x. x) true  is the lambda itself (body untouched).
+        let body = app(lam("x", bool_ty(), var("x")), tt());
+        let t = lam("y", bool_ty(), body.clone());
+        let mut fuel = Fuel::default();
+        let w = whnf(&Env::new(), &t, &mut fuel).unwrap();
+        match w {
+            Term::Lam { body: b, .. } => assert!(alpha_eq(&b, &body)),
+            _ => panic!("expected lambda"),
+        }
+    }
+
+    #[test]
+    fn step_counts_single_steps() {
+        // (λ x. x) ((λ y. y) true) needs two β steps and nothing more.
+        let t = app(
+            lam("x", bool_ty(), var("x")),
+            app(lam("y", bool_ty(), var("y")), tt()),
+        );
+        let (v, steps) = reduce_steps(&Env::new(), &t, 100);
+        assert!(alpha_eq(&v, &tt()));
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    fn step_on_normal_form_is_none() {
+        assert!(step(&Env::new(), &tt()).is_none());
+        assert!(step(&Env::new(), &lam("x", bool_ty(), var("x"))).is_none());
+        assert!(step(&Env::new(), &var("free")).is_none());
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        // Ω = (λ x : Bool. x x) (λ x : Bool. x x) — ill-typed but a good
+        // divergence witness for the fuel mechanism.
+        let omega_half = lam("x", bool_ty(), app(var("x"), var("x")));
+        let omega = app(omega_half.clone(), omega_half);
+        let mut fuel = Fuel::new(1000);
+        assert!(matches!(
+            normalize(&Env::new(), &omega, &mut fuel),
+            Err(ReduceError::OutOfFuel)
+        ));
+    }
+
+    #[test]
+    fn values_evaluate_to_themselves() {
+        let v = pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()));
+        assert!(alpha_eq(&nf(&v), &v));
+    }
+
+    #[test]
+    fn eval_polymorphic_identity_applied() {
+        // (λ A : ⋆. λ x : A. x) Bool true  ⊲*  true
+        let id = lam("A", star(), lam("x", var("A"), var("x")));
+        let t = app(app(id, bool_ty()), tt());
+        assert!(alpha_eq(&nf(&t), &tt()));
+    }
+
+    #[test]
+    fn reduce_error_displays() {
+        assert_eq!(ReduceError::OutOfFuel.to_string(), "reduction fuel exhausted");
+    }
+}

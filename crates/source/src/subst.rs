@@ -1,0 +1,443 @@
+//! Free variables, capture-avoiding substitution, renaming, and
+//! α-equivalence for CC terms.
+//!
+//! CC uses a named representation of binders, so substitution must freshen
+//! binders that would capture free variables of the substituted term.
+//! α-equivalence compares terms up to a consistent renaming of binders.
+
+use crate::ast::{RcTerm, Term};
+use cccc_util::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// The free variables of `term`, in order of first occurrence (left to
+/// right, outside in). Duplicates are removed.
+pub fn free_vars(term: &Term) -> Vec<Symbol> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    collect_free(term, &mut HashSet::new(), &mut seen, &mut out);
+    out
+}
+
+/// The free variables of `term` as a set.
+pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
+    free_vars(term).into_iter().collect()
+}
+
+/// Whether `x` occurs free in `term`.
+pub fn occurs_free(x: Symbol, term: &Term) -> bool {
+    free_var_set(term).contains(&x)
+}
+
+fn collect_free(
+    term: &Term,
+    bound: &mut HashSet<Symbol>,
+    seen: &mut HashSet<Symbol>,
+    out: &mut Vec<Symbol>,
+) {
+    match term {
+        Term::Var(x) => {
+            if !bound.contains(x) && seen.insert(*x) {
+                out.push(*x);
+            }
+        }
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain } => {
+            collect_free(domain, bound, seen, out);
+            collect_under(*binder, codomain, bound, seen, out);
+        }
+        Term::Lam { binder, domain, body } => {
+            collect_free(domain, bound, seen, out);
+            collect_under(*binder, body, bound, seen, out);
+        }
+        Term::App { func, arg } => {
+            collect_free(func, bound, seen, out);
+            collect_free(arg, bound, seen, out);
+        }
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            collect_free(annotation, bound, seen, out);
+            collect_free(bound_term, bound, seen, out);
+            collect_under(*binder, body, bound, seen, out);
+        }
+        Term::Sigma { binder, first, second } => {
+            collect_free(first, bound, seen, out);
+            collect_under(*binder, second, bound, seen, out);
+        }
+        Term::Pair { first, second, annotation } => {
+            collect_free(first, bound, seen, out);
+            collect_free(second, bound, seen, out);
+            collect_free(annotation, bound, seen, out);
+        }
+        Term::Fst(e) | Term::Snd(e) => collect_free(e, bound, seen, out),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            collect_free(scrutinee, bound, seen, out);
+            collect_free(then_branch, bound, seen, out);
+            collect_free(else_branch, bound, seen, out);
+        }
+    }
+}
+
+fn collect_under(
+    binder: Symbol,
+    body: &Term,
+    bound: &mut HashSet<Symbol>,
+    seen: &mut HashSet<Symbol>,
+    out: &mut Vec<Symbol>,
+) {
+    let newly_bound = bound.insert(binder);
+    collect_free(body, bound, seen, out);
+    if newly_bound {
+        bound.remove(&binder);
+    }
+}
+
+/// Capture-avoiding substitution `term[replacement/x]`.
+///
+/// Binders that shadow `x` stop the substitution; binders whose name occurs
+/// free in `replacement` are renamed to fresh symbols before descending.
+pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
+    let fv = free_var_set(replacement);
+    subst_inner(term, x, replacement, &fv)
+}
+
+/// Applies several substitutions in sequence (left to right). Later
+/// substitutions see the result of earlier ones.
+pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
+    let mut out = term.clone();
+    for (x, replacement) in substitutions {
+        out = subst(&out, *x, replacement);
+    }
+    out
+}
+
+fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &HashSet<Symbol>) -> Term {
+    match term {
+        Term::Var(y) => {
+            if *y == x {
+                replacement.clone()
+            } else {
+                term.clone()
+            }
+        }
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => term.clone(),
+        Term::Pi { binder, domain, codomain } => {
+            let domain = subst_inner(domain, x, replacement, fv).rc();
+            let (binder, codomain) = subst_under(*binder, codomain, x, replacement, fv);
+            Term::Pi { binder, domain, codomain: codomain.rc() }
+        }
+        Term::Lam { binder, domain, body } => {
+            let domain = subst_inner(domain, x, replacement, fv).rc();
+            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
+            Term::Lam { binder, domain, body: body.rc() }
+        }
+        Term::App { func, arg } => Term::App {
+            func: subst_inner(func, x, replacement, fv).rc(),
+            arg: subst_inner(arg, x, replacement, fv).rc(),
+        },
+        Term::Let { binder, annotation, bound, body } => {
+            let annotation = subst_inner(annotation, x, replacement, fv).rc();
+            let bound = subst_inner(bound, x, replacement, fv).rc();
+            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
+            Term::Let { binder, annotation, bound, body: body.rc() }
+        }
+        Term::Sigma { binder, first, second } => {
+            let first = subst_inner(first, x, replacement, fv).rc();
+            let (binder, second) = subst_under(*binder, second, x, replacement, fv);
+            Term::Sigma { binder, first, second: second.rc() }
+        }
+        Term::Pair { first, second, annotation } => Term::Pair {
+            first: subst_inner(first, x, replacement, fv).rc(),
+            second: subst_inner(second, x, replacement, fv).rc(),
+            annotation: subst_inner(annotation, x, replacement, fv).rc(),
+        },
+        Term::Fst(e) => Term::Fst(subst_inner(e, x, replacement, fv).rc()),
+        Term::Snd(e) => Term::Snd(subst_inner(e, x, replacement, fv).rc()),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: subst_inner(scrutinee, x, replacement, fv).rc(),
+            then_branch: subst_inner(then_branch, x, replacement, fv).rc(),
+            else_branch: subst_inner(else_branch, x, replacement, fv).rc(),
+        },
+    }
+}
+
+/// Substitutes inside the body of a binder, freshening the binder when it
+/// would capture a free variable of the replacement (or when it shadows `x`,
+/// in which case substitution stops).
+fn subst_under(
+    binder: Symbol,
+    body: &Term,
+    x: Symbol,
+    replacement: &Term,
+    fv: &HashSet<Symbol>,
+) -> (Symbol, Term) {
+    if binder == x {
+        // The binder shadows `x`; the substitution does not reach the body.
+        return (binder, body.clone());
+    }
+    if fv.contains(&binder) {
+        // The binder would capture a free variable of the replacement;
+        // rename it first.
+        let fresh = binder.freshen();
+        let renamed = rename(body, binder, fresh);
+        (fresh, subst_inner(&renamed, x, replacement, fv))
+    } else {
+        (binder, subst_inner(body, x, replacement, fv))
+    }
+}
+
+/// Renames every free occurrence of `from` in `term` to `to`. `to` is
+/// assumed not to be captured by any binder of `term` (guaranteed when `to`
+/// is a freshly generated symbol).
+pub fn rename(term: &Term, from: Symbol, to: Symbol) -> Term {
+    subst(term, from, &Term::Var(to))
+}
+
+/// α-equivalence of two terms: structural equality up to consistent renaming
+/// of bound variables. Pair annotations are compared as well, since they are
+/// part of the syntax.
+pub fn alpha_eq(left: &Term, right: &Term) -> bool {
+    alpha_eq_inner(left, right, &mut HashMap::new(), &mut HashMap::new())
+}
+
+fn alpha_eq_inner(
+    left: &Term,
+    right: &Term,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    match (left, right) {
+        (Term::Var(x), Term::Var(y)) => match (l2r.get(x), r2l.get(y)) {
+            (Some(mapped_x), Some(mapped_y)) => mapped_x == y && mapped_y == x,
+            (None, None) => x == y,
+            _ => false,
+        },
+        (Term::Sort(u), Term::Sort(v)) => u == v,
+        (Term::BoolTy, Term::BoolTy) => true,
+        (Term::BoolLit(a), Term::BoolLit(b)) => a == b,
+        (
+            Term::Pi { binder: x, domain: a1, codomain: b1 },
+            Term::Pi { binder: y, domain: a2, codomain: b2 },
+        )
+        | (
+            Term::Lam { binder: x, domain: a1, body: b1 },
+            Term::Lam { binder: y, domain: a2, body: b2 },
+        )
+        | (
+            Term::Sigma { binder: x, first: a1, second: b1 },
+            Term::Sigma { binder: y, first: a2, second: b2 },
+        ) => {
+            alpha_eq_inner(a1, a2, l2r, r2l) && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
+        }
+        (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
+            alpha_eq_inner(f1, f2, l2r, r2l) && alpha_eq_inner(a1, a2, l2r, r2l)
+        }
+        (
+            Term::Let { binder: x, annotation: t1, bound: e1, body: b1 },
+            Term::Let { binder: y, annotation: t2, bound: e2, body: b2 },
+        ) => {
+            alpha_eq_inner(t1, t2, l2r, r2l)
+                && alpha_eq_inner(e1, e2, l2r, r2l)
+                && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
+        }
+        (
+            Term::Pair { first: a1, second: b1, annotation: t1 },
+            Term::Pair { first: a2, second: b2, annotation: t2 },
+        ) => {
+            alpha_eq_inner(a1, a2, l2r, r2l)
+                && alpha_eq_inner(b1, b2, l2r, r2l)
+                && alpha_eq_inner(t1, t2, l2r, r2l)
+        }
+        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => {
+            alpha_eq_inner(a, b, l2r, r2l)
+        }
+        (
+            Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
+            Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
+        ) => {
+            alpha_eq_inner(s1, s2, l2r, r2l)
+                && alpha_eq_inner(t1, t2, l2r, r2l)
+                && alpha_eq_inner(e1, e2, l2r, r2l)
+        }
+        _ => false,
+    }
+}
+
+fn alpha_eq_binder(
+    x: Symbol,
+    left: &RcTerm,
+    y: Symbol,
+    right: &RcTerm,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    let old_l = l2r.insert(x, y);
+    let old_r = r2l.insert(y, x);
+    let result = alpha_eq_inner(left, right, l2r, r2l);
+    match old_l {
+        Some(prev) => {
+            l2r.insert(x, prev);
+        }
+        None => {
+            l2r.remove(&x);
+        }
+    }
+    match old_r {
+        Some(prev) => {
+            r2l.insert(y, prev);
+        }
+        None => {
+            r2l.remove(&y);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn free_vars_of_open_term() {
+        let t = app(var("f"), lam("x", var("A"), app(var("x"), var("y"))));
+        assert_eq!(free_vars(&t), vec![sym("f"), sym("A"), sym("y")]);
+    }
+
+    #[test]
+    fn bound_variables_are_not_free() {
+        let t = lam("x", bool_ty(), var("x"));
+        assert!(free_vars(&t).is_empty());
+        assert!(!occurs_free(sym("x"), &t));
+    }
+
+    #[test]
+    fn pi_binder_scopes_only_codomain() {
+        // Π x : x. x — the domain occurrence of x is free, the codomain one is bound.
+        let t = pi("x", var("x"), var("x"));
+        assert_eq!(free_vars(&t), vec![sym("x")]);
+    }
+
+    #[test]
+    fn let_binder_scopes_only_body() {
+        let t = let_("x", bool_ty(), var("x"), var("x"));
+        assert_eq!(free_vars(&t), vec![sym("x")]);
+    }
+
+    #[test]
+    fn simple_substitution() {
+        let t = app(var("f"), var("x"));
+        let s = subst(&t, sym("x"), &tt());
+        assert!(alpha_eq(&s, &app(var("f"), tt())));
+    }
+
+    #[test]
+    fn substitution_stops_at_shadowing_binder() {
+        let t = lam("x", bool_ty(), var("x"));
+        let s = subst(&t, sym("x"), &tt());
+        assert!(alpha_eq(&s, &t));
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // (λ y : Bool. x)[y/x]  must not become  λ y : Bool. y
+        let t = lam("y", bool_ty(), var("x"));
+        let s = subst(&t, sym("x"), &var("y"));
+        match &s {
+            Term::Lam { binder, body, .. } => {
+                assert_ne!(*binder, sym("y"), "binder should have been freshened");
+                assert!(alpha_eq(body, &var("y")));
+            }
+            _ => panic!("expected lambda"),
+        }
+        // And the result is *not* alpha-equal to the capturing term.
+        assert!(!alpha_eq(&s, &lam("y", bool_ty(), var("y"))));
+    }
+
+    #[test]
+    fn substitution_in_annotation_and_bound() {
+        let t = let_("z", var("x"), var("x"), var("z"));
+        let s = subst(&t, sym("x"), &bool_ty());
+        assert!(alpha_eq(&s, &let_("z", bool_ty(), bool_ty(), var("z"))));
+    }
+
+    #[test]
+    fn subst_all_applies_in_order() {
+        let t = app(var("x"), var("y"));
+        let s = subst_all(&t, &[(sym("x"), var("y")), (sym("y"), tt())]);
+        // x ↦ y first, then y ↦ true turns both into true.
+        assert!(alpha_eq(&s, &app(tt(), tt())));
+    }
+
+    #[test]
+    fn alpha_equivalence_of_renamed_lambdas() {
+        let a = lam("x", bool_ty(), var("x"));
+        let b = lam("y", bool_ty(), var("y"));
+        assert!(alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn alpha_distinguishes_free_variables() {
+        assert!(!alpha_eq(&var("x"), &var("y")));
+        assert!(alpha_eq(&var("x"), &var("x")));
+    }
+
+    #[test]
+    fn alpha_distinguishes_structures() {
+        assert!(!alpha_eq(&lam("x", bool_ty(), var("x")), &pi("x", bool_ty(), var("x"))));
+        assert!(!alpha_eq(&tt(), &ff()));
+        assert!(!alpha_eq(&star(), &boxu()));
+    }
+
+    #[test]
+    fn alpha_nested_binders() {
+        let a = lam("x", star(), lam("y", var("x"), var("y")));
+        let b = lam("u", star(), lam("v", var("u"), var("v")));
+        let c = lam("u", star(), lam("v", var("u"), var("u")));
+        assert!(alpha_eq(&a, &b));
+        assert!(!alpha_eq(&a, &c));
+    }
+
+    #[test]
+    fn alpha_requires_consistent_renaming() {
+        // λ x. λ y. x  vs  λ x. λ y. y
+        let a = lam("x", bool_ty(), lam("y", bool_ty(), var("x")));
+        let b = lam("x", bool_ty(), lam("y", bool_ty(), var("y")));
+        assert!(!alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn rename_changes_free_occurrences_only() {
+        let t = app(var("x"), lam("x", bool_ty(), var("x")));
+        let r = rename(&t, sym("x"), sym("z"));
+        assert!(alpha_eq(&r, &app(var("z"), lam("x", bool_ty(), var("x")))));
+    }
+
+    #[test]
+    fn free_vars_deduplicates() {
+        let t = app(var("x"), var("x"));
+        assert_eq!(free_vars(&t), vec![sym("x")]);
+    }
+
+    #[test]
+    fn pair_annotation_counts_for_free_vars() {
+        let t = pair(tt(), ff(), sigma("p", var("A"), bool_ty()));
+        assert_eq!(free_vars(&t), vec![sym("A")]);
+    }
+
+    #[test]
+    fn substitution_under_sigma_avoids_capture() {
+        // (Σ y : Bool. x)[⟨uses y⟩/x]
+        let t = sigma("y", bool_ty(), var("x"));
+        let s = subst(&t, sym("x"), &var("y"));
+        match &s {
+            Term::Sigma { binder, second, .. } => {
+                assert_ne!(*binder, sym("y"));
+                assert!(alpha_eq(second, &var("y")));
+            }
+            _ => panic!("expected sigma"),
+        }
+    }
+}

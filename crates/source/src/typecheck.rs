@@ -1,0 +1,564 @@
+//! The CC type system (Figures 3 and 4).
+//!
+//! The checker is a direct implementation of the paper's rules: types are
+//! inferred structurally, and the conversion rule `[Conv]` is applied
+//! whenever a term is checked against an expected type, using the
+//! definitional-equivalence algorithm of [`crate::equiv`].
+//!
+//! ## Σ-formation
+//!
+//! The paper gives two Σ-formation rules: `[Sig-*]` (small over small) and
+//! `[Sig-□]` (large second component). We additionally accept
+//! `A : □, B : ⋆ ⟹ Σ x:A.B : □`, the predicative rule of ECC. This is
+//! required to type the environment telescopes produced by closure
+//! conversion when a closure captures a *type* variable (the paper's own
+//! example uses the environment type `⋆ × 1`, which needs exactly this
+//! rule), and it is sound: it never makes a large Σ small. The restriction
+//! the paper highlights — no impredicative strong Σ — is still enforced:
+//! `Σ x:A.B : ⋆` requires both `A : ⋆` and `B : ⋆`.
+
+use crate::ast::{Term, Universe};
+use crate::env::{Decl, Env};
+use crate::equiv::equiv;
+use crate::pretty::term_to_string;
+use crate::reduce::{whnf, ReduceError};
+use crate::subst::subst;
+use cccc_util::fuel::Fuel;
+use cccc_util::symbol::Symbol;
+use std::fmt;
+
+/// Errors produced by the CC type checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// A variable was used that is not bound in the environment.
+    UnboundVariable(Symbol),
+    /// The universe `□` was used as a term; it has no type.
+    BoxHasNoType,
+    /// A term in function position does not have a Π type.
+    NotAFunction {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// A term in projection position does not have a Σ type.
+    NotAPair {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// A term expected to be a type does not live in a universe.
+    NotAUniverse {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// The annotation on a dependent pair is not a Σ type.
+    PairAnnotationNotSigma {
+        /// The annotation, pretty-printed.
+        annotation: String,
+    },
+    /// A Σ type would be impredicative (small Σ over a large domain), which
+    /// is unsound for strong dependent pairs.
+    ImpredicativeSigma {
+        /// The offending Σ type, pretty-printed.
+        sigma: String,
+    },
+    /// The inferred type of a term does not match the expected type.
+    Mismatch {
+        /// What the context required, pretty-printed.
+        expected: String,
+        /// What was inferred, pretty-printed.
+        found: String,
+        /// The term being checked, pretty-printed.
+        term: String,
+    },
+    /// Normalization ran out of fuel while deciding equivalence.
+    Reduction(ReduceError),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::BoxHasNoType => write!(f, "the universe □ has no type"),
+            TypeError::NotAFunction { term, ty } => {
+                write!(f, "`{term}` is applied but has non-function type `{ty}`")
+            }
+            TypeError::NotAPair { term, ty } => {
+                write!(f, "`{term}` is projected but has non-pair type `{ty}`")
+            }
+            TypeError::NotAUniverse { term, ty } => {
+                write!(f, "`{term}` is used as a type but has type `{ty}`, not a universe")
+            }
+            TypeError::PairAnnotationNotSigma { annotation } => {
+                write!(f, "pair annotation `{annotation}` is not a Σ type")
+            }
+            TypeError::ImpredicativeSigma { sigma } => {
+                write!(f, "impredicative strong Σ type `{sigma}` is not allowed")
+            }
+            TypeError::Mismatch { expected, found, term } => {
+                write!(f, "type mismatch: `{term}` has type `{found}` but `{expected}` was expected")
+            }
+            TypeError::Reduction(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<ReduceError> for TypeError {
+    fn from(e: ReduceError) -> TypeError {
+        TypeError::Reduction(e)
+    }
+}
+
+/// Result type for the CC type checker.
+pub type Result<T> = std::result::Result<T, TypeError>;
+
+/// Infers the type of `term` under `env` (the judgment `Γ ⊢ e : A`).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed.
+pub fn infer(env: &Env, term: &Term) -> Result<Term> {
+    let mut fuel = Fuel::default();
+    infer_with(env, term, &mut fuel)
+}
+
+/// Checks `term` against `expected` under `env`, applying the conversion
+/// rule `[Conv]`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed or its type is not
+/// definitionally equal to `expected`.
+pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
+    let mut fuel = Fuel::default();
+    check_with(env, term, expected, &mut fuel)
+}
+
+/// Infers the universe in which the type `term` lives.
+///
+/// # Errors
+///
+/// Returns [`TypeError::NotAUniverse`] when `term` is not a type.
+pub fn infer_universe(env: &Env, term: &Term) -> Result<Universe> {
+    let mut fuel = Fuel::default();
+    infer_universe_with(env, term, &mut fuel)
+}
+
+/// Checks well-formedness of an environment (`⊢ Γ`, Figure 4).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered while checking entries in
+/// order.
+pub fn check_env(env: &Env) -> Result<()> {
+    let mut prefix = Env::new();
+    for decl in env.iter() {
+        match decl {
+            Decl::Assumption { name, ty } => {
+                infer_universe(&prefix, ty)?;
+                prefix.push_assumption(*name, (**ty).clone());
+            }
+            Decl::Definition { name, ty, term } => {
+                infer_universe(&prefix, ty)?;
+                check(&prefix, term, ty)?;
+                prefix.push_definition(*name, (**term).clone(), (**ty).clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` when `term` is well-typed under `env`.
+pub fn is_well_typed(env: &Env, term: &Term) -> bool {
+    infer(env, term).is_ok()
+}
+
+pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
+    match term {
+        // [Var]
+        Term::Var(x) => match env.lookup_type(*x) {
+            Some(ty) => Ok((**ty).clone()),
+            None => Err(TypeError::UnboundVariable(*x)),
+        },
+        // [Ax-*]
+        Term::Sort(Universe::Star) => Ok(Term::Sort(Universe::Box)),
+        Term::Sort(Universe::Box) => Err(TypeError::BoxHasNoType),
+        // Ground types (§5.2).
+        Term::BoolTy => Ok(Term::Sort(Universe::Star)),
+        Term::BoolLit(_) => Ok(Term::BoolTy),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            check_with(env, scrutinee, &Term::BoolTy, fuel)?;
+            let then_ty = infer_with(env, then_branch, fuel)?;
+            check_with(env, else_branch, &then_ty, fuel)?;
+            Ok(then_ty)
+        }
+        // [Prod-*] and [Prod-□]
+        Term::Pi { binder, domain, codomain } => {
+            infer_universe_with(env, domain, fuel)?;
+            let inner = env.with_assumption(*binder, (**domain).clone());
+            let codomain_universe = infer_universe_with(&inner, codomain, fuel)?;
+            Ok(Term::Sort(codomain_universe))
+        }
+        // [Sig-*], [Sig-□], and the predicative large rule (see module docs).
+        Term::Sigma { binder, first, second } => {
+            let first_universe = infer_universe_with(env, first, fuel)?;
+            let inner = env.with_assumption(*binder, (**first).clone());
+            let second_universe = infer_universe_with(&inner, second, fuel)?;
+            match (first_universe, second_universe) {
+                (Universe::Star, Universe::Star) => Ok(Term::Sort(Universe::Star)),
+                (_, Universe::Box) => Ok(Term::Sort(Universe::Box)),
+                (Universe::Box, Universe::Star) => Ok(Term::Sort(Universe::Box)),
+            }
+        }
+        // [Lam]
+        Term::Lam { binder, domain, body } => {
+            infer_universe_with(env, domain, fuel)?;
+            let inner = env.with_assumption(*binder, (**domain).clone());
+            let body_ty = infer_with(&inner, body, fuel)?;
+            // Ensure the resulting Π type is itself well-formed.
+            infer_universe_with(&inner, &body_ty, fuel)?;
+            Ok(Term::Pi { binder: *binder, domain: domain.clone(), codomain: body_ty.rc() })
+        }
+        // [App]
+        Term::App { func, arg } => {
+            let func_ty = infer_with(env, func, fuel)?;
+            let func_ty_whnf = whnf(env, &func_ty, fuel)?;
+            match func_ty_whnf {
+                Term::Pi { binder, domain, codomain } => {
+                    check_with(env, arg, &domain, fuel)?;
+                    Ok(subst(&codomain, binder, arg))
+                }
+                other => Err(TypeError::NotAFunction {
+                    term: term_to_string(func),
+                    ty: term_to_string(&other),
+                }),
+            }
+        }
+        // [Let]
+        Term::Let { binder, annotation, bound, body } => {
+            infer_universe_with(env, annotation, fuel)?;
+            check_with(env, bound, annotation, fuel)?;
+            let inner = env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
+            let body_ty = infer_with(&inner, body, fuel)?;
+            Ok(subst(&body_ty, *binder, bound))
+        }
+        // [Pair]
+        Term::Pair { first, second, annotation } => {
+            infer_universe_with(env, annotation, fuel)?;
+            let annotation_whnf = whnf(env, annotation, fuel)?;
+            match annotation_whnf {
+                Term::Sigma { binder, first: first_ty, second: second_ty } => {
+                    check_with(env, first, &first_ty, fuel)?;
+                    let expected_second = subst(&second_ty, binder, first);
+                    check_with(env, second, &expected_second, fuel)?;
+                    Ok((**annotation).clone())
+                }
+                _ => Err(TypeError::PairAnnotationNotSigma {
+                    annotation: term_to_string(annotation),
+                }),
+            }
+        }
+        // [Fst]
+        Term::Fst(e) => {
+            let e_ty = infer_with(env, e, fuel)?;
+            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            match e_ty_whnf {
+                Term::Sigma { first, .. } => Ok((*first).clone()),
+                other => Err(TypeError::NotAPair {
+                    term: term_to_string(e),
+                    ty: term_to_string(&other),
+                }),
+            }
+        }
+        // [Snd]
+        Term::Snd(e) => {
+            let e_ty = infer_with(env, e, fuel)?;
+            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            match e_ty_whnf {
+                Term::Sigma { binder, second, .. } => {
+                    Ok(subst(&second, binder, &Term::Fst(e.clone())))
+                }
+                other => Err(TypeError::NotAPair {
+                    term: term_to_string(e),
+                    ty: term_to_string(&other),
+                }),
+            }
+        }
+    }
+}
+
+pub(crate) fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fuel) -> Result<()> {
+    let inferred = infer_with(env, term, fuel)?;
+    if equiv(env, &inferred, expected, fuel)? {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            expected: term_to_string(expected),
+            found: term_to_string(&inferred),
+            term: term_to_string(term),
+        })
+    }
+}
+
+pub(crate) fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Universe> {
+    // `□` itself is a valid classifier (it is the type of `⋆` and of kinds)
+    // even though it is not a term; treat it as living "above" everything.
+    if matches!(term, Term::Sort(Universe::Box)) {
+        return Ok(Universe::Box);
+    }
+    let ty = infer_with(env, term, fuel)?;
+    let ty_whnf = whnf(env, &ty, fuel)?;
+    match ty_whnf {
+        Term::Sort(u) => Ok(u),
+        other => Err(TypeError::NotAUniverse {
+            term: term_to_string(term),
+            ty: term_to_string(&other),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::subst::alpha_eq;
+    use crate::equiv::definitionally_equal;
+
+    fn infer_closed(t: &Term) -> Result<Term> {
+        infer(&Env::new(), t)
+    }
+
+    #[test]
+    fn star_has_type_box() {
+        assert!(alpha_eq(&infer_closed(&star()).unwrap(), &boxu()));
+    }
+
+    #[test]
+    fn box_has_no_type() {
+        assert!(matches!(infer_closed(&boxu()), Err(TypeError::BoxHasNoType)));
+    }
+
+    #[test]
+    fn bool_literals() {
+        assert!(alpha_eq(&infer_closed(&bool_ty()).unwrap(), &star()));
+        assert!(alpha_eq(&infer_closed(&tt()).unwrap(), &bool_ty()));
+        assert!(alpha_eq(&infer_closed(&ff()).unwrap(), &bool_ty()));
+    }
+
+    #[test]
+    fn unbound_variable_is_rejected() {
+        assert!(matches!(infer_closed(&var("nope")), Err(TypeError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn polymorphic_identity_types() {
+        // λ A : ⋆. λ x : A. x  :  Π A : ⋆. Π x : A. A
+        let id = lam("A", star(), lam("x", var("A"), var("x")));
+        let ty = infer_closed(&id).unwrap();
+        let expected = pi("A", star(), pi("x", var("A"), var("A")));
+        assert!(definitionally_equal(&Env::new(), &ty, &expected));
+    }
+
+    #[test]
+    fn impredicative_pi_is_allowed() {
+        // Π A : ⋆. A  :  ⋆   (quantifies over all small types, itself small)
+        let false_ty = pi("A", star(), var("A"));
+        assert!(alpha_eq(&infer_closed(&false_ty).unwrap(), &star()));
+    }
+
+    #[test]
+    fn pi_over_kinds_is_large() {
+        // Π A : ⋆. ⋆  :  □
+        let t = pi("A", star(), star());
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &boxu()));
+    }
+
+    #[test]
+    fn application_substitutes_argument_into_codomain() {
+        // (λ A : ⋆. λ x : A. x) Bool : Π x : Bool. Bool
+        let id = lam("A", star(), lam("x", var("A"), var("x")));
+        let t = app(id, bool_ty());
+        let ty = infer_closed(&t).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &pi("x", bool_ty(), bool_ty())));
+    }
+
+    #[test]
+    fn application_of_non_function_is_rejected() {
+        let t = app(tt(), ff());
+        assert!(matches!(infer_closed(&t), Err(TypeError::NotAFunction { .. })));
+    }
+
+    #[test]
+    fn application_with_wrong_argument_type_is_rejected() {
+        let not = lam("b", bool_ty(), ite(var("b"), ff(), tt()));
+        let t = app(not, star());
+        assert!(matches!(infer_closed(&t), Err(TypeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn let_types_with_definition_substituted() {
+        // let x = true : Bool in x   :  Bool
+        let t = let_("x", bool_ty(), tt(), var("x"));
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &bool_ty()));
+    }
+
+    #[test]
+    fn let_definition_is_visible_in_types() {
+        // let A = Bool : ⋆ in (λ x : A. x) true   :  A[Bool/A] = Bool
+        let t = let_(
+            "A",
+            star(),
+            bool_ty(),
+            app(lam("x", var("A"), var("x")), tt()),
+        );
+        let ty = infer_closed(&t).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &bool_ty()));
+    }
+
+    #[test]
+    fn small_sigma_over_small_types() {
+        let t = sigma("x", bool_ty(), bool_ty());
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &star()));
+    }
+
+    #[test]
+    fn large_sigma_over_kinds() {
+        // Σ A : ⋆. ⋆ : □
+        let t = sigma("A", star(), star());
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &boxu()));
+    }
+
+    #[test]
+    fn sigma_with_large_first_and_small_second_is_large() {
+        // Σ A : ⋆. Bool : □ — the ECC-style rule needed for closure environments.
+        let t = sigma("A", star(), bool_ty());
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &boxu()));
+    }
+
+    #[test]
+    fn dependent_sigma_types() {
+        // Σ A : ⋆. A : □ (first component is a type, second a value of it)
+        let t = sigma("A", star(), var("A"));
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &boxu()));
+    }
+
+    #[test]
+    fn pair_checks_both_components() {
+        let ann = sigma("x", bool_ty(), bool_ty());
+        let good = pair(tt(), ff(), ann.clone());
+        assert!(alpha_eq(&infer_closed(&good).unwrap(), &ann));
+        let bad = pair(tt(), star(), ann);
+        assert!(matches!(infer_closed(&bad), Err(TypeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn dependent_pair_second_component_type_uses_first() {
+        // ⟨Bool, true⟩ as Σ A : ⋆. A
+        let ann = sigma("A", star(), var("A"));
+        let p = pair(bool_ty(), tt(), ann.clone());
+        assert!(alpha_eq(&infer_closed(&p).unwrap(), &ann));
+        // ⟨Bool, ⋆⟩ as Σ A : ⋆. A is wrong: ⋆ is not a Bool.
+        let bad = pair(bool_ty(), star(), ann);
+        assert!(infer_closed(&bad).is_err());
+    }
+
+    #[test]
+    fn projections_type_correctly() {
+        let ann = sigma("A", star(), var("A"));
+        let p = pair(bool_ty(), tt(), ann);
+        assert!(alpha_eq(&infer_closed(&fst(p.clone())).unwrap(), &star()));
+        // snd p : A[fst p/A] = fst p ≡ Bool
+        let snd_ty = infer_closed(&snd(p.clone())).unwrap();
+        assert!(definitionally_equal(&Env::new(), &snd_ty, &bool_ty()));
+    }
+
+    #[test]
+    fn projection_of_non_pair_is_rejected() {
+        assert!(matches!(infer_closed(&fst(tt())), Err(TypeError::NotAPair { .. })));
+        assert!(matches!(infer_closed(&snd(tt())), Err(TypeError::NotAPair { .. })));
+    }
+
+    #[test]
+    fn pair_annotation_must_be_sigma() {
+        let p = pair(tt(), ff(), bool_ty());
+        assert!(matches!(
+            infer_closed(&p),
+            Err(TypeError::PairAnnotationNotSigma { .. })
+        ));
+    }
+
+    #[test]
+    fn if_requires_bool_scrutinee_and_agreeing_branches() {
+        assert!(alpha_eq(&infer_closed(&ite(tt(), ff(), tt())).unwrap(), &bool_ty()));
+        assert!(infer_closed(&ite(star(), ff(), tt())).is_err());
+        assert!(infer_closed(&ite(tt(), ff(), bool_ty())).is_err());
+    }
+
+    #[test]
+    fn conversion_rule_reduces_types() {
+        // (λ x : (if true then Bool else (Π A:⋆. A)). x) true   is well-typed
+        // because the domain reduces to Bool.
+        let t = app(
+            lam("x", ite(tt(), bool_ty(), pi("A", star(), var("A"))), var("x")),
+            tt(),
+        );
+        let ty = infer_closed(&t).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &bool_ty()));
+    }
+
+    #[test]
+    fn check_env_accepts_dependent_telescope() {
+        use cccc_util::symbol::Symbol;
+        let env = Env::new()
+            .with_assumption(Symbol::intern("A"), star())
+            .with_assumption(Symbol::intern("x"), var("A"))
+            .with_definition(Symbol::intern("b"), tt(), bool_ty());
+        assert!(check_env(&env).is_ok());
+    }
+
+    #[test]
+    fn check_env_rejects_bad_definitions() {
+        use cccc_util::symbol::Symbol;
+        let env = Env::new().with_definition(Symbol::intern("b"), star(), bool_ty());
+        assert!(check_env(&env).is_err());
+    }
+
+    #[test]
+    fn check_env_rejects_out_of_scope_dependencies() {
+        use cccc_util::symbol::Symbol;
+        let env = Env::new()
+            .with_assumption(Symbol::intern("x"), var("A"))
+            .with_assumption(Symbol::intern("A"), star());
+        assert!(check_env(&env).is_err());
+    }
+
+    #[test]
+    fn is_well_typed_helper() {
+        assert!(is_well_typed(&Env::new(), &tt()));
+        assert!(!is_well_typed(&Env::new(), &var("ghost")));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = infer_closed(&app(tt(), ff())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("true"));
+        assert!(msg.contains("Bool"));
+    }
+
+    #[test]
+    fn impredicative_instantiation_of_polymorphic_identity() {
+        // id (Π A : ⋆. Π x : A. A) id — the classic impredicativity test.
+        let id = lam("A", star(), lam("x", var("A"), var("x")));
+        let id_ty = pi("A", star(), pi("x", var("A"), var("A")));
+        let t = app(app(id.clone(), id_ty.clone()), id);
+        let ty = infer_closed(&t).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &id_ty));
+    }
+}

@@ -1,0 +1,161 @@
+//! Structured diagnostics shared by the parsers and type checkers.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// Something suspicious but not fatal.
+    Warning,
+    /// A hard error; the operation that produced it failed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A structured diagnostic: severity, message, optional source span, and a
+/// list of secondary notes.
+///
+/// `Diagnostic` implements [`std::error::Error`], so it can be boxed or used
+/// with `?` in application code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// How severe the diagnostic is.
+    pub severity: Severity,
+    /// The primary human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Where in the source the problem was detected, if known.
+    pub span: Option<Span>,
+    /// Additional context lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Error, message: message.into(), span: None, notes: Vec::new() }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span: None, notes: Vec::new() }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Appends a secondary note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic against the original source text, including a
+    /// line/column location when a span is present.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        match self.span {
+            Some(span) if !span.is_dummy() => {
+                let (line, col) = span.line_col(source);
+                out.push_str(&format!("{}: {} (at {}:{})", self.severity, self.message, line, col));
+                if let Some(snippet) = span.slice(source) {
+                    out.push_str(&format!("\n  --> {snippet}"));
+                }
+            }
+            _ => out.push_str(&format!("{}: {}", self.severity, self.message)),
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n  note: {note}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)?;
+        if let Some(span) = self.span {
+            if !span.is_dummy() {
+                write!(f, " @ {span}")?;
+            }
+        }
+        for note in &self.notes {
+            write!(f, "; note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_constructor_sets_severity() {
+        let d = Diagnostic::error("cannot infer type");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.message, "cannot infer type");
+        assert!(d.span.is_none());
+    }
+
+    #[test]
+    fn warning_constructor_sets_severity() {
+        assert_eq!(Diagnostic::warning("shadowed binder").severity, Severity::Warning);
+    }
+
+    #[test]
+    fn with_span_and_note_accumulate() {
+        let d = Diagnostic::error("unbound variable")
+            .with_span(Span::new(3, 4))
+            .with_note("did you mean `y`?");
+        assert_eq!(d.span, Some(Span::new(3, 4)));
+        assert_eq!(d.notes.len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_severity_and_message() {
+        let d = Diagnostic::error("boom").with_note("context");
+        let s = d.to_string();
+        assert!(s.contains("error"));
+        assert!(s.contains("boom"));
+        assert!(s.contains("context"));
+    }
+
+    #[test]
+    fn render_points_into_source() {
+        let src = "foo bar";
+        let d = Diagnostic::error("unbound variable").with_span(Span::new(4, 7));
+        let rendered = d.render(src);
+        assert!(rendered.contains("1:5"));
+        assert!(rendered.contains("bar"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn diagnostic_is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(Diagnostic::error("x"));
+    }
+}

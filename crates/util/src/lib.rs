@@ -1,0 +1,38 @@
+//! Shared infrastructure for the CC-CC reproduction.
+//!
+//! This crate provides the facilities that both the source language (CC) and
+//! the target language (CC-CC) implementations depend on:
+//!
+//! * [`symbol`] — a global string interner, the [`symbol::Symbol`] handle
+//!   type, and a fresh-name supply used by capture-avoiding substitution and
+//!   by the closure-conversion translation.
+//! * [`span`] — byte-offset source spans and located values for the parsers.
+//! * [`pretty`] — a small Wadler-style pretty-printing engine used by both
+//!   pretty-printers.
+//! * [`diag`] — structured diagnostics shared by type checkers and parsers.
+//! * [`fuel`] — a fuel counter used to bound normalization on (possibly
+//!   ill-typed) input so that the equivalence checkers always terminate.
+//!
+//! # Example
+//!
+//! ```
+//! use cccc_util::symbol::Symbol;
+//!
+//! let x = Symbol::intern("x");
+//! let y = Symbol::intern("x");
+//! assert_eq!(x, y);
+//! let fresh = x.freshen();
+//! assert_ne!(x, fresh);
+//! assert_eq!(fresh.base_name(), "x");
+//! ```
+
+pub mod diag;
+pub mod fuel;
+pub mod pretty;
+pub mod span;
+pub mod symbol;
+
+pub use diag::{Diagnostic, Severity};
+pub use fuel::Fuel;
+pub use span::{Span, Spanned};
+pub use symbol::Symbol;

@@ -1,0 +1,270 @@
+//! A small Wadler-style pretty-printing engine.
+//!
+//! Both the CC and CC-CC pretty-printers build a [`Doc`] and then render it
+//! to a string with a configurable line width. The engine supports the usual
+//! combinators: text, line breaks that may flatten to spaces, nesting
+//! (indentation), grouping, and concatenation.
+//!
+//! # Example
+//!
+//! ```
+//! use cccc_util::pretty::Doc;
+//!
+//! let doc = Doc::group(Doc::concat(vec![
+//!     Doc::text("lambda x : A."),
+//!     Doc::nest(2, Doc::concat(vec![Doc::line(), Doc::text("x")])),
+//! ]));
+//! assert_eq!(doc.render(80), "lambda x : A. x");
+//! assert_eq!(doc.render(5), "lambda x : A.\n  x");
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A pretty-printable document.
+#[derive(Clone, Debug)]
+pub struct Doc(Rc<DocNode>);
+
+#[derive(Debug)]
+enum DocNode {
+    Nil,
+    Text(String),
+    /// A line break that renders as `" "` when flattened inside a group that
+    /// fits on one line, and as a newline plus indentation otherwise.
+    Line,
+    /// A line break that renders as `""` when flattened.
+    SoftLine,
+    /// A line break that always renders as a newline.
+    HardLine,
+    Concat(Vec<Doc>),
+    Nest(usize, Doc),
+    Group(Doc),
+}
+
+impl Doc {
+    /// The empty document.
+    pub fn nil() -> Doc {
+        Doc(Rc::new(DocNode::Nil))
+    }
+
+    /// A literal piece of text. Must not contain newlines; use [`Doc::lines`]
+    /// or the line combinators for multi-line output.
+    pub fn text(s: impl Into<String>) -> Doc {
+        Doc(Rc::new(DocNode::Text(s.into())))
+    }
+
+    /// A breakable space: a space when the enclosing group fits, a newline
+    /// otherwise.
+    pub fn line() -> Doc {
+        Doc(Rc::new(DocNode::Line))
+    }
+
+    /// A breakable nothing: empty when the enclosing group fits, a newline
+    /// otherwise.
+    pub fn softline() -> Doc {
+        Doc(Rc::new(DocNode::SoftLine))
+    }
+
+    /// An unconditional newline.
+    pub fn hardline() -> Doc {
+        Doc(Rc::new(DocNode::HardLine))
+    }
+
+    /// Concatenation of a sequence of documents.
+    pub fn concat(docs: Vec<Doc>) -> Doc {
+        Doc(Rc::new(DocNode::Concat(docs)))
+    }
+
+    /// Increases the indentation of line breaks inside `doc` by `indent`.
+    pub fn nest(indent: usize, doc: Doc) -> Doc {
+        Doc(Rc::new(DocNode::Nest(indent, doc)))
+    }
+
+    /// Tries to lay out `doc` on a single line; if it does not fit within the
+    /// width, the line breaks inside it become newlines.
+    pub fn group(doc: Doc) -> Doc {
+        Doc(Rc::new(DocNode::Group(doc)))
+    }
+
+    /// Joins documents with a separator.
+    pub fn join(docs: Vec<Doc>, sep: Doc) -> Doc {
+        let mut out = Vec::new();
+        for (i, d) in docs.into_iter().enumerate() {
+            if i > 0 {
+                out.push(sep.clone());
+            }
+            out.push(d);
+        }
+        Doc::concat(out)
+    }
+
+    /// Splits `s` on newlines and joins the pieces with hard line breaks.
+    pub fn lines(s: &str) -> Doc {
+        let parts: Vec<Doc> = s.split('\n').map(Doc::text).collect();
+        Doc::join(parts, Doc::hardline())
+    }
+
+    /// Renders the document to a string, trying to fit groups within
+    /// `width` columns.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let mut column = 0usize;
+        // Work list of (indent, flatten?, doc).
+        let mut work: Vec<(usize, bool, Doc)> = vec![(0, false, self.clone())];
+        while let Some((indent, flat, doc)) = work.pop() {
+            match &*doc.0 {
+                DocNode::Nil => {}
+                DocNode::Text(s) => {
+                    out.push_str(s);
+                    column += s.chars().count();
+                }
+                DocNode::Line => {
+                    if flat {
+                        out.push(' ');
+                        column += 1;
+                    } else {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(indent));
+                        column = indent;
+                    }
+                }
+                DocNode::SoftLine => {
+                    if !flat {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(indent));
+                        column = indent;
+                    }
+                }
+                DocNode::HardLine => {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent));
+                    column = indent;
+                }
+                DocNode::Concat(docs) => {
+                    for d in docs.iter().rev() {
+                        work.push((indent, flat, d.clone()));
+                    }
+                }
+                DocNode::Nest(extra, inner) => {
+                    work.push((indent + extra, flat, inner.clone()));
+                }
+                DocNode::Group(inner) => {
+                    let fits = fits(width.saturating_sub(column), inner);
+                    work.push((indent, flat || fits, inner.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Conservatively checks whether `doc`, laid out flat, fits within
+/// `remaining` columns.
+fn fits(remaining: usize, doc: &Doc) -> bool {
+    let mut budget = remaining as isize;
+    let mut work: Vec<Doc> = vec![doc.clone()];
+    while let Some(d) = work.pop() {
+        if budget < 0 {
+            return false;
+        }
+        match &*d.0 {
+            DocNode::Nil => {}
+            DocNode::Text(s) => budget -= s.chars().count() as isize,
+            DocNode::Line => budget -= 1,
+            DocNode::SoftLine => {}
+            DocNode::HardLine => return false,
+            DocNode::Concat(docs) => {
+                for inner in docs.iter().rev() {
+                    work.push(inner.clone());
+                }
+            }
+            DocNode::Nest(_, inner) | DocNode::Group(inner) => work.push(inner.clone()),
+        }
+    }
+    budget >= 0
+}
+
+impl fmt::Display for Doc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(80))
+    }
+}
+
+impl Default for Doc {
+    fn default() -> Self {
+        Doc::nil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_renders_verbatim() {
+        assert_eq!(Doc::text("hello").render(80), "hello");
+    }
+
+    #[test]
+    fn concat_renders_in_order() {
+        let d = Doc::concat(vec![Doc::text("a"), Doc::text("b"), Doc::text("c")]);
+        assert_eq!(d.render(80), "abc");
+    }
+
+    #[test]
+    fn group_fits_on_one_line() {
+        let d = Doc::group(Doc::concat(vec![Doc::text("a"), Doc::line(), Doc::text("b")]));
+        assert_eq!(d.render(80), "a b");
+    }
+
+    #[test]
+    fn group_breaks_when_too_wide() {
+        let d = Doc::group(Doc::concat(vec![
+            Doc::text("aaaaaaaa"),
+            Doc::line(),
+            Doc::text("bbbbbbbb"),
+        ]));
+        assert_eq!(d.render(10), "aaaaaaaa\nbbbbbbbb");
+    }
+
+    #[test]
+    fn nest_indents_broken_lines() {
+        let d = Doc::group(Doc::concat(vec![
+            Doc::text("head"),
+            Doc::nest(4, Doc::concat(vec![Doc::line(), Doc::text("body")])),
+        ]));
+        assert_eq!(d.render(5), "head\n    body");
+    }
+
+    #[test]
+    fn hardline_always_breaks() {
+        let d = Doc::concat(vec![Doc::text("a"), Doc::hardline(), Doc::text("b")]);
+        assert_eq!(d.render(80), "a\nb");
+    }
+
+    #[test]
+    fn softline_vanishes_when_flat() {
+        let d = Doc::group(Doc::concat(vec![Doc::text("a"), Doc::softline(), Doc::text("b")]));
+        assert_eq!(d.render(80), "ab");
+    }
+
+    #[test]
+    fn join_inserts_separators() {
+        let d = Doc::join(
+            vec![Doc::text("x"), Doc::text("y"), Doc::text("z")],
+            Doc::text(", "),
+        );
+        assert_eq!(d.render(80), "x, y, z");
+    }
+
+    #[test]
+    fn lines_split_on_newline() {
+        assert_eq!(Doc::lines("a\nb").render(80), "a\nb");
+    }
+
+    #[test]
+    fn display_uses_width_80() {
+        let d = Doc::group(Doc::concat(vec![Doc::text("a"), Doc::line(), Doc::text("b")]));
+        assert_eq!(format!("{d}"), "a b");
+    }
+}

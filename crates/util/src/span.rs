@@ -1,0 +1,198 @@
+//! Byte-offset source spans.
+//!
+//! The surface parsers attach a [`Span`] to every token and to every parsed
+//! expression so that diagnostics can point back into the source text.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// The special value [`Span::DUMMY`] (`0..0`) is used for terms constructed
+/// programmatically (e.g. by the builder DSL or by the compiler itself).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character covered by the span.
+    pub start: u32,
+    /// Byte offset one past the last character covered by the span.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span that covers nothing; used for synthesized terms.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a new span. `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        assert!(start <= end, "span start {start} exceeds end {end}");
+        Span { start, end }
+    }
+
+    /// Returns the smallest span that covers both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            return other;
+        }
+        if other == Span::DUMMY {
+            return self;
+        }
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// The number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this is the dummy span.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// Extracts the covered slice out of `source`, if in bounds.
+    pub fn slice<'a>(&self, source: &'a str) -> Option<&'a str> {
+        source.get(self.start as usize..self.end as usize)
+    }
+
+    /// Computes the 1-based line and column of the start of the span.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start as usize {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl From<Range<usize>> for Span {
+    fn from(r: Range<usize>) -> Span {
+        Span::new(r.start as u32, r.end as u32)
+    }
+}
+
+impl From<Span> for Range<usize> {
+    fn from(s: Span) -> Range<usize> {
+        s.start as usize..s.end as usize
+    }
+}
+
+/// A value paired with the span of source text it came from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Spanned<T> {
+    /// The located value.
+    pub value: T,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `value` with `span`.
+    pub fn new(value: T, span: Span) -> Self {
+        Spanned { value, span }
+    }
+
+    /// Applies `f` to the value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned { value: f(self.value), span: self.span }
+    }
+
+    /// Discards the span.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Spanned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.value, self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.join(b), Span::new(2, 9));
+        assert_eq!(b.join(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn join_with_dummy_is_identity() {
+        let a = Span::new(3, 4);
+        assert_eq!(a.join(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.join(a), a);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "lambda x : A. x";
+        let span = Span::new(0, 6);
+        assert_eq!(span.slice(src), Some("lambda"));
+        assert_eq!(Span::new(0, 1000).slice(src), None);
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn spanned_map_keeps_span() {
+        let s = Spanned::new(21, Span::new(1, 2));
+        let t = s.map(|n| n * 2);
+        assert_eq!(t.value, 42);
+        assert_eq!(t.span, Span::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn range_conversions_round_trip() {
+        let s: Span = (3..8).into();
+        let r: Range<usize> = s.into();
+        assert_eq!(r, 3..8);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

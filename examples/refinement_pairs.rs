@@ -1,0 +1,80 @@
+//! Dependent pairs as refinement types, compiled with their proofs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example refinement_pairs
+//! ```
+//!
+//! Section 2 of the paper motivates Σ types with refinement-style
+//! specifications ("a number paired with a proof that it is positive").
+//! Here we build the boolean analogue — `Σ b : Bool. IsTrue b` — and show
+//! that closure conversion preserves both the data *and* the proof: the
+//! compiled witness still checks against the compiled refinement type, and
+//! projecting the payload still yields the same boolean.
+
+use cccc::compiler::translate::translate;
+use cccc::compiler::verify::check_type_preservation;
+use cccc::source::{self, builder as s, prelude};
+use cccc::target;
+
+fn main() {
+    let source_env = source::Env::new();
+    let target_env = target::Env::new();
+
+    // IsTrue : Bool → ⋆, defined by case analysis:
+    //   IsTrue true  = True  (the impredicative encoding Π A:⋆. A → A)
+    //   IsTrue false = False (Π A:⋆. A)
+    let is_true = prelude::is_true_predicate();
+    println!("IsTrue := {is_true}");
+
+    // The refinement type Σ b : Bool. IsTrue b and its canonical witness
+    // ⟨true, id⟩.
+    let refined_ty = prelude::refined_true_ty();
+    let witness = prelude::refined_true_witness();
+    println!("\nrefinement type : {refined_ty}");
+    println!("witness         : {witness}");
+
+    // It type checks in CC.
+    source::typecheck::check(&source_env, &witness, &refined_ty)
+        .expect("the witness inhabits the refinement type in CC");
+
+    // Compile both the type and the witness.
+    let compiled_ty = translate(&source_env, &refined_ty).unwrap();
+    let compiled_witness = translate(&source_env, &witness).unwrap();
+    println!("\ncompiled type    : {compiled_ty}");
+    println!("compiled witness : {}", target::pretty::term_to_string_width(&compiled_witness, 100));
+
+    // The compiled witness checks against the compiled refinement type:
+    // the *proof component* — a function, hence now a closure — survives
+    // compilation with its specification intact.
+    target::typecheck::check(&target_env, &compiled_witness, &compiled_ty)
+        .expect("the compiled witness inhabits the compiled refinement type in CC-CC");
+    println!("\nthe compiled witness still inhabits the compiled refinement type (Theorem 5.6).");
+
+    // Theorem 5.6, via the generic checker, for both the witness and a
+    // program that uses it.
+    check_type_preservation(&source_env, &witness).unwrap();
+
+    // A client that only trusts refined booleans: it extracts the payload.
+    // fst : (Σ b : Bool. IsTrue b) → Bool, applied to the witness.
+    let client = s::fst(witness.clone());
+    let source_value = source::reduce::normalize_default(&source_env, &client);
+    let compiled_client = translate(&source_env, &client).unwrap();
+    let target_value = target::reduce::normalize_default(&target_env, &compiled_client);
+    println!("\nprojecting the payload:");
+    println!("  source : {source_value}");
+    println!("  target : {target_value}");
+    assert!(matches!(source_value, source::Term::BoolLit(true)));
+    assert!(matches!(target_value, target::Term::BoolLit(true)));
+
+    // The proof component can also be *used* after compilation: apply it as
+    // the polymorphic identity at Bool.
+    let use_proof = s::app(s::app(s::snd(witness), s::bool_ty()), s::ff());
+    let compiled_use = translate(&source_env, &use_proof).unwrap();
+    let result = target::reduce::normalize_default(&target_env, &compiled_use);
+    println!("\nusing the compiled proof as a function: snd ⟨true, id⟩ Bool false ⊲* {result}");
+    assert!(matches!(result, target::Term::BoolLit(false)));
+
+    println!("\nrefinement types and their proofs survive closure conversion.");
+}

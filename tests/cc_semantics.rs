@@ -1,0 +1,177 @@
+//! Integration tests for CC reduction and definitional equivalence
+//! (Figure 2): the ⊲ rules, confluence-flavoured sanity checks, η, and the
+//! interaction between reduction and typing (subject reduction on the
+//! corpus).
+
+use cccc::source::builder::*;
+use cccc::source::{equiv, generate, prelude, reduce, subst, typecheck, Env, Term};
+use cccc::util::{Fuel, Symbol};
+
+fn nf(term: &Term) -> Term {
+    reduce::normalize_default(&Env::new(), term)
+}
+
+#[test]
+fn every_reduction_rule_fires() {
+    // β
+    assert!(subst::alpha_eq(&nf(&app(lam("x", bool_ty(), var("x")), tt())), &tt()));
+    // ζ
+    assert!(subst::alpha_eq(&nf(&let_("x", bool_ty(), ff(), var("x"))), &ff()));
+    // π1 / π2
+    let p = pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()));
+    assert!(subst::alpha_eq(&nf(&fst(p.clone())), &tt()));
+    assert!(subst::alpha_eq(&nf(&snd(p)), &ff()));
+    // δ
+    let env = Env::new().with_definition(Symbol::intern("two"), prelude::church_numeral(2), prelude::church_nat_ty());
+    let mut fuel = Fuel::default();
+    let unfolded = reduce::normalize(&env, &var("two"), &mut fuel).unwrap();
+    assert!(equiv::definitionally_equal(&env, &unfolded, &prelude::church_numeral(2)));
+    // if
+    assert!(subst::alpha_eq(&nf(&ite(tt(), ff(), tt())), &ff()));
+}
+
+#[test]
+fn ground_corpus_evaluates_to_the_expected_literals() {
+    for (entry, expected) in prelude::ground_corpus() {
+        let value = nf(&entry.term);
+        assert!(
+            subst::alpha_eq(&value, &bool_lit(expected)),
+            "`{}` evaluated to {value}, expected {expected}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn normalization_is_idempotent_on_the_corpus() {
+    for entry in prelude::corpus() {
+        let once = nf(&entry.term);
+        let twice = nf(&once);
+        assert!(subst::alpha_eq(&once, &twice), "`{}` is not stable under normalization", entry.name);
+    }
+}
+
+#[test]
+fn single_stepping_agrees_with_normalization() {
+    for (entry, expected) in prelude::ground_corpus() {
+        let (value, steps) = reduce::reduce_steps(&Env::new(), &entry.term, 100_000);
+        assert!(
+            subst::alpha_eq(&value, &bool_lit(expected)),
+            "`{}` stepped to {value} after {steps} steps",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn subject_reduction_on_ground_corpus() {
+    // If Γ ⊢ e : A and e ⊲ e', then Γ ⊢ e' : A (checked along the whole
+    // reduction sequence of each ground program).
+    for (entry, _) in prelude::ground_corpus() {
+        let env = Env::new();
+        let ty = typecheck::infer(&env, &entry.term).unwrap();
+        let mut current = entry.term.clone();
+        let mut steps = 0;
+        while let Some(next) = reduce::step(&env, &current) {
+            typecheck::check(&env, &next, &ty).unwrap_or_else(|e| {
+                panic!("subject reduction failed for `{}` at step {steps}: {e}", entry.name)
+            });
+            current = next;
+            steps += 1;
+            if steps > 200 {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_is_reflexive_symmetric_transitive_on_samples() {
+    let env = Env::new();
+    let samples = vec![
+        prelude::poly_id(),
+        app(prelude::not_fn(), tt()),
+        prelude::church_numeral(3),
+        pair(tt(), ff(), sigma("x", bool_ty(), bool_ty())),
+    ];
+    for a in &samples {
+        assert!(equiv::definitionally_equal(&env, a, a));
+    }
+    // not true ≡ false ≡ fst ⟨false, true⟩ — transitivity through a chain.
+    let a = app(prelude::not_fn(), tt());
+    let b = ff();
+    let c = fst(pair(ff(), tt(), sigma("x", bool_ty(), bool_ty())));
+    assert!(equiv::definitionally_equal(&env, &a, &b));
+    assert!(equiv::definitionally_equal(&env, &b, &c));
+    assert!(equiv::definitionally_equal(&env, &a, &c));
+    assert!(equiv::definitionally_equal(&env, &c, &a));
+}
+
+#[test]
+fn eta_equivalence_examples_from_the_paper() {
+    let env = Env::new().with_assumption(
+        Symbol::intern("f"),
+        pi("x", bool_ty(), bool_ty()),
+    );
+    // η for functions.
+    let expanded = lam("y", bool_ty(), app(var("f"), var("y")));
+    assert!(equiv::definitionally_equal(&env, &expanded, &var("f")));
+    // Double η.
+    let doubly = lam("y", bool_ty(), app(expanded.clone(), var("y")));
+    assert!(equiv::definitionally_equal(&env, &doubly, &var("f")));
+    // η does not equate distinct neutral terms.
+    let env2 = env.with_assumption(Symbol::intern("g"), pi("x", bool_ty(), bool_ty()));
+    assert!(!equiv::definitionally_equal(&env2, &expanded, &var("g")));
+}
+
+#[test]
+fn church_arithmetic_laws_hold_definitionally() {
+    let env = Env::new();
+    let add = prelude::church_add;
+    let mul = prelude::church_mul;
+    let n = prelude::church_numeral;
+    // 2 + 3 ≡ 5, 3 + 2 ≡ 5 (commutes on closed numerals).
+    assert!(equiv::definitionally_equal(&env, &app(app(add(), n(2)), n(3)), &n(5)));
+    assert!(equiv::definitionally_equal(&env, &app(app(add(), n(3)), n(2)), &n(5)));
+    // 2 * 3 ≡ 6 and (1 + 2) * 2 ≡ 6.
+    assert!(equiv::definitionally_equal(&env, &app(app(mul(), n(2)), n(3)), &n(6)));
+    let sum = app(app(add(), n(1)), n(2));
+    assert!(equiv::definitionally_equal(&env, &app(app(mul(), sum), n(2)), &n(6)));
+    // 0 is an identity for addition.
+    assert!(equiv::definitionally_equal(&env, &app(app(add(), n(0)), n(4)), &n(4)));
+}
+
+#[test]
+fn generated_programs_normalize_to_stable_values() {
+    let mut generator = generate::TermGenerator::new(99);
+    for _ in 0..60 {
+        let term = generator.gen_ground_program();
+        let value = nf(&term);
+        assert!(matches!(value, Term::BoolLit(_)), "expected a literal, got {value}");
+        assert!(subst::alpha_eq(&nf(&value), &value));
+        // The value is definitionally equal to the original program.
+        assert!(equiv::definitionally_equal(&Env::new(), &term, &value));
+    }
+}
+
+#[test]
+fn substitution_commutes_with_reduction_on_generated_programs() {
+    // If e is a ground program with a free boolean x, then
+    // (e ⊲* v)[b/x] and e[b/x] ⊲* v agree (for closed b).
+    let mut generator = generate::TermGenerator::new(1234);
+    for _ in 0..30 {
+        let (env, open_term, gamma) = generator.gen_open_component(3);
+        let closed = subst::subst_all(&open_term, &gamma);
+        let value_after_subst = nf(&closed);
+        // Normalizing the open term first (under its environment, which has
+        // no definitions, so this only reduces redexes) and then
+        // substituting must give the same value.
+        let mut fuel = Fuel::default();
+        let open_normal = reduce::normalize(&env, &open_term, &mut fuel).unwrap();
+        let value_other_way = nf(&subst::subst_all(&open_normal, &gamma));
+        assert!(
+            subst::alpha_eq(&value_after_subst, &value_other_way),
+            "substitution and reduction disagree"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Integration tests for the CC type system (Figures 3–4) driven through the
+//! public API: parsing, the prelude corpus, and negative tests that exercise
+//! the restrictions the paper calls out (impredicativity of Σ, the universe
+//! hierarchy, ill-formed environments).
+
+use cccc::source::builder::*;
+use cccc::source::{self, equiv, parse, prelude, typecheck, Env, Term};
+use cccc::util::Symbol;
+
+fn infer_closed(term: &Term) -> Result<Term, source::TypeError> {
+    typecheck::infer(&Env::new(), term)
+}
+
+#[test]
+fn the_whole_corpus_type_checks() {
+    for entry in prelude::corpus() {
+        infer_closed(&entry.term)
+            .unwrap_or_else(|e| panic!("corpus entry `{}` is ill-typed: {e}", entry.name));
+    }
+}
+
+#[test]
+fn parsed_programs_type_check_like_built_ones() {
+    let cases = [
+        ("\\(A : *). \\(x : A). x", prelude::poly_id_ty()),
+        ("\\(b : Bool). if b then false else true", arrow(bool_ty(), bool_ty())),
+        (
+            "<true, false> as (Sigma (x : Bool). Bool)",
+            sigma("x", bool_ty(), bool_ty()),
+        ),
+        ("(\\(A : *). \\(x : A). x) Bool true", bool_ty()),
+    ];
+    for (text, expected_ty) in cases {
+        let term = parse::parse_term(text).unwrap();
+        let ty = infer_closed(&term).unwrap_or_else(|e| panic!("`{text}` ill-typed: {e}"));
+        assert!(
+            equiv::definitionally_equal(&Env::new(), &ty, &expected_ty),
+            "`{text}` has type {ty}, expected {expected_ty}"
+        );
+    }
+}
+
+#[test]
+fn division_style_preconditions_can_be_encoded() {
+    // The paper's §2 example of pre/post-conditions, transported to booleans:
+    // a function that requires a *proof* that its argument is true.
+    //   f : Π b : Bool. Π _ : IsTrue b. Bool
+    let f_ty = pi(
+        "b",
+        bool_ty(),
+        pi("proof", app(prelude::is_true_predicate(), var("b")), bool_ty()),
+    );
+    assert!(infer_closed(&f_ty).unwrap().is_star());
+
+    // Calling it with `true` demands a proof of IsTrue true = True, which the
+    // polymorphic identity provides …
+    let env = Env::new().with_assumption(Symbol::intern("f"), f_ty);
+    let good_call = app(app(var("f"), tt()), prelude::poly_id());
+    let ty = typecheck::infer(&env, &good_call).unwrap();
+    assert!(equiv::definitionally_equal(&env, &ty, &bool_ty()));
+
+    // … while calling it with `false` demands a proof of False, which `id`
+    // is not.
+    let bad_call = app(app(var("f"), ff()), prelude::poly_id());
+    assert!(typecheck::infer(&env, &bad_call).is_err());
+}
+
+#[test]
+fn impredicative_pi_but_predicative_large_sigma() {
+    // Π is impredicative in ⋆ …
+    assert!(infer_closed(&pi("A", star(), var("A"))).unwrap().is_star());
+    // … but a strong Σ quantifying over ⋆ must be large, never small.
+    assert!(infer_closed(&sigma("A", star(), var("A"))).unwrap().is_box());
+    assert!(infer_closed(&sigma("A", star(), star())).unwrap().is_box());
+    assert!(infer_closed(&sigma("x", bool_ty(), bool_ty())).unwrap().is_star());
+}
+
+#[test]
+fn universe_hierarchy_is_respected() {
+    assert!(infer_closed(&star()).unwrap().is_box());
+    assert!(matches!(infer_closed(&boxu()), Err(source::TypeError::BoxHasNoType)));
+    // A function cannot return □.
+    assert!(infer_closed(&lam("x", bool_ty(), boxu())).is_err());
+}
+
+#[test]
+fn ill_typed_programs_are_rejected_with_informative_errors() {
+    let cases: Vec<(Term, &str)> = vec![
+        (var("ghost"), "unbound"),
+        (app(tt(), ff()), "non-function"),
+        (fst(tt()), "non-pair"),
+        (ite(star(), tt(), ff()), "mismatch"),
+        (pair(tt(), ff(), bool_ty()), "annotation"),
+        (app(prelude::not_fn(), star()), "mismatch"),
+    ];
+    for (term, fragment) in cases {
+        let error = infer_closed(&term).unwrap_err().to_string();
+        assert!(
+            error.to_lowercase().contains(fragment),
+            "error for `{term}` should mention `{fragment}`, got: {error}"
+        );
+    }
+}
+
+#[test]
+fn environments_are_checked_in_dependency_order() {
+    let good = Env::new()
+        .with_assumption(Symbol::intern("A"), star())
+        .with_assumption(Symbol::intern("P"), arrow(var("A"), star()))
+        .with_assumption(Symbol::intern("a"), var("A"))
+        .with_assumption(Symbol::intern("pf"), app(var("P"), var("a")));
+    assert!(typecheck::check_env(&good).is_ok());
+
+    let reordered = Env::new()
+        .with_assumption(Symbol::intern("a"), var("A"))
+        .with_assumption(Symbol::intern("A"), star());
+    assert!(typecheck::check_env(&reordered).is_err());
+}
+
+#[test]
+fn definitions_participate_in_conversion() {
+    // let Nat = CNat in a numeral checks against the alias through δ.
+    let env = Env::new().with_definition(
+        Symbol::intern("MyNat"),
+        prelude::church_nat_ty(),
+        boxu(),
+    );
+    // Careful: the annotation of a definition must be a universe-typed term;
+    // CNat : ⋆ lives in □? No — CNat is itself a small type, so its type is ⋆.
+    let env_ok = Env::new().with_definition(
+        Symbol::intern("MyNat"),
+        prelude::church_nat_ty(),
+        star(),
+    );
+    assert!(typecheck::check_env(&env_ok).is_ok());
+    let numeral_at_alias = typecheck::check(&env_ok, &prelude::church_numeral(3), &var("MyNat"));
+    assert!(numeral_at_alias.is_ok());
+    // The sloppy annotation (□) is rejected when checking the environment.
+    assert!(typecheck::check_env(&env).is_err());
+}
+
+#[test]
+fn checked_conversion_uses_full_reduction_in_types() {
+    // A type-level computation: (λ A : ⋆. A) Bool is a perfectly good type.
+    let computed_ty = app(lam("A", star(), var("A")), bool_ty());
+    let term = lam("x", computed_ty, var("x"));
+    let ty = infer_closed(&term).unwrap();
+    assert!(equiv::definitionally_equal(&Env::new(), &ty, &arrow(bool_ty(), bool_ty())));
+    // And checking `true` against the computed type succeeds by [Conv].
+    assert!(typecheck::check(&Env::new(), &tt(), &app(lam("A", star(), var("A")), bool_ty())).is_ok());
+}
+
+#[test]
+fn generated_programs_type_check_at_their_goal_types() {
+    let mut generator = source::generate::TermGenerator::new(0xC0FFEE);
+    for i in 0..80 {
+        let (term, ty) = generator.gen_program();
+        typecheck::check(&Env::new(), &term, &ty)
+            .unwrap_or_else(|e| panic!("generated program {i} ill-typed: {e}\n{term}"));
+    }
+}

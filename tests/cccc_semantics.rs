@@ -1,0 +1,162 @@
+//! Integration tests for CC-CC reduction and the closure η-equivalence
+//! (Figure 6): closure β, environment projection chains, and the
+//! equivalences the compositionality proof relies on.
+
+use cccc::compiler::translate::translate;
+use cccc::source::{self, prelude};
+use cccc::target::builder::*;
+use cccc::target::{equiv, reduce, subst, typecheck, Env, Term};
+use cccc::util::Symbol;
+
+fn nf(term: &Term) -> Term {
+    reduce::normalize_default(&Env::new(), term)
+}
+
+#[test]
+fn translated_ground_corpus_evaluates_to_the_same_literals() {
+    for (entry, expected) in prelude::ground_corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        let value = nf(&translated);
+        assert!(
+            subst::alpha_eq(&value, &bool_lit(expected)),
+            "`{}` evaluated to {value}, expected {expected}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn closure_beta_inlines_environment_then_argument() {
+    // ⟪λ(n : Σ_:Bool.1, x : Bool). if fst n then x else false, ⟨true,⟨⟩⟩⟫ false
+    let env_ty = product(bool_ty(), unit_ty());
+    let clo = closure(
+        code("n", env_ty.clone(), "x", bool_ty(), ite(fst(var("n")), var("x"), ff())),
+        pair(tt(), unit_val(), env_ty),
+    );
+    assert!(subst::alpha_eq(&nf(&app(clo.clone(), ff())), &ff()));
+    assert!(subst::alpha_eq(&nf(&app(clo, tt())), &tt()));
+}
+
+#[test]
+fn subject_reduction_holds_in_the_target() {
+    for (entry, _) in prelude::ground_corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        let env = Env::new();
+        let ty = typecheck::infer(&env, &translated).unwrap();
+        let mut current = translated;
+        let mut steps = 0;
+        while let Some(next) = reduce::step(&env, &current) {
+            typecheck::check(&env, &next, &ty).unwrap_or_else(|e| {
+                panic!("target subject reduction failed for `{}` at step {steps}: {e}", entry.name)
+            });
+            current = next;
+            steps += 1;
+            if steps > 150 {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn closure_eta_identifies_partially_inlined_environments() {
+    // Three presentations of "the closure that returns its captured boolean":
+    //  1. capture b in the environment,
+    //  2. capture a pair and project,
+    //  3. inline the literal.
+    let env = Env::new();
+    let simple_ty = product(bool_ty(), unit_ty());
+    let captured = closure(
+        code("n", simple_ty.clone(), "x", unit_ty(), fst(var("n"))),
+        pair(tt(), unit_val(), simple_ty),
+    );
+    let nested_ty = product(product(bool_ty(), bool_ty()), unit_ty());
+    let projected = closure(
+        code("n", nested_ty.clone(), "x", unit_ty(), fst(fst(var("n")))),
+        pair(pair(tt(), ff(), product(bool_ty(), bool_ty())), unit_val(), nested_ty),
+    );
+    let inlined = closure(code("n", unit_ty(), "x", unit_ty(), tt()), unit_val());
+    assert!(equiv::definitionally_equal(&env, &captured, &inlined));
+    assert!(equiv::definitionally_equal(&env, &projected, &inlined));
+    assert!(equiv::definitionally_equal(&env, &captured, &projected));
+    // And a behaviourally different closure stays distinct.
+    let different = closure(code("n", unit_ty(), "x", unit_ty(), ff()), unit_val());
+    assert!(!equiv::definitionally_equal(&env, &captured, &different));
+}
+
+#[test]
+fn closure_eta_against_neutral_closures() {
+    // η: wrapping an unknown closure f in an argument-forwarding closure is
+    // the identity, exactly like the function η rule it replaces.
+    let env = Env::new().with_assumption(
+        Symbol::intern("f"),
+        pi("x", bool_ty(), bool_ty()),
+    );
+    let wrapper = closure(
+        code("n", unit_ty(), "x", bool_ty(), app(var("f"), var("x"))),
+        unit_val(),
+    );
+    assert!(equiv::definitionally_equal(&env, &wrapper, &var("f")));
+}
+
+#[test]
+fn translated_beta_redexes_are_equivalent_to_their_reducts() {
+    // For each ground program, the translation is definitionally equal to
+    // the translation of its value — equivalence "runs" closures during type
+    // checking, as the paper emphasises.
+    for (entry, expected) in prelude::ground_corpus().into_iter().take(8) {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        assert!(
+            equiv::definitionally_equal(&Env::new(), &translated, &bool_lit(expected)),
+            "`{}` is not equivalent to its value after translation",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn environments_are_constructed_at_closure_creation_time() {
+    // Translating under Γ = b : Bool and then substituting different values
+    // for b yields closures that run differently — the environment really is
+    // dynamic data.
+    let source_env = source::Env::new().with_assumption(Symbol::intern("b"), source::builder::bool_ty());
+    let function = source::builder::lam("x", source::builder::bool_ty(), source::builder::var("b"));
+    let translated = translate(&source_env, &function).unwrap();
+    let with_true = subst::subst(&translated, Symbol::intern("b"), &tt());
+    let with_false = subst::subst(&translated, Symbol::intern("b"), &ff());
+    assert!(subst::alpha_eq(&nf(&app(with_true, ff())), &tt()));
+    assert!(subst::alpha_eq(&nf(&app(with_false, tt())), &ff()));
+}
+
+#[test]
+fn stuck_terms_are_only_those_with_free_variables() {
+    // A neutral application does not reduce, but is not an error either.
+    let neutral = app(var("unknown_closure"), tt());
+    assert!(reduce::step(&Env::new(), &neutral).is_none());
+    // Bare code application is detected as a stuck error by whnf.
+    let mut fuel = cccc::util::Fuel::default();
+    let bare = app(code("n", unit_ty(), "x", bool_ty(), var("x")), tt());
+    assert!(reduce::whnf(&Env::new(), &bare, &mut fuel).is_err());
+}
+
+#[test]
+fn deep_closure_chains_normalize() {
+    // Compose the not-closure with itself k times and apply to true.
+    let not_closure = || {
+        closure(
+            code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())),
+            unit_val(),
+        )
+    };
+    for k in [1usize, 4, 9, 16] {
+        let mut program = tt();
+        for _ in 0..k {
+            program = app(not_closure(), program);
+        }
+        let value = nf(&program);
+        // `not` applied k times to `true` is `true` exactly when k is even.
+        let expected = k % 2 == 0;
+        assert!(subst::alpha_eq(&value, &bool_lit(expected)));
+        assert!(matches!(value, Term::BoolLit(b) if b == expected));
+    }
+}

@@ -1,0 +1,189 @@
+//! Integration tests for the CC-CC type system (Figure 7), with emphasis on
+//! the two rules that define typed closure conversion: `[Code]` (code must
+//! be closed) and `[Clo]` (the environment is substituted into the closure
+//! type).
+
+use cccc::compiler::translate::{translate, translate_env};
+use cccc::source::{self, builder as s, prelude};
+use cccc::target::builder::*;
+use cccc::target::{equiv, subst, typecheck, Env, Term, TypeError};
+use cccc::util::Symbol;
+
+#[test]
+fn the_translated_corpus_type_checks_in_cccc() {
+    for entry in prelude::corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        typecheck::infer(&Env::new(), &translated)
+            .unwrap_or_else(|e| panic!("translated `{}` is ill-typed: {e}", entry.name));
+    }
+}
+
+#[test]
+fn rule_code_rejects_every_form_of_open_code() {
+    let open_bodies = vec![
+        code("n", unit_ty(), "x", bool_ty(), var("leak")),
+        code("n", unit_ty(), "x", var("LeakTy"), var("x")),
+        code("n", var("LeakEnvTy"), "x", bool_ty(), var("x")),
+        code(
+            "n",
+            unit_ty(),
+            "x",
+            bool_ty(),
+            app(var("leaked_function"), var("x")),
+        ),
+    ];
+    // Even when the leaked variables are bound in the ambient environment.
+    let ambient = Env::new()
+        .with_assumption(Symbol::intern("leak"), bool_ty())
+        .with_assumption(Symbol::intern("LeakTy"), star())
+        .with_assumption(Symbol::intern("LeakEnvTy"), star())
+        .with_assumption(
+            Symbol::intern("leaked_function"),
+            pi("x", bool_ty(), bool_ty()),
+        );
+    for candidate in open_bodies {
+        assert!(
+            matches!(typecheck::infer(&ambient, &candidate), Err(TypeError::OpenCode { .. })),
+            "open code `{candidate}` must be rejected by [Code]"
+        );
+    }
+}
+
+#[test]
+fn rule_clo_substitutes_the_environment_into_the_type() {
+    // The paper's §3 example: the inner closure of the polymorphic identity
+    // with environment ⟨Bool, ⟨⟩⟩ has type Π x : fst ⟨Bool,⟨⟩⟩. fst ⟨Bool,⟨⟩⟩,
+    // which [Conv] reduces to Π x : Bool. Bool.
+    let env_telescope = sigma("A", star(), unit_ty());
+    let inner = closure(
+        code("n2", env_telescope.clone(), "x", fst(var("n2")), var("x")),
+        pair(bool_ty(), unit_val(), env_telescope),
+    );
+    let ty = typecheck::infer(&Env::new(), &inner).unwrap();
+    assert!(equiv::definitionally_equal(&Env::new(), &ty, &pi("x", bool_ty(), bool_ty())));
+    // Crucially, the *code* type itself mentions the environment parameter:
+    match typecheck::infer(&Env::new(), &code("n2", sigma("A", star(), unit_ty()), "x", fst(var("n2")), var("x"))).unwrap() {
+        Term::CodeTy { arg_ty, result, .. } => {
+            assert!(matches!(&*arg_ty, Term::Fst(_)));
+            assert!(matches!(&*result, Term::Fst(_)));
+        }
+        other => panic!("expected a code type, got {other}"),
+    }
+}
+
+#[test]
+fn two_closures_with_different_environments_share_a_type() {
+    // The §1 motivation: (λ x. y)+ and (λ x. x)+ must have the same type,
+    // even though their environments differ.
+    let source_env = source::Env::new().with_assumption(Symbol::intern("y"), s::bool_ty());
+    let captures_y = translate(&source_env, &s::lam("x", s::bool_ty(), s::var("y"))).unwrap();
+    let identity = translate(&source_env, &s::lam("x", s::bool_ty(), s::var("x"))).unwrap();
+
+    let target_env = translate_env(&source_env).unwrap();
+    let ty_captures = typecheck::infer(&target_env, &captures_y).unwrap();
+    let ty_identity = typecheck::infer(&target_env, &identity).unwrap();
+    let expected = pi("x", bool_ty(), bool_ty());
+    assert!(equiv::definitionally_equal(&target_env, &ty_captures, &expected));
+    assert!(equiv::definitionally_equal(&target_env, &ty_identity, &expected));
+    assert!(equiv::definitionally_equal(&target_env, &ty_captures, &ty_identity));
+}
+
+#[test]
+fn code_is_not_a_first_class_function() {
+    let identity_code = code("n", unit_ty(), "x", bool_ty(), var("x"));
+    // Applying code directly is ill-typed …
+    assert!(matches!(
+        typecheck::infer(&Env::new(), &app(identity_code.clone(), tt())),
+        Err(TypeError::NotAClosure { .. })
+    ));
+    // … and code types are not closure types.
+    let code_type = typecheck::infer(&Env::new(), &identity_code).unwrap();
+    assert!(matches!(code_type, Term::CodeTy { .. }));
+    assert!(!equiv::definitionally_equal(
+        &Env::new(),
+        &code_type,
+        &pi("x", bool_ty(), bool_ty())
+    ));
+}
+
+#[test]
+fn environment_telescopes_with_dependencies_type_check() {
+    use cccc::target::tuple;
+    // Σ (A : ⋆, P : Π _ : A. ⋆, a : A, pf : P a) — a dependent chain like the
+    // ones produced when a closure captures a proof about a captured value.
+    let a = Symbol::intern("A");
+    let p = Symbol::intern("P");
+    let x = Symbol::intern("a");
+    let pf = Symbol::intern("pf");
+    let entries = vec![
+        (a, star()),
+        (p, pi("arg", var("A"), star())),
+        (x, var("A")),
+        (pf, app(var("P"), var("a"))),
+    ];
+    let telescope = tuple::telescope_type(&entries);
+    assert!(typecheck::infer(&Env::new(), &telescope).unwrap().is_box());
+
+    // A concrete environment for it: A = Bool, P = λ_. Bool, a = true, pf = false.
+    let concrete = tuple::tuple_value(
+        &[
+            bool_ty(),
+            closure(code("n", unit_ty(), "arg", bool_ty(), bool_ty()), unit_val()),
+            tt(),
+            ff(),
+        ],
+        &telescope,
+    );
+    assert!(typecheck::check(&Env::new(), &concrete, &telescope).is_ok());
+}
+
+#[test]
+fn translated_environments_are_well_formed() {
+    let source_env = source::Env::new()
+        .with_assumption(Symbol::intern("A"), s::star())
+        .with_assumption(Symbol::intern("elem"), s::var("A"))
+        .with_assumption(Symbol::intern("f"), s::pi("x", s::var("A"), s::var("A")))
+        .with_definition(Symbol::intern("flag"), s::tt(), s::bool_ty());
+    assert!(source::typecheck::check_env(&source_env).is_ok());
+    let target_env = translate_env(&source_env).unwrap();
+    assert!(typecheck::check_env(&target_env).is_ok());
+}
+
+#[test]
+fn closure_types_support_higher_order_arguments() {
+    // A target-level "apply" that takes a closure argument:
+    //   λ (n : 1, f : Π x : Bool. Bool). f true   — written directly in CC-CC.
+    let apply_code = code(
+        "n",
+        unit_ty(),
+        "f",
+        pi("x", bool_ty(), bool_ty()),
+        app(var("f"), tt()),
+    );
+    let apply = closure(apply_code, unit_val());
+    let not_closure = closure(
+        code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())),
+        unit_val(),
+    );
+    let program = app(apply, not_closure);
+    let ty = typecheck::infer(&Env::new(), &program).unwrap();
+    assert!(equiv::definitionally_equal(&Env::new(), &ty, &bool_ty()));
+    let value = cccc::target::reduce::normalize_default(&Env::new(), &program);
+    assert!(subst::alpha_eq(&value, &ff()));
+}
+
+#[test]
+fn every_piece_of_code_in_the_translated_corpus_is_closed() {
+    for entry in prelude::corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        translated.visit(&mut |node| {
+            if matches!(node, Term::Code { .. }) {
+                assert!(
+                    subst::is_closed(node),
+                    "`{}` produced open code: {node}",
+                    entry.name
+                );
+            }
+        });
+    }
+}

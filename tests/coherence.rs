@@ -1,0 +1,135 @@
+//! Lemma 5.4 (Coherence): definitionally equal CC terms translate to
+//! definitionally equal CC-CC terms. The interesting cases are the ones
+//! where the source equivalence is established by η (which the target must
+//! re-establish with the closure-η rules) and by reduction under binders.
+
+use cccc::compiler::verify::check_coherence;
+use cccc::source::{builder as s, equiv, generate::TermGenerator, prelude, reduce, Env};
+use cccc::util::Symbol;
+
+fn sym(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+#[test]
+fn beta_equivalent_programs_stay_equivalent() {
+    let pairs = vec![
+        (s::app(prelude::not_fn(), s::tt()), s::ff()),
+        (
+            s::app(s::app(prelude::poly_id(), s::bool_ty()), s::tt()),
+            s::tt(),
+        ),
+        (
+            s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(3)),
+            prelude::church_numeral(5),
+        ),
+        (
+            s::fst(s::pair(s::tt(), s::ff(), s::sigma("x", s::bool_ty(), s::bool_ty()))),
+            s::tt(),
+        ),
+        (
+            s::let_("b", s::bool_ty(), s::ff(), s::ite(s::var("b"), s::tt(), s::ff())),
+            s::ff(),
+        ),
+    ];
+    for (left, right) in pairs {
+        check_coherence(&Env::new(), &left, &right)
+            .unwrap_or_else(|e| panic!("Lemma 5.4 failed on `{left}` ≡ `{right}`: {e}"));
+    }
+}
+
+#[test]
+fn eta_equivalent_functions_stay_equivalent() {
+    let env = Env::new()
+        .with_assumption(sym("f"), s::arrow(s::bool_ty(), s::bool_ty()))
+        .with_assumption(sym("g"), prelude::poly_id_ty());
+    // Simple η.
+    let expanded = s::lam("x", s::bool_ty(), s::app(s::var("f"), s::var("x")));
+    check_coherence(&env, &expanded, &s::var("f")).unwrap();
+    // η at a polymorphic type, one argument at a time.
+    let poly_expanded = s::lam("A", s::star(), s::app(s::var("g"), s::var("A")));
+    check_coherence(&env, &poly_expanded, &s::var("g")).unwrap();
+    // Doubly-nested η.
+    let doubly = s::lam(
+        "A",
+        s::star(),
+        s::lam("x", s::var("A"), s::app(s::app(s::var("g"), s::var("A")), s::var("x"))),
+    );
+    check_coherence(&env, &doubly, &s::var("g")).unwrap();
+}
+
+#[test]
+fn equivalences_established_under_binders_are_preserved() {
+    // λ b : Bool. (λ y : Bool. y) ((λ z : Bool. z) b)  ≡  λ b : Bool. b —
+    // requires reducing β-redexes inside the body, under the binder.
+    let left = s::lam(
+        "b",
+        s::bool_ty(),
+        s::app(
+            s::lam("y", s::bool_ty(), s::var("y")),
+            s::app(s::lam("z", s::bool_ty(), s::var("z")), s::var("b")),
+        ),
+    );
+    let right = s::lam("b", s::bool_ty(), s::var("b"));
+    assert!(equiv::definitionally_equal(&Env::new(), &left, &right));
+    check_coherence(&Env::new(), &left, &right).unwrap();
+
+    // And an equivalence that mixes reduction with η under the binder:
+    // λ b : Bool. not (not b) is equivalent to its own normal form.
+    let double_not = s::lam(
+        "b",
+        s::bool_ty(),
+        s::app(prelude::not_fn(), s::app(prelude::not_fn(), s::var("b"))),
+    );
+    let normal_form = reduce::normalize_default(&Env::new(), &double_not);
+    assert!(equiv::definitionally_equal(&Env::new(), &double_not, &normal_form));
+    check_coherence(&Env::new(), &double_not, &normal_form).unwrap();
+}
+
+#[test]
+fn delta_equivalences_are_preserved() {
+    let env = Env::new().with_definition(sym("five"), prelude::church_numeral(5), prelude::church_nat_ty());
+    let computed = s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(3));
+    check_coherence(&env, &s::var("five"), &computed).unwrap();
+}
+
+#[test]
+fn every_corpus_entry_is_coherent_with_its_normal_form() {
+    for entry in prelude::corpus() {
+        let normal_form = reduce::normalize_default(&Env::new(), &entry.term);
+        check_coherence(&Env::new(), &entry.term, &normal_form)
+            .unwrap_or_else(|e| panic!("Lemma 5.4 failed on `{}` vs its normal form: {e}", entry.name));
+    }
+}
+
+#[test]
+fn coherence_on_generated_programs_and_their_reducts() {
+    let mut generator = TermGenerator::new(4242);
+    for _ in 0..30 {
+        let term = generator.gen_ground_program();
+        // Pick the one-step reduct (if any) and the normal form.
+        if let Some(next) = reduce::step(&Env::new(), &term) {
+            check_coherence(&Env::new(), &term, &next).unwrap();
+        }
+        let value = reduce::normalize_default(&Env::new(), &term);
+        check_coherence(&Env::new(), &term, &value).unwrap();
+    }
+}
+
+#[test]
+fn coherence_does_not_conflate_inequivalent_terms() {
+    // The checker refuses to even consider inequivalent sources (premise),
+    // and the translations of genuinely different programs stay different.
+    assert!(check_coherence(&Env::new(), &s::tt(), &s::ff()).is_err());
+    let left = cccc::compiler::translate(&Env::new(), &prelude::not_fn()).unwrap();
+    let right = cccc::compiler::translate(
+        &Env::new(),
+        &s::lam("b", s::bool_ty(), s::var("b")),
+    )
+    .unwrap();
+    assert!(!cccc::target::equiv::definitionally_equal(
+        &cccc::target::Env::new(),
+        &left,
+        &right
+    ));
+}

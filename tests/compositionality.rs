@@ -1,0 +1,133 @@
+//! Lemma 5.1 (Compositionality): `(e1[e2/x])⁺ ≡ e1⁺[e2⁺/x]`.
+//!
+//! This is the lemma the paper identifies as the key difficulty of the type
+//! preservation proof, because substituting before translation shrinks
+//! closure environments while substituting after translation leaves the
+//! substituted value inside them; the closure-η rule is what reconciles the
+//! two. The tests below exercise exactly those configurations, plus random
+//! instances.
+
+use cccc::compiler::verify::check_compositionality;
+use cccc::source::{builder as s, generate::TermGenerator, prelude, Env};
+use cccc::util::Symbol;
+
+fn sym(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+#[test]
+fn substituting_into_a_captured_variable() {
+    // e1 = λ y : Bool. x, substituting a literal for x: before translation
+    // the environment is empty; after translation it contains the literal.
+    let env = Env::new().with_assumption(sym("x"), s::bool_ty());
+    let e1 = s::lam("y", s::bool_ty(), s::var("x"));
+    check_compositionality(&env, &e1, sym("x"), &s::tt()).unwrap();
+    check_compositionality(&env, &e1, sym("x"), &s::ff()).unwrap();
+}
+
+#[test]
+fn substituting_a_function_into_a_capturing_closure() {
+    // The substituted term is itself a λ, so the right-hand side ends up
+    // with a *closure* stored inside another closure's environment.
+    let env = Env::new().with_assumption(sym("f"), s::arrow(s::bool_ty(), s::bool_ty()));
+    let e1 = s::lam("y", s::bool_ty(), s::app(s::var("f"), s::var("y")));
+    check_compositionality(&env, &e1, sym("f"), &prelude::not_fn()).unwrap();
+}
+
+#[test]
+fn substituting_under_nested_lambdas() {
+    // Both the outer and the inner closure capture x.
+    let env = Env::new().with_assumption(sym("x"), s::bool_ty());
+    let e1 = s::lam(
+        "a",
+        s::bool_ty(),
+        s::lam("b", s::bool_ty(), s::ite(s::var("x"), s::var("a"), s::var("b"))),
+    );
+    check_compositionality(&env, &e1, sym("x"), &s::tt()).unwrap();
+}
+
+#[test]
+fn substituting_a_type_into_a_polymorphic_closure() {
+    // e1 = λ x : A. x with A free; substituting Bool for A changes the
+    // *type* stored in the environment.
+    let env = Env::new().with_assumption(sym("A"), s::star());
+    let e1 = s::lam("x", s::var("A"), s::var("x"));
+    check_compositionality(&env, &e1, sym("A"), &s::bool_ty()).unwrap();
+    check_compositionality(&env, &e1, sym("A"), &prelude::church_nat_ty()).unwrap();
+}
+
+#[test]
+fn substituting_into_types_and_terms_simultaneously() {
+    // A captures appear in the body, the argument annotation, and the pair
+    // annotation.
+    let env = Env::new()
+        .with_assumption(sym("A"), s::star())
+        .with_assumption(sym("a"), s::var("A"));
+    let e1 = s::lam(
+        "x",
+        s::var("A"),
+        s::pair(s::var("x"), s::var("a"), s::sigma("l", s::var("A"), s::var("A"))),
+    );
+    check_compositionality(&env, &e1, sym("a"), &s::var("a")).unwrap();
+}
+
+#[test]
+fn substitution_in_non_lambda_contexts_is_homomorphic() {
+    let env = Env::new().with_assumption(sym("x"), s::bool_ty());
+    let cases = vec![
+        s::ite(s::var("x"), s::ff(), s::tt()),
+        s::fst(s::pair(s::var("x"), s::tt(), s::sigma("p", s::bool_ty(), s::bool_ty()))),
+        s::let_("y", s::bool_ty(), s::var("x"), s::ite(s::var("y"), s::var("x"), s::ff())),
+        s::app(prelude::not_fn(), s::var("x")),
+    ];
+    for e1 in cases {
+        check_compositionality(&env, &e1, sym("x"), &s::tt()).unwrap();
+    }
+}
+
+#[test]
+fn shadowing_substitutions_are_no_ops() {
+    // If the λ binds the same name we substitute for, nothing changes and
+    // both sides are trivially equal — but the checker must agree.
+    let env = Env::new().with_assumption(sym("x"), s::bool_ty());
+    let e1 = s::lam("x", s::bool_ty(), s::var("x"));
+    check_compositionality(&env, &e1, sym("x"), &s::ff()).unwrap();
+}
+
+#[test]
+fn compositionality_on_generated_open_components() {
+    let mut generator = TermGenerator::new(555);
+    let mut checked = 0;
+    for _ in 0..40 {
+        let (env, term, gamma) = generator.gen_open_component(3);
+        // Substitute each γ entry one at a time and check compositionality
+        // for the individual substitution.
+        for (x, replacement) in &gamma {
+            check_compositionality(&env, &term, *x, replacement).unwrap_or_else(|e| {
+                panic!("Lemma 5.1 failed substituting {x} in `{term}`: {e}")
+            });
+            checked += 1;
+        }
+    }
+    assert!(checked >= 40, "expected to exercise many substitution instances, got {checked}");
+}
+
+#[test]
+fn iterated_substitution_agrees_with_full_linking() {
+    // Substituting the whole γ one variable at a time and translating agrees
+    // with translating and then substituting the translated γ.
+    let mut generator = TermGenerator::new(808);
+    for _ in 0..15 {
+        let (env, term, gamma) = generator.gen_open_component(3);
+        let linked = cccc::source::subst::subst_all(&term, &gamma);
+        let lhs = cccc::compiler::translate(&env, &linked).unwrap();
+        let translated_term = cccc::compiler::translate(&env, &term).unwrap();
+        let translated_gamma = cccc::compiler::link::translate_substitution(&env, &gamma).unwrap();
+        let rhs = cccc::target::subst::subst_all(&translated_term, &translated_gamma);
+        let target_env = cccc::compiler::translate_env(&env).unwrap();
+        assert!(
+            cccc::target::equiv::definitionally_equal(&target_env, &lhs, &rhs),
+            "iterated compositionality failed"
+        );
+    }
+}

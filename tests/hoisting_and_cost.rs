@@ -1,0 +1,144 @@
+//! Integration tests for the two §1/§7-motivated extensions:
+//!
+//! * **hoisting** — closed code is lifted to top-level definitions for
+//!   static allocation, without changing typing or behaviour;
+//! * **the cost model** — the instrumented evaluators quantify the dynamic
+//!   overhead (closure applications, environment construction, projections)
+//!   that closure conversion introduces.
+
+use cccc::compiler::hoist::{hoist, hoist_checked};
+use cccc::compiler::translate::translate;
+use cccc::source::{self, builder as s, generate::TermGenerator, prelude};
+use cccc::target;
+
+#[test]
+fn hoisting_the_translated_corpus_preserves_typing() {
+    for entry in prelude::corpus() {
+        let compiled = translate(&source::Env::new(), &entry.term).unwrap();
+        let (program, ty) = hoist_checked(&compiled)
+            .unwrap_or_else(|e| panic!("hoisting `{}` failed: {e}", entry.name));
+        // One code block per closure, and main is code-free.
+        assert_eq!(program.code_block_count(), compiled.code_count(), "`{}`", entry.name);
+        let mut literal_code_in_main = 0;
+        program.main.visit(&mut |node| {
+            if matches!(node, target::Term::Code { .. }) {
+                literal_code_in_main += 1;
+            }
+        });
+        assert_eq!(literal_code_in_main, 0, "`{}`", entry.name);
+        // The type is unchanged.
+        let original = target::typecheck::infer(&target::Env::new(), &compiled).unwrap();
+        assert!(
+            target::equiv::definitionally_equal(&program.label_environment(), &ty, &original),
+            "`{}` changed type after hoisting",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn hoisting_preserves_ground_observations() {
+    for (entry, expected) in prelude::ground_corpus() {
+        let compiled = translate(&source::Env::new(), &entry.term).unwrap();
+        let program = hoist(&compiled).unwrap();
+        let value = program.evaluate();
+        assert!(
+            matches!(value, target::Term::BoolLit(b) if b == expected),
+            "`{}` evaluated to {value} after hoisting",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn hoisting_generated_programs_round_trips_through_flatten() {
+    let mut generator = TermGenerator::new(60_000);
+    for _ in 0..20 {
+        let term = generator.gen_ground_program();
+        let compiled = translate(&source::Env::new(), &term).unwrap();
+        let program = hoist(&compiled).unwrap();
+        assert!(target::subst::alpha_eq(&program.flatten(), &compiled));
+        assert!(program.typecheck().is_ok());
+    }
+}
+
+#[test]
+fn the_cost_model_shows_closure_conversion_overhead() {
+    // For each ground program: the translated program performs at least as
+    // many dereferences (projections + lets) as the source, and exactly as
+    // many closure applications as the source performs β-steps.
+    for (entry, expected) in prelude::ground_corpus() {
+        let (source_value, source_cost) =
+            source::profile::evaluate_with_cost_default(&source::Env::new(), &entry.term);
+        assert!(matches!(source_value, source::Term::BoolLit(b) if b == expected));
+
+        let compiled = translate(&source::Env::new(), &entry.term).unwrap();
+        let (target_value, target_cost) =
+            target::profile::evaluate_with_cost_default(&target::Env::new(), &compiled);
+        assert!(matches!(target_value, target::Term::BoolLit(b) if b == expected));
+
+        assert_eq!(
+            target_cost.closure_applications, source_cost.beta,
+            "`{}`: every source β becomes exactly one closure application",
+            entry.name
+        );
+        assert!(
+            target_cost.total_steps() >= source_cost.total_steps(),
+            "`{}`: closure conversion should not reduce dynamic work",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn environment_size_drives_the_projection_overhead() {
+    // A function capturing k variables pays k ζ-steps (the projection lets)
+    // per call after closure conversion.
+    for k in [1usize, 3, 6] {
+        // Build λ x : Bool. (uses b0 … b_{k-1}) under an environment binding
+        // them, then apply it once with everything substituted to literals.
+        let mut env = source::Env::new();
+        let mut body = s::tt();
+        for i in 0..k {
+            let name = format!("b{i}");
+            env.push_assumption(cccc::util::Symbol::intern(&name), s::bool_ty());
+            body = s::ite(s::var(&name), body, s::ff());
+        }
+        let function = s::lam("x", s::bool_ty(), body);
+        let compiled = translate(&env, &function).unwrap();
+        // Close it by substituting literals for the captured variables.
+        let mut closed = compiled;
+        for i in 0..k {
+            closed = target::subst::subst(
+                &closed,
+                cccc::util::Symbol::intern(&format!("b{i}")),
+                &target::builder::tt(),
+            );
+        }
+        let application = target::builder::app(closed, target::builder::ff());
+        let (_, cost) =
+            target::profile::evaluate_with_cost_default(&target::Env::new(), &application);
+        assert_eq!(cost.closure_applications, 1);
+        assert!(
+            cost.zeta >= k,
+            "capturing {k} variables should cost at least {k} projection lets, got {}",
+            cost.zeta
+        );
+    }
+}
+
+#[test]
+fn hoisted_code_blocks_can_be_shared_across_programs() {
+    // Two different programs using the same library function produce
+    // α-equivalent code blocks — the static-allocation story of §1.
+    let program_a = s::app(prelude::not_fn(), s::tt());
+    let program_b = s::app(prelude::not_fn(), s::ff());
+    let hoisted_a = hoist(&translate(&source::Env::new(), &program_a).unwrap()).unwrap();
+    let hoisted_b = hoist(&translate(&source::Env::new(), &program_b).unwrap()).unwrap();
+    assert_eq!(hoisted_a.code_block_count(), 1);
+    assert_eq!(hoisted_b.code_block_count(), 1);
+    assert!(target::subst::alpha_eq(
+        &hoisted_a.definitions[0].code,
+        &hoisted_b.definitions[0].code
+    ));
+}

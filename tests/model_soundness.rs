@@ -1,0 +1,171 @@
+//! The model metatheory (§4.1): Lemmas 4.1–4.6, the consistency and type
+//! safety arguments (Theorems 4.7/4.8) exercised on concrete programs, and
+//! the §6 round-trip property `e ≡ (e⁺)°` connecting the compiler with the
+//! model.
+
+use cccc::compiler::translate::translate;
+use cccc::model::verify::{
+    check_coherence, check_compositionality, check_false_preservation, check_no_proof_of_false,
+    check_reduction_preservation, check_round_trip, check_type_preservation, check_type_safety,
+};
+use cccc::model::{model, source_false, target_false};
+use cccc::source::{self, generate::TermGenerator, prelude};
+use cccc::target::{self, builder as t};
+use cccc::util::Symbol;
+
+#[test]
+fn lemma_4_1_false_preservation() {
+    check_false_preservation().unwrap();
+    // And the two encodings really are the respective False propositions:
+    // both are small types with no closed inhabitants among our corpus.
+    assert!(source::typecheck::infer(&source::Env::new(), &source_false()).unwrap().is_star());
+    assert!(target::typecheck::infer(&target::Env::new(), &target_false()).unwrap().is_star());
+}
+
+#[test]
+fn lemma_4_6_type_preservation_on_translated_corpus() {
+    // The model is exercised on the image of the compiler: every translated
+    // corpus program models to a well-typed CC term of the modelled type.
+    for entry in prelude::corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        check_type_preservation(&target::Env::new(), &translated)
+            .unwrap_or_else(|e| panic!("Lemma 4.6 failed on `{}`: {e}", entry.name));
+    }
+}
+
+#[test]
+fn lemma_4_6_type_preservation_on_hand_written_target_programs() {
+    let programs = vec![
+        t::unit_val(),
+        t::pair(t::bool_ty(), t::tt(), t::sigma("A", t::star(), t::var("A"))),
+        t::closure(
+            t::code("n", t::unit_ty(), "x", t::bool_ty(), t::ite(t::var("x"), t::ff(), t::tt())),
+            t::unit_val(),
+        ),
+        t::app(
+            t::closure(t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")), t::unit_val()),
+            t::ff(),
+        ),
+        t::let_("u", t::unit_ty(), t::unit_val(), t::tt()),
+    ];
+    for program in programs {
+        check_type_preservation(&target::Env::new(), &program)
+            .unwrap_or_else(|e| panic!("Lemma 4.6 failed on `{program}`: {e}"));
+    }
+}
+
+#[test]
+fn lemma_4_2_compositionality_on_translated_components() {
+    let mut generator = TermGenerator::new(90210);
+    for _ in 0..20 {
+        let (env, term, gamma) = generator.gen_open_component(3);
+        let translated_env = cccc::compiler::translate_env(&env).unwrap();
+        let translated_term = translate(&env, &term).unwrap();
+        for (x, replacement) in &gamma {
+            let translated_replacement = translate(&source::Env::new(), replacement).unwrap();
+            check_compositionality(&translated_env, &translated_term, *x, &translated_replacement)
+                .unwrap_or_else(|e| panic!("Lemma 4.2 failed substituting {x}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn lemmas_4_3_and_4_4_reduction_preservation() {
+    for (entry, _) in prelude::ground_corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        check_reduction_preservation(&target::Env::new(), &translated, 48)
+            .unwrap_or_else(|e| panic!("Lemma 4.3 failed on `{}`: {e}", entry.name));
+    }
+}
+
+#[test]
+fn lemma_4_5_coherence_through_the_model() {
+    // Closure-η equivalences in CC-CC are preserved by the model.
+    let env = target::Env::new().with_assumption(
+        Symbol::intern("f"),
+        t::pi("x", t::bool_ty(), t::bool_ty()),
+    );
+    let expanded = t::closure(
+        t::code("n", t::unit_ty(), "x", t::bool_ty(), t::app(t::var("f"), t::var("x"))),
+        t::unit_val(),
+    );
+    check_coherence(&env, &expanded, &t::var("f")).unwrap();
+
+    // Reduction-based equivalences too.
+    let redex = t::app(
+        t::closure(t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")), t::unit_val()),
+        t::tt(),
+    );
+    check_coherence(&target::Env::new(), &redex, &t::tt()).unwrap();
+}
+
+#[test]
+fn theorem_4_7_no_known_candidate_proves_false() {
+    // Candidates that superficially look like they might inhabit False:
+    // translated corpus entries, identity closures instantiated at False,
+    // and unit-like values. None type checks at Π A:⋆. A.
+    let mut candidates: Vec<target::Term> = prelude::corpus()
+        .into_iter()
+        .map(|entry| translate(&source::Env::new(), &entry.term).unwrap())
+        .collect();
+    candidates.push(t::unit_val());
+    candidates.push(t::closure(
+        t::code("n", t::unit_ty(), "A", t::star(), t::var("A")),
+        t::unit_val(),
+    ));
+    candidates.push(t::app(
+        translate(&source::Env::new(), &prelude::poly_id()).unwrap(),
+        target_false(),
+    ));
+    for candidate in candidates {
+        check_no_proof_of_false(&candidate)
+            .unwrap_or_else(|e| panic!("consistency violated: {e}"));
+    }
+}
+
+#[test]
+fn theorem_4_8_type_safety_on_translated_programs() {
+    // Every closed well-typed translated program evaluates to a value
+    // without getting stuck.
+    for (entry, expected) in prelude::ground_corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        let value = check_type_safety(&translated)
+            .unwrap_or_else(|e| panic!("Theorem 4.8 failed on `{}`: {e}", entry.name));
+        assert!(matches!(value, target::Term::BoolLit(b) if b == expected));
+    }
+    // Also on non-ground programs (values are closures/pairs/types).
+    for entry in prelude::corpus().into_iter().take(10) {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        let value = check_type_safety(&translated).unwrap();
+        assert!(value.is_value(), "`{}` evaluated to a non-value {value}", entry.name);
+    }
+}
+
+#[test]
+fn the_model_undoes_the_compiler_up_to_equivalence() {
+    // §6: e ≡ (e⁺)° for every corpus program and for generated programs.
+    for entry in prelude::corpus() {
+        check_round_trip(&source::Env::new(), &entry.term)
+            .unwrap_or_else(|e| panic!("round trip failed on `{}`: {e}", entry.name));
+    }
+    let mut generator = TermGenerator::new(86);
+    for _ in 0..25 {
+        let term = generator.gen_ground_program();
+        check_round_trip(&source::Env::new(), &term).unwrap();
+    }
+}
+
+#[test]
+fn modelled_programs_compute_the_same_booleans() {
+    // Semantic round trip: source value = model(translated) value.
+    for (entry, expected) in prelude::ground_corpus() {
+        let translated = translate(&source::Env::new(), &entry.term).unwrap();
+        let modelled = model(&translated);
+        let value = source::reduce::normalize_default(&source::Env::new(), &modelled);
+        assert!(
+            matches!(value, source::Term::BoolLit(b) if b == expected),
+            "`{}` modelled evaluation produced {value}",
+            entry.name
+        );
+    }
+}

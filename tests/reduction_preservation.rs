@@ -1,0 +1,102 @@
+//! Lemmas 5.2 and 5.3 (Preservation of reduction): every source reduction
+//! step is matched, up to definitional equivalence, by the translations —
+//! `e ⊲ e'` implies `e⁺ ⊲* ē ≡ e'⁺`.
+
+use cccc::compiler::translate::translate;
+use cccc::compiler::verify::check_reduction_preservation;
+use cccc::source::{builder as s, generate::TermGenerator, prelude, reduce, Env};
+use cccc::target;
+use cccc::util::Symbol;
+
+#[test]
+fn reduction_preservation_on_the_ground_corpus() {
+    for (entry, _) in prelude::ground_corpus() {
+        check_reduction_preservation(&Env::new(), &entry.term, 48)
+            .unwrap_or_else(|e| panic!("Lemma 5.2 failed on `{}`: {e}", entry.name));
+    }
+}
+
+#[test]
+fn each_reduction_rule_is_preserved_individually() {
+    let cases = vec![
+        // β
+        s::app(s::lam("x", s::bool_ty(), s::ite(s::var("x"), s::ff(), s::tt())), s::tt()),
+        // ζ
+        s::let_("x", s::bool_ty(), s::tt(), s::ite(s::var("x"), s::ff(), s::tt())),
+        // π1, π2
+        s::fst(s::pair(s::tt(), s::ff(), s::sigma("p", s::bool_ty(), s::bool_ty()))),
+        s::snd(s::pair(s::tt(), s::ff(), s::sigma("p", s::bool_ty(), s::bool_ty()))),
+        // if
+        s::ite(s::tt(), s::ff(), s::tt()),
+        // β under an enclosing λ (contextual closure)
+        s::lam("y", s::bool_ty(), s::app(prelude::not_fn(), s::var("y"))),
+    ];
+    for term in cases {
+        check_reduction_preservation(&Env::new(), &term, 32)
+            .unwrap_or_else(|e| panic!("Lemma 5.2 failed on `{term}`: {e}"));
+    }
+}
+
+#[test]
+fn delta_steps_are_preserved_under_definitions() {
+    let env = Env::new()
+        .with_definition(Symbol::intern("b"), s::tt(), s::bool_ty())
+        .with_definition(Symbol::intern("negate"), prelude::not_fn(), s::arrow(s::bool_ty(), s::bool_ty()));
+    let term = s::app(s::var("negate"), s::var("b"));
+    let steps = check_reduction_preservation(&env, &term, 32).unwrap();
+    assert!(steps >= 2, "δ steps for both definitions plus β should be validated");
+}
+
+#[test]
+fn the_translation_simulates_whole_evaluations() {
+    // Beyond per-step preservation: the value of the source program and the
+    // value of the translated program coincide on ground observations
+    // (this is the semantic content of Lemma 5.3 used by Theorem 5.7).
+    for (entry, expected) in prelude::ground_corpus() {
+        let translated = translate(&Env::new(), &entry.term).unwrap();
+        let target_value = target::reduce::normalize_default(&target::Env::new(), &translated);
+        assert!(
+            matches!(target_value, target::Term::BoolLit(b) if b == expected),
+            "`{}` translated evaluation produced {target_value}, expected {expected}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn translated_programs_do_not_take_fewer_steps() {
+    // Closure conversion introduces environment construction and projection,
+    // so the translated program takes at least as many small steps — this is
+    // the §7 "additional dereferences" observation, checked qualitatively.
+    for (entry, _) in prelude::ground_corpus().into_iter().take(8) {
+        let (_, source_steps) = reduce::reduce_steps(&Env::new(), &entry.term, 100_000);
+        let translated = translate(&Env::new(), &entry.term).unwrap();
+        let (_, target_steps) =
+            target::reduce::reduce_steps(&target::Env::new(), &translated, 200_000);
+        assert!(
+            target_steps >= source_steps,
+            "`{}`: target took {target_steps} steps, source {source_steps}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn reduction_preservation_on_generated_programs() {
+    let mut generator = TermGenerator::new(31415);
+    for i in 0..25 {
+        let term = generator.gen_ground_program();
+        check_reduction_preservation(&Env::new(), &term, 24)
+            .unwrap_or_else(|e| panic!("Lemma 5.2 failed on generated program {i}: {e}\n{term}"));
+    }
+}
+
+#[test]
+fn reduction_preservation_on_open_generated_components() {
+    let mut generator = TermGenerator::new(2718);
+    for i in 0..15 {
+        let (env, term, _gamma) = generator.gen_open_component(3);
+        check_reduction_preservation(&env, &term, 24)
+            .unwrap_or_else(|e| panic!("Lemma 5.2 failed on open component {i}: {e}\n{term}"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Theorem 5.7 (Correctness of separate compilation) and Corollary 5.8
+//! (Whole-program correctness), exercised on hand-written linking scenarios
+//! and on randomly generated components with randomly generated libraries.
+
+use cccc::compiler::link::{self, SourceSubstitution};
+use cccc::compiler::verify::{check_separate_compilation, check_whole_program};
+use cccc::compiler::Compiler;
+use cccc::source::{builder as s, generate::TermGenerator, prelude, Env};
+use cccc::util::Symbol;
+
+fn sym(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+#[test]
+fn whole_program_correctness_on_the_ground_corpus() {
+    for (entry, expected) in prelude::ground_corpus() {
+        let observed = check_whole_program(&entry.term)
+            .unwrap_or_else(|e| panic!("Corollary 5.8 failed on `{}`: {e}", entry.name));
+        assert_eq!(observed, expected, "`{}`", entry.name);
+    }
+}
+
+#[test]
+fn linking_against_a_polymorphic_library() {
+    // The client uses a polymorphic identity, boolean operations, and a flag
+    // from the "library" it links against.
+    let env = Env::new()
+        .with_assumption(sym("id"), prelude::poly_id_ty())
+        .with_assumption(sym("negate"), s::arrow(s::bool_ty(), s::bool_ty()))
+        .with_assumption(sym("flag"), s::bool_ty());
+    let client = s::app(
+        s::var("negate"),
+        s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
+    );
+
+    // Two different library implementations; the theorem holds for each.
+    let library_a: SourceSubstitution = vec![
+        (sym("id"), prelude::poly_id()),
+        (sym("negate"), prelude::not_fn()),
+        (sym("flag"), s::tt()),
+    ];
+    assert_eq!(check_separate_compilation(&env, &client, &library_a).unwrap(), false);
+
+    let library_b: SourceSubstitution = vec![
+        (sym("id"), prelude::poly_id()),
+        // A behaviourally different but type-correct "negate".
+        (sym("negate"), s::lam("b", s::bool_ty(), s::var("b"))),
+        (sym("flag"), s::ff()),
+    ];
+    assert_eq!(check_separate_compilation(&env, &client, &library_b).unwrap(), false);
+}
+
+#[test]
+fn linking_dependent_interfaces() {
+    // The interface exposes an abstract type, an element of it, and an
+    // observer back to Bool — the dependent-linking scenario that motivates
+    // preserving Π types precisely.
+    let env = Env::new()
+        .with_assumption(sym("T"), s::star())
+        .with_assumption(sym("element"), s::var("T"))
+        .with_assumption(sym("observe"), s::pi("x", s::var("T"), s::bool_ty()));
+    let client = s::app(s::var("observe"), s::var("element"));
+
+    // Implementation 1: T = Bool.
+    let impl_bool: SourceSubstitution = vec![
+        (sym("T"), s::bool_ty()),
+        (sym("element"), s::ff()),
+        (sym("observe"), prelude::not_fn()),
+    ];
+    assert_eq!(check_separate_compilation(&env, &client, &impl_bool).unwrap(), true);
+
+    // Implementation 2: T = Church numerals.
+    let impl_nat: SourceSubstitution = vec![
+        (sym("T"), prelude::church_nat_ty()),
+        (sym("element"), prelude::church_numeral(3)),
+        (sym("observe"), prelude::church_is_even()),
+    ];
+    assert_eq!(check_separate_compilation(&env, &client, &impl_nat).unwrap(), false);
+}
+
+#[test]
+fn the_two_compilation_orders_agree_program_by_program() {
+    // Directly compare "link then compile then run" with "compile then link
+    // then run" for a batch of scenarios, using the pipeline API.
+    let compiler = Compiler::new();
+    let env = Env::new()
+        .with_assumption(sym("f"), s::arrow(s::bool_ty(), s::bool_ty()))
+        .with_assumption(sym("x"), s::bool_ty());
+    let clients = vec![
+        s::app(s::var("f"), s::var("x")),
+        s::ite(s::var("x"), s::app(s::var("f"), s::ff()), s::tt()),
+        s::app(s::var("f"), s::app(s::var("f"), s::var("x"))),
+    ];
+    let libraries: Vec<SourceSubstitution> = vec![
+        vec![(sym("f"), prelude::not_fn()), (sym("x"), s::tt())],
+        vec![(sym("f"), s::lam("b", s::bool_ty(), s::tt())), (sym("x"), s::ff())],
+    ];
+    for client in &clients {
+        for library in &libraries {
+            // Order 1: link in CC, compile the whole program, run the target.
+            let whole = link::link_source(client, library);
+            let (source_value, target_value_whole) = compiler.compile_and_run(&whole).unwrap();
+            // Order 2: compile separately, link in CC-CC, run.
+            let linked_target = compiler.compile_and_link(&env, client, library).unwrap();
+            let target_value_separate = link::observe_target(&linked_target).unwrap();
+            assert_eq!(source_value, target_value_whole);
+            assert_eq!(source_value, target_value_separate);
+        }
+    }
+}
+
+#[test]
+fn separate_compilation_on_generated_components() {
+    let mut generator = TermGenerator::new(1618);
+    let mut validated = 0;
+    for _ in 0..30 {
+        let (env, component, gamma) = generator.gen_open_component(4);
+        let observed = check_separate_compilation(&env, &component, &gamma)
+            .unwrap_or_else(|e| panic!("Theorem 5.7 failed on generated component: {e}\n{component}"));
+        // Cross-check the observation against direct source evaluation.
+        let linked = link::link_source(&component, &gamma);
+        assert_eq!(link::observe_source(&linked), Some(observed));
+        validated += 1;
+    }
+    assert_eq!(validated, 30);
+}
+
+#[test]
+fn ill_typed_libraries_are_rejected_before_linking() {
+    let env = Env::new()
+        .with_assumption(sym("id"), prelude::poly_id_ty())
+        .with_assumption(sym("flag"), s::bool_ty());
+    let client = s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag"));
+    // Wrong type for `id` (monomorphic instead of polymorphic).
+    let bogus: SourceSubstitution = vec![
+        (sym("id"), s::lam("x", s::bool_ty(), s::var("x"))),
+        (sym("flag"), s::tt()),
+    ];
+    assert!(link::check_source_substitution(&env, &bogus).is_err());
+    assert!(check_separate_compilation(&env, &client, &bogus).is_err());
+    // Missing binding.
+    let incomplete: SourceSubstitution = vec![(sym("id"), prelude::poly_id())];
+    assert!(check_separate_compilation(&env, &client, &incomplete).is_err());
+}
+
+#[test]
+fn compiled_components_can_be_linked_in_any_order() {
+    // Substitution entries can be applied in either order when they do not
+    // depend on one another; both orders produce the same observation.
+    let env = Env::new()
+        .with_assumption(sym("a"), s::bool_ty())
+        .with_assumption(sym("b"), s::bool_ty());
+    let client = s::ite(s::var("a"), s::var("b"), s::ff());
+    let forward: SourceSubstitution = vec![(sym("a"), s::tt()), (sym("b"), s::ff())];
+    let backward: SourceSubstitution = vec![(sym("b"), s::ff()), (sym("a"), s::tt())];
+    let x = check_separate_compilation(&env, &client, &forward).unwrap();
+    let y = check_separate_compilation(&env, &client, &backward).unwrap();
+    assert_eq!(x, y);
+}
