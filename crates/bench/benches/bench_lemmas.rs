@@ -4,9 +4,7 @@
 //! suite runs over thousands of programs; the bench quantifies their
 //! per-program cost.
 
-use cccc_core::verify::{
-    check_coherence, check_compositionality, check_reduction_preservation,
-};
+use cccc_core::verify::{check_coherence, check_compositionality, check_reduction_preservation};
 use cccc_source as src;
 use cccc_source::builder as s;
 use cccc_source::prelude;
@@ -36,7 +34,10 @@ fn bench_lemmas(c: &mut Criterion) {
     // Lemmas 5.2/5.3: follow the reduction sequence of a ground program.
     let reduction_program = s::app(
         prelude::church_is_even(),
-        s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(2)),
+        s::app(
+            s::app(prelude::church_add(), prelude::church_numeral(2)),
+            prelude::church_numeral(2),
+        ),
     );
     group.bench_function("reduction_preservation_lemma_5_2", |b| {
         let empty = src::Env::new();

@@ -21,14 +21,10 @@ fn bench_normalization(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
     for workload in &workloads {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&workload.name),
-            workload,
-            |b, w| {
-                let env = src::Env::new();
-                b.iter(|| src::reduce::normalize_default(&env, &w.term));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&workload.name), workload, |b, w| {
+            let env = src::Env::new();
+            b.iter(|| src::reduce::normalize_default(&env, &w.term));
+        });
     }
     group.finish();
 

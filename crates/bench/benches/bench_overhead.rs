@@ -40,14 +40,10 @@ fn bench_overhead(c: &mut Criterion) {
 
     for workload in capture.iter().chain(closed.iter()) {
         let translated = workload.translated();
-        group.bench_with_input(
-            BenchmarkId::new("cccc", &workload.name),
-            &translated,
-            |b, term| {
-                let env = tgt::Env::new();
-                b.iter(|| tgt::reduce::normalize_default(&env, term));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cccc", &workload.name), &translated, |b, term| {
+            let env = tgt::Env::new();
+            b.iter(|| tgt::reduce::normalize_default(&env, term));
+        });
         group.bench_with_input(
             BenchmarkId::new("cc_baseline", &workload.name),
             workload,

@@ -20,11 +20,8 @@ fn scenario() -> (src::Env, src::Term, link::SourceSubstitution) {
     let interface = src::Env::new()
         .with_assumption(id, prelude::poly_id_ty())
         .with_assumption(flag, s::bool_ty());
-    let client = s::ite(
-        s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
-        s::ff(),
-        s::tt(),
-    );
+    let client =
+        s::ite(s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")), s::ff(), s::tt());
     let library = vec![(id, prelude::poly_id()), (flag, s::tt())];
     (interface, client, library)
 }

@@ -29,14 +29,10 @@ fn bench_translation(c: &mut Criterion) {
     // Environment-size sweep: deeper capture towers mean larger telescopes
     // for the FV metafunction and the environment construction.
     for workload in nested_capture_workloads(&[2, 5, 8]) {
-        group.bench_with_input(
-            BenchmarkId::new("capture", &workload.name),
-            &workload,
-            |b, w| {
-                let env = src::Env::new();
-                b.iter(|| translate(&env, &w.term).expect("translates"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("capture", &workload.name), &workload, |b, w| {
+            let env = src::Env::new();
+            b.iter(|| translate(&env, &w.term).expect("translates"));
+        });
     }
     group.finish();
 

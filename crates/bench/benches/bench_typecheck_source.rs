@@ -29,14 +29,10 @@ fn bench_typecheck_source(c: &mut Criterion) {
 
     // Sweep: Church arithmetic of growing size.
     for workload in church_workloads(&[2, 4, 6]) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&workload.name),
-            &workload,
-            |b, w| {
-                let env = src::Env::new();
-                b.iter(|| src::typecheck::infer(&env, &w.term).expect("well-typed"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&workload.name), &workload, |b, w| {
+            let env = src::Env::new();
+            b.iter(|| src::typecheck::infer(&env, &w.term).expect("well-typed"));
+        });
     }
     group.finish();
 }

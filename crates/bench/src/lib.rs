@@ -39,10 +39,7 @@ impl Workload {
 
 /// The standard corpus as workloads.
 pub fn corpus_workloads() -> Vec<Workload> {
-    prelude::corpus()
-        .into_iter()
-        .map(|entry| Workload::new(entry.name, entry.term))
-        .collect()
+    prelude::corpus().into_iter().map(|entry| Workload::new(entry.name, entry.term)).collect()
 }
 
 /// The ground (boolean-valued) corpus as workloads.
@@ -75,7 +72,9 @@ pub fn church_workloads(sizes: &[usize]) -> Vec<Workload> {
 pub fn nested_capture_workloads(depths: &[usize]) -> Vec<Workload> {
     depths
         .iter()
-        .map(|&depth| Workload::new(format!("capture_depth_{depth}"), nested_capture_program(depth)))
+        .map(|&depth| {
+            Workload::new(format!("capture_depth_{depth}"), nested_capture_program(depth))
+        })
         .collect()
 }
 
@@ -169,7 +168,12 @@ pub mod report {
         for row in rows {
             out.push_str(&format!(
                 "{:<28} {:>8} {:>8} {:>9.2}x {:>8} {:>9}\n",
-                row.name, row.source_size, row.target_size, row.expansion, row.lambdas, row.closures
+                row.name,
+                row.source_size,
+                row.target_size,
+                row.expansion,
+                row.lambdas,
+                row.closures
             ));
         }
         out
@@ -181,8 +185,7 @@ pub mod report {
         let (_, source_steps) =
             src::reduce::reduce_steps(&src::Env::new(), &workload.term, max_steps);
         let translated = workload.translated();
-        let (_, target_steps) =
-            tgt::reduce::reduce_steps(&tgt::Env::new(), &translated, max_steps);
+        let (_, target_steps) = tgt::reduce::reduce_steps(&tgt::Env::new(), &translated, max_steps);
         (source_steps, target_steps)
     }
 }

@@ -116,9 +116,8 @@ mod tests {
 
     #[test]
     fn direct_free_variables_are_collected_with_types() {
-        let env = Env::new()
-            .with_assumption(sym("y"), bool_ty())
-            .with_assumption(sym("z"), bool_ty());
+        let env =
+            Env::new().with_assumption(sym("y"), bool_ty()).with_assumption(sym("z"), bool_ty());
         let term = lam("x", bool_ty(), var("y"));
         let fv = dependent_free_vars_of(&env, &term).unwrap();
         assert_eq!(fv.len(), 1);
@@ -130,9 +129,7 @@ mod tests {
     fn types_of_free_variables_pull_in_their_own_dependencies() {
         // Γ = A : ⋆, a : A.  The term λ x : Bool. a  mentions only `a`, but
         // the type of `a` mentions `A`, so FV must include A before a.
-        let env = Env::new()
-            .with_assumption(sym("A"), star())
-            .with_assumption(sym("a"), var("A"));
+        let env = Env::new().with_assumption(sym("A"), star()).with_assumption(sym("a"), var("A"));
         let term = lam("x", bool_ty(), var("a"));
         let fv = dependent_free_vars_of(&env, &term).unwrap();
         let names: Vec<Symbol> = fv.iter().map(|(n, _)| *n).collect();
@@ -167,11 +164,9 @@ mod tests {
     }
 
     #[test]
-    fn annotation_and_type_both_contribute(){
+    fn annotation_and_type_both_contribute() {
         // FV is computed for both the function and its Π type.
-        let env = Env::new()
-            .with_assumption(sym("A"), star())
-            .with_assumption(sym("B"), star());
+        let env = Env::new().with_assumption(sym("A"), star()).with_assumption(sym("B"), star());
         let function = lam("x", var("A"), var("x"));
         let function_ty = pi("x", var("A"), var("B"));
         let fv = dependent_free_vars(&env, &[&function, &function_ty]).unwrap();
@@ -181,9 +176,11 @@ mod tests {
 
     #[test]
     fn definitions_pull_in_their_dependencies_too() {
-        let env = Env::new()
-            .with_assumption(sym("b"), bool_ty())
-            .with_definition(sym("c"), var("b"), bool_ty());
+        let env = Env::new().with_assumption(sym("b"), bool_ty()).with_definition(
+            sym("c"),
+            var("b"),
+            bool_ty(),
+        );
         let term = lam("x", bool_ty(), var("c"));
         let fv = dependent_free_vars_of(&env, &term).unwrap();
         let names: Vec<Symbol> = fv.iter().map(|(n, _)| *n).collect();

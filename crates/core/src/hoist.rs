@@ -201,10 +201,8 @@ fn hoist_term(term: &tgt::Term, definitions: &mut Vec<CodeDefinition>) -> Result
             }
             // Record the type of the fully expanded (label-free) code, which
             // is what the paper's [Code] rule checks.
-            let expansions: Vec<(Symbol, tgt::Term)> = definitions
-                .iter()
-                .map(|d| (d.label, d.code.clone()))
-                .collect();
+            let expansions: Vec<(Symbol, tgt::Term)> =
+                definitions.iter().map(|d| (d.label, d.code.clone())).collect();
             let expanded = expand_labels(&hoisted, &expansions);
             debug_assert!(is_closed(&expanded));
             let ty = tgt::typecheck::infer(&tgt::Env::new(), &expanded)
@@ -310,9 +308,8 @@ mod tests {
     fn hoisted_programs_type_check_and_flatten_back() {
         for entry in prelude::corpus().into_iter().take(12) {
             let compiled = compile(&entry.term);
-            let (program, ty) = hoist_checked(&compiled).unwrap_or_else(|e| {
-                panic!("hoisting `{}` failed: {e}", entry.name)
-            });
+            let (program, ty) = hoist_checked(&compiled)
+                .unwrap_or_else(|e| panic!("hoisting `{}` failed: {e}", entry.name));
             // The hoisted program has the same type as the original term.
             let original_ty = tgt::typecheck::infer(&tgt::Env::new(), &compiled).unwrap();
             assert!(

@@ -6,7 +6,7 @@
 //!
 //! * [`fv`] — the dependency-ordered free-variable metafunction `FV`
 //!   (Figure 10);
-//! * [`translate`] — the closure-conversion translation (Figure 9);
+//! * [`mod@translate`] — the closure-conversion translation (Figure 9);
 //! * [`link`] — components, closing substitutions, linking, and the
 //!   ground-value observation relation `≈` (§5.2);
 //! * [`verify`] — executable checkers for the compiler metatheory

@@ -81,9 +81,8 @@ pub fn check_source_substitution(
             .map(|(_, e)| e.clone())
             .ok_or(LinkError::MissingBinding(name))?;
         let expected_ty = src::subst::subst_all(decl.ty(), &applied);
-        src::typecheck::check(&src::Env::new(), &replacement, &expected_ty).map_err(|e| {
-            LinkError::IllTyped { variable: name, error: e.to_string() }
-        })?;
+        src::typecheck::check(&src::Env::new(), &replacement, &expected_ty)
+            .map_err(|e| LinkError::IllTyped { variable: name, error: e.to_string() })?;
         applied.push((name, replacement));
     }
     Ok(())

@@ -2,7 +2,7 @@
 //! re-check → (optionally) verify the metatheory on the given program.
 //!
 //! This is the API the examples and benchmarks drive. It packages the
-//! lower-level pieces ([`crate::translate`], [`crate::verify`],
+//! lower-level pieces ([`mod@crate::translate`], [`crate::verify`],
 //! [`crate::link`]) behind a [`Compiler`] value with explicit options.
 
 use crate::link::{LinkError, SourceSubstitution};
@@ -239,9 +239,8 @@ impl Compiler {
     /// a boolean.
     pub fn compile_and_run(&self, term: &src::Term) -> Result<(bool, bool)> {
         let compilation = self.compile_closed(term)?;
-        let source_value = crate::link::observe_source(term).ok_or_else(|| {
-            CompileError::Verify(VerifyError::NotGround(term.to_string()))
-        })?;
+        let source_value = crate::link::observe_source(term)
+            .ok_or_else(|| CompileError::Verify(VerifyError::NotGround(term.to_string())))?;
         let target_value = crate::link::observe_target(&compilation.target).ok_or_else(|| {
             CompileError::Verify(VerifyError::NotGround(compilation.target.to_string()))
         })?;
@@ -294,10 +293,8 @@ mod tests {
             .with_assumption(Symbol::intern("id"), prelude::poly_id_ty())
             .with_assumption(Symbol::intern("flag"), s::bool_ty());
         let component = s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag"));
-        let gamma = vec![
-            (Symbol::intern("id"), prelude::poly_id()),
-            (Symbol::intern("flag"), s::ff()),
-        ];
+        let gamma =
+            vec![(Symbol::intern("id"), prelude::poly_id()), (Symbol::intern("flag"), s::ff())];
         let linked = compiler.compile_and_link(&env, &component, &gamma).unwrap();
         assert_eq!(crate::link::observe_target(&linked), Some(false));
     }

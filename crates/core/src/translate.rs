@@ -112,10 +112,9 @@ pub fn translate(env: &src::Env, term: &src::Term) -> Result<tgt::Term> {
             translate_lambda(env, term, *binder, domain, body)?
         }
         // [CC-App]: application is still the elimination form for closures.
-        src::Term::App { func, arg } => tgt::Term::App {
-            func: translate(env, func)?.rc(),
-            arg: translate(env, arg)?.rc(),
-        },
+        src::Term::App { func, arg } => {
+            tgt::Term::App { func: translate(env, func)?.rc(), arg: translate(env, arg)?.rc() }
+        }
         // [CC-Let]
         src::Term::Let { binder, annotation, bound, body } => {
             let inner = env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
@@ -347,10 +346,7 @@ mod tests {
         // The translation is type-directed at λ-abstractions, so an
         // ill-typed function body is detected there.
         let bad = s::lam("x", s::bool_ty(), s::app(s::tt(), s::ff()));
-        assert!(matches!(
-            translate(&empty_src(), &bad),
-            Err(TranslateError::SourceType(_))
-        ));
+        assert!(matches!(translate(&empty_src(), &bad), Err(TranslateError::SourceType(_))));
         let unbound = s::lam("x", s::bool_ty(), s::var("ghost"));
         assert!(translate(&empty_src(), &unbound).is_err());
     }

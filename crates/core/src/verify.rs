@@ -74,7 +74,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "{context}: `{left}` is not definitionally equal to `{right}`")
             }
             VerifyError::ObservationMismatch { source, target } => {
-                write!(f, "observation mismatch: source produced {source}, target produced {target}")
+                write!(
+                    f,
+                    "observation mismatch: source produced {source}, target produced {target}"
+                )
             }
             VerifyError::NotGround(e) => write!(f, "program did not produce a boolean: {e}"),
         }
@@ -119,8 +122,8 @@ pub struct TypePreservation {
 /// Returns a [`VerifyError`] describing the counterexample if the translated
 /// term fails to check at the translated type.
 pub fn check_type_preservation(env: &src::Env, term: &src::Term) -> Result<TypePreservation> {
-    let source_type = src::typecheck::infer(env, term)
-        .map_err(|e| VerifyError::SourcePremise(e.to_string()))?;
+    let source_type =
+        src::typecheck::infer(env, term).map_err(|e| VerifyError::SourcePremise(e.to_string()))?;
 
     let target_env = translate_env(env)?;
     let target_term = translate(env, term)?;
@@ -208,9 +211,7 @@ pub fn check_reduction_preservation(
                     &next_translated,
                 ) {
                     return Err(VerifyError::NotEquivalent {
-                        context: format!(
-                            "preservation of reduction (Lemma 5.2) at step {steps}"
-                        ),
+                        context: format!("preservation of reduction (Lemma 5.2) at step {steps}"),
                         left: current_translated.to_string(),
                         right: next_translated.to_string(),
                     });
@@ -377,10 +378,10 @@ mod tests {
     #[test]
     fn reduction_preservation_on_ground_corpus() {
         for (entry, _) in prelude::ground_corpus() {
-            let steps =
-                check_reduction_preservation(&src::Env::new(), &entry.term, 64).unwrap_or_else(
-                    |e| panic!("reduction preservation failed on `{}`: {e}", entry.name),
-                );
+            let steps = check_reduction_preservation(&src::Env::new(), &entry.term, 64)
+                .unwrap_or_else(|e| {
+                    panic!("reduction preservation failed on `{}`: {e}", entry.name)
+                });
             // Programs in the ground corpus actually reduce.
             assert!(steps > 0 || entry.term.is_value(), "`{}` took no steps", entry.name);
         }
@@ -410,8 +411,9 @@ mod tests {
     #[test]
     fn whole_program_correctness_on_ground_corpus() {
         for (entry, expected) in prelude::ground_corpus() {
-            let observed = check_whole_program(&entry.term)
-                .unwrap_or_else(|e| panic!("whole-program correctness failed on `{}`: {e}", entry.name));
+            let observed = check_whole_program(&entry.term).unwrap_or_else(|e| {
+                panic!("whole-program correctness failed on `{}`: {e}", entry.name)
+            });
             assert_eq!(observed, expected, "`{}`", entry.name);
         }
     }
@@ -422,11 +424,8 @@ mod tests {
         let env = src::Env::new()
             .with_assumption(sym("id"), prelude::poly_id_ty())
             .with_assumption(sym("flag"), s::bool_ty());
-        let component = s::ite(
-            s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
-            s::ff(),
-            s::tt(),
-        );
+        let component =
+            s::ite(s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")), s::ff(), s::tt());
         let gamma = vec![(sym("id"), prelude::poly_id()), (sym("flag"), s::tt())];
         let observed = check_separate_compilation(&env, &component, &gamma).unwrap();
         assert!(!observed);
@@ -449,7 +448,8 @@ mod tests {
 
     #[test]
     fn verify_error_display_is_informative() {
-        let err = VerifyError::ObservationMismatch { source: "true".into(), target: "false".into() };
+        let err =
+            VerifyError::ObservationMismatch { source: "true".into(), target: "false".into() };
         assert!(err.to_string().contains("mismatch"));
         let err = VerifyError::NotEquivalent {
             context: "coherence".into(),

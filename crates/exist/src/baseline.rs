@@ -131,8 +131,8 @@ pub fn translate(env: &src::Env, term: &src::Term) -> Result<Expr> {
 /// See [`translate`].
 pub fn translate_program(term: &src::Term) -> Result<(Expr, Ty)> {
     let env = src::Env::new();
-    let ty = src::typecheck::infer(&env, term)
-        .map_err(|e| BaselineError::SourceType(e.to_string()))?;
+    let ty =
+        src::typecheck::infer(&env, term).map_err(|e| BaselineError::SourceType(e.to_string()))?;
     Ok((translate(&env, term)?, translate_type(&ty)?))
 }
 
@@ -169,13 +169,9 @@ fn translate_with(
         src::Term::Let { binder, annotation, bound, body } => {
             // Encode let as an immediately applied function (simply typed,
             // so the annotation must be simple).
-            let function = src::Term::Lam {
-                binder: *binder,
-                domain: annotation.clone(),
-                body: body.clone(),
-            };
-            let application =
-                src::Term::App { func: function.rc(), arg: bound.clone() };
+            let function =
+                src::Term::Lam { binder: *binder, domain: annotation.clone(), body: body.clone() };
+            let application = src::Term::App { func: function.rc(), arg: bound.clone() };
             translate_with(env, replacements, &application)
         }
         src::Term::Pair { first, second, annotation } => {
@@ -215,8 +211,8 @@ fn translate_lambda(
     };
 
     // The codomain, via the CC type checker.
-    let lambda_ty = src::typecheck::infer(env, lambda)
-        .map_err(|e| BaselineError::SourceType(e.to_string()))?;
+    let lambda_ty =
+        src::typecheck::infer(env, lambda).map_err(|e| BaselineError::SourceType(e.to_string()))?;
     let (domain_simple, codomain_simple) = match &lambda_ty {
         src::Term::Pi { binder: pi_binder, domain: d, codomain: c } => {
             if cccc_source::subst::occurs_free(*pi_binder, c) {
@@ -227,18 +223,18 @@ fn translate_lambda(
             }
             (translate_type(d)?, translate_type(c)?)
         }
-        other => {
-            return Err(BaselineError::SourceType(format!("λ has non-Π type `{other}`")))
-        }
+        other => return Err(BaselineError::SourceType(format!("λ has non-Π type `{other}`"))),
     };
     let _ = &domain; // the annotation's translation equals `domain_simple`
 
     // Free variables and their (simple) types, in environment order.
     let mut captured: Vec<(Symbol, Ty)> = Vec::new();
     for x in free_vars(lambda) {
-        let decl = env.lookup(x).ok_or_else(|| BaselineError::SourceType(format!(
-            "free variable `{x}` is not bound in the environment"
-        )))?;
+        let decl = env.lookup(x).ok_or_else(|| {
+            BaselineError::SourceType(format!(
+                "free variable `{x}` is not bound in the environment"
+            ))
+        })?;
         captured.push((x, translate_type(decl.ty())?));
     }
 
@@ -367,7 +363,12 @@ mod tests {
     #[test]
     fn dependent_types_defeat_the_baseline() {
         // Dependent Π.
-        assert!(translate_type(&s::pi("b", s::bool_ty(), s::app(prelude::is_true_predicate(), s::var("b")))).is_err());
+        assert!(translate_type(&s::pi(
+            "b",
+            s::bool_ty(),
+            s::app(prelude::is_true_predicate(), s::var("b"))
+        ))
+        .is_err());
         // Dependent Σ (refinement type) and its witness.
         assert!(translate_type(&prelude::refined_true_ty()).is_err());
         assert!(translate_program(&prelude::refined_true_witness()).is_err());

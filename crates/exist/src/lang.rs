@@ -45,9 +45,7 @@ impl Ty {
                 (Ty::Bool, Ty::Bool) | (Ty::Unit, Ty::Unit) => true,
                 (Ty::Var(x), Ty::Var(y)) => map.get(x).copied().unwrap_or(*x) == *y,
                 (Ty::Arrow(a1, b1), Ty::Arrow(a2, b2))
-                | (Ty::Product(a1, b1), Ty::Product(a2, b2)) => {
-                    go(a1, a2, map) && go(b1, b2, map)
-                }
+                | (Ty::Product(a1, b1), Ty::Product(a2, b2)) => go(a1, a2, map) && go(b1, b2, map),
                 (Ty::Exists(x, t1), Ty::Exists(y, t2)) => {
                     let previous = map.insert(*x, *y);
                     let result = go(t1, t2, map);
@@ -356,9 +354,7 @@ pub fn expect(ctx: &Context, expr: &Expr, expected: &Ty) -> Result<(), ExistType
     if actual.alpha_eq(expected) {
         Ok(())
     } else {
-        Err(ExistTypeError(format!(
-            "`{expr}` has type `{actual}` but `{expected}` was expected"
-        )))
+        Err(ExistTypeError(format!("`{expr}` has type `{actual}` but `{expected}` was expected")))
     }
 }
 
@@ -375,10 +371,8 @@ fn type_mentions(ty: &Ty, alpha: Symbol) -> bool {
 /// closed terms; a step bound guards against accidental divergence.
 pub fn evaluate(expr: &Expr) -> Expr {
     fn is_value(expr: &Expr) -> bool {
-        matches!(
-            expr,
-            Expr::Bool(_) | Expr::Unit | Expr::Lam(..) | Expr::Pack { .. }
-        ) || matches!(expr, Expr::Pair(a, b) if is_value(a) && is_value(b))
+        matches!(expr, Expr::Bool(_) | Expr::Unit | Expr::Lam(..) | Expr::Pack { .. })
+            || matches!(expr, Expr::Pair(a, b) if is_value(a) && is_value(b))
     }
 
     fn step(expr: &Expr) -> Option<Expr> {
@@ -484,7 +478,8 @@ mod tests {
         let alpha = sym("alpha");
         let package_ty = Ty::Exists(
             alpha,
-            Ty::Product(Ty::Var(alpha).rc(), Ty::Arrow(Ty::Var(alpha).rc(), Ty::Bool.rc()).rc()).rc(),
+            Ty::Product(Ty::Var(alpha).rc(), Ty::Arrow(Ty::Var(alpha).rc(), Ty::Bool.rc()).rc())
+                .rc(),
         );
         let package = Expr::Pack {
             witness: Ty::Bool.rc(),

@@ -93,15 +93,13 @@ pub fn model(term: &tgt::Term) -> src::Term {
         },
         // [M-Clo]: a closure is the partial application of its code to its
         // environment.
-        tgt::Term::Closure { code, env } => src::Term::App {
-            func: model(code).rc(),
-            arg: model(env).rc(),
-        },
+        tgt::Term::Closure { code, env } => {
+            src::Term::App { func: model(code).rc(), arg: model(env).rc() }
+        }
         // [M-App]
-        tgt::Term::App { func, arg } => src::Term::App {
-            func: model(func).rc(),
-            arg: model(arg).rc(),
-        },
+        tgt::Term::App { func, arg } => {
+            src::Term::App { func: model(func).rc(), arg: model(arg).rc() }
+        }
         tgt::Term::Let { binder, annotation, bound, body } => src::Term::Let {
             binder: *binder,
             annotation: model(annotation).rc(),
@@ -217,10 +215,8 @@ mod tests {
 
     #[test]
     fn closure_application_runs_the_same_after_modelling() {
-        let identity = t::closure(
-            t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
-            t::unit_val(),
-        );
+        let identity =
+            t::closure(t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")), t::unit_val());
         let program = t::app(identity, t::tt());
         let modelled = model(&program);
         let value = src::reduce::normalize_default(&src::Env::new(), &modelled);

@@ -137,7 +137,9 @@ pub fn check_reduction_preservation(
                 let next_model = model(&next);
                 if !src::equiv::definitionally_equal(&source_env, &current_model, &next_model) {
                     return Err(ModelError::NotEquivalent {
-                        context: format!("model preservation of reduction (Lemma 4.3) at step {steps}"),
+                        context: format!(
+                            "model preservation of reduction (Lemma 4.3) at step {steps}"
+                        ),
                         left: current_model.to_string(),
                         right: next_model.to_string(),
                     });
@@ -185,8 +187,8 @@ pub fn check_coherence(env: &tgt::Env, e1: &tgt::Term, e2: &tgt::Term) -> Result
 /// Returns [`ModelError::ModelIllTyped`] or [`ModelError::NotEquivalent`] on
 /// a counterexample.
 pub fn check_type_preservation(env: &tgt::Env, term: &tgt::Term) -> Result<src::Term> {
-    let target_type = tgt::typecheck::infer(env, term)
-        .map_err(|e| ModelError::Premise(e.to_string()))?;
+    let target_type =
+        tgt::typecheck::infer(env, term).map_err(|e| ModelError::Premise(e.to_string()))?;
     let source_env = model_env(env);
     let modelled_term = model(term);
     let expected_type = model(&target_type);
@@ -288,7 +290,8 @@ mod tests {
         check_type_preservation(&tgt::Env::new(), &t::unit_val()).unwrap();
         // The paper's nested polymorphic identity closure.
         let inner_env_ty = t::sigma("A", t::star(), t::unit_ty());
-        let inner_code = t::code("n2", inner_env_ty.clone(), "x", t::fst(t::var("n2")), t::var("x"));
+        let inner_code =
+            t::code("n2", inner_env_ty.clone(), "x", t::fst(t::var("n2")), t::var("x"));
         let outer_code = t::code(
             "n1",
             t::unit_ty(),
@@ -309,10 +312,8 @@ mod tests {
     fn model_compositionality_on_environment_substitution() {
         let env = tgt::Env::new().with_assumption(sym("b"), t::bool_ty());
         // e1 is a closure whose environment mentions b.
-        let e1 = t::closure(
-            t::code("n", t::bool_ty(), "x", t::bool_ty(), t::var("n")),
-            t::var("b"),
-        );
+        let e1 =
+            t::closure(t::code("n", t::bool_ty(), "x", t::bool_ty(), t::var("n")), t::var("b"));
         check_compositionality(&env, &e1, sym("b"), &t::tt()).unwrap();
     }
 

@@ -1,0 +1,199 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset of the Criterion API the benches in
+//! `crates/bench/benches/` use — benchmark groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros — on top of a plain wall-clock harness: each
+//! benchmark body is warmed up once and then timed for `sample_size`
+//! samples, and the mean/min are printed. No statistics, plots, or baseline
+//! comparison; the point is that `cargo bench` compiles and produces
+//! readable numbers without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// A named benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { rendered: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { rendered: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rendered)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times exactly
+    /// `sample_size` runs.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| body(b));
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        body(&mut bencher);
+        let (mean, min) = bencher.summary();
+        println!(
+            "  {:<40} mean {:>12?}  min {:>12?}  ({} samples)",
+            format!("{}/{}", self.name, id),
+            mean,
+            min,
+            self.sample_size
+        );
+    }
+}
+
+/// The per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples (after one
+    /// untimed warm-up call) and records the per-call durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _warmup = std::hint::black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn summary(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty samples");
+        (mean, min)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` invoking the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, n| b.iter(|| n * 2));
+        group
+            .bench_with_input(BenchmarkId::from_parameter("param"), &1u64, |b, n| b.iter(|| n + 1));
+        group.finish();
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn harness_runs_everything() {
+        shim_group();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports the subset used by this workspace: the [`proptest!`] macro with
+//! a `#![proptest_config(...)]` header, `ProptestConfig { cases, .. }`,
+//! the [`prelude::any`] strategy for integer types, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros. Cases are sampled
+//! deterministically (SplitMix64 keyed on the case index), so failures are
+//! reproducible; shrinking is not implemented.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by the shim.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// A value source, mirroring `proptest::strategy::Strategy` in spirit: the
+/// shim only needs to produce values, never to shrink them.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// The `any::<T>()` strategy over the full range of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Creates the [`Any`] strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait ArbitraryValue {
+    /// Derives a value from 64 raw random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl ArbitraryValue for $ty {
+            fn from_bits(bits: u64) -> Self {
+                bits as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+/// Everything the [`proptest!`] macro expansion needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, ArbitraryValue, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions that run their body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:pat_param in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                let strategy = $strategy;
+                for case in 0..config.cases {
+                    // Key the RNG on the property name and case index so
+                    // every property sees a distinct but reproducible
+                    // sequence.
+                    let seed = $crate::case_seed(stringify!($name), case);
+                    let mut rng = $crate::rng_for(seed);
+                    let $arg = strategy.sample(&mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Builds the deterministic RNG the [`proptest!`] expansion samples from.
+/// Public so the macro can reach it via `$crate` without consumers
+/// depending on `rand` directly.
+pub fn rng_for(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Mixes a property name and case index into an RNG seed.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// The macro runs bodies and assertions.
+        #[test]
+        fn shim_macro_runs(seed in any::<u64>()) {
+            prop_assert!(seed == seed);
+            prop_assert_eq!(seed.wrapping_add(1).wrapping_sub(1), seed);
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_by_case_and_name() {
+        assert_ne!(super::case_seed("a", 0), super::case_seed("a", 1));
+        assert_ne!(super::case_seed("a", 0), super::case_seed("b", 0));
+        assert_eq!(super::case_seed("a", 3), super::case_seed("a", 3));
+    }
+}

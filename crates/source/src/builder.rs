@@ -146,18 +146,12 @@ pub fn ite(scrutinee: Term, then_branch: Term, else_branch: Term) -> Term {
 
 /// Iterated Π: `Π x0:A0. … Π xn:An. body`.
 pub fn pis(binders: Vec<(Symbol, Term)>, body: Term) -> Term {
-    binders
-        .into_iter()
-        .rev()
-        .fold(body, |acc, (x, a)| pi_sym(x, a, acc))
+    binders.into_iter().rev().fold(body, |acc, (x, a)| pi_sym(x, a, acc))
 }
 
 /// Iterated λ: `λ x0:A0. … λ xn:An. body`.
 pub fn lams(binders: Vec<(Symbol, Term)>, body: Term) -> Term {
-    binders
-        .into_iter()
-        .rev()
-        .fold(body, |acc, (x, a)| lam_sym(x, a, acc))
+    binders.into_iter().rev().fold(body, |acc, (x, a)| lam_sym(x, a, acc))
 }
 
 #[cfg(test)]

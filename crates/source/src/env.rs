@@ -142,14 +142,7 @@ impl Env {
     /// Restricts the environment to the entries whose names appear in `keep`,
     /// preserving order. Used by the free-variable metafunction.
     pub fn restrict(&self, keep: &[Symbol]) -> Env {
-        Env {
-            decls: self
-                .decls
-                .iter()
-                .filter(|d| keep.contains(&d.name()))
-                .cloned()
-                .collect(),
-        }
+        Env { decls: self.decls.iter().filter(|d| keep.contains(&d.name())).cloned().collect() }
     }
 
     /// Appends all entries of `other` after the entries of `self`.
@@ -203,9 +196,7 @@ mod tests {
 
     #[test]
     fn lookup_finds_latest_binding() {
-        let env = Env::new()
-            .with_assumption(sym("x"), bool_ty())
-            .with_assumption(sym("x"), star());
+        let env = Env::new().with_assumption(sym("x"), bool_ty()).with_assumption(sym("x"), star());
         let ty = env.lookup_type(sym("x")).unwrap();
         assert!(ty.is_star());
     }
@@ -246,9 +237,7 @@ mod tests {
 
     #[test]
     fn position_is_oldest_first() {
-        let env = Env::new()
-            .with_assumption(sym("a"), star())
-            .with_assumption(sym("b"), star());
+        let env = Env::new().with_assumption(sym("a"), star()).with_assumption(sym("b"), star());
         assert_eq!(env.position(sym("a")), Some(0));
         assert_eq!(env.position(sym("b")), Some(1));
         assert_eq!(env.position(sym("zzz")), None);

@@ -79,17 +79,16 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
         }
         // Pairs are compared componentwise; the annotation is a typing
         // artifact and does not affect the value.
-        (
-            Term::Pair { first: a1, second: b1, .. },
-            Term::Pair { first: a2, second: b2, .. },
-        ) => Ok(equiv(env, a1, a2, fuel)? && equiv(env, b1, b2, fuel)?),
+        (Term::Pair { first: a1, second: b1, .. }, Term::Pair { first: a2, second: b2, .. }) => {
+            Ok(equiv(env, a1, a2, fuel)? && equiv(env, b1, b2, fuel)?)
+        }
         (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => equiv(env, a, b, fuel),
         (
             Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
             Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
-        ) => Ok(equiv(env, s1, s2, fuel)?
-            && equiv(env, t1, t2, fuel)?
-            && equiv(env, e1, e2, fuel)?),
+        ) => {
+            Ok(equiv(env, s1, s2, fuel)? && equiv(env, t1, t2, fuel)? && equiv(env, e1, e2, fuel)?)
+        }
         _ => Ok(false),
     }
 }

@@ -141,11 +141,8 @@ impl TermGenerator {
             3 => {
                 // Project from a freshly built pair of booleans.
                 let annotation = product(bool_ty(), bool_ty());
-                let p = pair(
-                    self.gen_bool(env, depth - 1),
-                    self.gen_bool(env, depth - 1),
-                    annotation,
-                );
+                let p =
+                    pair(self.gen_bool(env, depth - 1), self.gen_bool(env, depth - 1), annotation);
                 if self.rng.gen_bool(0.5) {
                     fst(p)
                 } else {
@@ -178,11 +175,8 @@ impl TermGenerator {
     }
 
     fn context_variable_of_type(&mut self, env: &Env, ty: &Term) -> Option<Term> {
-        let candidates: Vec<Symbol> = env
-            .iter()
-            .filter(|d| alpha_eq(d.ty(), ty))
-            .map(|d| d.name())
-            .collect();
+        let candidates: Vec<Symbol> =
+            env.iter().filter(|d| alpha_eq(d.ty(), ty)).map(|d| d.name()).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -206,7 +200,10 @@ impl TermGenerator {
     /// term `e` with `Γ ⊢ e : Bool` that mentions (some of) them, and a
     /// closing substitution `γ` with `Γ ⊢ γ` (each `γ(x)` is closed and has
     /// type `γ(A)`). This is the setup of Theorem 5.7.
-    pub fn gen_open_component(&mut self, free_variables: usize) -> (Env, Term, Vec<(Symbol, Term)>) {
+    pub fn gen_open_component(
+        &mut self,
+        free_variables: usize,
+    ) -> (Env, Term, Vec<(Symbol, Term)>) {
         let mut env = Env::new();
         let mut substitution = Vec::new();
         for _ in 0..free_variables {

@@ -7,7 +7,7 @@
 //!
 //! * [`ast`] — the abstract syntax (Figure 1 of the paper);
 //! * [`builder`] — a DSL for constructing terms programmatically;
-//! * [`env`] — typing environments `Γ` and their well-formedness (Figure 4);
+//! * [`mod@env`] — typing environments `Γ` and their well-formedness (Figure 4);
 //! * [`subst`] — free variables, capture-avoiding substitution, α-equivalence;
 //! * [`reduce`] — the reduction relation `⊲` and normalization (Figure 2);
 //! * [`equiv`] — definitional equivalence with η (Figure 2);

@@ -249,7 +249,9 @@ impl Parser {
         let span = self.current_span();
         match self.advance() {
             Some(found) if found == expected => Ok(()),
-            Some(found) => Err(ParseError::new(format!("expected {expected}, found {found}"), span)),
+            Some(found) => {
+                Err(ParseError::new(format!("expected {expected}, found {found}"), span))
+            }
             None => Err(ParseError::new(format!("expected {expected}, found end of input"), span)),
         }
     }
@@ -258,7 +260,9 @@ impl Parser {
         let span = self.current_span();
         match self.advance() {
             Some(Token::Ident(name)) => Ok(name),
-            Some(found) => Err(ParseError::new(format!("expected identifier, found {found}"), span)),
+            Some(found) => {
+                Err(ParseError::new(format!("expected identifier, found {found}"), span))
+            }
             None => Err(ParseError::new("expected identifier, found end of input", span)),
         }
     }
@@ -419,8 +423,8 @@ mod tests {
 
     fn round_trips(term: &Term) {
         let printed = term_to_string(term);
-        let reparsed = parse_term(&printed)
-            .unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
+        let reparsed =
+            parse_term(&printed).unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
         assert!(
             alpha_eq(term, &reparsed),
             "round trip changed term:\n  original: {term}\n  reparsed: {reparsed}"
@@ -476,10 +480,7 @@ mod tests {
     #[test]
     fn parses_let_if_pair_projections() {
         let t = parse_term("let x = true : Bool in if x then false else true").unwrap();
-        assert!(alpha_eq(
-            &t,
-            &let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()))
-        ));
+        assert!(alpha_eq(&t, &let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()))));
         let p = parse_term("<true, false> as (Sigma (x : Bool). Bool)").unwrap();
         assert!(alpha_eq(&p, &pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()))));
         assert!(alpha_eq(&parse_term("fst p").unwrap(), &fst(var("p"))));

@@ -34,11 +34,7 @@ pub fn poly_id_ty() -> Term {
 
 /// Polymorphic constant function `λ A : ⋆. λ B : ⋆. λ x : A. λ y : B. x`.
 pub fn poly_const() -> Term {
-    lam(
-        "A",
-        star(),
-        lam("B", star(), lam("x", var("A"), lam("y", var("B"), var("x")))),
-    )
+    lam("A", star(), lam("B", star(), lam("x", var("A"), lam("y", var("B"), var("x")))))
 }
 
 /// Polymorphic function composition
@@ -97,25 +93,13 @@ pub fn or_fn() -> Term {
 
 /// Boolean exclusive or on the ground type.
 pub fn xor_fn() -> Term {
-    lam(
-        "a",
-        bool_ty(),
-        lam(
-            "b",
-            bool_ty(),
-            ite(var("a"), ite(var("b"), ff(), tt()), var("b")),
-        ),
-    )
+    lam("a", bool_ty(), lam("b", bool_ty(), ite(var("a"), ite(var("b"), ff(), tt()), var("b"))))
 }
 
 /// The type of Church numerals, `Π A : ⋆. (A → A) → A → A`.
 /// Impredicativity of `⋆` is what makes this a small type.
 pub fn church_nat_ty() -> Term {
-    pi(
-        "A",
-        star(),
-        arrow(arrow(var("A"), var("A")), arrow(var("A"), var("A"))),
-    )
+    pi("A", star(), arrow(arrow(var("A"), var("A")), arrow(var("A"), var("A"))))
 }
 
 /// The Church numeral for `n`.
@@ -124,11 +108,7 @@ pub fn church_numeral(n: usize) -> Term {
     for _ in 0..n {
         body = app(var("f"), body);
     }
-    lam(
-        "A",
-        star(),
-        lam("f", arrow(var("A"), var("A")), lam("x", var("A"), body)),
-    )
+    lam("A", star(), lam("f", arrow(var("A"), var("A")), lam("x", var("A"), body)))
 }
 
 /// Successor on Church numerals.
@@ -145,10 +125,7 @@ pub fn church_succ() -> Term {
                 lam(
                     "x",
                     var("A"),
-                    app(
-                        var("f"),
-                        app(app(app(var("n"), var("A")), var("f")), var("x")),
-                    ),
+                    app(var("f"), app(app(app(var("n"), var("A")), var("f")), var("x"))),
                 ),
             ),
         ),
@@ -207,11 +184,7 @@ pub fn church_mul() -> Term {
 /// Tests whether a Church numeral is even, producing a ground `Bool` by
 /// iterating boolean negation starting from `true`.
 pub fn church_is_even() -> Term {
-    lam(
-        "n",
-        church_nat_ty(),
-        app(app(app(var("n"), bool_ty()), not_fn()), tt()),
-    )
+    lam("n", church_nat_ty(), app(app(app(var("n"), bool_ty()), not_fn()), tt()))
 }
 
 /// The type of Church booleans, `Π A : ⋆. A → A → A`.
@@ -231,11 +204,7 @@ pub fn church_false() -> Term {
 
 /// Converts a Church boolean to the ground type `Bool`.
 pub fn church_bool_to_ground() -> Term {
-    lam(
-        "b",
-        church_bool_ty(),
-        app(app(app(var("b"), bool_ty()), tt()), ff()),
-    )
+    lam("b", church_bool_ty(), app(app(app(var("b"), bool_ty()), tt()), ff()))
 }
 
 /// A refinement-style predicate on booleans: `IsTrue b` is inhabited exactly
@@ -311,20 +280,14 @@ pub fn corpus() -> Vec<CorpusEntry> {
         CorpusEntry { name: "false_ty", term: false_ty() },
         CorpusEntry { name: "church_nat_ty", term: church_nat_ty() },
         CorpusEntry { name: "refined_true_ty", term: refined_true_ty() },
-        CorpusEntry {
-            name: "id_applied_to_bool",
-            term: app(app(poly_id(), bool_ty()), tt()),
-        },
+        CorpusEntry { name: "id_applied_to_bool", term: app(app(poly_id(), bool_ty()), tt()) },
         CorpusEntry {
             name: "id_self_application",
             term: app(app(poly_id(), poly_id_ty()), poly_id()),
         },
         CorpusEntry {
             name: "compose_not_not",
-            term: apps(
-                poly_compose(),
-                vec![bool_ty(), bool_ty(), bool_ty(), not_fn(), not_fn()],
-            ),
+            term: apps(poly_compose(), vec![bool_ty(), bool_ty(), bool_ty(), not_fn(), not_fn()]),
         },
         CorpusEntry {
             name: "twice_not_true",
@@ -332,12 +295,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
         },
         CorpusEntry {
             name: "let_bound_identity",
-            term: let_(
-                "id",
-                poly_id_ty(),
-                poly_id(),
-                app(app(var("id"), bool_ty()), ff()),
-            ),
+            term: let_("id", poly_id_ty(), poly_id(), app(app(var("id"), bool_ty()), ff())),
         },
         CorpusEntry {
             name: "nested_let_pair",
@@ -356,11 +314,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
             name: "swap_bool_pair",
             term: apps(
                 poly_swap(),
-                vec![
-                    bool_ty(),
-                    bool_ty(),
-                    pair(tt(), ff(), product(bool_ty(), bool_ty())),
-                ],
+                vec![bool_ty(), bool_ty(), pair(tt(), ff(), product(bool_ty(), bool_ty()))],
             ),
         },
         CorpusEntry {
@@ -385,7 +339,10 @@ pub fn corpus() -> Vec<CorpusEntry> {
 /// Each entry is paired with the boolean value it evaluates to.
 pub fn ground_corpus() -> Vec<(CorpusEntry, bool)> {
     vec![
-        (CorpusEntry { name: "id_applied_to_bool", term: app(app(poly_id(), bool_ty()), tt()) }, true),
+        (
+            CorpusEntry { name: "id_applied_to_bool", term: app(app(poly_id(), bool_ty()), tt()) },
+            true,
+        ),
         (CorpusEntry { name: "not_true", term: app(not_fn(), tt()) }, false),
         (CorpusEntry { name: "not_false", term: app(not_fn(), ff()) }, true),
         (CorpusEntry { name: "and_true_false", term: app(app(and_fn(), tt()), ff()) }, false),
@@ -399,17 +356,11 @@ pub fn ground_corpus() -> Vec<(CorpusEntry, bool)> {
             true,
         ),
         (
-            CorpusEntry {
-                name: "four_is_even",
-                term: app(church_is_even(), church_numeral(4)),
-            },
+            CorpusEntry { name: "four_is_even", term: app(church_is_even(), church_numeral(4)) },
             true,
         ),
         (
-            CorpusEntry {
-                name: "five_is_even",
-                term: app(church_is_even(), church_numeral(5)),
-            },
+            CorpusEntry { name: "five_is_even", term: app(church_is_even(), church_numeral(5)) },
             false,
         ),
         (
@@ -447,21 +398,13 @@ pub fn ground_corpus() -> Vec<(CorpusEntry, bool)> {
             false,
         ),
         (
-            CorpusEntry {
-                name: "refined_witness_projection",
-                term: fst(refined_true_witness()),
-            },
+            CorpusEntry { name: "refined_witness_projection", term: fst(refined_true_witness()) },
             true,
         ),
         (
             CorpusEntry {
                 name: "let_bound_identity",
-                term: let_(
-                    "id",
-                    poly_id_ty(),
-                    poly_id(),
-                    app(app(var("id"), bool_ty()), ff()),
-                ),
+                term: let_("id", poly_id_ty(), poly_id(), app(app(var("id"), bool_ty()), ff())),
             },
             false,
         ),
@@ -470,11 +413,7 @@ pub fn ground_corpus() -> Vec<(CorpusEntry, bool)> {
                 name: "swap_then_project",
                 term: fst(apps(
                     poly_swap(),
-                    vec![
-                        bool_ty(),
-                        bool_ty(),
-                        pair(tt(), ff(), product(bool_ty(), bool_ty())),
-                    ],
+                    vec![bool_ty(), bool_ty(), pair(tt(), ff(), product(bool_ty(), bool_ty()))],
                 )),
             },
             false,

@@ -42,13 +42,12 @@ pub fn env_to_string(env: &Env) -> String {
     let entries: Vec<Doc> = env
         .iter()
         .map(|d| match d {
-            Decl::Assumption { name, ty } => Doc::text(format!("{} : {}", name, term_to_string(ty))),
-            Decl::Definition { name, ty, term } => Doc::text(format!(
-                "{} = {} : {}",
-                name,
-                term_to_string(term),
-                term_to_string(ty)
-            )),
+            Decl::Assumption { name, ty } => {
+                Doc::text(format!("{} : {}", name, term_to_string(ty)))
+            }
+            Decl::Definition { name, ty, term } => {
+                Doc::text(format!("{} = {} : {}", name, term_to_string(term), term_to_string(ty)))
+            }
         })
         .collect();
     Doc::join(entries, Doc::text(", ")).render(100)
@@ -115,14 +114,12 @@ fn doc_at(term: &Term, prec: Prec) -> Doc {
             Doc::text("> as "),
             doc_at(annotation, Prec::Atom),
         ])),
-        Term::Fst(e) => parens_if(
-            prec > Prec::App,
-            Doc::concat(vec![Doc::text("fst "), doc_at(e, Prec::Atom)]),
-        ),
-        Term::Snd(e) => parens_if(
-            prec > Prec::App,
-            Doc::concat(vec![Doc::text("snd "), doc_at(e, Prec::Atom)]),
-        ),
+        Term::Fst(e) => {
+            parens_if(prec > Prec::App, Doc::concat(vec![Doc::text("fst "), doc_at(e, Prec::Atom)]))
+        }
+        Term::Snd(e) => {
+            parens_if(prec > Prec::App, Doc::concat(vec![Doc::text("snd "), doc_at(e, Prec::Atom)]))
+        }
         Term::If { scrutinee, then_branch, else_branch } => parens_if(
             prec > Prec::Binder,
             Doc::group(Doc::concat(vec![
@@ -181,19 +178,13 @@ mod tests {
     #[test]
     fn pi_and_sigma_print_binders() {
         assert_eq!(term_to_string(&pi("A", star(), var("A"))), "Pi (A : *). A");
-        assert_eq!(
-            term_to_string(&sigma("x", bool_ty(), bool_ty())),
-            "Sigma (x : Bool). Bool"
-        );
+        assert_eq!(term_to_string(&sigma("x", bool_ty(), bool_ty())), "Sigma (x : Bool). Bool");
     }
 
     #[test]
     fn let_and_if_print() {
         let t = let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()));
-        assert_eq!(
-            term_to_string(&t),
-            "let x = true : Bool in if x then false else true"
-        );
+        assert_eq!(term_to_string(&t), "let x = true : Bool in if x then false else true");
     }
 
     #[test]

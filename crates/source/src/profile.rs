@@ -168,7 +168,12 @@ fn whnf(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term
     }
 }
 
-fn normalize(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term, ReduceError> {
+fn normalize(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+    cost: &mut Cost,
+) -> Result<Term, ReduceError> {
     let head = whnf(env, term, fuel, cost)?;
     Ok(match head {
         Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => head,
@@ -250,11 +255,7 @@ mod tests {
 
     #[test]
     fn delta_steps_count_definition_unfolding() {
-        let env = Env::new().with_definition(
-            cccc_util::Symbol::intern("flag"),
-            tt(),
-            bool_ty(),
-        );
+        let env = Env::new().with_definition(cccc_util::Symbol::intern("flag"), tt(), bool_ty());
         let mut fuel = Fuel::default();
         let (_, cost) = evaluate_with_cost(&env, &ite(var("flag"), ff(), tt()), &mut fuel).unwrap();
         assert_eq!(cost.delta, 1);
@@ -286,7 +287,10 @@ mod tests {
         let program = |n: usize| {
             app(
                 prelude::church_is_even(),
-                app(app(prelude::church_mul(), prelude::church_numeral(n)), prelude::church_numeral(n)),
+                app(
+                    app(prelude::church_mul(), prelude::church_numeral(n)),
+                    prelude::church_numeral(n),
+                ),
             )
         };
         let (_, small) = run(&program(2));

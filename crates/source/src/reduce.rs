@@ -44,117 +44,136 @@ impl std::error::Error for ReduceError {}
 /// Performs one reduction step in leftmost-outermost order, or returns
 /// `None` if the term is in normal form with respect to `env`.
 pub fn step(env: &Env, term: &Term) -> Option<Term> {
+    step_rc(env, term).map(|rc| (*rc).clone())
+}
+
+/// [`step`] returning a shared [`RcTerm`]: a δ-unfold returns the
+/// environment's own `Rc` instead of copying the definition, and iterated
+/// callers ([`reduce_steps`]) avoid re-cloning the current term each step.
+pub fn step_rc(env: &Env, term: &Term) -> Option<RcTerm> {
     match term {
-        // ⊲δ: unfold a variable that has a definition in Γ.
-        Term::Var(x) => env.lookup_definition(*x).map(|def| (**def).clone()),
+        // ⊲δ: unfold a variable that has a definition in Γ. The Rc is
+        // shared with the environment entry — no copy per unfold.
+        Term::Var(x) => env.lookup_definition(*x).cloned(),
         Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => None,
         // ⊲ζ: let x = e : A in e1  ⊲  e1[e/x]
-        Term::Let { binder, bound, body, .. } => Some(subst(body, *binder, bound)),
+        Term::Let { binder, bound, body, .. } => Some(subst(body, *binder, bound).rc()),
         Term::App { func, arg } => {
             if let Term::Lam { binder, body, .. } = &**func {
                 // ⊲β
-                return Some(subst(body, *binder, arg));
+                return Some(subst(body, *binder, arg).rc());
             }
-            if let Some(stepped) = step(env, func) {
-                return Some(Term::App { func: stepped.rc(), arg: arg.clone() });
+            if let Some(stepped) = step_rc(env, func) {
+                return Some(Term::App { func: stepped, arg: arg.clone() }.rc());
             }
-            step(env, arg).map(|stepped| Term::App { func: func.clone(), arg: stepped.rc() })
+            step_rc(env, arg).map(|stepped| Term::App { func: func.clone(), arg: stepped }.rc())
         }
         Term::Fst(e) => {
             if let Term::Pair { first, .. } = &**e {
-                // ⊲π1
-                return Some((**first).clone());
+                // ⊲π1 — shares the component.
+                return Some(first.clone());
             }
-            step(env, e).map(|stepped| Term::Fst(stepped.rc()))
+            step_rc(env, e).map(|stepped| Term::Fst(stepped).rc())
         }
         Term::Snd(e) => {
             if let Term::Pair { second, .. } = &**e {
                 // ⊲π2
-                return Some((**second).clone());
+                return Some(second.clone());
             }
-            step(env, e).map(|stepped| Term::Snd(stepped.rc()))
+            step_rc(env, e).map(|stepped| Term::Snd(stepped).rc())
         }
         Term::If { scrutinee, then_branch, else_branch } => {
             if let Term::BoolLit(b) = &**scrutinee {
-                return Some(if *b { (**then_branch).clone() } else { (**else_branch).clone() });
+                return Some(if *b { then_branch.clone() } else { else_branch.clone() });
             }
-            if let Some(s) = step(env, scrutinee) {
-                return Some(Term::If {
-                    scrutinee: s.rc(),
-                    then_branch: then_branch.clone(),
-                    else_branch: else_branch.clone(),
-                });
+            if let Some(s) = step_rc(env, scrutinee) {
+                return Some(
+                    Term::If {
+                        scrutinee: s,
+                        then_branch: then_branch.clone(),
+                        else_branch: else_branch.clone(),
+                    }
+                    .rc(),
+                );
             }
-            if let Some(t) = step(env, then_branch) {
-                return Some(Term::If {
+            if let Some(t) = step_rc(env, then_branch) {
+                return Some(
+                    Term::If {
+                        scrutinee: scrutinee.clone(),
+                        then_branch: t,
+                        else_branch: else_branch.clone(),
+                    }
+                    .rc(),
+                );
+            }
+            step_rc(env, else_branch).map(|e| {
+                Term::If {
                     scrutinee: scrutinee.clone(),
-                    then_branch: t.rc(),
-                    else_branch: else_branch.clone(),
-                });
-            }
-            step(env, else_branch).map(|e| Term::If {
-                scrutinee: scrutinee.clone(),
-                then_branch: then_branch.clone(),
-                else_branch: e.rc(),
+                    then_branch: then_branch.clone(),
+                    else_branch: e,
+                }
+                .rc()
             })
         }
         Term::Lam { binder, domain, body } => {
-            if let Some(d) = step(env, domain) {
-                return Some(Term::Lam { binder: *binder, domain: d.rc(), body: body.clone() });
+            if let Some(d) = step_rc(env, domain) {
+                return Some(Term::Lam { binder: *binder, domain: d, body: body.clone() }.rc());
             }
-            step(env, body).map(|b| Term::Lam { binder: *binder, domain: domain.clone(), body: b.rc() })
+            step_rc(env, body)
+                .map(|b| Term::Lam { binder: *binder, domain: domain.clone(), body: b }.rc())
         }
         Term::Pi { binder, domain, codomain } => {
-            if let Some(d) = step(env, domain) {
-                return Some(Term::Pi { binder: *binder, domain: d.rc(), codomain: codomain.clone() });
+            if let Some(d) = step_rc(env, domain) {
+                return Some(
+                    Term::Pi { binder: *binder, domain: d, codomain: codomain.clone() }.rc(),
+                );
             }
-            step(env, codomain).map(|c| Term::Pi {
-                binder: *binder,
-                domain: domain.clone(),
-                codomain: c.rc(),
-            })
+            step_rc(env, codomain)
+                .map(|c| Term::Pi { binder: *binder, domain: domain.clone(), codomain: c }.rc())
         }
         Term::Sigma { binder, first, second } => {
-            if let Some(a) = step(env, first) {
-                return Some(Term::Sigma { binder: *binder, first: a.rc(), second: second.clone() });
+            if let Some(a) = step_rc(env, first) {
+                return Some(
+                    Term::Sigma { binder: *binder, first: a, second: second.clone() }.rc(),
+                );
             }
-            step(env, second).map(|b| Term::Sigma { binder: *binder, first: first.clone(), second: b.rc() })
+            step_rc(env, second)
+                .map(|b| Term::Sigma { binder: *binder, first: first.clone(), second: b }.rc())
         }
         Term::Pair { first, second, annotation } => {
-            if let Some(a) = step(env, first) {
-                return Some(Term::Pair {
-                    first: a.rc(),
-                    second: second.clone(),
-                    annotation: annotation.clone(),
-                });
+            if let Some(a) = step_rc(env, first) {
+                return Some(
+                    Term::Pair { first: a, second: second.clone(), annotation: annotation.clone() }
+                        .rc(),
+                );
             }
-            if let Some(b) = step(env, second) {
-                return Some(Term::Pair {
-                    first: first.clone(),
-                    second: b.rc(),
-                    annotation: annotation.clone(),
-                });
+            if let Some(b) = step_rc(env, second) {
+                return Some(
+                    Term::Pair { first: first.clone(), second: b, annotation: annotation.clone() }
+                        .rc(),
+                );
             }
-            step(env, annotation).map(|t| Term::Pair {
-                first: first.clone(),
-                second: second.clone(),
-                annotation: t.rc(),
+            step_rc(env, annotation).map(|t| {
+                Term::Pair { first: first.clone(), second: second.clone(), annotation: t }.rc()
             })
         }
     }
 }
 
-/// Repeatedly applies [`step`] at most `max_steps` times; returns the final
-/// term and the number of steps actually taken.
+/// Repeatedly applies [`step_rc`] at most `max_steps` times; returns the
+/// final term and the number of steps actually taken.
 pub fn reduce_steps(env: &Env, term: &Term, max_steps: usize) -> (Term, usize) {
-    let mut current = term.clone();
+    let mut current: Option<RcTerm> = None;
     for taken in 0..max_steps {
-        match step(env, &current) {
-            Some(next) => current = next,
-            None => return (current, taken),
+        let view: &Term = current.as_deref().unwrap_or(term);
+        match step_rc(env, view) {
+            Some(next) => current = Some(next),
+            None => {
+                return (current.map_or_else(|| term.clone(), |rc| (*rc).clone()), taken);
+            }
         }
     }
-    (current, max_steps)
+    (current.map_or_else(|| term.clone(), |rc| (*rc).clone()), max_steps)
 }
 
 /// Reduces `term` to weak-head normal form under `env`.
@@ -163,59 +182,61 @@ pub fn reduce_steps(env: &Env, term: &Term, max_steps: usize) -> (Term, usize) {
 ///
 /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
 pub fn whnf(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
-    let mut current = term.clone();
+    // `current` holds a shared pointer so that δ-unfolds and head
+    // eliminations share subterms instead of copying them.
+    let mut current: RcTerm = term.clone().rc();
     loop {
         if !fuel.tick() {
             return Err(ReduceError::OutOfFuel);
         }
-        match current {
-            Term::Var(x) => match env.lookup_definition(x) {
-                Some(def) => current = (**def).clone(),
-                None => return Ok(Term::Var(x)),
+        match &*current {
+            Term::Var(x) => match env.lookup_definition(*x) {
+                Some(def) => current = def.clone(),
+                None => return Ok((*current).clone()),
             },
             Term::Let { binder, bound, body, .. } => {
-                current = subst(&body, binder, &bound);
+                current = subst(body, *binder, bound).rc();
             }
             Term::App { func, arg } => {
-                let func_whnf = whnf(env, &func, fuel)?;
+                let func_whnf = whnf(env, func, fuel)?;
                 match func_whnf {
                     Term::Lam { binder, body, .. } => {
-                        current = subst(&body, binder, &arg);
+                        current = subst(&body, binder, arg).rc();
                     }
                     other => {
-                        return Ok(Term::App { func: other.rc(), arg });
+                        return Ok(Term::App { func: other.rc(), arg: arg.clone() });
                     }
                 }
             }
             Term::Fst(e) => {
-                let inner = whnf(env, &e, fuel)?;
+                let inner = whnf(env, e, fuel)?;
                 match inner {
-                    Term::Pair { first, .. } => current = (*first).clone(),
+                    Term::Pair { first, .. } => current = first,
                     other => return Ok(Term::Fst(other.rc())),
                 }
             }
             Term::Snd(e) => {
-                let inner = whnf(env, &e, fuel)?;
+                let inner = whnf(env, e, fuel)?;
                 match inner {
-                    Term::Pair { second, .. } => current = (*second).clone(),
+                    Term::Pair { second, .. } => current = second,
                     other => return Ok(Term::Snd(other.rc())),
                 }
             }
             Term::If { scrutinee, then_branch, else_branch } => {
-                let s = whnf(env, &scrutinee, fuel)?;
+                let s = whnf(env, scrutinee, fuel)?;
                 match s {
-                    Term::BoolLit(true) => current = (*then_branch).clone(),
-                    Term::BoolLit(false) => current = (*else_branch).clone(),
+                    Term::BoolLit(true) => current = then_branch.clone(),
+                    Term::BoolLit(false) => current = else_branch.clone(),
                     other => {
                         return Ok(Term::If {
                             scrutinee: other.rc(),
-                            then_branch,
-                            else_branch,
+                            then_branch: then_branch.clone(),
+                            else_branch: else_branch.clone(),
                         })
                     }
                 }
             }
-            done => return Ok(done),
+            _ => return Ok((*current).clone()),
         }
     }
 }
@@ -233,23 +254,17 @@ pub fn normalize(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, Reduce
     };
     Ok(match head {
         Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => head,
-        Term::Pi { binder, domain, codomain } => Term::Pi {
-            binder,
-            domain: norm(&domain, fuel)?,
-            codomain: norm(&codomain, fuel)?,
-        },
-        Term::Lam { binder, domain, body } => Term::Lam {
-            binder,
-            domain: norm(&domain, fuel)?,
-            body: norm(&body, fuel)?,
-        },
+        Term::Pi { binder, domain, codomain } => {
+            Term::Pi { binder, domain: norm(&domain, fuel)?, codomain: norm(&codomain, fuel)? }
+        }
+        Term::Lam { binder, domain, body } => {
+            Term::Lam { binder, domain: norm(&domain, fuel)?, body: norm(&body, fuel)? }
+        }
         Term::App { func, arg } => Term::App { func: norm(&func, fuel)?, arg: norm(&arg, fuel)? },
         Term::Let { .. } => unreachable!("whnf eliminates let"),
-        Term::Sigma { binder, first, second } => Term::Sigma {
-            binder,
-            first: norm(&first, fuel)?,
-            second: norm(&second, fuel)?,
-        },
+        Term::Sigma { binder, first, second } => {
+            Term::Sigma { binder, first: norm(&first, fuel)?, second: norm(&second, fuel)? }
+        }
         Term::Pair { first, second, annotation } => Term::Pair {
             first: norm(&first, fuel)?,
             second: norm(&second, fuel)?,
@@ -352,10 +367,7 @@ mod tests {
     #[test]
     fn step_counts_single_steps() {
         // (λ x. x) ((λ y. y) true) needs two β steps and nothing more.
-        let t = app(
-            lam("x", bool_ty(), var("x")),
-            app(lam("y", bool_ty(), var("y")), tt()),
-        );
+        let t = app(lam("x", bool_ty(), var("x")), app(lam("y", bool_ty(), var("y")), tt()));
         let (v, steps) = reduce_steps(&Env::new(), &t, 100);
         assert!(alpha_eq(&v, &tt()));
         assert_eq!(steps, 2);
@@ -375,10 +387,7 @@ mod tests {
         let omega_half = lam("x", bool_ty(), app(var("x"), var("x")));
         let omega = app(omega_half.clone(), omega_half);
         let mut fuel = Fuel::new(1000);
-        assert!(matches!(
-            normalize(&Env::new(), &omega, &mut fuel),
-            Err(ReduceError::OutOfFuel)
-        ));
+        assert!(matches!(normalize(&Env::new(), &omega, &mut fuel), Err(ReduceError::OutOfFuel)));
     }
 
     #[test]

@@ -224,9 +224,7 @@ fn alpha_eq_inner(
         | (
             Term::Sigma { binder: x, first: a1, second: b1 },
             Term::Sigma { binder: y, first: a2, second: b2 },
-        ) => {
-            alpha_eq_inner(a1, a2, l2r, r2l) && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
-        }
+        ) => alpha_eq_inner(a1, a2, l2r, r2l) && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l),
         (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
             alpha_eq_inner(f1, f2, l2r, r2l) && alpha_eq_inner(a1, a2, l2r, r2l)
         }

@@ -100,7 +100,10 @@ impl fmt::Display for TypeError {
                 write!(f, "impredicative strong Σ type `{sigma}` is not allowed")
             }
             TypeError::Mismatch { expected, found, term } => {
-                write!(f, "type mismatch: `{term}` has type `{found}` but `{expected}` was expected")
+                write!(
+                    f,
+                    "type mismatch: `{term}` has type `{found}` but `{expected}` was expected"
+                )
             }
             TypeError::Reduction(e) => write!(f, "{e}"),
         }
@@ -270,10 +273,9 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
             let e_ty_whnf = whnf(env, &e_ty, fuel)?;
             match e_ty_whnf {
                 Term::Sigma { first, .. } => Ok((*first).clone()),
-                other => Err(TypeError::NotAPair {
-                    term: term_to_string(e),
-                    ty: term_to_string(&other),
-                }),
+                other => {
+                    Err(TypeError::NotAPair { term: term_to_string(e), ty: term_to_string(&other) })
+                }
             }
         }
         // [Snd]
@@ -284,10 +286,9 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
                 Term::Sigma { binder, second, .. } => {
                     Ok(subst(&second, binder, &Term::Fst(e.clone())))
                 }
-                other => Err(TypeError::NotAPair {
-                    term: term_to_string(e),
-                    ty: term_to_string(&other),
-                }),
+                other => {
+                    Err(TypeError::NotAPair { term: term_to_string(e), ty: term_to_string(&other) })
+                }
             }
         }
     }
@@ -316,10 +317,9 @@ pub(crate) fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Re
     let ty_whnf = whnf(env, &ty, fuel)?;
     match ty_whnf {
         Term::Sort(u) => Ok(u),
-        other => Err(TypeError::NotAUniverse {
-            term: term_to_string(term),
-            ty: term_to_string(&other),
-        }),
+        other => {
+            Err(TypeError::NotAUniverse { term: term_to_string(term), ty: term_to_string(&other) })
+        }
     }
 }
 
@@ -327,8 +327,8 @@ pub(crate) fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Re
 mod tests {
     use super::*;
     use crate::builder::*;
-    use crate::subst::alpha_eq;
     use crate::equiv::definitionally_equal;
+    use crate::subst::alpha_eq;
 
     fn infer_closed(t: &Term) -> Result<Term> {
         infer(&Env::new(), t)
@@ -411,12 +411,7 @@ mod tests {
     #[test]
     fn let_definition_is_visible_in_types() {
         // let A = Bool : ⋆ in (λ x : A. x) true   :  A[Bool/A] = Bool
-        let t = let_(
-            "A",
-            star(),
-            bool_ty(),
-            app(lam("x", var("A"), var("x")), tt()),
-        );
+        let t = let_("A", star(), bool_ty(), app(lam("x", var("A"), var("x")), tt()));
         let ty = infer_closed(&t).unwrap();
         assert!(definitionally_equal(&Env::new(), &ty, &bool_ty()));
     }
@@ -487,10 +482,7 @@ mod tests {
     #[test]
     fn pair_annotation_must_be_sigma() {
         let p = pair(tt(), ff(), bool_ty());
-        assert!(matches!(
-            infer_closed(&p),
-            Err(TypeError::PairAnnotationNotSigma { .. })
-        ));
+        assert!(matches!(infer_closed(&p), Err(TypeError::PairAnnotationNotSigma { .. })));
     }
 
     #[test]
@@ -504,10 +496,7 @@ mod tests {
     fn conversion_rule_reduces_types() {
         // (λ x : (if true then Bool else (Π A:⋆. A)). x) true   is well-typed
         // because the domain reduces to Bool.
-        let t = app(
-            lam("x", ite(tt(), bool_ty(), pi("A", star(), var("A"))), var("x")),
-            tt(),
-        );
+        let t = app(lam("x", ite(tt(), bool_ty(), pi("A", star(), var("A"))), var("x")), tt());
         let ty = infer_closed(&t).unwrap();
         assert!(definitionally_equal(&Env::new(), &ty, &bool_ty()));
     }

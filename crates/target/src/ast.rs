@@ -1,0 +1,411 @@
+//! Abstract syntax of CC-CC (Figure 5 of the paper).
+//!
+//! CC-CC replaces the λ-abstractions of CC with two separate constructs:
+//!
+//! * **code** `λ (n : A', x : A). e` ([`Term::Code`]) — a two-argument
+//!   abstraction over an explicit environment `n` and the real argument
+//!   `x`, required by rule `[Code]` to be *closed*;
+//! * **closures** `⟪e, e'⟫` ([`Term::Closure`]) — a pair of code and the
+//!   environment it expects, which is what application eliminates.
+//!
+//! Code has its own type former `Code (n : A', x : A). B`
+//! ([`Term::CodeTy`]); the Π type of CC survives as the type of *closures*
+//! ([`Term::Pi`]). Environments are built from the unit type `1`
+//! ([`Term::Unit`]) and strong dependent pairs, exactly as in CC. The
+//! ground booleans of §5.2 are carried over unchanged.
+
+use cccc_util::symbol::Symbol;
+use std::fmt;
+use std::rc::Rc;
+
+/// The two universes of CC-CC, identical to those of CC.
+///
+/// `⋆` ([`Universe::Star`]) is the impredicative universe of small types;
+/// `□` ([`Universe::Box`]) is the predicative universe of large types and is
+/// itself untyped.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Universe {
+    /// The impredicative universe `⋆` of small types.
+    Star,
+    /// The predicative universe `□` of large types.
+    Box,
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Universe::Star => write!(f, "*"),
+            Universe::Box => write!(f, "□"),
+        }
+    }
+}
+
+/// A reference-counted CC-CC term. Terms are immutable; substitution and
+/// reduction build new terms, sharing unchanged subterms.
+pub type RcTerm = Rc<Term>;
+
+/// CC-CC expressions (Figure 5).
+///
+/// As in CC there is a single syntactic category for terms, types, and
+/// kinds.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// A variable `x`.
+    Var(Symbol),
+    /// A universe `⋆` or `□`.
+    Sort(Universe),
+    /// The type of *closures* `Π x : A. B` — the translation target of the
+    /// CC Π type.
+    Pi {
+        /// The bound variable `x` (may occur in `codomain`).
+        binder: Symbol,
+        /// The domain `A`.
+        domain: RcTerm,
+        /// The codomain `B`, which may mention `binder`.
+        codomain: RcTerm,
+    },
+    /// Closed code `λ (n : A', x : A). e` — the CC-CC replacement for λ.
+    ///
+    /// Rule `[Code]` types this in the *empty* environment, so a well-typed
+    /// `Code` node never has free variables.
+    Code {
+        /// The environment parameter `n`.
+        env_binder: Symbol,
+        /// The type `A'` of the environment parameter (closed).
+        env_ty: RcTerm,
+        /// The real argument `x`.
+        arg_binder: Symbol,
+        /// The type `A` of the argument; may mention `env_binder` (this is
+        /// the dependently typed twist of the paper).
+        arg_ty: RcTerm,
+        /// The body `e`; may mention both binders.
+        body: RcTerm,
+    },
+    /// The type of code, `Code (n : A', x : A). B`.
+    CodeTy {
+        /// The environment parameter `n`.
+        env_binder: Symbol,
+        /// The type `A'` of the environment parameter (closed).
+        env_ty: RcTerm,
+        /// The real argument `x`.
+        arg_binder: Symbol,
+        /// The type `A` of the argument; may mention `env_binder`.
+        arg_ty: RcTerm,
+        /// The result type `B`; may mention both binders.
+        result: RcTerm,
+    },
+    /// A closure `⟪e, e'⟫` pairing code `e` with its environment `e'`.
+    Closure {
+        /// The code component (typed by `[Code]`, in the empty
+        /// environment).
+        code: RcTerm,
+        /// The environment component (typed under the ambient `Γ`).
+        env: RcTerm,
+    },
+    /// Application `e1 e2`; eliminates *closures* (rule `[App]`).
+    App {
+        /// The function position `e1`.
+        func: RcTerm,
+        /// The argument position `e2`.
+        arg: RcTerm,
+    },
+    /// Dependent let `let x = e : A in e'`.
+    Let {
+        /// The bound variable `x`.
+        binder: Symbol,
+        /// The annotation `A` on the definition.
+        annotation: RcTerm,
+        /// The definition `e`.
+        bound: RcTerm,
+        /// The body `e'`, which may mention `binder`.
+        body: RcTerm,
+    },
+    /// Strong dependent pair type `Σ x : A. B` (environment telescopes).
+    Sigma {
+        /// The bound variable `x` (names the first component in `second`).
+        binder: Symbol,
+        /// The type `A` of the first component.
+        first: RcTerm,
+        /// The type `B` of the second component, which may mention
+        /// `binder`.
+        second: RcTerm,
+    },
+    /// Dependent pair `⟨e1, e2⟩ as Σ x : A. B`.
+    Pair {
+        /// The first component `e1`.
+        first: RcTerm,
+        /// The second component `e2`.
+        second: RcTerm,
+        /// The Σ-type annotation the pair is formed at.
+        annotation: RcTerm,
+    },
+    /// First projection `fst e`.
+    Fst(RcTerm),
+    /// Second projection `snd e`.
+    Snd(RcTerm),
+    /// The unit type `1` terminating environment telescopes.
+    Unit,
+    /// The unit value `⟨⟩`.
+    UnitVal,
+    /// The ground type `Bool` (§5.2).
+    BoolTy,
+    /// A boolean literal `true` or `false`.
+    BoolLit(bool),
+    /// Non-dependent conditional `if e then e1 else e2`.
+    If {
+        /// The scrutinee, of type `Bool`.
+        scrutinee: RcTerm,
+        /// The branch taken when the scrutinee is `true`.
+        then_branch: RcTerm,
+        /// The branch taken when the scrutinee is `false`.
+        else_branch: RcTerm,
+    },
+}
+
+impl Term {
+    /// Wraps the term in an [`Rc`].
+    pub fn rc(self) -> RcTerm {
+        Rc::new(self)
+    }
+
+    /// Returns `true` for the universe `⋆`.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Term::Sort(Universe::Star))
+    }
+
+    /// Returns `true` for the universe `□`.
+    pub fn is_box(&self) -> bool {
+        matches!(self, Term::Sort(Universe::Box))
+    }
+
+    /// Returns the universe if the term is a sort.
+    pub fn as_sort(&self) -> Option<Universe> {
+        match self {
+            Term::Sort(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Returns the variable name if the term is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the term is a *value* in the sense of
+    /// Theorem 4.8: a universe, code, a closure, a pair, a type
+    /// constructor, unit, or a boolean literal.
+    pub fn is_value(&self) -> bool {
+        matches!(
+            self,
+            Term::Sort(_)
+                | Term::Code { .. }
+                | Term::CodeTy { .. }
+                | Term::Closure { .. }
+                | Term::Pi { .. }
+                | Term::Sigma { .. }
+                | Term::Pair { .. }
+                | Term::Unit
+                | Term::UnitVal
+                | Term::BoolTy
+                | Term::BoolLit(_)
+        )
+    }
+
+    /// The number of AST nodes in the term. Used by the benchmarks to
+    /// report the code-size blow-up of closure conversion.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// The maximum depth of the AST.
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_)
+            | Term::Sort(_)
+            | Term::Unit
+            | Term::UnitVal
+            | Term::BoolTy
+            | Term::BoolLit(_) => 1,
+            Term::Pi { domain, codomain, .. } => 1 + domain.depth().max(codomain.depth()),
+            Term::Code { env_ty, arg_ty, body, .. } => {
+                1 + env_ty.depth().max(arg_ty.depth()).max(body.depth())
+            }
+            Term::CodeTy { env_ty, arg_ty, result, .. } => {
+                1 + env_ty.depth().max(arg_ty.depth()).max(result.depth())
+            }
+            Term::Closure { code, env } => 1 + code.depth().max(env.depth()),
+            Term::App { func, arg } => 1 + func.depth().max(arg.depth()),
+            Term::Let { annotation, bound, body, .. } => {
+                1 + annotation.depth().max(bound.depth()).max(body.depth())
+            }
+            Term::Sigma { first, second, .. } => 1 + first.depth().max(second.depth()),
+            Term::Pair { first, second, annotation } => {
+                1 + first.depth().max(second.depth()).max(annotation.depth())
+            }
+            Term::Fst(e) | Term::Snd(e) => 1 + e.depth(),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                1 + scrutinee.depth().max(then_branch.depth()).max(else_branch.depth())
+            }
+        }
+    }
+
+    /// Counts the closures in the term (one per source λ after
+    /// translation).
+    pub fn closure_count(&self) -> usize {
+        let mut count = 0;
+        self.visit(&mut |t| {
+            if matches!(t, Term::Closure { .. }) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Counts the literal `Code` nodes in the term (what hoisting lifts to
+    /// the top level).
+    pub fn code_count(&self) -> usize {
+        let mut count = 0;
+        self.visit(&mut |t| {
+            if matches!(t, Term::Code { .. }) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Calls `f` on this term and every subterm, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        match self {
+            Term::Var(_)
+            | Term::Sort(_)
+            | Term::Unit
+            | Term::UnitVal
+            | Term::BoolTy
+            | Term::BoolLit(_) => {}
+            Term::Pi { domain, codomain, .. } => {
+                domain.visit(f);
+                codomain.visit(f);
+            }
+            Term::Code { env_ty, arg_ty, body, .. } => {
+                env_ty.visit(f);
+                arg_ty.visit(f);
+                body.visit(f);
+            }
+            Term::CodeTy { env_ty, arg_ty, result, .. } => {
+                env_ty.visit(f);
+                arg_ty.visit(f);
+                result.visit(f);
+            }
+            Term::Closure { code, env } => {
+                code.visit(f);
+                env.visit(f);
+            }
+            Term::App { func, arg } => {
+                func.visit(f);
+                arg.visit(f);
+            }
+            Term::Let { annotation, bound, body, .. } => {
+                annotation.visit(f);
+                bound.visit(f);
+                body.visit(f);
+            }
+            Term::Sigma { first, second, .. } => {
+                first.visit(f);
+                second.visit(f);
+            }
+            Term::Pair { first, second, annotation } => {
+                first.visit(f);
+                second.visit(f);
+                annotation.visit(f);
+            }
+            Term::Fst(e) | Term::Snd(e) => e.visit(f),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                scrutinee.visit(f);
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+        }
+    }
+
+    /// Splits an application spine: `f a b c` becomes `(f, [a, b, c])`.
+    pub fn spine(&self) -> (&Term, Vec<&RcTerm>) {
+        let mut args = Vec::new();
+        let mut head = self;
+        while let Term::App { func, arg } = head {
+            args.push(arg);
+            head = func;
+        }
+        args.reverse();
+        (head, args)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::term_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn universe_display() {
+        assert_eq!(Universe::Star.to_string(), "*");
+        assert_eq!(Universe::Box.to_string(), "□");
+    }
+
+    #[test]
+    fn size_and_depth_count_code_and_closures() {
+        // ⟪λ (n : 1, x : Bool). x, ⟨⟩⟫ has 6 nodes: Closure, Code, Unit,
+        // BoolTy, Var, UnitVal.
+        let t = closure(code("n", unit_ty(), "x", bool_ty(), var("x")), unit_val());
+        assert_eq!(t.size(), 6);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.closure_count(), 1);
+        assert_eq!(t.code_count(), 1);
+    }
+
+    #[test]
+    fn values_are_recognized() {
+        assert!(star().is_value());
+        assert!(unit_val().is_value());
+        assert!(code("n", unit_ty(), "x", bool_ty(), var("x")).is_value());
+        assert!(closure(code("n", unit_ty(), "x", bool_ty(), var("x")), unit_val()).is_value());
+        assert!(!app(var("f"), tt()).is_value());
+        assert!(!var("x").is_value());
+    }
+
+    #[test]
+    fn as_sort_and_as_var() {
+        assert_eq!(star().as_sort(), Some(Universe::Star));
+        assert!(boxu().is_box());
+        assert!(star().is_star());
+        assert_eq!(var("q").as_var().map(|s| s.base_name()), Some("q".to_owned()));
+        assert_eq!(var("q").as_sort(), None);
+    }
+
+    #[test]
+    fn spine_splits_applications() {
+        let t = app(app(var("f"), var("a")), var("b"));
+        let (head, args) = t.spine();
+        assert!(matches!(head, Term::Var(_)));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn visit_reaches_every_node() {
+        let t = pair(tt(), unit_val(), sigma("x", bool_ty(), unit_ty()));
+        let mut n = 0;
+        t.visit(&mut |_| n += 1);
+        assert_eq!(n, t.size());
+    }
+}

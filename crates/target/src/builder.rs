@@ -1,0 +1,240 @@
+//! A convenience DSL for constructing CC-CC terms programmatically.
+//!
+//! Every constructor takes owned [`Term`]s and returns an owned [`Term`],
+//! wrapping subterms in [`Rc`](std::rc::Rc) internally:
+//!
+//! ```
+//! use cccc_target::builder::*;
+//!
+//! // The closure-converted boolean identity ⟪λ (n : 1, x : Bool). x, ⟨⟩⟫
+//! let id = closure(code("n", unit_ty(), "x", bool_ty(), var("x")), unit_val());
+//! assert_eq!(id.closure_count(), 1);
+//! ```
+
+use crate::ast::{Term, Universe};
+use cccc_util::symbol::Symbol;
+
+/// A variable with the given (interned) name.
+pub fn var(name: &str) -> Term {
+    Term::Var(Symbol::intern(name))
+}
+
+/// A variable referring to an existing symbol.
+pub fn var_sym(name: Symbol) -> Term {
+    Term::Var(name)
+}
+
+/// The universe `⋆`.
+pub fn star() -> Term {
+    Term::Sort(Universe::Star)
+}
+
+/// The universe `□`.
+pub fn boxu() -> Term {
+    Term::Sort(Universe::Box)
+}
+
+/// A sort term from a [`Universe`].
+pub fn sort(u: Universe) -> Term {
+    Term::Sort(u)
+}
+
+/// Closure type `Π x : domain. codomain`.
+pub fn pi(binder: &str, domain: Term, codomain: Term) -> Term {
+    pi_sym(Symbol::intern(binder), domain, codomain)
+}
+
+/// Closure type with an existing binder symbol.
+pub fn pi_sym(binder: Symbol, domain: Term, codomain: Term) -> Term {
+    Term::Pi { binder, domain: domain.rc(), codomain: codomain.rc() }
+}
+
+/// Non-dependent closure type `A → B`, sugar for `Π _ : A. B`.
+pub fn arrow(domain: Term, codomain: Term) -> Term {
+    pi_sym(Symbol::fresh("_"), domain, codomain)
+}
+
+/// Code `λ (env_binder : env_ty, arg_binder : arg_ty). body`.
+pub fn code(env_binder: &str, env_ty: Term, arg_binder: &str, arg_ty: Term, body: Term) -> Term {
+    code_sym(Symbol::intern(env_binder), env_ty, Symbol::intern(arg_binder), arg_ty, body)
+}
+
+/// Code with existing binder symbols.
+pub fn code_sym(
+    env_binder: Symbol,
+    env_ty: Term,
+    arg_binder: Symbol,
+    arg_ty: Term,
+    body: Term,
+) -> Term {
+    Term::Code { env_binder, env_ty: env_ty.rc(), arg_binder, arg_ty: arg_ty.rc(), body: body.rc() }
+}
+
+/// Code type `Code (env_binder : env_ty, arg_binder : arg_ty). result`.
+pub fn code_ty(
+    env_binder: &str,
+    env_ty: Term,
+    arg_binder: &str,
+    arg_ty: Term,
+    result: Term,
+) -> Term {
+    code_ty_sym(Symbol::intern(env_binder), env_ty, Symbol::intern(arg_binder), arg_ty, result)
+}
+
+/// Code type with existing binder symbols.
+pub fn code_ty_sym(
+    env_binder: Symbol,
+    env_ty: Term,
+    arg_binder: Symbol,
+    arg_ty: Term,
+    result: Term,
+) -> Term {
+    Term::CodeTy {
+        env_binder,
+        env_ty: env_ty.rc(),
+        arg_binder,
+        arg_ty: arg_ty.rc(),
+        result: result.rc(),
+    }
+}
+
+/// A closure `⟪code, env⟫`.
+pub fn closure(code: Term, env: Term) -> Term {
+    Term::Closure { code: code.rc(), env: env.rc() }
+}
+
+/// Application `func arg`.
+pub fn app(func: Term, arg: Term) -> Term {
+    Term::App { func: func.rc(), arg: arg.rc() }
+}
+
+/// Iterated application `func arg0 arg1 …`.
+pub fn apps(func: Term, args: impl IntoIterator<Item = Term>) -> Term {
+    args.into_iter().fold(func, app)
+}
+
+/// Dependent let `let x = bound : annotation in body`.
+pub fn let_(binder: &str, annotation: Term, bound: Term, body: Term) -> Term {
+    let_sym(Symbol::intern(binder), annotation, bound, body)
+}
+
+/// Dependent let with an existing binder symbol.
+pub fn let_sym(binder: Symbol, annotation: Term, bound: Term, body: Term) -> Term {
+    Term::Let { binder, annotation: annotation.rc(), bound: bound.rc(), body: body.rc() }
+}
+
+/// Strong dependent pair type `Σ x : first. second`.
+pub fn sigma(binder: &str, first: Term, second: Term) -> Term {
+    sigma_sym(Symbol::intern(binder), first, second)
+}
+
+/// Σ type with an existing binder symbol.
+pub fn sigma_sym(binder: Symbol, first: Term, second: Term) -> Term {
+    Term::Sigma { binder, first: first.rc(), second: second.rc() }
+}
+
+/// Non-dependent product `A × B`, sugar for `Σ _ : A. B`.
+pub fn product(first: Term, second: Term) -> Term {
+    sigma_sym(Symbol::fresh("_"), first, second)
+}
+
+/// Dependent pair `⟨first, second⟩ as annotation`.
+pub fn pair(first: Term, second: Term, annotation: Term) -> Term {
+    Term::Pair { first: first.rc(), second: second.rc(), annotation: annotation.rc() }
+}
+
+/// First projection `fst e`.
+pub fn fst(e: Term) -> Term {
+    Term::Fst(e.rc())
+}
+
+/// Second projection `snd e`.
+pub fn snd(e: Term) -> Term {
+    Term::Snd(e.rc())
+}
+
+/// The unit type `1`.
+pub fn unit_ty() -> Term {
+    Term::Unit
+}
+
+/// The unit value `⟨⟩`.
+pub fn unit_val() -> Term {
+    Term::UnitVal
+}
+
+/// The ground type `Bool`.
+pub fn bool_ty() -> Term {
+    Term::BoolTy
+}
+
+/// A boolean literal.
+pub fn bool_lit(value: bool) -> Term {
+    Term::BoolLit(value)
+}
+
+/// The literal `true`.
+pub fn tt() -> Term {
+    Term::BoolLit(true)
+}
+
+/// The literal `false`.
+pub fn ff() -> Term {
+    Term::BoolLit(false)
+}
+
+/// Conditional `if scrutinee then then_branch else else_branch`.
+pub fn ite(scrutinee: Term, then_branch: Term, else_branch: Term) -> Term {
+    Term::If {
+        scrutinee: scrutinee.rc(),
+        then_branch: then_branch.rc(),
+        else_branch: else_branch.rc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        assert!(matches!(var("x"), Term::Var(_)));
+        assert!(matches!(star(), Term::Sort(Universe::Star)));
+        assert!(matches!(boxu(), Term::Sort(Universe::Box)));
+        assert!(matches!(sort(Universe::Star), Term::Sort(Universe::Star)));
+        assert!(matches!(pi("x", star(), var("x")), Term::Pi { .. }));
+        assert!(matches!(code("n", unit_ty(), "x", star(), var("x")), Term::Code { .. }));
+        assert!(matches!(code_ty("n", unit_ty(), "x", star(), star()), Term::CodeTy { .. }));
+        assert!(matches!(closure(unit_val(), unit_val()), Term::Closure { .. }));
+        assert!(matches!(app(var("f"), var("x")), Term::App { .. }));
+        assert!(matches!(let_("x", star(), bool_ty(), var("x")), Term::Let { .. }));
+        assert!(matches!(sigma("x", star(), var("x")), Term::Sigma { .. }));
+        assert!(matches!(pair(tt(), ff(), product(bool_ty(), bool_ty())), Term::Pair { .. }));
+        assert!(matches!(fst(var("p")), Term::Fst(_)));
+        assert!(matches!(snd(var("p")), Term::Snd(_)));
+        assert!(matches!(unit_ty(), Term::Unit));
+        assert!(matches!(unit_val(), Term::UnitVal));
+        assert!(matches!(ite(tt(), ff(), tt()), Term::If { .. }));
+        assert!(matches!(bool_lit(true), Term::BoolLit(true)));
+    }
+
+    #[test]
+    fn apps_folds_left() {
+        let t = apps(var("f"), vec![var("a"), var("b")]);
+        let (head, args) = t.spine();
+        assert!(matches!(head, Term::Var(_)));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn arrow_and_product_use_fresh_binders() {
+        let a = arrow(bool_ty(), bool_ty());
+        let b = arrow(bool_ty(), bool_ty());
+        match (&a, &b) {
+            (Term::Pi { binder: x, .. }, Term::Pi { binder: y, .. }) => assert_ne!(x, y),
+            _ => panic!("arrow should build Pi"),
+        }
+        assert!(matches!(product(bool_ty(), bool_ty()), Term::Sigma { .. }));
+    }
+}

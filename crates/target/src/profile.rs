@@ -1,0 +1,345 @@
+//! A cost-instrumented evaluator for CC-CC.
+//!
+//! Counts how many times each reduction rule fires while normalizing a
+//! term. Together with the CC profiler in `cccc-source` this quantifies
+//! the dynamic overhead of closure conversion (§7): every source β-step
+//! becomes exactly one *closure application*, and every captured variable
+//! costs one environment projection (a ζ-step through the projection
+//! prelude) per call, plus the environment tuple allocation at closure
+//! creation time.
+
+use crate::ast::Term;
+use crate::env::Env;
+use crate::reduce::{apply_closure_code, ReduceError};
+use crate::subst::subst;
+use cccc_util::fuel::Fuel;
+use std::fmt;
+use std::ops::Add;
+
+/// Counters for the CC-CC reduction rules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Closure applications: `⟪λ (n, x). e, e'⟫ e'' ⊲ e[e'/n][e''/x]`.
+    pub closure_applications: usize,
+    /// ζ-steps: `let x = e in e1 ⊲ e1[e/x]` (environment projections after
+    /// closure conversion).
+    pub zeta: usize,
+    /// δ-steps: unfolding a defined variable (hoisted code labels).
+    pub delta: usize,
+    /// π-steps: `fst`/`snd` of a pair (environment dereferences).
+    pub projection: usize,
+    /// `if` on a literal.
+    pub conditional: usize,
+    /// Pair values built while producing the result (environment-tuple
+    /// allocation proxy).
+    pub pairs_built: usize,
+    /// Closure values encountered as evaluation results (heap-allocation
+    /// proxy for the closures a real runtime would create).
+    pub closures_built: usize,
+}
+
+impl Cost {
+    /// Total number of reduction steps of any kind.
+    pub fn total_steps(&self) -> usize {
+        self.closure_applications + self.zeta + self.delta + self.projection + self.conditional
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            closure_applications: self.closure_applications + other.closure_applications,
+            zeta: self.zeta + other.zeta,
+            delta: self.delta + other.delta,
+            projection: self.projection + other.projection,
+            conditional: self.conditional + other.conditional,
+            pairs_built: self.pairs_built + other.pairs_built,
+            closures_built: self.closures_built + other.closures_built,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clo={} ζ={} δ={} π={} if={} pairs={} closures={} (total {})",
+            self.closure_applications,
+            self.zeta,
+            self.delta,
+            self.projection,
+            self.conditional,
+            self.pairs_built,
+            self.closures_built,
+            self.total_steps()
+        )
+    }
+}
+
+/// Normalizes `term` under `env`, returning the value together with the
+/// cost counters accumulated along the way.
+///
+/// # Errors
+///
+/// Returns a [`ReduceError`] when `fuel` is exhausted or bare code is
+/// applied.
+pub fn evaluate_with_cost(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+) -> Result<(Term, Cost), ReduceError> {
+    let mut cost = Cost::default();
+    let value = normalize(env, term, fuel, &mut cost)?;
+    Ok((value, cost))
+}
+
+/// Normalizes with the default fuel budget.
+///
+/// # Panics
+///
+/// Panics if the default budget is exhausted.
+pub fn evaluate_with_cost_default(env: &Env, term: &Term) -> (Term, Cost) {
+    let mut fuel = Fuel::default();
+    evaluate_with_cost(env, term, &mut fuel).expect("instrumented evaluation failed")
+}
+
+fn whnf(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term, ReduceError> {
+    let mut current = term.clone();
+    loop {
+        if !fuel.tick() {
+            return Err(ReduceError::OutOfFuel);
+        }
+        match current {
+            Term::Var(x) => match env.lookup_definition(x) {
+                Some(definition) => {
+                    cost.delta += 1;
+                    current = (**definition).clone();
+                }
+                None => return Ok(Term::Var(x)),
+            },
+            Term::Let { binder, bound, body, .. } => {
+                cost.zeta += 1;
+                current = subst(&body, binder, &bound);
+            }
+            Term::App { func, arg } => {
+                let func_whnf = whnf(env, &func, fuel, cost)?;
+                match func_whnf {
+                    Term::Closure { code, env: closure_env } => {
+                        let code_whnf = whnf(env, &code, fuel, cost)?;
+                        match code_whnf {
+                            Term::Code { env_binder, arg_binder, body, .. } => {
+                                cost.closure_applications += 1;
+                                current = apply_closure_code(
+                                    env_binder,
+                                    arg_binder,
+                                    &body,
+                                    &closure_env,
+                                    &arg,
+                                );
+                            }
+                            other => {
+                                return Ok(Term::App {
+                                    func: Term::Closure { code: other.rc(), env: closure_env }.rc(),
+                                    arg,
+                                })
+                            }
+                        }
+                    }
+                    Term::Code { .. } => return Err(ReduceError::BareCodeApplication),
+                    other => return Ok(Term::App { func: other.rc(), arg }),
+                }
+            }
+            Term::Fst(e) => {
+                let inner = whnf(env, &e, fuel, cost)?;
+                match inner {
+                    Term::Pair { first, .. } => {
+                        cost.projection += 1;
+                        current = (*first).clone();
+                    }
+                    other => return Ok(Term::Fst(other.rc())),
+                }
+            }
+            Term::Snd(e) => {
+                let inner = whnf(env, &e, fuel, cost)?;
+                match inner {
+                    Term::Pair { second, .. } => {
+                        cost.projection += 1;
+                        current = (*second).clone();
+                    }
+                    other => return Ok(Term::Snd(other.rc())),
+                }
+            }
+            Term::If { scrutinee, then_branch, else_branch } => {
+                let s = whnf(env, &scrutinee, fuel, cost)?;
+                match s {
+                    Term::BoolLit(true) => {
+                        cost.conditional += 1;
+                        current = (*then_branch).clone();
+                    }
+                    Term::BoolLit(false) => {
+                        cost.conditional += 1;
+                        current = (*else_branch).clone();
+                    }
+                    other => {
+                        return Ok(Term::If { scrutinee: other.rc(), then_branch, else_branch })
+                    }
+                }
+            }
+            done => return Ok(done),
+        }
+    }
+}
+
+fn normalize(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+    cost: &mut Cost,
+) -> Result<Term, ReduceError> {
+    let head = whnf(env, term, fuel, cost)?;
+    Ok(match head {
+        Term::Var(_)
+        | Term::Sort(_)
+        | Term::Unit
+        | Term::UnitVal
+        | Term::BoolTy
+        | Term::BoolLit(_) => head,
+        Term::Pi { binder, domain, codomain } => Term::Pi {
+            binder,
+            domain: normalize(env, &domain, fuel, cost)?.rc(),
+            codomain: normalize(env, &codomain, fuel, cost)?.rc(),
+        },
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => Term::Code {
+            env_binder,
+            env_ty: normalize(env, &env_ty, fuel, cost)?.rc(),
+            arg_binder,
+            arg_ty: normalize(env, &arg_ty, fuel, cost)?.rc(),
+            body: normalize(env, &body, fuel, cost)?.rc(),
+        },
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => Term::CodeTy {
+            env_binder,
+            env_ty: normalize(env, &env_ty, fuel, cost)?.rc(),
+            arg_binder,
+            arg_ty: normalize(env, &arg_ty, fuel, cost)?.rc(),
+            result: normalize(env, &result, fuel, cost)?.rc(),
+        },
+        Term::Closure { code, env: closure_env } => {
+            cost.closures_built += 1;
+            Term::Closure {
+                code: normalize(env, &code, fuel, cost)?.rc(),
+                env: normalize(env, &closure_env, fuel, cost)?.rc(),
+            }
+        }
+        Term::App { func, arg } => Term::App {
+            func: normalize(env, &func, fuel, cost)?.rc(),
+            arg: normalize(env, &arg, fuel, cost)?.rc(),
+        },
+        Term::Let { .. } => unreachable!("whnf eliminates let"),
+        Term::Sigma { binder, first, second } => Term::Sigma {
+            binder,
+            first: normalize(env, &first, fuel, cost)?.rc(),
+            second: normalize(env, &second, fuel, cost)?.rc(),
+        },
+        Term::Pair { first, second, annotation } => {
+            cost.pairs_built += 1;
+            Term::Pair {
+                first: normalize(env, &first, fuel, cost)?.rc(),
+                second: normalize(env, &second, fuel, cost)?.rc(),
+                annotation: normalize(env, &annotation, fuel, cost)?.rc(),
+            }
+        }
+        Term::Fst(e) => Term::Fst(normalize(env, &e, fuel, cost)?.rc()),
+        Term::Snd(e) => Term::Snd(normalize(env, &e, fuel, cost)?.rc()),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: normalize(env, &scrutinee, fuel, cost)?.rc(),
+            then_branch: normalize(env, &then_branch, fuel, cost)?.rc(),
+            else_branch: normalize(env, &else_branch, fuel, cost)?.rc(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::subst::alpha_eq;
+
+    fn run(term: &Term) -> (Term, Cost) {
+        evaluate_with_cost_default(&Env::new(), term)
+    }
+
+    fn identity_closure() -> Term {
+        closure(code("n", unit_ty(), "x", bool_ty(), var("x")), unit_val())
+    }
+
+    #[test]
+    fn closure_applications_are_counted() {
+        let (value, cost) = run(&app(identity_closure(), tt()));
+        assert!(alpha_eq(&value, &tt()));
+        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.total_steps(), 1);
+    }
+
+    #[test]
+    fn projection_preludes_cost_zeta_steps() {
+        // A closure capturing one variable: applying it fires one closure
+        // application and one ζ (the projection let).
+        let env_ty = product(bool_ty(), unit_ty());
+        let clo = closure(
+            code(
+                "n",
+                env_ty.clone(),
+                "x",
+                bool_ty(),
+                let_("b", bool_ty(), fst(var("n")), ite(var("b"), var("x"), ff())),
+            ),
+            pair(tt(), unit_val(), env_ty),
+        );
+        let (value, cost) = run(&app(clo, tt()));
+        assert!(alpha_eq(&value, &tt()));
+        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.zeta, 1);
+        assert_eq!(cost.projection, 1);
+        assert_eq!(cost.conditional, 1);
+    }
+
+    #[test]
+    fn delta_counts_label_unfolding() {
+        let env = Env::new().with_definition(
+            cccc_util::Symbol::intern("id"),
+            identity_closure(),
+            pi("x", bool_ty(), bool_ty()),
+        );
+        let mut fuel = Fuel::default();
+        let (_, cost) = evaluate_with_cost(&env, &app(var("id"), ff()), &mut fuel).unwrap();
+        assert_eq!(cost.delta, 1);
+        assert_eq!(cost.closure_applications, 1);
+    }
+
+    #[test]
+    fn allocation_proxies_fire() {
+        let (_, cost) = run(&identity_closure());
+        assert_eq!(cost.closures_built, 1);
+        let (_, cost) = run(&pair(tt(), ff(), product(bool_ty(), bool_ty())));
+        assert_eq!(cost.pairs_built, 1);
+    }
+
+    #[test]
+    fn instrumented_and_plain_normalization_agree() {
+        let program = app(identity_closure(), ite(app(identity_closure(), tt()), ff(), tt()));
+        let (value, cost) = run(&program);
+        let plain = crate::reduce::normalize_default(&Env::new(), &program);
+        assert!(alpha_eq(&value, &plain));
+        assert!(cost.total_steps() >= 3);
+    }
+
+    #[test]
+    fn cost_display_and_addition() {
+        let (_, a) = run(&app(identity_closure(), tt()));
+        let (_, b) = run(&app(identity_closure(), ff()));
+        let sum = a + b;
+        assert_eq!(sum.closure_applications, 2);
+        assert!(sum.to_string().contains("clo="));
+    }
+}

@@ -1,0 +1,589 @@
+//! Free variables, capture-avoiding substitution, renaming, α-equivalence,
+//! and the closedness predicate for CC-CC terms.
+//!
+//! CC-CC uses the same named representation of binders as CC, with two new
+//! binding forms: code `λ (n : A', x : A). e` and code types
+//! `Code (n : A', x : A). B`, both of which bind `n` in the argument type
+//! and `n`, `x` in the body/result. The closedness predicate [`is_closed`]
+//! is what rule `[Code]` checks syntactically and what hoisting relies on.
+
+use crate::ast::{RcTerm, Term};
+use cccc_util::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// The free variables of `term`, in order of first occurrence (left to
+/// right, outside in). Duplicates are removed.
+pub fn free_vars(term: &Term) -> Vec<Symbol> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    collect_free(term, &mut Vec::new(), &mut seen, &mut out);
+    out
+}
+
+/// The free variables of `term` as a set.
+pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
+    free_vars(term).into_iter().collect()
+}
+
+/// Whether `x` occurs free in `term`. Short-circuits on the first
+/// occurrence without allocating — this sits on the closure-application
+/// and `[Clo]` hot paths.
+pub fn occurs_free(x: Symbol, term: &Term) -> bool {
+    match term {
+        Term::Var(y) => *y == x,
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => false,
+        Term::Pi { binder, domain, codomain } => {
+            occurs_free(x, domain) || (*binder != x && occurs_free(x, codomain))
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
+            occurs_free(x, env_ty)
+                || (*env_binder != x
+                    && (occurs_free(x, arg_ty) || (*arg_binder != x && occurs_free(x, body))))
+        }
+        Term::Closure { code, env } => occurs_free(x, code) || occurs_free(x, env),
+        Term::App { func, arg } => occurs_free(x, func) || occurs_free(x, arg),
+        Term::Let { binder, annotation, bound, body } => {
+            occurs_free(x, annotation)
+                || occurs_free(x, bound)
+                || (*binder != x && occurs_free(x, body))
+        }
+        Term::Sigma { binder, first, second } => {
+            occurs_free(x, first) || (*binder != x && occurs_free(x, second))
+        }
+        Term::Pair { first, second, annotation } => {
+            occurs_free(x, first) || occurs_free(x, second) || occurs_free(x, annotation)
+        }
+        Term::Fst(e) | Term::Snd(e) => occurs_free(x, e),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            occurs_free(x, scrutinee) || occurs_free(x, then_branch) || occurs_free(x, else_branch)
+        }
+    }
+}
+
+/// Whether `term` has no free variables — the syntactic premise of rule
+/// `[Code]`.
+pub fn is_closed(term: &Term) -> bool {
+    free_vars(term).is_empty()
+}
+
+fn collect_free(
+    term: &Term,
+    bound: &mut Vec<Symbol>,
+    seen: &mut HashSet<Symbol>,
+    out: &mut Vec<Symbol>,
+) {
+    match term {
+        Term::Var(x) => {
+            if !bound.contains(x) && seen.insert(*x) {
+                out.push(*x);
+            }
+        }
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain } => {
+            collect_free(domain, bound, seen, out);
+            collect_under(&[*binder], codomain, bound, seen, out);
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
+            collect_free(env_ty, bound, seen, out);
+            collect_under(&[*env_binder], arg_ty, bound, seen, out);
+            collect_under(&[*env_binder, *arg_binder], body, bound, seen, out);
+        }
+        Term::Closure { code, env } => {
+            collect_free(code, bound, seen, out);
+            collect_free(env, bound, seen, out);
+        }
+        Term::App { func, arg } => {
+            collect_free(func, bound, seen, out);
+            collect_free(arg, bound, seen, out);
+        }
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            collect_free(annotation, bound, seen, out);
+            collect_free(bound_term, bound, seen, out);
+            collect_under(&[*binder], body, bound, seen, out);
+        }
+        Term::Sigma { binder, first, second } => {
+            collect_free(first, bound, seen, out);
+            collect_under(&[*binder], second, bound, seen, out);
+        }
+        Term::Pair { first, second, annotation } => {
+            collect_free(first, bound, seen, out);
+            collect_free(second, bound, seen, out);
+            collect_free(annotation, bound, seen, out);
+        }
+        Term::Fst(e) | Term::Snd(e) => collect_free(e, bound, seen, out),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            collect_free(scrutinee, bound, seen, out);
+            collect_free(then_branch, bound, seen, out);
+            collect_free(else_branch, bound, seen, out);
+        }
+    }
+}
+
+fn collect_under(
+    binders: &[Symbol],
+    body: &Term,
+    bound: &mut Vec<Symbol>,
+    seen: &mut HashSet<Symbol>,
+    out: &mut Vec<Symbol>,
+) {
+    let before = bound.len();
+    bound.extend_from_slice(binders);
+    collect_free(body, bound, seen, out);
+    bound.truncate(before);
+}
+
+/// Capture-avoiding substitution `term[replacement/x]`.
+///
+/// Binders that shadow `x` stop the substitution; binders whose name occurs
+/// free in `replacement` are renamed to fresh symbols before descending.
+pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
+    let fv = free_var_set(replacement);
+    subst_inner(term, x, replacement, &fv)
+}
+
+/// Applies several substitutions in sequence (left to right). Later
+/// substitutions see the result of earlier ones.
+pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
+    let mut out = term.clone();
+    for (x, replacement) in substitutions {
+        out = subst(&out, *x, replacement);
+    }
+    out
+}
+
+fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &HashSet<Symbol>) -> Term {
+    match term {
+        Term::Var(y) => {
+            if *y == x {
+                replacement.clone()
+            } else {
+                term.clone()
+            }
+        }
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => {
+            term.clone()
+        }
+        Term::Pi { binder, domain, codomain } => {
+            let domain = subst_inner(domain, x, replacement, fv).rc();
+            let (binder, codomain) = subst_under(*binder, codomain, x, replacement, fv);
+            Term::Pi { binder, domain, codomain: codomain.rc() }
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            let (env_binder, arg_binder, env_ty, arg_ty, body) =
+                subst_code(*env_binder, env_ty, *arg_binder, arg_ty, body, x, replacement, fv);
+            Term::Code {
+                env_binder,
+                env_ty: env_ty.rc(),
+                arg_binder,
+                arg_ty: arg_ty.rc(),
+                body: body.rc(),
+            }
+        }
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+            let (env_binder, arg_binder, env_ty, arg_ty, result) =
+                subst_code(*env_binder, env_ty, *arg_binder, arg_ty, result, x, replacement, fv);
+            Term::CodeTy {
+                env_binder,
+                env_ty: env_ty.rc(),
+                arg_binder,
+                arg_ty: arg_ty.rc(),
+                result: result.rc(),
+            }
+        }
+        Term::Closure { code, env } => Term::Closure {
+            code: subst_inner(code, x, replacement, fv).rc(),
+            env: subst_inner(env, x, replacement, fv).rc(),
+        },
+        Term::App { func, arg } => Term::App {
+            func: subst_inner(func, x, replacement, fv).rc(),
+            arg: subst_inner(arg, x, replacement, fv).rc(),
+        },
+        Term::Let { binder, annotation, bound, body } => {
+            let annotation = subst_inner(annotation, x, replacement, fv).rc();
+            let bound = subst_inner(bound, x, replacement, fv).rc();
+            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
+            Term::Let { binder, annotation, bound, body: body.rc() }
+        }
+        Term::Sigma { binder, first, second } => {
+            let first = subst_inner(first, x, replacement, fv).rc();
+            let (binder, second) = subst_under(*binder, second, x, replacement, fv);
+            Term::Sigma { binder, first, second: second.rc() }
+        }
+        Term::Pair { first, second, annotation } => Term::Pair {
+            first: subst_inner(first, x, replacement, fv).rc(),
+            second: subst_inner(second, x, replacement, fv).rc(),
+            annotation: subst_inner(annotation, x, replacement, fv).rc(),
+        },
+        Term::Fst(e) => Term::Fst(subst_inner(e, x, replacement, fv).rc()),
+        Term::Snd(e) => Term::Snd(subst_inner(e, x, replacement, fv).rc()),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: subst_inner(scrutinee, x, replacement, fv).rc(),
+            then_branch: subst_inner(then_branch, x, replacement, fv).rc(),
+            else_branch: subst_inner(else_branch, x, replacement, fv).rc(),
+        },
+    }
+}
+
+/// Substitutes inside the body of a binder, freshening the binder when it
+/// would capture a free variable of the replacement.
+fn subst_under(
+    binder: Symbol,
+    body: &Term,
+    x: Symbol,
+    replacement: &Term,
+    fv: &HashSet<Symbol>,
+) -> (Symbol, Term) {
+    if binder == x {
+        return (binder, body.clone());
+    }
+    if fv.contains(&binder) {
+        let fresh = binder.freshen();
+        let renamed = rename(body, binder, fresh);
+        (fresh, subst_inner(&renamed, x, replacement, fv))
+    } else {
+        (binder, subst_inner(body, x, replacement, fv))
+    }
+}
+
+/// The two-binder case shared by `Code` and `CodeTy`: `env_binder` scopes
+/// over `arg_ty` and `body`, `arg_binder` scopes over `body` only.
+#[allow(clippy::too_many_arguments)]
+fn subst_code(
+    env_binder: Symbol,
+    env_ty: &Term,
+    arg_binder: Symbol,
+    arg_ty: &Term,
+    body: &Term,
+    x: Symbol,
+    replacement: &Term,
+    fv: &HashSet<Symbol>,
+) -> (Symbol, Symbol, Term, Term, Term) {
+    let env_ty = subst_inner(env_ty, x, replacement, fv);
+
+    // Freshen the environment binder if it would capture. When the
+    // argument binder shadows it (arg_binder = env_binder), the body's
+    // occurrences refer to the argument and must not be renamed here.
+    let (env_binder, arg_ty_scoped, body_scoped) = if env_binder != x && fv.contains(&env_binder) {
+        let fresh = env_binder.freshen();
+        let body_renamed =
+            if arg_binder == env_binder { body.clone() } else { rename(body, env_binder, fresh) };
+        (fresh, rename(arg_ty, env_binder, fresh), body_renamed)
+    } else {
+        (env_binder, arg_ty.clone(), body.clone())
+    };
+    // Then the argument binder (which scopes only over the body).
+    let (arg_binder, body_scoped) = if arg_binder != x && fv.contains(&arg_binder) {
+        let fresh = arg_binder.freshen();
+        (fresh, rename(&body_scoped, arg_binder, fresh))
+    } else {
+        (arg_binder, body_scoped)
+    };
+
+    let arg_ty = if env_binder == x {
+        arg_ty_scoped
+    } else {
+        subst_inner(&arg_ty_scoped, x, replacement, fv)
+    };
+    let body = if env_binder == x || arg_binder == x {
+        body_scoped
+    } else {
+        subst_inner(&body_scoped, x, replacement, fv)
+    };
+    (env_binder, arg_binder, env_ty, arg_ty, body)
+}
+
+/// Renames every free occurrence of `from` in `term` to `to`. `to` is
+/// assumed not to be captured by any binder of `term` (guaranteed when `to`
+/// is a freshly generated symbol).
+pub fn rename(term: &Term, from: Symbol, to: Symbol) -> Term {
+    subst(term, from, &Term::Var(to))
+}
+
+/// α-equivalence of two terms: structural equality up to consistent
+/// renaming of bound variables.
+pub fn alpha_eq(left: &Term, right: &Term) -> bool {
+    alpha_eq_inner(left, right, &mut HashMap::new(), &mut HashMap::new())
+}
+
+fn alpha_eq_inner(
+    left: &Term,
+    right: &Term,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    match (left, right) {
+        (Term::Var(x), Term::Var(y)) => match (l2r.get(x), r2l.get(y)) {
+            (Some(mapped_x), Some(mapped_y)) => mapped_x == y && mapped_y == x,
+            (None, None) => x == y,
+            _ => false,
+        },
+        (Term::Sort(u), Term::Sort(v)) => u == v,
+        (Term::Unit, Term::Unit)
+        | (Term::UnitVal, Term::UnitVal)
+        | (Term::BoolTy, Term::BoolTy) => true,
+        (Term::BoolLit(a), Term::BoolLit(b)) => a == b,
+        (
+            Term::Pi { binder: x, domain: a1, codomain: b1 },
+            Term::Pi { binder: y, domain: a2, codomain: b2 },
+        )
+        | (
+            Term::Sigma { binder: x, first: a1, second: b1 },
+            Term::Sigma { binder: y, first: a2, second: b2 },
+        ) => {
+            std::mem::discriminant(left) == std::mem::discriminant(right)
+                && alpha_eq_inner(a1, a2, l2r, r2l)
+                && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
+        }
+        (
+            Term::Code { env_binder: n1, env_ty: e1, arg_binder: x1, arg_ty: a1, body: b1 },
+            Term::Code { env_binder: n2, env_ty: e2, arg_binder: x2, arg_ty: a2, body: b2 },
+        )
+        | (
+            Term::CodeTy { env_binder: n1, env_ty: e1, arg_binder: x1, arg_ty: a1, result: b1 },
+            Term::CodeTy { env_binder: n2, env_ty: e2, arg_binder: x2, arg_ty: a2, result: b2 },
+        ) => {
+            std::mem::discriminant(left) == std::mem::discriminant(right)
+                && alpha_eq_inner(e1, e2, l2r, r2l)
+                && alpha_eq_binder(*n1, a1, *n2, a2, l2r, r2l)
+                && alpha_eq_binder2(*n1, *x1, b1, *n2, *x2, b2, l2r, r2l)
+        }
+        (Term::Closure { code: c1, env: e1 }, Term::Closure { code: c2, env: e2 }) => {
+            alpha_eq_inner(c1, c2, l2r, r2l) && alpha_eq_inner(e1, e2, l2r, r2l)
+        }
+        (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
+            alpha_eq_inner(f1, f2, l2r, r2l) && alpha_eq_inner(a1, a2, l2r, r2l)
+        }
+        (
+            Term::Let { binder: x, annotation: t1, bound: e1, body: b1 },
+            Term::Let { binder: y, annotation: t2, bound: e2, body: b2 },
+        ) => {
+            alpha_eq_inner(t1, t2, l2r, r2l)
+                && alpha_eq_inner(e1, e2, l2r, r2l)
+                && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
+        }
+        (
+            Term::Pair { first: a1, second: b1, annotation: t1 },
+            Term::Pair { first: a2, second: b2, annotation: t2 },
+        ) => {
+            alpha_eq_inner(a1, a2, l2r, r2l)
+                && alpha_eq_inner(b1, b2, l2r, r2l)
+                && alpha_eq_inner(t1, t2, l2r, r2l)
+        }
+        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => {
+            alpha_eq_inner(a, b, l2r, r2l)
+        }
+        (
+            Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
+            Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
+        ) => {
+            alpha_eq_inner(s1, s2, l2r, r2l)
+                && alpha_eq_inner(t1, t2, l2r, r2l)
+                && alpha_eq_inner(e1, e2, l2r, r2l)
+        }
+        _ => false,
+    }
+}
+
+fn alpha_eq_binder(
+    x: Symbol,
+    left: &RcTerm,
+    y: Symbol,
+    right: &RcTerm,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    with_pairing(x, y, l2r, r2l, |l2r, r2l| alpha_eq_inner(left, right, l2r, r2l))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn alpha_eq_binder2(
+    x1: Symbol,
+    x2: Symbol,
+    left: &RcTerm,
+    y1: Symbol,
+    y2: Symbol,
+    right: &RcTerm,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    with_pairing(x1, y1, l2r, r2l, |l2r, r2l| {
+        with_pairing(x2, y2, l2r, r2l, |l2r, r2l| alpha_eq_inner(left, right, l2r, r2l))
+    })
+}
+
+/// Runs `f` with the binder pairing `x ↔ y` installed, restoring the
+/// previous pairings afterwards.
+fn with_pairing(
+    x: Symbol,
+    y: Symbol,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+    f: impl FnOnce(&mut HashMap<Symbol, Symbol>, &mut HashMap<Symbol, Symbol>) -> bool,
+) -> bool {
+    let old_l = l2r.insert(x, y);
+    let old_r = r2l.insert(y, x);
+    let result = f(l2r, r2l);
+    match old_l {
+        Some(prev) => {
+            l2r.insert(x, prev);
+        }
+        None => {
+            l2r.remove(&x);
+        }
+    }
+    match old_r {
+        Some(prev) => {
+            r2l.insert(y, prev);
+        }
+        None => {
+            r2l.remove(&y);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn free_vars_of_code_exclude_both_binders() {
+        // λ (n : A', x : fst n). x y — A' and y are free; n and x are not.
+        let c = code("n", var("Aenv"), "x", fst(var("n")), app(var("x"), var("y")));
+        assert_eq!(free_vars(&c), vec![sym("Aenv"), sym("y")]);
+        assert!(!is_closed(&c));
+        assert!(occurs_free(sym("y"), &c));
+        assert!(!occurs_free(sym("n"), &c));
+    }
+
+    #[test]
+    fn closed_code_is_closed() {
+        let c = code("n", unit_ty(), "x", bool_ty(), var("x"));
+        assert!(is_closed(&c));
+        // But the closure over an open environment is not.
+        let clo = closure(c, var("captured"));
+        assert!(!is_closed(&clo));
+        assert_eq!(free_vars(&clo), vec![sym("captured")]);
+    }
+
+    #[test]
+    fn substitution_into_closure_environments() {
+        let clo = closure(code("n", bool_ty(), "x", bool_ty(), var("n")), var("b"));
+        let s = subst(&clo, sym("b"), &tt());
+        match &s {
+            Term::Closure { env, .. } => assert!(alpha_eq(env, &tt())),
+            _ => panic!("expected closure"),
+        }
+    }
+
+    #[test]
+    fn substitution_stops_at_shadowing_code_binders() {
+        // Substituting for n must not reach under λ (n : …).
+        let c = code("n", bool_ty(), "x", bool_ty(), var("n"));
+        let s = subst(&c, sym("n"), &tt());
+        assert!(alpha_eq(&s, &c));
+        // Nor for x under the argument binder.
+        let c = code("n", bool_ty(), "x", bool_ty(), var("x"));
+        let s = subst(&c, sym("x"), &tt());
+        assert!(alpha_eq(&s, &c));
+    }
+
+    #[test]
+    fn substitution_avoids_capture_by_code_binders() {
+        // (λ (n : 1, x : Bool). free)[n/free] must rename the code's n.
+        let c = code("n", unit_ty(), "x", bool_ty(), var("free"));
+        let s = subst(&c, sym("free"), &var("n"));
+        match &s {
+            Term::Code { env_binder, body, .. } => {
+                assert_ne!(*env_binder, sym("n"), "env binder should have been freshened");
+                assert!(alpha_eq(body, &var("n")));
+            }
+            _ => panic!("expected code"),
+        }
+        // Same through the argument binder.
+        let c = code("n", unit_ty(), "x", bool_ty(), var("free"));
+        let s = subst(&c, sym("free"), &var("x"));
+        match &s {
+            Term::Code { arg_binder, body, .. } => {
+                assert_ne!(*arg_binder, sym("x"));
+                assert!(alpha_eq(body, &var("x")));
+            }
+            _ => panic!("expected code"),
+        }
+    }
+
+    #[test]
+    fn freshening_respects_shadowed_code_binders() {
+        // Substituting a replacement whose free variables include the
+        // shared binder name of λ (n : …, n : …). n must leave the body's
+        // occurrence bound to the *argument* binder.
+        let shadowing = code("n", var("hole"), "n", bool_ty(), var("n"));
+        let s = subst(&shadowing, sym("hole"), &var("n"));
+        match &s {
+            Term::Code { env_binder, arg_binder, env_ty, body, .. } => {
+                assert!(alpha_eq(env_ty, &var("n")), "env type takes the replacement");
+                assert_ne!(*env_binder, sym("n"), "env binder freshened to avoid capture");
+                // The body still refers to the argument binder.
+                assert!(alpha_eq(body, &Term::Var(*arg_binder)));
+            }
+            _ => panic!("expected code"),
+        }
+        assert!(alpha_eq(&s, &code("m", var("n"), "y", bool_ty(), var("y"))));
+    }
+
+    #[test]
+    fn subst_all_applies_in_order() {
+        let t = app(var("x"), var("y"));
+        let s = subst_all(&t, &[(sym("x"), var("y")), (sym("y"), tt())]);
+        assert!(alpha_eq(&s, &app(tt(), tt())));
+    }
+
+    #[test]
+    fn alpha_equivalence_of_renamed_code() {
+        let a = code("n", unit_ty(), "x", bool_ty(), var("x"));
+        let b = code("m", unit_ty(), "y", bool_ty(), var("y"));
+        assert!(alpha_eq(&a, &b));
+        let c = code("m", unit_ty(), "y", bool_ty(), var("m"));
+        assert!(!alpha_eq(&a, &c));
+    }
+
+    #[test]
+    fn alpha_distinguishes_code_from_code_types() {
+        let c = code("n", unit_ty(), "x", bool_ty(), bool_ty());
+        let ct = code_ty("n", unit_ty(), "x", bool_ty(), bool_ty());
+        assert!(!alpha_eq(&c, &ct));
+        assert!(alpha_eq(&ct, &code_ty("m", unit_ty(), "y", bool_ty(), bool_ty())));
+    }
+
+    #[test]
+    fn alpha_dependent_argument_types() {
+        // λ (n : Σ A : ⋆. 1, x : fst n). x — α varies both binders at once.
+        let a = code("n", sigma("A", star(), unit_ty()), "x", fst(var("n")), var("x"));
+        let b = code("m", sigma("B", star(), unit_ty()), "y", fst(var("m")), var("y"));
+        assert!(alpha_eq(&a, &b));
+        let c = code("m", sigma("B", star(), unit_ty()), "y", fst(var("m")), var("m"));
+        assert!(!alpha_eq(&a, &c));
+    }
+
+    #[test]
+    fn rename_changes_free_occurrences_only() {
+        let t = app(var("x"), code("n", unit_ty(), "x", bool_ty(), var("x")));
+        let r = rename(&t, sym("x"), sym("z"));
+        assert!(alpha_eq(&r, &app(var("z"), code("n", unit_ty(), "x", bool_ty(), var("x")))));
+    }
+
+    #[test]
+    fn unit_terms_have_no_free_vars() {
+        assert!(is_closed(&unit_ty()));
+        assert!(is_closed(&unit_val()));
+        assert!(alpha_eq(&unit_ty(), &unit_ty()));
+        assert!(!alpha_eq(&unit_ty(), &unit_val()));
+    }
+}

@@ -1,0 +1,610 @@
+//! The CC-CC type system (Figure 7).
+//!
+//! Most rules are those of CC; the two that define typed closure
+//! conversion are:
+//!
+//! * **`[Code]`** — code `λ (n : A', x : A). e` is checked **in the empty
+//!   environment**: `· ⊢ A' : s'`, `n : A' ⊢ A : s`, and
+//!   `n : A', x : A ⊢ e : B`, giving `Code (n : A', x : A). B`. The
+//!   ambient `Γ` is deliberately discarded — this is what makes code
+//!   closed, hoistable, and statically allocatable. Open code is rejected
+//!   with [`TypeError::OpenCode`].
+//! * **`[Clo]`** — a closure `⟪e, e'⟫` where `e : Code (n : A', x : A). B`
+//!   and `Γ ⊢ e' : A'` has the *closure type* `Π x : A[e'/n]. B[e'/n]`:
+//!   the environment is substituted into the code type, so two closures
+//!   with different environments can share a type.
+//!
+//! Code is not a first-class function: applying it directly is rejected
+//! with [`TypeError::NotAClosure`] (rule `[App]` eliminates Π, the type of
+//! closures, only).
+//!
+//! As in the source checker, Σ-formation additionally accepts the
+//! predicative ECC rule `A : □, B : ⋆ ⟹ Σ x:A.B : □`, which the
+//! environment telescopes of closure conversion need when a closure
+//! captures a type variable.
+
+use crate::ast::{Term, Universe};
+use crate::env::{Decl, Env};
+use crate::equiv::equiv;
+use crate::pretty::term_to_string;
+use crate::reduce::{whnf, ReduceError};
+use crate::subst::{free_vars, occurs_free, rename, subst};
+use cccc_util::fuel::Fuel;
+use cccc_util::symbol::Symbol;
+use std::fmt;
+
+/// Errors produced by the CC-CC type checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// A variable was used that is not bound in the environment.
+    UnboundVariable(Symbol),
+    /// The universe `□` was used as a term; it has no type.
+    BoxHasNoType,
+    /// Code (or a code type) with free variables: rule `[Code]` checks
+    /// code in the empty environment, so it must be closed.
+    OpenCode {
+        /// The offending code, pretty-printed.
+        code: String,
+        /// The free variables that leak, pretty-printed.
+        free: String,
+    },
+    /// The code component of a closure does not have a `Code` type.
+    NotCode {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// A term in function position does not have a closure (Π) type —
+    /// including bare code, which is not first-class.
+    NotAClosure {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// A term in projection position does not have a Σ type.
+    NotAPair {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// A term expected to be a type does not live in a universe.
+    NotAUniverse {
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Its inferred type, pretty-printed.
+        ty: String,
+    },
+    /// The annotation on a dependent pair is not a Σ type.
+    PairAnnotationNotSigma {
+        /// The annotation, pretty-printed.
+        annotation: String,
+    },
+    /// The inferred type of a term does not match the expected type.
+    Mismatch {
+        /// What the context required, pretty-printed.
+        expected: String,
+        /// What was inferred, pretty-printed.
+        found: String,
+        /// The term being checked, pretty-printed.
+        term: String,
+    },
+    /// Normalization failed while deciding equivalence.
+    Reduction(ReduceError),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::BoxHasNoType => write!(f, "the universe □ has no type"),
+            TypeError::OpenCode { code, free } => {
+                write!(f, "rule [Code] requires closed code, but `{code}` mentions {free}")
+            }
+            TypeError::NotCode { term, ty } => {
+                write!(f, "closure component `{term}` has type `{ty}`, not a code type")
+            }
+            TypeError::NotAClosure { term, ty } => {
+                write!(f, "`{term}` is applied but has non-closure type `{ty}`")
+            }
+            TypeError::NotAPair { term, ty } => {
+                write!(f, "`{term}` is projected but has non-pair type `{ty}`")
+            }
+            TypeError::NotAUniverse { term, ty } => {
+                write!(f, "`{term}` is used as a type but has type `{ty}`, not a universe")
+            }
+            TypeError::PairAnnotationNotSigma { annotation } => {
+                write!(f, "pair annotation `{annotation}` is not a Σ type")
+            }
+            TypeError::Mismatch { expected, found, term } => write!(
+                f,
+                "type mismatch: `{term}` has type `{found}` but `{expected}` was expected"
+            ),
+            TypeError::Reduction(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<ReduceError> for TypeError {
+    fn from(e: ReduceError) -> TypeError {
+        TypeError::Reduction(e)
+    }
+}
+
+/// Result type for the CC-CC type checker.
+pub type Result<T> = std::result::Result<T, TypeError>;
+
+/// Infers the type of `term` under `env` (the judgment `Γ ⊢ e : A`).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed.
+pub fn infer(env: &Env, term: &Term) -> Result<Term> {
+    let mut fuel = Fuel::default();
+    infer_with(env, term, &mut fuel)
+}
+
+/// Checks `term` against `expected` under `env`, applying the conversion
+/// rule `[Conv]` (with closure-η).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed or its type is not
+/// definitionally equal to `expected`.
+pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
+    let mut fuel = Fuel::default();
+    check_with(env, term, expected, &mut fuel)
+}
+
+/// Infers the universe in which the type `term` lives.
+///
+/// # Errors
+///
+/// Returns [`TypeError::NotAUniverse`] when `term` is not a type.
+pub fn infer_universe(env: &Env, term: &Term) -> Result<Universe> {
+    let mut fuel = Fuel::default();
+    infer_universe_with(env, term, &mut fuel)
+}
+
+/// Checks well-formedness of an environment (`⊢ Γ`).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered while checking entries in
+/// order.
+pub fn check_env(env: &Env) -> Result<()> {
+    let mut prefix = Env::new();
+    for decl in env.iter() {
+        match decl {
+            Decl::Assumption { name, ty } => {
+                infer_universe(&prefix, ty)?;
+                prefix.push_assumption(*name, (**ty).clone());
+            }
+            Decl::Definition { name, ty, term } => {
+                infer_universe(&prefix, ty)?;
+                check(&prefix, term, ty)?;
+                prefix.push_definition(*name, (**term).clone(), (**ty).clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` when `term` is well-typed under `env`.
+pub fn is_well_typed(env: &Env, term: &Term) -> bool {
+    infer(env, term).is_ok()
+}
+
+fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
+    match term {
+        // [Var]
+        Term::Var(x) => match env.lookup_type(*x) {
+            Some(ty) => Ok((**ty).clone()),
+            None => Err(TypeError::UnboundVariable(*x)),
+        },
+        // [Ax-*]
+        Term::Sort(Universe::Star) => Ok(Term::Sort(Universe::Box)),
+        Term::Sort(Universe::Box) => Err(TypeError::BoxHasNoType),
+        // [Unit] / [UnitVal]
+        Term::Unit => Ok(Term::Sort(Universe::Star)),
+        Term::UnitVal => Ok(Term::Unit),
+        // Ground types (§5.2).
+        Term::BoolTy => Ok(Term::Sort(Universe::Star)),
+        Term::BoolLit(_) => Ok(Term::BoolTy),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            check_with(env, scrutinee, &Term::BoolTy, fuel)?;
+            let then_ty = infer_with(env, then_branch, fuel)?;
+            check_with(env, else_branch, &then_ty, fuel)?;
+            Ok(then_ty)
+        }
+        // [Prod-*] / [Prod-□]: Π is the type of closures.
+        Term::Pi { binder, domain, codomain } => {
+            infer_universe_with(env, domain, fuel)?;
+            let inner = env.with_assumption(*binder, (**domain).clone());
+            let codomain_universe = infer_universe_with(&inner, codomain, fuel)?;
+            Ok(Term::Sort(codomain_universe))
+        }
+        // [Sig-*], [Sig-□], and the predicative large rule.
+        Term::Sigma { binder, first, second } => {
+            let first_universe = infer_universe_with(env, first, fuel)?;
+            let inner = env.with_assumption(*binder, (**first).clone());
+            let second_universe = infer_universe_with(&inner, second, fuel)?;
+            match (first_universe, second_universe) {
+                (Universe::Star, Universe::Star) => Ok(Term::Sort(Universe::Star)),
+                (_, Universe::Box) => Ok(Term::Sort(Universe::Box)),
+                (Universe::Box, Universe::Star) => Ok(Term::Sort(Universe::Box)),
+            }
+        }
+        // [Code]: the empty environment replaces Γ.
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            require_closed(term)?;
+            let empty = Env::new();
+            infer_universe_with(&empty, env_ty, fuel)?;
+            let with_env = empty.with_assumption(*env_binder, (**env_ty).clone());
+            infer_universe_with(&with_env, arg_ty, fuel)?;
+            let with_arg = with_env.with_assumption(*arg_binder, (**arg_ty).clone());
+            let body_ty = infer_with(&with_arg, body, fuel)?;
+            // The resulting code type must itself be well-formed.
+            infer_universe_with(&with_arg, &body_ty, fuel)?;
+            Ok(Term::CodeTy {
+                env_binder: *env_binder,
+                env_ty: env_ty.clone(),
+                arg_binder: *arg_binder,
+                arg_ty: arg_ty.clone(),
+                result: body_ty.rc(),
+            })
+        }
+        // [T-Code]: code types are checked in the empty environment too.
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+            require_closed(term)?;
+            let empty = Env::new();
+            infer_universe_with(&empty, env_ty, fuel)?;
+            let with_env = empty.with_assumption(*env_binder, (**env_ty).clone());
+            infer_universe_with(&with_env, arg_ty, fuel)?;
+            let with_arg = with_env.with_assumption(*arg_binder, (**arg_ty).clone());
+            let result_universe = infer_universe_with(&with_arg, result, fuel)?;
+            Ok(Term::Sort(result_universe))
+        }
+        // [Clo]: substitute the environment into the code type.
+        Term::Closure { code, env: closure_env } => {
+            let code_ty = infer_with(env, code, fuel)?;
+            let code_ty_whnf = whnf(env, &code_ty, fuel)?;
+            match code_ty_whnf {
+                Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+                    check_with(env, closure_env, &env_ty, fuel)?;
+                    // Π x : A[e'/n]. B[e'/n]. In the argument type the
+                    // environment binder is never shadowed, but in the
+                    // result the argument binder may shadow it (x = n), in
+                    // which case every occurrence refers to x and the
+                    // substitution does not reach B; otherwise freshen x
+                    // when the environment mentions it.
+                    let domain = subst(&arg_ty, env_binder, closure_env);
+                    let (binder, codomain) = if arg_binder == env_binder {
+                        (arg_binder, (*result).clone())
+                    } else if occurs_free(arg_binder, closure_env) {
+                        let fresh = arg_binder.freshen();
+                        let renamed = rename(&result, arg_binder, fresh);
+                        (fresh, subst(&renamed, env_binder, closure_env))
+                    } else {
+                        (arg_binder, subst(&result, env_binder, closure_env))
+                    };
+                    Ok(Term::Pi { binder, domain: domain.rc(), codomain: codomain.rc() })
+                }
+                other => Err(TypeError::NotCode {
+                    term: term_to_string(code),
+                    ty: term_to_string(&other),
+                }),
+            }
+        }
+        // [App]: eliminates closures (Π), never code.
+        Term::App { func, arg } => {
+            let func_ty = infer_with(env, func, fuel)?;
+            let func_ty_whnf = whnf(env, &func_ty, fuel)?;
+            match func_ty_whnf {
+                Term::Pi { binder, domain, codomain } => {
+                    check_with(env, arg, &domain, fuel)?;
+                    Ok(subst(&codomain, binder, arg))
+                }
+                other => Err(TypeError::NotAClosure {
+                    term: term_to_string(func),
+                    ty: term_to_string(&other),
+                }),
+            }
+        }
+        // [Let]
+        Term::Let { binder, annotation, bound, body } => {
+            infer_universe_with(env, annotation, fuel)?;
+            check_with(env, bound, annotation, fuel)?;
+            let inner = env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
+            let body_ty = infer_with(&inner, body, fuel)?;
+            Ok(subst(&body_ty, *binder, bound))
+        }
+        // [Pair]
+        Term::Pair { first, second, annotation } => {
+            infer_universe_with(env, annotation, fuel)?;
+            let annotation_whnf = whnf(env, annotation, fuel)?;
+            match annotation_whnf {
+                Term::Sigma { binder, first: first_ty, second: second_ty } => {
+                    check_with(env, first, &first_ty, fuel)?;
+                    let expected_second = subst(&second_ty, binder, first);
+                    check_with(env, second, &expected_second, fuel)?;
+                    Ok((**annotation).clone())
+                }
+                _ => Err(TypeError::PairAnnotationNotSigma {
+                    annotation: term_to_string(annotation),
+                }),
+            }
+        }
+        // [Fst]
+        Term::Fst(e) => {
+            let e_ty = infer_with(env, e, fuel)?;
+            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            match e_ty_whnf {
+                Term::Sigma { first, .. } => Ok((*first).clone()),
+                other => {
+                    Err(TypeError::NotAPair { term: term_to_string(e), ty: term_to_string(&other) })
+                }
+            }
+        }
+        // [Snd]
+        Term::Snd(e) => {
+            let e_ty = infer_with(env, e, fuel)?;
+            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            match e_ty_whnf {
+                Term::Sigma { binder, second, .. } => {
+                    Ok(subst(&second, binder, &Term::Fst(e.clone())))
+                }
+                other => {
+                    Err(TypeError::NotAPair { term: term_to_string(e), ty: term_to_string(&other) })
+                }
+            }
+        }
+    }
+}
+
+/// The syntactic closedness premise of `[Code]`/`[T-Code]`.
+fn require_closed(term: &Term) -> Result<()> {
+    let free = free_vars(term);
+    if free.is_empty() {
+        Ok(())
+    } else {
+        Err(TypeError::OpenCode {
+            code: term_to_string(term),
+            free: free.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", "),
+        })
+    }
+}
+
+fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fuel) -> Result<()> {
+    let inferred = infer_with(env, term, fuel)?;
+    if equiv(env, &inferred, expected, fuel)? {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            expected: term_to_string(expected),
+            found: term_to_string(&inferred),
+            term: term_to_string(term),
+        })
+    }
+}
+
+fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Universe> {
+    // `□` itself is a valid classifier even though it is not a term.
+    if matches!(term, Term::Sort(Universe::Box)) {
+        return Ok(Universe::Box);
+    }
+    let ty = infer_with(env, term, fuel)?;
+    let ty_whnf = whnf(env, &ty, fuel)?;
+    match ty_whnf {
+        Term::Sort(u) => Ok(u),
+        other => {
+            Err(TypeError::NotAUniverse { term: term_to_string(term), ty: term_to_string(&other) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::equiv::definitionally_equal;
+    use crate::subst::alpha_eq;
+
+    fn infer_closed(t: &Term) -> Result<Term> {
+        infer(&Env::new(), t)
+    }
+
+    fn identity_code() -> Term {
+        code("n", unit_ty(), "x", bool_ty(), var("x"))
+    }
+
+    #[test]
+    fn atoms_type_as_in_cc() {
+        assert!(alpha_eq(&infer_closed(&star()).unwrap(), &boxu()));
+        assert!(matches!(infer_closed(&boxu()), Err(TypeError::BoxHasNoType)));
+        assert!(alpha_eq(&infer_closed(&bool_ty()).unwrap(), &star()));
+        assert!(alpha_eq(&infer_closed(&tt()).unwrap(), &bool_ty()));
+        assert!(alpha_eq(&infer_closed(&unit_ty()).unwrap(), &star()));
+        assert!(alpha_eq(&infer_closed(&unit_val()).unwrap(), &unit_ty()));
+        assert!(matches!(infer_closed(&var("nope")), Err(TypeError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn code_types_in_the_empty_environment() {
+        let ty = infer_closed(&identity_code()).unwrap();
+        let expected = code_ty("n", unit_ty(), "x", bool_ty(), bool_ty());
+        assert!(definitionally_equal(&Env::new(), &ty, &expected));
+    }
+
+    #[test]
+    fn open_code_is_rejected_even_when_ambient_env_binds_the_leak() {
+        let ambient = Env::new().with_assumption(Symbol::intern("leak"), bool_ty());
+        let open = code("n", unit_ty(), "x", bool_ty(), var("leak"));
+        let err = infer(&ambient, &open).unwrap_err();
+        match &err {
+            TypeError::OpenCode { free, .. } => assert!(free.contains("leak")),
+            other => panic!("expected OpenCode, got {other}"),
+        }
+        // Same for code types.
+        let open_ty = code_ty("n", unit_ty(), "x", var("LeakTy"), bool_ty());
+        let ambient = ambient.with_assumption(Symbol::intern("LeakTy"), star());
+        assert!(matches!(infer(&ambient, &open_ty), Err(TypeError::OpenCode { .. })));
+    }
+
+    #[test]
+    fn clo_substitutes_the_environment() {
+        // ⟪λ (n : Σ A : ⋆. 1, x : fst n). x, ⟨Bool, ⟨⟩⟩⟫ : Π x : Bool. Bool
+        let env_ty = sigma("A", star(), unit_ty());
+        let clo = closure(
+            code("n2", env_ty.clone(), "x", fst(var("n2")), var("x")),
+            pair(bool_ty(), unit_val(), env_ty),
+        );
+        let ty = infer_closed(&clo).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &pi("x", bool_ty(), bool_ty())));
+    }
+
+    #[test]
+    fn closures_require_matching_environments() {
+        let clo = closure(identity_code(), tt());
+        assert!(matches!(infer_closed(&clo), Err(TypeError::Mismatch { .. })));
+        let not_code = closure(tt(), unit_val());
+        assert!(matches!(infer_closed(&not_code), Err(TypeError::NotCode { .. })));
+    }
+
+    #[test]
+    fn bare_code_cannot_be_applied() {
+        let err = infer_closed(&app(identity_code(), tt())).unwrap_err();
+        assert!(matches!(err, TypeError::NotAClosure { .. }));
+        let err = infer_closed(&app(tt(), tt())).unwrap_err();
+        assert!(matches!(err, TypeError::NotAClosure { .. }));
+    }
+
+    #[test]
+    fn closure_application_types() {
+        let clo = closure(identity_code(), unit_val());
+        let ty = infer_closed(&app(clo, tt())).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &bool_ty()));
+    }
+
+    #[test]
+    fn dependent_closures_substitute_arguments() {
+        // The outer code of the polymorphic identity: applying it at Bool
+        // gives Π x : Bool. Bool.
+        let inner_env_ty = sigma("A", star(), unit_ty());
+        let inner = code("n2", inner_env_ty.clone(), "x", fst(var("n2")), var("x"));
+        let outer = closure(
+            code(
+                "n1",
+                unit_ty(),
+                "A",
+                star(),
+                closure(inner, pair(var("A"), unit_val(), inner_env_ty)),
+            ),
+            unit_val(),
+        );
+        let applied_ty = infer_closed(&app(outer, bool_ty())).unwrap();
+        assert!(definitionally_equal(&Env::new(), &applied_ty, &pi("x", bool_ty(), bool_ty())));
+    }
+
+    #[test]
+    fn lets_pairs_and_projections_type_as_in_cc() {
+        let t = let_("u", unit_ty(), unit_val(), tt());
+        assert!(alpha_eq(&infer_closed(&t).unwrap(), &bool_ty()));
+        let ann = sigma("A", star(), var("A"));
+        let p = pair(bool_ty(), tt(), ann.clone());
+        assert!(alpha_eq(&infer_closed(&p).unwrap(), &ann));
+        assert!(alpha_eq(&infer_closed(&fst(p.clone())).unwrap(), &star()));
+        let snd_ty = infer_closed(&snd(p)).unwrap();
+        assert!(definitionally_equal(&Env::new(), &snd_ty, &bool_ty()));
+        assert!(matches!(infer_closed(&fst(tt())), Err(TypeError::NotAPair { .. })));
+        assert!(matches!(
+            infer_closed(&pair(tt(), ff(), bool_ty())),
+            Err(TypeError::PairAnnotationNotSigma { .. })
+        ));
+    }
+
+    #[test]
+    fn sigma_universes_support_type_capture() {
+        // Σ A : ⋆. 1 : □ — the telescope of a closure capturing a type.
+        let t = sigma("A", star(), unit_ty());
+        assert!(infer_closed(&t).unwrap().is_box());
+        // Small telescopes stay small.
+        let t = sigma("b", bool_ty(), unit_ty());
+        assert!(infer_closed(&t).unwrap().is_star());
+    }
+
+    #[test]
+    fn conversion_runs_closures_inside_types() {
+        // A pair annotation that needs a closure application reduced.
+        let family = closure(
+            code("n", unit_ty(), "b", bool_ty(), ite(var("b"), bool_ty(), unit_ty())),
+            unit_val(),
+        );
+        let t = app(
+            closure(
+                code("n", unit_ty(), "x", ite(tt(), bool_ty(), unit_ty()), var("x")),
+                unit_val(),
+            ),
+            tt(),
+        );
+        assert!(definitionally_equal(&Env::new(), &infer_closed(&t).unwrap(), &bool_ty()));
+        // And checking against an unreduced type works through [Conv].
+        check(&Env::new(), &tt(), &app(family, tt())).unwrap();
+    }
+
+    #[test]
+    fn check_env_accepts_dependent_telescopes() {
+        let env = Env::new()
+            .with_assumption(Symbol::intern("A"), star())
+            .with_assumption(Symbol::intern("a"), var("A"))
+            .with_definition(Symbol::intern("u"), unit_val(), unit_ty());
+        assert!(check_env(&env).is_ok());
+        let bad = Env::new().with_definition(Symbol::intern("u"), star(), unit_ty());
+        assert!(check_env(&bad).is_err());
+    }
+
+    #[test]
+    fn shadowed_code_binders_keep_their_references() {
+        // λ (n : 1, n : Σ A : ⋆. A). snd n — the argument binder shadows
+        // the environment binder, so the body's `n` is the argument and
+        // [Clo] must not substitute the environment into the result.
+        let arg_ty = sigma("A", star(), var("A"));
+        let shadowing = code("n", unit_ty(), "n", arg_ty.clone(), snd(var("n")));
+        let clo = closure(shadowing, unit_val());
+        let ty = infer_closed(&clo).unwrap();
+        match &ty {
+            Term::Pi { binder, codomain, .. } => {
+                // The codomain projects the *argument*, not the unit env.
+                assert!(
+                    crate::subst::occurs_free(*binder, codomain),
+                    "codomain `{codomain}` must still mention the argument binder"
+                );
+            }
+            other => panic!("expected a closure type, got {other}"),
+        }
+        // And the closure type is the same as an α-variant without
+        // shadowing.
+        let unshadowed =
+            closure(code("m", unit_ty(), "p", arg_ty.clone(), snd(var("p"))), unit_val());
+        let expected = infer_closed(&unshadowed).unwrap();
+        assert!(definitionally_equal(&Env::new(), &ty, &expected), "{ty} vs {expected}");
+    }
+
+    #[test]
+    fn is_well_typed_helper() {
+        assert!(is_well_typed(&Env::new(), &unit_val()));
+        assert!(!is_well_typed(&Env::new(), &var("ghost")));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = infer_closed(&app(tt(), ff())).unwrap_err();
+        assert!(err.to_string().contains("non-closure"));
+        let err = TypeError::OpenCode { code: "c".into(), free: "`x`".into() };
+        assert!(err.to_string().contains("[Code]"));
+    }
+}

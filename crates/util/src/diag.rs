@@ -45,12 +45,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error-severity diagnostic.
     pub fn error(message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Error, message: message.into(), span: None, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning-severity diagnostic.
     pub fn warning(message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span: None, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a source span.

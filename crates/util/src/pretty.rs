@@ -250,10 +250,7 @@ mod tests {
 
     #[test]
     fn join_inserts_separators() {
-        let d = Doc::join(
-            vec![Doc::text("x"), Doc::text("y"), Doc::text("z")],
-            Doc::text(", "),
-        );
+        let d = Doc::join(vec![Doc::text("x"), Doc::text("y"), Doc::text("z")], Doc::text(", "));
         assert_eq!(d.render(80), "x, y, z");
     }
 

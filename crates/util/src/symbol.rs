@@ -101,11 +101,7 @@ impl Symbol {
     /// The base (user-visible) name of the symbol, without any uniqueness
     /// subscript.
     pub fn base_name(&self) -> String {
-        interner()
-            .lock()
-            .expect("symbol interner poisoned")
-            .resolve(self.base)
-            .to_owned()
+        interner().lock().expect("symbol interner poisoned").resolve(self.base).to_owned()
     }
 
     /// The full textual form of the symbol. Generated symbols render with a
@@ -163,7 +159,7 @@ impl NameSupply {
     }
 
     /// Produces the next symbol from the supply.
-    pub fn next(&mut self) -> Symbol {
+    pub fn fresh(&mut self) -> Symbol {
         let name = format!("{}{}", self.prefix, self.counter);
         self.counter += 1;
         Symbol::fresh(&name)
@@ -222,8 +218,8 @@ mod tests {
     #[test]
     fn name_supply_produces_numbered_names() {
         let mut supply = NameSupply::new("v");
-        let a = supply.next();
-        let b = supply.next();
+        let a = supply.fresh();
+        let b = supply.fresh();
         assert_eq!(a.base_name(), "v0");
         assert_eq!(b.base_name(), "v1");
         assert_eq!(supply.count(), 2);

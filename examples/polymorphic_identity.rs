@@ -76,19 +76,11 @@ fn main() {
     // captured in its environment is definitionally equal to code with Bool
     // inlined — the equivalence the paper needs for compositionality.
     let captured = t::closure(
-        t::code(
-            "n",
-            t::sigma("A", t::star(), t::unit_ty()),
-            "x",
-            t::fst(t::var("n")),
-            t::var("x"),
-        ),
+        t::code("n", t::sigma("A", t::star(), t::unit_ty()), "x", t::fst(t::var("n")), t::var("x")),
         t::pair(t::bool_ty(), t::unit_val(), t::sigma("A", t::star(), t::unit_ty())),
     );
-    let inlined = t::closure(
-        t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
-        t::unit_val(),
-    );
+    let inlined =
+        t::closure(t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")), t::unit_val());
     assert!(target::equiv::definitionally_equal(&target_env, &captured, &inlined));
     println!("\nclosure-η: environment-captured and inlined closures are definitionally equal.");
 

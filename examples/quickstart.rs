@@ -20,18 +20,13 @@ fn main() {
     // observation.
     //
     //   (λ A : ⋆. λ x : A. x) Bool true
-    let program = s::app(
-        s::app(source::prelude::poly_id(), s::bool_ty()),
-        s::tt(),
-    );
+    let program = s::app(s::app(source::prelude::poly_id(), s::bool_ty()), s::tt());
 
     println!("== Source (CC) ==");
     println!("{program}");
 
     let compiler = Compiler::new();
-    let compilation = compiler
-        .compile_closed(&program)
-        .expect("the example program compiles");
+    let compilation = compiler.compile_closed(&program).expect("the example program compiles");
 
     println!("\n== Source type ==");
     println!("{}", compilation.source_type);
@@ -48,9 +43,8 @@ fn main() {
     println!("expansion factor : {:.2}x", compilation.expansion_factor());
     println!("closures created : {}", compilation.closure_count());
 
-    let (source_value, target_value) = compiler
-        .compile_and_run(&program)
-        .expect("both sides evaluate to a boolean");
+    let (source_value, target_value) =
+        compiler.compile_and_run(&program).expect("both sides evaluate to a boolean");
     println!("\n== Evaluation ==");
     println!("source evaluates to : {source_value}");
     println!("target evaluates to : {target_value}");

@@ -37,18 +37,13 @@ fn main() {
     println!("interface Γ = {interface}");
 
     // The client component: Γ ⊢ if id Bool flag then false else true : Bool
-    let client = s::ite(
-        s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
-        s::ff(),
-        s::tt(),
-    );
+    let client =
+        s::ite(s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")), s::ff(), s::tt());
     println!("client component e = {client}");
 
     // A library implementation (the closing substitution γ).
-    let library: link::SourceSubstitution = vec![
-        (id_name, prelude::poly_id()),
-        (flag_name, s::tt()),
-    ];
+    let library: link::SourceSubstitution =
+        vec![(id_name, prelude::poly_id()), (flag_name, s::tt())];
     println!("\nlibrary γ(id)   = {}", library[0].1);
     println!("library γ(flag) = {}", library[1].1);
 

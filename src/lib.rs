@@ -13,6 +13,16 @@
 //! | [`model`] | The model of CC-CC in CC (Figure 8) and its metatheory checkers (§4.1) |
 //! | [`util`] | Symbols, spans, pretty-printing, diagnostics, fuel |
 //!
+//! The target language's Figure 5–7 correspondence in detail:
+//!
+//! | Paper | Where |
+//! |---|---|
+//! | Figure 5 — syntax of CC-CC (code `λ (n : A', x : A). e`, code types, closures `⟪e, e'⟫`, unit) | [`target::ast`] |
+//! | Figure 6 — reduction `Γ ⊢ e ⊲ e'` with the closure-application rule | [`target::reduce`] |
+//! | Figure 6 — equivalence `Γ ⊢ e ≡ e'` with **closure-η** | [`target::equiv`] |
+//! | Figure 7 — typing with `[Code]` (code checked in the *empty* environment) and `[Clo]` (environment substituted into the code type) | [`target::typecheck`] |
+//! | Figures 9–10 — environment telescopes `Σ (xi : Ai …)` and tuples `⟨xi …⟩` | [`target::tuple`] |
+//!
 //! # Quickstart
 //!
 //! ```
@@ -61,10 +71,6 @@ mod tests {
         let compilation = compiler.compile_closed(&id).unwrap();
         assert_eq!(compilation.closure_count(), 2);
         let modelled = model::model(&compilation.target);
-        assert!(source::equiv::definitionally_equal(
-            &source::Env::new(),
-            &modelled,
-            &id
-        ));
+        assert!(source::equiv::definitionally_equal(&source::Env::new(), &modelled, &id));
     }
 }

@@ -22,7 +22,11 @@ fn every_reduction_rule_fires() {
     assert!(subst::alpha_eq(&nf(&fst(p.clone())), &tt()));
     assert!(subst::alpha_eq(&nf(&snd(p)), &ff()));
     // δ
-    let env = Env::new().with_definition(Symbol::intern("two"), prelude::church_numeral(2), prelude::church_nat_ty());
+    let env = Env::new().with_definition(
+        Symbol::intern("two"),
+        prelude::church_numeral(2),
+        prelude::church_nat_ty(),
+    );
     let mut fuel = Fuel::default();
     let unfolded = reduce::normalize(&env, &var("two"), &mut fuel).unwrap();
     assert!(equiv::definitionally_equal(&env, &unfolded, &prelude::church_numeral(2)));
@@ -47,7 +51,11 @@ fn normalization_is_idempotent_on_the_corpus() {
     for entry in prelude::corpus() {
         let once = nf(&entry.term);
         let twice = nf(&once);
-        assert!(subst::alpha_eq(&once, &twice), "`{}` is not stable under normalization", entry.name);
+        assert!(
+            subst::alpha_eq(&once, &twice),
+            "`{}` is not stable under normalization",
+            entry.name
+        );
     }
 }
 
@@ -109,10 +117,7 @@ fn equivalence_is_reflexive_symmetric_transitive_on_samples() {
 
 #[test]
 fn eta_equivalence_examples_from_the_paper() {
-    let env = Env::new().with_assumption(
-        Symbol::intern("f"),
-        pi("x", bool_ty(), bool_ty()),
-    );
+    let env = Env::new().with_assumption(Symbol::intern("f"), pi("x", bool_ty(), bool_ty()));
     // η for functions.
     let expanded = lam("y", bool_ty(), app(var("f"), var("y")));
     assert!(equiv::definitionally_equal(&env, &expanded, &var("f")));

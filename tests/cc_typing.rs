@@ -24,10 +24,7 @@ fn parsed_programs_type_check_like_built_ones() {
     let cases = [
         ("\\(A : *). \\(x : A). x", prelude::poly_id_ty()),
         ("\\(b : Bool). if b then false else true", arrow(bool_ty(), bool_ty())),
-        (
-            "<true, false> as (Sigma (x : Bool). Bool)",
-            sigma("x", bool_ty(), bool_ty()),
-        ),
+        ("<true, false> as (Sigma (x : Bool). Bool)", sigma("x", bool_ty(), bool_ty())),
         ("(\\(A : *). \\(x : A). x) Bool true", bool_ty()),
     ];
     for (text, expected_ty) in cases {
@@ -45,11 +42,8 @@ fn division_style_preconditions_can_be_encoded() {
     // The paper's §2 example of pre/post-conditions, transported to booleans:
     // a function that requires a *proof* that its argument is true.
     //   f : Π b : Bool. Π _ : IsTrue b. Bool
-    let f_ty = pi(
-        "b",
-        bool_ty(),
-        pi("proof", app(prelude::is_true_predicate(), var("b")), bool_ty()),
-    );
+    let f_ty =
+        pi("b", bool_ty(), pi("proof", app(prelude::is_true_predicate(), var("b")), bool_ty()));
     assert!(infer_closed(&f_ty).unwrap().is_star());
 
     // Calling it with `true` demands a proof of IsTrue true = True, which the
@@ -120,18 +114,11 @@ fn environments_are_checked_in_dependency_order() {
 #[test]
 fn definitions_participate_in_conversion() {
     // let Nat = CNat in a numeral checks against the alias through δ.
-    let env = Env::new().with_definition(
-        Symbol::intern("MyNat"),
-        prelude::church_nat_ty(),
-        boxu(),
-    );
+    let env = Env::new().with_definition(Symbol::intern("MyNat"), prelude::church_nat_ty(), boxu());
     // Careful: the annotation of a definition must be a universe-typed term;
     // CNat : ⋆ lives in □? No — CNat is itself a small type, so its type is ⋆.
-    let env_ok = Env::new().with_definition(
-        Symbol::intern("MyNat"),
-        prelude::church_nat_ty(),
-        star(),
-    );
+    let env_ok =
+        Env::new().with_definition(Symbol::intern("MyNat"), prelude::church_nat_ty(), star());
     assert!(typecheck::check_env(&env_ok).is_ok());
     let numeral_at_alias = typecheck::check(&env_ok, &prelude::church_numeral(3), &var("MyNat"));
     assert!(numeral_at_alias.is_ok());
@@ -147,7 +134,9 @@ fn checked_conversion_uses_full_reduction_in_types() {
     let ty = infer_closed(&term).unwrap();
     assert!(equiv::definitionally_equal(&Env::new(), &ty, &arrow(bool_ty(), bool_ty())));
     // And checking `true` against the computed type succeeds by [Conv].
-    assert!(typecheck::check(&Env::new(), &tt(), &app(lam("A", star(), var("A")), bool_ty())).is_ok());
+    assert!(
+        typecheck::check(&Env::new(), &tt(), &app(lam("A", star(), var("A")), bool_ty())).is_ok()
+    );
 }
 
 #[test]

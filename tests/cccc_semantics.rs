@@ -88,14 +88,9 @@ fn closure_eta_identifies_partially_inlined_environments() {
 fn closure_eta_against_neutral_closures() {
     // η: wrapping an unknown closure f in an argument-forwarding closure is
     // the identity, exactly like the function η rule it replaces.
-    let env = Env::new().with_assumption(
-        Symbol::intern("f"),
-        pi("x", bool_ty(), bool_ty()),
-    );
-    let wrapper = closure(
-        code("n", unit_ty(), "x", bool_ty(), app(var("f"), var("x"))),
-        unit_val(),
-    );
+    let env = Env::new().with_assumption(Symbol::intern("f"), pi("x", bool_ty(), bool_ty()));
+    let wrapper =
+        closure(code("n", unit_ty(), "x", bool_ty(), app(var("f"), var("x"))), unit_val());
     assert!(equiv::definitionally_equal(&env, &wrapper, &var("f")));
 }
 
@@ -119,7 +114,8 @@ fn environments_are_constructed_at_closure_creation_time() {
     // Translating under Γ = b : Bool and then substituting different values
     // for b yields closures that run differently — the environment really is
     // dynamic data.
-    let source_env = source::Env::new().with_assumption(Symbol::intern("b"), source::builder::bool_ty());
+    let source_env =
+        source::Env::new().with_assumption(Symbol::intern("b"), source::builder::bool_ty());
     let function = source::builder::lam("x", source::builder::bool_ty(), source::builder::var("b"));
     let translated = translate(&source_env, &function).unwrap();
     let with_true = subst::subst(&translated, Symbol::intern("b"), &tt());
@@ -142,12 +138,8 @@ fn stuck_terms_are_only_those_with_free_variables() {
 #[test]
 fn deep_closure_chains_normalize() {
     // Compose the not-closure with itself k times and apply to true.
-    let not_closure = || {
-        closure(
-            code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())),
-            unit_val(),
-        )
-    };
+    let not_closure =
+        || closure(code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())), unit_val());
     for k in [1usize, 4, 9, 16] {
         let mut program = tt();
         for _ in 0..k {

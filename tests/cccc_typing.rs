@@ -24,23 +24,14 @@ fn rule_code_rejects_every_form_of_open_code() {
         code("n", unit_ty(), "x", bool_ty(), var("leak")),
         code("n", unit_ty(), "x", var("LeakTy"), var("x")),
         code("n", var("LeakEnvTy"), "x", bool_ty(), var("x")),
-        code(
-            "n",
-            unit_ty(),
-            "x",
-            bool_ty(),
-            app(var("leaked_function"), var("x")),
-        ),
+        code("n", unit_ty(), "x", bool_ty(), app(var("leaked_function"), var("x"))),
     ];
     // Even when the leaked variables are bound in the ambient environment.
     let ambient = Env::new()
         .with_assumption(Symbol::intern("leak"), bool_ty())
         .with_assumption(Symbol::intern("LeakTy"), star())
         .with_assumption(Symbol::intern("LeakEnvTy"), star())
-        .with_assumption(
-            Symbol::intern("leaked_function"),
-            pi("x", bool_ty(), bool_ty()),
-        );
+        .with_assumption(Symbol::intern("leaked_function"), pi("x", bool_ty(), bool_ty()));
     for candidate in open_bodies {
         assert!(
             matches!(typecheck::infer(&ambient, &candidate), Err(TypeError::OpenCode { .. })),
@@ -62,7 +53,12 @@ fn rule_clo_substitutes_the_environment_into_the_type() {
     let ty = typecheck::infer(&Env::new(), &inner).unwrap();
     assert!(equiv::definitionally_equal(&Env::new(), &ty, &pi("x", bool_ty(), bool_ty())));
     // Crucially, the *code* type itself mentions the environment parameter:
-    match typecheck::infer(&Env::new(), &code("n2", sigma("A", star(), unit_ty()), "x", fst(var("n2")), var("x"))).unwrap() {
+    match typecheck::infer(
+        &Env::new(),
+        &code("n2", sigma("A", star(), unit_ty()), "x", fst(var("n2")), var("x")),
+    )
+    .unwrap()
+    {
         Term::CodeTy { arg_ty, result, .. } => {
             assert!(matches!(&*arg_ty, Term::Fst(_)));
             assert!(matches!(&*result, Term::Fst(_)));
@@ -99,11 +95,7 @@ fn code_is_not_a_first_class_function() {
     // … and code types are not closure types.
     let code_type = typecheck::infer(&Env::new(), &identity_code).unwrap();
     assert!(matches!(code_type, Term::CodeTy { .. }));
-    assert!(!equiv::definitionally_equal(
-        &Env::new(),
-        &code_type,
-        &pi("x", bool_ty(), bool_ty())
-    ));
+    assert!(!equiv::definitionally_equal(&Env::new(), &code_type, &pi("x", bool_ty(), bool_ty())));
 }
 
 #[test]
@@ -153,18 +145,10 @@ fn translated_environments_are_well_formed() {
 fn closure_types_support_higher_order_arguments() {
     // A target-level "apply" that takes a closure argument:
     //   λ (n : 1, f : Π x : Bool. Bool). f true   — written directly in CC-CC.
-    let apply_code = code(
-        "n",
-        unit_ty(),
-        "f",
-        pi("x", bool_ty(), bool_ty()),
-        app(var("f"), tt()),
-    );
+    let apply_code = code("n", unit_ty(), "f", pi("x", bool_ty(), bool_ty()), app(var("f"), tt()));
     let apply = closure(apply_code, unit_val());
-    let not_closure = closure(
-        code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())),
-        unit_val(),
-    );
+    let not_closure =
+        closure(code("n", unit_ty(), "b", bool_ty(), ite(var("b"), ff(), tt())), unit_val());
     let program = app(apply, not_closure);
     let ty = typecheck::infer(&Env::new(), &program).unwrap();
     assert!(equiv::definitionally_equal(&Env::new(), &ty, &bool_ty()));
@@ -178,11 +162,7 @@ fn every_piece_of_code_in_the_translated_corpus_is_closed() {
         let translated = translate(&source::Env::new(), &entry.term).unwrap();
         translated.visit(&mut |node| {
             if matches!(node, Term::Code { .. }) {
-                assert!(
-                    subst::is_closed(node),
-                    "`{}` produced open code: {node}",
-                    entry.name
-                );
+                assert!(subst::is_closed(node), "`{}` produced open code: {node}", entry.name);
             }
         });
     }

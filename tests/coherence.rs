@@ -15,22 +15,16 @@ fn sym(x: &str) -> Symbol {
 fn beta_equivalent_programs_stay_equivalent() {
     let pairs = vec![
         (s::app(prelude::not_fn(), s::tt()), s::ff()),
+        (s::app(s::app(prelude::poly_id(), s::bool_ty()), s::tt()), s::tt()),
         (
-            s::app(s::app(prelude::poly_id(), s::bool_ty()), s::tt()),
-            s::tt(),
-        ),
-        (
-            s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(3)),
+            s::app(
+                s::app(prelude::church_add(), prelude::church_numeral(2)),
+                prelude::church_numeral(3),
+            ),
             prelude::church_numeral(5),
         ),
-        (
-            s::fst(s::pair(s::tt(), s::ff(), s::sigma("x", s::bool_ty(), s::bool_ty()))),
-            s::tt(),
-        ),
-        (
-            s::let_("b", s::bool_ty(), s::ff(), s::ite(s::var("b"), s::tt(), s::ff())),
-            s::ff(),
-        ),
+        (s::fst(s::pair(s::tt(), s::ff(), s::sigma("x", s::bool_ty(), s::bool_ty()))), s::tt()),
+        (s::let_("b", s::bool_ty(), s::ff(), s::ite(s::var("b"), s::tt(), s::ff())), s::ff()),
     ];
     for (left, right) in pairs {
         check_coherence(&Env::new(), &left, &right)
@@ -88,8 +82,15 @@ fn equivalences_established_under_binders_are_preserved() {
 
 #[test]
 fn delta_equivalences_are_preserved() {
-    let env = Env::new().with_definition(sym("five"), prelude::church_numeral(5), prelude::church_nat_ty());
-    let computed = s::app(s::app(prelude::church_add(), prelude::church_numeral(2)), prelude::church_numeral(3));
+    let env = Env::new().with_definition(
+        sym("five"),
+        prelude::church_numeral(5),
+        prelude::church_nat_ty(),
+    );
+    let computed = s::app(
+        s::app(prelude::church_add(), prelude::church_numeral(2)),
+        prelude::church_numeral(3),
+    );
     check_coherence(&env, &s::var("five"), &computed).unwrap();
 }
 
@@ -97,8 +98,9 @@ fn delta_equivalences_are_preserved() {
 fn every_corpus_entry_is_coherent_with_its_normal_form() {
     for entry in prelude::corpus() {
         let normal_form = reduce::normalize_default(&Env::new(), &entry.term);
-        check_coherence(&Env::new(), &entry.term, &normal_form)
-            .unwrap_or_else(|e| panic!("Lemma 5.4 failed on `{}` vs its normal form: {e}", entry.name));
+        check_coherence(&Env::new(), &entry.term, &normal_form).unwrap_or_else(|e| {
+            panic!("Lemma 5.4 failed on `{}` vs its normal form: {e}", entry.name)
+        });
     }
 }
 
@@ -122,14 +124,7 @@ fn coherence_does_not_conflate_inequivalent_terms() {
     // and the translations of genuinely different programs stay different.
     assert!(check_coherence(&Env::new(), &s::tt(), &s::ff()).is_err());
     let left = cccc::compiler::translate(&Env::new(), &prelude::not_fn()).unwrap();
-    let right = cccc::compiler::translate(
-        &Env::new(),
-        &s::lam("b", s::bool_ty(), s::var("b")),
-    )
-    .unwrap();
-    assert!(!cccc::target::equiv::definitionally_equal(
-        &cccc::target::Env::new(),
-        &left,
-        &right
-    ));
+    let right =
+        cccc::compiler::translate(&Env::new(), &s::lam("b", s::bool_ty(), s::var("b"))).unwrap();
+    assert!(!cccc::target::equiv::definitionally_equal(&cccc::target::Env::new(), &left, &right));
 }

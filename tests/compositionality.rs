@@ -60,9 +60,8 @@ fn substituting_a_type_into_a_polymorphic_closure() {
 fn substituting_into_types_and_terms_simultaneously() {
     // A captures appear in the body, the argument annotation, and the pair
     // annotation.
-    let env = Env::new()
-        .with_assumption(sym("A"), s::star())
-        .with_assumption(sym("a"), s::var("A"));
+    let env =
+        Env::new().with_assumption(sym("A"), s::star()).with_assumption(sym("a"), s::var("A"));
     let e1 = s::lam(
         "x",
         s::var("A"),
@@ -103,9 +102,8 @@ fn compositionality_on_generated_open_components() {
         // Substitute each γ entry one at a time and check compositionality
         // for the individual substitution.
         for (x, replacement) in &gamma {
-            check_compositionality(&env, &term, *x, replacement).unwrap_or_else(|e| {
-                panic!("Lemma 5.1 failed substituting {x} in `{term}`: {e}")
-            });
+            check_compositionality(&env, &term, *x, replacement)
+                .unwrap_or_else(|e| panic!("Lemma 5.1 failed substituting {x} in `{term}`: {e}"));
             checked += 1;
         }
     }

@@ -81,10 +81,8 @@ fn lemmas_4_3_and_4_4_reduction_preservation() {
 #[test]
 fn lemma_4_5_coherence_through_the_model() {
     // Closure-η equivalences in CC-CC are preserved by the model.
-    let env = target::Env::new().with_assumption(
-        Symbol::intern("f"),
-        t::pi("x", t::bool_ty(), t::bool_ty()),
-    );
+    let env = target::Env::new()
+        .with_assumption(Symbol::intern("f"), t::pi("x", t::bool_ty(), t::bool_ty()));
     let expanded = t::closure(
         t::code("n", t::unit_ty(), "x", t::bool_ty(), t::app(t::var("f"), t::var("x"))),
         t::unit_val(),
@@ -109,17 +107,12 @@ fn theorem_4_7_no_known_candidate_proves_false() {
         .map(|entry| translate(&source::Env::new(), &entry.term).unwrap())
         .collect();
     candidates.push(t::unit_val());
-    candidates.push(t::closure(
-        t::code("n", t::unit_ty(), "A", t::star(), t::var("A")),
-        t::unit_val(),
-    ));
-    candidates.push(t::app(
-        translate(&source::Env::new(), &prelude::poly_id()).unwrap(),
-        target_false(),
-    ));
+    candidates
+        .push(t::closure(t::code("n", t::unit_ty(), "A", t::star(), t::var("A")), t::unit_val()));
+    candidates
+        .push(t::app(translate(&source::Env::new(), &prelude::poly_id()).unwrap(), target_false()));
     for candidate in candidates {
-        check_no_proof_of_false(&candidate)
-            .unwrap_or_else(|e| panic!("consistency violated: {e}"));
+        check_no_proof_of_false(&candidate).unwrap_or_else(|e| panic!("consistency violated: {e}"));
     }
 }
 

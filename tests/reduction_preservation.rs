@@ -39,9 +39,12 @@ fn each_reduction_rule_is_preserved_individually() {
 
 #[test]
 fn delta_steps_are_preserved_under_definitions() {
-    let env = Env::new()
-        .with_definition(Symbol::intern("b"), s::tt(), s::bool_ty())
-        .with_definition(Symbol::intern("negate"), prelude::not_fn(), s::arrow(s::bool_ty(), s::bool_ty()));
+    let env =
+        Env::new().with_definition(Symbol::intern("b"), s::tt(), s::bool_ty()).with_definition(
+            Symbol::intern("negate"),
+            prelude::not_fn(),
+            s::arrow(s::bool_ty(), s::bool_ty()),
+        );
     let term = s::app(s::var("negate"), s::var("b"));
     let steps = check_reduction_preservation(&env, &term, 32).unwrap();
     assert!(steps >= 2, "δ steps for both definitions plus β should be validated");

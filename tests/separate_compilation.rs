@@ -29,10 +29,8 @@ fn linking_against_a_polymorphic_library() {
         .with_assumption(sym("id"), prelude::poly_id_ty())
         .with_assumption(sym("negate"), s::arrow(s::bool_ty(), s::bool_ty()))
         .with_assumption(sym("flag"), s::bool_ty());
-    let client = s::app(
-        s::var("negate"),
-        s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")),
-    );
+    let client =
+        s::app(s::var("negate"), s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag")));
 
     // Two different library implementations; the theorem holds for each.
     let library_a: SourceSubstitution = vec![
@@ -40,7 +38,7 @@ fn linking_against_a_polymorphic_library() {
         (sym("negate"), prelude::not_fn()),
         (sym("flag"), s::tt()),
     ];
-    assert_eq!(check_separate_compilation(&env, &client, &library_a).unwrap(), false);
+    assert!(!check_separate_compilation(&env, &client, &library_a).unwrap());
 
     let library_b: SourceSubstitution = vec![
         (sym("id"), prelude::poly_id()),
@@ -48,7 +46,7 @@ fn linking_against_a_polymorphic_library() {
         (sym("negate"), s::lam("b", s::bool_ty(), s::var("b"))),
         (sym("flag"), s::ff()),
     ];
-    assert_eq!(check_separate_compilation(&env, &client, &library_b).unwrap(), false);
+    assert!(!check_separate_compilation(&env, &client, &library_b).unwrap());
 }
 
 #[test]
@@ -68,7 +66,7 @@ fn linking_dependent_interfaces() {
         (sym("element"), s::ff()),
         (sym("observe"), prelude::not_fn()),
     ];
-    assert_eq!(check_separate_compilation(&env, &client, &impl_bool).unwrap(), true);
+    assert!(check_separate_compilation(&env, &client, &impl_bool).unwrap());
 
     // Implementation 2: T = Church numerals.
     let impl_nat: SourceSubstitution = vec![
@@ -76,7 +74,7 @@ fn linking_dependent_interfaces() {
         (sym("element"), prelude::church_numeral(3)),
         (sym("observe"), prelude::church_is_even()),
     ];
-    assert_eq!(check_separate_compilation(&env, &client, &impl_nat).unwrap(), false);
+    assert!(!check_separate_compilation(&env, &client, &impl_nat).unwrap());
 }
 
 #[test]
@@ -116,8 +114,9 @@ fn separate_compilation_on_generated_components() {
     let mut validated = 0;
     for _ in 0..30 {
         let (env, component, gamma) = generator.gen_open_component(4);
-        let observed = check_separate_compilation(&env, &component, &gamma)
-            .unwrap_or_else(|e| panic!("Theorem 5.7 failed on generated component: {e}\n{component}"));
+        let observed = check_separate_compilation(&env, &component, &gamma).unwrap_or_else(|e| {
+            panic!("Theorem 5.7 failed on generated component: {e}\n{component}")
+        });
         // Cross-check the observation against direct source evaluation.
         let linked = link::link_source(&component, &gamma);
         assert_eq!(link::observe_source(&linked), Some(observed));
@@ -133,10 +132,8 @@ fn ill_typed_libraries_are_rejected_before_linking() {
         .with_assumption(sym("flag"), s::bool_ty());
     let client = s::app(s::app(s::var("id"), s::bool_ty()), s::var("flag"));
     // Wrong type for `id` (monomorphic instead of polymorphic).
-    let bogus: SourceSubstitution = vec![
-        (sym("id"), s::lam("x", s::bool_ty(), s::var("x"))),
-        (sym("flag"), s::tt()),
-    ];
+    let bogus: SourceSubstitution =
+        vec![(sym("id"), s::lam("x", s::bool_ty(), s::var("x"))), (sym("flag"), s::tt())];
     assert!(link::check_source_substitution(&env, &bogus).is_err());
     assert!(check_separate_compilation(&env, &client, &bogus).is_err());
     // Missing binding.
@@ -148,9 +145,8 @@ fn ill_typed_libraries_are_rejected_before_linking() {
 fn compiled_components_can_be_linked_in_any_order() {
     // Substitution entries can be applied in either order when they do not
     // depend on one another; both orders produce the same observation.
-    let env = Env::new()
-        .with_assumption(sym("a"), s::bool_ty())
-        .with_assumption(sym("b"), s::bool_ty());
+    let env =
+        Env::new().with_assumption(sym("a"), s::bool_ty()).with_assumption(sym("b"), s::bool_ty());
     let client = s::ite(s::var("a"), s::var("b"), s::ff());
     let forward: SourceSubstitution = vec![(sym("a"), s::tt()), (sym("b"), s::ff())];
     let backward: SourceSubstitution = vec![(sym("b"), s::ff()), (sym("a"), s::tt())];

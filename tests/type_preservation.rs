@@ -43,7 +43,7 @@ fn type_preservation_on_dependently_typed_open_components() {
         .with_assumption(Symbol::intern("a"), s::var("A"))
         .with_assumption(Symbol::intern("pf"), s::app(s::var("P"), s::var("a")));
 
-    let components = vec![
+    let components = [
         // λ x : A. a                    (captures a value of abstract type)
         s::lam("x", s::var("A"), s::var("a")),
         // λ x : P a. pf                 (captures a proof, type mentions a and P)
@@ -72,7 +72,8 @@ fn type_preservation_on_dependently_typed_open_components() {
 fn type_preservation_on_type_level_computation() {
     // Types that compute: the translated program must still check even when
     // conversion has to run translated closures inside types.
-    let type_family = s::lam("b", s::bool_ty(), s::ite(s::var("b"), s::bool_ty(), prelude::church_nat_ty()));
+    let type_family =
+        s::lam("b", s::bool_ty(), s::ite(s::var("b"), s::bool_ty(), prelude::church_nat_ty()));
     let env = Env::new();
     // λ b : Bool. λ x : F true. x   where F is the family above.
     let program = s::let_(
