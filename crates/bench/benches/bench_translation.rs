@@ -47,6 +47,7 @@ fn bench_translation(c: &mut Criterion) {
     let unchecked = Compiler::with_options(CompilerOptions {
         typecheck_output: false,
         verify_type_preservation: false,
+        use_nbe: true,
     });
     for workload in church_workloads(&[2, 4]) {
         group.bench_with_input(

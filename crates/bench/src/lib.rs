@@ -66,6 +66,62 @@ pub fn church_workloads(sizes: &[usize]) -> Vec<Workload> {
         .collect()
 }
 
+/// Conversion-heavy workloads: programs whose *types* compute.
+///
+/// `conv_heavy_n` forces the conversion rule `[Conv]` to decide
+/// `T₁ ≡ T₂` for two *type-level* Church computations
+///
+/// ```text
+/// T₁ = (λ F. n̂ (n̂ F)) (λ A : ⋆. Π _ : Bool. A) Bool
+/// T₂ = (mulT n̂ n̂)     (λ A : ⋆. Π _ : Bool. A) Bool
+/// ```
+///
+/// which are syntactically different (so no α-short-cut applies) but both
+/// normalize to the Π-chain `Bool → … → Bool` of length n². Because the
+/// chain *grows* while it reduces, the step engine pays a
+/// substitution over the remaining chain per unfolding — Θ(n⁴) work —
+/// while the NbE engine evaluates each layer into an environment-carrying
+/// closure in constant time, Θ(n²). This is the definitional-equality
+/// stress case of dependent type checking and the workload family the
+/// engine head-to-head benches sweep.
+pub fn conversion_workloads(sizes: &[usize]) -> Vec<Workload> {
+    sizes.iter().map(|&n| Workload::new(format!("conv_heavy_{n}"), conversion_program(n))).collect()
+}
+
+/// Builds the `conv_heavy_n` program; see [`conversion_workloads`].
+pub fn conversion_program(n: usize) -> src::Term {
+    let ty_op = s::arrow(s::star(), s::star());
+    let numeral_ty = s::pi("F", ty_op.clone(), s::arrow(s::star(), s::star()));
+    // n̂ = λ F : ⋆→⋆. λ A : ⋆. Fⁿ A
+    let numeral = || {
+        let mut body = s::var("A");
+        for _ in 0..n {
+            body = s::app(s::var("F"), body);
+        }
+        s::lam("F", ty_op.clone(), s::lam("A", s::star(), body))
+    };
+    // The chain-growing operator λ A : ⋆. Π _ : Bool. A.
+    let grow = s::lam("A", s::star(), s::pi("_b", s::bool_ty(), s::var("A")));
+    // T₁ = (λ F. n̂ (n̂ F)) grow Bool — composition written directly.
+    let compose = s::lam("F", ty_op.clone(), s::app(numeral(), s::app(numeral(), s::var("F"))));
+    let t1 = s::app(s::app(compose, grow.clone()), s::bool_ty());
+    // T₂ = mulT n̂ n̂ grow Bool — the same type through multiplication.
+    let mul = s::lam(
+        "m",
+        numeral_ty.clone(),
+        s::lam(
+            "n",
+            numeral_ty,
+            s::lam("F", ty_op.clone(), s::app(s::var("m"), s::app(s::var("n"), s::var("F")))),
+        ),
+    );
+    let t2 = s::app(s::app(s::app(s::app(mul, numeral()), numeral()), grow), s::bool_ty());
+    // (λ p : (Π _ : T₁. Bool). true) (λ q : T₂. true) — checking the
+    // argument compares Π _ : T₂. Bool against Π _ : T₁. Bool, i.e.
+    // decides T₁ ≡ T₂ without ever needing an inhabitant of the chain.
+    s::app(s::lam("p", s::pi("_f", t1, s::bool_ty()), s::tt()), s::lam("q", t2, s::tt()))
+}
+
 /// Workloads with `depth` nested λ-abstractions, each capturing all previous
 /// binders — the environment of the innermost closure grows linearly with
 /// `depth`. This is the environment-size sweep of experiment E14.
@@ -208,6 +264,24 @@ mod tests {
         let workloads = church_workloads(&[1, 3]);
         assert_eq!(workloads.len(), 2);
         assert!(workloads[1].term.size() > workloads[0].term.size());
+    }
+
+    #[test]
+    fn conversion_workloads_are_well_typed_and_conversion_heavy() {
+        for n in [1, 3] {
+            let program = conversion_program(n);
+            // The program type-checks (forcing `T ≡ Bool`) and runs to true.
+            let ty = src::typecheck::infer(&src::Env::new(), &program).unwrap();
+            assert!(src::equiv::definitionally_equal(&src::Env::new(), &ty, &s::bool_ty()));
+            let value = src::nbe::normalize_nbe_default(&src::Env::new(), &program);
+            assert!(matches!(value, src::Term::BoolLit(true)));
+            // Both engines accept it.
+            src::typecheck::infer_with_engine(&src::Env::new(), &program, src::equiv::Engine::Step)
+                .unwrap();
+            // And the translation type-checks in CC-CC.
+            let translated = Workload::new("conv", program).translated();
+            tgt::typecheck::infer(&tgt::Env::new(), &translated).unwrap();
+        }
     }
 
     #[test]

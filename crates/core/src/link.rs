@@ -125,18 +125,19 @@ pub fn ground_values_related(source_value: &src::Term, target_value: &tgt::Term)
 }
 
 /// Observes a closed source program of ground type by evaluating it to a
-/// boolean, if it is one.
+/// boolean, if it is one. Runs the NbE engine — observation only needs
+/// the value, not a paper-faithful reduction sequence.
 pub fn observe_source(term: &src::Term) -> Option<bool> {
-    let value = src::reduce::normalize_default(&src::Env::new(), term);
+    let value = src::nbe::normalize_nbe_default(&src::Env::new(), term);
     match value {
         src::Term::BoolLit(b) => Some(b),
         _ => None,
     }
 }
 
-/// Observes a closed target program of ground type.
+/// Observes a closed target program of ground type through the NbE engine.
 pub fn observe_target(term: &tgt::Term) -> Option<bool> {
-    let value = tgt::reduce::normalize_default(&tgt::Env::new(), term);
+    let value = tgt::nbe::normalize_nbe_default(&tgt::Env::new(), term);
     match value {
         tgt::Term::BoolLit(b) => Some(b),
         _ => None,

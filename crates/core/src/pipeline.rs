@@ -22,11 +22,20 @@ pub struct CompilerOptions {
     /// Additionally check that the output's type is the translation of the
     /// input's type (Theorem 5.6), not merely some type.
     pub verify_type_preservation: bool,
+    /// Run the type checkers on the normalization-by-evaluation engine
+    /// (the default). When `false`, the substitution-based step engine —
+    /// the paper-faithful specification — is used instead; this exists for
+    /// differential testing and for the head-to-head benchmarks. A
+    /// step-only compiler replaces the NbE-backed
+    /// [`check_type_preservation`] metatheory checker with the inline
+    /// Theorem 5.6 core check (inferred target type ≡ translated type)
+    /// through the step engine, so no NbE code runs.
+    pub use_nbe: bool,
 }
 
 impl Default for CompilerOptions {
     fn default() -> Self {
-        CompilerOptions { typecheck_output: true, verify_type_preservation: true }
+        CompilerOptions { typecheck_output: true, verify_type_preservation: true, use_nbe: true }
     }
 }
 
@@ -166,23 +175,42 @@ impl Compiler {
     ///
     /// Returns a [`CompileError`] if any stage fails.
     pub fn compile(&self, env: &src::Env, term: &src::Term) -> Result<Compilation> {
-        let source_type = src::typecheck::infer(env, term)?;
+        let (src_engine, tgt_engine) = if self.options.use_nbe {
+            (src::equiv::Engine::Nbe, tgt::equiv::Engine::Nbe)
+        } else {
+            (src::equiv::Engine::Step, tgt::equiv::Engine::Step)
+        };
+        let source_type = src::typecheck::infer_with_engine(env, term, src_engine)?;
         let target = translate(env, term)?;
         let target_type = translate(env, &source_type)?;
 
         if self.options.typecheck_output {
             let target_env = translate_env(env)?;
-            let inferred = tgt::typecheck::infer(&target_env, &target)?;
-            if self.options.verify_type_preservation {
+            let inferred = tgt::typecheck::infer_with_engine(&target_env, &target, tgt_engine)?;
+            if self.options.verify_type_preservation && self.options.use_nbe {
                 // Re-use the full checker so the error message names the
-                // theorem being violated.
+                // theorem being violated. (The metatheory checkers run the
+                // default NbE engine, so a step-only compiler falls back to
+                // the inline Theorem 5.6 core check below — it must not
+                // silently re-enter the engine it was asked to avoid.)
                 check_type_preservation(env, term)?;
-            } else if !tgt::equiv::definitionally_equal(&target_env, &inferred, &target_type) {
-                return Err(CompileError::Verify(VerifyError::NotEquivalent {
-                    context: "compiled type does not match translated type".to_owned(),
-                    left: inferred.to_string(),
-                    right: target_type.to_string(),
-                }));
+            } else {
+                let mut fuel = cccc_util::fuel::Fuel::default();
+                let agrees = tgt::equiv::equiv_with_engine(
+                    &target_env,
+                    &inferred,
+                    &target_type,
+                    &mut fuel,
+                    tgt_engine,
+                )
+                .unwrap_or(false);
+                if !agrees {
+                    return Err(CompileError::Verify(VerifyError::NotEquivalent {
+                        context: "compiled type does not match translated type".to_owned(),
+                        left: inferred.to_string(),
+                        right: target_type.to_string(),
+                    }));
+                }
             }
         }
 
@@ -301,7 +329,11 @@ mod tests {
 
     #[test]
     fn options_can_disable_verification() {
-        let options = CompilerOptions { typecheck_output: false, verify_type_preservation: false };
+        let options = CompilerOptions {
+            typecheck_output: false,
+            verify_type_preservation: false,
+            use_nbe: true,
+        };
         let compiler = Compiler::with_options(options);
         assert!(!compiler.options().typecheck_output);
         compiler.compile_closed(&prelude::poly_id()).unwrap();

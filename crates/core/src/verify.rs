@@ -270,9 +270,11 @@ pub fn check_separate_compilation(
     src::typecheck::infer(env, term).map_err(|e| VerifyError::SourcePremise(e.to_string()))?;
     check_source_substitution(env, substitution)?;
 
-    // Source side: link in CC, then run.
+    // Source side: link in CC, then run (through the NbE engine — the
+    // observation only needs the value, and Lemma 5.2's step-by-step
+    // checking is covered by `check_reduction_preservation`).
     let linked_source = link_source(term, substitution);
-    let source_value = src::reduce::normalize_default(&src::Env::new(), &linked_source);
+    let source_value = src::nbe::normalize_nbe_default(&src::Env::new(), &linked_source);
     let source_observation = match source_value {
         src::Term::BoolLit(b) => b,
         other => return Err(VerifyError::NotGround(other.to_string())),
@@ -283,7 +285,7 @@ pub fn check_separate_compilation(
     let compiled_component = translate(env, term)?;
     let compiled_substitution = translate_substitution(env, substitution)?;
     let linked_target = link_target(&compiled_component, &compiled_substitution);
-    let target_value = tgt::reduce::normalize_default(&tgt::Env::new(), &linked_target);
+    let target_value = tgt::nbe::normalize_nbe_default(&tgt::Env::new(), &linked_target);
 
     if ground_values_related(&src::Term::BoolLit(source_observation), &target_value) {
         Ok(source_observation)

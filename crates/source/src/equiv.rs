@@ -1,11 +1,23 @@
 //! Definitional equivalence `Γ ⊢ e ≡ e'` for CC (Figure 2).
 //!
 //! Equivalence is reduction in `⊲*` up to η-equivalence for functions, as in
-//! Coq. The implementation is algorithmic: both sides are reduced to
-//! weak-head normal form and compared structurally, recursing under binders
-//! with a shared fresh variable; when exactly one side weak-head normalizes
-//! to a λ-abstraction, the η rules `[≡-η1]`/`[≡-η2]` compare its body against
-//! the other side applied to the bound variable.
+//! Coq. Two interchangeable deciders implement it:
+//!
+//! * [`equiv`] (the default, used by the type checker and everything built
+//!   on it) runs the **NbE engine** of [`crate::nbe`]: both sides are
+//!   evaluated into the semantic domain and compared with
+//!   [`crate::nbe::conv`], which crosses binders at shared de Bruijn levels
+//!   and implements the η rules without substitution;
+//! * [`equiv_spec`] is the **paper-faithful specification**: both sides
+//!   are reduced to weak-head normal form with the step-based engine and
+//!   compared structurally, recursing under binders with a shared fresh
+//!   variable; when exactly one side weak-head normalizes to a
+//!   λ-abstraction, the η rules `[≡-η1]`/`[≡-η2]` compare its body against
+//!   the other side applied to the bound variable.
+//!
+//! The property suites check that the two agree on generator-produced
+//! well-typed terms; [`equiv_spec`] also serves as the differential-testing
+//! oracle for the NbE engine.
 
 use crate::ast::Term;
 use crate::builder::var_sym;
@@ -15,16 +27,66 @@ use crate::subst::subst;
 use cccc_util::fuel::Fuel;
 use cccc_util::symbol::Symbol;
 
-/// Checks `Γ ⊢ e1 ≡ e2` with an explicit fuel budget.
+/// Which equivalence/normalization engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The normalization-by-evaluation engine ([`crate::nbe`]); the
+    /// default on every hot path.
+    #[default]
+    Nbe,
+    /// The substitution-based step engine ([`crate::reduce`]); the
+    /// paper-faithful specification and differential-testing oracle.
+    Step,
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` with an explicit fuel budget, through the NbE
+/// engine.
 ///
 /// # Errors
 ///
 /// Returns [`ReduceError::OutOfFuel`] when normalization runs out of fuel
 /// before the comparison can be decided.
 pub fn equiv(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
+    // α-equivalent terms are definitionally equal outright; the type
+    // checker overwhelmingly compares a type against an identical copy of
+    // itself, so this allocation-free pre-check pays for itself many
+    // times over before the engine ever evaluates anything.
+    if crate::subst::alpha_eq(e1, e2) {
+        return Ok(true);
+    }
+    crate::nbe::conv_terms(env, e1, e2, fuel)
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` with the step-based engine — the executable
+/// specification [`equiv`] is differentially tested against.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when normalization runs out of fuel
+/// before the comparison can be decided.
+pub fn equiv_spec(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
     let n1 = whnf(env, e1, fuel)?;
     let n2 = whnf(env, e2, fuel)?;
     compare_whnf(env, &n1, &n2, fuel)
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` through the chosen engine.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when normalization runs out of fuel
+/// before the comparison can be decided.
+pub fn equiv_with_engine(
+    env: &Env,
+    e1: &Term,
+    e2: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<bool, ReduceError> {
+    match engine {
+        Engine::Nbe => equiv(env, e1, e2, fuel),
+        Engine::Step => equiv_spec(env, e1, e2, fuel),
+    }
 }
 
 /// Checks `Γ ⊢ e1 ≡ e2` with the default fuel budget, treating fuel
@@ -32,6 +94,12 @@ pub fn equiv(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, R
 pub fn definitionally_equal(env: &Env, e1: &Term, e2: &Term) -> bool {
     let mut fuel = Fuel::default();
     equiv(env, e1, e2, &mut fuel).unwrap_or(false)
+}
+
+/// [`definitionally_equal`] through the step-based specification.
+pub fn definitionally_equal_spec(env: &Env, e1: &Term, e2: &Term) -> bool {
+    let mut fuel = Fuel::default();
+    equiv_spec(env, e1, e2, &mut fuel).unwrap_or(false)
 }
 
 fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
@@ -47,7 +115,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             Term::Lam { binder: x, domain: a1, body: b1 },
             Term::Lam { binder: y, domain: a2, body: b2 },
         ) => {
-            if !equiv(env, a1, a2, fuel)? {
+            if !equiv_spec(env, a1, a2, fuel)? {
                 return Ok(false);
             }
             compare_under_binder(env, *x, b1, *y, b2, fuel)
@@ -65,7 +133,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             if std::mem::discriminant(n1) != std::mem::discriminant(n2) {
                 return Ok(false);
             }
-            if !equiv(env, a1, a2, fuel)? {
+            if !equiv_spec(env, a1, a2, fuel)? {
                 return Ok(false);
             }
             compare_under_binder(env, *x, b1, *y, b2, fuel)
@@ -75,20 +143,20 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
         (Term::BoolTy, Term::BoolTy) => Ok(true),
         (Term::BoolLit(a), Term::BoolLit(b)) => Ok(a == b),
         (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
-            Ok(compare_whnf(env, f1, f2, fuel)? && equiv(env, a1, a2, fuel)?)
+            Ok(compare_whnf(env, f1, f2, fuel)? && equiv_spec(env, a1, a2, fuel)?)
         }
         // Pairs are compared componentwise; the annotation is a typing
         // artifact and does not affect the value.
         (Term::Pair { first: a1, second: b1, .. }, Term::Pair { first: a2, second: b2, .. }) => {
-            Ok(equiv(env, a1, a2, fuel)? && equiv(env, b1, b2, fuel)?)
+            Ok(equiv_spec(env, a1, a2, fuel)? && equiv_spec(env, b1, b2, fuel)?)
         }
-        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => equiv(env, a, b, fuel),
+        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => equiv_spec(env, a, b, fuel),
         (
             Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
             Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
-        ) => {
-            Ok(equiv(env, s1, s2, fuel)? && equiv(env, t1, t2, fuel)? && equiv(env, e1, e2, fuel)?)
-        }
+        ) => Ok(equiv_spec(env, s1, s2, fuel)?
+            && equiv_spec(env, t1, t2, fuel)?
+            && equiv_spec(env, e1, e2, fuel)?),
         _ => Ok(false),
     }
 }
@@ -105,7 +173,7 @@ fn eta_expand_compare(
     let fresh = binder.freshen();
     let body = subst(body, binder, &var_sym(fresh));
     let applied = Term::App { func: other.clone().rc(), arg: var_sym(fresh).rc() };
-    equiv(env, &body, &applied, fuel)
+    equiv_spec(env, &body, &applied, fuel)
 }
 
 /// Compares two bodies under their respective binders by renaming both to a
@@ -121,7 +189,7 @@ fn compare_under_binder(
     let fresh = x.freshen();
     let left = subst(left, x, &var_sym(fresh));
     let right = subst(right, y, &var_sym(fresh));
-    equiv(env, &left, &right, fuel)
+    equiv_spec(env, &left, &right, fuel)
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! * [`subst`] — free variables, capture-avoiding substitution, α-equivalence;
 //! * [`reduce`] — the reduction relation `⊲` and normalization (Figure 2);
 //! * [`equiv`] — definitional equivalence with η (Figure 2);
+//! * [`nbe`] — a normalization-by-evaluation engine (the algorithmic
+//!   implementation of `⊲*`/`≡` used on every hot path);
 //! * [`typecheck`] — the typing judgment `Γ ⊢ e : A` (Figure 3);
 //! * [`parse`] — a surface-syntax parser;
 //! * [`pretty`] — a pretty-printer whose output re-parses;
@@ -42,6 +44,7 @@ pub mod builder;
 pub mod env;
 pub mod equiv;
 pub mod generate;
+pub mod nbe;
 pub mod parse;
 pub mod prelude;
 pub mod pretty;

@@ -1,0 +1,772 @@
+//! Normalization by evaluation (NbE) for CC.
+//!
+//! The step-based engine in [`crate::reduce`] implements the paper's `⊲`
+//! relation literally: every β/ζ-contraction runs a capture-avoiding
+//! substitution that re-traverses the term. That is the right *specification*
+//! but a poor *algorithm* — definitional equivalence (`≡`, Figure 2) is
+//! decided constantly by the type checker, and substitution-based
+//! normalization is quadratic (or worse) on exactly those call sites.
+//!
+//! This module is the algorithmic engine: an environment machine that
+//! evaluates terms into a *semantic domain* ([`Value`]) where binders are
+//! [`Closure`]s carrying their evaluation environment instead of eagerly
+//! substituted bodies, and definitions are unfolded lazily through
+//! [`Thunk`]s (δ, evaluated at most once per environment). Normal forms are
+//! recovered by read-back ([`quote`]), and equivalence is decided directly
+//! on values ([`conv`]) without generating fresh symbols or substituting —
+//! binders are crossed with de Bruijn *levels* ([`Head::Local`]).
+//!
+//! # Paper correspondence
+//!
+//! | Paper (Figure 2) | Here |
+//! |---|---|
+//! | `Γ ⊢ e ⊲* v` (reduction to a value) | [`eval`] into [`Value`] |
+//! | normal form of `e` | [`quote`] ∘ [`eval`] = [`normalize_nbe`] |
+//! | weak-head normal form | [`whnf_nbe`] |
+//! | `Γ ⊢ e ≡ e'` with η (`[≡-η1]`/`[≡-η2]`) | [`conv`] / [`conv_terms`] |
+//! | δ (unfold `x = e : A ∈ Γ`) | [`ValEnv::from_env`] + lazy [`Thunk`] |
+//!
+//! The two engines are differentially tested against each other: the
+//! property suites assert that [`normalize_nbe`] agrees with
+//! [`crate::reduce::normalize`] and that [`conv_terms`] agrees with
+//! [`crate::equiv::equiv_spec`] on generator-produced well-typed programs.
+
+use crate::ast::{RcTerm, Term, Universe};
+use crate::env::{Decl, Env};
+use crate::reduce::ReduceError;
+use cccc_util::fuel::Fuel;
+use cccc_util::symbol::Symbol;
+use std::cell::OnceCell;
+use std::rc::Rc;
+
+/// Maximum depth of nested *β-application* frames. The step-based engine
+/// runs its head loop iteratively, so divergent (necessarily ill-typed)
+/// terms like Ω merely exhaust fuel; the environment machine recurses
+/// through every β-application, so we bound that recursion explicitly and
+/// report [`ReduceError::OutOfFuel`] instead of overflowing the stack.
+/// Structural descent does **not** count against the bound — it is
+/// bounded by the term's syntactic depth, exactly like every other
+/// recursive traversal in this workspace (`subst`, `alpha_eq`,
+/// step-based `normalize`). The bound is sized to stay within the 2 MiB
+/// default stack of Rust test threads even in debug builds; the deepest
+/// corpus/benchmark workloads evaluate within a few hundred β-frames.
+const MAX_EVAL_DEPTH: u32 = 512;
+
+/// A reference-counted semantic value.
+pub type RcValue = Rc<Value>;
+
+/// The semantic domain of CC values.
+///
+/// Canonical forms mirror the value grammar of Theorem 4.8; everything
+/// blocked on a variable (or, for ill-typed input, on a non-eliminable
+/// value) is a [`Value::Stuck`] spine.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A universe `⋆` or `□`.
+    Sort(Universe),
+    /// The ground type `Bool`.
+    BoolTy,
+    /// A boolean literal.
+    Bool(bool),
+    /// A function value `λ x : A. e` whose body is a closure.
+    Lam {
+        /// The original binder name (used only for read-back).
+        binder: Symbol,
+        /// The evaluated domain annotation.
+        domain: RcValue,
+        /// The suspended body.
+        body: Closure,
+    },
+    /// A dependent function type `Π x : A. B`.
+    Pi {
+        /// The original binder name (used only for read-back).
+        binder: Symbol,
+        /// The evaluated domain.
+        domain: RcValue,
+        /// The suspended codomain.
+        codomain: Closure,
+    },
+    /// A strong dependent pair type `Σ x : A. B`.
+    Sigma {
+        /// The original binder name (used only for read-back).
+        binder: Symbol,
+        /// The evaluated type of the first component.
+        first: RcValue,
+        /// The suspended type of the second component.
+        second: Closure,
+    },
+    /// A dependent pair `⟨e1, e2⟩`.
+    Pair {
+        /// The first component.
+        first: RcValue,
+        /// The second component.
+        second: RcValue,
+        /// The evaluated Σ annotation (a typing artifact; ignored by
+        /// [`conv`], quoted back by [`quote`]).
+        annotation: RcValue,
+    },
+    /// A neutral/stuck term: a head that cannot reduce, under a spine of
+    /// pending eliminations.
+    Stuck {
+        /// What evaluation is blocked on.
+        head: Head,
+        /// The eliminations waiting for the head, innermost first.
+        spine: Vec<Elim>,
+    },
+}
+
+impl Value {
+    /// A stuck value with an empty spine.
+    pub fn stuck(head: Head) -> RcValue {
+        Rc::new(Value::Stuck { head, spine: Vec::new() })
+    }
+
+    /// A neutral free variable.
+    pub fn global(name: Symbol) -> RcValue {
+        Value::stuck(Head::Global(name))
+    }
+
+    /// A fresh variable at de Bruijn level `level`, as introduced by
+    /// [`conv`] and [`quote`] when crossing a binder.
+    pub fn local(level: usize) -> RcValue {
+        Value::stuck(Head::Local(level))
+    }
+}
+
+/// The head of a [`Value::Stuck`] spine.
+#[derive(Clone, Debug)]
+pub enum Head {
+    /// A free variable with no definition in the environment.
+    Global(Symbol),
+    /// A fresh variable introduced when crossing a binder, identified by
+    /// its de Bruijn *level* — no fresh symbols are generated during
+    /// conversion checking.
+    Local(usize),
+    /// An ill-typed elimination target (e.g. `fst true`): the value is
+    /// canonical but the elimination does not apply, so the term is stuck.
+    /// Keeping it here keeps the engine total on arbitrary input.
+    Blocked(RcValue),
+}
+
+/// One pending elimination in a stuck spine.
+#[derive(Clone, Debug)]
+pub enum Elim {
+    /// Application to an evaluated argument.
+    App(RcValue),
+    /// First projection.
+    Fst,
+    /// Second projection.
+    Snd,
+    /// A conditional blocked on its scrutinee; the branches stay
+    /// suspended until read-back or comparison forces them.
+    If {
+        /// The `then` branch.
+        then_branch: Thunk,
+        /// The `else` branch.
+        else_branch: Thunk,
+    },
+}
+
+/// A suspended body: a term together with the environment it was closed
+/// over, applied by extending that environment with the argument.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    env: ValEnv,
+    binder: Symbol,
+    body: RcTerm,
+}
+
+impl Closure {
+    /// Applies the closure to an argument value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+    pub fn apply(&self, argument: RcValue, fuel: &mut Fuel) -> Result<RcValue, ReduceError> {
+        let env = self.env.bind(self.binder, Thunk::forced(argument));
+        eval_at(&env, &self.body, fuel, 0)
+    }
+}
+
+/// A lazily evaluated value: evaluated at most once (per environment), the
+/// result cached behind an [`OnceCell`]. This is what makes δ-unfolding of
+/// environment definitions cheap — each definition is evaluated the first
+/// time it is looked up and shared from then on.
+#[derive(Clone, Debug)]
+pub struct Thunk(Rc<ThunkData>);
+
+#[derive(Debug)]
+struct ThunkData {
+    cell: OnceCell<RcValue>,
+    env: ValEnv,
+    term: RcTerm,
+}
+
+impl Thunk {
+    /// A thunk whose evaluation is suspended.
+    pub fn suspended(env: ValEnv, term: RcTerm) -> Thunk {
+        Thunk(Rc::new(ThunkData { cell: OnceCell::new(), env, term }))
+    }
+
+    /// A thunk holding an already-computed value.
+    pub fn forced(value: RcValue) -> Thunk {
+        let cell = OnceCell::new();
+        let _ = cell.set(value);
+        Thunk(Rc::new(ThunkData { cell, env: ValEnv::new(), term: Term::BoolTy.rc() }))
+    }
+
+    /// Forces the thunk, evaluating its term on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+    pub fn force(&self, fuel: &mut Fuel) -> Result<RcValue, ReduceError> {
+        if let Some(value) = self.0.cell.get() {
+            return Ok(value.clone());
+        }
+        let value = eval_at(&self.0.env, &self.0.term, fuel, 0)?;
+        let _ = self.0.cell.set(value.clone());
+        Ok(value)
+    }
+}
+
+/// A persistent evaluation environment mapping variables to [`Thunk`]s.
+///
+/// Extension is O(1) and shares the tail, so going under a binder never
+/// copies the environment (unlike [`Env::with_assumption`], which clones
+/// its vector).
+#[derive(Clone, Debug, Default)]
+pub struct ValEnv(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Symbol,
+    thunk: Thunk,
+    rest: ValEnv,
+}
+
+impl ValEnv {
+    /// The empty environment.
+    pub fn new() -> ValEnv {
+        ValEnv(None)
+    }
+
+    /// Extends the environment with a binding, shadowing earlier entries
+    /// of the same name.
+    pub fn bind(&self, name: Symbol, thunk: Thunk) -> ValEnv {
+        ValEnv(Some(Rc::new(EnvNode { name, thunk, rest: self.clone() })))
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<&Thunk> {
+        let mut node = self.0.as_deref();
+        while let Some(n) = node {
+            if n.name == name {
+                return Some(&n.thunk);
+            }
+            node = n.rest.0.as_deref();
+        }
+        None
+    }
+
+    /// Builds the evaluation environment corresponding to a typing
+    /// environment `Γ`: assumptions become neutral variables, definitions
+    /// become lazy thunks over the environment prefix they were declared
+    /// in (the δ rule, evaluated at most once per environment).
+    pub fn from_env(env: &Env) -> ValEnv {
+        let mut out = ValEnv::new();
+        for decl in env.iter() {
+            match decl {
+                Decl::Assumption { name, .. } => {
+                    out = out.bind(*name, Thunk::forced(Value::global(*name)));
+                }
+                Decl::Definition { name, term, .. } => {
+                    let thunk = Thunk::suspended(out.clone(), term.clone());
+                    out = out.bind(*name, thunk);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates `term` in the evaluation environment `env`.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn eval(env: &ValEnv, term: &Term, fuel: &mut Fuel) -> Result<RcValue, ReduceError> {
+    eval_at(env, term, fuel, 0)
+}
+
+fn eval_at(env: &ValEnv, term: &Term, fuel: &mut Fuel, depth: u32) -> Result<RcValue, ReduceError> {
+    if !fuel.tick() || depth > MAX_EVAL_DEPTH {
+        return Err(ReduceError::OutOfFuel);
+    }
+    match term {
+        Term::Var(x) => match env.lookup(*x) {
+            Some(thunk) => thunk.force(fuel),
+            None => Ok(Value::global(*x)),
+        },
+        Term::Sort(u) => Ok(Rc::new(Value::Sort(*u))),
+        Term::BoolTy => Ok(Rc::new(Value::BoolTy)),
+        Term::BoolLit(b) => Ok(Rc::new(Value::Bool(*b))),
+        Term::Pi { binder, domain, codomain } => Ok(Rc::new(Value::Pi {
+            binder: *binder,
+            domain: eval_at(env, domain, fuel, depth)?,
+            codomain: Closure { env: env.clone(), binder: *binder, body: codomain.clone() },
+        })),
+        Term::Lam { binder, domain, body } => Ok(Rc::new(Value::Lam {
+            binder: *binder,
+            domain: eval_at(env, domain, fuel, depth)?,
+            body: Closure { env: env.clone(), binder: *binder, body: body.clone() },
+        })),
+        Term::Sigma { binder, first, second } => Ok(Rc::new(Value::Sigma {
+            binder: *binder,
+            first: eval_at(env, first, fuel, depth)?,
+            second: Closure { env: env.clone(), binder: *binder, body: second.clone() },
+        })),
+        Term::App { func, arg } => {
+            let func = eval_at(env, func, fuel, depth)?;
+            let arg = eval_at(env, arg, fuel, depth)?;
+            apply(func, arg, fuel, depth)
+        }
+        // ζ, lazily: the definition is evaluated the first time the body
+        // uses it, and at most once.
+        Term::Let { binder, bound, body, .. } => {
+            let inner = env.bind(*binder, Thunk::suspended(env.clone(), bound.clone()));
+            eval_at(&inner, body, fuel, depth)
+        }
+        Term::Pair { first, second, annotation } => Ok(Rc::new(Value::Pair {
+            first: eval_at(env, first, fuel, depth)?,
+            second: eval_at(env, second, fuel, depth)?,
+            annotation: eval_at(env, annotation, fuel, depth)?,
+        })),
+        Term::Fst(e) => Ok(project(eval_at(env, e, fuel, depth)?, true)),
+        Term::Snd(e) => Ok(project(eval_at(env, e, fuel, depth)?, false)),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            let scrutinee = eval_at(env, scrutinee, fuel, depth)?;
+            match &*scrutinee {
+                Value::Bool(true) => eval_at(env, then_branch, fuel, depth),
+                Value::Bool(false) => eval_at(env, else_branch, fuel, depth),
+                _ => Ok(extend(
+                    scrutinee,
+                    Elim::If {
+                        then_branch: Thunk::suspended(env.clone(), then_branch.clone()),
+                        else_branch: Thunk::suspended(env.clone(), else_branch.clone()),
+                    },
+                )),
+            }
+        }
+    }
+}
+
+/// Applies `func` to `arg`: β when the function is a λ-value (one new
+/// β-frame against [`MAX_EVAL_DEPTH`]), spine extension otherwise.
+fn apply(func: RcValue, arg: RcValue, fuel: &mut Fuel, depth: u32) -> Result<RcValue, ReduceError> {
+    if let Value::Lam { body, .. } = &*func {
+        let env = body.env.bind(body.binder, Thunk::forced(arg));
+        let body = body.body.clone();
+        return eval_at(&env, &body, fuel, depth + 1);
+    }
+    Ok(extend(func, Elim::App(arg)))
+}
+
+/// Projects a component out of `value`: π1/π2 when it is a pair, spine
+/// extension otherwise.
+fn project(value: RcValue, first: bool) -> RcValue {
+    if let Value::Pair { first: a, second: b, .. } = &*value {
+        return if first { a.clone() } else { b.clone() };
+    }
+    extend(value, if first { Elim::Fst } else { Elim::Snd })
+}
+
+/// Pushes an elimination onto a stuck value's spine, wrapping canonical
+/// values that the elimination does not apply to in a [`Head::Blocked`].
+/// When the value is uniquely owned the spine is reused in place, so
+/// building a neutral spine of n eliminations stays linear.
+fn extend(value: RcValue, elim: Elim) -> RcValue {
+    match Rc::try_unwrap(value) {
+        Ok(Value::Stuck { head, mut spine }) => {
+            spine.push(elim);
+            Rc::new(Value::Stuck { head, spine })
+        }
+        Ok(other) => {
+            Rc::new(Value::Stuck { head: Head::Blocked(Rc::new(other)), spine: vec![elim] })
+        }
+        Err(shared) => {
+            if let Value::Stuck { head, spine } = &*shared {
+                let mut spine = spine.clone();
+                spine.push(elim);
+                Rc::new(Value::Stuck { head: head.clone(), spine })
+            } else {
+                Rc::new(Value::Stuck { head: Head::Blocked(shared), spine: vec![elim] })
+            }
+        }
+    }
+}
+
+/// Reads a value back into a β/δ/ζ/π-normal [`Term`].
+///
+/// Binders are re-introduced with freshened copies of their original
+/// names, so the result is α-equivalent (never syntactically equal) to the
+/// step-based normal form.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn quote(value: &Value, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    quote_with(&mut Vec::new(), value, fuel)
+}
+
+/// [`quote`] with an explicit stack of binder names for the levels already
+/// crossed; `names.len()` is the current level.
+fn quote_with(
+    names: &mut Vec<Symbol>,
+    value: &Value,
+    fuel: &mut Fuel,
+) -> Result<Term, ReduceError> {
+    if !fuel.tick() {
+        return Err(ReduceError::OutOfFuel);
+    }
+    match value {
+        Value::Sort(u) => Ok(Term::Sort(*u)),
+        Value::BoolTy => Ok(Term::BoolTy),
+        Value::Bool(b) => Ok(Term::BoolLit(*b)),
+        Value::Lam { binder, domain, body } => {
+            let domain = quote_with(names, domain, fuel)?;
+            let (binder, body) = quote_closure(names, *binder, body, fuel)?;
+            Ok(Term::Lam { binder, domain: domain.rc(), body: body.rc() })
+        }
+        Value::Pi { binder, domain, codomain } => {
+            let domain = quote_with(names, domain, fuel)?;
+            let (binder, codomain) = quote_closure(names, *binder, codomain, fuel)?;
+            Ok(Term::Pi { binder, domain: domain.rc(), codomain: codomain.rc() })
+        }
+        Value::Sigma { binder, first, second } => {
+            let first = quote_with(names, first, fuel)?;
+            let (binder, second) = quote_closure(names, *binder, second, fuel)?;
+            Ok(Term::Sigma { binder, first: first.rc(), second: second.rc() })
+        }
+        Value::Pair { first, second, annotation } => Ok(Term::Pair {
+            first: quote_with(names, first, fuel)?.rc(),
+            second: quote_with(names, second, fuel)?.rc(),
+            annotation: quote_with(names, annotation, fuel)?.rc(),
+        }),
+        Value::Stuck { head, spine } => {
+            let mut out = match head {
+                Head::Global(x) => Term::Var(*x),
+                Head::Local(level) => Term::Var(names[*level]),
+                Head::Blocked(v) => quote_with(names, v, fuel)?,
+            };
+            for elim in spine {
+                out = match elim {
+                    Elim::App(arg) => {
+                        Term::App { func: out.rc(), arg: quote_with(names, arg, fuel)?.rc() }
+                    }
+                    Elim::Fst => Term::Fst(out.rc()),
+                    Elim::Snd => Term::Snd(out.rc()),
+                    Elim::If { then_branch, else_branch } => {
+                        let then_value = then_branch.force(fuel)?;
+                        let else_value = else_branch.force(fuel)?;
+                        Term::If {
+                            scrutinee: out.rc(),
+                            then_branch: quote_with(names, &then_value, fuel)?.rc(),
+                            else_branch: quote_with(names, &else_value, fuel)?.rc(),
+                        }
+                    }
+                };
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Crosses one binder during read-back: instantiates the closure at the
+/// next level and quotes the result under a freshened name.
+fn quote_closure(
+    names: &mut Vec<Symbol>,
+    binder: Symbol,
+    closure: &Closure,
+    fuel: &mut Fuel,
+) -> Result<(Symbol, Term), ReduceError> {
+    let fresh = binder.freshen();
+    let body = closure.apply(Value::local(names.len()), fuel)?;
+    names.push(fresh);
+    let body = quote_with(names, &body, fuel);
+    names.pop();
+    Ok((fresh, body?))
+}
+
+/// Decides `Γ ⊢ e1 ≡ e2` directly on values, at binder level `level`.
+///
+/// Implements the η rules `[≡-η1]`/`[≡-η2]` by applying both sides to the
+/// same fresh level — no fresh symbols, no substitution. A `false` answer
+/// is definitive (the step-based specification agrees, see the property
+/// suites); errors mean the comparison could not be decided within `fuel`.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn conv(
+    level: usize,
+    left: &Value,
+    right: &Value,
+    fuel: &mut Fuel,
+) -> Result<bool, ReduceError> {
+    if !fuel.tick() {
+        return Err(ReduceError::OutOfFuel);
+    }
+    match (left, right) {
+        (Value::Lam { domain: d1, body: b1, .. }, Value::Lam { domain: d2, body: b2, .. }) => {
+            Ok(conv(level, d1, d2, fuel)? && conv_closure(level, b1, b2, fuel)?)
+        }
+        // η: exactly one side is a function; compare its body against the
+        // other side applied to the same fresh variable.
+        (Value::Lam { body, .. }, other) | (other, Value::Lam { body, .. }) => {
+            let fresh = Value::local(level);
+            let applied_lam = body.apply(fresh.clone(), fuel)?;
+            let applied_other = apply_value(other, fresh, fuel)?;
+            conv(level + 1, &applied_lam, &applied_other, fuel)
+        }
+        (
+            Value::Pi { domain: d1, codomain: c1, .. },
+            Value::Pi { domain: d2, codomain: c2, .. },
+        ) => Ok(conv(level, d1, d2, fuel)? && conv_closure(level, c1, c2, fuel)?),
+        (
+            Value::Sigma { first: f1, second: s1, .. },
+            Value::Sigma { first: f2, second: s2, .. },
+        ) => Ok(conv(level, f1, f2, fuel)? && conv_closure(level, s1, s2, fuel)?),
+        (Value::Sort(u), Value::Sort(v)) => Ok(u == v),
+        (Value::BoolTy, Value::BoolTy) => Ok(true),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a == b),
+        // Pairs compare componentwise; the annotation is a typing artifact.
+        (Value::Pair { first: f1, second: s1, .. }, Value::Pair { first: f2, second: s2, .. }) => {
+            Ok(conv(level, f1, f2, fuel)? && conv(level, s1, s2, fuel)?)
+        }
+        (Value::Stuck { head: h1, spine: s1 }, Value::Stuck { head: h2, spine: s2 }) => {
+            if !conv_head(level, h1, h2, fuel)? || s1.len() != s2.len() {
+                return Ok(false);
+            }
+            for (e1, e2) in s1.iter().zip(s2) {
+                if !conv_elim(level, e1, e2, fuel)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn conv_head(level: usize, h1: &Head, h2: &Head, fuel: &mut Fuel) -> Result<bool, ReduceError> {
+    match (h1, h2) {
+        (Head::Global(x), Head::Global(y)) => Ok(x == y),
+        (Head::Local(a), Head::Local(b)) => Ok(a == b),
+        (Head::Blocked(a), Head::Blocked(b)) => conv(level, a, b, fuel),
+        _ => Ok(false),
+    }
+}
+
+fn conv_elim(level: usize, e1: &Elim, e2: &Elim, fuel: &mut Fuel) -> Result<bool, ReduceError> {
+    match (e1, e2) {
+        (Elim::App(a), Elim::App(b)) => conv(level, a, b, fuel),
+        (Elim::Fst, Elim::Fst) | (Elim::Snd, Elim::Snd) => Ok(true),
+        (
+            Elim::If { then_branch: t1, else_branch: f1 },
+            Elim::If { then_branch: t2, else_branch: f2 },
+        ) => {
+            let (t1, t2) = (t1.force(fuel)?, t2.force(fuel)?);
+            if !conv(level, &t1, &t2, fuel)? {
+                return Ok(false);
+            }
+            let (f1, f2) = (f1.force(fuel)?, f2.force(fuel)?);
+            conv(level, &f1, &f2, fuel)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Compares two closures by instantiating both at the same fresh level.
+fn conv_closure(
+    level: usize,
+    c1: &Closure,
+    c2: &Closure,
+    fuel: &mut Fuel,
+) -> Result<bool, ReduceError> {
+    let fresh = Value::local(level);
+    let a = c1.apply(fresh.clone(), fuel)?;
+    let b = c2.apply(fresh, fuel)?;
+    conv(level + 1, &a, &b, fuel)
+}
+
+/// [`apply`] on a borrowed value (used by the η rule, where the
+/// non-function side may be any value).
+fn apply_value(func: &Value, arg: RcValue, fuel: &mut Fuel) -> Result<RcValue, ReduceError> {
+    match func {
+        Value::Lam { body, .. } => body.apply(arg, fuel),
+        Value::Stuck { head, spine } => {
+            let mut spine = spine.clone();
+            spine.push(Elim::App(arg));
+            Ok(Rc::new(Value::Stuck { head: head.clone(), spine }))
+        }
+        other => Ok(Rc::new(Value::Stuck {
+            head: Head::Blocked(Rc::new(other.clone())),
+            spine: vec![Elim::App(arg)],
+        })),
+    }
+}
+
+/// Evaluates `term` under the typing environment `env` (definitions become
+/// lazy δ-thunks, assumptions become neutral variables).
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn eval_in(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<RcValue, ReduceError> {
+    eval(&ValEnv::from_env(env), term, fuel)
+}
+
+/// Fully normalizes `term` through the NbE engine: evaluate, then read
+/// back. Agrees with [`crate::reduce::normalize`] up to α-equivalence on
+/// well-typed terms.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn normalize_nbe(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    let value = eval_in(env, term, fuel)?;
+    quote(&value, fuel)
+}
+
+/// Weak-head normalization through the NbE engine. This is the entry
+/// point the type checker uses to expose head constructors (`Π`, `Σ`,
+/// sorts, …).
+///
+/// A term whose head is already canonical (or a neutral variable) is
+/// returned unchanged — the dominant case on the type-checking path, where
+/// inferred types are usually literal `Π`/`Σ`/sorts. Otherwise the term is
+/// evaluated and read back, which yields a complete normal form (in
+/// particular weak-head normal).
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn whnf_nbe(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    match term {
+        Term::Sort(_)
+        | Term::BoolTy
+        | Term::BoolLit(_)
+        | Term::Pi { .. }
+        | Term::Lam { .. }
+        | Term::Sigma { .. }
+        | Term::Pair { .. } => Ok(term.clone()),
+        Term::Var(x) if env.lookup_definition(*x).is_none() => Ok(term.clone()),
+        _ => normalize_nbe(env, term, fuel),
+    }
+}
+
+/// [`normalize_nbe`] with the default fuel budget.
+///
+/// # Panics
+///
+/// Panics if the default budget is exhausted; intended for tests and
+/// examples operating on well-typed terms.
+pub fn normalize_nbe_default(env: &Env, term: &Term) -> Term {
+    let mut fuel = Fuel::default();
+    normalize_nbe(env, term, &mut fuel).expect("NbE normalization exhausted default fuel")
+}
+
+/// Decides definitional equivalence of two terms through the NbE engine:
+/// evaluate both sides under `env`, then [`conv`] the values.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
+pub fn conv_terms(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
+    let venv = ValEnv::from_env(env);
+    let v1 = eval(&venv, e1, fuel)?;
+    let v2 = eval(&venv, e2, fuel)?;
+    conv(0, &v1, &v2, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::subst::alpha_eq;
+
+    fn nf(t: &Term) -> Term {
+        normalize_nbe_default(&Env::new(), t)
+    }
+
+    #[test]
+    fn beta_zeta_projections_if() {
+        assert!(alpha_eq(&nf(&app(lam("x", bool_ty(), var("x")), tt())), &tt()));
+        assert!(alpha_eq(&nf(&let_("x", bool_ty(), tt(), ite(var("x"), ff(), tt()))), &ff()));
+        let p = pair(tt(), ff(), sigma("x", bool_ty(), bool_ty()));
+        assert!(alpha_eq(&nf(&fst(p.clone())), &tt()));
+        assert!(alpha_eq(&nf(&snd(p)), &ff()));
+        assert!(alpha_eq(&nf(&ite(tt(), ff(), tt())), &ff()));
+    }
+
+    #[test]
+    fn normalizes_under_binders() {
+        let t = lam("y", bool_ty(), app(lam("x", bool_ty(), var("x")), var("y")));
+        assert!(alpha_eq(&nf(&t), &lam("y", bool_ty(), var("y"))));
+    }
+
+    #[test]
+    fn delta_definitions_unfold_lazily() {
+        let env = Env::new().with_definition(Symbol::intern("b"), tt(), bool_ty());
+        let mut fuel = Fuel::default();
+        let result = normalize_nbe(&env, &ite(var("b"), ff(), tt()), &mut fuel).unwrap();
+        assert!(alpha_eq(&result, &ff()));
+    }
+
+    #[test]
+    fn capture_is_avoided_through_environments() {
+        // (λ y : Bool. x)[y/x] via an application: λ-binder must not
+        // capture the free y.
+        let env = Env::new().with_assumption(Symbol::intern("y"), bool_ty());
+        let t = app(lam("x", bool_ty(), lam("y", bool_ty(), var("x"))), var("y"));
+        let mut fuel = Fuel::default();
+        let result = normalize_nbe(&env, &t, &mut fuel).unwrap();
+        match &result {
+            Term::Lam { binder, body, .. } => {
+                assert_ne!(*binder, Symbol::intern("y"));
+                assert!(alpha_eq(body, &var("y")));
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn conv_implements_function_eta() {
+        let env = Env::new();
+        let mut fuel = Fuel::default();
+        let expanded = lam("x", bool_ty(), app(var("f"), var("x")));
+        assert!(conv_terms(&env, &expanded, &var("f"), &mut fuel).unwrap());
+        assert!(conv_terms(&env, &var("f"), &expanded, &mut fuel).unwrap());
+        assert!(!conv_terms(&env, &expanded, &var("g"), &mut fuel).unwrap());
+    }
+
+    #[test]
+    fn divergence_is_reported_not_overflowed() {
+        let omega_half = lam("x", bool_ty(), app(var("x"), var("x")));
+        let omega = app(omega_half.clone(), omega_half);
+        let mut fuel = Fuel::default();
+        assert!(matches!(
+            normalize_nbe(&Env::new(), &omega, &mut fuel),
+            Err(ReduceError::OutOfFuel)
+        ));
+    }
+
+    #[test]
+    fn stuck_spines_quote_back() {
+        let env = Env::new();
+        let mut fuel = Fuel::default();
+        let t = ite(app(var("f"), tt()), fst(var("p")), snd(var("p")));
+        let result = normalize_nbe(&env, &t, &mut fuel).unwrap();
+        assert!(alpha_eq(&result, &t));
+    }
+}

@@ -244,13 +244,30 @@ pub fn whnf(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError
 /// Fully normalizes `term` under `env`: weak-head normalizes, then recurses
 /// into all remaining subterms (including under binders).
 ///
+/// Subterms that [`whnf`] already left head-normal — the function of a
+/// stuck application, the target of a stuck projection, the scrutinee of a
+/// stuck `if` — are *not* re-weak-head-normalized on the way down. Without
+/// this, normalizing a neutral spine `f a1 … an` re-ran `whnf` from each
+/// spine prefix, making the legacy engine accidentally quadratic in spine
+/// length.
+///
 /// # Errors
 ///
 /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
 pub fn normalize(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
     let head = whnf(env, term, fuel)?;
+    normalize_head(env, head, fuel)
+}
+
+/// Normalizes the subterms of a term already in weak-head normal form.
+fn normalize_head(env: &Env, head: Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
     let norm = |e: &RcTerm, fuel: &mut Fuel| -> Result<RcTerm, ReduceError> {
         Ok(normalize(env, e, fuel)?.rc())
+    };
+    // Re-enters `normalize_head` (no `whnf`) on positions the enclosing
+    // `whnf` already head-normalized.
+    let norm_whnf = |e: &RcTerm, fuel: &mut Fuel| -> Result<RcTerm, ReduceError> {
+        Ok(normalize_head(env, (**e).clone(), fuel)?.rc())
     };
     Ok(match head {
         Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => head,
@@ -260,7 +277,9 @@ pub fn normalize(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, Reduce
         Term::Lam { binder, domain, body } => {
             Term::Lam { binder, domain: norm(&domain, fuel)?, body: norm(&body, fuel)? }
         }
-        Term::App { func, arg } => Term::App { func: norm(&func, fuel)?, arg: norm(&arg, fuel)? },
+        Term::App { func, arg } => {
+            Term::App { func: norm_whnf(&func, fuel)?, arg: norm(&arg, fuel)? }
+        }
         Term::Let { .. } => unreachable!("whnf eliminates let"),
         Term::Sigma { binder, first, second } => {
             Term::Sigma { binder, first: norm(&first, fuel)?, second: norm(&second, fuel)? }
@@ -270,10 +289,10 @@ pub fn normalize(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, Reduce
             second: norm(&second, fuel)?,
             annotation: norm(&annotation, fuel)?,
         },
-        Term::Fst(e) => Term::Fst(norm(&e, fuel)?),
-        Term::Snd(e) => Term::Snd(norm(&e, fuel)?),
+        Term::Fst(e) => Term::Fst(norm_whnf(&e, fuel)?),
+        Term::Snd(e) => Term::Snd(norm_whnf(&e, fuel)?),
         Term::If { scrutinee, then_branch, else_branch } => Term::If {
-            scrutinee: norm(&scrutinee, fuel)?,
+            scrutinee: norm_whnf(&scrutinee, fuel)?,
             then_branch: norm(&then_branch, fuel)?,
             else_branch: norm(&else_branch, fuel)?,
         },

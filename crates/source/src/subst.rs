@@ -18,14 +18,82 @@ pub fn free_vars(term: &Term) -> Vec<Symbol> {
     out
 }
 
-/// The free variables of `term` as a set.
+/// The free variables of `term` as a set, collected directly (no
+/// intermediate ordered `Vec`) — this sits on the substitution hot path,
+/// which only needs membership queries.
 pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
-    free_vars(term).into_iter().collect()
+    let mut out = HashSet::new();
+    collect_free_set(term, &mut Vec::new(), &mut out);
+    out
 }
 
-/// Whether `x` occurs free in `term`.
+fn collect_free_set(term: &Term, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
+    match term {
+        Term::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(*x);
+            }
+        }
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Lam { binder, domain, body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            collect_free_set(domain, bound, out);
+            bound.push(*binder);
+            collect_free_set(body, bound, out);
+            bound.pop();
+        }
+        Term::App { func, arg } => {
+            collect_free_set(func, bound, out);
+            collect_free_set(arg, bound, out);
+        }
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            collect_free_set(annotation, bound, out);
+            collect_free_set(bound_term, bound, out);
+            bound.push(*binder);
+            collect_free_set(body, bound, out);
+            bound.pop();
+        }
+        Term::Pair { first, second, annotation } => {
+            collect_free_set(first, bound, out);
+            collect_free_set(second, bound, out);
+            collect_free_set(annotation, bound, out);
+        }
+        Term::Fst(e) | Term::Snd(e) => collect_free_set(e, bound, out),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            collect_free_set(scrutinee, bound, out);
+            collect_free_set(then_branch, bound, out);
+            collect_free_set(else_branch, bound, out);
+        }
+    }
+}
+
+/// Whether `x` occurs free in `term`. Short-circuits on the first
+/// occurrence without materializing any free-variable collection — this
+/// sits on the β/ζ and equivalence hot paths.
 pub fn occurs_free(x: Symbol, term: &Term) -> bool {
-    free_var_set(term).contains(&x)
+    match term {
+        Term::Var(y) => *y == x,
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => false,
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Lam { binder, domain, body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            occurs_free(x, domain) || (*binder != x && occurs_free(x, body))
+        }
+        Term::App { func, arg } => occurs_free(x, func) || occurs_free(x, arg),
+        Term::Let { binder, annotation, bound, body } => {
+            occurs_free(x, annotation)
+                || occurs_free(x, bound)
+                || (*binder != x && occurs_free(x, body))
+        }
+        Term::Pair { first, second, annotation } => {
+            occurs_free(x, first) || occurs_free(x, second) || occurs_free(x, annotation)
+        }
+        Term::Fst(e) | Term::Snd(e) => occurs_free(x, e),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            occurs_free(x, scrutinee) || occurs_free(x, then_branch) || occurs_free(x, else_branch)
+        }
+    }
 }
 
 fn collect_free(
@@ -94,9 +162,27 @@ fn collect_under(
 ///
 /// Binders that shadow `x` stop the substitution; binders whose name occurs
 /// free in `replacement` are renamed to fresh symbols before descending.
+///
+/// The free-variable set of `replacement` is computed *lazily*, on the
+/// first binder crossing that needs it: substituting into binder-free
+/// positions (the overwhelmingly common `[App]`-rule case of substituting
+/// an argument into a small codomain) never materializes it at all.
 pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
-    let fv = free_var_set(replacement);
-    subst_inner(term, x, replacement, &fv)
+    let mut fv = FvCache { replacement, set: None };
+    subst_inner(term, x, replacement, &mut fv)
+}
+
+/// A lazily computed free-variable set for the replacement term of a
+/// substitution.
+struct FvCache<'a> {
+    replacement: &'a Term,
+    set: Option<HashSet<Symbol>>,
+}
+
+impl FvCache<'_> {
+    fn contains(&mut self, name: Symbol) -> bool {
+        self.set.get_or_insert_with(|| free_var_set(self.replacement)).contains(&name)
+    }
 }
 
 /// Applies several substitutions in sequence (left to right). Later
@@ -109,7 +195,7 @@ pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
     out
 }
 
-fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &HashSet<Symbol>) -> Term {
+fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &mut FvCache<'_>) -> Term {
     match term {
         Term::Var(y) => {
             if *y == x {
@@ -167,13 +253,13 @@ fn subst_under(
     body: &Term,
     x: Symbol,
     replacement: &Term,
-    fv: &HashSet<Symbol>,
+    fv: &mut FvCache<'_>,
 ) -> (Symbol, Term) {
     if binder == x {
         // The binder shadows `x`; the substitution does not reach the body.
         return (binder, body.clone());
     }
-    if fv.contains(&binder) {
+    if fv.contains(binder) {
         // The binder would capture a free variable of the replacement;
         // rename it first.
         let fresh = binder.freshen();

@@ -19,7 +19,7 @@
 
 use crate::ast::{Term, Universe};
 use crate::env::{Decl, Env};
-use crate::equiv::equiv;
+use crate::equiv::{equiv_with_engine, Engine};
 use crate::pretty::term_to_string;
 use crate::reduce::{whnf, ReduceError};
 use crate::subst::subst;
@@ -127,8 +127,20 @@ pub type Result<T> = std::result::Result<T, TypeError>;
 ///
 /// Returns a [`TypeError`] when the term is ill-typed.
 pub fn infer(env: &Env, term: &Term) -> Result<Term> {
+    infer_with_engine(env, term, Engine::Nbe)
+}
+
+/// [`infer`] through an explicitly chosen equivalence/normalization
+/// engine. [`Engine::Step`] runs the substitution-based step engine — the
+/// paper-faithful specification — and exists for differential testing and
+/// head-to-head benchmarking against [`Engine::Nbe`].
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed.
+pub fn infer_with_engine(env: &Env, term: &Term, engine: Engine) -> Result<Term> {
     let mut fuel = Fuel::default();
-    infer_with(env, term, &mut fuel)
+    infer_with(env, term, &mut fuel, engine)
 }
 
 /// Checks `term` against `expected` under `env`, applying the conversion
@@ -140,7 +152,7 @@ pub fn infer(env: &Env, term: &Term) -> Result<Term> {
 /// definitionally equal to `expected`.
 pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
     let mut fuel = Fuel::default();
-    check_with(env, term, expected, &mut fuel)
+    check_with(env, term, expected, &mut fuel, Engine::Nbe)
 }
 
 /// Infers the universe in which the type `term` lives.
@@ -150,7 +162,7 @@ pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
 /// Returns [`TypeError::NotAUniverse`] when `term` is not a type.
 pub fn infer_universe(env: &Env, term: &Term) -> Result<Universe> {
     let mut fuel = Fuel::default();
-    infer_universe_with(env, term, &mut fuel)
+    infer_universe_with(env, term, &mut fuel, Engine::Nbe)
 }
 
 /// Checks well-formedness of an environment (`⊢ Γ`, Figure 4).
@@ -182,7 +194,17 @@ pub fn is_well_typed(env: &Env, term: &Term) -> bool {
     infer(env, term).is_ok()
 }
 
-pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
+/// Weak-head normalizes through the chosen engine: NbE read-back or the
+/// step-based `whnf`.
+fn head_normal(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result<Term> {
+    let result = match engine {
+        Engine::Nbe => crate::nbe::whnf_nbe(env, term, fuel),
+        Engine::Step => whnf(env, term, fuel),
+    };
+    result.map_err(TypeError::from)
+}
+
+pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result<Term> {
     match term {
         // [Var]
         Term::Var(x) => match env.lookup_type(*x) {
@@ -196,23 +218,23 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
         Term::BoolTy => Ok(Term::Sort(Universe::Star)),
         Term::BoolLit(_) => Ok(Term::BoolTy),
         Term::If { scrutinee, then_branch, else_branch } => {
-            check_with(env, scrutinee, &Term::BoolTy, fuel)?;
-            let then_ty = infer_with(env, then_branch, fuel)?;
-            check_with(env, else_branch, &then_ty, fuel)?;
+            check_with(env, scrutinee, &Term::BoolTy, fuel, engine)?;
+            let then_ty = infer_with(env, then_branch, fuel, engine)?;
+            check_with(env, else_branch, &then_ty, fuel, engine)?;
             Ok(then_ty)
         }
         // [Prod-*] and [Prod-□]
         Term::Pi { binder, domain, codomain } => {
-            infer_universe_with(env, domain, fuel)?;
+            infer_universe_with(env, domain, fuel, engine)?;
             let inner = env.with_assumption(*binder, (**domain).clone());
-            let codomain_universe = infer_universe_with(&inner, codomain, fuel)?;
+            let codomain_universe = infer_universe_with(&inner, codomain, fuel, engine)?;
             Ok(Term::Sort(codomain_universe))
         }
         // [Sig-*], [Sig-□], and the predicative large rule (see module docs).
         Term::Sigma { binder, first, second } => {
-            let first_universe = infer_universe_with(env, first, fuel)?;
+            let first_universe = infer_universe_with(env, first, fuel, engine)?;
             let inner = env.with_assumption(*binder, (**first).clone());
-            let second_universe = infer_universe_with(&inner, second, fuel)?;
+            let second_universe = infer_universe_with(&inner, second, fuel, engine)?;
             match (first_universe, second_universe) {
                 (Universe::Star, Universe::Star) => Ok(Term::Sort(Universe::Star)),
                 (_, Universe::Box) => Ok(Term::Sort(Universe::Box)),
@@ -221,20 +243,20 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
         }
         // [Lam]
         Term::Lam { binder, domain, body } => {
-            infer_universe_with(env, domain, fuel)?;
+            infer_universe_with(env, domain, fuel, engine)?;
             let inner = env.with_assumption(*binder, (**domain).clone());
-            let body_ty = infer_with(&inner, body, fuel)?;
+            let body_ty = infer_with(&inner, body, fuel, engine)?;
             // Ensure the resulting Π type is itself well-formed.
-            infer_universe_with(&inner, &body_ty, fuel)?;
+            infer_universe_with(&inner, &body_ty, fuel, engine)?;
             Ok(Term::Pi { binder: *binder, domain: domain.clone(), codomain: body_ty.rc() })
         }
         // [App]
         Term::App { func, arg } => {
-            let func_ty = infer_with(env, func, fuel)?;
-            let func_ty_whnf = whnf(env, &func_ty, fuel)?;
+            let func_ty = infer_with(env, func, fuel, engine)?;
+            let func_ty_whnf = head_normal(env, &func_ty, fuel, engine)?;
             match func_ty_whnf {
                 Term::Pi { binder, domain, codomain } => {
-                    check_with(env, arg, &domain, fuel)?;
+                    check_with(env, arg, &domain, fuel, engine)?;
                     Ok(subst(&codomain, binder, arg))
                 }
                 other => Err(TypeError::NotAFunction {
@@ -245,21 +267,21 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
         }
         // [Let]
         Term::Let { binder, annotation, bound, body } => {
-            infer_universe_with(env, annotation, fuel)?;
-            check_with(env, bound, annotation, fuel)?;
+            infer_universe_with(env, annotation, fuel, engine)?;
+            check_with(env, bound, annotation, fuel, engine)?;
             let inner = env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
-            let body_ty = infer_with(&inner, body, fuel)?;
+            let body_ty = infer_with(&inner, body, fuel, engine)?;
             Ok(subst(&body_ty, *binder, bound))
         }
         // [Pair]
         Term::Pair { first, second, annotation } => {
-            infer_universe_with(env, annotation, fuel)?;
-            let annotation_whnf = whnf(env, annotation, fuel)?;
+            infer_universe_with(env, annotation, fuel, engine)?;
+            let annotation_whnf = head_normal(env, annotation, fuel, engine)?;
             match annotation_whnf {
                 Term::Sigma { binder, first: first_ty, second: second_ty } => {
-                    check_with(env, first, &first_ty, fuel)?;
+                    check_with(env, first, &first_ty, fuel, engine)?;
                     let expected_second = subst(&second_ty, binder, first);
-                    check_with(env, second, &expected_second, fuel)?;
+                    check_with(env, second, &expected_second, fuel, engine)?;
                     Ok((**annotation).clone())
                 }
                 _ => Err(TypeError::PairAnnotationNotSigma {
@@ -269,8 +291,8 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
         }
         // [Fst]
         Term::Fst(e) => {
-            let e_ty = infer_with(env, e, fuel)?;
-            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            let e_ty = infer_with(env, e, fuel, engine)?;
+            let e_ty_whnf = head_normal(env, &e_ty, fuel, engine)?;
             match e_ty_whnf {
                 Term::Sigma { first, .. } => Ok((*first).clone()),
                 other => {
@@ -280,8 +302,8 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
         }
         // [Snd]
         Term::Snd(e) => {
-            let e_ty = infer_with(env, e, fuel)?;
-            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            let e_ty = infer_with(env, e, fuel, engine)?;
+            let e_ty_whnf = head_normal(env, &e_ty, fuel, engine)?;
             match e_ty_whnf {
                 Term::Sigma { binder, second, .. } => {
                     Ok(subst(&second, binder, &Term::Fst(e.clone())))
@@ -294,9 +316,15 @@ pub(crate) fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term
     }
 }
 
-pub(crate) fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fuel) -> Result<()> {
-    let inferred = infer_with(env, term, fuel)?;
-    if equiv(env, &inferred, expected, fuel)? {
+pub(crate) fn check_with(
+    env: &Env,
+    term: &Term,
+    expected: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<()> {
+    let inferred = infer_with(env, term, fuel, engine)?;
+    if equiv_with_engine(env, &inferred, expected, fuel, engine)? {
         Ok(())
     } else {
         Err(TypeError::Mismatch {
@@ -307,14 +335,19 @@ pub(crate) fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fue
     }
 }
 
-pub(crate) fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Universe> {
+pub(crate) fn infer_universe_with(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<Universe> {
     // `□` itself is a valid classifier (it is the type of `⋆` and of kinds)
     // even though it is not a term; treat it as living "above" everything.
     if matches!(term, Term::Sort(Universe::Box)) {
         return Ok(Universe::Box);
     }
-    let ty = infer_with(env, term, fuel)?;
-    let ty_whnf = whnf(env, &ty, fuel)?;
+    let ty = infer_with(env, term, fuel, engine)?;
+    let ty_whnf = head_normal(env, &ty, fuel, engine)?;
     match ty_whnf {
         Term::Sort(u) => Ok(u),
         other => {

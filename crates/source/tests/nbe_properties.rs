@@ -1,0 +1,191 @@
+//! Differential tests of the NbE engine against the step-based
+//! specification, on generator-produced well-typed CC programs.
+//!
+//! The step relation `⊲` of `reduce` is the paper-faithful specification;
+//! `nbe` is the algorithmic engine every hot path runs on. These tests pin
+//! the two together:
+//!
+//! * `normalize_nbe` agrees with step-based `normalize` up to
+//!   α-equivalence;
+//! * `conv` (via `equiv`) agrees with the step-based `equiv_spec` — on
+//!   redex/reduct pairs, on unrelated program pairs, and on inferred
+//!   types;
+//! * the type checker produces the same verdicts through both engines;
+//! * regression cases: shadowed binders, capture avoidance through
+//!   evaluation environments, and η through the NbE path.
+
+use cccc_source::builder::*;
+use cccc_source::equiv::{definitionally_equal, definitionally_equal_spec, Engine};
+use cccc_source::generate::TermGenerator;
+use cccc_source::nbe;
+use cccc_source::reduce;
+use cccc_source::subst::alpha_eq;
+use cccc_source::typecheck;
+use cccc_source::{Env, Term};
+use cccc_util::Symbol;
+
+const SEEDS: u64 = 60;
+
+#[test]
+fn nbe_normalization_agrees_with_step_normalization() {
+    for seed in 0..SEEDS {
+        let mut generator = TermGenerator::new(seed);
+        let (term, _) = generator.gen_program();
+        let step = reduce::normalize_default(&Env::new(), &term);
+        let nbe = nbe::normalize_nbe_default(&Env::new(), &term);
+        assert!(
+            alpha_eq(&step, &nbe),
+            "engines disagree on seed {seed}:\n  term: {term}\n  step: {step}\n  nbe:  {nbe}"
+        );
+    }
+}
+
+#[test]
+fn conv_agrees_with_step_equiv_on_redex_reduct_pairs() {
+    for seed in 0..SEEDS {
+        let mut generator = TermGenerator::new(1_000 + seed);
+        let (term, _) = generator.gen_program();
+        let reduct = reduce::normalize_default(&Env::new(), &term);
+        assert!(definitionally_equal(&Env::new(), &term, &reduct), "seed {seed}: {term}");
+        assert!(definitionally_equal_spec(&Env::new(), &term, &reduct), "seed {seed}: {term}");
+    }
+}
+
+#[test]
+fn conv_agrees_with_step_equiv_on_program_pairs() {
+    for seed in 0..SEEDS {
+        let mut left_generator = TermGenerator::new(2_000 + seed);
+        let mut right_generator = TermGenerator::new(3_000 + seed);
+        let (left, _) = left_generator.gen_program();
+        let (right, _) = right_generator.gen_program();
+        let nbe_verdict = definitionally_equal(&Env::new(), &left, &right);
+        let spec_verdict = definitionally_equal_spec(&Env::new(), &left, &right);
+        assert_eq!(
+            nbe_verdict, spec_verdict,
+            "engines disagree on seed {seed}:\n  left:  {left}\n  right: {right}"
+        );
+    }
+}
+
+#[test]
+fn typechecker_verdicts_agree_across_engines() {
+    for seed in 0..SEEDS {
+        let mut generator = TermGenerator::new(4_000 + seed);
+        let (term, _) = generator.gen_program();
+        let nbe_ty = typecheck::infer_with_engine(&Env::new(), &term, Engine::Nbe)
+            .unwrap_or_else(|e| panic!("NbE checker rejected seed {seed} (`{term}`): {e}"));
+        let step_ty = typecheck::infer_with_engine(&Env::new(), &term, Engine::Step)
+            .unwrap_or_else(|e| panic!("step checker rejected seed {seed} (`{term}`): {e}"));
+        assert!(
+            definitionally_equal(&Env::new(), &nbe_ty, &step_ty),
+            "inferred types disagree on seed {seed}: `{nbe_ty}` vs `{step_ty}`"
+        );
+    }
+}
+
+#[test]
+fn both_engines_reject_the_same_ill_typed_terms() {
+    let ill_typed = [
+        app(tt(), ff()),
+        fst(tt()),
+        ite(star(), tt(), ff()),
+        pair(tt(), ff(), bool_ty()),
+        var("ghost"),
+    ];
+    for term in &ill_typed {
+        assert!(typecheck::infer_with_engine(&Env::new(), term, Engine::Nbe).is_err());
+        assert!(typecheck::infer_with_engine(&Env::new(), term, Engine::Step).is_err());
+    }
+}
+
+#[test]
+fn shadowed_binders_normalize_identically() {
+    // λ x. λ x. x — the inner binder shadows the outer one.
+    let shadowing = lam("x", bool_ty(), lam("x", bool_ty(), var("x")));
+    let applied = app(app(shadowing.clone(), tt()), ff());
+    let nbe = nbe::normalize_nbe_default(&Env::new(), &applied);
+    assert!(alpha_eq(&nbe, &ff()));
+    assert!(alpha_eq(&nbe, &reduce::normalize_default(&Env::new(), &applied)));
+
+    // let x = true in let x = false in x.
+    let shadowing_let =
+        let_("x", bool_ty(), tt(), let_("x", bool_ty(), ff(), ite(var("x"), tt(), ff())));
+    let nbe = nbe::normalize_nbe_default(&Env::new(), &shadowing_let);
+    assert!(alpha_eq(&nbe, &ff()), "inner definition must shadow the outer one");
+    assert!(alpha_eq(&nbe, &reduce::normalize_default(&Env::new(), &shadowing_let)));
+
+    // An environment entry shadowed by a binder: the λ-bound x must win
+    // over the definition x = true.
+    let env = Env::new().with_definition(Symbol::intern("x"), tt(), bool_ty());
+    let term = app(lam("x", bool_ty(), ite(var("x"), ff(), tt())), ff());
+    let mut fuel = cccc_util::fuel::Fuel::default();
+    let nbe = nbe::normalize_nbe(&env, &term, &mut fuel).unwrap();
+    assert!(alpha_eq(&nbe, &tt()));
+}
+
+#[test]
+fn capture_avoidance_through_the_nbe_path() {
+    // (λ x : Bool. λ y : Bool. x) y — the result must be λ y'. y with the
+    // free y, not the capturing λ y. y.
+    let env = Env::new().with_assumption(Symbol::intern("y"), bool_ty());
+    let term = app(lam("x", bool_ty(), lam("y", bool_ty(), var("x"))), var("y"));
+    let mut fuel = cccc_util::fuel::Fuel::default();
+    let nbe = nbe::normalize_nbe(&env, &term, &mut fuel).unwrap();
+    let step = reduce::normalize(&env, &term, &mut fuel).unwrap();
+    assert!(alpha_eq(&nbe, &step));
+    assert!(!alpha_eq(&nbe, &lam("y", bool_ty(), var("y"))));
+    match &nbe {
+        Term::Lam { body, .. } => assert!(alpha_eq(body, &var("y"))),
+        other => panic!("expected a lambda, got {other}"),
+    }
+}
+
+#[test]
+fn function_eta_through_the_nbe_path() {
+    let expanded = lam("x", bool_ty(), app(var("f"), var("x")));
+    assert!(definitionally_equal(&Env::new(), &expanded, &var("f")));
+    assert!(definitionally_equal(&Env::new(), &var("f"), &expanded));
+    assert!(!definitionally_equal(&Env::new(), &expanded, &var("g")));
+    // Doubly-expanded against the bare head.
+    let twice = lam("a", bool_ty(), app(lam("x", bool_ty(), app(var("f"), var("x"))), var("a")));
+    assert!(definitionally_equal(&Env::new(), &twice, &var("f")));
+}
+
+#[test]
+fn deep_structures_do_not_hit_the_beta_depth_cap() {
+    // Only nested β-applications count against the NbE recursion bound;
+    // structural depth (long neutral spines, deep pair nests) must not.
+    // Structural recursion needs stack proportional to term depth — like
+    // `subst` and step-based `normalize` — so run on a roomy thread (the
+    // 2 MiB default of test threads is tight for 600 debug-mode frames).
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let mut spine = var("f");
+            for i in 0..600 {
+                spine = app(spine, bool_lit(i % 2 == 0));
+            }
+            let nf = nbe::normalize_nbe_default(&Env::new(), &spine);
+            assert!(alpha_eq(&nf, &spine));
+
+            let mut nest = tt();
+            let mut annotation = bool_ty();
+            for _ in 0..600 {
+                nest = pair(nest, ff(), sigma("x", annotation.clone(), bool_ty()));
+                annotation = sigma("x", annotation, bool_ty());
+            }
+            let nf = nbe::normalize_nbe_default(&Env::new(), &nest);
+            assert!(alpha_eq(&nf, &nest));
+        })
+        .expect("spawn")
+        .join()
+        .expect("deep-structure normalization");
+}
+
+#[test]
+fn nbe_whnf_exposes_head_constructors() {
+    let mut fuel = cccc_util::fuel::Fuel::default();
+    let redex_type = app(lam("A", star(), pi("x", var("A"), var("A"))), bool_ty());
+    let head = nbe::whnf_nbe(&Env::new(), &redex_type, &mut fuel).unwrap();
+    assert!(matches!(head, Term::Pi { .. }));
+}

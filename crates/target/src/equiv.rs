@@ -17,10 +17,22 @@
 //! translation, and it is what the `[Clo]`/`[Conv]` interplay of Figure 7
 //! relies on.
 //!
-//! The implementation is algorithmic: both sides are reduced to weak-head
-//! normal form and compared structurally, recursing under binders with a
-//! shared fresh variable; when either side is a closure over literal code,
-//! the closure-η comparison applies.
+//! Two interchangeable deciders implement the judgment:
+//!
+//! * [`equiv`] (the default, used by the type checker and everything built
+//!   on it) runs the **NbE engine** of [`crate::nbe`]: both sides are
+//!   evaluated into the semantic domain and compared with
+//!   [`crate::nbe::conv`], which applies closure-η directly on values by
+//!   extending machine environments — no fresh symbols, no substitution;
+//! * [`equiv_spec`] is the **paper-faithful specification**: both sides
+//!   are reduced to weak-head normal form with the step-based engine and
+//!   compared structurally, recursing under binders with a shared fresh
+//!   variable; when either side is a closure over literal code, the
+//!   closure-η comparison applies.
+//!
+//! The property suites check that the two agree on translated
+//! generator-produced programs; [`equiv_spec`] is the differential-testing
+//! oracle for the NbE engine.
 
 use crate::ast::Term;
 use crate::builder::var_sym;
@@ -37,9 +49,57 @@ use cccc_util::symbol::Symbol;
 /// Returns a [`ReduceError`] when normalization runs out of fuel (or hits
 /// a bare-code application) before the comparison can be decided.
 pub fn equiv(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
+    // α-equivalent terms are definitionally equal outright; the type
+    // checker overwhelmingly compares a type against an identical copy of
+    // itself, so this allocation-free pre-check pays for itself many
+    // times over before the engine ever evaluates anything.
+    if crate::subst::alpha_eq(e1, e2) {
+        return Ok(true);
+    }
+    crate::nbe::conv_terms(env, e1, e2, fuel)
+}
+
+/// Which equivalence/normalization engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The normalization-by-evaluation engine ([`crate::nbe`]); the
+    /// default on every hot path.
+    #[default]
+    Nbe,
+    /// The substitution-based step engine ([`crate::reduce`]); the
+    /// paper-faithful specification and differential-testing oracle.
+    Step,
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` with the step-based engine — the executable
+/// specification [`equiv`] is differentially tested against.
+///
+/// # Errors
+///
+/// Returns a [`ReduceError`] when normalization runs out of fuel (or hits
+/// a bare-code application) before the comparison can be decided.
+pub fn equiv_spec(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
     let n1 = whnf(env, e1, fuel)?;
     let n2 = whnf(env, e2, fuel)?;
     compare_whnf(env, &n1, &n2, fuel)
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` through the chosen engine.
+///
+/// # Errors
+///
+/// See [`equiv`] and [`equiv_spec`].
+pub fn equiv_with_engine(
+    env: &Env,
+    e1: &Term,
+    e2: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<bool, ReduceError> {
+    match engine {
+        Engine::Nbe => equiv(env, e1, e2, fuel),
+        Engine::Step => equiv_spec(env, e1, e2, fuel),
+    }
 }
 
 /// Checks `Γ ⊢ e1 ≡ e2` with the default fuel budget, treating reduction
@@ -47,6 +107,12 @@ pub fn equiv(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, R
 pub fn definitionally_equal(env: &Env, e1: &Term, e2: &Term) -> bool {
     let mut fuel = Fuel::default();
     equiv(env, e1, e2, &mut fuel).unwrap_or(false)
+}
+
+/// [`definitionally_equal`] through the step-based specification.
+pub fn definitionally_equal_spec(env: &Env, e1: &Term, e2: &Term) -> bool {
+    let mut fuel = Fuel::default();
+    equiv_spec(env, e1, e2, &mut fuel).unwrap_or(false)
 }
 
 /// If `term` is a closure whose code component weak-head normalizes to
@@ -80,7 +146,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             let fresh = x1.freshen();
             let left = apply_closure_code(*n1_, *x1, body1, env1, &var_sym(fresh));
             let right = apply_closure_code(*n2_, *x2, body2, env2, &var_sym(fresh));
-            return equiv(env, &left, &right, fuel);
+            return equiv_spec(env, &left, &right, fuel);
         }
         (None, None) => {}
     }
@@ -105,7 +171,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             if std::mem::discriminant(n1) != std::mem::discriminant(n2) {
                 return Ok(false);
             }
-            if !equiv(env, a1, a2, fuel)? {
+            if !equiv_spec(env, a1, a2, fuel)? {
                 return Ok(false);
             }
             compare_under_binder(env, *x, b1, *y, b2, fuel)
@@ -121,7 +187,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             if std::mem::discriminant(n1) != std::mem::discriminant(n2) {
                 return Ok(false);
             }
-            if !equiv(env, e1, e2, fuel)? {
+            if !equiv_spec(env, e1, e2, fuel)? {
                 return Ok(false);
             }
             // Share a fresh environment binder, compare argument types,
@@ -132,7 +198,7 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             let fresh_env = m1.freshen();
             let a1 = subst(a1, *m1, &var_sym(fresh_env));
             let a2 = subst(a2, *m2, &var_sym(fresh_env));
-            if !equiv(env, &a1, &a2, fuel)? {
+            if !equiv_spec(env, &a1, &a2, fuel)? {
                 return Ok(false);
             }
             let fresh_arg = x1.freshen();
@@ -145,28 +211,28 @@ fn compare_whnf(env: &Env, n1: &Term, n2: &Term, fuel: &mut Fuel) -> Result<bool
             };
             let b1 = rename_body(b1, *m1, *x1);
             let b2 = rename_body(b2, *m2, *x2);
-            equiv(env, &b1, &b2, fuel)
+            equiv_spec(env, &b1, &b2, fuel)
         }
         // A closure whose code is neutral (an abstract variable, say) is
         // compared structurally.
         (Term::Closure { code: c1, env: e1 }, Term::Closure { code: c2, env: e2 }) => {
-            Ok(equiv(env, c1, c2, fuel)? && equiv(env, e1, e2, fuel)?)
+            Ok(equiv_spec(env, c1, c2, fuel)? && equiv_spec(env, e1, e2, fuel)?)
         }
         (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
-            Ok(compare_whnf(env, f1, f2, fuel)? && equiv(env, a1, a2, fuel)?)
+            Ok(compare_whnf(env, f1, f2, fuel)? && equiv_spec(env, a1, a2, fuel)?)
         }
         // Pairs are compared componentwise; the annotation is a typing
         // artifact and does not affect the value.
         (Term::Pair { first: a1, second: b1, .. }, Term::Pair { first: a2, second: b2, .. }) => {
-            Ok(equiv(env, a1, a2, fuel)? && equiv(env, b1, b2, fuel)?)
+            Ok(equiv_spec(env, a1, a2, fuel)? && equiv_spec(env, b1, b2, fuel)?)
         }
-        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => equiv(env, a, b, fuel),
+        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => equiv_spec(env, a, b, fuel),
         (
             Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
             Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
-        ) => {
-            Ok(equiv(env, s1, s2, fuel)? && equiv(env, t1, t2, fuel)? && equiv(env, e1, e2, fuel)?)
-        }
+        ) => Ok(equiv_spec(env, s1, s2, fuel)?
+            && equiv_spec(env, t1, t2, fuel)?
+            && equiv_spec(env, e1, e2, fuel)?),
         _ => Ok(false),
     }
 }
@@ -192,7 +258,7 @@ fn eta_expand_compare(
     let applied_closure =
         apply_closure_code(env_binder, arg_binder, body, closure_env, &var_sym(fresh));
     let applied_other = Term::App { func: other.clone().rc(), arg: var_sym(fresh).rc() };
-    equiv(env, &applied_closure, &applied_other, fuel)
+    equiv_spec(env, &applied_closure, &applied_other, fuel)
 }
 
 /// Compares two bodies under their respective binders by renaming both to
@@ -208,7 +274,7 @@ fn compare_under_binder(
     let fresh = x.freshen();
     let left = subst(left, x, &var_sym(fresh));
     let right = subst(right, y, &var_sym(fresh));
-    equiv(env, &left, &right, fuel)
+    equiv_spec(env, &left, &right, fuel)
 }
 
 #[cfg(test)]

@@ -20,9 +20,67 @@ pub fn free_vars(term: &Term) -> Vec<Symbol> {
     out
 }
 
-/// The free variables of `term` as a set.
+/// The free variables of `term` as a set, collected directly (no
+/// intermediate ordered `Vec`) — this sits on the substitution hot path,
+/// which only needs membership queries.
 pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
-    free_vars(term).into_iter().collect()
+    let mut out = HashSet::new();
+    collect_free_set(term, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free_set(term: &Term, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
+    match term {
+        Term::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(*x);
+            }
+        }
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            collect_free_set(domain, bound, out);
+            bound.push(*binder);
+            collect_free_set(body, bound, out);
+            bound.pop();
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
+            collect_free_set(env_ty, bound, out);
+            bound.push(*env_binder);
+            collect_free_set(arg_ty, bound, out);
+            bound.push(*arg_binder);
+            collect_free_set(body, bound, out);
+            bound.pop();
+            bound.pop();
+        }
+        Term::Closure { code, env } => {
+            collect_free_set(code, bound, out);
+            collect_free_set(env, bound, out);
+        }
+        Term::App { func, arg } => {
+            collect_free_set(func, bound, out);
+            collect_free_set(arg, bound, out);
+        }
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            collect_free_set(annotation, bound, out);
+            collect_free_set(bound_term, bound, out);
+            bound.push(*binder);
+            collect_free_set(body, bound, out);
+            bound.pop();
+        }
+        Term::Pair { first, second, annotation } => {
+            collect_free_set(first, bound, out);
+            collect_free_set(second, bound, out);
+            collect_free_set(annotation, bound, out);
+        }
+        Term::Fst(e) | Term::Snd(e) => collect_free_set(e, bound, out),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            collect_free_set(scrutinee, bound, out);
+            collect_free_set(then_branch, bound, out);
+            collect_free_set(else_branch, bound, out);
+        }
+    }
 }
 
 /// Whether `x` occurs free in `term`. Short-circuits on the first
@@ -62,9 +120,59 @@ pub fn occurs_free(x: Symbol, term: &Term) -> bool {
 }
 
 /// Whether `term` has no free variables — the syntactic premise of rule
-/// `[Code]`.
+/// `[Code]`. Short-circuits on the first free variable found instead of
+/// materializing the whole free-variable list.
 pub fn is_closed(term: &Term) -> bool {
-    free_vars(term).is_empty()
+    !any_free(term, &mut Vec::new())
+}
+
+fn any_free(term: &Term, bound: &mut Vec<Symbol>) -> bool {
+    match term {
+        Term::Var(x) => !bound.contains(x),
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => false,
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            any_free(domain, bound) || {
+                bound.push(*binder);
+                let found = any_free(body, bound);
+                bound.pop();
+                found
+            }
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
+            any_free(env_ty, bound) || {
+                bound.push(*env_binder);
+                let found = any_free(arg_ty, bound) || {
+                    bound.push(*arg_binder);
+                    let found = any_free(body, bound);
+                    bound.pop();
+                    found
+                };
+                bound.pop();
+                found
+            }
+        }
+        Term::Closure { code, env } => any_free(code, bound) || any_free(env, bound),
+        Term::App { func, arg } => any_free(func, bound) || any_free(arg, bound),
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            any_free(annotation, bound) || any_free(bound_term, bound) || {
+                bound.push(*binder);
+                let found = any_free(body, bound);
+                bound.pop();
+                found
+            }
+        }
+        Term::Pair { first, second, annotation } => {
+            any_free(first, bound) || any_free(second, bound) || any_free(annotation, bound)
+        }
+        Term::Fst(e) | Term::Snd(e) => any_free(e, bound),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            any_free(scrutinee, bound)
+                || any_free(then_branch, bound)
+                || any_free(else_branch, bound)
+        }
+    }
 }
 
 fn collect_free(
@@ -139,8 +247,22 @@ fn collect_under(
 /// Binders that shadow `x` stop the substitution; binders whose name occurs
 /// free in `replacement` are renamed to fresh symbols before descending.
 pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
-    let fv = free_var_set(replacement);
-    subst_inner(term, x, replacement, &fv)
+    let mut fv = FvCache { replacement, set: None };
+    subst_inner(term, x, replacement, &mut fv)
+}
+
+/// A lazily computed free-variable set for the replacement term of a
+/// substitution: substituting into binder-free positions (the common
+/// `[App]`-rule case) never materializes it at all.
+struct FvCache<'a> {
+    replacement: &'a Term,
+    set: Option<HashSet<Symbol>>,
+}
+
+impl FvCache<'_> {
+    fn contains(&mut self, name: Symbol) -> bool {
+        self.set.get_or_insert_with(|| free_var_set(self.replacement)).contains(&name)
+    }
 }
 
 /// Applies several substitutions in sequence (left to right). Later
@@ -153,7 +275,7 @@ pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
     out
 }
 
-fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &HashSet<Symbol>) -> Term {
+fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &mut FvCache<'_>) -> Term {
     match term {
         Term::Var(y) => {
             if *y == x {
@@ -233,12 +355,12 @@ fn subst_under(
     body: &Term,
     x: Symbol,
     replacement: &Term,
-    fv: &HashSet<Symbol>,
+    fv: &mut FvCache<'_>,
 ) -> (Symbol, Term) {
     if binder == x {
         return (binder, body.clone());
     }
-    if fv.contains(&binder) {
+    if fv.contains(binder) {
         let fresh = binder.freshen();
         let renamed = rename(body, binder, fresh);
         (fresh, subst_inner(&renamed, x, replacement, fv))
@@ -258,14 +380,14 @@ fn subst_code(
     body: &Term,
     x: Symbol,
     replacement: &Term,
-    fv: &HashSet<Symbol>,
+    fv: &mut FvCache<'_>,
 ) -> (Symbol, Symbol, Term, Term, Term) {
     let env_ty = subst_inner(env_ty, x, replacement, fv);
 
     // Freshen the environment binder if it would capture. When the
     // argument binder shadows it (arg_binder = env_binder), the body's
     // occurrences refer to the argument and must not be renamed here.
-    let (env_binder, arg_ty_scoped, body_scoped) = if env_binder != x && fv.contains(&env_binder) {
+    let (env_binder, arg_ty_scoped, body_scoped) = if env_binder != x && fv.contains(env_binder) {
         let fresh = env_binder.freshen();
         let body_renamed =
             if arg_binder == env_binder { body.clone() } else { rename(body, env_binder, fresh) };
@@ -274,7 +396,7 @@ fn subst_code(
         (env_binder, arg_ty.clone(), body.clone())
     };
     // Then the argument binder (which scopes only over the body).
-    let (arg_binder, body_scoped) = if arg_binder != x && fv.contains(&arg_binder) {
+    let (arg_binder, body_scoped) = if arg_binder != x && fv.contains(arg_binder) {
         let fresh = arg_binder.freshen();
         (fresh, rename(&body_scoped, arg_binder, fresh))
     } else {

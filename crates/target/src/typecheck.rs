@@ -25,7 +25,7 @@
 
 use crate::ast::{Term, Universe};
 use crate::env::{Decl, Env};
-use crate::equiv::equiv;
+use crate::equiv::{equiv_with_engine, Engine};
 use crate::pretty::term_to_string;
 use crate::reduce::{whnf, ReduceError};
 use crate::subst::{free_vars, occurs_free, rename, subst};
@@ -144,8 +144,20 @@ pub type Result<T> = std::result::Result<T, TypeError>;
 ///
 /// Returns a [`TypeError`] when the term is ill-typed.
 pub fn infer(env: &Env, term: &Term) -> Result<Term> {
+    infer_with_engine(env, term, Engine::Nbe)
+}
+
+/// [`infer`] through an explicitly chosen equivalence/normalization
+/// engine. [`Engine::Step`] runs the substitution-based step engine — the
+/// paper-faithful specification — and exists for differential testing and
+/// head-to-head benchmarking against [`Engine::Nbe`].
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the term is ill-typed.
+pub fn infer_with_engine(env: &Env, term: &Term, engine: Engine) -> Result<Term> {
     let mut fuel = Fuel::default();
-    infer_with(env, term, &mut fuel)
+    infer_with(env, term, &mut fuel, engine)
 }
 
 /// Checks `term` against `expected` under `env`, applying the conversion
@@ -157,7 +169,7 @@ pub fn infer(env: &Env, term: &Term) -> Result<Term> {
 /// definitionally equal to `expected`.
 pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
     let mut fuel = Fuel::default();
-    check_with(env, term, expected, &mut fuel)
+    check_with(env, term, expected, &mut fuel, Engine::Nbe)
 }
 
 /// Infers the universe in which the type `term` lives.
@@ -167,7 +179,7 @@ pub fn check(env: &Env, term: &Term, expected: &Term) -> Result<()> {
 /// Returns [`TypeError::NotAUniverse`] when `term` is not a type.
 pub fn infer_universe(env: &Env, term: &Term) -> Result<Universe> {
     let mut fuel = Fuel::default();
-    infer_universe_with(env, term, &mut fuel)
+    infer_universe_with(env, term, &mut fuel, Engine::Nbe)
 }
 
 /// Checks well-formedness of an environment (`⊢ Γ`).
@@ -199,7 +211,17 @@ pub fn is_well_typed(env: &Env, term: &Term) -> bool {
     infer(env, term).is_ok()
 }
 
-fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
+/// Weak-head normalizes through the chosen engine: NbE read-back or the
+/// step-based `whnf`.
+fn head_normal(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result<Term> {
+    let result = match engine {
+        Engine::Nbe => crate::nbe::whnf_nbe(env, term, fuel),
+        Engine::Step => whnf(env, term, fuel),
+    };
+    result.map_err(TypeError::from)
+}
+
+fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result<Term> {
     match term {
         // [Var]
         Term::Var(x) => match env.lookup_type(*x) {
@@ -216,23 +238,23 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         Term::BoolTy => Ok(Term::Sort(Universe::Star)),
         Term::BoolLit(_) => Ok(Term::BoolTy),
         Term::If { scrutinee, then_branch, else_branch } => {
-            check_with(env, scrutinee, &Term::BoolTy, fuel)?;
-            let then_ty = infer_with(env, then_branch, fuel)?;
-            check_with(env, else_branch, &then_ty, fuel)?;
+            check_with(env, scrutinee, &Term::BoolTy, fuel, engine)?;
+            let then_ty = infer_with(env, then_branch, fuel, engine)?;
+            check_with(env, else_branch, &then_ty, fuel, engine)?;
             Ok(then_ty)
         }
         // [Prod-*] / [Prod-□]: Π is the type of closures.
         Term::Pi { binder, domain, codomain } => {
-            infer_universe_with(env, domain, fuel)?;
+            infer_universe_with(env, domain, fuel, engine)?;
             let inner = env.with_assumption(*binder, (**domain).clone());
-            let codomain_universe = infer_universe_with(&inner, codomain, fuel)?;
+            let codomain_universe = infer_universe_with(&inner, codomain, fuel, engine)?;
             Ok(Term::Sort(codomain_universe))
         }
         // [Sig-*], [Sig-□], and the predicative large rule.
         Term::Sigma { binder, first, second } => {
-            let first_universe = infer_universe_with(env, first, fuel)?;
+            let first_universe = infer_universe_with(env, first, fuel, engine)?;
             let inner = env.with_assumption(*binder, (**first).clone());
-            let second_universe = infer_universe_with(&inner, second, fuel)?;
+            let second_universe = infer_universe_with(&inner, second, fuel, engine)?;
             match (first_universe, second_universe) {
                 (Universe::Star, Universe::Star) => Ok(Term::Sort(Universe::Star)),
                 (_, Universe::Box) => Ok(Term::Sort(Universe::Box)),
@@ -243,13 +265,13 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
             require_closed(term)?;
             let empty = Env::new();
-            infer_universe_with(&empty, env_ty, fuel)?;
+            infer_universe_with(&empty, env_ty, fuel, engine)?;
             let with_env = empty.with_assumption(*env_binder, (**env_ty).clone());
-            infer_universe_with(&with_env, arg_ty, fuel)?;
+            infer_universe_with(&with_env, arg_ty, fuel, engine)?;
             let with_arg = with_env.with_assumption(*arg_binder, (**arg_ty).clone());
-            let body_ty = infer_with(&with_arg, body, fuel)?;
+            let body_ty = infer_with(&with_arg, body, fuel, engine)?;
             // The resulting code type must itself be well-formed.
-            infer_universe_with(&with_arg, &body_ty, fuel)?;
+            infer_universe_with(&with_arg, &body_ty, fuel, engine)?;
             Ok(Term::CodeTy {
                 env_binder: *env_binder,
                 env_ty: env_ty.clone(),
@@ -262,20 +284,20 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
             require_closed(term)?;
             let empty = Env::new();
-            infer_universe_with(&empty, env_ty, fuel)?;
+            infer_universe_with(&empty, env_ty, fuel, engine)?;
             let with_env = empty.with_assumption(*env_binder, (**env_ty).clone());
-            infer_universe_with(&with_env, arg_ty, fuel)?;
+            infer_universe_with(&with_env, arg_ty, fuel, engine)?;
             let with_arg = with_env.with_assumption(*arg_binder, (**arg_ty).clone());
-            let result_universe = infer_universe_with(&with_arg, result, fuel)?;
+            let result_universe = infer_universe_with(&with_arg, result, fuel, engine)?;
             Ok(Term::Sort(result_universe))
         }
         // [Clo]: substitute the environment into the code type.
         Term::Closure { code, env: closure_env } => {
-            let code_ty = infer_with(env, code, fuel)?;
-            let code_ty_whnf = whnf(env, &code_ty, fuel)?;
+            let code_ty = infer_with(env, code, fuel, engine)?;
+            let code_ty_whnf = head_normal(env, &code_ty, fuel, engine)?;
             match code_ty_whnf {
                 Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
-                    check_with(env, closure_env, &env_ty, fuel)?;
+                    check_with(env, closure_env, &env_ty, fuel, engine)?;
                     // Π x : A[e'/n]. B[e'/n]. In the argument type the
                     // environment binder is never shadowed, but in the
                     // result the argument binder may shadow it (x = n), in
@@ -302,11 +324,11 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         }
         // [App]: eliminates closures (Π), never code.
         Term::App { func, arg } => {
-            let func_ty = infer_with(env, func, fuel)?;
-            let func_ty_whnf = whnf(env, &func_ty, fuel)?;
+            let func_ty = infer_with(env, func, fuel, engine)?;
+            let func_ty_whnf = head_normal(env, &func_ty, fuel, engine)?;
             match func_ty_whnf {
                 Term::Pi { binder, domain, codomain } => {
-                    check_with(env, arg, &domain, fuel)?;
+                    check_with(env, arg, &domain, fuel, engine)?;
                     Ok(subst(&codomain, binder, arg))
                 }
                 other => Err(TypeError::NotAClosure {
@@ -317,21 +339,21 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         }
         // [Let]
         Term::Let { binder, annotation, bound, body } => {
-            infer_universe_with(env, annotation, fuel)?;
-            check_with(env, bound, annotation, fuel)?;
+            infer_universe_with(env, annotation, fuel, engine)?;
+            check_with(env, bound, annotation, fuel, engine)?;
             let inner = env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
-            let body_ty = infer_with(&inner, body, fuel)?;
+            let body_ty = infer_with(&inner, body, fuel, engine)?;
             Ok(subst(&body_ty, *binder, bound))
         }
         // [Pair]
         Term::Pair { first, second, annotation } => {
-            infer_universe_with(env, annotation, fuel)?;
-            let annotation_whnf = whnf(env, annotation, fuel)?;
+            infer_universe_with(env, annotation, fuel, engine)?;
+            let annotation_whnf = head_normal(env, annotation, fuel, engine)?;
             match annotation_whnf {
                 Term::Sigma { binder, first: first_ty, second: second_ty } => {
-                    check_with(env, first, &first_ty, fuel)?;
+                    check_with(env, first, &first_ty, fuel, engine)?;
                     let expected_second = subst(&second_ty, binder, first);
-                    check_with(env, second, &expected_second, fuel)?;
+                    check_with(env, second, &expected_second, fuel, engine)?;
                     Ok((**annotation).clone())
                 }
                 _ => Err(TypeError::PairAnnotationNotSigma {
@@ -341,8 +363,8 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         }
         // [Fst]
         Term::Fst(e) => {
-            let e_ty = infer_with(env, e, fuel)?;
-            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            let e_ty = infer_with(env, e, fuel, engine)?;
+            let e_ty_whnf = head_normal(env, &e_ty, fuel, engine)?;
             match e_ty_whnf {
                 Term::Sigma { first, .. } => Ok((*first).clone()),
                 other => {
@@ -352,8 +374,8 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term> {
         }
         // [Snd]
         Term::Snd(e) => {
-            let e_ty = infer_with(env, e, fuel)?;
-            let e_ty_whnf = whnf(env, &e_ty, fuel)?;
+            let e_ty = infer_with(env, e, fuel, engine)?;
+            let e_ty_whnf = head_normal(env, &e_ty, fuel, engine)?;
             match e_ty_whnf {
                 Term::Sigma { binder, second, .. } => {
                     Ok(subst(&second, binder, &Term::Fst(e.clone())))
@@ -379,9 +401,15 @@ fn require_closed(term: &Term) -> Result<()> {
     }
 }
 
-fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fuel) -> Result<()> {
-    let inferred = infer_with(env, term, fuel)?;
-    if equiv(env, &inferred, expected, fuel)? {
+fn check_with(
+    env: &Env,
+    term: &Term,
+    expected: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<()> {
+    let inferred = infer_with(env, term, fuel, engine)?;
+    if equiv_with_engine(env, &inferred, expected, fuel, engine)? {
         Ok(())
     } else {
         Err(TypeError::Mismatch {
@@ -392,13 +420,18 @@ fn check_with(env: &Env, term: &Term, expected: &Term, fuel: &mut Fuel) -> Resul
     }
 }
 
-fn infer_universe_with(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Universe> {
+fn infer_universe_with(
+    env: &Env,
+    term: &Term,
+    fuel: &mut Fuel,
+    engine: Engine,
+) -> Result<Universe> {
     // `□` itself is a valid classifier even though it is not a term.
     if matches!(term, Term::Sort(Universe::Box)) {
         return Ok(Universe::Box);
     }
-    let ty = infer_with(env, term, fuel)?;
-    let ty_whnf = whnf(env, &ty, fuel)?;
+    let ty = infer_with(env, term, fuel, engine)?;
+    let ty_whnf = head_normal(env, &ty, fuel, engine)?;
     match ty_whnf {
         Term::Sort(u) => Ok(u),
         other => {

@@ -1,0 +1,208 @@
+//! Differential tests of the CC-CC NbE engine against the step-based
+//! specification, on generator-produced well-typed target programs.
+//!
+//! Mirrors `cccc-source`'s `nbe_properties` suite: `normalize_nbe` must
+//! agree with the step-based `normalize` up to α-equivalence, `conv` (via
+//! `equiv`) must agree with `equiv_spec`, and the type checker must reach
+//! the same verdicts through both engines — plus regression cases for
+//! shadowed code binders and closure-η through the NbE path.
+
+use cccc_target::builder::*;
+use cccc_target::equiv::{definitionally_equal, definitionally_equal_spec, Engine};
+use cccc_target::{nbe, reduce, subst, typecheck, Env, Term};
+use cccc_util::Symbol;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable generator of well-typed CC-CC programs of
+/// ground type `Bool` (the same shapes closure conversion emits: empty and
+/// one-entry environments, ζ-redexes, projections, conditionals).
+struct TargetGenerator {
+    rng: StdRng,
+    counter: u64,
+}
+
+impl TargetGenerator {
+    fn new(seed: u64) -> TargetGenerator {
+        TargetGenerator { rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    fn fresh(&mut self, base: &str) -> Symbol {
+        self.counter += 1;
+        Symbol::fresh(&format!("{base}{}", self.counter))
+    }
+
+    fn gen_bool(&mut self, depth: usize) -> Term {
+        if depth == 0 {
+            return bool_lit(self.rng.gen_bool(0.5));
+        }
+        match self.rng.gen_range(0..6u32) {
+            0 => bool_lit(self.rng.gen_bool(0.5)),
+            1 => ite(self.gen_bool(depth - 1), self.gen_bool(depth - 1), self.gen_bool(depth - 1)),
+            2 => {
+                let annotation = product(bool_ty(), bool_ty());
+                let p = pair(self.gen_bool(depth - 1), self.gen_bool(depth - 1), annotation);
+                if self.rng.gen_bool(0.5) {
+                    fst(p)
+                } else {
+                    snd(p)
+                }
+            }
+            3 => {
+                // Closure with an empty environment.
+                let x = self.fresh("x");
+                let body = ite(var_sym(x), bool_lit(self.rng.gen_bool(0.5)), var_sym(x));
+                let clo =
+                    closure(code_sym(self.fresh("n"), unit_ty(), x, bool_ty(), body), unit_val());
+                app(clo, self.gen_bool(depth - 1))
+            }
+            4 => {
+                // Closure capturing one boolean through its environment.
+                let n = self.fresh("n");
+                let x = self.fresh("x");
+                let env_ty = product(bool_ty(), unit_ty());
+                let body = ite(fst(var_sym(n)), var_sym(x), bool_lit(self.rng.gen_bool(0.5)));
+                let clo = closure(
+                    code_sym(n, env_ty.clone(), x, bool_ty(), body),
+                    pair(self.gen_bool(depth - 1), unit_val(), env_ty),
+                );
+                app(clo, self.gen_bool(depth - 1))
+            }
+            _ => {
+                // A ζ-redex.
+                let u = self.fresh("u");
+                let_sym(
+                    u,
+                    bool_ty(),
+                    self.gen_bool(depth - 1),
+                    ite(var_sym(u), self.gen_bool(depth - 1), var_sym(u)),
+                )
+            }
+        }
+    }
+}
+
+const SEEDS: u64 = 60;
+
+#[test]
+fn generated_programs_are_well_typed() {
+    for seed in 0..SEEDS {
+        let term = TargetGenerator::new(seed).gen_bool(3);
+        let ty = typecheck::infer(&Env::new(), &term)
+            .unwrap_or_else(|e| panic!("seed {seed} (`{term}`) is ill-typed: {e}"));
+        assert!(matches!(ty, Term::BoolTy));
+    }
+}
+
+#[test]
+fn nbe_normalization_agrees_with_step_normalization() {
+    for seed in 0..SEEDS {
+        let term = TargetGenerator::new(seed).gen_bool(3);
+        let step = reduce::normalize_default(&Env::new(), &term);
+        let nbe = nbe::normalize_nbe_default(&Env::new(), &term);
+        assert!(
+            subst::alpha_eq(&step, &nbe),
+            "engines disagree on seed {seed}:\n  term: {term}\n  step: {step}\n  nbe:  {nbe}"
+        );
+    }
+}
+
+#[test]
+fn conv_agrees_with_step_equiv() {
+    for seed in 0..SEEDS {
+        let left = TargetGenerator::new(100 + seed).gen_bool(3);
+        let right = TargetGenerator::new(200 + seed).gen_bool(3);
+        // Redex vs. reduct (always equivalent).
+        let reduct = reduce::normalize_default(&Env::new(), &left);
+        assert!(definitionally_equal(&Env::new(), &left, &reduct), "seed {seed}");
+        assert!(definitionally_equal_spec(&Env::new(), &left, &reduct), "seed {seed}");
+        // Independent programs (both engines must agree on the verdict).
+        let nbe_verdict = definitionally_equal(&Env::new(), &left, &right);
+        let spec_verdict = definitionally_equal_spec(&Env::new(), &left, &right);
+        assert_eq!(
+            nbe_verdict, spec_verdict,
+            "engines disagree on seed {seed}:\n  left:  {left}\n  right: {right}"
+        );
+    }
+}
+
+#[test]
+fn typechecker_verdicts_agree_across_engines() {
+    for seed in 0..SEEDS {
+        let term = TargetGenerator::new(300 + seed).gen_bool(3);
+        let nbe_ty = typecheck::infer_with_engine(&Env::new(), &term, Engine::Nbe)
+            .unwrap_or_else(|e| panic!("NbE checker rejected seed {seed} (`{term}`): {e}"));
+        let step_ty = typecheck::infer_with_engine(&Env::new(), &term, Engine::Step)
+            .unwrap_or_else(|e| panic!("step checker rejected seed {seed} (`{term}`): {e}"));
+        assert!(
+            definitionally_equal(&Env::new(), &nbe_ty, &step_ty),
+            "inferred types disagree on seed {seed}: `{nbe_ty}` vs `{step_ty}`"
+        );
+    }
+}
+
+#[test]
+fn both_engines_reject_bare_code_application() {
+    let bare = app(code("n", unit_ty(), "x", bool_ty(), var("x")), tt());
+    assert!(typecheck::infer_with_engine(&Env::new(), &bare, Engine::Nbe).is_err());
+    assert!(typecheck::infer_with_engine(&Env::new(), &bare, Engine::Step).is_err());
+}
+
+#[test]
+fn shadowed_code_binders_through_the_nbe_path() {
+    // λ (n : Bool, n : Bool). n — the body's n is the *argument*; both
+    // engines must agree, and the closure must stay α-equivalent to its
+    // distinctly named variant.
+    let shadowing = closure(code("n", bool_ty(), "n", bool_ty(), var("n")), ff());
+    let distinct = closure(code("m", bool_ty(), "y", bool_ty(), var("y")), ff());
+    assert!(definitionally_equal(&Env::new(), &shadowing, &distinct));
+    let applied = app(shadowing, tt());
+    let nbe = nbe::normalize_nbe_default(&Env::new(), &applied);
+    assert!(subst::alpha_eq(&nbe, &tt()));
+    assert!(subst::alpha_eq(&nbe, &reduce::normalize_default(&Env::new(), &applied)));
+    // A code value returning its environment is different from one
+    // returning its argument.
+    let env_returner = closure(code("m", bool_ty(), "y", bool_ty(), var("m")), ff());
+    let arg_returner = closure(code("m", bool_ty(), "y", bool_ty(), var("y")), ff());
+    assert!(!definitionally_equal(&Env::new(), &env_returner, &arg_returner));
+}
+
+#[test]
+fn closure_eta_through_the_nbe_path() {
+    // Environment-captured vs. inlined constants.
+    let env_ty = product(bool_ty(), unit_ty());
+    let captured = closure(
+        code("n", env_ty.clone(), "x", unit_ty(), fst(var("n"))),
+        pair(tt(), unit_val(), env_ty.clone()),
+    );
+    let inlined = closure(code("n", unit_ty(), "x", unit_ty(), tt()), unit_val());
+    assert!(definitionally_equal(&Env::new(), &captured, &inlined));
+    assert!(definitionally_equal_spec(&Env::new(), &captured, &inlined));
+
+    // Projection out of a wider environment vs. a narrow one.
+    let wide_ty = product(bool_ty(), product(bool_ty(), unit_ty()));
+    let wide = closure(
+        code("n", wide_ty.clone(), "x", unit_ty(), fst(snd(var("n")))),
+        pair(ff(), pair(tt(), unit_val(), product(bool_ty(), unit_ty())), wide_ty),
+    );
+    let narrow = closure(
+        code("n", env_ty.clone(), "x", unit_ty(), fst(var("n"))),
+        pair(tt(), unit_val(), env_ty),
+    );
+    assert!(definitionally_equal(&Env::new(), &wide, &narrow));
+    assert!(definitionally_equal_spec(&Env::new(), &wide, &narrow));
+
+    // η against a neutral head, in both directions.
+    let env = Env::new().with_assumption(Symbol::intern("f"), pi("x", bool_ty(), bool_ty()));
+    let wrapper =
+        closure(code("n", unit_ty(), "x", bool_ty(), app(var("f"), var("x"))), unit_val());
+    assert!(definitionally_equal(&env, &wrapper, &var("f")));
+    assert!(definitionally_equal(&env, &var("f"), &wrapper));
+    assert!(!definitionally_equal(&env, &wrapper, &var("g")));
+
+    // A closure is never equivalent to bare code.
+    let bare = code("n", unit_ty(), "x", bool_ty(), var("x"));
+    let identity = closure(bare.clone(), unit_val());
+    assert!(!definitionally_equal(&Env::new(), &identity, &bare));
+    assert!(!definitionally_equal(&Env::new(), &bare, &identity));
+}
