@@ -10,7 +10,7 @@
 //! ordered, by well-formedness).
 
 use cccc_source::env::Env;
-use cccc_source::subst::free_vars;
+use cccc_source::subst::free_var_set;
 use cccc_source::Term;
 use cccc_util::symbol::Symbol;
 use std::collections::HashSet;
@@ -46,11 +46,13 @@ impl std::error::Error for FvError {}
 /// or, transitively, of the types of other free variables) is not bound in
 /// `env`.
 pub fn dependent_free_vars(env: &Env, terms: &[&Term]) -> Result<Vec<(Symbol, Term)>, FvError> {
-    // Step 1: the syntactic free variables of the terms themselves.
+    // Step 1: the syntactic free variables of the terms themselves —
+    // assembled from the hash-consing kernel's cached per-node metadata,
+    // not recomputed by traversal.
     let mut needed: HashSet<Symbol> = HashSet::new();
     let mut worklist: Vec<Symbol> = Vec::new();
     for term in terms {
-        for x in free_vars(term) {
+        for x in free_var_set(term) {
             if needed.insert(x) {
                 worklist.push(x);
             }
@@ -59,14 +61,14 @@ pub fn dependent_free_vars(env: &Env, terms: &[&Term]) -> Result<Vec<(Symbol, Te
 
     // Step 2: transitively close over the types (and definitions) recorded
     // in Γ: the type of a needed variable may itself mention further free
-    // variables.
+    // variables. Environment entries are interned handles, so their
+    // free-variable sets are O(1) metadata reads.
     while let Some(x) = worklist.pop() {
         let decl = env.lookup(x).ok_or(FvError::UnboundVariable(x))?;
-        let mut dependencies: Vec<Symbol> = free_vars(decl.ty());
-        if let Some(definition) = decl.definition() {
-            dependencies.extend(free_vars(definition));
-        }
-        for y in dependencies {
+        let definition_fv = decl.definition().map(|d| d.free_vars());
+        for y in
+            decl.ty().free_vars().iter().chain(definition_fv.into_iter().flat_map(|f| f.iter()))
+        {
             if needed.insert(y) {
                 worklist.push(y);
             }

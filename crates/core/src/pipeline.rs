@@ -4,6 +4,14 @@
 //! This is the API the examples and benchmarks drive. It packages the
 //! lower-level pieces ([`mod@crate::translate`], [`crate::verify`],
 //! [`crate::link`]) behind a [`Compiler`] value with explicit options.
+//!
+//! Every stage runs on the hash-consed term kernel: the type checkers'
+//! conversion memo tables and the CC-CC `[Code]` typing memo are shared
+//! across compilations on a thread, so re-verifying a component that
+//! contains already-seen code (the separate-compilation workflow, or a
+//! batch compile) is answered from cache. [`Compiler::reset_caches`]
+//! drops that state when isolation is wanted (e.g. between benchmark
+//! phases).
 
 use crate::link::{LinkError, SourceSubstitution};
 use crate::translate::{translate, translate_env, TranslateError};
@@ -167,6 +175,16 @@ impl Compiler {
     /// The options in effect.
     pub fn options(&self) -> CompilerOptions {
         self.options
+    }
+
+    /// Clears the thread's memoization state: both languages' conversion
+    /// memo tables (and their counters) and the CC-CC `[Code]` typing
+    /// memo. Compilation results are unaffected — only the caches that
+    /// make repeated checking of identical subterms O(1) are dropped.
+    pub fn reset_caches() {
+        src::equiv::reset_conv_cache();
+        tgt::equiv::reset_conv_cache();
+        tgt::typecheck::reset_code_memo();
     }
 
     /// Compiles an open component `Γ ⊢ e : A` to CC-CC.

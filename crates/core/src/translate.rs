@@ -16,6 +16,13 @@
 //!
 //! Type preservation (Theorem 5.6) is validated mechanically by
 //! [`crate::verify`] and the integration test suite.
+//!
+//! Every constructed target term goes through the CC-CC smart constructors
+//! and is therefore interned on creation: the duplicated environment types
+//! and projection chains the translation mass-produces land on shared
+//! nodes, the `FV` metafunction (step 2) reads cached free-variable
+//! metadata instead of traversing, and the re-check of the output hits the
+//! `[Code]` and conversion memos for every repeated code block.
 
 use crate::fv::{dependent_free_vars, FvError};
 use cccc_source as src;

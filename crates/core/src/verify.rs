@@ -15,6 +15,11 @@
 //! | Theorem 5.6 (Type preservation) | [`check_type_preservation`] |
 //! | Theorem 5.7 (Separate compilation) | [`check_separate_compilation`] |
 //! | Corollary 5.8 (Whole programs) | [`check_whole_program`] |
+//!
+//! The checkers run on the memoized, hash-consed checking stack: the CC-CC
+//! type checker's `[Code]` memo and both equivalence checkers' conversion
+//! memos persist across checks on a thread, so verifying a corpus re-checks
+//! each distinct code block and decides each distinct conversion pair once.
 
 use crate::link::{
     check_source_substitution, ground_values_related, link_source, link_target,

@@ -10,9 +10,10 @@
 //! literals and a non-dependent `if`, which is what the correctness-of-
 //! separate-compilation theorem observes.
 
+use cccc_util::intern::{FreeVars, InternStats, Internable, Interner, Node, NodeMeta};
 use cccc_util::symbol::Symbol;
+use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 
 /// The two universes of CC.
 ///
@@ -38,15 +39,27 @@ impl fmt::Display for Universe {
     }
 }
 
-/// A reference-counted CC term. Terms are immutable; substitution and
-/// reduction build new terms, sharing unchanged subterms.
-pub type RcTerm = Rc<Term>;
+/// A hash-consed, reference-counted CC term handle. Terms are immutable;
+/// substitution and reduction build new terms, sharing unchanged subterms.
+///
+/// Handles are produced by [`Term::rc`], which routes through a
+/// thread-local [`Interner`]: structurally identical subterms share one
+/// allocation and one [`NodeId`](cccc_util::intern::NodeId), so `==` on
+/// handles is an O(1) identity test that coincides with structural
+/// equality, and every node carries cached metadata — free-variable set,
+/// closedness, depth, size (see [`cccc_util::intern`]).
+pub type RcTerm = Node<Term>;
 
 /// CC expressions (Figure 1).
 ///
 /// The meta-variables `e`, `A`, `B` of the paper all range over this single
 /// syntactic category.
-#[derive(Clone, Debug)]
+///
+/// The derived `PartialEq`/`Eq`/`Hash` are *shallow-structural*: children
+/// compare by node identity, which — thanks to hash-consing — is full
+/// structural equality (not α-equivalence; use
+/// [`crate::subst::alpha_eq`] for that).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A variable `x`.
     Var(Symbol),
@@ -125,10 +138,70 @@ pub enum Term {
     },
 }
 
+thread_local! {
+    /// The per-thread CC term interner. All smart constructors route
+    /// through it, so structurally identical terms built on the same
+    /// thread always share one node.
+    static INTERNER: RefCell<Interner<Term>> = RefCell::new(Interner::new());
+}
+
+/// A snapshot of the CC interner's hit/miss counters (for benchmarks and
+/// smoke assertions).
+pub fn intern_stats() -> InternStats {
+    INTERNER.with(|i| i.borrow().stats())
+}
+
+impl Internable for Term {
+    fn compute_meta(&self) -> NodeMeta {
+        // All unions go through [`FreeVars::union`]/[`FreeVars::minus`],
+        // which share an existing child allocation whenever one side
+        // covers the other — most nodes allocate nothing here.
+        match self {
+            Term::Var(x) => NodeMeta::leaf(FreeVars::singleton(*x)),
+            Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => NodeMeta::leaf(FreeVars::closed()),
+            Term::Pi { binder, domain, codomain: body }
+            | Term::Lam { binder, domain, body }
+            | Term::Sigma { binder, first: domain, second: body } => {
+                let fv = FreeVars::union(domain.free_vars(), &body.free_vars().minus(&[*binder]));
+                NodeMeta::node(fv, [domain.meta(), body.meta()])
+            }
+            Term::App { func, arg } => {
+                let fv = FreeVars::union(func.free_vars(), arg.free_vars());
+                NodeMeta::node(fv, [func.meta(), arg.meta()])
+            }
+            Term::Let { binder, annotation, bound, body } => {
+                let fv = FreeVars::union(
+                    &FreeVars::union(annotation.free_vars(), bound.free_vars()),
+                    &body.free_vars().minus(&[*binder]),
+                );
+                NodeMeta::node(fv, [annotation.meta(), bound.meta(), body.meta()])
+            }
+            Term::Pair { first, second, annotation } => {
+                let fv = FreeVars::union(
+                    &FreeVars::union(first.free_vars(), second.free_vars()),
+                    annotation.free_vars(),
+                );
+                NodeMeta::node(fv, [first.meta(), second.meta(), annotation.meta()])
+            }
+            // Single-child nodes share the child's set outright.
+            Term::Fst(e) | Term::Snd(e) => NodeMeta::node(e.free_vars().clone(), [e.meta()]),
+            Term::If { scrutinee, then_branch, else_branch } => {
+                let fv = FreeVars::union(
+                    &FreeVars::union(scrutinee.free_vars(), then_branch.free_vars()),
+                    else_branch.free_vars(),
+                );
+                NodeMeta::node(fv, [scrutinee.meta(), then_branch.meta(), else_branch.meta()])
+            }
+        }
+    }
+}
+
 impl Term {
-    /// Wraps the term in an [`Rc`].
+    /// Interns the term, returning its hash-consed handle. O(1) in the
+    /// size of the term: children are already interned, so only the head
+    /// is hashed and, on a miss, only the head's metadata is derived.
     pub fn rc(self) -> RcTerm {
-        Rc::new(self)
+        INTERNER.with(|i| i.borrow_mut().intern(self))
     }
 
     /// Returns `true` for the universe `⋆`.
@@ -173,47 +246,43 @@ impl Term {
         )
     }
 
-    /// The number of AST nodes in the term. Used by the benchmarks to report
-    /// code-size blow-up of the translation.
-    pub fn size(&self) -> usize {
+    /// Calls `f` on each *direct* child handle, left to right.
+    pub fn for_each_child(&self, mut f: impl FnMut(&RcTerm)) {
         match self {
-            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => 1,
-            Term::Pi { domain, codomain, .. } => 1 + domain.size() + codomain.size(),
-            Term::Lam { domain, body, .. } => 1 + domain.size() + body.size(),
-            Term::App { func, arg } => 1 + func.size() + arg.size(),
-            Term::Let { annotation, bound, body, .. } => {
-                1 + annotation.size() + bound.size() + body.size()
+            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+            Term::Pi { domain: a, codomain: b, .. }
+            | Term::Lam { domain: a, body: b, .. }
+            | Term::Sigma { first: a, second: b, .. }
+            | Term::App { func: a, arg: b } => {
+                f(a);
+                f(b);
             }
-            Term::Sigma { first, second, .. } => 1 + first.size() + second.size(),
-            Term::Pair { first, second, annotation } => {
-                1 + first.size() + second.size() + annotation.size()
+            Term::Let { annotation: a, bound: b, body: c, .. }
+            | Term::Pair { first: a, second: b, annotation: c }
+            | Term::If { scrutinee: a, then_branch: b, else_branch: c } => {
+                f(a);
+                f(b);
+                f(c);
             }
-            Term::Fst(e) | Term::Snd(e) => 1 + e.size(),
-            Term::If { scrutinee, then_branch, else_branch } => {
-                1 + scrutinee.size() + then_branch.size() + else_branch.size()
-            }
+            Term::Fst(e) | Term::Snd(e) => f(e),
         }
     }
 
-    /// The maximum depth of the AST.
+    /// The number of AST nodes in the term, counted *as a tree* (shared
+    /// subterms count once per occurrence). Used by the benchmarks to
+    /// report code-size blow-up of the translation. O(1): summed from the
+    /// children's cached metadata rather than traversed.
+    pub fn size(&self) -> usize {
+        let mut total: u64 = 1;
+        self.for_each_child(|c| total = total.saturating_add(c.meta().size));
+        total.try_into().unwrap_or(usize::MAX)
+    }
+
+    /// The maximum depth of the AST. O(1) via cached metadata.
     pub fn depth(&self) -> usize {
-        match self {
-            Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => 1,
-            Term::Pi { domain, codomain, .. } => 1 + domain.depth().max(codomain.depth()),
-            Term::Lam { domain, body, .. } => 1 + domain.depth().max(body.depth()),
-            Term::App { func, arg } => 1 + func.depth().max(arg.depth()),
-            Term::Let { annotation, bound, body, .. } => {
-                1 + annotation.depth().max(bound.depth()).max(body.depth())
-            }
-            Term::Sigma { first, second, .. } => 1 + first.depth().max(second.depth()),
-            Term::Pair { first, second, annotation } => {
-                1 + first.depth().max(second.depth()).max(annotation.depth())
-            }
-            Term::Fst(e) | Term::Snd(e) => 1 + e.depth(),
-            Term::If { scrutinee, then_branch, else_branch } => {
-                1 + scrutinee.depth().max(then_branch.depth()).max(else_branch.depth())
-            }
-        }
+        let mut deepest: u32 = 0;
+        self.for_each_child(|c| deepest = deepest.max(c.meta().depth));
+        (deepest + 1) as usize
     }
 
     /// Counts the number of λ-abstractions in the term; every one of them
@@ -325,7 +394,7 @@ mod tests {
     #[test]
     fn as_sort_and_as_var() {
         assert_eq!(star().as_sort(), Some(Universe::Star));
-        assert_eq!(var("q").as_var().map(|s| s.base_name()), Some("q".to_owned()));
+        assert_eq!(var("q").as_var().map(|s| s.base_name()), Some("q"));
         assert_eq!(var("q").as_sort(), None);
         assert!(star().is_star());
         assert!(boxu().is_box());

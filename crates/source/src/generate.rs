@@ -95,7 +95,7 @@ impl TermGenerator {
         match ty {
             Term::BoolTy => self.gen_bool(env, depth),
             Term::Pi { binder, domain, codomain } => {
-                let fresh = self.fresh(&binder.base_name());
+                let fresh = self.fresh(binder.base_name());
                 let codomain = subst(codomain, *binder, &var_sym(fresh));
                 let inner = env.with_assumption(fresh, (**domain).clone());
                 let body = self.gen_term(&inner, &codomain, depth.saturating_sub(1));

@@ -199,20 +199,21 @@ pub struct Thunk(Rc<ThunkData>);
 struct ThunkData {
     cell: OnceCell<RcValue>,
     env: ValEnv,
-    term: RcTerm,
+    /// `None` for already-forced thunks (the cell is pre-filled).
+    term: Option<RcTerm>,
 }
 
 impl Thunk {
     /// A thunk whose evaluation is suspended.
     pub fn suspended(env: ValEnv, term: RcTerm) -> Thunk {
-        Thunk(Rc::new(ThunkData { cell: OnceCell::new(), env, term }))
+        Thunk(Rc::new(ThunkData { cell: OnceCell::new(), env, term: Some(term) }))
     }
 
     /// A thunk holding an already-computed value.
     pub fn forced(value: RcValue) -> Thunk {
         let cell = OnceCell::new();
         let _ = cell.set(value);
-        Thunk(Rc::new(ThunkData { cell, env: ValEnv::new(), term: Term::BoolTy.rc() }))
+        Thunk(Rc::new(ThunkData { cell, env: ValEnv::new(), term: None }))
     }
 
     /// Forces the thunk, evaluating its term on first use.
@@ -224,7 +225,8 @@ impl Thunk {
         if let Some(value) = self.0.cell.get() {
             return Ok(value.clone());
         }
-        let value = eval_at(&self.0.env, &self.0.term, fuel, 0)?;
+        let term = self.0.term.as_ref().expect("suspended thunk carries its term");
+        let value = eval_at(&self.0.env, term, fuel, 0)?;
         let _ = self.0.cell.set(value.clone());
         Ok(value)
     }
@@ -407,15 +409,80 @@ fn extend(value: RcValue, elim: Elim) -> RcValue {
 
 /// Reads a value back into a β/δ/ζ/π-normal [`Term`].
 ///
-/// Binders are re-introduced with freshened copies of their original
-/// names, so the result is α-equivalent (never syntactically equal) to the
-/// step-based normal form.
+/// Binders are re-introduced with *canonical* generated names, one per de
+/// Bruijn level, shared by every read-back on the thread: quoting the same
+/// value twice yields the *same* interned term, so repeated normalization
+/// hits the hash-consing kernel and repeated conversion checks hit the
+/// memo table. The canonical names are globally fresh symbols, so they can
+/// never collide with a symbol appearing in any source program; the one
+/// way a collision can still arise — a caller re-normalizing a term that
+/// contains a previous read-back's canonical name *free* — is detected
+/// during the quote, which then soundly restarts with per-quote freshened
+/// names. The result is α-equivalent to the step-based normal form.
 ///
 /// # Errors
 ///
 /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
 pub fn quote(value: &Value, fuel: &mut Fuel) -> Result<Term, ReduceError> {
-    quote_with(&mut Vec::new(), value, fuel)
+    match quote_with(&mut Vec::new(), value, fuel, QuoteNames::Canonical) {
+        Err(QuoteError::CanonicalCaptured) => {
+            quote_with(&mut Vec::new(), value, fuel, QuoteNames::Freshen)
+                .map_err(QuoteError::into_reduce)
+        }
+        other => other.map_err(QuoteError::into_reduce),
+    }
+}
+
+/// How read-back chooses binder names.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum QuoteNames {
+    /// The thread's canonical per-level names (stable, shareable output).
+    Canonical,
+    /// A fresh symbol per binder (the always-safe fallback).
+    Freshen,
+}
+
+/// Internal quote failure: either genuine fuel exhaustion, or a free
+/// occurrence of a canonical name that a canonical-mode binder would
+/// capture (triggering the freshening retry).
+enum QuoteError {
+    Reduce(ReduceError),
+    CanonicalCaptured,
+}
+
+impl QuoteError {
+    fn into_reduce(self) -> ReduceError {
+        match self {
+            QuoteError::Reduce(e) => e,
+            // The freshening retry can never conflict.
+            QuoteError::CanonicalCaptured => unreachable!("freshened quote cannot conflict"),
+        }
+    }
+}
+
+impl From<ReduceError> for QuoteError {
+    fn from(e: ReduceError) -> QuoteError {
+        QuoteError::Reduce(e)
+    }
+}
+
+thread_local! {
+    /// The canonical read-back binder names, one per de Bruijn level,
+    /// lazily extended. Globally fresh, so they never collide with
+    /// program symbols.
+    static QUOTE_LEVEL_NAMES: std::cell::RefCell<Vec<Symbol>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The canonical binder name for de Bruijn level `level`.
+fn canonical_name(level: usize) -> Symbol {
+    QUOTE_LEVEL_NAMES.with(|names| {
+        let mut names = names.borrow_mut();
+        while names.len() <= level {
+            names.push(Symbol::fresh("q"));
+        }
+        names[level]
+    })
 }
 
 /// [`quote`] with an explicit stack of binder names for the levels already
@@ -424,44 +491,55 @@ fn quote_with(
     names: &mut Vec<Symbol>,
     value: &Value,
     fuel: &mut Fuel,
-) -> Result<Term, ReduceError> {
+    mode: QuoteNames,
+) -> Result<Term, QuoteError> {
     if !fuel.tick() {
-        return Err(ReduceError::OutOfFuel);
+        return Err(QuoteError::Reduce(ReduceError::OutOfFuel));
     }
     match value {
         Value::Sort(u) => Ok(Term::Sort(*u)),
         Value::BoolTy => Ok(Term::BoolTy),
         Value::Bool(b) => Ok(Term::BoolLit(*b)),
         Value::Lam { binder, domain, body } => {
-            let domain = quote_with(names, domain, fuel)?;
-            let (binder, body) = quote_closure(names, *binder, body, fuel)?;
+            let domain = quote_with(names, domain, fuel, mode)?;
+            let (binder, body) = quote_closure(names, *binder, body, fuel, mode)?;
             Ok(Term::Lam { binder, domain: domain.rc(), body: body.rc() })
         }
         Value::Pi { binder, domain, codomain } => {
-            let domain = quote_with(names, domain, fuel)?;
-            let (binder, codomain) = quote_closure(names, *binder, codomain, fuel)?;
+            let domain = quote_with(names, domain, fuel, mode)?;
+            let (binder, codomain) = quote_closure(names, *binder, codomain, fuel, mode)?;
             Ok(Term::Pi { binder, domain: domain.rc(), codomain: codomain.rc() })
         }
         Value::Sigma { binder, first, second } => {
-            let first = quote_with(names, first, fuel)?;
-            let (binder, second) = quote_closure(names, *binder, second, fuel)?;
+            let first = quote_with(names, first, fuel, mode)?;
+            let (binder, second) = quote_closure(names, *binder, second, fuel, mode)?;
             Ok(Term::Sigma { binder, first: first.rc(), second: second.rc() })
         }
         Value::Pair { first, second, annotation } => Ok(Term::Pair {
-            first: quote_with(names, first, fuel)?.rc(),
-            second: quote_with(names, second, fuel)?.rc(),
-            annotation: quote_with(names, annotation, fuel)?.rc(),
+            first: quote_with(names, first, fuel, mode)?.rc(),
+            second: quote_with(names, second, fuel, mode)?.rc(),
+            annotation: quote_with(names, annotation, fuel, mode)?.rc(),
         }),
         Value::Stuck { head, spine } => {
             let mut out = match head {
-                Head::Global(x) => Term::Var(*x),
+                Head::Global(x) => {
+                    // A free variable equal to a binder introduced by this
+                    // quote would be captured. Canonical names are globally
+                    // fresh, so this can only happen when the caller feeds a
+                    // previous read-back's binder back in free — restart
+                    // with per-quote freshening.
+                    if mode == QuoteNames::Canonical && names.contains(x) {
+                        return Err(QuoteError::CanonicalCaptured);
+                    }
+                    Term::Var(*x)
+                }
                 Head::Local(level) => Term::Var(names[*level]),
-                Head::Blocked(v) => quote_with(names, v, fuel)?,
+                Head::Blocked(v) => quote_with(names, v, fuel, mode)?,
             };
             for elim in spine {
                 out = match elim {
                     Elim::App(arg) => {
-                        Term::App { func: out.rc(), arg: quote_with(names, arg, fuel)?.rc() }
+                        Term::App { func: out.rc(), arg: quote_with(names, arg, fuel, mode)?.rc() }
                     }
                     Elim::Fst => Term::Fst(out.rc()),
                     Elim::Snd => Term::Snd(out.rc()),
@@ -470,8 +548,8 @@ fn quote_with(
                         let else_value = else_branch.force(fuel)?;
                         Term::If {
                             scrutinee: out.rc(),
-                            then_branch: quote_with(names, &then_value, fuel)?.rc(),
-                            else_branch: quote_with(names, &else_value, fuel)?.rc(),
+                            then_branch: quote_with(names, &then_value, fuel, mode)?.rc(),
+                            else_branch: quote_with(names, &else_value, fuel, mode)?.rc(),
                         }
                     }
                 };
@@ -482,19 +560,23 @@ fn quote_with(
 }
 
 /// Crosses one binder during read-back: instantiates the closure at the
-/// next level and quotes the result under a freshened name.
+/// next level and quotes the result under the mode's binder name.
 fn quote_closure(
     names: &mut Vec<Symbol>,
     binder: Symbol,
     closure: &Closure,
     fuel: &mut Fuel,
-) -> Result<(Symbol, Term), ReduceError> {
-    let fresh = binder.freshen();
+    mode: QuoteNames,
+) -> Result<(Symbol, Term), QuoteError> {
+    let name = match mode {
+        QuoteNames::Canonical => canonical_name(names.len()),
+        QuoteNames::Freshen => binder.freshen(),
+    };
     let body = closure.apply(Value::local(names.len()), fuel)?;
-    names.push(fresh);
-    let body = quote_with(names, &body, fuel);
+    names.push(name);
+    let body = quote_with(names, &body, fuel, mode);
     names.pop();
-    Ok((fresh, body?))
+    Ok((name, body?))
 }
 
 /// Decides `Γ ⊢ e1 ≡ e2` directly on values, at binder level `level`.
@@ -759,6 +841,21 @@ mod tests {
             normalize_nbe(&Env::new(), &omega, &mut fuel),
             Err(ReduceError::OutOfFuel)
         ));
+    }
+
+    #[test]
+    fn free_canonical_readback_names_are_not_captured() {
+        // Extract the canonical level-0 binder introduced by read-back …
+        let canonical = match nf(&lam("x", bool_ty(), var("x"))) {
+            Term::Lam { binder, .. } => binder,
+            other => panic!("expected lambda, got {other}"),
+        };
+        // … and feed it back in *free* under a fresh binder. Quoting must
+        // not capture it (the canonical-name conflict triggers the
+        // freshening fallback).
+        let tricky = lam("y", bool_ty(), app(var_sym(canonical), var("y")));
+        let result = nf(&tricky);
+        assert!(alpha_eq(&result, &tricky), "free `{canonical}` was captured in {result}");
     }
 
     #[test]

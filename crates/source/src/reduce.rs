@@ -182,7 +182,23 @@ pub fn reduce_steps(env: &Env, term: &Term, max_steps: usize) -> (Term, usize) {
 ///
 /// Returns [`ReduceError::OutOfFuel`] when `fuel` is exhausted.
 pub fn whnf(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
-    // `current` holds a shared pointer so that δ-unfolds and head
+    // Canonical heads and definition-free variables are already weak-head
+    // normal: return a (shallow, handle-sharing) clone without interning
+    // the head or spending fuel. This is the dominant case on the
+    // type-checking path, where inferred types are usually literal
+    // `Π`/`Σ`/sorts.
+    match term {
+        Term::Sort(_)
+        | Term::BoolTy
+        | Term::BoolLit(_)
+        | Term::Pi { .. }
+        | Term::Lam { .. }
+        | Term::Sigma { .. }
+        | Term::Pair { .. } => return Ok(term.clone()),
+        Term::Var(x) if env.lookup_definition(*x).is_none() => return Ok(term.clone()),
+        _ => {}
+    }
+    // `current` holds a shared handle so that δ-unfolds and head
     // eliminations share subterms instead of copying them.
     let mut current: RcTerm = term.clone().rc();
     loop {

@@ -6,6 +6,7 @@
 //! α-equivalence compares terms up to a consistent renaming of binders.
 
 use crate::ast::{RcTerm, Term};
+use cccc_util::binder::subst_under;
 use cccc_util::symbol::Symbol;
 use std::collections::{HashMap, HashSet};
 
@@ -18,59 +19,46 @@ pub fn free_vars(term: &Term) -> Vec<Symbol> {
     out
 }
 
-/// The free variables of `term` as a set, collected directly (no
-/// intermediate ordered `Vec`) — this sits on the substitution hot path,
-/// which only needs membership queries.
+/// The free variables of `term` as a set — this used to traverse the term;
+/// it now assembles the answer from the children's metadata cached by the
+/// hash-consing kernel, so the cost is O(free variables), not O(term).
 pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
-    let mut out = HashSet::new();
-    collect_free_set(term, &mut Vec::new(), &mut out);
-    out
-}
-
-fn collect_free_set(term: &Term, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
     match term {
-        Term::Var(x) => {
-            if !bound.contains(x) {
-                out.insert(*x);
-            }
-        }
-        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
-        Term::Pi { binder, domain, codomain: body }
-        | Term::Lam { binder, domain, body }
-        | Term::Sigma { binder, first: domain, second: body } => {
-            collect_free_set(domain, bound, out);
-            bound.push(*binder);
-            collect_free_set(body, bound, out);
-            bound.pop();
-        }
-        Term::App { func, arg } => {
-            collect_free_set(func, bound, out);
-            collect_free_set(arg, bound, out);
-        }
-        Term::Let { binder, annotation, bound: bound_term, body } => {
-            collect_free_set(annotation, bound, out);
-            collect_free_set(bound_term, bound, out);
-            bound.push(*binder);
-            collect_free_set(body, bound, out);
-            bound.pop();
-        }
-        Term::Pair { first, second, annotation } => {
-            collect_free_set(first, bound, out);
-            collect_free_set(second, bound, out);
-            collect_free_set(annotation, bound, out);
-        }
-        Term::Fst(e) | Term::Snd(e) => collect_free_set(e, bound, out),
-        Term::If { scrutinee, then_branch, else_branch } => {
-            collect_free_set(scrutinee, bound, out);
-            collect_free_set(then_branch, bound, out);
-            collect_free_set(else_branch, bound, out);
+        Term::Var(x) => std::iter::once(*x).collect(),
+        _ => {
+            let mut out = HashSet::new();
+            head_free_vars(term, |v| {
+                out.insert(v);
+            });
+            out
         }
     }
 }
 
-/// Whether `x` occurs free in `term`. Short-circuits on the first
-/// occurrence without materializing any free-variable collection — this
-/// sits on the β/ζ and equivalence hot paths.
+/// Feeds every free variable of the head (children read from cached
+/// metadata, the head's own binders subtracted) to `f`, with duplicates.
+fn head_free_vars(term: &Term, mut f: impl FnMut(Symbol)) {
+    match term {
+        Term::Var(x) => f(*x),
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Lam { binder, domain, body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            domain.free_vars().iter().for_each(&mut f);
+            body.free_vars().iter().filter(|v| v != binder).for_each(&mut f);
+        }
+        Term::Let { binder, annotation, bound, body } => {
+            annotation.free_vars().iter().for_each(&mut f);
+            bound.free_vars().iter().for_each(&mut f);
+            body.free_vars().iter().filter(|v| v != binder).for_each(&mut f);
+        }
+        _ => term.for_each_child(|c| c.free_vars().iter().for_each(&mut f)),
+    }
+}
+
+/// Whether `x` occurs free in `term`. O(1) in the size of the term: the
+/// children's cached free-variable sets answer the membership query, only
+/// the head's binders are inspected.
 pub fn occurs_free(x: Symbol, term: &Term) -> bool {
     match term {
         Term::Var(y) => *y == x,
@@ -78,20 +66,17 @@ pub fn occurs_free(x: Symbol, term: &Term) -> bool {
         Term::Pi { binder, domain, codomain: body }
         | Term::Lam { binder, domain, body }
         | Term::Sigma { binder, first: domain, second: body } => {
-            occurs_free(x, domain) || (*binder != x && occurs_free(x, body))
+            domain.free_vars().contains(x) || (*binder != x && body.free_vars().contains(x))
         }
-        Term::App { func, arg } => occurs_free(x, func) || occurs_free(x, arg),
         Term::Let { binder, annotation, bound, body } => {
-            occurs_free(x, annotation)
-                || occurs_free(x, bound)
-                || (*binder != x && occurs_free(x, body))
+            annotation.free_vars().contains(x)
+                || bound.free_vars().contains(x)
+                || (*binder != x && body.free_vars().contains(x))
         }
-        Term::Pair { first, second, annotation } => {
-            occurs_free(x, first) || occurs_free(x, second) || occurs_free(x, annotation)
-        }
-        Term::Fst(e) | Term::Snd(e) => occurs_free(x, e),
-        Term::If { scrutinee, then_branch, else_branch } => {
-            occurs_free(x, scrutinee) || occurs_free(x, then_branch) || occurs_free(x, else_branch)
+        _ => {
+            let mut found = false;
+            term.for_each_child(|c| found = found || c.free_vars().contains(x));
+            found
         }
     }
 }
@@ -161,28 +146,28 @@ fn collect_under(
 /// Capture-avoiding substitution `term[replacement/x]`.
 ///
 /// Binders that shadow `x` stop the substitution; binders whose name occurs
-/// free in `replacement` are renamed to fresh symbols before descending.
+/// free in `replacement` are renamed to fresh symbols before descending
+/// (the shared skeleton of [`cccc_util::binder`]).
 ///
-/// The free-variable set of `replacement` is computed *lazily*, on the
-/// first binder crossing that needs it: substituting into binder-free
-/// positions (the overwhelmingly common `[App]`-rule case of substituting
-/// an argument into a small codomain) never materializes it at all.
+/// Every capture check and every "does `x` even occur here?" test is an
+/// O(1) lookup against the metadata cached by the hash-consing kernel:
+/// subtrees that do not mention `x` are returned as shared handles without
+/// being visited at all.
 pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
-    let mut fv = FvCache { replacement, set: None };
-    subst_inner(term, x, replacement, &mut fv)
-}
-
-/// A lazily computed free-variable set for the replacement term of a
-/// substitution.
-struct FvCache<'a> {
-    replacement: &'a Term,
-    set: Option<HashSet<Symbol>>,
-}
-
-impl FvCache<'_> {
-    fn contains(&mut self, name: Symbol) -> bool {
-        self.set.get_or_insert_with(|| free_var_set(self.replacement)).contains(&name)
+    if !occurs_free(x, term) {
+        return term.clone();
     }
+    let replacement = replacement.clone().rc();
+    subst_inner(term, x, &replacement)
+}
+
+/// [`subst`] on interned handles: returns the input handle unchanged (a
+/// reference-count bump) when `x` does not occur.
+pub fn subst_rc(term: &RcTerm, x: Symbol, replacement: &RcTerm) -> RcTerm {
+    if !term.free_vars().contains(x) {
+        return term.clone();
+    }
+    subst_inner(term, x, replacement).rc()
 }
 
 /// Applies several substitutions in sequence (left to right). Later
@@ -195,78 +180,54 @@ pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
     out
 }
 
-fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &mut FvCache<'_>) -> Term {
+fn subst_inner(term: &Term, x: Symbol, replacement: &RcTerm) -> Term {
+    // Recursion into a child handle: skipped outright (shared, not
+    // copied) when the child does not mention `x`.
+    let sub = |child: &RcTerm| subst_rc(child, x, replacement);
+    // The rename/subst closures handed to the shared binder skeleton.
+    let ren = |child: &RcTerm, from: Symbol, to: Symbol| rename_rc(child, from, to);
+    let fv = replacement.free_vars();
     match term {
         Term::Var(y) => {
             if *y == x {
-                replacement.clone()
+                (**replacement).clone()
             } else {
                 term.clone()
             }
         }
         Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => term.clone(),
         Term::Pi { binder, domain, codomain } => {
-            let domain = subst_inner(domain, x, replacement, fv).rc();
-            let (binder, codomain) = subst_under(*binder, codomain, x, replacement, fv);
-            Term::Pi { binder, domain, codomain: codomain.rc() }
+            let domain = sub(domain);
+            let (binder, codomain) = subst_under(*binder, codomain, x, fv, ren, sub);
+            Term::Pi { binder, domain, codomain }
         }
         Term::Lam { binder, domain, body } => {
-            let domain = subst_inner(domain, x, replacement, fv).rc();
-            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
-            Term::Lam { binder, domain, body: body.rc() }
+            let domain = sub(domain);
+            let (binder, body) = subst_under(*binder, body, x, fv, ren, sub);
+            Term::Lam { binder, domain, body }
         }
-        Term::App { func, arg } => Term::App {
-            func: subst_inner(func, x, replacement, fv).rc(),
-            arg: subst_inner(arg, x, replacement, fv).rc(),
-        },
+        Term::App { func, arg } => Term::App { func: sub(func), arg: sub(arg) },
         Term::Let { binder, annotation, bound, body } => {
-            let annotation = subst_inner(annotation, x, replacement, fv).rc();
-            let bound = subst_inner(bound, x, replacement, fv).rc();
-            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
-            Term::Let { binder, annotation, bound, body: body.rc() }
+            let annotation = sub(annotation);
+            let bound = sub(bound);
+            let (binder, body) = subst_under(*binder, body, x, fv, ren, sub);
+            Term::Let { binder, annotation, bound, body }
         }
         Term::Sigma { binder, first, second } => {
-            let first = subst_inner(first, x, replacement, fv).rc();
-            let (binder, second) = subst_under(*binder, second, x, replacement, fv);
-            Term::Sigma { binder, first, second: second.rc() }
+            let first = sub(first);
+            let (binder, second) = subst_under(*binder, second, x, fv, ren, sub);
+            Term::Sigma { binder, first, second }
         }
-        Term::Pair { first, second, annotation } => Term::Pair {
-            first: subst_inner(first, x, replacement, fv).rc(),
-            second: subst_inner(second, x, replacement, fv).rc(),
-            annotation: subst_inner(annotation, x, replacement, fv).rc(),
-        },
-        Term::Fst(e) => Term::Fst(subst_inner(e, x, replacement, fv).rc()),
-        Term::Snd(e) => Term::Snd(subst_inner(e, x, replacement, fv).rc()),
+        Term::Pair { first, second, annotation } => {
+            Term::Pair { first: sub(first), second: sub(second), annotation: sub(annotation) }
+        }
+        Term::Fst(e) => Term::Fst(sub(e)),
+        Term::Snd(e) => Term::Snd(sub(e)),
         Term::If { scrutinee, then_branch, else_branch } => Term::If {
-            scrutinee: subst_inner(scrutinee, x, replacement, fv).rc(),
-            then_branch: subst_inner(then_branch, x, replacement, fv).rc(),
-            else_branch: subst_inner(else_branch, x, replacement, fv).rc(),
+            scrutinee: sub(scrutinee),
+            then_branch: sub(then_branch),
+            else_branch: sub(else_branch),
         },
-    }
-}
-
-/// Substitutes inside the body of a binder, freshening the binder when it
-/// would capture a free variable of the replacement (or when it shadows `x`,
-/// in which case substitution stops).
-fn subst_under(
-    binder: Symbol,
-    body: &Term,
-    x: Symbol,
-    replacement: &Term,
-    fv: &mut FvCache<'_>,
-) -> (Symbol, Term) {
-    if binder == x {
-        // The binder shadows `x`; the substitution does not reach the body.
-        return (binder, body.clone());
-    }
-    if fv.contains(binder) {
-        // The binder would capture a free variable of the replacement;
-        // rename it first.
-        let fresh = binder.freshen();
-        let renamed = rename(body, binder, fresh);
-        (fresh, subst_inner(&renamed, x, replacement, fv))
-    } else {
-        (binder, subst_inner(body, x, replacement, fv))
     }
 }
 
@@ -277,11 +238,46 @@ pub fn rename(term: &Term, from: Symbol, to: Symbol) -> Term {
     subst(term, from, &Term::Var(to))
 }
 
+/// [`rename`] on interned handles, sharing untouched subtrees.
+fn rename_rc(term: &RcTerm, from: Symbol, to: Symbol) -> RcTerm {
+    if !term.free_vars().contains(from) {
+        return term.clone();
+    }
+    subst_inner(term, from, &Term::Var(to).rc()).rc()
+}
+
 /// α-equivalence of two terms: structural equality up to consistent renaming
 /// of bound variables. Pair annotations are compared as well, since they are
 /// part of the syntax.
+///
+/// Hash-consing gives the traversal an identity fast path: two handles to
+/// the *same* node are α-equivalent whenever no active binder pairing can
+/// touch their free variables — in particular always at the top level.
 pub fn alpha_eq(left: &Term, right: &Term) -> bool {
     alpha_eq_inner(left, right, &mut HashMap::new(), &mut HashMap::new())
+}
+
+/// [`alpha_eq_inner`] on child handles, short-circuiting on node identity.
+///
+/// Identical nodes are α-equal outright when none of their free variables
+/// is remapped by an active binder pairing (a free variable outside both
+/// maps must satisfy `x == y`, which identity guarantees; bound-variable
+/// structure is literally the same). A closed node trivially satisfies the
+/// condition.
+fn alpha_eq_child(
+    left: &RcTerm,
+    right: &RcTerm,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    if left.same(right) {
+        let unaffected = (l2r.is_empty() && r2l.is_empty())
+            || left.free_vars().iter().all(|v| !l2r.contains_key(&v) && !r2l.contains_key(&v));
+        if unaffected {
+            return true;
+        }
+    }
+    alpha_eq_inner(left, right, l2r, r2l)
 }
 
 fn alpha_eq_inner(
@@ -310,36 +306,36 @@ fn alpha_eq_inner(
         | (
             Term::Sigma { binder: x, first: a1, second: b1 },
             Term::Sigma { binder: y, first: a2, second: b2 },
-        ) => alpha_eq_inner(a1, a2, l2r, r2l) && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l),
+        ) => alpha_eq_child(a1, a2, l2r, r2l) && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l),
         (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
-            alpha_eq_inner(f1, f2, l2r, r2l) && alpha_eq_inner(a1, a2, l2r, r2l)
+            alpha_eq_child(f1, f2, l2r, r2l) && alpha_eq_child(a1, a2, l2r, r2l)
         }
         (
             Term::Let { binder: x, annotation: t1, bound: e1, body: b1 },
             Term::Let { binder: y, annotation: t2, bound: e2, body: b2 },
         ) => {
-            alpha_eq_inner(t1, t2, l2r, r2l)
-                && alpha_eq_inner(e1, e2, l2r, r2l)
+            alpha_eq_child(t1, t2, l2r, r2l)
+                && alpha_eq_child(e1, e2, l2r, r2l)
                 && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
         }
         (
             Term::Pair { first: a1, second: b1, annotation: t1 },
             Term::Pair { first: a2, second: b2, annotation: t2 },
         ) => {
-            alpha_eq_inner(a1, a2, l2r, r2l)
-                && alpha_eq_inner(b1, b2, l2r, r2l)
-                && alpha_eq_inner(t1, t2, l2r, r2l)
+            alpha_eq_child(a1, a2, l2r, r2l)
+                && alpha_eq_child(b1, b2, l2r, r2l)
+                && alpha_eq_child(t1, t2, l2r, r2l)
         }
         (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => {
-            alpha_eq_inner(a, b, l2r, r2l)
+            alpha_eq_child(a, b, l2r, r2l)
         }
         (
             Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
             Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
         ) => {
-            alpha_eq_inner(s1, s2, l2r, r2l)
-                && alpha_eq_inner(t1, t2, l2r, r2l)
-                && alpha_eq_inner(e1, e2, l2r, r2l)
+            alpha_eq_child(s1, s2, l2r, r2l)
+                && alpha_eq_child(t1, t2, l2r, r2l)
+                && alpha_eq_child(e1, e2, l2r, r2l)
         }
         _ => false,
     }
@@ -355,7 +351,7 @@ fn alpha_eq_binder(
 ) -> bool {
     let old_l = l2r.insert(x, y);
     let old_r = r2l.insert(y, x);
-    let result = alpha_eq_inner(left, right, l2r, r2l);
+    let result = alpha_eq_child(left, right, l2r, r2l);
     match old_l {
         Some(prev) => {
             l2r.insert(x, prev);

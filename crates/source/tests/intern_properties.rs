@@ -1,0 +1,222 @@
+//! Property suite for the hash-consed term kernel on CC.
+//!
+//! Pins the kernel's invariants on generator-produced programs:
+//!
+//! * **identity vs. α-equivalence** — building the same program twice
+//!   yields the *same* interned node, and node identity always implies
+//!   α-equivalence (the converse need not hold: α-variants with distinct
+//!   binder names are distinct nodes);
+//! * **metadata agreement** — the cached free-variable set, closedness
+//!   bit, depth, and size match an independent recomputed-from-scratch
+//!   traversal;
+//! * **memoized conversion** — the memoized `equiv` agrees with the raw
+//!   NbE engine (`conv_terms`, no memo) and with the step-based oracle
+//!   (`equiv_spec`), and answers identically when asked again from cache.
+
+use cccc_source::generate::TermGenerator;
+use cccc_source::subst::alpha_eq;
+use cccc_source::{equiv, nbe, Env, RcTerm, Term};
+use cccc_util::fuel::Fuel;
+use cccc_util::Symbol;
+use std::collections::HashSet;
+
+const SEEDS: u64 = 60;
+
+/// Independent reference implementation of the free-variable set: a plain
+/// traversal with an explicit bound-variable stack, sharing no code with
+/// the kernel's cached metadata.
+fn reference_free_vars(term: &Term, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
+    match term {
+        Term::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(*x);
+            }
+        }
+        Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Lam { binder, domain, body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            reference_free_vars(domain, bound, out);
+            bound.push(*binder);
+            reference_free_vars(body, bound, out);
+            bound.pop();
+        }
+        Term::App { func, arg } => {
+            reference_free_vars(func, bound, out);
+            reference_free_vars(arg, bound, out);
+        }
+        Term::Let { binder, annotation, bound: bound_term, body } => {
+            reference_free_vars(annotation, bound, out);
+            reference_free_vars(bound_term, bound, out);
+            bound.push(*binder);
+            reference_free_vars(body, bound, out);
+            bound.pop();
+        }
+        Term::Pair { first, second, annotation } => {
+            reference_free_vars(first, bound, out);
+            reference_free_vars(second, bound, out);
+            reference_free_vars(annotation, bound, out);
+        }
+        Term::Fst(e) | Term::Snd(e) => reference_free_vars(e, bound, out),
+        Term::If { scrutinee, then_branch, else_branch } => {
+            reference_free_vars(scrutinee, bound, out);
+            reference_free_vars(then_branch, bound, out);
+            reference_free_vars(else_branch, bound, out);
+        }
+    }
+}
+
+/// Reference tree size/depth by traversal (`visit` walks the tree).
+fn reference_size(term: &Term) -> usize {
+    let mut n = 0;
+    term.visit(&mut |_| n += 1);
+    n
+}
+
+/// Checks one interned node (and, via induction on construction, its
+/// children were checked when they were interned during generation).
+fn assert_metadata_matches(node: &RcTerm) {
+    let mut expected = HashSet::new();
+    reference_free_vars(node, &mut Vec::new(), &mut expected);
+    let cached: HashSet<Symbol> = node.free_vars().iter().collect();
+    assert_eq!(cached, expected, "cached free vars disagree on {}", &**node);
+    assert_eq!(node.is_closed(), expected.is_empty());
+    assert_eq!(node.meta().size as usize, reference_size(node), "size disagrees on {}", &**node);
+    assert_eq!(node.meta().depth as usize, node.depth(), "depth disagrees on {}", &**node);
+}
+
+/// Rebuilds a term from scratch, re-interning every node bottom-up —
+/// nothing is shared with the input except `Symbol`s.
+fn deep_rebuild(term: &Term) -> RcTerm {
+    let r = |t: &RcTerm| deep_rebuild(t);
+    match term {
+        Term::Var(_) | Term::Sort(_) | Term::BoolTy | Term::BoolLit(_) => term.clone().rc(),
+        Term::Pi { binder, domain, codomain } => {
+            Term::Pi { binder: *binder, domain: r(domain), codomain: r(codomain) }.rc()
+        }
+        Term::Lam { binder, domain, body } => {
+            Term::Lam { binder: *binder, domain: r(domain), body: r(body) }.rc()
+        }
+        Term::App { func, arg } => Term::App { func: r(func), arg: r(arg) }.rc(),
+        Term::Let { binder, annotation, bound, body } => {
+            Term::Let { binder: *binder, annotation: r(annotation), bound: r(bound), body: r(body) }
+                .rc()
+        }
+        Term::Sigma { binder, first, second } => {
+            Term::Sigma { binder: *binder, first: r(first), second: r(second) }.rc()
+        }
+        Term::Pair { first, second, annotation } => {
+            Term::Pair { first: r(first), second: r(second), annotation: r(annotation) }.rc()
+        }
+        Term::Fst(e) => Term::Fst(r(e)).rc(),
+        Term::Snd(e) => Term::Snd(r(e)).rc(),
+        Term::If { scrutinee, then_branch, else_branch } => Term::If {
+            scrutinee: r(scrutinee),
+            then_branch: r(then_branch),
+            else_branch: r(else_branch),
+        }
+        .rc(),
+    }
+}
+
+#[test]
+fn structurally_identical_programs_intern_to_the_same_node() {
+    for seed in 0..SEEDS {
+        let (a, _) = TermGenerator::new(seed).gen_program();
+        let na = a.clone().rc();
+        // An independent bottom-up rebuild (sharing nothing but symbols)
+        // must converge onto the very same nodes.
+        let nb = deep_rebuild(&a);
+        assert!(na.same(&nb), "seed {seed}: identical programs got distinct nodes");
+        assert_eq!(na.id(), nb.id());
+        assert_eq!(na, nb);
+        // Node identity implies α-equivalence.
+        assert!(alpha_eq(&na, &nb), "seed {seed}: identical nodes not α-equal");
+    }
+}
+
+#[test]
+fn node_identity_implies_alpha_equivalence_never_the_converse_is_assumed() {
+    for seed in 0..SEEDS {
+        let (a, _) = TermGenerator::new(10_000 + seed).gen_program();
+        let (b, _) = TermGenerator::new(20_000 + seed).gen_program();
+        let (na, nb) = (a.rc(), b.rc());
+        if na.same(&nb) {
+            assert!(alpha_eq(&na, &nb), "seed {seed}: shared node not α-equal");
+        }
+        // α-equivalence must at minimum hold reflexively through fresh
+        // handles of the same structure.
+        assert!(alpha_eq(&na, &na.clone()));
+    }
+}
+
+#[test]
+fn cached_metadata_matches_recomputation() {
+    for seed in 0..SEEDS {
+        let (term, ty) = TermGenerator::new(30_000 + seed).gen_program();
+        assert_metadata_matches(&term.clone().rc());
+        assert_metadata_matches(&ty.rc());
+        // Also check every subterm handle, not just the roots.
+        term.visit(&mut |sub| {
+            sub.for_each_child(assert_metadata_matches);
+        });
+    }
+}
+
+#[test]
+fn memoized_conversion_agrees_with_raw_nbe_and_step_oracle() {
+    for seed in 0..SEEDS {
+        let (left, _) = TermGenerator::new(40_000 + seed).gen_program();
+        let (right, _) = TermGenerator::new(50_000 + seed).gen_program();
+        let env = Env::new();
+
+        let memoized = {
+            let mut fuel = Fuel::default();
+            equiv::equiv(&env, &left, &right, &mut fuel).unwrap_or(false)
+        };
+        let raw_nbe = {
+            let mut fuel = Fuel::default();
+            nbe::conv_terms(&env, &left, &right, &mut fuel).unwrap_or(false)
+        };
+        let step = {
+            let mut fuel = Fuel::default();
+            equiv::equiv_spec(&env, &left, &right, &mut fuel).unwrap_or(false)
+        };
+        assert_eq!(memoized, raw_nbe, "seed {seed}: memo vs raw NbE\n  {left}\n  {right}");
+        assert_eq!(memoized, step, "seed {seed}: memo vs step oracle\n  {left}\n  {right}");
+
+        // Asking again must be answered identically (now from cache).
+        let mut fuel = Fuel::default();
+        let again = equiv::equiv(&env, &left, &right, &mut fuel).unwrap_or(false);
+        assert_eq!(memoized, again, "seed {seed}: cached answer changed");
+    }
+}
+
+#[test]
+fn memoized_conversion_agrees_on_redex_reduct_pairs() {
+    for seed in 0..SEEDS {
+        let (term, _) = TermGenerator::new(60_000 + seed).gen_program();
+        let env = Env::new();
+        let reduct = cccc_source::reduce::normalize_default(&env, &term);
+        let mut fuel = Fuel::default();
+        assert!(
+            equiv::equiv(&env, &term, &reduct, &mut fuel).unwrap(),
+            "seed {seed}: term not equal to its own normal form"
+        );
+        let mut fuel = Fuel::default();
+        assert!(equiv::equiv_spec(&env, &term, &reduct, &mut fuel).unwrap());
+    }
+}
+
+#[test]
+fn identity_fast_path_fires_on_identical_handles() {
+    let before = equiv::conv_cache_stats().identity_hits;
+    let (term, _) = TermGenerator::new(77).gen_program();
+    let env = Env::new();
+    let mut fuel = Fuel::default();
+    // Structurally identical copies intern to the same node, so this must
+    // be decided by the identity fast path.
+    assert!(equiv::equiv(&env, &term.clone(), &term, &mut fuel).unwrap());
+    let after = equiv::conv_cache_stats().identity_hits;
+    assert!(after > before, "identity fast path was not exercised");
+}

@@ -7,6 +7,7 @@
 //! and the surrounding program do.
 
 use crate::ast::{RcTerm, Term};
+use cccc_util::intern::mix_env_entry;
 use cccc_util::symbol::Symbol;
 use std::fmt;
 
@@ -56,16 +57,47 @@ impl Decl {
 }
 
 /// A CC-CC typing environment `Γ`.
+///
+/// Every environment carries a content *fingerprint* — a hash of its entry
+/// sequence with terms identified by their interned node ids — maintained
+/// incrementally on extension. Two environments with identical content have
+/// identical fingerprints, which is what keys the memoized conversion
+/// checker in [`crate::equiv`].
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     decls: Vec<Decl>,
+    fingerprint: u64,
+}
+
+/// Folds one declaration into a fingerprint.
+fn mix_decl(fingerprint: u64, decl: &Decl) -> u64 {
+    match decl {
+        Decl::Assumption { name, ty } => mix_env_entry(fingerprint, *name, ty.id(), None),
+        Decl::Definition { name, ty, term } => {
+            mix_env_entry(fingerprint, *name, ty.id(), Some(term.id()))
+        }
+    }
+}
+
+/// Recomputes a fingerprint from scratch (used by the bulk constructors).
+fn fingerprint_of(decls: &[Decl]) -> u64 {
+    decls.iter().fold(0, mix_decl)
 }
 
 impl Env {
     /// The empty environment `·` — the only environment rule `[Code]`
     /// checks code under.
     pub fn new() -> Env {
-        Env { decls: Vec::new() }
+        Env { decls: Vec::new(), fingerprint: 0 }
+    }
+
+    /// The environment's content fingerprint: a hash of the entry sequence
+    /// with terms identified by interned node id. Environments with equal
+    /// content always agree; unequal content collides only with hash
+    /// probability. Used as the environment component of conversion memo
+    /// keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of entries.
@@ -95,12 +127,16 @@ impl Env {
 
     /// Appends the assumption `name : ty` in place.
     pub fn push_assumption(&mut self, name: Symbol, ty: Term) {
-        self.decls.push(Decl::Assumption { name, ty: ty.rc() });
+        let decl = Decl::Assumption { name, ty: ty.rc() };
+        self.fingerprint = mix_decl(self.fingerprint, &decl);
+        self.decls.push(decl);
     }
 
     /// Appends the definition `name = term : ty` in place.
     pub fn push_definition(&mut self, name: Symbol, term: Term, ty: Term) {
-        self.decls.push(Decl::Definition { name, ty: ty.rc(), term: term.rc() });
+        let decl = Decl::Definition { name, ty: ty.rc(), term: term.rc() };
+        self.fingerprint = mix_decl(self.fingerprint, &decl);
+        self.decls.push(decl);
     }
 
     /// Looks up the most recent entry for `name`.
@@ -142,14 +178,18 @@ impl Env {
     /// Restricts the environment to the entries whose names appear in
     /// `keep`, preserving order.
     pub fn restrict(&self, keep: &[Symbol]) -> Env {
-        Env { decls: self.decls.iter().filter(|d| keep.contains(&d.name())).cloned().collect() }
+        let decls: Vec<Decl> =
+            self.decls.iter().filter(|d| keep.contains(&d.name())).cloned().collect();
+        let fingerprint = fingerprint_of(&decls);
+        Env { decls, fingerprint }
     }
 
     /// Appends all entries of `other` after the entries of `self`.
     pub fn append(&self, other: &Env) -> Env {
         let mut decls = self.decls.clone();
         decls.extend(other.decls.iter().cloned());
-        Env { decls }
+        let fingerprint = other.decls.iter().fold(self.fingerprint, mix_decl);
+        Env { decls, fingerprint }
     }
 }
 
@@ -175,7 +215,9 @@ impl fmt::Display for Env {
 
 impl FromIterator<Decl> for Env {
     fn from_iter<I: IntoIterator<Item = Decl>>(iter: I) -> Env {
-        Env { decls: iter.into_iter().collect() }
+        let decls: Vec<Decl> = iter.into_iter().collect();
+        let fingerprint = fingerprint_of(&decls);
+        Env { decls, fingerprint }
     }
 }
 

@@ -34,33 +34,93 @@
 //! generator-produced programs; [`equiv_spec`] is the differential-testing
 //! oracle for the NbE engine.
 
-use crate::ast::Term;
+use crate::ast::{RcTerm, Term};
 use crate::builder::var_sym;
 use crate::env::Env;
 use crate::reduce::{apply_closure_code, whnf, ReduceError};
 use crate::subst::subst;
 use cccc_util::fuel::Fuel;
+use cccc_util::intern::ConvCache;
 use cccc_util::symbol::Symbol;
+use std::cell::RefCell;
 
-/// Checks `Γ ⊢ e1 ≡ e2` with an explicit fuel budget.
+pub use cccc_util::intern::ConvCacheStats;
+
+thread_local! {
+    /// Decided conversion pairs for CC-CC, keyed by ordered node ids and
+    /// the environment fingerprint (collapsed for closed pairs — the
+    /// dominant case here, where `[Code]` checks everything against the
+    /// empty environment) — see [`ConvCache`].
+    static CONV_CACHE: RefCell<ConvCache> = RefCell::new(ConvCache::new());
+}
+
+/// A snapshot of this thread's conversion-cache counters.
+pub fn conv_cache_stats() -> ConvCacheStats {
+    CONV_CACHE.with(|c| c.borrow().stats())
+}
+
+/// Clears this thread's conversion memo table and counters.
+pub fn reset_conv_cache() {
+    CONV_CACHE.with(|c| c.borrow_mut().reset());
+}
+
+/// Checks `Γ ⊢ e1 ≡ e2` with an explicit fuel budget, through the NbE
+/// engine with identity and memo fast paths.
 ///
 /// # Errors
 ///
 /// Returns a [`ReduceError`] when normalization runs out of fuel (or hits
 /// a bare-code application) before the comparison can be decided.
 pub fn equiv(env: &Env, e1: &Term, e2: &Term, fuel: &mut Fuel) -> Result<bool, ReduceError> {
-    // α-equivalent terms are definitionally equal outright; the type
-    // checker overwhelmingly compares a type against an identical copy of
-    // itself, so this allocation-free pre-check pays for itself many
-    // times over before the engine ever evaluates anything.
-    if crate::subst::alpha_eq(e1, e2) {
+    // Interning the heads is O(1) (children are already interned) and
+    // buys node identities for the fast paths below.
+    let n1 = e1.clone().rc();
+    let n2 = e2.clone().rc();
+    equiv_nodes(env, &n1, &n2, fuel)
+}
+
+/// [`equiv`] on interned handles.
+///
+/// Decision ladder: node identity (O(1), hash-consing makes structurally
+/// identical terms the *same* node) → memo table of previously decided
+/// `(id, id, env)` pairs → α-equivalence (linear, with its own identity
+/// shortcuts) → the NbE engine with closure-η. Decided answers are
+/// memoized; errors (fuel exhaustion, bare-code application) are not —
+/// they depend on the budget, not the judgment.
+///
+/// # Errors
+///
+/// Returns a [`ReduceError`] when normalization runs out of fuel (or hits
+/// a bare-code application) before the comparison can be decided.
+pub fn equiv_nodes(
+    env: &Env,
+    n1: &RcTerm,
+    n2: &RcTerm,
+    fuel: &mut Fuel,
+) -> Result<bool, ReduceError> {
+    if n1.same(n2) {
+        CONV_CACHE.with(|c| c.borrow_mut().note_identity_hit());
         return Ok(true);
     }
-    crate::nbe::conv_terms(env, e1, e2, fuel)
+    let key = ConvCache::key(n1, n2, env.fingerprint());
+    if let Some(answer) = CONV_CACHE.with(|c| c.borrow_mut().lookup(key)) {
+        return Ok(answer);
+    }
+    // α-equivalent terms are definitionally equal outright; the type
+    // checker overwhelmingly compares a type against a near-identical
+    // copy of itself, so this pre-check pays for itself many times over
+    // before the engine ever evaluates anything.
+    let answer = if crate::subst::alpha_eq(n1, n2) {
+        true
+    } else {
+        crate::nbe::conv_terms(env, n1, n2, fuel)?
+    };
+    CONV_CACHE.with(|c| c.borrow_mut().insert(key, answer));
+    Ok(answer)
 }
 
 /// Which equivalence/normalization engine to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Engine {
     /// The normalization-by-evaluation engine ([`crate::nbe`]); the
     /// default on every hot path.

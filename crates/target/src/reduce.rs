@@ -298,7 +298,26 @@ pub fn reduce_steps(env: &Env, term: &Term, max_steps: usize) -> (Term, usize) {
 /// [`ReduceError::BareCodeApplication`] when code is applied outside a
 /// closure.
 pub fn whnf(env: &Env, term: &Term, fuel: &mut Fuel) -> Result<Term, ReduceError> {
-    // `current` holds a shared pointer so that δ-unfolds and structural
+    // Canonical heads and definition-free variables are already weak-head
+    // normal: return a (shallow, handle-sharing) clone without interning
+    // the head or spending fuel. This is the dominant case on the
+    // type-checking path, where inferred types are usually literal
+    // `Π`/`Σ`/`Code`-type/sorts.
+    match term {
+        Term::Sort(_)
+        | Term::Unit
+        | Term::UnitVal
+        | Term::BoolTy
+        | Term::BoolLit(_)
+        | Term::Pi { .. }
+        | Term::Sigma { .. }
+        | Term::Code { .. }
+        | Term::CodeTy { .. }
+        | Term::Pair { .. } => return Ok(term.clone()),
+        Term::Var(x) if env.lookup_definition(*x).is_none() => return Ok(term.clone()),
+        _ => {}
+    }
+    // `current` holds a shared handle so that δ-unfolds and structural
     // descents never copy the definition being unfolded.
     let mut current: RcTerm = term.clone().rc();
     loop {
@@ -592,8 +611,8 @@ mod tests {
         );
         let unfolded = step_rc(&env, &var("id")).unwrap();
         let again = step_rc(&env, &var("id")).unwrap();
-        // Both unfolds return the same shared allocation.
-        assert!(std::rc::Rc::ptr_eq(&unfolded, &again));
+        // Both unfolds return the same shared node.
+        assert!(unfolded.same(&again));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! is what rule `[Code]` checks syntactically and what hoisting relies on.
 
 use crate::ast::{RcTerm, Term};
+use cccc_util::binder::{subst_under, subst_under2};
 use cccc_util::symbol::Symbol;
 use std::collections::{HashMap, HashSet};
 
@@ -20,159 +21,87 @@ pub fn free_vars(term: &Term) -> Vec<Symbol> {
     out
 }
 
-/// The free variables of `term` as a set, collected directly (no
-/// intermediate ordered `Vec`) — this sits on the substitution hot path,
-/// which only needs membership queries.
+/// The free variables of `term` as a set — this used to traverse the term;
+/// it now assembles the answer from the children's metadata cached by the
+/// hash-consing kernel, so the cost is O(free variables), not O(term).
 pub fn free_var_set(term: &Term) -> HashSet<Symbol> {
-    let mut out = HashSet::new();
-    collect_free_set(term, &mut Vec::new(), &mut out);
-    out
-}
-
-fn collect_free_set(term: &Term, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
     match term {
-        Term::Var(x) => {
-            if !bound.contains(x) {
-                out.insert(*x);
-            }
-        }
-        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => {}
-        Term::Pi { binder, domain, codomain: body }
-        | Term::Sigma { binder, first: domain, second: body } => {
-            collect_free_set(domain, bound, out);
-            bound.push(*binder);
-            collect_free_set(body, bound, out);
-            bound.pop();
-        }
-        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
-        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
-            collect_free_set(env_ty, bound, out);
-            bound.push(*env_binder);
-            collect_free_set(arg_ty, bound, out);
-            bound.push(*arg_binder);
-            collect_free_set(body, bound, out);
-            bound.pop();
-            bound.pop();
-        }
-        Term::Closure { code, env } => {
-            collect_free_set(code, bound, out);
-            collect_free_set(env, bound, out);
-        }
-        Term::App { func, arg } => {
-            collect_free_set(func, bound, out);
-            collect_free_set(arg, bound, out);
-        }
-        Term::Let { binder, annotation, bound: bound_term, body } => {
-            collect_free_set(annotation, bound, out);
-            collect_free_set(bound_term, bound, out);
-            bound.push(*binder);
-            collect_free_set(body, bound, out);
-            bound.pop();
-        }
-        Term::Pair { first, second, annotation } => {
-            collect_free_set(first, bound, out);
-            collect_free_set(second, bound, out);
-            collect_free_set(annotation, bound, out);
-        }
-        Term::Fst(e) | Term::Snd(e) => collect_free_set(e, bound, out),
-        Term::If { scrutinee, then_branch, else_branch } => {
-            collect_free_set(scrutinee, bound, out);
-            collect_free_set(then_branch, bound, out);
-            collect_free_set(else_branch, bound, out);
+        Term::Var(x) => std::iter::once(*x).collect(),
+        _ => {
+            let mut out = HashSet::new();
+            head_free_vars(term, |v| {
+                out.insert(v);
+            });
+            out
         }
     }
 }
 
-/// Whether `x` occurs free in `term`. Short-circuits on the first
-/// occurrence without allocating — this sits on the closure-application
-/// and `[Clo]` hot paths.
+/// Feeds every free variable of the head (children read from cached
+/// metadata, the head's own binders subtracted) to `f`, with duplicates.
+fn head_free_vars(term: &Term, mut f: impl FnMut(Symbol)) {
+    match term {
+        Term::Var(x) => f(*x),
+        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => {}
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            domain.free_vars().iter().for_each(&mut f);
+            body.free_vars().iter().filter(|v| v != binder).for_each(&mut f);
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
+            env_ty.free_vars().iter().for_each(&mut f);
+            arg_ty.free_vars().iter().filter(|v| v != env_binder).for_each(&mut f);
+            body.free_vars().iter().filter(|v| v != env_binder && v != arg_binder).for_each(&mut f);
+        }
+        Term::Let { binder, annotation, bound, body } => {
+            annotation.free_vars().iter().for_each(&mut f);
+            bound.free_vars().iter().for_each(&mut f);
+            body.free_vars().iter().filter(|v| v != binder).for_each(&mut f);
+        }
+        _ => term.for_each_child(|c| c.free_vars().iter().for_each(&mut f)),
+    }
+}
+
+/// Whether `x` occurs free in `term`. O(1) in the size of the term: the
+/// children's cached free-variable sets answer the membership query, only
+/// the head's binders are inspected.
 pub fn occurs_free(x: Symbol, term: &Term) -> bool {
     match term {
         Term::Var(y) => *y == x,
         Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => false,
-        Term::Pi { binder, domain, codomain } => {
-            occurs_free(x, domain) || (*binder != x && occurs_free(x, codomain))
+        Term::Pi { binder, domain, codomain: body }
+        | Term::Sigma { binder, first: domain, second: body } => {
+            domain.free_vars().contains(x) || (*binder != x && body.free_vars().contains(x))
         }
         Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
         | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
-            occurs_free(x, env_ty)
+            env_ty.free_vars().contains(x)
                 || (*env_binder != x
-                    && (occurs_free(x, arg_ty) || (*arg_binder != x && occurs_free(x, body))))
+                    && (arg_ty.free_vars().contains(x)
+                        || (*arg_binder != x && body.free_vars().contains(x))))
         }
-        Term::Closure { code, env } => occurs_free(x, code) || occurs_free(x, env),
-        Term::App { func, arg } => occurs_free(x, func) || occurs_free(x, arg),
         Term::Let { binder, annotation, bound, body } => {
-            occurs_free(x, annotation)
-                || occurs_free(x, bound)
-                || (*binder != x && occurs_free(x, body))
+            annotation.free_vars().contains(x)
+                || bound.free_vars().contains(x)
+                || (*binder != x && body.free_vars().contains(x))
         }
-        Term::Sigma { binder, first, second } => {
-            occurs_free(x, first) || (*binder != x && occurs_free(x, second))
-        }
-        Term::Pair { first, second, annotation } => {
-            occurs_free(x, first) || occurs_free(x, second) || occurs_free(x, annotation)
-        }
-        Term::Fst(e) | Term::Snd(e) => occurs_free(x, e),
-        Term::If { scrutinee, then_branch, else_branch } => {
-            occurs_free(x, scrutinee) || occurs_free(x, then_branch) || occurs_free(x, else_branch)
+        _ => {
+            let mut found = false;
+            term.for_each_child(|c| found = found || c.free_vars().contains(x));
+            found
         }
     }
 }
 
 /// Whether `term` has no free variables — the syntactic premise of rule
-/// `[Code]`. Short-circuits on the first free variable found instead of
-/// materializing the whole free-variable list.
+/// `[Code]`. O(1) in the size of the term: a handful of closedness bit
+/// tests on the children's cached metadata, with the head's own binders
+/// subtracted.
 pub fn is_closed(term: &Term) -> bool {
-    !any_free(term, &mut Vec::new())
-}
-
-fn any_free(term: &Term, bound: &mut Vec<Symbol>) -> bool {
-    match term {
-        Term::Var(x) => !bound.contains(x),
-        Term::Sort(_) | Term::Unit | Term::UnitVal | Term::BoolTy | Term::BoolLit(_) => false,
-        Term::Pi { binder, domain, codomain: body }
-        | Term::Sigma { binder, first: domain, second: body } => {
-            any_free(domain, bound) || {
-                bound.push(*binder);
-                let found = any_free(body, bound);
-                bound.pop();
-                found
-            }
-        }
-        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
-        | Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result: body } => {
-            any_free(env_ty, bound) || {
-                bound.push(*env_binder);
-                let found = any_free(arg_ty, bound) || {
-                    bound.push(*arg_binder);
-                    let found = any_free(body, bound);
-                    bound.pop();
-                    found
-                };
-                bound.pop();
-                found
-            }
-        }
-        Term::Closure { code, env } => any_free(code, bound) || any_free(env, bound),
-        Term::App { func, arg } => any_free(func, bound) || any_free(arg, bound),
-        Term::Let { binder, annotation, bound: bound_term, body } => {
-            any_free(annotation, bound) || any_free(bound_term, bound) || {
-                bound.push(*binder);
-                let found = any_free(body, bound);
-                bound.pop();
-                found
-            }
-        }
-        Term::Pair { first, second, annotation } => {
-            any_free(first, bound) || any_free(second, bound) || any_free(annotation, bound)
-        }
-        Term::Fst(e) | Term::Snd(e) => any_free(e, bound),
-        Term::If { scrutinee, then_branch, else_branch } => {
-            any_free(scrutinee, bound)
-                || any_free(then_branch, bound)
-                || any_free(else_branch, bound)
-        }
-    }
+    let mut all_closed = true;
+    head_free_vars(term, |_| all_closed = false);
+    all_closed
 }
 
 fn collect_free(
@@ -245,24 +174,29 @@ fn collect_under(
 /// Capture-avoiding substitution `term[replacement/x]`.
 ///
 /// Binders that shadow `x` stop the substitution; binders whose name occurs
-/// free in `replacement` are renamed to fresh symbols before descending.
+/// free in `replacement` are renamed to fresh symbols before descending
+/// (the shared skeleton of [`cccc_util::binder`], including its two-binder
+/// form for `Code`/`CodeTy`).
+///
+/// Every capture check and every "does `x` even occur here?" test is an
+/// O(1) lookup against the metadata cached by the hash-consing kernel:
+/// subtrees that do not mention `x` — in CC-CC, notably every closed
+/// `Code` block — are returned as shared handles without being visited.
 pub fn subst(term: &Term, x: Symbol, replacement: &Term) -> Term {
-    let mut fv = FvCache { replacement, set: None };
-    subst_inner(term, x, replacement, &mut fv)
-}
-
-/// A lazily computed free-variable set for the replacement term of a
-/// substitution: substituting into binder-free positions (the common
-/// `[App]`-rule case) never materializes it at all.
-struct FvCache<'a> {
-    replacement: &'a Term,
-    set: Option<HashSet<Symbol>>,
-}
-
-impl FvCache<'_> {
-    fn contains(&mut self, name: Symbol) -> bool {
-        self.set.get_or_insert_with(|| free_var_set(self.replacement)).contains(&name)
+    if !occurs_free(x, term) {
+        return term.clone();
     }
+    let replacement = replacement.clone().rc();
+    subst_inner(term, x, &replacement)
+}
+
+/// [`subst`] on interned handles: returns the input handle unchanged (a
+/// reference-count bump) when `x` does not occur.
+pub fn subst_rc(term: &RcTerm, x: Symbol, replacement: &RcTerm) -> RcTerm {
+    if !term.free_vars().contains(x) {
+        return term.clone();
+    }
+    subst_inner(term, x, replacement).rc()
 }
 
 /// Applies several substitutions in sequence (left to right). Later
@@ -275,11 +209,17 @@ pub fn subst_all(term: &Term, substitutions: &[(Symbol, Term)]) -> Term {
     out
 }
 
-fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &mut FvCache<'_>) -> Term {
+fn subst_inner(term: &Term, x: Symbol, replacement: &RcTerm) -> Term {
+    // Recursion into a child handle: skipped outright (shared, not
+    // copied) when the child does not mention `x`.
+    let sub = |child: &RcTerm| subst_rc(child, x, replacement);
+    // The rename/subst closures handed to the shared binder skeleton.
+    let ren = |child: &RcTerm, from: Symbol, to: Symbol| rename_rc(child, from, to);
+    let fv = replacement.free_vars();
     match term {
         Term::Var(y) => {
             if *y == x {
-                replacement.clone()
+                (**replacement).clone()
             } else {
                 term.clone()
             }
@@ -288,132 +228,49 @@ fn subst_inner(term: &Term, x: Symbol, replacement: &Term, fv: &mut FvCache<'_>)
             term.clone()
         }
         Term::Pi { binder, domain, codomain } => {
-            let domain = subst_inner(domain, x, replacement, fv).rc();
-            let (binder, codomain) = subst_under(*binder, codomain, x, replacement, fv);
-            Term::Pi { binder, domain, codomain: codomain.rc() }
+            let domain = sub(domain);
+            let (binder, codomain) = subst_under(*binder, codomain, x, fv, ren, sub);
+            Term::Pi { binder, domain, codomain }
         }
+        // The two-binder forms: `env_binder` scopes over `arg_ty` and the
+        // body, `arg_binder` over the body only — the shared skeleton
+        // handles shadowing and freshening.
         Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
-            let (env_binder, arg_binder, env_ty, arg_ty, body) =
-                subst_code(*env_binder, env_ty, *arg_binder, arg_ty, body, x, replacement, fv);
-            Term::Code {
-                env_binder,
-                env_ty: env_ty.rc(),
-                arg_binder,
-                arg_ty: arg_ty.rc(),
-                body: body.rc(),
-            }
+            let env_ty = sub(env_ty);
+            let (env_binder, arg_binder, arg_ty, body) =
+                subst_under2(*env_binder, *arg_binder, arg_ty, body, x, fv, ren, sub);
+            Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
         }
         Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
-            let (env_binder, arg_binder, env_ty, arg_ty, result) =
-                subst_code(*env_binder, env_ty, *arg_binder, arg_ty, result, x, replacement, fv);
-            Term::CodeTy {
-                env_binder,
-                env_ty: env_ty.rc(),
-                arg_binder,
-                arg_ty: arg_ty.rc(),
-                result: result.rc(),
-            }
+            let env_ty = sub(env_ty);
+            let (env_binder, arg_binder, arg_ty, result) =
+                subst_under2(*env_binder, *arg_binder, arg_ty, result, x, fv, ren, sub);
+            Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result }
         }
-        Term::Closure { code, env } => Term::Closure {
-            code: subst_inner(code, x, replacement, fv).rc(),
-            env: subst_inner(env, x, replacement, fv).rc(),
-        },
-        Term::App { func, arg } => Term::App {
-            func: subst_inner(func, x, replacement, fv).rc(),
-            arg: subst_inner(arg, x, replacement, fv).rc(),
-        },
+        Term::Closure { code, env } => Term::Closure { code: sub(code), env: sub(env) },
+        Term::App { func, arg } => Term::App { func: sub(func), arg: sub(arg) },
         Term::Let { binder, annotation, bound, body } => {
-            let annotation = subst_inner(annotation, x, replacement, fv).rc();
-            let bound = subst_inner(bound, x, replacement, fv).rc();
-            let (binder, body) = subst_under(*binder, body, x, replacement, fv);
-            Term::Let { binder, annotation, bound, body: body.rc() }
+            let annotation = sub(annotation);
+            let bound = sub(bound);
+            let (binder, body) = subst_under(*binder, body, x, fv, ren, sub);
+            Term::Let { binder, annotation, bound, body }
         }
         Term::Sigma { binder, first, second } => {
-            let first = subst_inner(first, x, replacement, fv).rc();
-            let (binder, second) = subst_under(*binder, second, x, replacement, fv);
-            Term::Sigma { binder, first, second: second.rc() }
+            let first = sub(first);
+            let (binder, second) = subst_under(*binder, second, x, fv, ren, sub);
+            Term::Sigma { binder, first, second }
         }
-        Term::Pair { first, second, annotation } => Term::Pair {
-            first: subst_inner(first, x, replacement, fv).rc(),
-            second: subst_inner(second, x, replacement, fv).rc(),
-            annotation: subst_inner(annotation, x, replacement, fv).rc(),
-        },
-        Term::Fst(e) => Term::Fst(subst_inner(e, x, replacement, fv).rc()),
-        Term::Snd(e) => Term::Snd(subst_inner(e, x, replacement, fv).rc()),
+        Term::Pair { first, second, annotation } => {
+            Term::Pair { first: sub(first), second: sub(second), annotation: sub(annotation) }
+        }
+        Term::Fst(e) => Term::Fst(sub(e)),
+        Term::Snd(e) => Term::Snd(sub(e)),
         Term::If { scrutinee, then_branch, else_branch } => Term::If {
-            scrutinee: subst_inner(scrutinee, x, replacement, fv).rc(),
-            then_branch: subst_inner(then_branch, x, replacement, fv).rc(),
-            else_branch: subst_inner(else_branch, x, replacement, fv).rc(),
+            scrutinee: sub(scrutinee),
+            then_branch: sub(then_branch),
+            else_branch: sub(else_branch),
         },
     }
-}
-
-/// Substitutes inside the body of a binder, freshening the binder when it
-/// would capture a free variable of the replacement.
-fn subst_under(
-    binder: Symbol,
-    body: &Term,
-    x: Symbol,
-    replacement: &Term,
-    fv: &mut FvCache<'_>,
-) -> (Symbol, Term) {
-    if binder == x {
-        return (binder, body.clone());
-    }
-    if fv.contains(binder) {
-        let fresh = binder.freshen();
-        let renamed = rename(body, binder, fresh);
-        (fresh, subst_inner(&renamed, x, replacement, fv))
-    } else {
-        (binder, subst_inner(body, x, replacement, fv))
-    }
-}
-
-/// The two-binder case shared by `Code` and `CodeTy`: `env_binder` scopes
-/// over `arg_ty` and `body`, `arg_binder` scopes over `body` only.
-#[allow(clippy::too_many_arguments)]
-fn subst_code(
-    env_binder: Symbol,
-    env_ty: &Term,
-    arg_binder: Symbol,
-    arg_ty: &Term,
-    body: &Term,
-    x: Symbol,
-    replacement: &Term,
-    fv: &mut FvCache<'_>,
-) -> (Symbol, Symbol, Term, Term, Term) {
-    let env_ty = subst_inner(env_ty, x, replacement, fv);
-
-    // Freshen the environment binder if it would capture. When the
-    // argument binder shadows it (arg_binder = env_binder), the body's
-    // occurrences refer to the argument and must not be renamed here.
-    let (env_binder, arg_ty_scoped, body_scoped) = if env_binder != x && fv.contains(env_binder) {
-        let fresh = env_binder.freshen();
-        let body_renamed =
-            if arg_binder == env_binder { body.clone() } else { rename(body, env_binder, fresh) };
-        (fresh, rename(arg_ty, env_binder, fresh), body_renamed)
-    } else {
-        (env_binder, arg_ty.clone(), body.clone())
-    };
-    // Then the argument binder (which scopes only over the body).
-    let (arg_binder, body_scoped) = if arg_binder != x && fv.contains(arg_binder) {
-        let fresh = arg_binder.freshen();
-        (fresh, rename(&body_scoped, arg_binder, fresh))
-    } else {
-        (arg_binder, body_scoped)
-    };
-
-    let arg_ty = if env_binder == x {
-        arg_ty_scoped
-    } else {
-        subst_inner(&arg_ty_scoped, x, replacement, fv)
-    };
-    let body = if env_binder == x || arg_binder == x {
-        body_scoped
-    } else {
-        subst_inner(&body_scoped, x, replacement, fv)
-    };
-    (env_binder, arg_binder, env_ty, arg_ty, body)
 }
 
 /// Renames every free occurrence of `from` in `term` to `to`. `to` is
@@ -423,10 +280,45 @@ pub fn rename(term: &Term, from: Symbol, to: Symbol) -> Term {
     subst(term, from, &Term::Var(to))
 }
 
+/// [`rename`] on interned handles, sharing untouched subtrees.
+fn rename_rc(term: &RcTerm, from: Symbol, to: Symbol) -> RcTerm {
+    if !term.free_vars().contains(from) {
+        return term.clone();
+    }
+    subst_inner(term, from, &Term::Var(to).rc()).rc()
+}
+
 /// α-equivalence of two terms: structural equality up to consistent
 /// renaming of bound variables.
+///
+/// Hash-consing gives the traversal an identity fast path: two handles to
+/// the *same* node are α-equivalent whenever no active binder pairing can
+/// touch their free variables — in particular always at the top level.
 pub fn alpha_eq(left: &Term, right: &Term) -> bool {
     alpha_eq_inner(left, right, &mut HashMap::new(), &mut HashMap::new())
+}
+
+/// [`alpha_eq_inner`] on child handles, short-circuiting on node identity.
+///
+/// Identical nodes are α-equal outright when none of their free variables
+/// is remapped by an active binder pairing (a free variable outside both
+/// maps must satisfy `x == y`, which identity guarantees; bound-variable
+/// structure is literally the same). A closed node — every well-typed
+/// `Code` block — trivially satisfies the condition.
+fn alpha_eq_child(
+    left: &RcTerm,
+    right: &RcTerm,
+    l2r: &mut HashMap<Symbol, Symbol>,
+    r2l: &mut HashMap<Symbol, Symbol>,
+) -> bool {
+    if left.same(right) {
+        let unaffected = (l2r.is_empty() && r2l.is_empty())
+            || left.free_vars().iter().all(|v| !l2r.contains_key(&v) && !r2l.contains_key(&v));
+        if unaffected {
+            return true;
+        }
+    }
+    alpha_eq_inner(left, right, l2r, r2l)
 }
 
 fn alpha_eq_inner(
@@ -455,7 +347,7 @@ fn alpha_eq_inner(
             Term::Sigma { binder: y, first: a2, second: b2 },
         ) => {
             std::mem::discriminant(left) == std::mem::discriminant(right)
-                && alpha_eq_inner(a1, a2, l2r, r2l)
+                && alpha_eq_child(a1, a2, l2r, r2l)
                 && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
         }
         (
@@ -467,42 +359,42 @@ fn alpha_eq_inner(
             Term::CodeTy { env_binder: n2, env_ty: e2, arg_binder: x2, arg_ty: a2, result: b2 },
         ) => {
             std::mem::discriminant(left) == std::mem::discriminant(right)
-                && alpha_eq_inner(e1, e2, l2r, r2l)
+                && alpha_eq_child(e1, e2, l2r, r2l)
                 && alpha_eq_binder(*n1, a1, *n2, a2, l2r, r2l)
                 && alpha_eq_binder2(*n1, *x1, b1, *n2, *x2, b2, l2r, r2l)
         }
         (Term::Closure { code: c1, env: e1 }, Term::Closure { code: c2, env: e2 }) => {
-            alpha_eq_inner(c1, c2, l2r, r2l) && alpha_eq_inner(e1, e2, l2r, r2l)
+            alpha_eq_child(c1, c2, l2r, r2l) && alpha_eq_child(e1, e2, l2r, r2l)
         }
         (Term::App { func: f1, arg: a1 }, Term::App { func: f2, arg: a2 }) => {
-            alpha_eq_inner(f1, f2, l2r, r2l) && alpha_eq_inner(a1, a2, l2r, r2l)
+            alpha_eq_child(f1, f2, l2r, r2l) && alpha_eq_child(a1, a2, l2r, r2l)
         }
         (
             Term::Let { binder: x, annotation: t1, bound: e1, body: b1 },
             Term::Let { binder: y, annotation: t2, bound: e2, body: b2 },
         ) => {
-            alpha_eq_inner(t1, t2, l2r, r2l)
-                && alpha_eq_inner(e1, e2, l2r, r2l)
+            alpha_eq_child(t1, t2, l2r, r2l)
+                && alpha_eq_child(e1, e2, l2r, r2l)
                 && alpha_eq_binder(*x, b1, *y, b2, l2r, r2l)
         }
         (
             Term::Pair { first: a1, second: b1, annotation: t1 },
             Term::Pair { first: a2, second: b2, annotation: t2 },
         ) => {
-            alpha_eq_inner(a1, a2, l2r, r2l)
-                && alpha_eq_inner(b1, b2, l2r, r2l)
-                && alpha_eq_inner(t1, t2, l2r, r2l)
+            alpha_eq_child(a1, a2, l2r, r2l)
+                && alpha_eq_child(b1, b2, l2r, r2l)
+                && alpha_eq_child(t1, t2, l2r, r2l)
         }
         (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => {
-            alpha_eq_inner(a, b, l2r, r2l)
+            alpha_eq_child(a, b, l2r, r2l)
         }
         (
             Term::If { scrutinee: s1, then_branch: t1, else_branch: e1 },
             Term::If { scrutinee: s2, then_branch: t2, else_branch: e2 },
         ) => {
-            alpha_eq_inner(s1, s2, l2r, r2l)
-                && alpha_eq_inner(t1, t2, l2r, r2l)
-                && alpha_eq_inner(e1, e2, l2r, r2l)
+            alpha_eq_child(s1, s2, l2r, r2l)
+                && alpha_eq_child(t1, t2, l2r, r2l)
+                && alpha_eq_child(e1, e2, l2r, r2l)
         }
         _ => false,
     }
@@ -516,7 +408,7 @@ fn alpha_eq_binder(
     l2r: &mut HashMap<Symbol, Symbol>,
     r2l: &mut HashMap<Symbol, Symbol>,
 ) -> bool {
-    with_pairing(x, y, l2r, r2l, |l2r, r2l| alpha_eq_inner(left, right, l2r, r2l))
+    with_pairing(x, y, l2r, r2l, |l2r, r2l| alpha_eq_child(left, right, l2r, r2l))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -531,7 +423,7 @@ fn alpha_eq_binder2(
     r2l: &mut HashMap<Symbol, Symbol>,
 ) -> bool {
     with_pairing(x1, y1, l2r, r2l, |l2r, r2l| {
-        with_pairing(x2, y2, l2r, r2l, |l2r, r2l| alpha_eq_inner(left, right, l2r, r2l))
+        with_pairing(x2, y2, l2r, r2l, |l2r, r2l| alpha_eq_child(left, right, l2r, r2l))
     })
 }
 

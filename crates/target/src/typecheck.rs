@@ -23,14 +23,16 @@
 //! environment telescopes of closure conversion need when a closure
 //! captures a type variable.
 
-use crate::ast::{Term, Universe};
+use crate::ast::{RcTerm, Term, Universe};
 use crate::env::{Decl, Env};
 use crate::equiv::{equiv_with_engine, Engine};
 use crate::pretty::term_to_string;
 use crate::reduce::{whnf, ReduceError};
-use crate::subst::{free_vars, occurs_free, rename, subst};
+use crate::subst::{free_vars, is_closed, occurs_free, rename, subst};
 use cccc_util::fuel::Fuel;
+use cccc_util::intern::{FxHashMap, NodeId};
 use cccc_util::symbol::Symbol;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Errors produced by the CC-CC type checker.
@@ -211,6 +213,44 @@ pub fn is_well_typed(env: &Env, term: &Term) -> bool {
     infer(env, term).is_ok()
 }
 
+/// The code-typing memo never outgrows this many entries; it is cleared
+/// wholesale when it would.
+const CODE_MEMO_CAP: usize = 1 << 18;
+
+thread_local! {
+    /// Memoized `[Code]`/`[T-Code]` results, keyed by node identity (and
+    /// engine, so the step-engine oracle never reads NbE-derived entries).
+    ///
+    /// This is sound *unconditionally* — no environment component is
+    /// needed — because both rules discard the ambient `Γ` and check the
+    /// code in the empty environment, so the resulting type depends on the
+    /// code term alone. Hash-consing makes the duplicated code that
+    /// closure conversion mass-produces (and that separate compilation
+    /// re-verifies) literally the same node, so each distinct code block
+    /// is checked once per thread.
+    static CODE_MEMO: RefCell<FxHashMap<(NodeId, Engine), RcTerm>> =
+        RefCell::new(FxHashMap::default());
+}
+
+/// Clears this thread's `[Code]` typing memo.
+pub fn reset_code_memo() {
+    CODE_MEMO.with(|m| m.borrow_mut().clear());
+}
+
+fn code_memo_get(id: NodeId, engine: Engine) -> Option<RcTerm> {
+    CODE_MEMO.with(|m| m.borrow().get(&(id, engine)).cloned())
+}
+
+fn code_memo_insert(id: NodeId, engine: Engine, ty: RcTerm) {
+    CODE_MEMO.with(|m| {
+        let mut memo = m.borrow_mut();
+        if memo.len() >= CODE_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert((id, engine), ty);
+    });
+}
+
 /// Weak-head normalizes through the chosen engine: NbE read-back or the
 /// step-based `whnf`.
 fn head_normal(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result<Term> {
@@ -261,8 +301,14 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result
                 (Universe::Box, Universe::Star) => Ok(Term::Sort(Universe::Box)),
             }
         }
-        // [Code]: the empty environment replaces Γ.
+        // [Code]: the empty environment replaces Γ. The judgment depends
+        // on the code alone (Γ is discarded), so the result is memoized by
+        // node identity — each distinct code block is checked once.
         Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            let node = term.clone().rc();
+            if let Some(ty) = code_memo_get(node.id(), engine) {
+                return Ok((*ty).clone());
+            }
             require_closed(term)?;
             let empty = Env::new();
             infer_universe_with(&empty, env_ty, fuel, engine)?;
@@ -272,16 +318,24 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result
             let body_ty = infer_with(&with_arg, body, fuel, engine)?;
             // The resulting code type must itself be well-formed.
             infer_universe_with(&with_arg, &body_ty, fuel, engine)?;
-            Ok(Term::CodeTy {
+            let code_ty = Term::CodeTy {
                 env_binder: *env_binder,
                 env_ty: env_ty.clone(),
                 arg_binder: *arg_binder,
                 arg_ty: arg_ty.clone(),
                 result: body_ty.rc(),
-            })
+            }
+            .rc();
+            code_memo_insert(node.id(), engine, code_ty.clone());
+            Ok((*code_ty).clone())
         }
-        // [T-Code]: code types are checked in the empty environment too.
+        // [T-Code]: code types are checked in the empty environment too,
+        // and memoized the same way.
         Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+            let node = term.clone().rc();
+            if let Some(ty) = code_memo_get(node.id(), engine) {
+                return Ok((*ty).clone());
+            }
             require_closed(term)?;
             let empty = Env::new();
             infer_universe_with(&empty, env_ty, fuel, engine)?;
@@ -289,7 +343,9 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result
             infer_universe_with(&with_env, arg_ty, fuel, engine)?;
             let with_arg = with_env.with_assumption(*arg_binder, (**arg_ty).clone());
             let result_universe = infer_universe_with(&with_arg, result, fuel, engine)?;
-            Ok(Term::Sort(result_universe))
+            let sort = Term::Sort(result_universe).rc();
+            code_memo_insert(node.id(), engine, sort.clone());
+            Ok((*sort).clone())
         }
         // [Clo]: substitute the environment into the code type.
         Term::Closure { code, env: closure_env } => {
@@ -389,11 +445,15 @@ fn infer_with(env: &Env, term: &Term, fuel: &mut Fuel, engine: Engine) -> Result
 }
 
 /// The syntactic closedness premise of `[Code]`/`[T-Code]`.
+///
+/// The success path — every well-typed program — is O(1): closedness is a
+/// cached metadata bit on the children's interned nodes. Only the error
+/// path materializes the ordered free-variable list for the diagnostic.
 fn require_closed(term: &Term) -> Result<()> {
-    let free = free_vars(term);
-    if free.is_empty() {
+    if is_closed(term) {
         Ok(())
     } else {
+        let free = free_vars(term);
         Err(TypeError::OpenCode {
             code: term_to_string(term),
             free: free.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", "),

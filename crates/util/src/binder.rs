@@ -1,0 +1,214 @@
+//! The shared capture-avoidance skeleton for named-binder substitution.
+//!
+//! CC and CC-CC both implement `term[replacement/x]` over a named
+//! representation: a binder that *shadows* `x` stops the substitution, and
+//! a binder that occurs free in the replacement must be freshened before
+//! descending (otherwise it would capture). That decision logic — including
+//! the delicate two-binder case of CC-CC code, where the environment binder
+//! scopes over the argument type *and* the body while the argument binder
+//! scopes over the body only — used to be duplicated in both language
+//! crates. This module is the single shared implementation; the language
+//! crates supply their `rename` and `subst` recursions as closures.
+//!
+//! All capture checks are O(1) membership queries against the replacement's
+//! cached [`FreeVars`] set from the hash-consing kernel
+//! ([`crate::intern`]) — no free-variable recomputation on the
+//! substitution path.
+
+use crate::intern::FreeVars;
+use crate::symbol::Symbol;
+
+/// What to do with one binder when substituting `[replacement/x]` under it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinderPlan {
+    /// The binder *is* `x`: the substitution stops, the body is untouched.
+    Shadow,
+    /// The binder captures nothing: descend as is.
+    Keep,
+    /// The binder occurs free in the replacement: rename it to the carried
+    /// fresh symbol before descending.
+    Freshen(Symbol),
+}
+
+/// Decides how `[replacement/x]` interacts with a single binder, given the
+/// replacement's (cached) free-variable set.
+pub fn plan_binder(binder: Symbol, x: Symbol, replacement_fv: &FreeVars) -> BinderPlan {
+    if binder == x {
+        BinderPlan::Shadow
+    } else if replacement_fv.contains(binder) {
+        BinderPlan::Freshen(binder.freshen())
+    } else {
+        BinderPlan::Keep
+    }
+}
+
+/// Substitutes under a single binder (Π/λ/Σ/let bodies in both languages).
+///
+/// `rename(t, from, to)` must rename free occurrences of `from` to the
+/// fresh symbol `to`; `subst(t)` must apply the ambient `[replacement/x]`.
+/// Returns the (possibly freshened) binder and the transformed body.
+pub fn subst_under<T: Clone>(
+    binder: Symbol,
+    body: &T,
+    x: Symbol,
+    replacement_fv: &FreeVars,
+    rename: impl Fn(&T, Symbol, Symbol) -> T,
+    mut subst: impl FnMut(&T) -> T,
+) -> (Symbol, T) {
+    match plan_binder(binder, x, replacement_fv) {
+        BinderPlan::Shadow => (binder, body.clone()),
+        BinderPlan::Keep => (binder, subst(body)),
+        BinderPlan::Freshen(fresh) => {
+            let renamed = rename(body, binder, fresh);
+            (fresh, subst(&renamed))
+        }
+    }
+}
+
+/// Substitutes under the telescoped two-binder form of CC-CC code:
+/// `λ (outer : _, inner : mid). body` (and the corresponding `Code` type),
+/// where `outer` scopes over `mid` and `body`, and `inner` scopes over
+/// `body` only. When `inner == outer`, the inner binder shadows the outer
+/// one inside `body`, so occurrences there belong to `inner` and must not
+/// be renamed when `outer` is freshened.
+///
+/// Returns the (possibly freshened) binders and the transformed `mid` and
+/// `body`.
+#[allow(clippy::too_many_arguments)]
+pub fn subst_under2<T: Clone>(
+    outer: Symbol,
+    inner: Symbol,
+    mid: &T,
+    body: &T,
+    x: Symbol,
+    replacement_fv: &FreeVars,
+    rename: impl Fn(&T, Symbol, Symbol) -> T,
+    mut subst: impl FnMut(&T) -> T,
+) -> (Symbol, Symbol, T, T) {
+    // Freshen the outer binder if it would capture; `body` is renamed only
+    // when the inner binder does not shadow it there.
+    let (outer_out, mid_scoped, body_scoped) = match plan_binder(outer, x, replacement_fv) {
+        BinderPlan::Freshen(fresh) => {
+            let body_renamed =
+                if inner == outer { body.clone() } else { rename(body, outer, fresh) };
+            (fresh, rename(mid, outer, fresh), body_renamed)
+        }
+        _ => (outer, mid.clone(), body.clone()),
+    };
+    // Then the inner binder, which scopes only over the body.
+    let (inner_out, body_scoped) = match plan_binder(inner, x, replacement_fv) {
+        BinderPlan::Freshen(fresh) => (fresh, rename(&body_scoped, inner, fresh)),
+        _ => (inner, body_scoped),
+    };
+    // Shadowing stops the substitution: `outer == x` shields both `mid`
+    // and `body`; `inner == x` shields `body`. (A freshened binder is never
+    // equal to `x`, so testing the original names is equivalent.)
+    let mid_out = if outer == x { mid_scoped } else { subst(&mid_scoped) };
+    let body_out = if outer == x || inner == x { body_scoped } else { subst(&body_scoped) };
+    (outer_out, inner_out, mid_out, body_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::FvBuilder;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn fv(names: &[&str]) -> FreeVars {
+        let mut b = FvBuilder::new();
+        for n in names {
+            b.add(sym(n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shadowing_binder_stops_substitution() {
+        assert_eq!(plan_binder(sym("x"), sym("x"), &fv(&["y"])), BinderPlan::Shadow);
+    }
+
+    #[test]
+    fn capturing_binder_is_freshened() {
+        match plan_binder(sym("y"), sym("x"), &fv(&["y"])) {
+            BinderPlan::Freshen(fresh) => {
+                assert_ne!(fresh, sym("y"));
+                assert_eq!(fresh.base_name(), "y");
+            }
+            other => panic!("expected Freshen, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harmless_binder_is_kept() {
+        assert_eq!(plan_binder(sym("z"), sym("x"), &fv(&["y"])), BinderPlan::Keep);
+    }
+
+    /// A toy "term": a list of symbols; rename/subst act pointwise, which
+    /// is enough to observe which transformations the skeleton applies.
+    type Toy = Vec<Symbol>;
+
+    fn toy_rename(t: &Toy, from: Symbol, to: Symbol) -> Toy {
+        t.iter().map(|&s| if s == from { to } else { s }).collect()
+    }
+
+    #[test]
+    fn subst_under_applies_in_plan_order() {
+        let x = sym("x");
+        let marker = sym("SUBSTED");
+        let subst = |t: &Toy| t.iter().map(|&s| if s == x { marker } else { s }).collect();
+
+        // Shadow: body untouched.
+        let (b, body) = subst_under(x, &vec![x], x, &fv(&[]), toy_rename, subst);
+        assert_eq!(b, x);
+        assert_eq!(body, vec![x]);
+
+        // Keep: substituted.
+        let (b, body) = subst_under(sym("k"), &vec![x], x, &fv(&[]), toy_rename, subst);
+        assert_eq!(b, sym("k"));
+        assert_eq!(body, vec![marker]);
+
+        // Freshen: binder occurrences renamed, then substituted.
+        let y = sym("y");
+        let (b, body) = subst_under(y, &vec![y, x], x, &fv(&["y"]), toy_rename, subst);
+        assert_ne!(b, y);
+        assert_eq!(body, vec![b, marker]);
+    }
+
+    #[test]
+    fn subst_under2_respects_inner_shadowing_of_outer() {
+        // outer = inner = "n": freshening the outer binder must leave the
+        // body's occurrences (which belong to the inner binder) alone.
+        let n = sym("n");
+        let x = sym("hole");
+        let marker = sym("SUBSTED");
+        let subst = |t: &Toy| t.iter().map(|&s| if s == x { marker } else { s }).collect();
+        let (outer, inner, mid, body) =
+            subst_under2(n, n, &vec![n, x], &vec![n], x, &fv(&["n"]), toy_rename, subst);
+        assert_ne!(outer, n, "outer binder freshened to avoid capture");
+        assert_ne!(inner, n, "inner binder freshened too (it also collides with `n`)");
+        assert_ne!(outer, inner);
+        assert_eq!(mid, vec![outer, marker], "mid renamed to fresh outer, then substituted");
+        assert_eq!(body, vec![inner], "body occurrences follow the (freshened) inner binder");
+    }
+
+    #[test]
+    fn subst_under2_shadowing_stops_substitution() {
+        let x = sym("x");
+        let other = sym("m");
+        let marker = sym("SUBSTED");
+        let subst = |t: &Toy| t.iter().map(|&s| if s == x { marker } else { s }).collect();
+        // outer == x shields both positions.
+        let (_, _, mid, body) =
+            subst_under2(x, other, &vec![x], &vec![x], x, &fv(&[]), toy_rename, subst);
+        assert_eq!(mid, vec![x]);
+        assert_eq!(body, vec![x]);
+        // inner == x shields the body only.
+        let (_, _, mid, body) =
+            subst_under2(other, x, &vec![x], &vec![x], x, &fv(&[]), toy_rename, subst);
+        assert_eq!(mid, vec![marker]);
+        assert_eq!(body, vec![x]);
+    }
+}

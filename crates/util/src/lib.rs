@@ -6,6 +6,12 @@
 //! * [`symbol`] — a global string interner, the [`symbol::Symbol`] handle
 //!   type, and a fresh-name supply used by capture-avoiding substitution and
 //!   by the closure-conversion translation.
+//! * [`intern`] — the hash-consing kernel: [`intern::Node`] handles with
+//!   O(1) identity equality and cached per-node metadata (free-variable
+//!   set, closedness, depth, size), produced by per-language
+//!   [`intern::Interner`]s.
+//! * [`binder`] — the shared capture-avoidance skeleton for named-binder
+//!   substitution (single-binder and the CC-CC two-binder code forms).
 //! * [`span`] — byte-offset source spans and located values for the parsers.
 //! * [`pretty`] — a small Wadler-style pretty-printing engine used by both
 //!   pretty-printers.
@@ -26,13 +32,16 @@
 //! assert_eq!(fresh.base_name(), "x");
 //! ```
 
+pub mod binder;
 pub mod diag;
 pub mod fuel;
+pub mod intern;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
 
 pub use diag::{Diagnostic, Severity};
 pub use fuel::Fuel;
+pub use intern::{FreeVars, FvBuilder, Internable, Interner, Node, NodeId, NodeMeta};
 pub use span::{Span, Spanned};
 pub use symbol::Symbol;

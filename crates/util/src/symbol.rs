@@ -11,6 +11,7 @@
 //! Two generated names are equal only when they share the same subscript, so
 //! a freshened symbol can never collide with any other symbol in the program.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,8 +42,13 @@ pub struct Symbol {
 }
 
 struct Interner {
-    names: Vec<String>,
-    map: HashMap<String, u32>,
+    /// Interned base names. The strings are leaked into `'static` storage
+    /// so that [`Symbol::base_name`] can hand out borrows without locking
+    /// or allocating per call; the leak is bounded by the number of
+    /// *distinct* base names ever interned (generated symbols share their
+    /// base's entry), which is small and does not grow with term size.
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
 }
 
 impl Interner {
@@ -55,13 +61,14 @@ impl Interner {
             return id;
         }
         let id = self.names.len() as u32;
-        self.names.push(s.to_owned());
-        self.map.insert(s.to_owned(), id);
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        self.names.push(leaked);
+        self.map.insert(leaked, id);
         id
     }
 
-    fn resolve(&self, id: u32) -> &str {
-        &self.names[id as usize]
+    fn resolve(&self, id: u32) -> &'static str {
+        self.names[id as usize]
     }
 }
 
@@ -99,31 +106,38 @@ impl Symbol {
     }
 
     /// The base (user-visible) name of the symbol, without any uniqueness
-    /// subscript.
-    pub fn base_name(&self) -> String {
-        interner().lock().expect("symbol interner poisoned").resolve(self.base).to_owned()
+    /// subscript. Returns a borrow of the interner's `'static` storage —
+    /// no allocation, no lock held after the call returns.
+    pub fn base_name(&self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").resolve(self.base)
     }
 
-    /// The full textual form of the symbol. Generated symbols render with a
-    /// `$n` subscript so that distinct symbols always display distinctly.
-    pub fn as_str(&self) -> String {
+    /// The full textual form of the symbol. Plain symbols borrow their
+    /// interned name outright; generated symbols render with a `$n`
+    /// subscript (so that distinct symbols always display distinctly) and
+    /// are the only case that allocates.
+    pub fn as_str(&self) -> Cow<'static, str> {
         if self.unique == 0 {
-            self.base_name()
+            Cow::Borrowed(self.base_name())
         } else {
-            format!("{}${}", self.base_name(), self.unique)
+            Cow::Owned(format!("{}${}", self.base_name(), self.unique))
         }
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        if self.unique == 0 {
+            f.write_str(self.base_name())
+        } else {
+            write!(f, "{}${}", self.base_name(), self.unique)
+        }
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Symbol({})", self.as_str())
+        write!(f, "Symbol({self})")
     }
 }
 
