@@ -107,11 +107,13 @@ fn bench_pipeline_engines(c: &mut Criterion) {
         typecheck_output: true,
         verify_type_preservation: false,
         use_nbe: false,
+        ..CompilerOptions::default()
     });
     let nbe_compiler = Compiler::with_options(CompilerOptions {
         typecheck_output: true,
         verify_type_preservation: false,
         use_nbe: true,
+        ..CompilerOptions::default()
     });
 
     let mut group = c.benchmark_group("pipeline_step_vs_nbe");

@@ -48,6 +48,7 @@ fn bench_translation(c: &mut Criterion) {
         typecheck_output: false,
         verify_type_preservation: false,
         use_nbe: true,
+        ..CompilerOptions::default()
     });
     for workload in church_workloads(&[2, 4]) {
         group.bench_with_input(

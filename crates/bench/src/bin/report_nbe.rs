@@ -148,11 +148,13 @@ fn main() {
         typecheck_output: true,
         verify_type_preservation: false,
         use_nbe: false,
+        ..CompilerOptions::default()
     });
     let nbe_compiler = Compiler::with_options(CompilerOptions {
         typecheck_output: true,
         verify_type_preservation: false,
         use_nbe: true,
+        ..CompilerOptions::default()
     });
     let mut pipeline_workloads: Vec<Workload> = church_workloads(&[2, 4]);
     pipeline_workloads.extend(conversion_workloads(&[6]));

@@ -41,5 +41,8 @@ pub mod pipeline;
 pub mod translate;
 pub mod verify;
 
-pub use pipeline::{Compilation, CompileError, Compiler, CompilerOptions};
+pub use pipeline::{
+    cache_snapshot, CacheReport, CacheSnapshot, Compilation, CompileError, Compiler,
+    CompilerOptions,
+};
 pub use translate::{translate, translate_env, translate_program, TranslateError};

@@ -18,6 +18,7 @@ use crate::translate::{translate, translate_env, TranslateError};
 use crate::verify::{check_type_preservation, VerifyError};
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::intern::{ConvCacheStats, InternStats};
 use std::fmt;
 
 /// Configuration for the [`Compiler`].
@@ -39,11 +40,147 @@ pub struct CompilerOptions {
     /// Theorem 5.6 core check (inferred target type ≡ translated type)
     /// through the step engine, so no NbE code runs.
     pub use_nbe: bool,
+    /// Attach a [`CacheReport`] to each [`Compilation`]: the interner and
+    /// conversion-memo activity (hits, misses, table sizes, prunes) this
+    /// compile caused on its thread. Off by default — the snapshots are
+    /// cheap, but most callers don't want the field populated. The
+    /// parallel module driver turns this on to fill its per-unit
+    /// diagnostics.
+    pub collect_cache_stats: bool,
 }
 
 impl Default for CompilerOptions {
     fn default() -> Self {
-        CompilerOptions { typecheck_output: true, verify_type_preservation: true, use_nbe: true }
+        CompilerOptions {
+            typecheck_output: true,
+            verify_type_preservation: true,
+            use_nbe: true,
+            collect_cache_stats: false,
+        }
+    }
+}
+
+/// A point-in-time snapshot of every thread-local cache the pipeline
+/// relies on: both languages' term interners and conversion memo tables.
+///
+/// Taken with [`cache_snapshot`]; two snapshots subtract into a
+/// [`CacheReport`] describing the activity in between. This is how the
+/// interner and memo counters — previously reachable only through the
+/// per-crate free functions ([`src::ast::intern_stats`],
+/// [`src::equiv::conv_cache_stats`], and their `tgt` twins) — surface
+/// through [`CompilerOptions`] and the driver's per-unit diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheSnapshot {
+    /// CC interner counters.
+    pub source_intern: InternStats,
+    /// CC-CC interner counters.
+    pub target_intern: InternStats,
+    /// CC conversion-memo counters.
+    pub source_conv: ConvCacheStats,
+    /// CC-CC conversion-memo counters.
+    pub target_conv: ConvCacheStats,
+    /// Entries in the CC interner table at snapshot time.
+    pub source_intern_table: usize,
+    /// Entries in the CC-CC interner table at snapshot time.
+    pub target_intern_table: usize,
+    /// Entries in the CC conversion memo at snapshot time.
+    pub source_conv_table: usize,
+    /// Entries in the CC-CC conversion memo at snapshot time.
+    pub target_conv_table: usize,
+}
+
+/// Snapshots the current thread's interner and conversion-memo state.
+pub fn cache_snapshot() -> CacheSnapshot {
+    CacheSnapshot {
+        source_intern: src::ast::intern_stats(),
+        target_intern: tgt::ast::intern_stats(),
+        source_conv: src::equiv::conv_cache_stats(),
+        target_conv: tgt::equiv::conv_cache_stats(),
+        source_intern_table: src::ast::intern_table_len(),
+        target_intern_table: tgt::ast::intern_table_len(),
+        source_conv_table: src::equiv::conv_cache_len(),
+        target_conv_table: tgt::equiv::conv_cache_len(),
+    }
+}
+
+/// The cache activity between two [`CacheSnapshot`]s: counters are
+/// deltas, table sizes are the sizes at the *end* of the window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheReport {
+    /// CC interner activity (hit/miss/prune deltas).
+    pub source_intern: InternStats,
+    /// CC-CC interner activity (hit/miss/prune deltas).
+    pub target_intern: InternStats,
+    /// CC conversion-memo activity (identity/memo-hit/miss/clear deltas).
+    pub source_conv: ConvCacheStats,
+    /// CC-CC conversion-memo activity (identity/memo-hit/miss/clear
+    /// deltas).
+    pub target_conv: ConvCacheStats,
+    /// CC interner table size at the end of the window.
+    pub source_intern_table: usize,
+    /// CC-CC interner table size at the end of the window.
+    pub target_intern_table: usize,
+    /// CC conversion-memo size at the end of the window.
+    pub source_conv_table: usize,
+    /// CC-CC conversion-memo size at the end of the window.
+    pub target_conv_table: usize,
+}
+
+impl CacheReport {
+    /// The report for the window from `before` to `after`.
+    pub fn between(before: &CacheSnapshot, after: &CacheSnapshot) -> CacheReport {
+        CacheReport {
+            source_intern: after.source_intern.since(&before.source_intern),
+            target_intern: after.target_intern.since(&before.target_intern),
+            source_conv: after.source_conv.since(&before.source_conv),
+            target_conv: after.target_conv.since(&before.target_conv),
+            source_intern_table: after.source_intern_table,
+            target_intern_table: after.target_intern_table,
+            source_conv_table: after.source_conv_table,
+            target_conv_table: after.target_conv_table,
+        }
+    }
+
+    /// Total interning requests across both languages.
+    pub fn intern_requests(&self) -> u64 {
+        self.source_intern.hits
+            + self.source_intern.misses
+            + self.target_intern.hits
+            + self.target_intern.misses
+    }
+
+    /// Total conversion queries answered without running the decision
+    /// procedure (identity + memo hits, both languages).
+    pub fn conv_fast_path_hits(&self) -> u64 {
+        self.source_conv.identity_hits
+            + self.source_conv.memo_hits
+            + self.target_conv.identity_hits
+            + self.target_conv.memo_hits
+    }
+}
+
+impl fmt::Display for CacheReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "intern cc {}h/{}m cccc {}h/{}m ({} + {} entries, {} prunes); \
+             conv cc {}i/{}h/{}m cccc {}i/{}h/{}m ({} + {} entries)",
+            self.source_intern.hits,
+            self.source_intern.misses,
+            self.target_intern.hits,
+            self.target_intern.misses,
+            self.source_intern_table,
+            self.target_intern_table,
+            self.source_intern.prunes + self.target_intern.prunes,
+            self.source_conv.identity_hits,
+            self.source_conv.memo_hits,
+            self.source_conv.memo_misses,
+            self.target_conv.identity_hits,
+            self.target_conv.memo_hits,
+            self.target_conv.memo_misses,
+            self.source_conv_table,
+            self.target_conv_table,
+        )
     }
 }
 
@@ -131,6 +268,9 @@ pub struct Compilation {
     /// The translation of the source type (the target term checks at this
     /// type).
     pub target_type: tgt::Term,
+    /// The cache activity this compile caused on its thread, populated
+    /// when [`CompilerOptions::collect_cache_stats`] is set.
+    pub cache_stats: Option<CacheReport>,
 }
 
 impl Compilation {
@@ -193,6 +333,7 @@ impl Compiler {
     ///
     /// Returns a [`CompileError`] if any stage fails.
     pub fn compile(&self, env: &src::Env, term: &src::Term) -> Result<Compilation> {
+        let before = self.options.collect_cache_stats.then(cache_snapshot);
         let (src_engine, tgt_engine) = if self.options.use_nbe {
             (src::equiv::Engine::Nbe, tgt::equiv::Engine::Nbe)
         } else {
@@ -232,7 +373,8 @@ impl Compiler {
             }
         }
 
-        Ok(Compilation { source: term.clone(), source_type, target, target_type })
+        let cache_stats = before.map(|b| CacheReport::between(&b, &cache_snapshot()));
+        Ok(Compilation { source: term.clone(), source_type, target, target_type, cache_stats })
     }
 
     /// Compiles a closed program.
@@ -350,7 +492,7 @@ mod tests {
         let options = CompilerOptions {
             typecheck_output: false,
             verify_type_preservation: false,
-            use_nbe: true,
+            ..CompilerOptions::default()
         };
         let compiler = Compiler::with_options(options);
         assert!(!compiler.options().typecheck_output);
@@ -370,6 +512,46 @@ mod tests {
             compiler.compile_and_link(&env, &s::var("x"), &Vec::new()).unwrap_err(),
             CompileError::Link(_)
         ));
+    }
+
+    #[test]
+    fn cache_stats_are_attached_when_requested() {
+        let compiler = Compiler::with_options(CompilerOptions {
+            collect_cache_stats: true,
+            ..CompilerOptions::default()
+        });
+        let compilation = compiler.compile_closed(&prelude::poly_compose()).unwrap();
+        let report = compilation.cache_stats.expect("stats requested");
+        // Compiling interned fresh nodes in both languages …
+        assert!(report.source_intern.misses > 0);
+        assert!(report.target_intern.misses > 0);
+        assert!(report.intern_requests() > 0);
+        // … and the tables are non-empty afterwards.
+        assert!(report.source_intern_table > 0);
+        assert!(report.target_intern_table > 0);
+        let rendered = report.to_string();
+        assert!(rendered.contains("intern"));
+        assert!(rendered.contains("conv"));
+
+        // Default options leave the field unpopulated.
+        let plain = Compiler::new().compile_closed(&prelude::poly_id()).unwrap();
+        assert!(plain.cache_stats.is_none());
+    }
+
+    #[test]
+    fn cache_snapshots_subtract_into_reports() {
+        let before = cache_snapshot();
+        let _ = Compiler::new().compile_closed(&prelude::poly_compose()).unwrap();
+        let after = cache_snapshot();
+        let report = CacheReport::between(&before, &after);
+        assert!(report.intern_requests() > 0);
+        // Snapshotting is observation only: two consecutive snapshots
+        // with no work in between must subtract to all-zero deltas.
+        let idle = CacheReport::between(&after, &cache_snapshot());
+        assert_eq!(idle.intern_requests(), 0);
+        assert_eq!(idle.conv_fast_path_hits(), 0);
+        assert_eq!(idle.source_conv.memo_misses, 0);
+        assert_eq!(idle.target_conv.memo_misses, 0);
     }
 
     #[test]

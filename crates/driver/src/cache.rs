@@ -1,0 +1,179 @@
+//! The fingerprint-keyed artifact cache.
+//!
+//! A compiled unit's artifact is fully determined by its *input
+//! fingerprint*: the fingerprint of its wire-encoded source, the compiler
+//! options that affect output, and the interface fingerprints of its
+//! transitive imports (a unit is compiled against interfaces only — §5.2
+//! separate compilation — so import *bodies* are deliberately absent).
+//! The cache maps unit names to `(input fingerprint, artifact)`; a build
+//! whose recomputed fingerprint matches skips the unit entirely, which is
+//! what makes a no-change rebuild re-verify nothing.
+//!
+//! Artifacts are wire-encoded ([`cccc_target::wire`]) and shared behind
+//! [`Arc`], so cache reads hand workers cheap clones across threads.
+
+use cccc_util::wire::{Fingerprint, WireTerm};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The compiled outputs of one unit, wire-encoded and thread-portable.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The unit's inferred CC type — its exported interface.
+    pub source_ty: WireTerm,
+    /// The closure-converted CC-CC term.
+    pub target: WireTerm,
+    /// The translation of the interface (the type the target checks at).
+    pub target_ty: WireTerm,
+    /// The α-invariant fingerprint of the interface
+    /// ([`cccc_source::wire::fingerprint_alpha`]), computed at compile
+    /// time.
+    pub interface_alpha: Fingerprint,
+}
+
+impl Artifact {
+    /// The fingerprint of the exported interface; dependents fold this
+    /// into their own input fingerprints, giving early cutoff when an
+    /// import's body changes but its interface does not. α-invariant:
+    /// recompiling an import whose inferred type merely re-freshened a
+    /// binder (capture-avoidance subscripts come from a global counter)
+    /// must not cascade into dependents.
+    pub fn interface_fingerprint(&self) -> Fingerprint {
+        self.interface_alpha
+    }
+}
+
+/// Hit/miss/invalidation counters for the artifact cache.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a fingerprint-matching artifact.
+    pub hits: u64,
+    /// Lookups with no entry for the unit.
+    pub misses: u64,
+    /// Lookups whose entry existed but carried a stale fingerprint (the
+    /// unit or an interface it depends on changed).
+    pub invalidations: u64,
+}
+
+/// An in-memory artifact cache keyed by unit name, validated by input
+/// fingerprint.
+#[derive(Default, Debug)]
+pub struct ArtifactCache {
+    entries: HashMap<String, (Fingerprint, Arc<Artifact>)>,
+    stats: CacheStats,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Looks up the artifact for `unit`, valid only under `fingerprint`.
+    pub fn lookup(&mut self, unit: &str, fingerprint: Fingerprint) -> Option<Arc<Artifact>> {
+        match self.entries.get(unit) {
+            Some((cached, artifact)) if *cached == fingerprint => {
+                self.stats.hits += 1;
+                Some(Arc::clone(artifact))
+            }
+            Some(_) => {
+                self.stats.invalidations += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the artifact for `unit` under its input fingerprint,
+    /// replacing any stale entry.
+    pub fn insert(&mut self, unit: &str, fingerprint: Fingerprint, artifact: Arc<Artifact>) {
+        self.entries.insert(unit.to_owned(), (fingerprint, artifact));
+    }
+
+    /// Number of cached units.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry and resets the counters (used to measure cold
+    /// builds).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccc_target::builder as t;
+
+    fn artifact(term: &cccc_target::Term) -> Arc<Artifact> {
+        let wire = cccc_target::wire::encode(term);
+        Arc::new(Artifact {
+            source_ty: wire.clone(),
+            target: wire.clone(),
+            target_ty: wire.clone(),
+            interface_alpha: wire.fingerprint(),
+        })
+    }
+
+    #[test]
+    fn lookups_distinguish_hit_miss_and_invalidation() {
+        let mut cache = ArtifactCache::new();
+        let fp1 = Fingerprint::of_words(&[1]);
+        let fp2 = Fingerprint::of_words(&[2]);
+        assert!(cache.lookup("m", fp1).is_none());
+        cache.insert("m", fp1, artifact(&t::tt()));
+        assert!(cache.lookup("m", fp1).is_some());
+        assert!(cache.lookup("m", fp2).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_stale_entries() {
+        let mut cache = ArtifactCache::new();
+        let fp1 = Fingerprint::of_words(&[1]);
+        let fp2 = Fingerprint::of_words(&[2]);
+        cache.insert("m", fp1, artifact(&t::tt()));
+        cache.insert("m", fp2, artifact(&t::ff()));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("m", fp1).is_none());
+        let hit = cache.lookup("m", fp2).unwrap();
+        let decoded = cccc_target::wire::decode(&hit.target).unwrap();
+        assert!(matches!(decoded, cccc_target::Term::BoolLit(false)));
+    }
+
+    #[test]
+    fn clear_empties_cache_and_counters() {
+        let mut cache = ArtifactCache::new();
+        cache.insert("m", Fingerprint::default(), artifact(&t::tt()));
+        let _ = cache.lookup("m", Fingerprint::default());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn interface_fingerprint_is_the_stored_alpha_fingerprint() {
+        let a = artifact(&t::tt());
+        assert_eq!(a.interface_fingerprint(), a.interface_alpha);
+    }
+}

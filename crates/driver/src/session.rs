@@ -1,0 +1,578 @@
+//! The driver session: topological scheduling of compilation units onto
+//! parallel workers, with fingerprint-validated artifact reuse.
+//!
+//! A [`Session`] owns a [`UnitGraph`], an [`ArtifactCache`], and the
+//! [`CompilerOptions`] every unit is compiled with. [`Session::build`]
+//! validates the graph, then runs a work-stealing pool of OS threads:
+//! each worker owns its thread's CC/CC-CC interners and memo tables (the
+//! kernel's handles are `!Send` by design), picks ready units off the
+//! shared frontier, imports its dependencies' *interfaces* through the
+//! wire codec, and either reuses a fingerprint-matching cached artifact
+//! or runs the full [`Compiler`] pipeline — type check, closure convert,
+//! re-check, verify — exporting the result back as wire buffers.
+//!
+//! Because a unit is compiled against interfaces only, its input
+//! fingerprint covers exactly: its own source, the output-affecting
+//! compiler options, and its transitive imports' interface fingerprints.
+//! A no-change rebuild therefore recomputes a few hashes and compiles
+//! nothing; an implementation-only change to an import recompiles that
+//! import alone.
+
+use crate::cache::{Artifact, ArtifactCache, CacheStats};
+use crate::graph::{Plan, UnitGraph};
+use crate::DriverError;
+use cccc_core::pipeline::{CacheReport, Compilation, Compiler, CompilerOptions};
+use cccc_source as src;
+use cccc_target as tgt;
+use cccc_util::symbol::Symbol;
+use cccc_util::wire::Fingerprint;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How one unit fared in a build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// The full pipeline ran.
+    Compiled,
+    /// A fingerprint-matching artifact was reused; nothing was re-verified.
+    Cached,
+    /// The pipeline failed (the message names the stage).
+    Failed(String),
+    /// An import failed (or was itself skipped), so this unit never ran.
+    Skipped(String),
+}
+
+impl UnitStatus {
+    /// Whether the unit ended with a usable artifact.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, UnitStatus::Compiled | UnitStatus::Cached)
+    }
+}
+
+/// Per-unit diagnostics for one build.
+#[derive(Clone, Debug)]
+pub struct UnitReport {
+    /// The unit's name.
+    pub name: String,
+    /// How the unit fared.
+    pub status: UnitStatus,
+    /// Wall time spent on the unit (fingerprinting + cache lookup +
+    /// compile).
+    pub duration: Duration,
+    /// The unit's input fingerprint for this build.
+    pub fingerprint: Fingerprint,
+    /// Which worker handled the unit.
+    pub worker: usize,
+    /// Interner and conversion-memo activity on the worker thread while
+    /// compiling this unit ([`CompilerOptions::collect_cache_stats`] is
+    /// forced on inside workers). `None` for cached/skipped units.
+    pub caches: Option<CacheReport>,
+    /// Words in the unit's wire-encoded source.
+    pub source_words: usize,
+    /// Words in the wire-encoded compiled term (0 unless compiled or
+    /// cached).
+    pub target_words: usize,
+}
+
+/// The outcome of one [`Session::build`].
+#[derive(Clone, Debug)]
+pub struct BuildReport {
+    /// Per-unit diagnostics, in schedule (topological) order.
+    pub units: Vec<UnitReport>,
+    /// Number of workers the pool ran.
+    pub workers: usize,
+    /// End-to-end wall time of the build.
+    pub wall_time: Duration,
+    /// Artifact-cache activity during this build.
+    pub cache: CacheStats,
+}
+
+impl BuildReport {
+    /// Units that ran the full pipeline.
+    pub fn compiled_count(&self) -> usize {
+        self.units.iter().filter(|u| u.status == UnitStatus::Compiled).count()
+    }
+
+    /// Units answered from the artifact cache.
+    pub fn cached_count(&self) -> usize {
+        self.units.iter().filter(|u| u.status == UnitStatus::Cached).count()
+    }
+
+    /// Units that failed outright.
+    pub fn failed_count(&self) -> usize {
+        self.units.iter().filter(|u| matches!(u.status, UnitStatus::Failed(_))).count()
+    }
+
+    /// Units skipped because an import failed.
+    pub fn skipped_count(&self) -> usize {
+        self.units.iter().filter(|u| matches!(u.status, UnitStatus::Skipped(_))).count()
+    }
+
+    /// Whether every unit produced an artifact.
+    pub fn is_success(&self) -> bool {
+        self.units.iter().all(|u| u.status.is_ok())
+    }
+
+    /// The first failed unit, if any.
+    pub fn first_failure(&self) -> Option<&UnitReport> {
+        self.units.iter().find(|u| matches!(u.status, UnitStatus::Failed(_)))
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} units on {} workers in {:?}: {} compiled, {} cached, {} failed, {} skipped",
+            self.units.len(),
+            self.workers,
+            self.wall_time,
+            self.compiled_count(),
+            self.cached_count(),
+            self.failed_count(),
+            self.skipped_count(),
+        )
+    }
+}
+
+/// A parallel, incremental multi-unit compilation session.
+///
+/// The single-program [`Compiler`] is the degenerate case: a session with
+/// one unit and no imports ([`Session::single_program`]) compiles exactly
+/// what [`Compiler::compile_closed`] compiles, with the same verification
+/// verdicts — the differential suites pin this down.
+pub struct Session {
+    graph: UnitGraph,
+    options: CompilerOptions,
+    cache: Mutex<ArtifactCache>,
+    results: HashMap<String, Arc<Artifact>>,
+}
+
+/// Scheduler state shared by the worker pool.
+struct SchedState {
+    ready: VecDeque<usize>,
+    pending: Vec<usize>,
+    artifacts: Vec<Option<Arc<Artifact>>>,
+    reports: Vec<Option<UnitReport>>,
+    remaining: usize,
+}
+
+impl Session {
+    /// An empty session compiling with the given options.
+    pub fn new(options: CompilerOptions) -> Session {
+        Session {
+            graph: UnitGraph::new(),
+            options,
+            cache: Mutex::new(ArtifactCache::new()),
+            results: HashMap::new(),
+        }
+    }
+
+    /// A session holding a single closed unit named `main` — the existing
+    /// single-program compiler re-expressed as a one-unit session.
+    pub fn single_program(options: CompilerOptions, term: &src::Term) -> Session {
+        let mut session = Session::new(options);
+        session.add_unit("main", &[], term).expect("fresh session has no duplicate");
+        session
+    }
+
+    /// The options every unit is compiled with.
+    pub fn options(&self) -> CompilerOptions {
+        self.options
+    }
+
+    /// The unit graph.
+    pub fn graph(&self) -> &UnitGraph {
+        &self.graph
+    }
+
+    /// Adds a unit (see [`UnitGraph::add_unit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::DuplicateUnit`] if the name is taken.
+    pub fn add_unit(
+        &mut self,
+        name: &str,
+        imports: &[&str],
+        term: &src::Term,
+    ) -> Result<(), DriverError> {
+        self.graph.add_unit(name, imports, term)
+    }
+
+    /// Replaces a unit's source between builds (see
+    /// [`UnitGraph::update_unit`]); the next build recompiles it and any
+    /// unit whose interface telescope it invalidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::UnknownUnit`] if no unit has this name.
+    pub fn update_unit(&mut self, name: &str, term: &src::Term) -> Result<(), DriverError> {
+        self.graph.update_unit(name, term)
+    }
+
+    /// Artifact-cache counters accumulated over the session.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("driver cache poisoned").stats()
+    }
+
+    /// Drops every cached artifact (turns the next build cold).
+    pub fn clear_cache(&mut self) {
+        self.cache.lock().expect("driver cache poisoned").clear();
+        self.results.clear();
+    }
+
+    /// The artifact the last build produced for `name`, if any.
+    pub fn artifact(&self, name: &str) -> Option<Arc<Artifact>> {
+        self.results.get(name).cloned()
+    }
+
+    /// The compiled CC-CC term for `name`, decoded into the calling
+    /// thread's interner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::NotBuilt`] before a successful build of the
+    /// unit, or [`DriverError::Wire`] on a corrupt artifact.
+    pub fn target_term(&self, name: &str) -> Result<tgt::Term, DriverError> {
+        let artifact = self.artifact(name).ok_or_else(|| DriverError::NotBuilt(name.to_owned()))?;
+        tgt::wire::decode(&artifact.target).map_err(|e| DriverError::Wire(e.to_string()))
+    }
+
+    /// The exported interface (inferred CC type) of `name`, decoded into
+    /// the calling thread's interner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::NotBuilt`] before a successful build of the
+    /// unit, or [`DriverError::Wire`] on a corrupt artifact.
+    pub fn interface(&self, name: &str) -> Result<src::Term, DriverError> {
+        let artifact = self.artifact(name).ok_or_else(|| DriverError::NotBuilt(name.to_owned()))?;
+        src::wire::decode(&artifact.source_ty).map_err(|e| DriverError::Wire(e.to_string()))
+    }
+
+    /// Compiles every unit, `workers` at a time, reusing
+    /// fingerprint-matching artifacts from previous builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError`] if the graph itself is invalid (dangling
+    /// import or cycle). Per-unit pipeline failures do *not* abort the
+    /// build: they are reported per unit ([`UnitStatus::Failed`]) and
+    /// their dependents are skipped.
+    pub fn build(&mut self, workers: usize) -> Result<BuildReport, DriverError> {
+        let plan = self.graph.plan()?;
+        let unit_count = self.graph.len();
+        let workers = workers.max(1).min(unit_count.max(1));
+        let started = Instant::now();
+        let cache_before = self.cache_stats();
+
+        let state = Mutex::new(SchedState {
+            ready: plan.order.iter().copied().filter(|&u| plan.direct[u].is_empty()).collect(),
+            pending: (0..unit_count).map(|u| plan.direct[u].len()).collect(),
+            artifacts: vec![None; unit_count],
+            reports: vec![None; unit_count],
+            remaining: unit_count,
+        });
+        let ready_signal = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let state = &state;
+                let ready_signal = &ready_signal;
+                let graph = &self.graph;
+                let cache = &self.cache;
+                let plan = &plan;
+                let options = self.options;
+                scope.spawn(move || {
+                    worker_loop(worker, graph, plan, options, cache, state, ready_signal);
+                });
+            }
+        });
+
+        let mut state = state.into_inner().expect("driver scheduler poisoned");
+        self.results.clear();
+        for (u, artifact) in state.artifacts.iter().enumerate() {
+            if let Some(artifact) = artifact {
+                self.results.insert(self.graph.unit_at(u).name.clone(), Arc::clone(artifact));
+            }
+        }
+        let units = plan
+            .order
+            .iter()
+            .map(|&u| state.reports[u].take().expect("every scheduled unit reports"))
+            .collect();
+        let cache_after = self.cache_stats();
+        Ok(BuildReport {
+            units,
+            workers,
+            wall_time: started.elapsed(),
+            cache: CacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                misses: cache_after.misses - cache_before.misses,
+                invalidations: cache_after.invalidations - cache_before.invalidations,
+            },
+        })
+    }
+
+    /// Links the compiled program rooted at `root`: every transitive
+    /// import's compiled term is substituted for its unit name, bottom-up
+    /// (compile separately, link later — §5.2 at the module level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::NotBuilt`] if `root` or an import has no
+    /// artifact from the last build.
+    pub fn link(&self, root: &str) -> Result<tgt::Term, DriverError> {
+        let root_index =
+            self.graph.index_of(root).ok_or_else(|| DriverError::UnknownUnit(root.to_owned()))?;
+        let plan = self.graph.plan()?;
+        let mut linked: HashMap<usize, tgt::Term> = HashMap::new();
+        for &u in plan.transitive[root_index].iter().chain(std::iter::once(&root_index)) {
+            let unit = self.graph.unit_at(u);
+            let term = self.target_term(&unit.name)?;
+            let substitution: Vec<(Symbol, tgt::Term)> = plan.transitive[u]
+                .iter()
+                .map(|&d| (self.graph.unit_at(d).symbol, linked[&d].clone()))
+                .collect();
+            linked.insert(u, tgt::subst::subst_all(&term, &substitution));
+        }
+        Ok(linked.remove(&root_index).expect("root was linked"))
+    }
+
+    /// Links `root` and observes it at the ground type `Bool` (see
+    /// [`cccc_core::link::observe_target`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::link`].
+    pub fn observe(&self, root: &str) -> Result<Option<bool>, DriverError> {
+        Ok(cccc_core::link::observe_target(&self.link(root)?))
+    }
+
+    /// The sequential oracle: compiles every unit on the calling thread
+    /// with the plain single-program [`Compiler`], in schedule order,
+    /// building each unit's typing telescope from the oracle's own
+    /// inferred interfaces. No driver machinery — no wire transfer, no
+    /// cache, no workers — so the differential suites can require the
+    /// parallel build to agree with it unit by unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the graph errors of [`UnitGraph::plan`], or
+    /// [`DriverError::UnitFailed`] on the first unit the pipeline rejects.
+    pub fn compile_sequential(&self) -> Result<Vec<(String, Compilation)>, DriverError> {
+        let plan = self.graph.plan()?;
+        let compiler = Compiler::with_options(self.options);
+        let mut interfaces: HashMap<usize, src::Term> = HashMap::new();
+        let mut out = Vec::with_capacity(plan.order.len());
+        for &u in &plan.order {
+            let unit = self.graph.unit_at(u);
+            let term =
+                src::wire::decode(&unit.source).map_err(|e| DriverError::Wire(e.to_string()))?;
+            let mut env = src::Env::new();
+            for &d in &plan.transitive[u] {
+                let dep = self.graph.unit_at(d);
+                env.push_assumption(dep.symbol, interfaces[&d].clone());
+            }
+            let compilation = compiler.compile(&env, &term).map_err(|e| {
+                DriverError::UnitFailed { unit: unit.name.clone(), message: e.to_string() }
+            })?;
+            interfaces.insert(u, compilation.source_type.clone());
+            out.push((unit.name.clone(), compilation));
+        }
+        Ok(out)
+    }
+}
+
+/// One worker: claim ready units, compile or reuse, publish, repeat.
+fn worker_loop(
+    worker: usize,
+    graph: &UnitGraph,
+    plan: &Plan,
+    options: CompilerOptions,
+    cache: &Mutex<ArtifactCache>,
+    state: &Mutex<SchedState>,
+    ready_signal: &Condvar,
+) {
+    loop {
+        // Claim a unit (or exit when everything is settled).
+        let (unit_index, deps) = {
+            let mut guard = state.lock().expect("driver scheduler poisoned");
+            loop {
+                if guard.remaining == 0 {
+                    ready_signal.notify_all();
+                    return;
+                }
+                if let Some(u) = guard.ready.pop_front() {
+                    // Every transitive import has settled (the schedule
+                    // guarantees it); collect their artifacts, or bail to
+                    // Skipped if one failed.
+                    let deps: Vec<(usize, Option<Arc<Artifact>>)> = plan.transitive[u]
+                        .iter()
+                        .map(|&d| (d, guard.artifacts[d].clone()))
+                        .collect();
+                    break (u, deps);
+                }
+                guard = ready_signal.wait(guard).expect("driver scheduler poisoned");
+            }
+        };
+
+        let started = Instant::now();
+        let unit = graph.unit_at(unit_index);
+        let (report, artifact) = match deps.iter().find(|(_, artifact)| artifact.is_none()) {
+            Some((failed_dep, _)) => (
+                UnitReport {
+                    name: unit.name.clone(),
+                    status: UnitStatus::Skipped(format!(
+                        "import `{}` did not produce an artifact",
+                        graph.unit_at(*failed_dep).name
+                    )),
+                    duration: started.elapsed(),
+                    fingerprint: Fingerprint::default(),
+                    worker,
+                    caches: None,
+                    source_words: unit.source.len(),
+                    target_words: 0,
+                },
+                None,
+            ),
+            None => {
+                let deps: Vec<(usize, Arc<Artifact>)> = deps
+                    .into_iter()
+                    .map(|(d, artifact)| (d, artifact.expect("checked above")))
+                    .collect();
+                handle_unit(worker, graph, unit_index, &deps, options, cache, started)
+            }
+        };
+
+        // Publish the outcome and wake anyone waiting on the frontier.
+        let mut guard = state.lock().expect("driver scheduler poisoned");
+        guard.artifacts[unit_index] = artifact;
+        guard.reports[unit_index] = Some(report);
+        guard.remaining -= 1;
+        for &v in &plan.dependents[unit_index] {
+            guard.pending[v] -= 1;
+            if guard.pending[v] == 0 {
+                guard.ready.push_back(v);
+            }
+        }
+        ready_signal.notify_all();
+    }
+}
+
+/// Fingerprints, cache-checks, and (on miss) compiles one unit whose
+/// imports all have artifacts. Returns the report plus the artifact to
+/// publish.
+fn handle_unit(
+    worker: usize,
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    options: CompilerOptions,
+    cache: &Mutex<ArtifactCache>,
+    started: Instant,
+) -> (UnitReport, Option<Arc<Artifact>>) {
+    let unit = graph.unit_at(unit_index);
+    let fingerprint = input_fingerprint(graph, unit_index, deps, options);
+
+    if let Some(artifact) =
+        cache.lock().expect("driver cache poisoned").lookup(&unit.name, fingerprint)
+    {
+        let report = UnitReport {
+            name: unit.name.clone(),
+            status: UnitStatus::Cached,
+            duration: started.elapsed(),
+            fingerprint,
+            worker,
+            caches: None,
+            source_words: unit.source.len(),
+            target_words: artifact.target.len(),
+        };
+        return (report, Some(artifact));
+    }
+
+    match compile_unit(graph, unit_index, deps, options) {
+        Ok((artifact, caches)) => {
+            let target_words = artifact.target.len();
+            cache.lock().expect("driver cache poisoned").insert(
+                &unit.name,
+                fingerprint,
+                Arc::clone(&artifact),
+            );
+            let report = UnitReport {
+                name: unit.name.clone(),
+                status: UnitStatus::Compiled,
+                duration: started.elapsed(),
+                fingerprint,
+                worker,
+                caches,
+                source_words: unit.source.len(),
+                target_words,
+            };
+            (report, Some(artifact))
+        }
+        Err(message) => (
+            UnitReport {
+                name: unit.name.clone(),
+                status: UnitStatus::Failed(message),
+                duration: started.elapsed(),
+                fingerprint,
+                worker,
+                caches: None,
+                source_words: unit.source.len(),
+                target_words: 0,
+            },
+            None,
+        ),
+    }
+}
+
+/// A unit's input fingerprint: source ⊕ output-affecting options ⊕ the
+/// ordered interface fingerprints of its transitive imports.
+fn input_fingerprint(
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    options: CompilerOptions,
+) -> Fingerprint {
+    let unit = graph.unit_at(unit_index);
+    let option_bits = u64::from(options.typecheck_output)
+        | u64::from(options.verify_type_preservation) << 1
+        | u64::from(options.use_nbe) << 2;
+    let mut fingerprint = unit.source.fingerprint().combine_word(option_bits);
+    for (d, artifact) in deps {
+        fingerprint = fingerprint
+            .combine(Fingerprint::of_str(&graph.unit_at(*d).name))
+            .combine(artifact.interface_fingerprint());
+    }
+    fingerprint
+}
+
+/// Runs the full pipeline for one unit on the current worker thread:
+/// decode the source and the imports' interfaces into this thread's
+/// interners, compile, and export the results as wire buffers.
+fn compile_unit(
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    options: CompilerOptions,
+) -> Result<(Arc<Artifact>, Option<CacheReport>), String> {
+    let unit = graph.unit_at(unit_index);
+    let term = src::wire::decode(&unit.source).map_err(|e| format!("source wire: {e}"))?;
+    let mut env = src::Env::new();
+    for (d, artifact) in deps {
+        let dep = graph.unit_at(*d);
+        let interface = src::wire::decode(&artifact.source_ty)
+            .map_err(|e| format!("interface wire for `{}`: {e}", dep.name))?;
+        env.push_assumption(dep.symbol, interface);
+    }
+    let compiler = Compiler::with_options(CompilerOptions { collect_cache_stats: true, ..options });
+    let compilation = compiler.compile(&env, &term).map_err(|e| e.to_string())?;
+    let artifact = Artifact {
+        source_ty: src::wire::encode(&compilation.source_type),
+        target: tgt::wire::encode(&compilation.target),
+        target_ty: tgt::wire::encode(&compilation.target_type),
+        interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
+    };
+    Ok((Arc::new(artifact), compilation.cache_stats))
+}

@@ -1,0 +1,174 @@
+//! Multi-unit workload families for the driver benchmarks, CI smoke
+//! checks, and differential suites.
+//!
+//! Three graph shapes cover the scheduling spectrum:
+//!
+//! * [`independent_units`] — N units, no imports: embarrassingly
+//!   parallel, the throughput-scaling workload;
+//! * [`diamond`] — one `base` exporting the polymorphic identity, N
+//!   middle units instantiating it, one `top` folding them together: a
+//!   wide frontier between two synchronization points, and a *typed*
+//!   interface (`Π A : ⋆. Π x : A. A`) flowing across unit boundaries;
+//! * [`deep_chain`] — each unit imports the previous one: zero available
+//!   parallelism, the scheduling-overhead control group.
+//!
+//! Every workload is closed, well-typed, and observes to a boolean at the
+//! root, so driver output can be checked end-to-end against the
+//! sequential pipeline and the linked program's value.
+
+use crate::session::Session;
+use cccc_core::pipeline::CompilerOptions;
+use cccc_source as src;
+use cccc_source::builder as s;
+use cccc_source::prelude;
+
+/// One unit of a workload: name, direct imports, source term.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Unit name.
+    pub name: String,
+    /// Direct import names.
+    pub imports: Vec<String>,
+    /// The unit's source.
+    pub term: src::Term,
+}
+
+/// A Church-arithmetic term whose type-checking cost grows with `work`:
+/// `is_even (work · work)`.
+fn work_term(work: usize) -> src::Term {
+    let square = s::app(
+        s::app(prelude::church_mul(), prelude::church_numeral(work)),
+        prelude::church_numeral(work),
+    );
+    s::app(prelude::church_is_even(), square)
+}
+
+/// Wraps `body` in a unit-specific `let`, so every unit's source (and
+/// hence fingerprint) is distinct even when the interesting work is
+/// identical.
+fn tagged(name: &str, body: src::Term) -> src::Term {
+    s::let_(&format!("tag_{name}"), s::bool_ty(), s::tt(), body)
+}
+
+/// `count` units with no imports, each type-checking `is_even(work²)`.
+pub fn independent_units(count: usize, work: usize) -> Vec<WorkUnit> {
+    (0..count)
+        .map(|i| {
+            let name = format!("unit{i:02}");
+            let term = tagged(&name, work_term(work));
+            WorkUnit { name, imports: Vec::new(), term }
+        })
+        .collect()
+}
+
+/// A diamond: `base` exports the polymorphic identity; `mid00 … midNN`
+/// each instantiate it at `Bool` and apply it to `is_even(work²)`; `top`
+/// folds every middle unit with `if`. Total units: `middles + 2`.
+pub fn diamond(middles: usize, work: usize) -> Vec<WorkUnit> {
+    let mut units = Vec::with_capacity(middles + 2);
+    units.push(WorkUnit { name: "base".to_owned(), imports: Vec::new(), term: prelude::poly_id() });
+    let mut mid_names = Vec::with_capacity(middles);
+    for i in 0..middles {
+        let name = format!("mid{i:02}");
+        // base : Π A : ⋆. Π x : A. A, instantiated at Bool.
+        let term = tagged(&name, s::app(s::app(s::var("base"), s::bool_ty()), work_term(work)));
+        units.push(WorkUnit { name: name.clone(), imports: vec!["base".to_owned()], term });
+        mid_names.push(name);
+    }
+    // top = if mid00 then (if mid01 then … else false) else false — true
+    // iff every middle unit is true.
+    let mut body = s::tt();
+    for name in mid_names.iter().rev() {
+        body = s::ite(s::var(name), body, s::ff());
+    }
+    units.push(WorkUnit { name: "top".to_owned(), imports: mid_names, term: body });
+    units
+}
+
+/// A chain of `length` units: `link00` does the base work, every later
+/// `linkNN` imports its predecessor and adds its own.
+pub fn deep_chain(length: usize, work: usize) -> Vec<WorkUnit> {
+    let length = length.max(1);
+    let mut units = Vec::with_capacity(length);
+    for i in 0..length {
+        let name = format!("link{i:02}");
+        if i == 0 {
+            units.push(WorkUnit {
+                name: name.clone(),
+                imports: Vec::new(),
+                term: tagged(&name, work_term(work)),
+            });
+        } else {
+            let previous = format!("link{:02}", i - 1);
+            let term = tagged(&name, s::ite(s::var(&previous), work_term(work), s::ff()));
+            units.push(WorkUnit { name, imports: vec![previous], term });
+        }
+    }
+    units
+}
+
+/// The root (final) unit of a workload built by the functions above.
+pub fn root_of(units: &[WorkUnit]) -> &str {
+    &units.last().expect("workloads are non-empty").name
+}
+
+/// Builds a session holding the given units.
+pub fn session_from(units: &[WorkUnit], options: CompilerOptions) -> Session {
+    let mut session = Session::new(options);
+    for unit in units {
+        let imports: Vec<&str> = unit.imports.iter().map(String::as_str).collect();
+        session.add_unit(&unit.name, &imports, &unit.term).expect("workload names are unique");
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccc_source::typecheck::infer;
+    use cccc_source::Env;
+    use cccc_util::symbol::Symbol;
+
+    /// Type checks a workload sequentially the plain way: each unit under
+    /// its predecessors' inferred interfaces.
+    fn check_workload(units: &[WorkUnit]) {
+        let mut env = Env::new();
+        for unit in units {
+            let ty = infer(&env, &unit.term)
+                .unwrap_or_else(|e| panic!("unit `{}` ill-typed: {e}", unit.name));
+            env.push_assumption(Symbol::intern(&unit.name), ty);
+        }
+    }
+
+    #[test]
+    fn independent_units_are_well_typed_and_distinct() {
+        let units = independent_units(4, 2);
+        assert_eq!(units.len(), 4);
+        assert!(units.iter().all(|u| u.imports.is_empty()));
+        check_workload(&units);
+        assert_ne!(
+            cccc_source::wire::fingerprint(&units[0].term),
+            cccc_source::wire::fingerprint(&units[1].term),
+            "unit sources must have distinct fingerprints"
+        );
+    }
+
+    #[test]
+    fn diamond_is_well_typed_in_dependency_order() {
+        let units = diamond(3, 2);
+        assert_eq!(units.len(), 5);
+        assert_eq!(root_of(&units), "top");
+        check_workload(&units);
+        assert_eq!(units.last().unwrap().imports.len(), 3);
+    }
+
+    #[test]
+    fn deep_chain_links_consecutively() {
+        let units = deep_chain(4, 2);
+        assert_eq!(units.len(), 4);
+        check_workload(&units);
+        for (i, unit) in units.iter().enumerate().skip(1) {
+            assert_eq!(unit.imports, vec![format!("link{:02}", i - 1)]);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Incremental-rebuild behaviour of the fingerprint-keyed artifact
+//! cache, including the CI smoke configuration: a 16-unit diamond built
+//! with 2 workers whose warm rebuild compiles zero units.
+
+use cccc_core::pipeline::CompilerOptions;
+use cccc_driver::workloads::{deep_chain, diamond, independent_units, root_of, session_from};
+use cccc_driver::UnitStatus;
+use cccc_source::builder as s;
+use cccc_source::prelude;
+
+#[test]
+fn warm_rebuild_of_a_16_unit_diamond_compiles_nothing() {
+    // The CI smoke configuration: base + 14 middles + top = 16 units.
+    let units = diamond(14, 2);
+    assert_eq!(units.len(), 16);
+    let mut session = session_from(&units, CompilerOptions::default());
+
+    let cold = session.build(2).unwrap();
+    assert!(cold.is_success(), "cold build failed: {}", cold.summary());
+    assert_eq!(cold.compiled_count(), 16);
+    assert_eq!(cold.cached_count(), 0);
+
+    let warm = session.build(2).unwrap();
+    assert!(warm.is_success());
+    assert_eq!(warm.compiled_count(), 0, "warm rebuild must compile zero units");
+    assert_eq!(warm.cached_count(), 16);
+    assert!(warm.cache.hits >= 16);
+
+    // The linked program still observes after a fully cached build.
+    assert_eq!(session.observe(root_of(&units)).unwrap(), Some(true));
+}
+
+#[test]
+fn implementation_only_changes_do_not_cascade() {
+    // `base` exports Π A : ⋆. Π x : A. A. Swapping its implementation
+    // for an α-variant with a different tag changes its fingerprint but
+    // not its interface, so only `base` itself recompiles.
+    let units = diamond(4, 2);
+    let mut session = session_from(&units, CompilerOptions::default());
+    session.build(2).unwrap();
+
+    let retagged = s::let_("tag_retagged", s::bool_ty(), s::ff(), prelude::poly_id());
+    session.update_unit("base", &retagged).unwrap();
+    let rebuild = session.build(2).unwrap();
+    assert!(rebuild.is_success(), "{}", rebuild.summary());
+    assert_eq!(rebuild.compiled_count(), 1, "only `base` changed: {}", rebuild.summary());
+    assert_eq!(rebuild.cached_count(), units.len() - 1);
+    let recompiled: Vec<&str> = rebuild
+        .units
+        .iter()
+        .filter(|u| u.status == UnitStatus::Compiled)
+        .map(|u| u.name.as_str())
+        .collect();
+    assert_eq!(recompiled, vec!["base"]);
+}
+
+#[test]
+fn alpha_variant_interfaces_do_not_cascade() {
+    // `dep` exports `Π x : Bool. Bool`; replacing it with an α-variant
+    // (`Π y : Bool. Bool` after inference) changes the interface only up
+    // to binder names. The interface fingerprint is α-invariant, so the
+    // dependent must stay cached — binder freshening during recompiles
+    // must never invalidate downstream units.
+    let mut session = cccc_driver::session::Session::new(CompilerOptions::default());
+    session.add_unit("dep", &[], &s::lam("x", s::bool_ty(), s::var("x"))).unwrap();
+    session.add_unit("use", &["dep"], &s::app(s::var("dep"), s::tt())).unwrap();
+    let cold = session.build(2).unwrap();
+    assert!(cold.is_success());
+
+    session.update_unit("dep", &s::lam("y", s::bool_ty(), s::var("y"))).unwrap();
+    let rebuild = session.build(2).unwrap();
+    assert!(rebuild.is_success());
+    assert_eq!(rebuild.compiled_count(), 1, "{}", rebuild.summary());
+    let recompiled: Vec<&str> = rebuild
+        .units
+        .iter()
+        .filter(|u| u.status == UnitStatus::Compiled)
+        .map(|u| u.name.as_str())
+        .collect();
+    assert_eq!(recompiled, vec!["dep"]);
+    assert_eq!(session.observe("use").unwrap(), Some(true));
+}
+
+#[test]
+fn interface_changes_invalidate_dependents() {
+    let units = deep_chain(4, 2);
+    let mut session = session_from(&units, CompilerOptions::default());
+    session.build(2).unwrap();
+
+    // Re-point the chain's head at a *different type* (a function, not a
+    // Bool): its interface fingerprint changes, so every downstream link
+    // is invalidated — and fails, because `if link00 …` now scrutinizes
+    // a function.
+    session.update_unit("link00", &prelude::not_fn()).unwrap();
+    let rebuild = session.build(2).unwrap();
+    assert_eq!(rebuild.compiled_count(), 1, "{}", rebuild.summary());
+    assert_eq!(rebuild.failed_count(), 1, "{}", rebuild.summary());
+    assert_eq!(rebuild.skipped_count(), 2, "{}", rebuild.summary());
+    assert_eq!(rebuild.cached_count(), 0);
+
+    // Restoring the original source restores an almost fully cached
+    // chain: the failed build never evicted the downstream artifacts
+    // (only successful compiles replace entries), and the restored head
+    // re-infers the original interface, so every dependent's input
+    // fingerprint matches its surviving cache entry again. Only the head
+    // itself recompiles.
+    session.update_unit("link00", &units[0].term).unwrap();
+    let restored = session.build(2).unwrap();
+    assert!(restored.is_success());
+    assert_eq!(restored.compiled_count(), 1, "{}", restored.summary());
+    assert_eq!(restored.cached_count(), 3, "{}", restored.summary());
+}
+
+#[test]
+fn clear_cache_turns_the_next_build_cold() {
+    let units = independent_units(3, 2);
+    let mut session = session_from(&units, CompilerOptions::default());
+    session.build(2).unwrap();
+    session.clear_cache();
+    let cold = session.build(2).unwrap();
+    assert_eq!(cold.compiled_count(), 3);
+    assert_eq!(cold.cached_count(), 0);
+}
+
+#[test]
+fn per_unit_diagnostics_surface_worker_and_cache_activity() {
+    let units = diamond(3, 2);
+    let mut session = session_from(&units, CompilerOptions::default());
+    let report = session.build(2).unwrap();
+
+    for unit in &report.units {
+        assert!(unit.worker < report.workers);
+        assert!(unit.source_words > 0);
+        assert!(unit.target_words > 0, "compiled unit `{}` has a target", unit.name);
+        // Per-unit interner/conversion-memo deltas are attached for
+        // compiled units (satellite: stats through pipeline reports).
+        let caches = unit.caches.as_ref().expect("compiled units carry cache stats");
+        assert!(caches.intern_requests() > 0, "unit `{}` interned nothing", unit.name);
+    }
+    assert!(report.wall_time.as_nanos() > 0);
+    assert!(report.summary().contains("compiled"));
+
+    // Cached units skip the pipeline, so they carry no per-compile delta.
+    let warm = session.build(2).unwrap();
+    assert!(warm.units.iter().all(|u| u.caches.is_none()));
+    assert!(warm.units.iter().all(|u| u.status == UnitStatus::Cached));
+    // Warm rebuilds are drastically cheaper than cold ones; don't assert
+    // a ratio here (CI machines are noisy — the bench report does), just
+    // that the fingerprints stayed stable.
+    for (cold_unit, warm_unit) in report.units.iter().zip(warm.units.iter()) {
+        assert_eq!(cold_unit.fingerprint, warm_unit.fingerprint, "{}", cold_unit.name);
+    }
+}
+
+#[test]
+fn worker_counts_beyond_unit_count_are_clamped() {
+    let units = independent_units(2, 1);
+    let mut session = session_from(&units, CompilerOptions::default());
+    let report = session.build(64).unwrap();
+    assert!(report.is_success());
+    assert_eq!(report.workers, 2);
+    let report = session.build(0).unwrap();
+    assert_eq!(report.workers, 1);
+}

@@ -151,6 +151,12 @@ pub fn intern_stats() -> InternStats {
     INTERNER.with(|i| i.borrow().stats())
 }
 
+/// Number of entries currently in the CC interner table (live nodes
+/// plus not-yet-pruned dead ones).
+pub fn intern_table_len() -> usize {
+    INTERNER.with(|i| i.borrow().len())
+}
+
 impl Internable for Term {
     fn compute_meta(&self) -> NodeMeta {
         // All unions go through [`FreeVars::union`]/[`FreeVars::minus`],

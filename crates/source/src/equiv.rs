@@ -60,6 +60,11 @@ pub fn reset_conv_cache() {
     CONV_CACHE.with(|c| c.borrow_mut().reset());
 }
 
+/// Number of decided pairs currently in this thread's conversion memo.
+pub fn conv_cache_len() -> usize {
+    CONV_CACHE.with(|c| c.borrow().len())
+}
+
 /// Checks `Γ ⊢ e1 ≡ e2` with an explicit fuel budget, through the NbE
 /// engine with identity and memo fast paths.
 ///

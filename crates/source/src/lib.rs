@@ -52,6 +52,7 @@ pub mod profile;
 pub mod reduce;
 pub mod subst;
 pub mod typecheck;
+pub mod wire;
 
 pub use ast::{RcTerm, Term, Universe};
 pub use env::{Decl, Env};

@@ -61,6 +61,7 @@ pub mod reduce;
 pub mod subst;
 pub mod tuple;
 pub mod typecheck;
+pub mod wire;
 
 pub use ast::{RcTerm, Term, Universe};
 pub use env::{Decl, Env};

@@ -1,0 +1,311 @@
+//! Wire codec for CC-CC terms: flatten to / re-intern from a
+//! [`WireTerm`] word buffer.
+//!
+//! The CC-CC counterpart of `cccc_source::wire`: compiled artifacts
+//! (translated terms and their types) cross worker-thread boundaries in
+//! the parallel module driver as these buffers, and the artifact cache
+//! keys no-op rebuilds on their [`fingerprint`]s. Shared subterms —
+//! ubiquitous after closure conversion, which mass-produces identical
+//! code blocks — are written once and back-referenced, so buffers are
+//! linear in the hash-consed DAG.
+
+use crate::ast::{RcTerm, Term, Universe};
+use cccc_util::intern::{FxHashMap, NodeId};
+use cccc_util::wire::{Fingerprint, WireError, WireReader, WireTerm, WireWriter};
+
+const TAG_BACKREF: u64 = 0;
+const TAG_VAR: u64 = 1;
+const TAG_STAR: u64 = 2;
+const TAG_BOX: u64 = 3;
+const TAG_PI: u64 = 4;
+const TAG_CODE: u64 = 5;
+const TAG_CODE_TY: u64 = 6;
+const TAG_CLOSURE: u64 = 7;
+const TAG_APP: u64 = 8;
+const TAG_LET: u64 = 9;
+const TAG_SIGMA: u64 = 10;
+const TAG_PAIR: u64 = 11;
+const TAG_FST: u64 = 12;
+const TAG_SND: u64 = 13;
+const TAG_UNIT: u64 = 14;
+const TAG_UNIT_VAL: u64 = 15;
+const TAG_BOOL_TY: u64 = 16;
+const TAG_BOOL_LIT: u64 = 17;
+const TAG_IF: u64 = 18;
+
+/// Encodes a CC-CC term into a thread-portable wire buffer.
+pub fn encode(term: &Term) -> WireTerm {
+    let mut writer = WireWriter::new();
+    let mut seen: FxHashMap<NodeId, u64> = FxHashMap::default();
+    encode_head(term, &mut writer, &mut seen);
+    writer.finish()
+}
+
+/// The process-stable content fingerprint of a term (the fingerprint of
+/// its wire encoding).
+pub fn fingerprint(term: &Term) -> Fingerprint {
+    encode(term).fingerprint()
+}
+
+/// Decodes a wire buffer produced by [`encode`], re-interning every node
+/// into the current thread's CC-CC interner.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the buffer is corrupt (truncated, unknown
+/// tag, bad back-reference, or trailing words).
+pub fn decode(wire: &WireTerm) -> Result<Term, WireError> {
+    let mut reader = wire.reader();
+    let mut nodes: Vec<RcTerm> = Vec::new();
+    let term = decode_head(&mut reader, &mut nodes)?;
+    reader.expect_exhausted()?;
+    Ok(term)
+}
+
+fn encode_node(node: &RcTerm, writer: &mut WireWriter, seen: &mut FxHashMap<NodeId, u64>) {
+    if let Some(&index) = seen.get(&node.id()) {
+        writer.push(TAG_BACKREF);
+        writer.push(index);
+        return;
+    }
+    encode_head(node, writer, seen);
+    let index = seen.len() as u64;
+    seen.insert(node.id(), index);
+}
+
+fn encode_head(term: &Term, writer: &mut WireWriter, seen: &mut FxHashMap<NodeId, u64>) {
+    match term {
+        Term::Var(x) => {
+            writer.push(TAG_VAR);
+            writer.push_symbol(*x);
+        }
+        Term::Sort(Universe::Star) => writer.push(TAG_STAR),
+        Term::Sort(Universe::Box) => writer.push(TAG_BOX),
+        Term::Pi { binder, domain, codomain } => {
+            writer.push(TAG_PI);
+            writer.push_symbol(*binder);
+            encode_node(domain, writer, seen);
+            encode_node(codomain, writer, seen);
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            writer.push(TAG_CODE);
+            writer.push_symbol(*env_binder);
+            writer.push_symbol(*arg_binder);
+            encode_node(env_ty, writer, seen);
+            encode_node(arg_ty, writer, seen);
+            encode_node(body, writer, seen);
+        }
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+            writer.push(TAG_CODE_TY);
+            writer.push_symbol(*env_binder);
+            writer.push_symbol(*arg_binder);
+            encode_node(env_ty, writer, seen);
+            encode_node(arg_ty, writer, seen);
+            encode_node(result, writer, seen);
+        }
+        Term::Closure { code, env } => {
+            writer.push(TAG_CLOSURE);
+            encode_node(code, writer, seen);
+            encode_node(env, writer, seen);
+        }
+        Term::App { func, arg } => {
+            writer.push(TAG_APP);
+            encode_node(func, writer, seen);
+            encode_node(arg, writer, seen);
+        }
+        Term::Let { binder, annotation, bound, body } => {
+            writer.push(TAG_LET);
+            writer.push_symbol(*binder);
+            encode_node(annotation, writer, seen);
+            encode_node(bound, writer, seen);
+            encode_node(body, writer, seen);
+        }
+        Term::Sigma { binder, first, second } => {
+            writer.push(TAG_SIGMA);
+            writer.push_symbol(*binder);
+            encode_node(first, writer, seen);
+            encode_node(second, writer, seen);
+        }
+        Term::Pair { first, second, annotation } => {
+            writer.push(TAG_PAIR);
+            encode_node(first, writer, seen);
+            encode_node(second, writer, seen);
+            encode_node(annotation, writer, seen);
+        }
+        Term::Fst(e) => {
+            writer.push(TAG_FST);
+            encode_node(e, writer, seen);
+        }
+        Term::Snd(e) => {
+            writer.push(TAG_SND);
+            encode_node(e, writer, seen);
+        }
+        Term::Unit => writer.push(TAG_UNIT),
+        Term::UnitVal => writer.push(TAG_UNIT_VAL),
+        Term::BoolTy => writer.push(TAG_BOOL_TY),
+        Term::BoolLit(b) => {
+            writer.push(TAG_BOOL_LIT);
+            writer.push(u64::from(*b));
+        }
+        Term::If { scrutinee, then_branch, else_branch } => {
+            writer.push(TAG_IF);
+            encode_node(scrutinee, writer, seen);
+            encode_node(then_branch, writer, seen);
+            encode_node(else_branch, writer, seen);
+        }
+    }
+}
+
+fn decode_node(reader: &mut WireReader<'_>, nodes: &mut Vec<RcTerm>) -> Result<RcTerm, WireError> {
+    if reader.peek() == Some(TAG_BACKREF) {
+        reader.next_word()?;
+        let index = reader.next_word()?;
+        return nodes.get(index as usize).cloned().ok_or(WireError::BadBackref(index));
+    }
+    let term = decode_head(reader, nodes)?;
+    let node = term.rc();
+    nodes.push(node.clone());
+    Ok(node)
+}
+
+fn decode_head(reader: &mut WireReader<'_>, nodes: &mut Vec<RcTerm>) -> Result<Term, WireError> {
+    let tag = reader.next_word()?;
+    Ok(match tag {
+        TAG_VAR => Term::Var(reader.next_symbol()?),
+        TAG_STAR => Term::Sort(Universe::Star),
+        TAG_BOX => Term::Sort(Universe::Box),
+        TAG_PI => {
+            let binder = reader.next_symbol()?;
+            let domain = decode_node(reader, nodes)?;
+            let codomain = decode_node(reader, nodes)?;
+            Term::Pi { binder, domain, codomain }
+        }
+        TAG_CODE => {
+            let env_binder = reader.next_symbol()?;
+            let arg_binder = reader.next_symbol()?;
+            let env_ty = decode_node(reader, nodes)?;
+            let arg_ty = decode_node(reader, nodes)?;
+            let body = decode_node(reader, nodes)?;
+            Term::Code { env_binder, env_ty, arg_binder, arg_ty, body }
+        }
+        TAG_CODE_TY => {
+            let env_binder = reader.next_symbol()?;
+            let arg_binder = reader.next_symbol()?;
+            let env_ty = decode_node(reader, nodes)?;
+            let arg_ty = decode_node(reader, nodes)?;
+            let result = decode_node(reader, nodes)?;
+            Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result }
+        }
+        TAG_CLOSURE => {
+            let code = decode_node(reader, nodes)?;
+            let env = decode_node(reader, nodes)?;
+            Term::Closure { code, env }
+        }
+        TAG_APP => {
+            let func = decode_node(reader, nodes)?;
+            let arg = decode_node(reader, nodes)?;
+            Term::App { func, arg }
+        }
+        TAG_LET => {
+            let binder = reader.next_symbol()?;
+            let annotation = decode_node(reader, nodes)?;
+            let bound = decode_node(reader, nodes)?;
+            let body = decode_node(reader, nodes)?;
+            Term::Let { binder, annotation, bound, body }
+        }
+        TAG_SIGMA => {
+            let binder = reader.next_symbol()?;
+            let first = decode_node(reader, nodes)?;
+            let second = decode_node(reader, nodes)?;
+            Term::Sigma { binder, first, second }
+        }
+        TAG_PAIR => {
+            let first = decode_node(reader, nodes)?;
+            let second = decode_node(reader, nodes)?;
+            let annotation = decode_node(reader, nodes)?;
+            Term::Pair { first, second, annotation }
+        }
+        TAG_FST => Term::Fst(decode_node(reader, nodes)?),
+        TAG_SND => Term::Snd(decode_node(reader, nodes)?),
+        TAG_UNIT => Term::Unit,
+        TAG_UNIT_VAL => Term::UnitVal,
+        TAG_BOOL_TY => Term::BoolTy,
+        TAG_BOOL_LIT => Term::BoolLit(reader.next_word()? != 0),
+        TAG_IF => {
+            let scrutinee = decode_node(reader, nodes)?;
+            let then_branch = decode_node(reader, nodes)?;
+            let else_branch = decode_node(reader, nodes)?;
+            Term::If { scrutinee, then_branch, else_branch }
+        }
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder as t;
+
+    fn round_trip(term: &Term) {
+        let wire = encode(term);
+        let decoded = decode(&wire).expect("decodes");
+        assert!(
+            term.clone().rc().same(&decoded.clone().rc()),
+            "round trip changed term:\n  original: {term}\n  decoded:  {decoded}"
+        );
+        assert_eq!(wire.fingerprint(), encode(&decoded).fingerprint());
+    }
+
+    #[test]
+    fn closure_forms_round_trip() {
+        let code = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x"));
+        round_trip(&code);
+        round_trip(&t::closure(code.clone(), t::unit_val()));
+        round_trip(&t::code_ty("n", t::unit_ty(), "x", t::bool_ty(), t::bool_ty()));
+        round_trip(&t::app(t::closure(code, t::unit_val()), t::tt()));
+    }
+
+    #[test]
+    fn translated_programs_round_trip_with_sharing() {
+        // Translation output is the DAG-heavy case: hash-consed duplicate
+        // code blocks must back-reference rather than re-serialize.
+        let duplicated = {
+            let code = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x"));
+            let clo = t::closure(code, t::unit_val());
+            t::pair(clo.clone(), clo, t::sigma("_p", t::bool_ty(), t::bool_ty()))
+        };
+        let wire = encode(&duplicated);
+        round_trip(&duplicated);
+        let single = encode(&t::closure(
+            t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
+            t::unit_val(),
+        ));
+        assert!(wire.len() < 2 * single.len());
+    }
+
+    #[test]
+    fn unit_forms_round_trip() {
+        round_trip(&t::unit_ty());
+        round_trip(&t::unit_val());
+        round_trip(&t::ite(t::tt(), t::unit_val(), t::unit_val()));
+        round_trip(&t::let_("u", t::unit_ty(), t::unit_val(), t::var("u")));
+        round_trip(&t::fst(t::var("p")));
+        round_trip(&t::snd(t::var("p")));
+        round_trip(&t::pi("A", t::star(), t::var("A")));
+        round_trip(&t::boxu());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_terms() {
+        assert_ne!(fingerprint(&t::tt()), fingerprint(&t::ff()));
+        assert_ne!(fingerprint(&t::unit_ty()), fingerprint(&t::unit_val()));
+    }
+
+    #[test]
+    fn corrupt_buffers_are_rejected() {
+        use cccc_util::wire::WireWriter;
+        let mut w = WireWriter::new();
+        w.push(77);
+        assert!(matches!(decode(&w.finish()), Err(WireError::BadTag(77))));
+    }
+}

@@ -40,7 +40,11 @@
 //!
 //! Interners are thread-local by construction ([`Node`] holds an [`Rc`] and
 //! is neither `Send` nor `Sync`), so ids never need to be compared across
-//! threads.
+//! threads. The explicit cross-thread story lives in [`crate::wire`]: a
+//! term is flattened to a `Send` word buffer on the producing thread and
+//! re-interned into the consuming thread's interner, which is how the
+//! parallel module driver's per-worker interners import and export terms
+//! at compilation-unit boundaries.
 
 use crate::symbol::Symbol;
 use std::collections::HashMap;
@@ -443,14 +447,28 @@ impl<T: Internable + fmt::Display> fmt::Display for Node<T> {
     }
 }
 
-/// Counters describing an interner's behaviour, for benchmarks and the CI
-/// smoke assertions.
+/// Counters describing an interner's behaviour, for benchmarks, pipeline
+/// cache reports, and the CI smoke assertions.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct InternStats {
     /// Interning requests answered by an existing live node.
     pub hits: u64,
     /// Interning requests that allocated a new node.
     pub misses: u64,
+    /// Dead-entry sweeps of the weak table performed so far.
+    pub prunes: u64,
+}
+
+impl InternStats {
+    /// The counter increments between `earlier` and `self` (both taken
+    /// from the same interner, `self` later).
+    pub fn since(&self, earlier: &InternStats) -> InternStats {
+        InternStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            prunes: self.prunes.saturating_sub(earlier.prunes),
+        }
+    }
 }
 
 /// Counters for a memoized conversion checker, exposed for benchmarks and
@@ -464,6 +482,21 @@ pub struct ConvCacheStats {
     pub memo_hits: u64,
     /// Comparisons that had to run the underlying decision procedure.
     pub memo_misses: u64,
+    /// Wholesale clears performed because the table hit its cap.
+    pub clears: u64,
+}
+
+impl ConvCacheStats {
+    /// The counter increments between `earlier` and `self` (both taken
+    /// from the same cache, `self` later).
+    pub fn since(&self, earlier: &ConvCacheStats) -> ConvCacheStats {
+        ConvCacheStats {
+            identity_hits: self.identity_hits.saturating_sub(earlier.identity_hits),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
+            clears: self.clears.saturating_sub(earlier.clears),
+        }
+    }
 }
 
 /// A bounded memo table of decided conversion pairs, shared by both
@@ -528,8 +561,19 @@ impl ConvCache {
     pub fn insert(&mut self, key: (NodeId, NodeId, u64), answer: bool) {
         if self.map.len() >= CONV_CACHE_CAP {
             self.map.clear();
+            self.stats.clears += 1;
         }
         self.map.insert(key, answer);
+    }
+
+    /// Number of decided pairs currently in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     /// A snapshot of the counters.
@@ -621,6 +665,7 @@ impl<T: Internable> Interner<T> {
         self.inserts_since_prune += 1;
         if self.inserts_since_prune >= PRUNE_INTERVAL {
             self.inserts_since_prune = 0;
+            self.stats.prunes += 1;
             self.map.retain(|_, weak| weak.strong_count() > 0);
         }
         Node { inner }

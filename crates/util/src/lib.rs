@@ -12,6 +12,11 @@
 //!   [`intern::Interner`]s.
 //! * [`binder`] — the shared capture-avoidance skeleton for named-binder
 //!   substitution (single-binder and the CC-CC two-binder code forms).
+//! * [`wire`] — the compact, deterministic, `Send` term encoding that
+//!   carries terms, interfaces, and compiled artifacts across thread
+//!   boundaries (the per-worker interners of the parallel module driver
+//!   import/export through it), plus 128-bit content [`wire::Fingerprint`]s
+//!   for the artifact cache.
 //! * [`span`] — byte-offset source spans and located values for the parsers.
 //! * [`pretty`] — a small Wadler-style pretty-printing engine used by both
 //!   pretty-printers.
@@ -39,9 +44,11 @@ pub mod intern;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
+pub mod wire;
 
 pub use diag::{Diagnostic, Severity};
 pub use fuel::Fuel;
 pub use intern::{FreeVars, FvBuilder, Internable, Interner, Node, NodeId, NodeMeta};
 pub use span::{Span, Spanned};
 pub use symbol::Symbol;
+pub use wire::{Fingerprint, WireError, WireTerm};

@@ -112,6 +112,21 @@ impl Symbol {
         interner().lock().expect("symbol interner poisoned").resolve(self.base)
     }
 
+    /// The raw `(base, unique)` representation, for the wire codec in
+    /// [`crate::wire`]. Only meaningful within the current process: `base`
+    /// indexes the global string interner, whose assignment order depends
+    /// on interning history.
+    pub(crate) fn raw_parts(self) -> (u32, u64) {
+        (self.base, self.unique)
+    }
+
+    /// Rebuilds a symbol from [`Symbol::raw_parts`] output. The parts must
+    /// have been produced in this process (the wire codec guarantees
+    /// this), so the base index is always live in the interner.
+    pub(crate) fn from_raw_parts(base: u32, unique: u64) -> Symbol {
+        Symbol { base, unique }
+    }
+
     /// The full textual form of the symbol. Plain symbols borrow their
     /// interned name outright; generated symbols render with a `$n`
     /// subscript (so that distinct symbols always display distinctly) and

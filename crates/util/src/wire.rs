@@ -1,0 +1,333 @@
+//! A compact, deterministic, thread-portable term encoding.
+//!
+//! The hash-consed term handles of [`crate::intern`] are deliberately
+//! `!Send`: each thread owns its own interner, so [`Node<T>`](crate::intern::Node)
+//! ids never need cross-thread coordination and interning never takes a
+//! lock. The price is that terms cannot cross a thread boundary as
+//! handles. This module is the *explicit* cross-thread story: a term is
+//! flattened into a [`WireTerm`] — a plain `Send + Sync` word buffer — on
+//! the producing thread and re-interned from it on the consuming thread.
+//! The parallel module driver moves unit sources, exported interfaces, and
+//! compiled artifacts between workers exactly this way.
+//!
+//! The encoding is:
+//!
+//! * **compact** — each node is a tag word plus its scalar fields, and
+//!   shared subterms (common after hash-consing) are written once and
+//!   referenced by index afterwards, so the buffer is linear in the DAG
+//!   size, not the tree size;
+//! * **deterministic** — encoding the same term always produces the same
+//!   words within a process (symbols are written as their raw interner
+//!   parts, which are process-stable), so a hash of the buffer is a
+//!   stable content fingerprint, usable as a cache key;
+//! * **language-agnostic** — the writer/reader know nothing about CC or
+//!   CC-CC; each language crate layers its own tag scheme on top in its
+//!   `wire` module.
+//!
+//! Fingerprints are 128 bits ([`Fingerprint`]): two independent 64-bit
+//! FxHash passes. The artifact cache keys rebuild-skipping decisions on
+//! them, so collision probability must be negligible at fleet scale; a
+//! single 64-bit hash would leave a birthday bound within reach of a
+//! long-lived build service.
+
+use crate::intern::FxHasher;
+use crate::symbol::Symbol;
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// A 128-bit content fingerprint of a wire buffer.
+///
+/// Stable within a process for a given term (see the module docs for why
+/// it is not stable *across* processes: symbol base indices depend on
+/// interning order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Fingerprints a word slice: two FxHash passes with distinct seeds.
+    pub fn of_words(words: &[u64]) -> Fingerprint {
+        let mut lo = FxHasher::default();
+        lo.write_u64(0x776972655f6c6f77); // "wire_low"
+        let mut hi = FxHasher::default();
+        hi.write_u64(0x776972655f686967); // "wire_hig"
+        lo.write_usize(words.len());
+        hi.write_usize(words.len());
+        for &w in words {
+            lo.write_u64(w);
+            hi.write_u64(w.rotate_left(17));
+        }
+        Fingerprint((u128::from(hi.finish()) << 64) | u128::from(lo.finish()))
+    }
+
+    /// Fingerprints a string (unit names in cache keys).
+    pub fn of_str(text: &str) -> Fingerprint {
+        let mut lo = FxHasher::default();
+        lo.write_u64(0x6e616d655f6c6f77); // "name_low"
+        let mut hi = FxHasher::default();
+        hi.write_u64(0x6e616d655f686967); // "name_hig"
+        lo.write(text.as_bytes());
+        lo.write_usize(text.len());
+        hi.write(text.as_bytes());
+        hi.write_usize(text.len() ^ 0x5a);
+        Fingerprint((u128::from(hi.finish()) << 64) | u128::from(lo.finish()))
+    }
+
+    /// Combines this fingerprint with another into a new one (order
+    /// matters). Used to fold a unit's source, its options, and its
+    /// imports' interface fingerprints into one cache key.
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut words = [0u64; 4];
+        words[0] = self.0 as u64;
+        words[1] = (self.0 >> 64) as u64;
+        words[2] = other.0 as u64;
+        words[3] = (other.0 >> 64) as u64;
+        Fingerprint::of_words(&words)
+    }
+
+    /// Folds a bare word (an option bit set, a name, a counter) into the
+    /// fingerprint.
+    pub fn combine_word(self, word: u64) -> Fingerprint {
+        self.combine(Fingerprint::of_words(&[word]))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// An encoded term: an immutable, cheaply clonable, `Send + Sync` word
+/// buffer produced by a language crate's `wire::encode` and consumed by
+/// its `wire::decode` (possibly on a different thread).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireTerm {
+    words: Arc<[u64]>,
+}
+
+impl WireTerm {
+    /// Number of words in the encoding.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the buffer is empty (never true for a real term).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The content fingerprint of the encoding.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_words(&self.words)
+    }
+
+    /// A reader positioned at the start of the buffer.
+    pub fn reader(&self) -> WireReader<'_> {
+        WireReader { words: &self.words, position: 0 }
+    }
+}
+
+/// Errors produced when decoding a wire buffer.
+///
+/// Buffers are only ever produced by the paired encoder, so a decode error
+/// indicates corruption or a version skew between encoder and decoder —
+/// callers treat it as a hard failure, not a recoverable condition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The reader ran off the end of the buffer.
+    Truncated,
+    /// An unknown tag word was encountered.
+    BadTag(u64),
+    /// A back-reference pointed past the nodes decoded so far.
+    BadBackref(u64),
+    /// The buffer decoded to a term but left trailing words.
+    TrailingWords,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer is truncated"),
+            WireError::BadTag(t) => write!(f, "wire buffer has unknown tag {t}"),
+            WireError::BadBackref(i) => write!(f, "wire buffer back-reference {i} out of range"),
+            WireError::TrailingWords => write!(f, "wire buffer has trailing words"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Builds a [`WireTerm`] word by word.
+#[derive(Default, Debug)]
+pub struct WireWriter {
+    words: Vec<u64>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Appends one word.
+    pub fn push(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    /// Appends a symbol as its raw `(base, unique)` parts (two words).
+    pub fn push_symbol(&mut self, symbol: Symbol) {
+        let (base, unique) = symbol.raw_parts();
+        self.words.push(u64::from(base));
+        self.words.push(unique);
+    }
+
+    /// Number of words written so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Finishes the buffer.
+    pub fn finish(self) -> WireTerm {
+        WireTerm { words: self.words.into() }
+    }
+}
+
+/// A cursor over a [`WireTerm`]'s words.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    words: &'a [u64],
+    position: usize,
+}
+
+impl WireReader<'_> {
+    /// Reads the next word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] at end of buffer.
+    pub fn next_word(&mut self) -> Result<u64, WireError> {
+        let word = *self.words.get(self.position).ok_or(WireError::Truncated)?;
+        self.position += 1;
+        Ok(word)
+    }
+
+    /// Reads a symbol written by [`WireWriter::push_symbol`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] at end of buffer.
+    pub fn next_symbol(&mut self) -> Result<Symbol, WireError> {
+        let base = self.next_word()?;
+        let unique = self.next_word()?;
+        Ok(Symbol::from_raw_parts(base as u32, unique))
+    }
+
+    /// The next word, without consuming it (`None` at end of buffer).
+    pub fn peek(&self) -> Option<u64> {
+        self.words.get(self.position).copied()
+    }
+
+    /// Whether every word has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.position == self.words.len()
+    }
+
+    /// Fails unless the buffer is fully consumed (decoders call this after
+    /// the root node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingWords`] if words remain.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingWords)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_words_and_symbols() {
+        let mut w = WireWriter::new();
+        assert!(w.is_empty());
+        w.push(7);
+        w.push_symbol(Symbol::intern("hello"));
+        let generated = Symbol::fresh("env");
+        w.push_symbol(generated);
+        w.push(u64::MAX);
+        let wire = w.finish();
+        assert_eq!(wire.len(), 6);
+        assert!(!wire.is_empty());
+
+        let mut r = wire.reader();
+        assert_eq!(r.next_word().unwrap(), 7);
+        assert_eq!(r.next_symbol().unwrap(), Symbol::intern("hello"));
+        assert_eq!(r.next_symbol().unwrap(), generated);
+        assert!(!r.is_exhausted());
+        assert_eq!(r.next_word().unwrap(), u64::MAX);
+        assert!(r.expect_exhausted().is_ok());
+        assert!(matches!(r.next_word(), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let mut a = WireWriter::new();
+        a.push(1);
+        a.push(2);
+        let a = a.finish();
+        let mut b = WireWriter::new();
+        b.push(1);
+        b.push(2);
+        let b = b.finish();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = WireWriter::new();
+        c.push(2);
+        c.push(1);
+        let c = c.finish();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order must matter");
+        assert_ne!(
+            Fingerprint::of_words(&[0]),
+            Fingerprint::of_words(&[0, 0]),
+            "length must matter"
+        );
+    }
+
+    #[test]
+    fn fingerprint_combine_is_order_sensitive() {
+        let x = Fingerprint::of_words(&[1]);
+        let y = Fingerprint::of_words(&[2]);
+        assert_ne!(x.combine(y), y.combine(x));
+        assert_ne!(x.combine(y), x);
+        assert_ne!(x.combine_word(3), x.combine_word(4));
+    }
+
+    #[test]
+    fn wire_terms_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireTerm>();
+        assert_send_sync::<Fingerprint>();
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadTag(9).to_string().contains('9'));
+        assert!(WireError::BadBackref(3).to_string().contains('3'));
+        let mut w = WireWriter::new();
+        w.push(1);
+        let wire = w.finish();
+        assert!(matches!(wire.reader().expect_exhausted(), Err(WireError::TrailingWords)));
+    }
+}

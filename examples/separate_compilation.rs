@@ -95,4 +95,32 @@ fn main() {
     println!("  {}", rejected.unwrap_err());
 
     println!("\nseparate compilation with type-safe linking demonstrated.");
+
+    // ---------------------------------------------------------------
+    // The same workflow as a *module build*: the library pieces and the
+    // client become named compilation units in the driver's unit graph.
+    // Workers compile ready units in parallel (each on its own interner),
+    // the artifact cache keys every unit by its source + its imports'
+    // interface fingerprints, and linking substitutes compiled modules.
+    use cccc::driver::session::Session;
+
+    let mut session = Session::new(Default::default());
+    session.add_unit("id", &[], &prelude::poly_id()).unwrap();
+    session.add_unit("flag", &[], &s::tt()).unwrap();
+    session.add_unit("client", &["id", "flag"], &client).unwrap();
+
+    let cold = session.build(2).unwrap();
+    println!("\ndriver cold build : {}", cold.summary());
+    assert_eq!(cold.compiled_count(), 3);
+
+    let warm = session.build(2).unwrap();
+    println!("driver warm build : {}", warm.summary());
+    assert_eq!(warm.compiled_count(), 0, "a no-change rebuild re-verifies nothing");
+
+    let driver_observation = session.observe("client").unwrap().unwrap();
+    assert_eq!(driver_observation, source_observation);
+    println!(
+        "driver-linked client observes {driver_observation} — \
+         same as link-then-run in CC."
+    );
 }

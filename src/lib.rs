@@ -48,6 +48,9 @@ pub use cccc_target as target;
 /// The closure-conversion compiler (re-export of `cccc-core`).
 pub use cccc_core as compiler;
 
+/// The parallel incremental module driver (re-export of `cccc-driver`).
+pub use cccc_driver as driver;
+
 /// The model of CC-CC in CC (re-export of `cccc-model`).
 pub use cccc_model as model;
 
