@@ -60,6 +60,83 @@ impl Default for CompilerOptions {
     }
 }
 
+/// Counters for a persistent on-disk artifact store (the driver's
+/// restart-surviving cache tier). Defined here — next to the other cache
+/// vocabulary — so [`CacheSnapshot`]/[`CacheReport`] can carry store
+/// activity alongside interner and conversion-memo activity; the
+/// populating store itself lives in the driver crate, which layers above
+/// this one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered by a valid on-disk blob.
+    pub disk_hits: u64,
+    /// Lookups that found no blob for the key.
+    pub disk_misses: u64,
+    /// Blobs rejected as unusable — truncated, failed checksum, wrong
+    /// format version — and treated as misses (never as errors).
+    pub invalid_entries: u64,
+    /// Artifacts written through to disk after a compile.
+    pub write_throughs: u64,
+    /// Artifact write attempts that failed (I/O errors are tolerated and
+    /// counted, never surfaced as build failures).
+    pub write_errors: u64,
+    /// Blobs in the store (a size at observation time, not a delta).
+    pub entries: u64,
+    /// Total bytes of those blobs (a size at observation time).
+    pub bytes: u64,
+}
+
+impl StoreStats {
+    /// The activity between `before` and `self`: counters subtract,
+    /// sizes keep this (the later) observation's values.
+    pub fn since(&self, before: &StoreStats) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits - before.disk_hits,
+            disk_misses: self.disk_misses - before.disk_misses,
+            invalid_entries: self.invalid_entries - before.invalid_entries,
+            write_throughs: self.write_throughs - before.write_throughs,
+            write_errors: self.write_errors - before.write_errors,
+            entries: self.entries,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Pointwise sum of two activity deltas (sizes take the maximum —
+    /// merging windows keeps the later, larger observation).
+    pub fn merged(&self, other: &StoreStats) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits + other.disk_hits,
+            disk_misses: self.disk_misses + other.disk_misses,
+            invalid_entries: self.invalid_entries + other.invalid_entries,
+            write_throughs: self.write_throughs + other.write_throughs,
+            write_errors: self.write_errors + other.write_errors,
+            entries: self.entries.max(other.entries),
+            bytes: self.bytes.max(other.bytes),
+        }
+    }
+
+    /// Total disk lookups (hits + misses + invalid blobs).
+    pub fn lookups(&self) -> u64 {
+        self.disk_hits + self.disk_misses + self.invalid_entries
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store {}h/{}m/{}inv, {}w (+{} failed), {} blobs / {} bytes",
+            self.disk_hits,
+            self.disk_misses,
+            self.invalid_entries,
+            self.write_throughs,
+            self.write_errors,
+            self.entries,
+            self.bytes,
+        )
+    }
+}
+
 /// A point-in-time snapshot of every thread-local cache the pipeline
 /// relies on: both languages' term interners and conversion memo tables.
 ///
@@ -87,6 +164,11 @@ pub struct CacheSnapshot {
     pub source_conv_table: usize,
     /// Entries in the CC-CC conversion memo at snapshot time.
     pub target_conv_table: usize,
+    /// Persistent artifact-store counters at snapshot time. Always zero
+    /// in snapshots taken by [`cache_snapshot`] (the store is driver
+    /// state, not thread state); the driver fills this in when a store
+    /// is attached.
+    pub artifact_store: StoreStats,
 }
 
 /// Snapshots the current thread's interner and conversion-memo state.
@@ -100,6 +182,7 @@ pub fn cache_snapshot() -> CacheSnapshot {
         target_intern_table: tgt::ast::intern_table_len(),
         source_conv_table: src::equiv::conv_cache_len(),
         target_conv_table: tgt::equiv::conv_cache_len(),
+        artifact_store: StoreStats::default(),
     }
 }
 
@@ -124,6 +207,9 @@ pub struct CacheReport {
     pub source_conv_table: usize,
     /// CC-CC conversion-memo size at the end of the window.
     pub target_conv_table: usize,
+    /// Persistent artifact-store activity in the window (all-zero when
+    /// no store is attached).
+    pub artifact_store: StoreStats,
 }
 
 impl CacheReport {
@@ -138,6 +224,7 @@ impl CacheReport {
             target_intern_table: after.target_intern_table,
             source_conv_table: after.source_conv_table,
             target_conv_table: after.target_conv_table,
+            artifact_store: after.artifact_store.since(&before.artifact_store),
         }
     }
 
@@ -161,6 +248,9 @@ impl CacheReport {
 
 impl fmt::Display for CacheReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.artifact_store.lookups() + self.artifact_store.write_throughs > 0 {
+            write!(f, "{}; ", self.artifact_store)?;
+        }
         write!(
             f,
             "intern cc {}h/{}m cccc {}h/{}m ({} + {} entries, {} prunes); \
@@ -552,6 +642,45 @@ mod tests {
         assert_eq!(idle.conv_fast_path_hits(), 0);
         assert_eq!(idle.source_conv.memo_misses, 0);
         assert_eq!(idle.target_conv.memo_misses, 0);
+    }
+
+    #[test]
+    fn store_stats_subtract_merge_and_render() {
+        let before = StoreStats {
+            disk_hits: 2,
+            disk_misses: 3,
+            invalid_entries: 1,
+            write_throughs: 4,
+            write_errors: 0,
+            entries: 10,
+            bytes: 800,
+        };
+        let after = StoreStats {
+            disk_hits: 5,
+            disk_misses: 4,
+            invalid_entries: 1,
+            write_throughs: 6,
+            write_errors: 1,
+            entries: 12,
+            bytes: 900,
+        };
+        let delta = after.since(&before);
+        assert_eq!(delta.disk_hits, 3);
+        assert_eq!(delta.disk_misses, 1);
+        assert_eq!(delta.invalid_entries, 0);
+        assert_eq!(delta.write_throughs, 2);
+        assert_eq!(delta.lookups(), 4);
+        assert_eq!(delta.entries, 12, "sizes keep the later observation");
+        let doubled = delta.merged(&delta);
+        assert_eq!(doubled.disk_hits, 6);
+        assert_eq!(doubled.entries, 12, "sizes take the max, not the sum");
+        assert!(delta.to_string().contains("store"));
+
+        // A report whose window saw store activity renders it.
+        let mut with_store = CacheReport::default();
+        with_store.artifact_store.disk_hits = 1;
+        assert!(with_store.to_string().contains("store 1h"));
+        assert!(!CacheReport::default().to_string().contains("store"));
     }
 
     #[test]

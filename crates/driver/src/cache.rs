@@ -1,7 +1,8 @@
-//! The fingerprint-keyed artifact cache.
+//! The fingerprint-keyed artifact cache: an in-memory tier, optionally
+//! backed by the persistent on-disk tier.
 //!
 //! A compiled unit's artifact is fully determined by its *input
-//! fingerprint*: the fingerprint of its wire-encoded source, the compiler
+//! fingerprint*: the α-invariant fingerprint of its source, the compiler
 //! options that affect output, and the interface fingerprints of its
 //! transitive imports (a unit is compiled against interfaces only — §5.2
 //! separate compilation — so import *bodies* are deliberately absent).
@@ -9,9 +10,19 @@
 //! whose recomputed fingerprint matches skips the unit entirely, which is
 //! what makes a no-change rebuild re-verify nothing.
 //!
+//! Lookups are **two-tier**: the in-memory map answers first; on a miss
+//! (or a stale entry) an attached [`ArtifactStore`] is consulted by the
+//! same fingerprint, and a valid blob is promoted into memory. Compiles
+//! **write through**: [`ArtifactCache::insert`] records the artifact in
+//! memory and persists it to the store, so the *next process* starts
+//! warm. Store problems never fail a lookup — a corrupt or version-skewed
+//! blob is just a miss (see [`crate::store`]).
+//!
 //! Artifacts are wire-encoded ([`cccc_target::wire`]) and shared behind
 //! [`Arc`], so cache reads hand workers cheap clones across threads.
 
+use crate::store::ArtifactStore;
+use cccc_core::pipeline::StoreStats;
 use cccc_util::wire::{Fingerprint, WireTerm};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,75 +54,168 @@ impl Artifact {
     }
 }
 
-/// Hit/miss/invalidation counters for the artifact cache.
+/// Hit/miss/invalidation counters for the artifact cache's memory tier
+/// (disk-tier counters live in [`StoreStats`]).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered by a fingerprint-matching artifact.
+    /// Lookups answered by a fingerprint-matching in-memory artifact.
     pub hits: u64,
-    /// Lookups with no entry for the unit.
+    /// Lookups with no *memory-tier* entry for the unit. The promotion
+    /// map or the disk store may still answer such a lookup — compare
+    /// with [`StoreStats::disk_hits`] (surfaced per build through
+    /// `BuildReport::store`) to see how many of these the persistent
+    /// tier absorbed.
     pub misses: u64,
-    /// Lookups whose entry existed but carried a stale fingerprint (the
-    /// unit or an interface it depends on changed).
+    /// Lookups whose memory entry existed but carried a stale fingerprint
+    /// (the unit or an interface it depends on changed).
     pub invalidations: u64,
 }
 
-/// An in-memory artifact cache keyed by unit name, validated by input
-/// fingerprint.
+/// Which tier answered a cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory map (this `Session` compiled or loaded it earlier).
+    Memory,
+    /// The persistent on-disk store (possibly written by another
+    /// process); the artifact was promoted into memory on the way out.
+    Disk,
+}
+
+/// A two-tier artifact cache: an in-memory map keyed by unit name and
+/// validated by input fingerprint, optionally backed by a persistent
+/// content-addressed [`ArtifactStore`].
 #[derive(Default, Debug)]
 pub struct ArtifactCache {
     entries: HashMap<String, (Fingerprint, Arc<Artifact>)>,
+    /// Disk loads promoted by *fingerprint*: the store is
+    /// content-addressed, so α-equivalent units (same source up to
+    /// binder names, same options, same import interfaces) share one
+    /// blob — this map makes the second such unit a memory answer
+    /// instead of a second file read. Populated only from disk loads;
+    /// entries keep their disk origin for diagnostics.
+    promoted: HashMap<Fingerprint, Arc<Artifact>>,
     stats: CacheStats,
+    store: Option<ArtifactStore>,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty cache with no disk tier.
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
     }
 
-    /// Looks up the artifact for `unit`, valid only under `fingerprint`.
-    pub fn lookup(&mut self, unit: &str, fingerprint: Fingerprint) -> Option<Arc<Artifact>> {
+    /// An empty memory tier over the given persistent store.
+    pub fn with_store(store: ArtifactStore) -> ArtifactCache {
+        ArtifactCache { store: Some(store), ..ArtifactCache::default() }
+    }
+
+    /// The persistent store, if one is attached.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the persistent store (wiping, maintenance).
+    pub fn store_mut(&mut self) -> Option<&mut ArtifactStore> {
+        self.store.as_mut()
+    }
+
+    /// Disk-tier counters (all-zero when no store is attached). Activity
+    /// counters only — no directory scan; use
+    /// [`ArtifactCache::store_stats`] for sizes.
+    pub fn store_counters(&self) -> StoreStats {
+        self.store.as_ref().map(ArtifactStore::counters).unwrap_or_default()
+    }
+
+    /// Disk-tier counters plus current store sizes (`None` when no store
+    /// is attached).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(ArtifactStore::stats)
+    }
+
+    /// Looks up the artifact for `unit`, valid only under `fingerprint`:
+    /// memory first, then earlier disk promotions by fingerprint, then
+    /// the store itself. A disk hit is promoted into memory both under
+    /// the unit's name and under its fingerprint, so subsequent lookups —
+    /// including ones for *other* units with α-equivalent inputs — are
+    /// answered without touching the file system again. Disk-originated
+    /// answers report [`CacheTier::Disk`] even when the promotion map
+    /// served them: the distinction callers care about is where the
+    /// artifact ultimately came from.
+    pub fn lookup(
+        &mut self,
+        unit: &str,
+        fingerprint: Fingerprint,
+    ) -> Option<(Arc<Artifact>, CacheTier)> {
         match self.entries.get(unit) {
             Some((cached, artifact)) if *cached == fingerprint => {
                 self.stats.hits += 1;
-                Some(Arc::clone(artifact))
+                return Some((Arc::clone(artifact), CacheTier::Memory));
             }
-            Some(_) => {
-                self.stats.invalidations += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            Some(_) => self.stats.invalidations += 1,
+            None => self.stats.misses += 1,
         }
+        if let Some(artifact) = self.promoted.get(&fingerprint) {
+            let artifact = Arc::clone(artifact);
+            self.entries.insert(unit.to_owned(), (fingerprint, Arc::clone(&artifact)));
+            return Some((artifact, CacheTier::Disk));
+        }
+        let store = self.store.as_mut()?;
+        let artifact = Arc::new(store.load(fingerprint)?);
+        self.entries.insert(unit.to_owned(), (fingerprint, Arc::clone(&artifact)));
+        self.promoted.insert(fingerprint, Arc::clone(&artifact));
+        Some((artifact, CacheTier::Disk))
     }
 
     /// Records the artifact for `unit` under its input fingerprint,
-    /// replacing any stale entry.
+    /// replacing any stale memory entry and writing through to the store
+    /// (when one is attached) so later *processes* can reuse it.
     pub fn insert(&mut self, unit: &str, fingerprint: Fingerprint, artifact: Arc<Artifact>) {
+        let rendered = self.store.is_some().then(|| crate::store::render_blob(&artifact)).flatten();
+        self.insert_prerendered(unit, fingerprint, artifact, rendered);
+    }
+
+    /// [`ArtifactCache::insert`] with the write-through blob already
+    /// rendered by [`crate::store::render_blob`]. The driver's workers
+    /// render on their own thread *before* taking the session's cache
+    /// lock, so the transcode — the dominant cost of a write-through —
+    /// never serializes other workers. `rendered` must be `None` only
+    /// when no store is attached or rendering failed (the latter is
+    /// counted as a write error).
+    pub(crate) fn insert_prerendered(
+        &mut self,
+        unit: &str,
+        fingerprint: Fingerprint,
+        artifact: Arc<Artifact>,
+        rendered: Option<Vec<u64>>,
+    ) {
+        if let Some(store) = self.store.as_mut() {
+            store.save_rendered(fingerprint, rendered.as_deref());
+        }
         self.entries.insert(unit.to_owned(), (fingerprint, artifact));
     }
 
-    /// Number of cached units.
+    /// Number of cached units in the memory tier.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the memory tier is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the memory-tier counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Drops every entry and resets the counters (used to measure cold
-    /// builds).
+    /// Drops every *memory* entry and resets the memory counters (used
+    /// to measure cold builds). The disk tier is deliberately untouched:
+    /// use [`ArtifactCache::store_mut`] + [`ArtifactStore::wipe`] to make
+    /// the next build cold on disk too.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.promoted.clear();
         self.stats = CacheStats::default();
     }
 }
@@ -156,9 +260,58 @@ mod tests {
         cache.insert("m", fp2, artifact(&t::ff()));
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup("m", fp1).is_none());
-        let hit = cache.lookup("m", fp2).unwrap();
+        let (hit, tier) = cache.lookup("m", fp2).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
         let decoded = cccc_target::wire::decode(&hit.target).unwrap();
         assert!(matches!(decoded, cccc_target::Term::BoolLit(false)));
+    }
+
+    #[test]
+    fn disk_tier_answers_memory_misses_and_promotes() {
+        let dir = std::env::temp_dir().join(format!("cccc-cache-two-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ArtifactStore::open(&dir).unwrap();
+        let mut cache = ArtifactCache::with_store(store);
+        let fp = Fingerprint::of_words(&[11]);
+        // A well-formed artifact (each section in its own language): the
+        // store transcodes sections on write-through, so — unlike the
+        // memory-only tests above — the fields must decode.
+        let stored = Arc::new(Artifact {
+            source_ty: cccc_source::wire::encode(&cccc_source::builder::bool_ty()),
+            target: cccc_target::wire::encode(&t::tt()),
+            target_ty: cccc_target::wire::encode(&t::bool_ty()),
+            interface_alpha: Fingerprint::of_words(&[3]),
+        });
+
+        // A miss in both tiers.
+        assert!(cache.lookup("m", fp).is_none());
+        assert_eq!(cache.store_counters().disk_misses, 1);
+
+        // Write-through on insert …
+        cache.insert("m", fp, stored);
+        assert_eq!(cache.store_counters().write_throughs, 1);
+
+        // … memory answers while the entry is live …
+        let (_, tier) = cache.lookup("m", fp).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+
+        // … and after the memory tier is cleared, the disk tier answers
+        // and promotes the artifact back into memory.
+        cache.clear();
+        let (hit, tier) = cache.lookup("m", fp).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        let decoded = cccc_target::wire::decode(&hit.target).unwrap();
+        assert!(matches!(decoded, cccc_target::Term::BoolLit(true)));
+        assert_eq!(cache.store_counters().disk_hits, 1);
+        let (_, tier) = cache.lookup("m", fp).unwrap();
+        assert_eq!(tier, CacheTier::Memory, "the disk hit was promoted");
+
+        // Wiping the store makes a cleared cache fully cold.
+        cache.store_mut().unwrap().wipe().unwrap();
+        cache.clear();
+        assert!(cache.lookup("m", fp).is_none());
+        assert_eq!(cache.store_stats().unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

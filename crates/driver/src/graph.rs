@@ -19,7 +19,7 @@
 use crate::DriverError;
 use cccc_source as src;
 use cccc_util::symbol::Symbol;
-use cccc_util::wire::WireTerm;
+use cccc_util::wire::{Fingerprint, WireTerm};
 use std::collections::HashMap;
 
 /// One named compilation unit.
@@ -33,6 +33,13 @@ pub struct Unit {
     pub imports: Vec<String>,
     /// The wire-encoded source term.
     pub source: WireTerm,
+    /// The α-invariant, *process-stable* fingerprint of the source
+    /// ([`cccc_source::wire::fingerprint_alpha`]), computed when the
+    /// source is set. This — not the raw buffer's fingerprint, whose
+    /// symbol words depend on interning history — is what input
+    /// fingerprints fold in, so cache keys computed by one process
+    /// validate artifacts the persistent store holds from another.
+    pub source_alpha: Fingerprint,
 }
 
 /// A graph of named compilation units.
@@ -60,6 +67,13 @@ pub struct Plan {
     pub transitive: Vec<Vec<usize>>,
     /// For each unit, the units that directly import it.
     pub dependents: Vec<Vec<usize>>,
+    /// For each unit, the number of units on the longest dependency chain
+    /// from it to a sink (itself included) — its *critical-path*
+    /// priority. The scheduler releases ready units highest-priority
+    /// first, so long chains start as early as possible and a skewed
+    /// DAG's makespan is bounded by its critical path rather than by
+    /// whatever insertion order put in front of it.
+    pub priority: Vec<u64>,
 }
 
 impl UnitGraph {
@@ -99,6 +113,7 @@ impl UnitGraph {
             symbol: Symbol::intern(name),
             imports: imports.iter().map(|s| (*s).to_owned()).collect(),
             source: src::wire::encode(term),
+            source_alpha: src::wire::fingerprint_alpha(term),
         });
         Ok(())
     }
@@ -112,6 +127,7 @@ impl UnitGraph {
     pub fn update_unit(&mut self, name: &str, term: &src::Term) -> Result<(), DriverError> {
         let &i = self.index.get(name).ok_or_else(|| DriverError::UnknownUnit(name.to_owned()))?;
         self.units[i].source = src::wire::encode(term);
+        self.units[i].source_alpha = src::wire::fingerprint_alpha(term);
         Ok(())
     }
 
@@ -217,7 +233,17 @@ impl UnitGraph {
             transitive[u] = seen;
         }
 
-        Ok(Plan { order, direct, transitive, dependents })
+        // Critical-path priorities, in reverse schedule order: a sink
+        // scores 1, everything else one more than its highest-scoring
+        // dependent.
+        let mut priority: Vec<u64> = vec![1; n];
+        for &u in order.iter().rev() {
+            for &v in &dependents[u] {
+                priority[u] = priority[u].max(priority[v] + 1);
+            }
+        }
+
+        Ok(Plan { order, direct, transitive, dependents, priority })
     }
 }
 
@@ -300,6 +326,32 @@ mod tests {
         // base has two dependents.
         let base = g.index_of("base").unwrap();
         assert_eq!(plan.dependents[base].len(), 2);
+    }
+
+    #[test]
+    fn critical_path_priorities_measure_longest_chain_to_a_sink() {
+        // leaf (no dependents) and a 3-chain feeding a shared root:
+        //   leaf → root;  c0 → c1 → c2 → root
+        let g = graph(&[
+            ("leaf", &[]),
+            ("c0", &[]),
+            ("c1", &["c0"]),
+            ("c2", &["c1"]),
+            ("root", &["leaf", "c2"]),
+        ]);
+        let plan = g.plan().unwrap();
+        let p = |name: &str| plan.priority[g.index_of(name).unwrap()];
+        assert_eq!(p("root"), 1, "sinks score 1");
+        assert_eq!(p("leaf"), 2);
+        assert_eq!(p("c2"), 2);
+        assert_eq!(p("c1"), 3);
+        assert_eq!(p("c0"), 4, "the chain head owns the longest path");
+        // Priorities are monotone along import edges.
+        for (u, deps) in plan.direct.iter().enumerate() {
+            for &d in deps {
+                assert!(plan.priority[d] > plan.priority[u]);
+            }
+        }
     }
 
     #[test]

@@ -55,11 +55,13 @@
 pub mod cache;
 pub mod graph;
 pub mod session;
+pub mod store;
 pub mod workloads;
 
-pub use cache::{Artifact, ArtifactCache, CacheStats};
+pub use cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 pub use graph::{Plan, Unit, UnitGraph};
 pub use session::{BuildReport, Session, UnitReport, UnitStatus};
+pub use store::ArtifactStore;
 
 use std::fmt;
 
@@ -93,6 +95,10 @@ pub enum DriverError {
     },
     /// A wire buffer failed to decode — corruption, should not happen.
     Wire(String),
+    /// The persistent artifact store could not be opened or wiped.
+    /// (Corrupt *entries* inside an open store are never errors — they
+    /// read as cache misses.)
+    Store(String),
 }
 
 impl fmt::Display for DriverError {
@@ -113,6 +119,7 @@ impl fmt::Display for DriverError {
                 write!(f, "unit `{unit}` failed to compile: {message}")
             }
             DriverError::Wire(message) => write!(f, "artifact decode failed: {message}"),
+            DriverError::Store(message) => write!(f, "artifact store failed: {message}"),
         }
     }
 }

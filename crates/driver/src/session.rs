@@ -1,32 +1,40 @@
-//! The driver session: topological scheduling of compilation units onto
-//! parallel workers, with fingerprint-validated artifact reuse.
+//! The driver session: critical-path scheduling of compilation units
+//! onto parallel workers, with fingerprint-validated artifact reuse that
+//! can outlive the process.
 //!
-//! A [`Session`] owns a [`UnitGraph`], an [`ArtifactCache`], and the
-//! [`CompilerOptions`] every unit is compiled with. [`Session::build`]
-//! validates the graph, then runs a work-stealing pool of OS threads:
-//! each worker owns its thread's CC/CC-CC interners and memo tables (the
-//! kernel's handles are `!Send` by design), picks ready units off the
-//! shared frontier, imports its dependencies' *interfaces* through the
-//! wire codec, and either reuses a fingerprint-matching cached artifact
-//! or runs the full [`Compiler`] pipeline — type check, closure convert,
-//! re-check, verify — exporting the result back as wire buffers.
+//! A [`Session`] owns a [`UnitGraph`], an [`ArtifactCache`] (optionally
+//! backed by a persistent [`ArtifactStore`] — [`Session::with_store`]),
+//! and the [`CompilerOptions`] every unit is compiled with.
+//! [`Session::build`] validates the graph, then runs a work-stealing
+//! pool of OS threads: each worker owns its thread's CC/CC-CC interners
+//! and memo tables (the kernel's handles are `!Send` by design), picks
+//! ready units off the shared frontier *critical-path-first* (longest
+//! chain to a sink, [`Plan::priority`]), imports its dependencies'
+//! *interfaces* through the wire codec, and either reuses a
+//! fingerprint-matching cached artifact — from memory or from disk — or
+//! runs the full [`Compiler`] pipeline — type check, closure convert,
+//! re-check, verify — exporting the result back as wire buffers and
+//! writing it through to the store.
 //!
 //! Because a unit is compiled against interfaces only, its input
-//! fingerprint covers exactly: its own source, the output-affecting
-//! compiler options, and its transitive imports' interface fingerprints.
-//! A no-change rebuild therefore recomputes a few hashes and compiles
-//! nothing; an implementation-only change to an import recompiles that
-//! import alone.
+//! fingerprint covers exactly: its own source (α-invariantly and
+//! process-stably fingerprinted), the output-affecting compiler options,
+//! and its transitive imports' interface fingerprints. A no-change
+//! rebuild therefore recomputes a few hashes and compiles nothing — and
+//! with a store attached, so does the first build of a *fresh process*
+//! over unchanged sources.
 
-use crate::cache::{Artifact, ArtifactCache, CacheStats};
+use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 use crate::graph::{Plan, UnitGraph};
+use crate::store::ArtifactStore;
 use crate::DriverError;
-use cccc_core::pipeline::{CacheReport, Compilation, Compiler, CompilerOptions};
+use cccc_core::pipeline::{CacheReport, Compilation, Compiler, CompilerOptions, StoreStats};
 use cccc_source as src;
 use cccc_target as tgt;
 use cccc_util::symbol::Symbol;
 use cccc_util::wire::Fingerprint;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -57,6 +65,9 @@ pub struct UnitReport {
     pub name: String,
     /// How the unit fared.
     pub status: UnitStatus,
+    /// Which cache tier answered, for [`UnitStatus::Cached`] units
+    /// (`None` for compiled/failed/skipped ones).
+    pub cached_from: Option<CacheTier>,
     /// Wall time spent on the unit (fingerprinting + cache lookup +
     /// compile).
     pub duration: Duration,
@@ -84,8 +95,14 @@ pub struct BuildReport {
     pub workers: usize,
     /// End-to-end wall time of the build.
     pub wall_time: Duration,
-    /// Artifact-cache activity during this build.
+    /// Artifact-cache (memory tier) activity during this build.
     pub cache: CacheStats,
+    /// Persistent-store activity during this build (`None` when the
+    /// session has no store attached). Activity counters only — the
+    /// size fields are zero here, because sizing the store walks the
+    /// directory and a warm rebuild must not pay for that inside the
+    /// build; ask [`Session::store_stats`] when sizes are wanted.
+    pub store: Option<StoreStats>,
 }
 
 impl BuildReport {
@@ -94,9 +111,15 @@ impl BuildReport {
         self.units.iter().filter(|u| u.status == UnitStatus::Compiled).count()
     }
 
-    /// Units answered from the artifact cache.
+    /// Units answered from the artifact cache (either tier).
     pub fn cached_count(&self) -> usize {
         self.units.iter().filter(|u| u.status == UnitStatus::Cached).count()
+    }
+
+    /// Units answered from the *persistent* tier specifically (loaded
+    /// from disk, e.g. after a process restart).
+    pub fn disk_cached_count(&self) -> usize {
+        self.units.iter().filter(|u| u.cached_from == Some(CacheTier::Disk)).count()
     }
 
     /// Units that failed outright.
@@ -147,9 +170,32 @@ pub struct Session {
     results: HashMap<String, Arc<Artifact>>,
 }
 
+/// A frontier entry: units are released critical-path-first (highest
+/// [`Plan::priority`]), with insertion order as the deterministic
+/// tie-break, so the scheduler starts long chains before wide batches of
+/// leaves and a skewed DAG's makespan tracks its critical path.
+#[derive(PartialEq, Eq)]
+struct ReadyUnit {
+    priority: u64,
+    index: usize,
+}
+
+impl Ord for ReadyUnit {
+    fn cmp(&self, other: &ReadyUnit) -> Ordering {
+        // Max-heap: higher priority first, then *lower* index.
+        self.priority.cmp(&other.priority).then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for ReadyUnit {
+    fn partial_cmp(&self, other: &ReadyUnit) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Scheduler state shared by the worker pool.
 struct SchedState {
-    ready: VecDeque<usize>,
+    ready: BinaryHeap<ReadyUnit>,
     pending: Vec<usize>,
     artifacts: Vec<Option<Arc<Artifact>>>,
     reports: Vec<Option<UnitReport>>,
@@ -157,7 +203,8 @@ struct SchedState {
 }
 
 impl Session {
-    /// An empty session compiling with the given options.
+    /// An empty session compiling with the given options; artifacts are
+    /// cached in memory only and die with the session.
     pub fn new(options: CompilerOptions) -> Session {
         Session {
             graph: UnitGraph::new(),
@@ -165,6 +212,31 @@ impl Session {
             cache: Mutex::new(ArtifactCache::new()),
             results: HashMap::new(),
         }
+    }
+
+    /// An empty session whose artifact cache is backed by the persistent
+    /// store at `store_dir` (created if absent). Compiles write through
+    /// to the store; cache misses consult it; a *new* session — in this
+    /// process or a later one — pointed at the same directory starts its
+    /// first build warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Store`] when the directory cannot be
+    /// created. Corrupt or stale blobs inside a successfully opened
+    /// store are *not* errors — they read as cache misses.
+    pub fn with_store(
+        options: CompilerOptions,
+        store_dir: impl AsRef<std::path::Path>,
+    ) -> Result<Session, DriverError> {
+        let store =
+            ArtifactStore::open(store_dir).map_err(|e| DriverError::Store(e.to_string()))?;
+        Ok(Session {
+            graph: UnitGraph::new(),
+            options,
+            cache: Mutex::new(ArtifactCache::with_store(store)),
+            results: HashMap::new(),
+        })
     }
 
     /// A session holding a single closed unit named `main` — the existing
@@ -210,15 +282,37 @@ impl Session {
         self.graph.update_unit(name, term)
     }
 
-    /// Artifact-cache counters accumulated over the session.
+    /// Artifact-cache (memory tier) counters accumulated over the
+    /// session.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("driver cache poisoned").stats()
     }
 
-    /// Drops every cached artifact (turns the next build cold).
+    /// Persistent-store counters and sizes (`None` without a store).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.lock().expect("driver cache poisoned").store_stats()
+    }
+
+    /// Drops every cached artifact from *memory* (turns the next build
+    /// cold in this session; a persistent store, if attached, still
+    /// answers).
     pub fn clear_cache(&mut self) {
         self.cache.lock().expect("driver cache poisoned").clear();
         self.results.clear();
+    }
+
+    /// Deletes every blob from the persistent store (no-op without one),
+    /// so the next build after [`Session::clear_cache`] is cold on disk
+    /// too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Store`] on a deletion failure.
+    pub fn wipe_store(&mut self) -> Result<(), DriverError> {
+        match self.cache.lock().expect("driver cache poisoned").store_mut() {
+            Some(store) => store.wipe().map_err(|e| DriverError::Store(e.to_string())),
+            None => Ok(()),
+        }
     }
 
     /// The artifact the last build produced for `name`, if any.
@@ -265,9 +359,18 @@ impl Session {
         let workers = workers.max(1).min(unit_count.max(1));
         let started = Instant::now();
         let cache_before = self.cache_stats();
+        let store_before =
+            self.cache.lock().expect("driver cache poisoned").store().map(ArtifactStore::counters);
+        let has_store = store_before.is_some();
 
         let state = Mutex::new(SchedState {
-            ready: plan.order.iter().copied().filter(|&u| plan.direct[u].is_empty()).collect(),
+            ready: plan
+                .order
+                .iter()
+                .copied()
+                .filter(|&u| plan.direct[u].is_empty())
+                .map(|u| ReadyUnit { priority: plan.priority[u], index: u })
+                .collect(),
             pending: (0..unit_count).map(|u| plan.direct[u].len()).collect(),
             artifacts: vec![None; unit_count],
             reports: vec![None; unit_count],
@@ -284,7 +387,16 @@ impl Session {
                 let plan = &plan;
                 let options = self.options;
                 scope.spawn(move || {
-                    worker_loop(worker, graph, plan, options, cache, state, ready_signal);
+                    worker_loop(
+                        worker,
+                        graph,
+                        plan,
+                        options,
+                        cache,
+                        has_store,
+                        state,
+                        ready_signal,
+                    );
                 });
             }
         });
@@ -302,6 +414,9 @@ impl Session {
             .map(|&u| state.reports[u].take().expect("every scheduled unit reports"))
             .collect();
         let cache_after = self.cache_stats();
+        let store = store_before.map(|before| {
+            self.cache.lock().expect("driver cache poisoned").store_counters().since(&before)
+        });
         Ok(BuildReport {
             units,
             workers,
@@ -311,6 +426,7 @@ impl Session {
                 misses: cache_after.misses - cache_before.misses,
                 invalidations: cache_after.invalidations - cache_before.invalidations,
             },
+            store,
         })
     }
 
@@ -385,12 +501,14 @@ impl Session {
 }
 
 /// One worker: claim ready units, compile or reuse, publish, repeat.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     graph: &UnitGraph,
     plan: &Plan,
     options: CompilerOptions,
     cache: &Mutex<ArtifactCache>,
+    has_store: bool,
     state: &Mutex<SchedState>,
     ready_signal: &Condvar,
 ) {
@@ -403,7 +521,7 @@ fn worker_loop(
                     ready_signal.notify_all();
                     return;
                 }
-                if let Some(u) = guard.ready.pop_front() {
+                if let Some(ReadyUnit { index: u, .. }) = guard.ready.pop() {
                     // Every transitive import has settled (the schedule
                     // guarantees it); collect their artifacts, or bail to
                     // Skipped if one failed.
@@ -427,6 +545,7 @@ fn worker_loop(
                         "import `{}` did not produce an artifact",
                         graph.unit_at(*failed_dep).name
                     )),
+                    cached_from: None,
                     duration: started.elapsed(),
                     fingerprint: Fingerprint::default(),
                     worker,
@@ -441,7 +560,7 @@ fn worker_loop(
                     .into_iter()
                     .map(|(d, artifact)| (d, artifact.expect("checked above")))
                     .collect();
-                handle_unit(worker, graph, unit_index, &deps, options, cache, started)
+                handle_unit(worker, graph, unit_index, &deps, options, cache, has_store, started)
             }
         };
 
@@ -453,7 +572,7 @@ fn worker_loop(
         for &v in &plan.dependents[unit_index] {
             guard.pending[v] -= 1;
             if guard.pending[v] == 0 {
-                guard.ready.push_back(v);
+                guard.ready.push(ReadyUnit { priority: plan.priority[v], index: v });
             }
         }
         ready_signal.notify_all();
@@ -463,6 +582,7 @@ fn worker_loop(
 /// Fingerprints, cache-checks, and (on miss) compiles one unit whose
 /// imports all have artifacts. Returns the report plus the artifact to
 /// publish.
+#[allow(clippy::too_many_arguments)]
 fn handle_unit(
     worker: usize,
     graph: &UnitGraph,
@@ -470,17 +590,26 @@ fn handle_unit(
     deps: &[(usize, Arc<Artifact>)],
     options: CompilerOptions,
     cache: &Mutex<ArtifactCache>,
+    has_store: bool,
     started: Instant,
 ) -> (UnitReport, Option<Arc<Artifact>>) {
     let unit = graph.unit_at(unit_index);
     let fingerprint = input_fingerprint(graph, unit_index, deps, options);
 
-    if let Some(artifact) =
-        cache.lock().expect("driver cache poisoned").lookup(&unit.name, fingerprint)
-    {
+    // Look up under the lock, capturing this unit's share of the store
+    // activity precisely (nothing else can touch the store while the
+    // lock is held).
+    let (cached, lookup_delta) = {
+        let mut cache = cache.lock().expect("driver cache poisoned");
+        let before = cache.store_counters();
+        let cached = cache.lookup(&unit.name, fingerprint);
+        (cached, cache.store_counters().since(&before))
+    };
+    if let Some((artifact, tier)) = cached {
         let report = UnitReport {
             name: unit.name.clone(),
             status: UnitStatus::Cached,
+            cached_from: Some(tier),
             duration: started.elapsed(),
             fingerprint,
             worker,
@@ -494,14 +623,27 @@ fn handle_unit(
     match compile_unit(graph, unit_index, deps, options) {
         Ok((artifact, caches)) => {
             let target_words = artifact.target.len();
-            cache.lock().expect("driver cache poisoned").insert(
-                &unit.name,
-                fingerprint,
-                Arc::clone(&artifact),
-            );
+            // Render the write-through blob on this worker's own time —
+            // the transcode dominates the cost of persisting, and doing
+            // it under the cache lock would serialize every other
+            // worker behind it.
+            let rendered = has_store.then(|| crate::store::render_blob(&artifact)).flatten();
+            let insert_delta = {
+                let mut cache = cache.lock().expect("driver cache poisoned");
+                let before = cache.store_counters();
+                cache.insert_prerendered(&unit.name, fingerprint, Arc::clone(&artifact), rendered);
+                cache.store_counters().since(&before)
+            };
+            // Fold the unit's store activity (a failed disk probe plus
+            // the write-through) into its per-compile cache report.
+            let caches = caches.map(|mut report| {
+                report.artifact_store = lookup_delta.merged(&insert_delta);
+                report
+            });
             let report = UnitReport {
                 name: unit.name.clone(),
                 status: UnitStatus::Compiled,
+                cached_from: None,
                 duration: started.elapsed(),
                 fingerprint,
                 worker,
@@ -515,6 +657,7 @@ fn handle_unit(
             UnitReport {
                 name: unit.name.clone(),
                 status: UnitStatus::Failed(message),
+                cached_from: None,
                 duration: started.elapsed(),
                 fingerprint,
                 worker,
@@ -529,6 +672,14 @@ fn handle_unit(
 
 /// A unit's input fingerprint: source ⊕ output-affecting options ⊕ the
 /// ordered interface fingerprints of its transitive imports.
+///
+/// Every component is **process-stable** — the source by its α-invariant
+/// fingerprint ([`Unit::source_alpha`](crate::graph::Unit)), import
+/// names by their bytes, interfaces by their stored α-fingerprints — so
+/// the same graph keys identically across restarts and the persistent
+/// store can answer a fresh process's first build. (α-invariance of the
+/// source key also means an α-variant-only edit is a cache *hit*: the
+/// cached artifact is α-equivalent to what a recompile would produce.)
 fn input_fingerprint(
     graph: &UnitGraph,
     unit_index: usize,
@@ -539,7 +690,7 @@ fn input_fingerprint(
     let option_bits = u64::from(options.typecheck_output)
         | u64::from(options.verify_type_preservation) << 1
         | u64::from(options.use_nbe) << 2;
-    let mut fingerprint = unit.source.fingerprint().combine_word(option_bits);
+    let mut fingerprint = unit.source_alpha.combine_word(option_bits);
     for (d, artifact) in deps {
         fingerprint = fingerprint
             .combine(Fingerprint::of_str(&graph.unit_at(*d).name))

@@ -1,0 +1,414 @@
+//! The persistent, content-addressed artifact store: warm rebuilds that
+//! survive process restarts.
+//!
+//! The in-memory [`ArtifactCache`](crate::cache::ArtifactCache) dies with
+//! its [`Session`](crate::session::Session), so every new process used to
+//! pay the full cold-build cost. This module is the second tier: compiled
+//! artifacts are written through to an on-disk store keyed by their
+//! *input fingerprint* (source ⊕ options ⊕ import interfaces — all
+//! computed α-invariantly and process-stably, see
+//! [`cccc_source::wire::fingerprint_alpha`]), and a fresh process whose
+//! recomputed keys match simply loads the blobs back.
+//!
+//! # Blob format
+//!
+//! One file per input fingerprint, named `<fingerprint:032x>.art`, holding
+//! little-endian `u64` words:
+//!
+//! ```text
+//! ┌──────────────────────── header ────────────────────────┐
+//! │ magic  │ format version │ checksum (2 words, FxHash²)  │
+//! ├──────────────────────── payload ───────────────────────┤
+//! │ interface α-fingerprint (2 words)                      │
+//! │ section: len, portable wire words of the CC interface  │
+//! │ section: len, portable wire words of the CC-CC term    │
+//! │ section: len, portable wire words of the CC-CC type    │
+//! └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Sections are **portable** wire buffers ([`cccc_source::wire::encode_portable`],
+//! [`cccc_target::wire::encode_portable`]): each carries a relocatable
+//! symbol table mapping local ids to `(base name, disambiguator)` pairs
+//! that re-intern on load, because raw wire symbol ids are only stable
+//! within the writing process. The checksum covers the whole payload.
+//!
+//! # Failure semantics
+//!
+//! The store **never fails a build**. A missing blob is a miss; a
+//! truncated, checksum-failing, version-skewed, or otherwise corrupt blob
+//! is an *invalid entry* and also a miss (the counters in
+//! [`StoreStats`] distinguish the cases); an I/O error while writing is
+//! counted and swallowed. Deleting the store directory (or calling
+//! [`ArtifactStore::wipe`]) merely makes the next build cold.
+
+use crate::cache::Artifact;
+use cccc_core::pipeline::StoreStats;
+use cccc_source as src;
+use cccc_target as tgt;
+use cccc_util::wire::{Fingerprint, WireTerm, FORMAT_VERSION};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// First word of every store blob ("ccccart\0", little-endian).
+const STORE_MAGIC: u64 = 0x0074_7261_6363_6363;
+
+/// Words in the blob header (magic, version, checksum lo, checksum hi).
+const HEADER_WORDS: usize = 4;
+
+/// A persistent, content-addressed artifact store rooted at a directory.
+///
+/// Opened with [`ArtifactStore::open`] and normally owned by an
+/// [`ArtifactCache`](crate::cache::ArtifactCache) as its disk tier (see
+/// [`Session::with_store`](crate::session::Session::with_store)). All
+/// methods tolerate corruption and I/O failure by design: the only
+/// fallible operations are opening (the directory must be creatable) and
+/// wiping.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    stats: StoreStats,
+}
+
+/// Process-wide temp-file disambiguator: combined with the process id in
+/// the temp name, it keeps concurrent writers — including two store
+/// instances in one process sharing a directory — off each other's
+/// in-flight files.
+static TEMP_SEQUENCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir, stats: StoreStats::default() })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counter snapshot, with the size fields (`entries`, `bytes`)
+    /// refreshed by scanning the directory.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.stats;
+        stats.entries = 0;
+        stats.bytes = 0;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "art") {
+                    stats.entries += 1;
+                    stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Counter snapshot without the directory scan (used on the per-unit
+    /// hot path, where only the activity counters matter).
+    pub fn counters(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Deletes every blob — and any orphaned temp file a crashed writer
+    /// left behind. The next build against this store is cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deletion error (the store stays usable).
+    pub fn wipe(&mut self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "art" || e == "tmp") {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn blob_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.art"))
+    }
+
+    /// Loads the artifact stored under `fingerprint`, if a valid blob
+    /// exists. Corrupt blobs (bad magic, version skew, failed checksum,
+    /// truncation) are counted as invalid entries, reported as misses,
+    /// and *deleted* — self-healing, so the recompile's write-through can
+    /// put a good blob back in their place.
+    pub fn load(&mut self, fingerprint: Fingerprint) -> Option<Artifact> {
+        let path = self.blob_path(fingerprint);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.stats.disk_misses += 1;
+                return None;
+            }
+        };
+        match parse_blob(&bytes) {
+            Some(artifact) => {
+                self.stats.disk_hits += 1;
+                Some(artifact)
+            }
+            None => {
+                self.stats.invalid_entries += 1;
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Writes `artifact` through to disk under `fingerprint`, transcoding
+    /// its sections into the portable symbol-relocatable encoding. The
+    /// write is atomic (temp file + rename), so a concurrent reader sees
+    /// either the whole blob or none of it. Failures are counted, never
+    /// raised; an existing blob (the store is content-addressed, so its
+    /// payload is necessarily equivalent) is left in place.
+    ///
+    /// The driver's workers pre-render the blob *outside* the session's
+    /// cache lock and hand the words to the crate-private
+    /// `save_rendered`, keeping the transcode off the lock's critical
+    /// section; this method is the convenient one-call form.
+    pub fn save(&mut self, fingerprint: Fingerprint, artifact: &Artifact) {
+        let rendered = render_blob(artifact);
+        self.save_rendered(fingerprint, rendered.as_deref());
+    }
+
+    /// [`ArtifactStore::save`] for a blob already rendered by
+    /// [`render_blob`]; `None` records the render failure.
+    pub(crate) fn save_rendered(&mut self, fingerprint: Fingerprint, words: Option<&[u64]>) {
+        let Some(words) = words else {
+            self.stats.write_errors += 1;
+            return;
+        };
+        let path = self.blob_path(fingerprint);
+        if path.exists() {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for word in words {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        let sequence = TEMP_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let temp = self.dir.join(format!(".{fingerprint}.{}.{sequence}.tmp", std::process::id()));
+        let written = fs::write(&temp, &bytes).and_then(|()| fs::rename(&temp, &path));
+        match written {
+            Ok(()) => self.stats.write_throughs += 1,
+            Err(_) => {
+                let _ = fs::remove_file(&temp);
+                self.stats.write_errors += 1;
+            }
+        }
+    }
+}
+
+/// Serializes an artifact into blob words (header + payload). Returns
+/// `None` if a section fails to decode — a process-local corruption that
+/// should never happen and is treated as a write error. Pure CPU work
+/// (the transcode dominates write-through cost), so the driver's workers
+/// run it outside the session cache lock.
+pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
+    // Transcode each section into the portable encoding. The in-memory
+    // sections were produced by this process (or loaded portably), so
+    // decoding them here cannot fail on well-formed artifacts.
+    let source_ty = src::wire::encode_portable(&src::wire::decode(&artifact.source_ty).ok()?);
+    let target = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target).ok()?);
+    let target_ty = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target_ty).ok()?);
+
+    let mut payload: Vec<u64> =
+        Vec::with_capacity(2 + 3 + source_ty.len() + target.len() + target_ty.len());
+    payload.push(artifact.interface_alpha.0 as u64);
+    payload.push((artifact.interface_alpha.0 >> 64) as u64);
+    for section in [&source_ty, &target, &target_ty] {
+        payload.push(section.len() as u64);
+        payload.extend_from_slice(section.words());
+    }
+    let checksum = Fingerprint::of_words(&payload);
+
+    let mut words = Vec::with_capacity(HEADER_WORDS + payload.len());
+    words.push(STORE_MAGIC);
+    words.push(FORMAT_VERSION);
+    words.push(checksum.0 as u64);
+    words.push((checksum.0 >> 64) as u64);
+    words.extend_from_slice(&payload);
+    Some(words)
+}
+
+/// Parses blob bytes back into an artifact; `None` on any corruption.
+/// Sections are *not* term-decoded here — the checksum already vouches
+/// for their integrity, and decoding is deferred to first use so a warm
+/// rebuild touching no term stays cheap.
+fn parse_blob(bytes: &[u8]) -> Option<Artifact> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+        .collect();
+    if words.len() < HEADER_WORDS + 2 {
+        return None;
+    }
+    if words[0] != STORE_MAGIC || words[1] != FORMAT_VERSION {
+        return None;
+    }
+    let checksum = Fingerprint((u128::from(words[3]) << 64) | u128::from(words[2]));
+    let payload = &words[HEADER_WORDS..];
+    if Fingerprint::of_words(payload) != checksum {
+        return None;
+    }
+    let interface_alpha = Fingerprint((u128::from(payload[1]) << 64) | u128::from(payload[0]));
+    let mut cursor = 2;
+    let mut sections = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let len = *payload.get(cursor)? as usize;
+        cursor += 1;
+        let words = payload.get(cursor..cursor + len)?;
+        sections.push(WireTerm::from_words(words.to_vec()));
+        cursor += len;
+    }
+    if cursor != payload.len() {
+        return None;
+    }
+    let target_ty = sections.pop().expect("three sections were pushed");
+    let target = sections.pop().expect("three sections were pushed");
+    let source_ty = sections.pop().expect("three sections were pushed");
+    Some(Artifact { source_ty, target, target_ty, interface_alpha })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccc_source::builder as s;
+    use cccc_target::builder as t;
+
+    fn sample_artifact() -> Artifact {
+        Artifact {
+            source_ty: src::wire::encode(&s::pi(
+                "A",
+                s::star(),
+                s::arrow(s::var("A"), s::var("A")),
+            )),
+            target: tgt::wire::encode(&t::closure(
+                t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
+                t::unit_val(),
+            )),
+            target_ty: tgt::wire::encode(&t::bool_ty()),
+            interface_alpha: Fingerprint::of_words(&[9, 9, 9]),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cccc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn blobs_round_trip_with_lazy_sections() {
+        let dir = temp_dir("roundtrip");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[1, 2, 3]);
+        let artifact = sample_artifact();
+        store.save(key, &artifact);
+
+        let loaded = store.load(key).expect("blob loads");
+        assert_eq!(loaded.interface_alpha, artifact.interface_alpha);
+        // Sections decode to α-equivalent terms through the relocatable
+        // symbol table (the `arrow` builder freshens its binder, so the
+        // loaded interface is an α-variant, not an identical term).
+        let original = src::wire::decode(&artifact.source_ty).unwrap();
+        let decoded = src::wire::decode(&loaded.source_ty).unwrap();
+        assert!(cccc_source::subst::alpha_eq(&original, &decoded));
+        let original = tgt::wire::decode(&artifact.target).unwrap();
+        let decoded = tgt::wire::decode(&loaded.target).unwrap();
+        assert!(cccc_target::subst::alpha_eq(&original, &decoded));
+
+        let stats = store.stats();
+        assert_eq!(stats.write_throughs, 1);
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_blobs_are_misses_and_wipe_empties_the_store() {
+        let dir = temp_dir("wipe");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.load(Fingerprint::of_words(&[7])).is_none());
+        assert_eq!(store.counters().disk_misses, 1);
+
+        store.save(Fingerprint::of_words(&[7]), &sample_artifact());
+        assert_eq!(store.stats().entries, 1);
+        store.wipe().unwrap();
+        assert_eq!(store.stats().entries, 0);
+        assert!(store.load(Fingerprint::of_words(&[7])).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saving_an_existing_key_is_a_no_op() {
+        let dir = temp_dir("dedup");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[4]);
+        store.save(key, &sample_artifact());
+        store.save(key, &sample_artifact());
+        let stats = store.stats();
+        assert_eq!(stats.write_throughs, 1, "content-addressed: second save skips");
+        assert_eq!(stats.entries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blobs_are_invalid_entries_not_errors() {
+        let dir = temp_dir("corrupt");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[5]);
+        store.save(key, &sample_artifact());
+        let path = store.blob_path(key);
+        let good = fs::read(&path).unwrap();
+
+        // Truncated blob.
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Flipped payload byte: checksum mismatch.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        fs::write(&path, &flipped).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Version skew: bump the version word.
+        let mut skewed = good.clone();
+        skewed[8] = skewed[8].wrapping_add(1);
+        fs::write(&path, &skewed).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Wrong magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        fs::write(&path, &bad_magic).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Not even word-aligned.
+        fs::write(&path, b"short").unwrap();
+        assert!(store.load(key).is_none());
+
+        assert_eq!(store.counters().invalid_entries, 5);
+        assert_eq!(store.counters().disk_hits, 0);
+
+        // The original bytes still load.
+        fs::write(&path, &good).unwrap();
+        assert!(store.load(key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -43,9 +43,14 @@ fn work_term(work: usize) -> src::Term {
     s::app(prelude::church_is_even(), square)
 }
 
-/// Wraps `body` in a unit-specific `let`, so every unit's source (and
-/// hence fingerprint) is distinct even when the interesting work is
-/// identical.
+/// Wraps `body` in a unit-specific `let`, so every unit's source is
+/// *textually* distinct (distinct structural wire fingerprints) even
+/// when the interesting work is identical. The tag is a binder name, so
+/// the units remain **α-equivalent** and share one α-invariant input
+/// fingerprint: store-backed sessions deliberately compile one
+/// representative per family and answer the rest by content address,
+/// while store-less sessions (what the throughput benchmarks run)
+/// compile every unit.
 fn tagged(name: &str, body: src::Term) -> src::Term {
     s::let_(&format!("tag_{name}"), s::bool_ty(), s::tt(), body)
 }
@@ -104,6 +109,48 @@ pub fn deep_chain(length: usize, work: usize) -> Vec<WorkUnit> {
             units.push(WorkUnit { name, imports: vec![previous], term });
         }
     }
+    units
+}
+
+/// A skewed DAG built to punish FIFO frontier ordering: `fan` cheap
+/// leaves are inserted *first*, then a `chain` of expensive stages
+/// (each importing its predecessor), then a root importing everything.
+///
+/// At the start every leaf and the chain head are ready at once. A FIFO
+/// frontier hands workers the leaves in insertion order and only then
+/// starts the chain, so the expensive serial tail begins late; a
+/// critical-path-first frontier starts the chain head immediately
+/// (it has the highest [`crate::graph::Plan::priority`]) and fills the
+/// remaining workers with leaves, overlapping the cheap work with the
+/// serial tail. `report_driver`'s makespan model asserts the gap.
+pub fn skewed(chain: usize, fan: usize, work: usize) -> Vec<WorkUnit> {
+    let chain = chain.max(1);
+    let mut units = Vec::with_capacity(fan + chain + 1);
+    let mut import_names = Vec::with_capacity(fan + 1);
+    for i in 0..fan {
+        let name = format!("leaf{i:02}");
+        let term = tagged(&name, work_term(1));
+        units.push(WorkUnit { name: name.clone(), imports: Vec::new(), term });
+        import_names.push(name);
+    }
+    for i in 0..chain {
+        let name = format!("stage{i:02}");
+        if i == 0 {
+            let term = tagged(&name, work_term(work));
+            units.push(WorkUnit { name, imports: Vec::new(), term });
+        } else {
+            let previous = format!("stage{:02}", i - 1);
+            let term = tagged(&name, s::ite(s::var(&previous), work_term(work), s::ff()));
+            units.push(WorkUnit { name, imports: vec![previous], term });
+        }
+    }
+    import_names.push(format!("stage{:02}", chain - 1));
+    // root = fold of every import with `if`, like the diamond's top.
+    let mut body = s::tt();
+    for name in import_names.iter().rev() {
+        body = s::ite(s::var(name), body, s::ff());
+    }
+    units.push(WorkUnit { name: "root".to_owned(), imports: import_names, term: body });
     units
 }
 
@@ -170,5 +217,24 @@ mod tests {
         for (i, unit) in units.iter().enumerate().skip(1) {
             assert_eq!(unit.imports, vec![format!("link{:02}", i - 1)]);
         }
+    }
+
+    #[test]
+    fn skewed_puts_the_chain_head_on_the_critical_path() {
+        let units = skewed(3, 4, 2);
+        assert_eq!(units.len(), 8);
+        assert_eq!(root_of(&units), "root");
+        check_workload(&units);
+        // Leaves come first in insertion order (that is the point: FIFO
+        // picks them up before the chain) …
+        assert!(units[0].name.starts_with("leaf"));
+        // … but the chain head has the strictly highest priority.
+        let session = session_from(&units, CompilerOptions::default());
+        let plan = session.graph().plan().unwrap();
+        let p = |name: &str| plan.priority[session.graph().index_of(name).unwrap()];
+        assert_eq!(p("stage00"), 4, "stage00 → stage01 → stage02 → root");
+        assert_eq!(p("leaf00"), 2);
+        assert_eq!(p("root"), 1);
+        assert!(p("stage00") > p("leaf03"));
     }
 }

@@ -12,7 +12,7 @@ use cccc_core::link;
 use cccc_core::pipeline::{Compiler, CompilerOptions};
 use cccc_driver::session::Session;
 use cccc_driver::workloads::{
-    deep_chain, diamond, independent_units, root_of, session_from, WorkUnit,
+    deep_chain, diamond, independent_units, root_of, session_from, skewed, WorkUnit,
 };
 use cccc_driver::{DriverError, UnitStatus};
 use cccc_source::builder as s;
@@ -61,6 +61,17 @@ fn diamond_matches_sequential() {
 fn deep_chain_matches_sequential() {
     let units = deep_chain(5, 2);
     assert_driver_matches_sequential(&units, 2);
+}
+
+#[test]
+fn skewed_dag_matches_sequential_under_critical_path_scheduling() {
+    // The workload built to make critical-path-first ordering visible:
+    // scheduling *order* changes under the priority frontier, but
+    // artifacts and verdicts must not, at any worker count.
+    let units = skewed(3, 4, 2);
+    for workers in [1, 2, 4] {
+        assert_driver_matches_sequential(&units, workers);
+    }
 }
 
 #[test]

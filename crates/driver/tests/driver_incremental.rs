@@ -55,12 +55,13 @@ fn implementation_only_changes_do_not_cascade() {
 }
 
 #[test]
-fn alpha_variant_interfaces_do_not_cascade() {
-    // `dep` exports `Π x : Bool. Bool`; replacing it with an α-variant
-    // (`Π y : Bool. Bool` after inference) changes the interface only up
-    // to binder names. The interface fingerprint is α-invariant, so the
-    // dependent must stay cached — binder freshening during recompiles
-    // must never invalidate downstream units.
+fn alpha_variant_edits_do_not_recompile_anything() {
+    // `dep` is edited to an α-variant (`λ x. x` → `λ y. y`). Input
+    // fingerprints are α-invariant (that is also what makes them
+    // process-stable for the persistent store, where binder subscripts
+    // differ run to run), so the edit is a no-op for the cache: neither
+    // `dep` nor its dependent recompiles, and the cached artifact — which
+    // is α-equivalent to what a recompile would produce — still links.
     let mut session = cccc_driver::session::Session::new(CompilerOptions::default());
     session.add_unit("dep", &[], &s::lam("x", s::bool_ty(), s::var("x"))).unwrap();
     session.add_unit("use", &["dep"], &s::app(s::var("dep"), s::tt())).unwrap();
@@ -70,14 +71,27 @@ fn alpha_variant_interfaces_do_not_cascade() {
     session.update_unit("dep", &s::lam("y", s::bool_ty(), s::var("y"))).unwrap();
     let rebuild = session.build(2).unwrap();
     assert!(rebuild.is_success());
-    assert_eq!(rebuild.compiled_count(), 1, "{}", rebuild.summary());
-    let recompiled: Vec<&str> = rebuild
+    assert_eq!(rebuild.compiled_count(), 0, "{}", rebuild.summary());
+    assert_eq!(rebuild.cached_count(), 2, "{}", rebuild.summary());
+    assert_eq!(session.observe("use").unwrap(), Some(true));
+
+    // A *structural* edit to the same unit still recompiles it (and only
+    // it: the inferred interface is unchanged, so `use` stays cached —
+    // binder freshening during recompiles never invalidates downstream
+    // units).
+    session
+        .update_unit("dep", &s::lam("y", s::bool_ty(), s::ite(s::tt(), s::var("y"), s::var("y"))))
+        .unwrap();
+    let structural = session.build(2).unwrap();
+    assert!(structural.is_success());
+    let recompiled: Vec<&str> = structural
         .units
         .iter()
         .filter(|u| u.status == UnitStatus::Compiled)
         .map(|u| u.name.as_str())
         .collect();
-    assert_eq!(recompiled, vec!["dep"]);
+    assert_eq!(recompiled, vec!["dep"], "{}", structural.summary());
+    assert_eq!(structural.cached_count(), 1);
     assert_eq!(session.observe("use").unwrap(), Some(true));
 }
 

@@ -43,18 +43,38 @@ pub fn encode(term: &Term) -> WireTerm {
     writer.finish()
 }
 
+/// Encodes a CC term into a *process*-portable wire buffer: symbols are
+/// written through a relocatable symbol table
+/// ([`cccc_util::wire::WireWriter::portable`]) instead of as raw interner
+/// parts, so the buffer can be persisted to disk and decoded by a later
+/// process. [`decode`] handles both formats transparently.
+pub fn encode_portable(term: &Term) -> WireTerm {
+    let mut writer = WireWriter::portable();
+    let mut seen: FxHashMap<NodeId, u64> = FxHashMap::default();
+    encode_head(term, &mut writer, &mut seen);
+    writer.finish()
+}
+
 /// The process-stable content fingerprint of a term (the fingerprint of
 /// its wire encoding). Structural: α-variants fingerprint differently.
 pub fn fingerprint(term: &Term) -> Fingerprint {
     encode(term).fingerprint()
 }
 
-/// An α-invariant content fingerprint: binders are numbered by a de
-/// Bruijn-style scope walk instead of hashed by name, so α-equivalent
-/// terms always agree (and structurally unequal terms disagree with hash
-/// probability). The driver fingerprints exported *interfaces* this way:
-/// recompiling an import whose inferred type merely re-freshened a
-/// binder must not invalidate every dependent.
+/// An α-invariant, *process-stable* content fingerprint: binders are
+/// numbered by a de Bruijn-style scope walk instead of hashed by name,
+/// so α-equivalent terms always agree (and structurally unequal terms
+/// disagree with hash probability), and free variables contribute their
+/// textual names rather than raw interner parts, so the same term
+/// fingerprints identically in any process. The driver fingerprints
+/// exported *interfaces* and unit sources this way: recompiling an
+/// import whose inferred type merely re-freshened a binder must not
+/// invalidate every dependent, and a fresh process consulting the
+/// persistent artifact store must recompute the keys an earlier process
+/// wrote. (A *generated* symbol occurring free — never the case for
+/// well-formed units, whose free names are their plain import names —
+/// still folds in its process-local subscript, keeping distinct
+/// generated names distinct at the price of stability in that corner.)
 pub fn fingerprint_alpha(term: &Term) -> Fingerprint {
     let mut writer = WireWriter::new();
     let mut scope: Vec<Symbol> = Vec::new();
@@ -63,8 +83,10 @@ pub fn fingerprint_alpha(term: &Term) -> Fingerprint {
 }
 
 /// Writes an occurrence of `x`: its scope depth when bound (counted from
-/// the innermost binder, so the numbering is position-only), its raw
-/// symbol when free.
+/// the innermost binder, so the numbering is position-only), its base
+/// name plus generated-subscript when free. The subscript is a separate
+/// word — not rendered into the name — so a plain symbol whose name
+/// contains `$` can never alias a generated symbol.
 fn push_alpha_var(x: Symbol, writer: &mut WireWriter, scope: &[Symbol]) {
     match scope.iter().rev().position(|&b| b == x) {
         Some(depth) => {
@@ -73,7 +95,8 @@ fn push_alpha_var(x: Symbol, writer: &mut WireWriter, scope: &[Symbol]) {
         }
         None => {
             writer.push(0);
-            writer.push_symbol(x);
+            writer.push_str(x.base_name());
+            writer.push(x.disambiguator());
         }
     }
 }
@@ -152,15 +175,20 @@ fn encode_alpha(term: &Term, writer: &mut WireWriter, scope: &mut Vec<Symbol>) {
     }
 }
 
-/// Decodes a wire buffer produced by [`encode`], re-interning every node
-/// into the current thread's CC interner.
+/// Decodes a wire buffer produced by [`encode`] or [`encode_portable`],
+/// re-interning every node into the current thread's CC interner. For a
+/// portable buffer the embedded symbol table is re-interned first: plain
+/// names resolve to the identical symbols, generated names to
+/// consistently fresh ones, so the result is α-equivalent to (and, when
+/// no generated symbols occur, structurally identical to) the encoded
+/// term even in a different process.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] if the buffer is corrupt (truncated, unknown
-/// tag, bad back-reference, or trailing words).
+/// tag, bad back-reference, bad symbol table, or trailing words).
 pub fn decode(wire: &WireTerm) -> Result<Term, WireError> {
-    let mut reader = wire.reader();
+    let mut reader = wire.term_reader()?;
     let mut nodes: Vec<RcTerm> = Vec::new();
     let term = decode_head(&mut reader, &mut nodes)?;
     reader.expect_exhausted()?;
@@ -392,6 +420,61 @@ mod tests {
         let pi_a = pi("A", star(), arrow(var("A"), var("A")));
         let pi_b = pi("B", star(), arrow(var("B"), var("B")));
         assert_eq!(fingerprint_alpha(&pi_a), fingerprint_alpha(&pi_b));
+    }
+
+    #[test]
+    fn portable_buffers_round_trip() {
+        // Every corpus program relocates to an α-equivalent term (some
+        // prelude terms carry generated binders, which are re-freshened).
+        for entry in prelude::corpus() {
+            let wire = encode_portable(&entry.term);
+            assert!(wire.is_portable());
+            let decoded = decode(&wire).expect("portable buffer decodes");
+            assert!(
+                crate::subst::alpha_eq(&entry.term, &decoded),
+                "`{}` changed across a portable round trip",
+                entry.name
+            );
+        }
+        // A term whose names are all plain relocates to the structurally
+        // identical term: every plain name re-interns to itself.
+        let plain = lam("x", bool_ty(), app(var("f"), var("x")));
+        let decoded = decode(&encode_portable(&plain)).unwrap();
+        assert!(plain.clone().rc().same(&decoded.clone().rc()));
+        // Bound generated symbols relocate to fresh names; the result is
+        // α-equivalent even though the subscripts differ.
+        let fresh = cccc_util::symbol::Symbol::fresh("v");
+        let t = Term::Lam {
+            binder: fresh,
+            domain: bool_ty().rc(),
+            body: app(var("f"), Term::Var(fresh)).rc(),
+        };
+        let decoded = decode(&encode_portable(&t)).unwrap();
+        assert!(crate::subst::alpha_eq(&t, &decoded));
+        match &decoded {
+            Term::Lam { binder, .. } => {
+                assert_ne!(*binder, fresh, "generated binder is re-disambiguated");
+                assert!(binder.is_generated());
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn alpha_fingerprints_hash_free_variables_by_name() {
+        // A free plain symbol and a free generated symbol with the same
+        // base name must not collide …
+        let plain = var("w");
+        let generated = cccc_util::symbol::Symbol::fresh("w");
+        assert_ne!(fingerprint_alpha(&plain), fingerprint_alpha(&Term::Var(generated)));
+        // … and two interned copies of the same name agree (name-based,
+        // not identity-based — the property a fresh process relies on).
+        assert_eq!(fingerprint_alpha(&var("w")), fingerprint_alpha(&plain));
+        // The generated subscript is hashed as its own word, never
+        // rendered into the name: a plain symbol that *textually* equals
+        // a generated symbol's display form must not alias it.
+        let aliased = var(&format!("w${}", generated.disambiguator()));
+        assert_ne!(fingerprint_alpha(&aliased), fingerprint_alpha(&Term::Var(generated)));
     }
 
     #[test]

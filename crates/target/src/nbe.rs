@@ -501,8 +501,16 @@ fn extend(value: RcValue, elim: Elim) -> RcValue {
 ///
 /// See [`eval`].
 pub fn quote(value: &Value, fuel: &mut Fuel) -> Result<Term, ReduceError> {
+    let entry = *fuel;
     match quote_with(&mut Vec::new(), value, fuel, QuoteNames::Canonical) {
         Err(QuoteError::CanonicalCaptured) => {
+            // The abandoned canonical attempt must not charge the retry:
+            // refund its ticks so the freshening pass runs against the
+            // budget this call was handed, not the depleted remainder.
+            // Otherwise a term that hits the fallback near the fuel
+            // boundary is double-charged and spuriously reports
+            // `OutOfFuel`.
+            *fuel = entry;
             quote_with(&mut Vec::new(), value, fuel, QuoteNames::Freshen)
                 .map_err(QuoteError::into_reduce)
         }
@@ -1054,5 +1062,35 @@ mod tests {
         let mut fuel = Fuel::default();
         let result = normalize_nbe(&env, &ite(var("b"), ff(), tt()), &mut fuel).unwrap();
         assert!(alpha_eq(&result, &ff()));
+    }
+
+    #[test]
+    fn fallback_retry_is_not_double_charged_near_the_fuel_boundary() {
+        // Extract the canonical level-0 read-back name from a Π quote …
+        let canonical = match nf(&pi("x", bool_ty(), var("x"))) {
+            Term::Pi { binder, .. } => binder,
+            other => panic!("expected Pi, got {other}"),
+        };
+        // … and build a capture-conflict term: the free occurrence of the
+        // canonical name under a binder forces quote's freshening retry.
+        let tricky = pi("y", bool_ty(), app(var_sym(canonical), var("y")));
+        // Budget calibration: an α-variant with a plain free variable has
+        // the identical tick structure (same evaluation, same read-back
+        // traversal) but never conflicts, so its cost is exactly what one
+        // *single* quote pass of `tricky` needs.
+        let plain = pi("y", bool_ty(), app(var("plain_free"), var("y")));
+        let mut calibration = Fuel::default();
+        let _ = normalize_nbe(&Env::new(), &plain, &mut calibration).unwrap();
+        let budget = calibration.used();
+        // On exactly that budget the conflict case must still succeed:
+        // the abandoned canonical attempt's ticks are refunded, so only
+        // one full pass is ever charged. (Double-charging the retry —
+        // the old behaviour — needs strictly more than `budget` and
+        // spuriously reported OutOfFuel here.)
+        let mut exact = Fuel::new(budget);
+        let result = normalize_nbe(&Env::new(), &tricky, &mut exact)
+            .expect("the freshening retry must run on a fresh sub-budget");
+        assert!(alpha_eq(&result, &tricky));
+        assert!(exact.is_exhausted(), "the budget was chosen to be exactly boundary-tight");
     }
 }

@@ -41,21 +41,37 @@ pub fn encode(term: &Term) -> WireTerm {
     writer.finish()
 }
 
+/// Encodes a CC-CC term into a *process*-portable wire buffer: symbols
+/// travel through a relocatable symbol table
+/// ([`cccc_util::wire::WireWriter::portable`]) instead of as raw
+/// interner parts, so the buffer can be persisted to disk and decoded by
+/// a later process. [`decode`] handles both formats transparently.
+pub fn encode_portable(term: &Term) -> WireTerm {
+    let mut writer = WireWriter::portable();
+    let mut seen: FxHashMap<NodeId, u64> = FxHashMap::default();
+    encode_head(term, &mut writer, &mut seen);
+    writer.finish()
+}
+
 /// The process-stable content fingerprint of a term (the fingerprint of
 /// its wire encoding).
 pub fn fingerprint(term: &Term) -> Fingerprint {
     encode(term).fingerprint()
 }
 
-/// Decodes a wire buffer produced by [`encode`], re-interning every node
-/// into the current thread's CC-CC interner.
+/// Decodes a wire buffer produced by [`encode`] or [`encode_portable`],
+/// re-interning every node into the current thread's CC-CC interner.
+/// For a portable buffer the embedded symbol table is re-interned first
+/// (plain names to identical symbols, generated names to consistently
+/// fresh ones), so the result is α-equivalent to the encoded term even
+/// in a different process.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] if the buffer is corrupt (truncated, unknown
-/// tag, bad back-reference, or trailing words).
+/// tag, bad back-reference, bad symbol table, or trailing words).
 pub fn decode(wire: &WireTerm) -> Result<Term, WireError> {
-    let mut reader = wire.reader();
+    let mut reader = wire.term_reader()?;
     let mut nodes: Vec<RcTerm> = Vec::new();
     let term = decode_head(&mut reader, &mut nodes)?;
     reader.expect_exhausted()?;
@@ -307,5 +323,25 @@ mod tests {
         let mut w = WireWriter::new();
         w.push(77);
         assert!(matches!(decode(&w.finish()), Err(WireError::BadTag(77))));
+    }
+
+    #[test]
+    fn portable_buffers_round_trip() {
+        // Closure-converted shapes with only plain names relocate to
+        // structurally identical terms …
+        let code = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x"));
+        let program = t::app(t::closure(code, t::unit_val()), t::tt());
+        let wire = encode_portable(&program);
+        assert!(wire.is_portable());
+        let decoded = decode(&wire).expect("portable buffer decodes");
+        assert!(program.clone().rc().same(&decoded.clone().rc()));
+
+        // … and bound generated binders (the environment parameters
+        // closure conversion freshens) come back α-equivalent.
+        let env_binder = cccc_util::symbol::Symbol::fresh("env");
+        let generated =
+            t::code_sym(env_binder, t::unit_ty(), "y".into(), t::bool_ty(), t::var("y"));
+        let decoded = decode(&encode_portable(&generated)).unwrap();
+        assert!(crate::subst::alpha_eq(&generated, &decoded));
     }
 }

@@ -105,6 +105,17 @@ impl Symbol {
         self.unique != 0
     }
 
+    /// The generated-symbol subscript: `0` for plain symbols, the
+    /// globally unique counter value otherwise. Process-local (the
+    /// counter restarts with the process); serializers that need to
+    /// distinguish generated symbols write it *alongside* the base name
+    /// rather than folding it into the rendered text, so a plain symbol
+    /// whose name happens to contain `$` can never alias a generated
+    /// one.
+    pub fn disambiguator(&self) -> u64 {
+        self.unique
+    }
+
     /// The base (user-visible) name of the symbol, without any uniqueness
     /// subscript. Returns a borrow of the interner's `'static` storage —
     /// no allocation, no lock held after the call returns.

@@ -29,12 +29,41 @@
 //! them, so collision probability must be negligible at fleet scale; a
 //! single 64-bit hash would leave a birthday bound within reach of a
 //! long-lived build service.
+//!
+//! # Portable buffers (the on-disk story)
+//!
+//! The *raw* encoding above writes symbols as their raw interner parts,
+//! which are only meaningful within the producing process — fine for the
+//! driver's cross-*thread* transfers, useless on disk. A **portable**
+//! buffer ([`WireWriter::portable`]) instead writes each symbol as a
+//! local index into a *relocatable symbol table* carried in the buffer
+//! itself: one entry per distinct symbol, holding the symbol's base name
+//! as bytes plus a disambiguator that is `0` for plain (interned) names
+//! and nonzero for generated ones. [`WireTerm::term_reader`] recognises
+//! the framing marker, re-interns every table entry into the *current*
+//! process (plain names via [`Symbol::intern`] — so unit references
+//! resolve to the same symbols importers use — and generated names via
+//! [`Symbol::fresh`], consistently fresh per entry), and hands back a
+//! reader that resolves symbol references through the rebuilt table.
+//! This is what lets the persistent artifact store load blobs written by
+//! an earlier process. [`FORMAT_VERSION`] versions the framing; stores
+//! embed it in their headers and treat skew as a cache miss.
 
-use crate::intern::FxHasher;
+use crate::intern::{FxHashMap, FxHasher};
 use crate::symbol::Symbol;
 use std::fmt;
 use std::hash::Hasher;
 use std::sync::Arc;
+
+/// Version of the portable wire framing (symbol table layout + store
+/// header vocabulary). Bump on any incompatible change; persistent
+/// stores write it into their blob headers and treat mismatches as
+/// misses, never as errors.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// First word of a portable buffer. Raw buffers always start with a
+/// small language tag word, so the marker can never be confused for one.
+const PORTABLE_MARKER: u64 = u64::MAX;
 
 /// A 128-bit content fingerprint of a wire buffer.
 ///
@@ -124,7 +153,62 @@ impl WireTerm {
 
     /// A reader positioned at the start of the buffer.
     pub fn reader(&self) -> WireReader<'_> {
-        WireReader { words: &self.words, position: 0 }
+        WireReader { words: &self.words, position: 0, symbols: None }
+    }
+
+    /// Whether this buffer uses the portable framing (leading symbol
+    /// table; see the module docs).
+    pub fn is_portable(&self) -> bool {
+        self.words.first() == Some(&PORTABLE_MARKER)
+    }
+
+    /// A reader positioned at the first *term* word. For a raw buffer
+    /// this is [`WireTerm::reader`]; for a portable buffer the symbol
+    /// table is parsed and re-interned into the current process first,
+    /// and the reader resolves symbol references through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when a portable symbol table is corrupt
+    /// (truncated, oversized entry, invalid UTF-8).
+    pub fn term_reader(&self) -> Result<WireReader<'_>, WireError> {
+        let mut reader = self.reader();
+        if !self.is_portable() {
+            return Ok(reader);
+        }
+        reader.next_word()?; // the marker
+        let count = reader.next_word()? as usize;
+        // Each entry is at least two words (length + disambiguator), so a
+        // count beyond half the buffer is corruption, not a table.
+        if count > self.words.len() / 2 {
+            return Err(WireError::Truncated);
+        }
+        let mut symbols = Vec::with_capacity(count);
+        for _ in 0..count {
+            let base = reader.next_str()?;
+            let disambiguator = reader.next_word()?;
+            // Plain names re-intern to the very symbol importers use;
+            // generated names have no cross-process identity, so each
+            // entry gets one fresh symbol shared by all its references.
+            symbols.push(if disambiguator == 0 {
+                Symbol::intern(&base)
+            } else {
+                Symbol::fresh(&base)
+            });
+        }
+        reader.symbols = Some(symbols);
+        Ok(reader)
+    }
+
+    /// Rebuilds a buffer from raw words (a persistent store reading a
+    /// blob section back from disk).
+    pub fn from_words(words: Vec<u64>) -> WireTerm {
+        WireTerm { words: words.into() }
+    }
+
+    /// The underlying words (a persistent store writing the buffer out).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
@@ -141,6 +225,10 @@ pub enum WireError {
     BadTag(u64),
     /// A back-reference pointed past the nodes decoded so far.
     BadBackref(u64),
+    /// A symbol reference pointed past the buffer's symbol table.
+    BadSymbol(u64),
+    /// A string in the symbol table was not valid UTF-8.
+    BadString,
     /// The buffer decoded to a term but left trailing words.
     TrailingWords,
 }
@@ -151,6 +239,8 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "wire buffer is truncated"),
             WireError::BadTag(t) => write!(f, "wire buffer has unknown tag {t}"),
             WireError::BadBackref(i) => write!(f, "wire buffer back-reference {i} out of range"),
+            WireError::BadSymbol(i) => write!(f, "wire buffer symbol reference {i} out of range"),
+            WireError::BadString => write!(f, "wire buffer symbol table holds invalid UTF-8"),
             WireError::TrailingWords => write!(f, "wire buffer has trailing words"),
         }
     }
@@ -158,16 +248,45 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// The write half of a relocatable symbol table: assigns dense local ids
+/// to the distinct symbols of a portable buffer, in first-use order.
+#[derive(Default, Debug)]
+struct SymbolRegistry {
+    ids: FxHashMap<Symbol, u64>,
+    entries: Vec<Symbol>,
+}
+
+impl SymbolRegistry {
+    fn local_id(&mut self, symbol: Symbol) -> u64 {
+        if let Some(&id) = self.ids.get(&symbol) {
+            return id;
+        }
+        let id = self.entries.len() as u64;
+        self.entries.push(symbol);
+        self.ids.insert(symbol, id);
+        id
+    }
+}
+
 /// Builds a [`WireTerm`] word by word.
 #[derive(Default, Debug)]
 pub struct WireWriter {
     words: Vec<u64>,
+    symbols: Option<SymbolRegistry>,
 }
 
 impl WireWriter {
-    /// An empty writer.
+    /// An empty writer producing the raw (process-local) encoding.
     pub fn new() -> WireWriter {
         WireWriter::default()
+    }
+
+    /// An empty writer producing the *portable* encoding: symbols are
+    /// written as local ids into a relocatable table that
+    /// [`WireWriter::finish`] frames in front of the body, so the buffer
+    /// survives a process restart (see the module docs).
+    pub fn portable() -> WireWriter {
+        WireWriter { words: Vec::new(), symbols: Some(SymbolRegistry::default()) }
     }
 
     /// Appends one word.
@@ -175,14 +294,36 @@ impl WireWriter {
         self.words.push(word);
     }
 
-    /// Appends a symbol as its raw `(base, unique)` parts (two words).
+    /// Appends a symbol: its raw `(base, unique)` parts (two words) in a
+    /// raw writer, its table-local id (one word) in a portable one.
     pub fn push_symbol(&mut self, symbol: Symbol) {
-        let (base, unique) = symbol.raw_parts();
-        self.words.push(u64::from(base));
-        self.words.push(unique);
+        match &mut self.symbols {
+            None => {
+                let (base, unique) = symbol.raw_parts();
+                self.words.push(u64::from(base));
+                self.words.push(unique);
+            }
+            Some(registry) => {
+                let id = registry.local_id(symbol);
+                self.words.push(id);
+            }
+        }
     }
 
-    /// Number of words written so far.
+    /// Appends a string as a length word followed by its bytes packed
+    /// eight per word (little-endian, zero-padded).
+    pub fn push_str(&mut self, text: &str) {
+        let bytes = text.as_bytes();
+        self.words.push(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.words.push(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Number of words written so far (excluding any pending symbol-table
+    /// framing).
     pub fn len(&self) -> usize {
         self.words.len()
     }
@@ -192,17 +333,36 @@ impl WireWriter {
         self.words.is_empty()
     }
 
-    /// Finishes the buffer.
+    /// Finishes the buffer. A portable writer frames its symbol table
+    /// (marker, entry count, then per entry the base name and a
+    /// disambiguator — `0` for plain symbols, the generated subscript
+    /// otherwise) in front of the body words.
     pub fn finish(self) -> WireTerm {
-        WireTerm { words: self.words.into() }
+        match self.symbols {
+            None => WireTerm { words: self.words.into() },
+            Some(registry) => {
+                let mut framed = WireWriter::new();
+                framed.push(PORTABLE_MARKER);
+                framed.push(registry.entries.len() as u64);
+                for symbol in &registry.entries {
+                    framed.push_str(symbol.base_name());
+                    framed.push(symbol.raw_parts().1);
+                }
+                framed.words.extend_from_slice(&self.words);
+                WireTerm { words: framed.words.into() }
+            }
+        }
     }
 }
 
-/// A cursor over a [`WireTerm`]'s words.
+/// A cursor over a [`WireTerm`]'s words, optionally resolving symbol
+/// references through a re-interned relocation table
+/// ([`WireTerm::term_reader`]).
 #[derive(Debug)]
 pub struct WireReader<'a> {
     words: &'a [u64],
     position: usize,
+    symbols: Option<Vec<Symbol>>,
 }
 
 impl WireReader<'_> {
@@ -217,15 +377,43 @@ impl WireReader<'_> {
         Ok(word)
     }
 
-    /// Reads a symbol written by [`WireWriter::push_symbol`].
+    /// Reads a symbol written by [`WireWriter::push_symbol`]: raw parts
+    /// in a raw buffer, a relocation-table reference in a portable one.
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::Truncated`] at end of buffer.
+    /// Returns [`WireError::Truncated`] at end of buffer, or
+    /// [`WireError::BadSymbol`] on an out-of-range table reference.
     pub fn next_symbol(&mut self) -> Result<Symbol, WireError> {
-        let base = self.next_word()?;
-        let unique = self.next_word()?;
-        Ok(Symbol::from_raw_parts(base as u32, unique))
+        if self.symbols.is_none() {
+            let base = self.next_word()?;
+            let unique = self.next_word()?;
+            return Ok(Symbol::from_raw_parts(base as u32, unique));
+        }
+        let id = self.next_word()?;
+        let table = self.symbols.as_ref().expect("checked above");
+        table.get(id as usize).copied().ok_or(WireError::BadSymbol(id))
+    }
+
+    /// Reads a string written by [`WireWriter::push_str`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] when the declared length runs
+    /// past the buffer, or [`WireError::BadString`] on invalid UTF-8.
+    pub fn next_str(&mut self) -> Result<String, WireError> {
+        let len = self.next_word()? as usize;
+        let remaining_bytes = (self.words.len() - self.position).saturating_mul(8);
+        if len > remaining_bytes {
+            return Err(WireError::Truncated);
+        }
+        let mut bytes = Vec::with_capacity(len);
+        while bytes.len() < len {
+            let take = (len - bytes.len()).min(8);
+            let word = self.next_word()?.to_le_bytes();
+            bytes.extend_from_slice(&word[..take]);
+        }
+        String::from_utf8(bytes).map_err(|_| WireError::BadString)
     }
 
     /// The next word, without consuming it (`None` at end of buffer).
@@ -325,9 +513,103 @@ mod tests {
         assert!(WireError::Truncated.to_string().contains("truncated"));
         assert!(WireError::BadTag(9).to_string().contains('9'));
         assert!(WireError::BadBackref(3).to_string().contains('3'));
+        assert!(WireError::BadSymbol(4).to_string().contains('4'));
+        assert!(WireError::BadString.to_string().contains("UTF-8"));
         let mut w = WireWriter::new();
         w.push(1);
         let wire = w.finish();
         assert!(matches!(wire.reader().expect_exhausted(), Err(WireError::TrailingWords)));
+    }
+
+    #[test]
+    fn portable_buffers_relocate_symbols() {
+        let plain = Symbol::intern("alpha");
+        let generated = Symbol::fresh("beta");
+        let mut w = WireWriter::portable();
+        w.push(42);
+        w.push_symbol(plain);
+        w.push_symbol(generated);
+        w.push_symbol(plain);
+        w.push_symbol(generated);
+        let wire = w.finish();
+        assert!(wire.is_portable());
+
+        let mut r = wire.term_reader().unwrap();
+        assert_eq!(r.next_word().unwrap(), 42);
+        let p1 = r.next_symbol().unwrap();
+        let g1 = r.next_symbol().unwrap();
+        let p2 = r.next_symbol().unwrap();
+        let g2 = r.next_symbol().unwrap();
+        assert!(r.expect_exhausted().is_ok());
+        // Plain names re-intern to the identical symbol; generated names
+        // become one consistent fresh symbol per table entry.
+        assert_eq!(p1, plain);
+        assert_eq!(p2, plain);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, generated, "a relocated generated symbol is freshly disambiguated");
+        assert_eq!(g1.base_name(), "beta");
+        assert!(g1.is_generated());
+    }
+
+    #[test]
+    fn raw_buffers_are_not_portable_and_term_reader_is_the_identity() {
+        let mut w = WireWriter::new();
+        w.push(7);
+        w.push_symbol(Symbol::intern("x"));
+        let wire = w.finish();
+        assert!(!wire.is_portable());
+        let mut r = wire.term_reader().unwrap();
+        assert_eq!(r.next_word().unwrap(), 7);
+        assert_eq!(r.next_symbol().unwrap(), Symbol::intern("x"));
+    }
+
+    #[test]
+    fn strings_round_trip_through_words() {
+        for text in ["", "x", "exactly8", "more than eight bytes", "naïve — ünïcode"] {
+            let mut w = WireWriter::new();
+            w.push_str(text);
+            w.push(99);
+            let wire = w.finish();
+            let mut r = wire.reader();
+            assert_eq!(r.next_str().unwrap(), text);
+            assert_eq!(r.next_word().unwrap(), 99);
+            assert!(r.expect_exhausted().is_ok());
+        }
+    }
+
+    #[test]
+    fn corrupt_portable_tables_are_rejected() {
+        // Truncated: entry count claims more than the buffer holds.
+        let mut w = WireWriter::new();
+        w.push(PORTABLE_MARKER);
+        w.push(50);
+        assert!(w.finish().term_reader().is_err());
+
+        // Invalid UTF-8 in a table entry.
+        let mut w = WireWriter::new();
+        w.push(PORTABLE_MARKER);
+        w.push(1);
+        w.push(1); // one byte …
+        w.push(0xFF); // … that is not valid UTF-8
+        w.push(0); // disambiguator
+        assert!(matches!(w.finish().term_reader(), Err(WireError::BadString)));
+
+        // A symbol reference past the (empty) table.
+        let mut w = WireWriter::portable();
+        w.push(5); // looks like a symbol id to the reader, but no entry exists
+        let wire = w.finish();
+        let mut r = wire.term_reader().unwrap();
+        assert!(matches!(r.next_symbol(), Err(WireError::BadSymbol(5))));
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let mut w = WireWriter::new();
+        w.push(1);
+        w.push(2);
+        let wire = w.finish();
+        let rebuilt = WireTerm::from_words(wire.words().to_vec());
+        assert_eq!(wire, rebuilt);
+        assert_eq!(wire.fingerprint(), rebuilt.fingerprint());
     }
 }
