@@ -6,10 +6,15 @@
 //! ```text
 //! cargo run --release -p cccc-bench --bin report_driver
 //! cargo run --release -p cccc-bench --bin report_driver -- --quick out.json
+//! cargo run --release -p cccc-bench --bin report_driver -- --trace-out trace.json --timings
 //! ```
 //!
 //! `--quick` cuts repetition counts for CI smoke runs; an optional path
-//! argument overrides the output location.
+//! argument overrides the output location. `--trace-out <path>` runs the
+//! CI smoke workload (store-backed 16-unit diamond, 2 workers, cold)
+//! with tracing on and writes the Chrome trace-event JSON there — load
+//! it in Perfetto or `chrome://tracing`. `--timings` prints the same
+//! build's text report ([`cccc_driver::timings`]).
 //!
 //! The run doubles as the driver's CI gate. It **asserts**:
 //!
@@ -33,7 +38,13 @@
 //!   per-unit compile durations when it does not (on a 1-CPU container,
 //!   wall-clock parallelism is physically unavailable; the makespan
 //!   model is exactly what the frontier scheduler guarantees given
-//!   hardware, and both numbers are recorded side by side).
+//!   hardware, and both numbers are recorded side by side);
+//! * **observability** — tracing costs nothing when off (the measured
+//!   per-call price of a disabled span times the span count of a traced
+//!   build stays under 2% of the untraced build) and little when on
+//!   (traced cold build ≤ 1.10× the untraced one, best of reps), and
+//!   the trace-derived makespan agrees with the event-driven frontier
+//!   model run over the same build's measured per-unit durations.
 
 use cccc_core::pipeline::CompilerOptions;
 use cccc_driver::session::{BuildReport, Session};
@@ -413,6 +424,187 @@ fn measure_restart() -> RestartNumbers {
     RestartNumbers { baseline, store_cold, warm }
 }
 
+// ---------------------------------------------------------------------
+// Observability: trace overhead, export, and the trace-vs-model check.
+// ---------------------------------------------------------------------
+
+/// One trace-vs-model comparison: the makespan a traced build *measured*
+/// against the makespan the event-driven frontier model *predicts* from
+/// that same build's per-unit durations.
+struct TraceCrossCheck {
+    name: String,
+    workers: usize,
+    trace_makespan_ns: u128,
+    model_makespan_ns: u128,
+    utilization: f64,
+}
+
+impl TraceCrossCheck {
+    fn ratio(&self) -> f64 {
+        self.trace_makespan_ns as f64 / self.model_makespan_ns.max(1) as f64
+    }
+}
+
+/// Tracing numbers for the report: what instrumentation costs (off and
+/// on) and whether the trace's schedule view matches the model's.
+struct TraceNumbers {
+    /// Untraced 2-worker cold diamond build (ns), best of reps.
+    plain_ns: u128,
+    /// Same build with tracing on (ns), best of reps.
+    traced_ns: u128,
+    /// Micro-measured per-call price of a span with no sink installed.
+    disabled_span_ns: f64,
+    /// Spans one traced build records (sizes the disabled-cost bound).
+    span_count: usize,
+    /// Events one traced build records.
+    event_count: usize,
+    cross_checks: Vec<TraceCrossCheck>,
+}
+
+impl TraceNumbers {
+    /// Traced-over-untraced wall ratio (the enabled overhead).
+    fn enabled_overhead(&self) -> f64 {
+        self.traced_ns as f64 / self.plain_ns.max(1) as f64
+    }
+
+    /// Upper bound on what disabled instrumentation costs an untraced
+    /// build: per-call price × the call count a traced build exhibits,
+    /// as a fraction of the untraced wall time.
+    fn disabled_overhead(&self) -> f64 {
+        self.disabled_span_ns * (self.span_count + self.event_count) as f64
+            / self.plain_ns.max(1) as f64
+    }
+}
+
+fn measure_tracing(reps: u32, host_cpus: usize) -> TraceNumbers {
+    let units = restart_workload();
+    let reps = reps.max(3);
+
+    // Untraced vs traced cold builds: same workload, same worker count,
+    // best of reps on both sides so runner noise cancels.
+    let mut plain_ns = u128::MAX;
+    let mut traced_ns = u128::MAX;
+    let mut span_count = 0;
+    let mut event_count = 0;
+    for _ in 0..reps {
+        let mut session = session_from(&units, CompilerOptions::default());
+        let started = Instant::now();
+        let report = session.build(2).expect("graph is valid");
+        plain_ns = plain_ns.min(started.elapsed().as_nanos());
+        assert!(report.is_success(), "plain overhead build failed: {}", report.summary());
+        assert!(report.trace.is_none(), "untraced build must not carry a trace");
+
+        let mut session = session_from(&units, CompilerOptions::default());
+        session.set_tracing(true);
+        let started = Instant::now();
+        let report = session.build(2).expect("graph is valid");
+        traced_ns = traced_ns.min(started.elapsed().as_nanos());
+        assert!(report.is_success(), "traced overhead build failed: {}", report.summary());
+        let metrics = report.metrics.as_ref().expect("traced build carries metrics");
+        span_count = metrics.span_count;
+        event_count = metrics.event_count;
+    }
+
+    // The disabled fast path, micro-measured: no sink is installed on
+    // this thread, so each call is the branch every instrumentation
+    // point pays on an untraced build.
+    let iters: u32 = 200_000;
+    let started = Instant::now();
+    for _ in 0..iters {
+        drop(cccc_util::trace::span("overhead.probe"));
+    }
+    let disabled_span_ns = started.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    // Trace vs model: rebuild each family traced and compare the
+    // trace-derived makespan to the frontier simulation over the *same*
+    // report's per-unit durations. 2-worker comparisons need 2 CPUs —
+    // on a 1-CPU host the trace measures time-slicing, not the
+    // schedule.
+    let mut cross_checks = Vec::new();
+    for (name, units) in [("diamond_16", restart_workload()), ("skewed_6x6", skewed(6, 6, 2))] {
+        for workers in [1usize, 2] {
+            if workers > 1 && host_cpus < 2 {
+                continue;
+            }
+            let mut session = session_from(&units, CompilerOptions::default());
+            session.set_tracing(true);
+            let report = session.build(workers).expect("graph is valid");
+            assert!(report.is_success(), "traced {name} build failed: {}", report.summary());
+            let metrics = report.metrics.as_ref().expect("traced build carries metrics");
+            let model = simulate_makespan_ns(&session, &report, workers, Policy::CriticalPath);
+            cross_checks.push(TraceCrossCheck {
+                name: name.to_owned(),
+                workers,
+                trace_makespan_ns: u128::from(metrics.makespan_ns),
+                model_makespan_ns: model,
+                utilization: metrics.utilization(),
+            });
+        }
+    }
+
+    TraceNumbers { plain_ns, traced_ns, disabled_span_ns, span_count, event_count, cross_checks }
+}
+
+/// Span and event names the exported trace must cover — one cold
+/// store-backed diamond exercises every pipeline phase, every store I/O
+/// op, and both cache-hit-or-miss outcomes (the 14 α-equivalent middles
+/// dedup through the disk tier).
+const REQUIRED_TRACE_SPANS: [&str; 13] = [
+    "unit",
+    "fingerprint",
+    "cache.lookup",
+    "decode",
+    "encode",
+    "typecheck",
+    "translate",
+    "check",
+    "verify",
+    "store.render",
+    "store.write",
+    "store.read",
+    "store.checksum",
+];
+const REQUIRED_TRACE_EVENTS: [&str; 4] =
+    ["sched.claim", "sched.compiled", "cache.miss", "cache.hit.disk"];
+
+/// Builds the CI smoke workload — the store-backed 16-unit diamond,
+/// cold, at 2 workers — with tracing on and checks the trace's
+/// coverage. This is the build `--trace-out` exports and `--timings`
+/// prints.
+fn traced_store_build() -> BuildReport {
+    let dir = std::env::temp_dir().join(format!("cccc-trace-export-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let units = restart_workload();
+    let mut session = Session::with_store(CompilerOptions::default(), &dir)
+        .expect("trace store dir is creatable");
+    for unit in &units {
+        let imports: Vec<&str> = unit.imports.iter().map(String::as_str).collect();
+        session.add_unit(&unit.name, &imports, &unit.term).expect("workload names are unique");
+    }
+    session.set_tracing(true);
+    let report = session.build(2).expect("graph is valid");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(report.is_success(), "traced export build failed: {}", report.summary());
+
+    let trace = report.trace.as_ref().expect("traced build has a trace");
+    let workers = trace.workers();
+    assert!(
+        !workers.is_empty() && workers.len() <= 2 && workers.iter().all(|&w| w < 2),
+        "trace must have one track per worker (got {workers:?})"
+    );
+    for name in REQUIRED_TRACE_SPANS {
+        assert!(trace.spans_named(name).next().is_some(), "exported trace lacks `{name}` spans");
+    }
+    let events = trace.event_counts();
+    for name in REQUIRED_TRACE_EVENTS {
+        assert!(
+            events.iter().any(|(n, count)| *n == name && *count > 0),
+            "exported trace lacks `{name}` events"
+        );
+    }
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some(RESTART_PROBE_FLAG) {
@@ -422,13 +614,47 @@ fn main() {
         return;
     }
 
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut timings = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut positional: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--timings" => timings = true,
+            "--trace-out" => {
+                trace_out =
+                    Some(PathBuf::from(iter.next().expect("--trace-out needs a file path")));
+            }
+            other if !other.starts_with("--") => positional = Some(PathBuf::from(other)),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let output: PathBuf = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| root.join("BENCH_driver.json"));
+    let output: PathBuf = positional.unwrap_or_else(|| root.join("BENCH_driver.json"));
+
+    // The trace export runs first: it doubles as the acceptance check
+    // that one cold store-backed diamond covers every phase, store op,
+    // and cache outcome, and CI uploads the file it writes.
+    if trace_out.is_some() || timings {
+        let report = traced_store_build();
+        if let Some(path) = &trace_out {
+            let trace = report.trace.as_ref().expect("traced build has a trace");
+            std::fs::write(path, trace.to_chrome_json()).expect("write Chrome trace JSON");
+            println!(
+                "wrote {} ({} spans, {} events, {} worker tracks)",
+                path.display(),
+                trace.spans.len(),
+                trace.events.len(),
+                trace.workers().len(),
+            );
+        }
+        if timings {
+            println!("{}", cccc_driver::timings::render(&report));
+        }
+    }
+
     let reps: u32 = if quick { 1 } else { 5 };
     let host_cpus =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
@@ -473,6 +699,28 @@ fn main() {
         restart.warm.wall_ns,
         restart.speedup(),
     );
+
+    let tracing = measure_tracing(reps, host_cpus);
+    println!(
+        "tracing (diamond_16)   plain {:>12} ns   traced {:>12} ns   enabled overhead {:.3}x   disabled span {:.1} ns x {} calls = {:.4}% of plain",
+        tracing.plain_ns,
+        tracing.traced_ns,
+        tracing.enabled_overhead(),
+        tracing.disabled_span_ns,
+        tracing.span_count + tracing.event_count,
+        tracing.disabled_overhead() * 100.0,
+    );
+    for check in &tracing.cross_checks {
+        println!(
+            "trace-vs-model         {:<12} {}w  trace {:>12} ns  model {:>12} ns  ratio {:.2}x  utilization {:.1}%",
+            check.name,
+            check.workers,
+            check.trace_makespan_ns,
+            check.model_makespan_ns,
+            check.ratio(),
+            check.utilization * 100.0,
+        );
+    }
 
     // ---- CI gates -------------------------------------------------------
     let independent = &measured[0];
@@ -538,6 +786,47 @@ fn main() {
         );
     }
 
+    // Observability gates: instrumentation left in the product must be
+    // effectively free when tracing is off and cheap when it is on, and
+    // the schedule the trace *measures* must agree with the makespan the
+    // event-driven frontier model *predicts* from the same durations.
+    assert!(
+        tracing.disabled_overhead() <= 0.02,
+        "disabled tracing costs {:.3}% of an untraced build (need <= 2%)",
+        tracing.disabled_overhead() * 100.0
+    );
+    assert!(
+        tracing.enabled_overhead() <= 1.10,
+        "enabled tracing costs {:.3}x an untraced build (need <= 1.10x)",
+        tracing.enabled_overhead()
+    );
+    for check in &tracing.cross_checks {
+        // The model runs on the build's own measured durations, so the
+        // trace can only exceed it by scheduler overhead (claiming,
+        // lock waits) — a bounded fraction, looser at 2 workers where
+        // contention is real.
+        let slack = if check.workers == 1 { 1.5 } else { 1.75 };
+        assert!(
+            check.ratio() >= 0.9 && check.ratio() <= slack,
+            "trace makespan disagrees with the event model for {} at {} workers: \
+             {:.2}x (trace {} ns vs model {} ns)",
+            check.name,
+            check.workers,
+            check.ratio(),
+            check.trace_makespan_ns,
+            check.model_makespan_ns,
+        );
+        if check.workers == 1 {
+            assert!(
+                check.utilization >= 0.8,
+                "1-worker utilization for {} is only {:.1}% (the single worker should \
+                 be busy almost the whole makespan)",
+                check.name,
+                check.utilization * 100.0
+            );
+        }
+    }
+
     // 2-worker throughput on independent units: wall clock where the
     // hardware can show it, scheduler makespan over measured durations
     // where it cannot (1-CPU hosts).
@@ -560,7 +849,7 @@ fn main() {
         restart.speedup(),
     );
 
-    let json = render_json(&measured, &restart, reps, host_cpus, two_worker_throughput);
+    let json = render_json(&measured, &restart, &tracing, reps, host_cpus, two_worker_throughput);
     std::fs::write(&output, json).expect("write BENCH_driver.json");
     println!("wrote {}", output.display());
 }
@@ -570,6 +859,7 @@ fn main() {
 fn render_json(
     measured: &[WorkloadNumbers],
     restart: &RestartNumbers,
+    tracing: &TraceNumbers,
     reps: u32,
     host_cpus: usize,
     two_worker_throughput: f64,
@@ -611,6 +901,32 @@ fn render_json(
         restart.warm.disk_cached,
         restart.speedup(),
     ));
+    out.push_str(&format!(
+        "  \"tracing\": {{ \"workload\": \"diamond_16\", \"plain_cold_ns\": {}, \
+         \"traced_cold_ns\": {}, \"enabled_overhead\": {:.3}, \
+         \"disabled_span_ns\": {:.1}, \"instrumentation_calls\": {}, \
+         \"disabled_overhead\": {:.5},\n    \"trace_vs_model\": [\n",
+        tracing.plain_ns,
+        tracing.traced_ns,
+        tracing.enabled_overhead(),
+        tracing.disabled_span_ns,
+        tracing.span_count + tracing.event_count,
+        tracing.disabled_overhead(),
+    ));
+    for (index, check) in tracing.cross_checks.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{ \"workload\": \"{}\", \"workers\": {}, \"trace_makespan_ns\": {}, \
+             \"model_makespan_ns\": {}, \"ratio\": {:.2}, \"utilization\": {:.3} }}{}\n",
+            check.name,
+            check.workers,
+            check.trace_makespan_ns,
+            check.model_makespan_ns,
+            check.ratio(),
+            check.utilization,
+            if index + 1 == tracing.cross_checks.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ] },\n");
     out.push_str("  \"workloads\": [\n");
     for (index, numbers) in measured.iter().enumerate() {
         out.push_str(&format!(

@@ -19,6 +19,7 @@ use crate::verify::{check_type_preservation, VerifyError};
 use cccc_source as src;
 use cccc_target as tgt;
 use cccc_util::intern::{ConvCacheStats, InternStats};
+use cccc_util::trace::{self, BuildTrace, SpanTotal};
 use std::fmt;
 
 /// Configuration for the [`Compiler`].
@@ -133,6 +134,202 @@ impl fmt::Display for StoreStats {
             self.write_errors,
             self.entries,
             self.bytes,
+        )
+    }
+}
+
+/// Wall-clock nanoseconds spent in each pipeline phase of one compile.
+///
+/// Filled by [`Compiler::compile`] on every run — the phase clocks are
+/// read whether or not tracing is active, so the driver's per-unit
+/// reports carry a phase breakdown even on untraced builds. The phase
+/// names match the span names a traced build records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Parsing the surface syntax (only [`Compiler::compile_text`] pays
+    /// this; term-level entry points leave it 0).
+    pub parse: u64,
+    /// Type checking the CC input ([`src::typecheck::infer_with_engine`]).
+    pub typecheck: u64,
+    /// The closure-conversion translation of the term and of its type.
+    pub translate: u64,
+    /// Re-type-checking the produced CC-CC term (0 when
+    /// [`CompilerOptions::typecheck_output`] is off).
+    pub check: u64,
+    /// The type-preservation verification — Theorem 5.6 via
+    /// [`check_type_preservation`] or the inline core check (0 when
+    /// output checking is off).
+    pub verify: u64,
+}
+
+impl PhaseNanos {
+    /// Summed nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.parse + self.typecheck + self.translate + self.check + self.verify
+    }
+
+    /// Pointwise sum — aggregating units into per-phase build totals.
+    pub fn merged(&self, other: &PhaseNanos) -> PhaseNanos {
+        PhaseNanos {
+            parse: self.parse + other.parse,
+            typecheck: self.typecheck + other.typecheck,
+            translate: self.translate + other.translate,
+            check: self.check + other.check,
+            verify: self.verify + other.verify,
+        }
+    }
+
+    /// The phases as `(name, nanoseconds)` rows, in pipeline order,
+    /// zero phases included.
+    pub fn rows(&self) -> [(&'static str, u64); 5] {
+        [
+            ("parse", self.parse),
+            ("typecheck", self.typecheck),
+            ("translate", self.translate),
+            ("check", self.check),
+            ("verify", self.verify),
+        ]
+    }
+}
+
+impl fmt::Display for PhaseNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, ns) in self.rows() {
+            if ns == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={:.2}ms", name, ns as f64 / 1e6)?;
+            first = false;
+        }
+        if first {
+            write!(f, "(no phases timed)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Machine-readable metrics distilled from a [`BuildTrace`] — the third
+/// trace consumer next to the Chrome JSON exporter and the `--timings`
+/// text report. Rides beside [`CacheSnapshot`] in the driver's
+/// `BuildReport` so benches and future service gates consume it without
+/// re-walking raw spans.
+#[derive(Clone, Debug, Default)]
+pub struct BuildMetrics {
+    /// Nanoseconds from the sink's epoch to collection (the traced
+    /// window, ≥ the makespan).
+    pub wall_ns: u64,
+    /// Last span end minus first span start.
+    pub makespan_ns: u64,
+    /// Number of workers that recorded at least one span or event.
+    pub workers: usize,
+    /// Completed spans collected.
+    pub span_count: usize,
+    /// Instant events collected.
+    pub event_count: usize,
+    /// Count and total inclusive nanoseconds per span name, sorted by
+    /// name (the per-phase totals of the `--timings` report).
+    pub phases: Vec<(String, SpanTotal)>,
+    /// Per-event-name occurrence counts, sorted by name (scheduler and
+    /// cache-tier activity: `cache.hit.disk`, `sched.claim`, …).
+    pub events: Vec<(String, u64)>,
+    /// Summed counter payloads keyed `"owner.counter"` (store byte
+    /// counts, dynamic-overhead rule counts, …), sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// Per-worker busy nanoseconds (top-level spans only), ascending by
+    /// worker index.
+    pub worker_busy_ns: Vec<(usize, u64)>,
+    /// The dependency-graph critical path in nanoseconds, filled by the
+    /// driver from its unit graph (0 when unknown): the lower bound the
+    /// makespan is compared against.
+    pub critical_path_ns: u64,
+}
+
+impl BuildMetrics {
+    /// Distills `trace` into metrics. [`BuildMetrics::critical_path_ns`]
+    /// is left 0 — only the driver knows the unit graph.
+    pub fn of(trace: &BuildTrace) -> BuildMetrics {
+        BuildMetrics {
+            wall_ns: trace.total_ns,
+            makespan_ns: trace.makespan_ns(),
+            workers: trace.workers().len(),
+            span_count: trace.spans.len(),
+            event_count: trace.events.len(),
+            phases: trace
+                .span_totals()
+                .into_iter()
+                .map(|(name, total)| (name.to_owned(), total))
+                .collect(),
+            events: trace
+                .event_counts()
+                .into_iter()
+                .map(|(name, count)| (name.to_owned(), count))
+                .collect(),
+            counters: trace.counter_totals(),
+            worker_busy_ns: trace.busy_ns_by_worker(),
+            critical_path_ns: 0,
+        }
+    }
+
+    /// Summed busy nanoseconds across all workers.
+    pub fn busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Overall worker utilization in `[0, 1]`: busy time over
+    /// `workers × makespan`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (self.workers as f64 * self.makespan_ns as f64)
+    }
+
+    /// Per-worker utilization in `[0, 1]`, ascending by worker index.
+    pub fn worker_utilization(&self) -> Vec<(usize, f64)> {
+        if self.makespan_ns == 0 {
+            return Vec::new();
+        }
+        self.worker_busy_ns
+            .iter()
+            .map(|&(w, ns)| (w, ns as f64 / self.makespan_ns as f64))
+            .collect()
+    }
+
+    /// Actual-over-critical-path makespan ratio (≥ 1 for a correct
+    /// schedule; `None` when the critical path is unknown).
+    pub fn makespan_gap(&self) -> Option<f64> {
+        if self.critical_path_ns == 0 {
+            return None;
+        }
+        Some(self.makespan_ns as f64 / self.critical_path_ns as f64)
+    }
+
+    /// Total inclusive nanoseconds recorded for the span name (0 when
+    /// absent).
+    pub fn phase_ns(&self, name: &str) -> u64 {
+        self.phases.iter().find(|(n, _)| n == name).map_or(0, |(_, t)| t.total_ns)
+    }
+
+    /// Occurrences of the event name (0 when absent).
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c)
+    }
+}
+
+impl fmt::Display for BuildMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "makespan {:.2}ms, {} workers at {:.0}% utilization, {} spans / {} events",
+            self.makespan_ns as f64 / 1e6,
+            self.workers,
+            self.utilization() * 100.0,
+            self.span_count,
+            self.event_count,
         )
     }
 }
@@ -361,6 +558,9 @@ pub struct Compilation {
     /// The cache activity this compile caused on its thread, populated
     /// when [`CompilerOptions::collect_cache_stats`] is set.
     pub cache_stats: Option<CacheReport>,
+    /// Wall-clock nanoseconds per pipeline phase, measured on every
+    /// compile (tracing enabled or not).
+    pub phases: PhaseNanos,
 }
 
 impl Compilation {
@@ -424,47 +624,73 @@ impl Compiler {
     /// Returns a [`CompileError`] if any stage fails.
     pub fn compile(&self, env: &src::Env, term: &src::Term) -> Result<Compilation> {
         let before = self.options.collect_cache_stats.then(cache_snapshot);
+        let mut phases = PhaseNanos::default();
         let (src_engine, tgt_engine) = if self.options.use_nbe {
             (src::equiv::Engine::Nbe, tgt::equiv::Engine::Nbe)
         } else {
             (src::equiv::Engine::Step, tgt::equiv::Engine::Step)
         };
-        let source_type = src::typecheck::infer_with_engine(env, term, src_engine)?;
-        let target = translate(env, term)?;
-        let target_type = translate(env, &source_type)?;
+        let (source_type, typecheck_ns) =
+            trace::timed("typecheck", || src::typecheck::infer_with_engine(env, term, src_engine));
+        let source_type = source_type?;
+        phases.typecheck = typecheck_ns;
+        let (translated, translate_ns) = trace::timed("translate", || {
+            let target = translate(env, term)?;
+            let target_type = translate(env, &source_type)?;
+            Ok::<_, TranslateError>((target, target_type))
+        });
+        let (target, target_type) = translated?;
+        phases.translate = translate_ns;
 
         if self.options.typecheck_output {
-            let target_env = translate_env(env)?;
-            let inferred = tgt::typecheck::infer_with_engine(&target_env, &target, tgt_engine)?;
-            if self.options.verify_type_preservation && self.options.use_nbe {
-                // Re-use the full checker so the error message names the
-                // theorem being violated. (The metatheory checkers run the
-                // default NbE engine, so a step-only compiler falls back to
-                // the inline Theorem 5.6 core check below — it must not
-                // silently re-enter the engine it was asked to avoid.)
-                check_type_preservation(env, term)?;
-            } else {
-                let mut fuel = cccc_util::fuel::Fuel::default();
-                let agrees = tgt::equiv::equiv_with_engine(
-                    &target_env,
-                    &inferred,
-                    &target_type,
-                    &mut fuel,
-                    tgt_engine,
-                )
-                .unwrap_or(false);
-                if !agrees {
-                    return Err(CompileError::Verify(VerifyError::NotEquivalent {
-                        context: "compiled type does not match translated type".to_owned(),
-                        left: inferred.to_string(),
-                        right: target_type.to_string(),
-                    }));
+            let (inferred, check_ns) = trace::timed("check", || {
+                let target_env = translate_env(env)?;
+                let inferred = tgt::typecheck::infer_with_engine(&target_env, &target, tgt_engine)?;
+                Ok::<_, CompileError>((target_env, inferred))
+            });
+            let (target_env, inferred) = inferred?;
+            phases.check = check_ns;
+            let (verified, verify_ns) = trace::timed("verify", || {
+                if self.options.verify_type_preservation && self.options.use_nbe {
+                    // Re-use the full checker so the error message names the
+                    // theorem being violated. (The metatheory checkers run the
+                    // default NbE engine, so a step-only compiler falls back to
+                    // the inline Theorem 5.6 core check below — it must not
+                    // silently re-enter the engine it was asked to avoid.)
+                    check_type_preservation(env, term)?;
+                } else {
+                    let mut fuel = cccc_util::fuel::Fuel::default();
+                    let agrees = tgt::equiv::equiv_with_engine(
+                        &target_env,
+                        &inferred,
+                        &target_type,
+                        &mut fuel,
+                        tgt_engine,
+                    )
+                    .unwrap_or(false);
+                    if !agrees {
+                        return Err(CompileError::Verify(VerifyError::NotEquivalent {
+                            context: "compiled type does not match translated type".to_owned(),
+                            left: inferred.to_string(),
+                            right: target_type.to_string(),
+                        }));
+                    }
                 }
-            }
+                Ok::<_, CompileError>(())
+            });
+            verified?;
+            phases.verify = verify_ns;
         }
 
         let cache_stats = before.map(|b| CacheReport::between(&b, &cache_snapshot()));
-        Ok(Compilation { source: term.clone(), source_type, target, target_type, cache_stats })
+        Ok(Compilation {
+            source: term.clone(),
+            source_type,
+            target,
+            target_type,
+            cache_stats,
+            phases,
+        })
     }
 
     /// Compiles a closed program.
@@ -483,8 +709,11 @@ impl Compiler {
     ///
     /// See [`Compiler::compile`]; additionally returns parse errors.
     pub fn compile_text(&self, source_text: &str) -> Result<Compilation> {
-        let term = src::parse::parse_term(source_text)?;
-        self.compile_closed(&term)
+        let (term, parse_ns) = trace::timed("parse", || src::parse::parse_term(source_text));
+        let term = term?;
+        let mut compilation = self.compile_closed(&term)?;
+        compilation.phases.parse = parse_ns;
+        Ok(compilation)
     }
 
     /// Compiles a component and a closing substitution separately, links the
@@ -681,6 +910,98 @@ mod tests {
         with_store.artifact_store.disk_hits = 1;
         assert!(with_store.to_string().contains("store 1h"));
         assert!(!CacheReport::default().to_string().contains("store"));
+    }
+
+    #[test]
+    fn phase_durations_are_measured_on_every_compile() {
+        let compilation = Compiler::new().compile_closed(&prelude::poly_compose()).unwrap();
+        let phases = compilation.phases;
+        assert!(phases.typecheck > 0);
+        assert!(phases.translate > 0);
+        assert!(phases.check > 0);
+        assert!(phases.verify > 0);
+        assert_eq!(phases.parse, 0, "term-level entry points skip the parser");
+        assert_eq!(
+            phases.total_ns(),
+            phases.parse + phases.typecheck + phases.translate + phases.check + phases.verify
+        );
+        let rendered = phases.to_string();
+        assert!(rendered.contains("typecheck="));
+        assert!(!rendered.contains("parse="), "zero phases are omitted: {rendered}");
+
+        // compile_text additionally times the parser.
+        let parsed = Compiler::new().compile_text("\\(A : *). \\(x : A). x").unwrap();
+        assert!(parsed.phases.parse > 0);
+
+        // Disabling output checking zeroes the downstream phases.
+        let unchecked = Compiler::with_options(CompilerOptions {
+            typecheck_output: false,
+            verify_type_preservation: false,
+            ..CompilerOptions::default()
+        })
+        .compile_closed(&prelude::poly_id())
+        .unwrap();
+        assert_eq!(unchecked.phases.check, 0);
+        assert_eq!(unchecked.phases.verify, 0);
+
+        let merged = phases.merged(&parsed.phases);
+        assert_eq!(merged.typecheck, phases.typecheck + parsed.phases.typecheck);
+        assert_eq!(merged.parse, parsed.phases.parse);
+    }
+
+    #[test]
+    fn traced_compiles_emit_phase_spans() {
+        let (_, built) = trace::capture(|| {
+            Compiler::new().compile_closed(&prelude::poly_compose()).unwrap();
+        });
+        for phase in ["typecheck", "translate", "check", "verify"] {
+            assert_eq!(built.spans_named(phase).count(), 1, "missing span {phase}");
+        }
+        let metrics = BuildMetrics::of(&built);
+        assert_eq!(metrics.workers, 1);
+        assert!(metrics.phase_ns("typecheck") > 0);
+        assert!(metrics.makespan_ns > 0);
+        assert!(metrics.utilization() > 0.0 && metrics.utilization() <= 1.0);
+        assert!(metrics.makespan_gap().is_none(), "critical path unknown here");
+        assert!(metrics.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn build_metrics_math_is_pinned() {
+        // Hand-built trace: two workers, worker 0 busy 6 of 10, worker 1
+        // busy 4 of 10 (top-level spans only; the nested span must not
+        // double count).
+        use cccc_util::trace::SpanRecord;
+        let span = |id: u64, parent: Option<u64>, name: &'static str, worker, s, e| SpanRecord {
+            id,
+            parent,
+            name,
+            unit: None,
+            worker,
+            start_ns: s,
+            end_ns: e,
+            counters: Vec::new(),
+        };
+        let built = BuildTrace {
+            spans: vec![
+                span(0, None, "unit", 0, 0, 6),
+                span(1, Some(0), "typecheck", 0, 1, 5),
+                span(2, None, "unit", 1, 2, 6),
+                span(3, None, "unit", 1, 8, 10),
+            ],
+            events: Vec::new(),
+            total_ns: 12,
+        };
+        let mut metrics = BuildMetrics::of(&built);
+        assert_eq!(metrics.makespan_ns, 10);
+        assert_eq!(metrics.workers, 2);
+        assert_eq!(metrics.busy_ns(), 12);
+        assert_eq!(metrics.worker_busy_ns, vec![(0, 6), (1, 6)]);
+        assert!((metrics.utilization() - 12.0 / 20.0).abs() < 1e-9);
+        assert_eq!(metrics.phase_ns("typecheck"), 4);
+        assert_eq!(metrics.event_count("missing"), 0);
+        metrics.critical_path_ns = 8;
+        assert!((metrics.makespan_gap().unwrap() - 1.25).abs() < 1e-9);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   fingerprints, so no-op rebuilds re-verify nothing and
 //!   implementation-only changes don't cascade;
 //! * [`workloads`] — multi-unit workload families (independent units,
-//!   diamonds, deep chains) for the benches and the differential suites.
+//!   diamonds, deep chains) for the benches and the differential suites;
+//! * [`timings`] — the `--timings` text report: per-phase totals,
+//!   per-unit table, and (for traced builds,
+//!   [`session::Session::set_tracing`]) worker utilization and the
+//!   actual-vs-critical-path makespan gap.
 //!
 //! The sequential pipeline ([`cccc_core::Compiler`]) remains the oracle:
 //! [`session::Session::compile_sequential`] runs it unit by unit, and the
@@ -56,6 +60,7 @@ pub mod cache;
 pub mod graph;
 pub mod session;
 pub mod store;
+pub mod timings;
 pub mod workloads;
 
 pub use cache::{Artifact, ArtifactCache, CacheStats, CacheTier};

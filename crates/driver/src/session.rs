@@ -28,10 +28,13 @@ use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 use crate::graph::{Plan, UnitGraph};
 use crate::store::ArtifactStore;
 use crate::DriverError;
-use cccc_core::pipeline::{CacheReport, Compilation, Compiler, CompilerOptions, StoreStats};
+use cccc_core::pipeline::{
+    BuildMetrics, CacheReport, Compilation, Compiler, CompilerOptions, PhaseNanos, StoreStats,
+};
 use cccc_source as src;
 use cccc_target as tgt;
 use cccc_util::symbol::Symbol;
+use cccc_util::trace::{self, BuildTrace, TraceSink};
 use cccc_util::wire::Fingerprint;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -84,6 +87,11 @@ pub struct UnitReport {
     /// Words in the wire-encoded compiled term (0 unless compiled or
     /// cached).
     pub target_words: usize,
+    /// Wall time per pipeline phase (measured whether or not tracing is
+    /// on); `None` for cached, failed, and skipped units, which never
+    /// entered the pipeline. [`UnitReport::duration`] remains the total
+    /// including fingerprinting, cache lookup, and wire transcoding.
+    pub phases: Option<PhaseNanos>,
 }
 
 /// The outcome of one [`Session::build`].
@@ -103,6 +111,18 @@ pub struct BuildReport {
     /// directory and a warm rebuild must not pay for that inside the
     /// build; ask [`Session::store_stats`] when sizes are wanted.
     pub store: Option<StoreStats>,
+    /// Every span and event the build recorded (`None` unless
+    /// [`Session::set_tracing`] enabled tracing). Export with
+    /// [`BuildTrace::to_chrome_json`].
+    pub trace: Option<BuildTrace>,
+    /// Metrics distilled from the trace, with
+    /// [`BuildMetrics::critical_path_ns`] filled from the unit graph
+    /// (`None` on untraced builds).
+    pub metrics: Option<BuildMetrics>,
+    /// The dependency-graph critical path in nanoseconds — the longest
+    /// chain of per-unit durations a build of this graph cannot go
+    /// below — computed on every build, traced or not.
+    pub critical_path_ns: u64,
 }
 
 impl BuildReport {
@@ -142,6 +162,15 @@ impl BuildReport {
         self.units.iter().find(|u| matches!(u.status, UnitStatus::Failed(_)))
     }
 
+    /// Per-phase totals summed over the units that entered the pipeline
+    /// (cached and skipped units contribute nothing).
+    pub fn phase_totals(&self) -> PhaseNanos {
+        self.units
+            .iter()
+            .filter_map(|u| u.phases.as_ref())
+            .fold(PhaseNanos::default(), |acc, p| acc.merged(p))
+    }
+
     /// A one-line human summary.
     pub fn summary(&self) -> String {
         format!(
@@ -168,6 +197,7 @@ pub struct Session {
     options: CompilerOptions,
     cache: Mutex<ArtifactCache>,
     results: HashMap<String, Arc<Artifact>>,
+    tracing: bool,
 }
 
 /// A frontier entry: units are released critical-path-first (highest
@@ -211,6 +241,7 @@ impl Session {
             options,
             cache: Mutex::new(ArtifactCache::new()),
             results: HashMap::new(),
+            tracing: false,
         }
     }
 
@@ -236,6 +267,7 @@ impl Session {
             options,
             cache: Mutex::new(ArtifactCache::with_store(store)),
             results: HashMap::new(),
+            tracing: false,
         })
     }
 
@@ -250,6 +282,20 @@ impl Session {
     /// The options every unit is compiled with.
     pub fn options(&self) -> CompilerOptions {
         self.options
+    }
+
+    /// Enables (or disables) build tracing: subsequent [`Session::build`]
+    /// calls collect spans and events from every worker into
+    /// [`BuildReport::trace`] and distill them into
+    /// [`BuildReport::metrics`]. Off by default — a disabled sink costs
+    /// one thread-local boolean read per instrumentation point.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether build tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// The unit graph.
@@ -377,6 +423,7 @@ impl Session {
             remaining: unit_count,
         });
         let ready_signal = Condvar::new();
+        let sink = TraceSink::new(self.tracing);
 
         std::thread::scope(|scope| {
             for worker in 0..workers {
@@ -386,7 +433,9 @@ impl Session {
                 let cache = &self.cache;
                 let plan = &plan;
                 let options = self.options;
+                let sink = &sink;
                 scope.spawn(move || {
+                    let _trace_guard = sink.install(worker);
                     worker_loop(
                         worker,
                         graph,
@@ -408,6 +457,18 @@ impl Session {
                 self.results.insert(self.graph.unit_at(u).name.clone(), Arc::clone(artifact));
             }
         }
+        // Critical path over *this build's* measured per-unit durations:
+        // the longest dependency chain, the schedule-independent lower
+        // bound the makespan is reported against.
+        let durations: Vec<u64> = (0..unit_count)
+            .map(|u| state.reports[u].as_ref().map_or(0, |r| r.duration.as_nanos() as u64))
+            .collect();
+        let mut chain = vec![0u64; unit_count];
+        for &u in plan.order.iter().rev() {
+            let downstream = plan.dependents[u].iter().map(|&v| chain[v]).max().unwrap_or(0);
+            chain[u] = durations[u] + downstream;
+        }
+        let critical_path_ns = chain.iter().copied().max().unwrap_or(0);
         let units = plan
             .order
             .iter()
@@ -416,6 +477,12 @@ impl Session {
         let cache_after = self.cache_stats();
         let store = store_before.map(|before| {
             self.cache.lock().expect("driver cache poisoned").store_counters().since(&before)
+        });
+        let trace_data = sink.finish();
+        let metrics = trace_data.as_ref().map(|t| {
+            let mut metrics = BuildMetrics::of(t);
+            metrics.critical_path_ns = critical_path_ns;
+            metrics
         });
         Ok(BuildReport {
             units,
@@ -427,6 +494,9 @@ impl Session {
                 invalidations: cache_after.invalidations - cache_before.invalidations,
             },
             store,
+            trace: trace_data,
+            metrics,
+            critical_path_ns,
         })
     }
 
@@ -439,6 +509,7 @@ impl Session {
     /// Returns [`DriverError::NotBuilt`] if `root` or an import has no
     /// artifact from the last build.
     pub fn link(&self, root: &str) -> Result<tgt::Term, DriverError> {
+        let _span = trace::span("link");
         let root_index =
             self.graph.index_of(root).ok_or_else(|| DriverError::UnknownUnit(root.to_owned()))?;
         let plan = self.graph.plan()?;
@@ -537,32 +608,44 @@ fn worker_loop(
 
         let started = Instant::now();
         let unit = graph.unit_at(unit_index);
-        let (report, artifact) = match deps.iter().find(|(_, artifact)| artifact.is_none()) {
-            Some((failed_dep, _)) => (
-                UnitReport {
-                    name: unit.name.clone(),
-                    status: UnitStatus::Skipped(format!(
-                        "import `{}` did not produce an artifact",
-                        graph.unit_at(*failed_dep).name
-                    )),
-                    cached_from: None,
-                    duration: started.elapsed(),
-                    fingerprint: Fingerprint::default(),
-                    worker,
-                    caches: None,
-                    source_words: unit.source.len(),
-                    target_words: 0,
-                },
-                None,
-            ),
-            None => {
-                let deps: Vec<(usize, Arc<Artifact>)> = deps
-                    .into_iter()
-                    .map(|(d, artifact)| (d, artifact.expect("checked above")))
-                    .collect();
-                handle_unit(worker, graph, unit_index, &deps, options, cache, has_store, started)
+        trace::set_unit(Some(&unit.name));
+        trace::event("sched.claim", &[("priority", plan.priority[unit_index])]);
+        let (report, artifact) = {
+            let _unit_span = trace::span("unit");
+            match deps.iter().find(|(_, artifact)| artifact.is_none()) {
+                Some((failed_dep, _)) => {
+                    trace::event("sched.skip", &[]);
+                    (
+                        UnitReport {
+                            name: unit.name.clone(),
+                            status: UnitStatus::Skipped(format!(
+                                "import `{}` did not produce an artifact",
+                                graph.unit_at(*failed_dep).name
+                            )),
+                            cached_from: None,
+                            duration: started.elapsed(),
+                            fingerprint: Fingerprint::default(),
+                            worker,
+                            caches: None,
+                            source_words: unit.source.len(),
+                            target_words: 0,
+                            phases: None,
+                        },
+                        None,
+                    )
+                }
+                None => {
+                    let deps: Vec<(usize, Arc<Artifact>)> = deps
+                        .into_iter()
+                        .map(|(d, artifact)| (d, artifact.expect("checked above")))
+                        .collect();
+                    handle_unit(
+                        worker, graph, unit_index, &deps, options, cache, has_store, started,
+                    )
+                }
             }
         };
+        trace::set_unit(None);
 
         // Publish the outcome and wake anyone waiting on the frontier.
         let mut guard = state.lock().expect("driver scheduler poisoned");
@@ -573,6 +656,7 @@ fn worker_loop(
             guard.pending[v] -= 1;
             if guard.pending[v] == 0 {
                 guard.ready.push(ReadyUnit { priority: plan.priority[v], index: v });
+                trace::event_for(&graph.unit_at(v).name, "sched.ready", &[]);
             }
         }
         ready_signal.notify_all();
@@ -594,18 +678,26 @@ fn handle_unit(
     started: Instant,
 ) -> (UnitReport, Option<Arc<Artifact>>) {
     let unit = graph.unit_at(unit_index);
-    let fingerprint = input_fingerprint(graph, unit_index, deps, options);
+    let fingerprint = {
+        let _span = trace::span("fingerprint");
+        input_fingerprint(graph, unit_index, deps, options)
+    };
 
     // Look up under the lock, capturing this unit's share of the store
     // activity precisely (nothing else can touch the store while the
     // lock is held).
     let (cached, lookup_delta) = {
+        let _span = trace::span("cache.lookup");
         let mut cache = cache.lock().expect("driver cache poisoned");
         let before = cache.store_counters();
         let cached = cache.lookup(&unit.name, fingerprint);
         (cached, cache.store_counters().since(&before))
     };
     if let Some((artifact, tier)) = cached {
+        match tier {
+            CacheTier::Memory => trace::event("cache.hit.memory", &[]),
+            CacheTier::Disk => trace::event("cache.hit.disk", &[]),
+        }
         let report = UnitReport {
             name: unit.name.clone(),
             status: UnitStatus::Cached,
@@ -616,12 +708,14 @@ fn handle_unit(
             caches: None,
             source_words: unit.source.len(),
             target_words: artifact.target.len(),
+            phases: None,
         };
         return (report, Some(artifact));
     }
+    trace::event("cache.miss", &[]);
 
     match compile_unit(graph, unit_index, deps, options) {
-        Ok((artifact, caches)) => {
+        Ok((artifact, caches, phases)) => {
             let target_words = artifact.target.len();
             // Render the write-through blob on this worker's own time —
             // the transcode dominates the cost of persisting, and doing
@@ -640,6 +734,7 @@ fn handle_unit(
                 report.artifact_store = lookup_delta.merged(&insert_delta);
                 report
             });
+            trace::event("sched.compiled", &[("target_words", target_words as u64)]);
             let report = UnitReport {
                 name: unit.name.clone(),
                 status: UnitStatus::Compiled,
@@ -650,6 +745,7 @@ fn handle_unit(
                 caches,
                 source_words: unit.source.len(),
                 target_words,
+                phases: Some(phases),
             };
             (report, Some(artifact))
         }
@@ -664,6 +760,7 @@ fn handle_unit(
                 caches: None,
                 source_words: unit.source.len(),
                 target_words: 0,
+                phases: None,
             },
             None,
         ),
@@ -707,23 +804,27 @@ fn compile_unit(
     unit_index: usize,
     deps: &[(usize, Arc<Artifact>)],
     options: CompilerOptions,
-) -> Result<(Arc<Artifact>, Option<CacheReport>), String> {
+) -> Result<(Arc<Artifact>, Option<CacheReport>, PhaseNanos), String> {
     let unit = graph.unit_at(unit_index);
-    let term = src::wire::decode(&unit.source).map_err(|e| format!("source wire: {e}"))?;
-    let mut env = src::Env::new();
-    for (d, artifact) in deps {
-        let dep = graph.unit_at(*d);
-        let interface = src::wire::decode(&artifact.source_ty)
-            .map_err(|e| format!("interface wire for `{}`: {e}", dep.name))?;
-        env.push_assumption(dep.symbol, interface);
-    }
+    let (env_and_term, _) = trace::timed("decode", || {
+        let term = src::wire::decode(&unit.source).map_err(|e| format!("source wire: {e}"))?;
+        let mut env = src::Env::new();
+        for (d, artifact) in deps {
+            let dep = graph.unit_at(*d);
+            let interface = src::wire::decode(&artifact.source_ty)
+                .map_err(|e| format!("interface wire for `{}`: {e}", dep.name))?;
+            env.push_assumption(dep.symbol, interface);
+        }
+        Ok::<_, String>((env, term))
+    });
+    let (env, term) = env_and_term?;
     let compiler = Compiler::with_options(CompilerOptions { collect_cache_stats: true, ..options });
     let compilation = compiler.compile(&env, &term).map_err(|e| e.to_string())?;
-    let artifact = Artifact {
+    let (artifact, _) = trace::timed("encode", || Artifact {
         source_ty: src::wire::encode(&compilation.source_type),
         target: tgt::wire::encode(&compilation.target),
         target_ty: tgt::wire::encode(&compilation.target_type),
         interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
-    };
-    Ok((Arc::new(artifact), compilation.cache_stats))
+    });
+    Ok((Arc::new(artifact), compilation.cache_stats, compilation.phases))
 }

@@ -45,6 +45,7 @@ use crate::cache::Artifact;
 use cccc_core::pipeline::StoreStats;
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::trace;
 use cccc_util::wire::{Fingerprint, WireTerm, FORMAT_VERSION};
 use std::fs;
 use std::io;
@@ -144,14 +145,24 @@ impl ArtifactStore {
     /// put a good blob back in their place.
     pub fn load(&mut self, fingerprint: Fingerprint) -> Option<Artifact> {
         let path = self.blob_path(fingerprint);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                self.stats.disk_misses += 1;
-                return None;
+        let bytes = {
+            let read_span = trace::span("store.read");
+            match fs::read(&path) {
+                Ok(bytes) => {
+                    read_span.counter("bytes", bytes.len() as u64);
+                    bytes
+                }
+                Err(_) => {
+                    self.stats.disk_misses += 1;
+                    return None;
+                }
             }
         };
-        match parse_blob(&bytes) {
+        let parsed = {
+            let _span = trace::span("store.decode");
+            parse_blob(&bytes)
+        };
+        match parsed {
             Some(artifact) => {
                 self.stats.disk_hits += 1;
                 Some(artifact)
@@ -191,6 +202,8 @@ impl ArtifactStore {
         if path.exists() {
             return;
         }
+        let write_span = trace::span("store.write");
+        write_span.counter("bytes", (words.len() * 8) as u64);
         let mut bytes = Vec::with_capacity(words.len() * 8);
         for word in words {
             bytes.extend_from_slice(&word.to_le_bytes());
@@ -214,6 +227,7 @@ impl ArtifactStore {
 /// (the transcode dominates write-through cost), so the driver's workers
 /// run it outside the session cache lock.
 pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
+    let render_span = trace::span("store.render");
     // Transcode each section into the portable encoding. The in-memory
     // sections were produced by this process (or loaded portably), so
     // decoding them here cannot fail on well-formed artifacts.
@@ -237,6 +251,7 @@ pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
     words.push(checksum.0 as u64);
     words.push((checksum.0 >> 64) as u64);
     words.extend_from_slice(&payload);
+    render_span.counter("words", words.len() as u64);
     Some(words)
 }
 
@@ -260,7 +275,11 @@ fn parse_blob(bytes: &[u8]) -> Option<Artifact> {
     }
     let checksum = Fingerprint((u128::from(words[3]) << 64) | u128::from(words[2]));
     let payload = &words[HEADER_WORDS..];
-    if Fingerprint::of_words(payload) != checksum {
+    let verified = {
+        let _span = trace::span("store.checksum");
+        Fingerprint::of_words(payload) == checksum
+    };
+    if !verified {
         return None;
     }
     let interface_alpha = Fingerprint((u128::from(payload[1]) << 64) | u128::from(payload[0]));

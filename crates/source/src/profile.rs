@@ -5,76 +5,37 @@
 //! this quantifies the dynamic overhead introduced by closure conversion
 //! (§7 of the paper): every source β-step becomes a closure application plus
 //! one environment construction and one projection per captured variable.
+//!
+//! The counter struct itself is the shared [`cccc_util::cost::Cost`]
+//! instantiated with CC labels, so the CC and CC-CC profiles render with
+//! their native rule names (`β` here, `clo` there) but compare field-for-field.
 
 use crate::ast::Term;
 use crate::env::Env;
 use crate::reduce::ReduceError;
 use crate::subst::subst;
+use cccc_util::cost::CostLabels;
 use cccc_util::fuel::Fuel;
-use std::fmt;
-use std::ops::Add;
 
-/// Counters for the CC reduction rules.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Cost {
-    /// β-steps: `(λ x : A. e1) e2 ⊲ e1[e2/x]`.
-    pub beta: usize,
-    /// ζ-steps: `let x = e in e1 ⊲ e1[e/x]`.
-    pub zeta: usize,
-    /// δ-steps: unfolding a defined variable.
-    pub delta: usize,
-    /// π-steps: `fst`/`snd` of a pair.
-    pub projection: usize,
-    /// `if` on a literal.
-    pub conditional: usize,
-    /// Pair values built while producing the result (an allocation proxy).
-    pub pairs_built: usize,
-    /// λ-values encountered as evaluation results (an allocation proxy for
-    /// the closures an implementation would create).
-    pub functions_built: usize,
+/// Marker selecting the CC labels for the shared cost counters.
+#[derive(Clone, Copy, Debug)]
+pub struct CcCost;
+
+impl CostLabels for CcCost {
+    const APPLICATION: &'static str = "β";
+    const FUNCTIONS: &'static str = "functions";
+    const TRACE_EVENT: &'static str = "cost.cc";
 }
 
-impl Cost {
-    /// Total number of reduction steps of any kind.
-    pub fn total_steps(&self) -> usize {
-        self.beta + self.zeta + self.delta + self.projection + self.conditional
-    }
-}
-
-impl Add for Cost {
-    type Output = Cost;
-    fn add(self, other: Cost) -> Cost {
-        Cost {
-            beta: self.beta + other.beta,
-            zeta: self.zeta + other.zeta,
-            delta: self.delta + other.delta,
-            projection: self.projection + other.projection,
-            conditional: self.conditional + other.conditional,
-            pairs_built: self.pairs_built + other.pairs_built,
-            functions_built: self.functions_built + other.functions_built,
-        }
-    }
-}
-
-impl fmt::Display for Cost {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "β={} ζ={} δ={} π={} if={} pairs={} functions={} (total {})",
-            self.beta,
-            self.zeta,
-            self.delta,
-            self.projection,
-            self.conditional,
-            self.pairs_built,
-            self.functions_built,
-            self.total_steps()
-        )
-    }
-}
+/// Counters for the CC reduction rules. [`Cost::applications`] counts
+/// β-steps: `(λ x : A. e1) e2 ⊲ e1[e2/x]`; [`Cost::functions_built`]
+/// counts λ-values encountered as evaluation results (an allocation proxy
+/// for the closures an implementation would create).
+pub type Cost = cccc_util::cost::Cost<CcCost>;
 
 /// Normalizes `term` under `env`, returning the value together with the cost
-/// counters accumulated along the way.
+/// counters accumulated along the way. When a trace sink is installed on the
+/// current thread the counters are also recorded as a `cost.cc` event.
 ///
 /// # Errors
 ///
@@ -86,6 +47,7 @@ pub fn evaluate_with_cost(
 ) -> Result<(Term, Cost), ReduceError> {
     let mut cost = Cost::default();
     let value = normalize(env, term, fuel, &mut cost)?;
+    cost.record_trace();
     Ok((value, cost))
 }
 
@@ -121,7 +83,7 @@ fn whnf(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term
                 let func_whnf = whnf(env, &func, fuel, cost)?;
                 match func_whnf {
                     Term::Lam { binder, body, .. } => {
-                        cost.beta += 1;
+                        cost.applications += 1;
                         current = subst(&body, binder, &arg);
                     }
                     other => return Ok(Term::App { func: other.rc(), arg }),
@@ -224,6 +186,7 @@ mod tests {
     use crate::builder::*;
     use crate::prelude;
     use crate::subst::alpha_eq;
+    use cccc_util::trace;
 
     fn run(term: &Term) -> (Term, Cost) {
         evaluate_with_cost_default(&Env::new(), term)
@@ -233,7 +196,7 @@ mod tests {
     fn beta_steps_are_counted() {
         let (value, cost) = run(&app(lam("x", bool_ty(), var("x")), tt()));
         assert!(alpha_eq(&value, &tt()));
-        assert_eq!(cost.beta, 1);
+        assert_eq!(cost.applications, 1);
         assert_eq!(cost.total_steps(), 1);
     }
 
@@ -250,7 +213,7 @@ mod tests {
         assert_eq!(cost.zeta, 1);
         assert_eq!(cost.projection, 2);
         assert_eq!(cost.conditional, 1);
-        assert_eq!(cost.beta, 0);
+        assert_eq!(cost.applications, 0);
     }
 
     #[test]
@@ -278,8 +241,9 @@ mod tests {
         let (_, a) = run(&app(prelude::not_fn(), tt()));
         let (_, b) = run(&app(prelude::not_fn(), ff()));
         let sum = a + b;
-        assert_eq!(sum.beta, a.beta + b.beta);
+        assert_eq!(sum.applications, a.applications + b.applications);
         assert!(sum.to_string().contains("β="));
+        assert!(sum.to_string().contains("functions="));
     }
 
     #[test]
@@ -296,5 +260,16 @@ mod tests {
         let (_, small) = run(&program(2));
         let (_, large) = run(&program(5));
         assert!(large.total_steps() > small.total_steps());
+    }
+
+    #[test]
+    fn traced_evaluation_records_a_cost_event() {
+        let term = app(lam("x", bool_ty(), var("x")), tt());
+        let ((), built) = trace::capture(|| {
+            run(&term);
+        });
+        let events: Vec<_> = built.events.iter().filter(|e| e.name == "cost.cc").collect();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].counters.contains(&("applications", 1)));
     }
 }

@@ -12,73 +12,30 @@ use crate::ast::Term;
 use crate::env::Env;
 use crate::reduce::{apply_closure_code, ReduceError};
 use crate::subst::subst;
+use cccc_util::cost::CostLabels;
 use cccc_util::fuel::Fuel;
-use std::fmt;
-use std::ops::Add;
 
-/// Counters for the CC-CC reduction rules.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Cost {
-    /// Closure applications: `⟪λ (n, x). e, e'⟫ e'' ⊲ e[e'/n][e''/x]`.
-    pub closure_applications: usize,
-    /// ζ-steps: `let x = e in e1 ⊲ e1[e/x]` (environment projections after
-    /// closure conversion).
-    pub zeta: usize,
-    /// δ-steps: unfolding a defined variable (hoisted code labels).
-    pub delta: usize,
-    /// π-steps: `fst`/`snd` of a pair (environment dereferences).
-    pub projection: usize,
-    /// `if` on a literal.
-    pub conditional: usize,
-    /// Pair values built while producing the result (environment-tuple
-    /// allocation proxy).
-    pub pairs_built: usize,
-    /// Closure values encountered as evaluation results (heap-allocation
-    /// proxy for the closures a real runtime would create).
-    pub closures_built: usize,
+/// Marker selecting the CC-CC labels for the shared cost counters.
+#[derive(Clone, Copy, Debug)]
+pub struct CcccCost;
+
+impl CostLabels for CcccCost {
+    const APPLICATION: &'static str = "clo";
+    const FUNCTIONS: &'static str = "closures";
+    const TRACE_EVENT: &'static str = "cost.cccc";
 }
 
-impl Cost {
-    /// Total number of reduction steps of any kind.
-    pub fn total_steps(&self) -> usize {
-        self.closure_applications + self.zeta + self.delta + self.projection + self.conditional
-    }
-}
-
-impl Add for Cost {
-    type Output = Cost;
-    fn add(self, other: Cost) -> Cost {
-        Cost {
-            closure_applications: self.closure_applications + other.closure_applications,
-            zeta: self.zeta + other.zeta,
-            delta: self.delta + other.delta,
-            projection: self.projection + other.projection,
-            conditional: self.conditional + other.conditional,
-            pairs_built: self.pairs_built + other.pairs_built,
-            closures_built: self.closures_built + other.closures_built,
-        }
-    }
-}
-
-impl fmt::Display for Cost {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "clo={} ζ={} δ={} π={} if={} pairs={} closures={} (total {})",
-            self.closure_applications,
-            self.zeta,
-            self.delta,
-            self.projection,
-            self.conditional,
-            self.pairs_built,
-            self.closures_built,
-            self.total_steps()
-        )
-    }
-}
+/// Counters for the CC-CC reduction rules. [`Cost::applications`] counts
+/// closure applications: `⟪λ (n, x). e, e'⟫ e'' ⊲ e[e'/n][e''/x]`;
+/// [`Cost::functions_built`] counts closure values encountered as
+/// evaluation results (heap-allocation proxy for the closures a real
+/// runtime would create).
+pub type Cost = cccc_util::cost::Cost<CcccCost>;
 
 /// Normalizes `term` under `env`, returning the value together with the
-/// cost counters accumulated along the way.
+/// cost counters accumulated along the way. When a trace sink is installed
+/// on the current thread the counters are also recorded as a `cost.cccc`
+/// event.
 ///
 /// # Errors
 ///
@@ -91,6 +48,7 @@ pub fn evaluate_with_cost(
 ) -> Result<(Term, Cost), ReduceError> {
     let mut cost = Cost::default();
     let value = normalize(env, term, fuel, &mut cost)?;
+    cost.record_trace();
     Ok((value, cost))
 }
 
@@ -129,7 +87,7 @@ fn whnf(env: &Env, term: &Term, fuel: &mut Fuel, cost: &mut Cost) -> Result<Term
                         let code_whnf = whnf(env, &code, fuel, cost)?;
                         match code_whnf {
                             Term::Code { env_binder, arg_binder, body, .. } => {
-                                cost.closure_applications += 1;
+                                cost.applications += 1;
                                 current = apply_closure_code(
                                     env_binder,
                                     arg_binder,
@@ -225,7 +183,7 @@ fn normalize(
             result: normalize(env, &result, fuel, cost)?.rc(),
         },
         Term::Closure { code, env: closure_env } => {
-            cost.closures_built += 1;
+            cost.functions_built += 1;
             Term::Closure {
                 code: normalize(env, &code, fuel, cost)?.rc(),
                 env: normalize(env, &closure_env, fuel, cost)?.rc(),
@@ -277,7 +235,7 @@ mod tests {
     fn closure_applications_are_counted() {
         let (value, cost) = run(&app(identity_closure(), tt()));
         assert!(alpha_eq(&value, &tt()));
-        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.applications, 1);
         assert_eq!(cost.total_steps(), 1);
     }
 
@@ -298,7 +256,7 @@ mod tests {
         );
         let (value, cost) = run(&app(clo, tt()));
         assert!(alpha_eq(&value, &tt()));
-        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.applications, 1);
         assert_eq!(cost.zeta, 1);
         assert_eq!(cost.projection, 1);
         assert_eq!(cost.conditional, 1);
@@ -314,13 +272,13 @@ mod tests {
         let mut fuel = Fuel::default();
         let (_, cost) = evaluate_with_cost(&env, &app(var("id"), ff()), &mut fuel).unwrap();
         assert_eq!(cost.delta, 1);
-        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.applications, 1);
     }
 
     #[test]
     fn allocation_proxies_fire() {
         let (_, cost) = run(&identity_closure());
-        assert_eq!(cost.closures_built, 1);
+        assert_eq!(cost.functions_built, 1);
         let (_, cost) = run(&pair(tt(), ff(), product(bool_ty(), bool_ty())));
         assert_eq!(cost.pairs_built, 1);
     }
@@ -339,7 +297,7 @@ mod tests {
         let (_, a) = run(&app(identity_closure(), tt()));
         let (_, b) = run(&app(identity_closure(), ff()));
         let sum = a + b;
-        assert_eq!(sum.closure_applications, 2);
+        assert_eq!(sum.applications, 2);
         assert!(sum.to_string().contains("clo="));
     }
 }

@@ -23,6 +23,12 @@
 //! * [`diag`] — structured diagnostics shared by type checkers and parsers.
 //! * [`fuel`] — a fuel counter used to bound normalization on (possibly
 //!   ill-typed) input so that the equivalence checkers always terminate.
+//! * [`trace`] — thread-local, lock-free build tracing: spans and events
+//!   with counter payloads behind a zero-cost-when-disabled
+//!   [`trace::TraceSink`], collected into a [`trace::BuildTrace`] with a
+//!   Chrome trace-event JSON exporter.
+//! * [`cost`] — the shared reduction-cost counter shape instantiated by
+//!   the CC and CC-CC profiling evaluators, with trace counter payloads.
 //!
 //! # Example
 //!
@@ -38,12 +44,14 @@
 //! ```
 
 pub mod binder;
+pub mod cost;
 pub mod diag;
 pub mod fuel;
 pub mod intern;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
+pub mod trace;
 pub mod wire;
 
 pub use diag::{Diagnostic, Severity};
@@ -51,4 +59,5 @@ pub use fuel::Fuel;
 pub use intern::{FreeVars, FvBuilder, Internable, Interner, Node, NodeId, NodeMeta};
 pub use span::{Span, Spanned};
 pub use symbol::Symbol;
+pub use trace::{BuildTrace, TraceSink};
 pub use wire::{Fingerprint, WireError, WireTerm};

@@ -78,7 +78,7 @@ fn the_cost_model_shows_closure_conversion_overhead() {
         assert!(matches!(target_value, target::Term::BoolLit(b) if b == expected));
 
         assert_eq!(
-            target_cost.closure_applications, source_cost.beta,
+            target_cost.applications, source_cost.applications,
             "`{}`: every source β becomes exactly one closure application",
             entry.name
         );
@@ -118,7 +118,7 @@ fn environment_size_drives_the_projection_overhead() {
         let application = target::builder::app(closed, target::builder::ff());
         let (_, cost) =
             target::profile::evaluate_with_cost_default(&target::Env::new(), &application);
-        assert_eq!(cost.closure_applications, 1);
+        assert_eq!(cost.applications, 1);
         assert!(
             cost.zeta >= k,
             "capturing {k} variables should cost at least {k} projection lets, got {}",
