@@ -18,6 +18,7 @@ use crate::translate::{translate, translate_env, TranslateError};
 use crate::verify::{check_type_preservation, VerifyError};
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::diag::{diagnostics_to_json, Diagnostic};
 use cccc_util::intern::{ConvCacheStats, InternStats};
 use cccc_util::trace::{self, BuildTrace, SpanTotal};
 use std::fmt;
@@ -48,6 +49,15 @@ pub struct CompilerOptions {
     /// parallel module driver turns this on to fill its per-unit
     /// diagnostics.
     pub collect_cache_stats: bool,
+    /// Keep-going mode: collect *every* diagnostic instead of stopping at
+    /// the first error, and degrade failed units to poisoned interfaces so
+    /// dependents still report their own errors. Consulted by the module
+    /// driver ([`Compiler::compile`] itself stays fail-fast; use
+    /// [`Compiler::compile_keep_going`] for the tolerant entry point).
+    /// Successful compiles produce bit-identical artifacts either way, so
+    /// this flag deliberately does **not** participate in the driver's
+    /// input fingerprints.
+    pub keep_going: bool,
 }
 
 impl Default for CompilerOptions {
@@ -57,6 +67,7 @@ impl Default for CompilerOptions {
             verify_type_preservation: true,
             use_nbe: true,
             collect_cache_stats: false,
+            keep_going: false,
         }
     }
 }
@@ -561,6 +572,10 @@ pub struct Compilation {
     /// Wall-clock nanoseconds per pipeline phase, measured on every
     /// compile (tracing enabled or not).
     pub phases: PhaseNanos,
+    /// Diagnostics aggregated across phases. Empty for a fail-fast
+    /// [`Compiler::compile`] (which reports through [`CompileError`]);
+    /// populated by the keep-going entry points.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Compilation {
@@ -582,6 +597,102 @@ impl Compilation {
     /// Number of closures in the output (one per source λ).
     pub fn closure_count(&self) -> usize {
         self.target.closure_count()
+    }
+
+    /// The aggregated diagnostics as a machine-readable JSON array.
+    pub fn diagnostics_json(&self) -> String {
+        diagnostics_to_json(&self.diagnostics)
+    }
+}
+
+/// The result of a keep-going compile ([`Compiler::compile_keep_going`]):
+/// always a declared/partial interface and the full diagnostic set, plus
+/// the complete [`Compilation`] when the program was actually clean.
+#[derive(Clone, Debug)]
+pub struct FrontendOutcome {
+    /// The inferred source type — the unit's interface. Mentions the
+    /// `<error>` sentinel wherever recovery happened, making the interface
+    /// *poisoned*; dependents can still check against it.
+    pub interface: src::Term,
+    /// Every diagnostic, in phase order: parse, then type checking, then
+    /// any strict-pipeline failure folded in.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The full strict compilation — present only when no error-severity
+    /// diagnostic was produced and the environment was clean.
+    pub compilation: Option<Compilation>,
+}
+
+impl FrontendOutcome {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// True when the program compiled cleanly end to end.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.compilation.is_some()
+    }
+
+    /// True when the interface mentions the error sentinel.
+    pub fn interface_is_poisoned(&self) -> bool {
+        src::tolerant::is_poisoned(&self.interface)
+    }
+
+    /// The diagnostics as a machine-readable JSON array.
+    pub fn diagnostics_json(&self) -> String {
+        diagnostics_to_json(&self.diagnostics)
+    }
+}
+
+/// The stable error code for a strict source-checker error — the same table
+/// the tolerant checker uses ([`cccc_source::tolerant`] module docs).
+pub fn source_error_code(error: &src::TypeError) -> &'static str {
+    match error {
+        src::TypeError::UnboundVariable(_) => "E0001",
+        src::TypeError::BoxHasNoType => "E0002",
+        src::TypeError::NotAFunction { .. } => "E0003",
+        src::TypeError::NotAPair { .. } => "E0004",
+        src::TypeError::NotAUniverse { .. } => "E0005",
+        src::TypeError::PairAnnotationNotSigma { .. } => "E0006",
+        src::TypeError::ImpredicativeSigma { .. } => "E0007",
+        src::TypeError::Mismatch { .. } => "E0008",
+        src::TypeError::Reduction(_) => "E0009",
+    }
+}
+
+/// The stable error code for a strict target-checker error — the same table
+/// the tolerant checker uses ([`cccc_target::tolerant`] module docs).
+pub fn target_error_code(error: &tgt::typecheck::TypeError) -> &'static str {
+    use tgt::typecheck::TypeError as T;
+    match error {
+        T::UnboundVariable(_) => "E1001",
+        T::BoxHasNoType => "E1002",
+        T::NotAClosure { .. } => "E1003",
+        T::NotAPair { .. } => "E1004",
+        T::NotAUniverse { .. } => "E1005",
+        T::PairAnnotationNotSigma { .. } => "E1006",
+        T::Mismatch { .. } => "E1008",
+        T::Reduction(_) => "E1009",
+        T::OpenCode { .. } => "E1010",
+        T::NotCode { .. } => "E1011",
+    }
+}
+
+/// Folds a strict-pipeline error into a coded diagnostic. Parse and type
+/// errors reuse the per-variant code tables; the later phases get
+/// phase-level codes (`E0200` translate, `E0300` verify, `E0400` link).
+pub fn diagnostic_of_compile_error(error: &CompileError) -> Diagnostic {
+    match error {
+        CompileError::Parse(e) => e.to_diagnostic(),
+        CompileError::SourceType(e) => {
+            Diagnostic::error(e.to_string()).with_code(source_error_code(e))
+        }
+        CompileError::Translate(e) => Diagnostic::error(e.to_string()).with_code("E0200"),
+        CompileError::TargetType(e) => {
+            Diagnostic::error(e.to_string()).with_code(target_error_code(e))
+        }
+        CompileError::Verify(e) => Diagnostic::error(e.to_string()).with_code("E0300"),
+        CompileError::Link(e) => Diagnostic::error(e.to_string()).with_code("E0400"),
     }
 }
 
@@ -690,6 +801,7 @@ impl Compiler {
             target_type,
             cache_stats,
             phases,
+            diagnostics: Vec::new(),
         })
     }
 
@@ -714,6 +826,62 @@ impl Compiler {
         let mut compilation = self.compile_closed(&term)?;
         compilation.phases.parse = parse_ns;
         Ok(compilation)
+    }
+
+    /// Compiles an open component with keep-going semantics: *every*
+    /// diagnostic is collected instead of the first error aborting the
+    /// pipeline.
+    ///
+    /// The source program is checked with the tolerant checker
+    /// ([`cccc_source::tolerant`]). When it is clean — and the ambient
+    /// environment is not poisoned by an upstream failure — the full strict
+    /// pipeline runs and the outcome carries a [`Compilation`]; otherwise
+    /// the outcome is frontend-only: a (possibly poisoned) interface plus
+    /// the diagnostics, and no translation is attempted. A strict-pipeline
+    /// failure on tolerantly-clean input (e.g. fuel exhaustion, or a
+    /// translator invariant violation) is folded into the diagnostics
+    /// rather than escaping as an error.
+    pub fn compile_keep_going(&self, env: &src::Env, term: &src::Term) -> FrontendOutcome {
+        let engine =
+            if self.options.use_nbe { src::equiv::Engine::Nbe } else { src::equiv::Engine::Step };
+        let tolerant = src::tolerant::infer_tolerant_with_engine(env, term, engine);
+        let mut diagnostics = tolerant.diagnostics;
+        let clean = !diagnostics.iter().any(Diagnostic::is_error)
+            && !src::tolerant::is_poisoned(term)
+            && !src::tolerant::env_is_poisoned(env);
+        if clean {
+            match self.compile(env, term) {
+                Ok(mut compilation) => {
+                    compilation.diagnostics = diagnostics.clone();
+                    return FrontendOutcome {
+                        interface: compilation.source_type.clone(),
+                        diagnostics,
+                        compilation: Some(compilation),
+                    };
+                }
+                Err(error) => diagnostics.push(diagnostic_of_compile_error(&error)),
+            }
+        }
+        FrontendOutcome { interface: tolerant.ty, diagnostics, compilation: None }
+    }
+
+    /// Parses and compiles a closed program with keep-going semantics:
+    /// tolerant parsing with synchronizing recovery, then
+    /// [`Compiler::compile_keep_going`] on the recovered term (which may
+    /// contain `<error>` holes).
+    pub fn compile_text_keep_going(&self, source_text: &str) -> FrontendOutcome {
+        let ((term, parse_errors), parse_ns) =
+            trace::timed("parse", || src::parse::parse_term_tolerant(source_text));
+        let mut diagnostics: Vec<Diagnostic> =
+            parse_errors.iter().map(src::parse::ParseError::to_diagnostic).collect();
+        let mut outcome = self.compile_keep_going(&src::Env::new(), &term);
+        diagnostics.append(&mut outcome.diagnostics);
+        outcome.diagnostics = diagnostics;
+        if let Some(compilation) = outcome.compilation.as_mut() {
+            compilation.phases.parse = parse_ns;
+            compilation.diagnostics = outcome.diagnostics.clone();
+        }
+        outcome
     }
 
     /// Compiles a component and a closing substitution separately, links the

@@ -17,6 +17,10 @@
 //!   is keyed by its source, its options, and its imports' *interface*
 //!   fingerprints, so no-op rebuilds re-verify nothing and
 //!   implementation-only changes don't cascade;
+//! * [`poison`] — poisoned interfaces for keep-going builds
+//!   ([`cccc_core::pipeline::CompilerOptions::keep_going`]): a failed
+//!   unit publishes its partial interface plus diagnostics, so dependents
+//!   type-check and report their *own* errors instead of being skipped;
 //! * [`workloads`] — multi-unit workload families (independent units,
 //!   diamonds, deep chains) for the benches and the differential suites;
 //! * [`timings`] — the `--timings` text report: per-phase totals,
@@ -58,6 +62,7 @@
 
 pub mod cache;
 pub mod graph;
+pub mod poison;
 pub mod session;
 pub mod store;
 pub mod timings;
@@ -65,8 +70,9 @@ pub mod workloads;
 
 pub use cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 pub use graph::{Plan, Unit, UnitGraph};
+pub use poison::PoisonedInterface;
 pub use session::{BuildReport, Session, UnitReport, UnitStatus};
-pub use store::ArtifactStore;
+pub use store::{ArtifactStore, FaultPlan};
 
 use std::fmt;
 

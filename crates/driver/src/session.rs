@@ -26,13 +26,16 @@
 
 use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 use crate::graph::{Plan, UnitGraph};
-use crate::store::ArtifactStore;
+use crate::poison::PoisonedInterface;
+use crate::store::{ArtifactStore, FaultPlan};
 use crate::DriverError;
 use cccc_core::pipeline::{
-    BuildMetrics, CacheReport, Compilation, Compiler, CompilerOptions, PhaseNanos, StoreStats,
+    diagnostic_of_compile_error, BuildMetrics, CacheReport, Compilation, Compiler, CompilerOptions,
+    PhaseNanos, StoreStats,
 };
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::diag::{diagnostics_to_json, json_string, Diagnostic};
 use cccc_util::symbol::Symbol;
 use cccc_util::trace::{self, BuildTrace, TraceSink};
 use cccc_util::wire::Fingerprint;
@@ -52,6 +55,15 @@ pub enum UnitStatus {
     Failed(String),
     /// An import failed (or was itself skipped), so this unit never ran.
     Skipped(String),
+    /// Keep-going mode only: an import was poisoned, so this unit was
+    /// type-checked tolerantly against the partial interface instead of
+    /// being skipped. `upstream` names the root-cause units (sorted,
+    /// deduplicated) — the provenance of the poison, not necessarily the
+    /// direct imports.
+    Poisoned {
+        /// The units whose own errors started the poison.
+        upstream: Vec<String>,
+    },
 }
 
 impl UnitStatus {
@@ -92,6 +104,11 @@ pub struct UnitReport {
     /// entered the pipeline. [`UnitReport::duration`] remains the total
     /// including fingerprinting, cache lookup, and wire transcoding.
     pub phases: Option<PhaseNanos>,
+    /// Structured diagnostics the unit produced. Empty outside keep-going
+    /// mode except for failed units, whose strict pipeline error is
+    /// folded into one coded diagnostic; in keep-going mode, failed and
+    /// poisoned units carry their full multi-error set.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// The outcome of one [`Session::build`].
@@ -152,6 +169,68 @@ impl BuildReport {
         self.units.iter().filter(|u| matches!(u.status, UnitStatus::Skipped(_))).count()
     }
 
+    /// Units checked against a poisoned import (keep-going mode only).
+    pub fn poisoned_count(&self) -> usize {
+        self.units.iter().filter(|u| matches!(u.status, UnitStatus::Poisoned { .. })).count()
+    }
+
+    /// Every diagnostic any unit produced, paired with its unit name, in
+    /// schedule order.
+    pub fn all_diagnostics(&self) -> Vec<(&str, &Diagnostic)> {
+        self.units
+            .iter()
+            .flat_map(|u| u.diagnostics.iter().map(move |d| (u.name.as_str(), d)))
+            .collect()
+    }
+
+    /// Total error-severity diagnostics across all units.
+    pub fn error_count(&self) -> usize {
+        self.all_diagnostics().iter().filter(|(_, d)| d.is_error()).count()
+    }
+
+    /// The root causes of every poison in this build: the sorted,
+    /// deduplicated union of the [`UnitStatus::Poisoned`] `upstream`
+    /// lists. Empty outside keep-going mode or on clean builds.
+    pub fn poison_roots(&self) -> Vec<String> {
+        let mut roots: Vec<String> = self
+            .units
+            .iter()
+            .filter_map(|u| match &u.status {
+                UnitStatus::Poisoned { upstream } => Some(upstream.iter().cloned()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        roots.sort();
+        roots.dedup();
+        roots
+    }
+
+    /// The build's diagnostics as a machine-readable JSON array of
+    /// `{"unit": …, "diagnostics": […]}` objects, one per unit that
+    /// produced any (see [`cccc_util::diag::Diagnostic::to_json`] for the
+    /// per-diagnostic schema).
+    pub fn diagnostics_json(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for unit in &self.units {
+            if unit.diagnostics.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"unit\":{},\"diagnostics\":{}}}",
+                json_string(&unit.name),
+                diagnostics_to_json(&unit.diagnostics)
+            ));
+        }
+        out.push(']');
+        out
+    }
+
     /// Whether every unit produced an artifact.
     pub fn is_success(&self) -> bool {
         self.units.iter().all(|u| u.status.is_ok())
@@ -173,7 +252,7 @@ impl BuildReport {
 
     /// A one-line human summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} units on {} workers in {:?}: {} compiled, {} cached, {} failed, {} skipped",
             self.units.len(),
             self.workers,
@@ -182,7 +261,12 @@ impl BuildReport {
             self.cached_count(),
             self.failed_count(),
             self.skipped_count(),
-        )
+        );
+        let poisoned = self.poisoned_count();
+        if poisoned > 0 {
+            line.push_str(&format!(", {poisoned} poisoned"));
+        }
+        line
     }
 }
 
@@ -197,7 +281,18 @@ pub struct Session {
     options: CompilerOptions,
     cache: Mutex<ArtifactCache>,
     results: HashMap<String, Arc<Artifact>>,
+    poisons: HashMap<String, Arc<PoisonedInterface>>,
     tracing: bool,
+}
+
+/// What a settled unit published for its dependents: a compiled artifact,
+/// or (keep-going mode only) a poisoned interface. A `None` slot means
+/// the unit published nothing — it failed without keep-going, or was
+/// itself skipped — and dependents are skipped.
+#[derive(Clone)]
+enum Outcome {
+    Built(Arc<Artifact>),
+    Poisoned(Arc<PoisonedInterface>),
 }
 
 /// A frontier entry: units are released critical-path-first (highest
@@ -227,7 +322,7 @@ impl PartialOrd for ReadyUnit {
 struct SchedState {
     ready: BinaryHeap<ReadyUnit>,
     pending: Vec<usize>,
-    artifacts: Vec<Option<Arc<Artifact>>>,
+    outcomes: Vec<Option<Outcome>>,
     reports: Vec<Option<UnitReport>>,
     remaining: usize,
 }
@@ -241,6 +336,7 @@ impl Session {
             options,
             cache: Mutex::new(ArtifactCache::new()),
             results: HashMap::new(),
+            poisons: HashMap::new(),
             tracing: false,
         }
     }
@@ -267,8 +363,20 @@ impl Session {
             options,
             cache: Mutex::new(ArtifactCache::with_store(store)),
             results: HashMap::new(),
+            poisons: HashMap::new(),
             tracing: false,
         })
+    }
+
+    /// Installs a deterministic fault plan on the persistent store (no-op
+    /// without one): the chosen file-system operations fail — or read
+    /// short — when their per-operation counters reach the planned
+    /// indices. Storage faults must degrade to cache misses, never wrong
+    /// answers; the fault-injection suites drive this.
+    pub fn set_store_faults(&mut self, plan: FaultPlan) {
+        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store_mut() {
+            store.set_faults(plan);
+        }
     }
 
     /// A session holding a single closed unit named `main` — the existing
@@ -345,6 +453,7 @@ impl Session {
     pub fn clear_cache(&mut self) {
         self.cache.lock().expect("driver cache poisoned").clear();
         self.results.clear();
+        self.poisons.clear();
     }
 
     /// Deletes every blob from the persistent store (no-op without one),
@@ -364,6 +473,14 @@ impl Session {
     /// The artifact the last build produced for `name`, if any.
     pub fn artifact(&self, name: &str) -> Option<Arc<Artifact>> {
         self.results.get(name).cloned()
+    }
+
+    /// The poisoned interface the last keep-going build left for `name`,
+    /// if the unit failed or was poisoned (see [`crate::poison`]). `None`
+    /// for units that built cleanly, were skipped, or outside keep-going
+    /// mode.
+    pub fn poisoned_interface(&self, name: &str) -> Option<Arc<PoisonedInterface>> {
+        self.poisons.get(name).cloned()
     }
 
     /// The compiled CC-CC term for `name`, decoded into the calling
@@ -418,7 +535,7 @@ impl Session {
                 .map(|u| ReadyUnit { priority: plan.priority[u], index: u })
                 .collect(),
             pending: (0..unit_count).map(|u| plan.direct[u].len()).collect(),
-            artifacts: vec![None; unit_count],
+            outcomes: vec![None; unit_count],
             reports: vec![None; unit_count],
             remaining: unit_count,
         });
@@ -452,9 +569,16 @@ impl Session {
 
         let mut state = state.into_inner().expect("driver scheduler poisoned");
         self.results.clear();
-        for (u, artifact) in state.artifacts.iter().enumerate() {
-            if let Some(artifact) = artifact {
-                self.results.insert(self.graph.unit_at(u).name.clone(), Arc::clone(artifact));
+        self.poisons.clear();
+        for (u, outcome) in state.outcomes.iter().enumerate() {
+            match outcome {
+                Some(Outcome::Built(artifact)) => {
+                    self.results.insert(self.graph.unit_at(u).name.clone(), Arc::clone(artifact));
+                }
+                Some(Outcome::Poisoned(poison)) => {
+                    self.poisons.insert(self.graph.unit_at(u).name.clone(), Arc::clone(poison));
+                }
+                None => {}
             }
         }
         // Critical path over *this build's* measured per-unit durations:
@@ -594,11 +718,11 @@ fn worker_loop(
                 }
                 if let Some(ReadyUnit { index: u, .. }) = guard.ready.pop() {
                     // Every transitive import has settled (the schedule
-                    // guarantees it); collect their artifacts, or bail to
-                    // Skipped if one failed.
-                    let deps: Vec<(usize, Option<Arc<Artifact>>)> = plan.transitive[u]
+                    // guarantees it); collect their outcomes — artifacts,
+                    // or in keep-going mode possibly poisoned interfaces.
+                    let deps: Vec<(usize, Option<Outcome>)> = plan.transitive[u]
                         .iter()
-                        .map(|&d| (d, guard.artifacts[d].clone()))
+                        .map(|&d| (d, guard.outcomes[d].clone()))
                         .collect();
                     break (u, deps);
                 }
@@ -610,17 +734,19 @@ fn worker_loop(
         let unit = graph.unit_at(unit_index);
         trace::set_unit(Some(&unit.name));
         trace::event("sched.claim", &[("priority", plan.priority[unit_index])]);
-        let (report, artifact) = {
+        let (report, outcome) = {
             let _unit_span = trace::span("unit");
-            match deps.iter().find(|(_, artifact)| artifact.is_none()) {
-                Some((failed_dep, _)) => {
+            let missing = deps.iter().find(|(_, outcome)| outcome.is_none()).map(|(d, _)| *d);
+            let any_poisoned = deps.iter().any(|(_, o)| matches!(o, Some(Outcome::Poisoned(_))));
+            match (missing, any_poisoned) {
+                (Some(failed_dep), _) => {
                     trace::event("sched.skip", &[]);
                     (
                         UnitReport {
                             name: unit.name.clone(),
                             status: UnitStatus::Skipped(format!(
                                 "import `{}` did not produce an artifact",
-                                graph.unit_at(*failed_dep).name
+                                graph.unit_at(failed_dep).name
                             )),
                             cached_from: None,
                             duration: started.elapsed(),
@@ -630,14 +756,25 @@ fn worker_loop(
                             source_words: unit.source.len(),
                             target_words: 0,
                             phases: None,
+                            diagnostics: Vec::new(),
                         },
                         None,
                     )
                 }
-                None => {
+                (None, true) => {
+                    let deps: Vec<(usize, Outcome)> = deps
+                        .into_iter()
+                        .map(|(d, outcome)| (d, outcome.expect("checked above")))
+                        .collect();
+                    handle_poisoned_unit(worker, graph, unit_index, &deps, options, started)
+                }
+                (None, false) => {
                     let deps: Vec<(usize, Arc<Artifact>)> = deps
                         .into_iter()
-                        .map(|(d, artifact)| (d, artifact.expect("checked above")))
+                        .map(|(d, outcome)| match outcome.expect("checked above") {
+                            Outcome::Built(artifact) => (d, artifact),
+                            Outcome::Poisoned(_) => unreachable!("no poisoned deps here"),
+                        })
                         .collect();
                     handle_unit(
                         worker, graph, unit_index, &deps, options, cache, has_store, started,
@@ -649,7 +786,7 @@ fn worker_loop(
 
         // Publish the outcome and wake anyone waiting on the frontier.
         let mut guard = state.lock().expect("driver scheduler poisoned");
-        guard.artifacts[unit_index] = artifact;
+        guard.outcomes[unit_index] = outcome;
         guard.reports[unit_index] = Some(report);
         guard.remaining -= 1;
         for &v in &plan.dependents[unit_index] {
@@ -664,7 +801,7 @@ fn worker_loop(
 }
 
 /// Fingerprints, cache-checks, and (on miss) compiles one unit whose
-/// imports all have artifacts. Returns the report plus the artifact to
+/// imports all have artifacts. Returns the report plus the outcome to
 /// publish.
 #[allow(clippy::too_many_arguments)]
 fn handle_unit(
@@ -676,7 +813,7 @@ fn handle_unit(
     cache: &Mutex<ArtifactCache>,
     has_store: bool,
     started: Instant,
-) -> (UnitReport, Option<Arc<Artifact>>) {
+) -> (UnitReport, Option<Outcome>) {
     let unit = graph.unit_at(unit_index);
     let fingerprint = {
         let _span = trace::span("fingerprint");
@@ -709,13 +846,25 @@ fn handle_unit(
             source_words: unit.source.len(),
             target_words: artifact.target.len(),
             phases: None,
+            diagnostics: Vec::new(),
         };
-        return (report, Some(artifact));
+        return (report, Some(Outcome::Built(artifact)));
     }
     trace::event("cache.miss", &[]);
 
-    match compile_unit(graph, unit_index, deps, options) {
-        Ok((artifact, caches, phases)) => {
+    // One shape for both modes: strict failures carry their folded
+    // diagnostic and no poison; keep-going failures carry the full
+    // diagnostic set plus the poisoned interface to publish.
+    let compiled = if options.keep_going {
+        compile_unit_keep_going(graph, unit_index, deps, options)
+    } else {
+        compile_unit(graph, unit_index, deps, options)
+            .map(|(artifact, caches, phases)| (artifact, caches, phases, Vec::new()))
+            .map_err(|(message, diagnostics)| (message, diagnostics, None))
+    };
+
+    match compiled {
+        Ok((artifact, caches, phases, diagnostics)) => {
             let target_words = artifact.target.len();
             // Render the write-through blob on this worker's own time —
             // the transcode dominates the cost of persisting, and doing
@@ -746,25 +895,111 @@ fn handle_unit(
                 source_words: unit.source.len(),
                 target_words,
                 phases: Some(phases),
+                diagnostics,
             };
-            (report, Some(artifact))
+            (report, Some(Outcome::Built(artifact)))
         }
-        Err(message) => (
-            UnitReport {
-                name: unit.name.clone(),
-                status: UnitStatus::Failed(message),
-                cached_from: None,
-                duration: started.elapsed(),
-                fingerprint,
-                worker,
-                caches: None,
-                source_words: unit.source.len(),
-                target_words: 0,
-                phases: None,
-            },
-            None,
-        ),
+        Err((message, diagnostics, poison)) => {
+            // Failed (and poisoned) results are never cached: caches hold
+            // only artifacts a clean compile actually produced.
+            let outcome = poison.map(|poison| {
+                trace::event("sched.poisoned", &[("own_errors", poison.error_count() as u64)]);
+                Outcome::Poisoned(Arc::new(poison))
+            });
+            (
+                UnitReport {
+                    name: unit.name.clone(),
+                    status: UnitStatus::Failed(message),
+                    cached_from: None,
+                    duration: started.elapsed(),
+                    fingerprint,
+                    worker,
+                    caches: None,
+                    source_words: unit.source.len(),
+                    target_words: 0,
+                    phases: None,
+                    diagnostics,
+                },
+                outcome,
+            )
+        }
     }
+}
+
+/// Keep-going path for a unit at least one of whose imports is poisoned:
+/// build the typing environment from the mixed interfaces — compiled ones
+/// and partial ones — run the tolerant frontend, report the unit's *own*
+/// errors, and publish a fresh poison carrying the unioned provenance.
+/// The unit is never `Skipped`: the whole point of the poisoned tier is
+/// that downstream diagnostics survive an upstream failure.
+fn handle_poisoned_unit(
+    worker: usize,
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Outcome)],
+    options: CompilerOptions,
+    started: Instant,
+) -> (UnitReport, Option<Outcome>) {
+    let unit = graph.unit_at(unit_index);
+    let mut upstream: Vec<String> = Vec::new();
+    let mut env = src::Env::new();
+    for (d, outcome) in deps {
+        let dep = graph.unit_at(*d);
+        let interface_wire = match outcome {
+            Outcome::Built(artifact) => &artifact.source_ty,
+            Outcome::Poisoned(poison) => {
+                upstream.extend(poison.origins.iter().cloned());
+                &poison.interface
+            }
+        };
+        // A wire failure here is process-local corruption that should not
+        // happen; degrade to the sentinel so the unit still checks.
+        let interface =
+            src::wire::decode(interface_wire).unwrap_or_else(|_| src::tolerant::error_term());
+        env.push_assumption(dep.symbol, interface);
+    }
+    upstream.sort();
+    upstream.dedup();
+
+    let term = src::wire::decode(&unit.source).unwrap_or_else(|_| src::tolerant::error_term());
+    let compiler = Compiler::with_options(options);
+    let outcome = compiler.compile_keep_going(&env, &term);
+    let own_errors = outcome.error_count();
+    trace::event(
+        "sched.poisoned",
+        &[("upstream", upstream.len() as u64), ("own_errors", own_errors as u64)],
+    );
+    // Provenance: the upstream roots, plus this unit itself when the
+    // tolerant check found errors of its own (the sentinel unifies with
+    // anything, so those errors are genuinely local, not echoes).
+    let mut origins = upstream.clone();
+    if own_errors > 0 {
+        origins.push(unit.name.clone());
+        origins.sort();
+        origins.dedup();
+    }
+    let diagnostics = outcome.diagnostics.clone();
+    let poison = PoisonedInterface {
+        interface: src::wire::encode_portable(&outcome.interface),
+        diagnostics: outcome.diagnostics,
+        origins,
+    };
+    (
+        UnitReport {
+            name: unit.name.clone(),
+            status: UnitStatus::Poisoned { upstream },
+            cached_from: None,
+            duration: started.elapsed(),
+            fingerprint: Fingerprint::default(),
+            worker,
+            caches: None,
+            source_words: unit.source.len(),
+            target_words: 0,
+            phases: None,
+            diagnostics,
+        },
+        Some(Outcome::Poisoned(Arc::new(poison))),
+    )
 }
 
 /// A unit's input fingerprint: source ⊕ output-affecting options ⊕ the
@@ -784,6 +1019,9 @@ fn input_fingerprint(
     options: CompilerOptions,
 ) -> Fingerprint {
     let unit = graph.unit_at(unit_index);
+    // `keep_going` is deliberately absent from the option bits: it can
+    // only change *whether* a unit compiles, never what a successful
+    // compile produces, so flipping it must not cold the cache.
     let option_bits = u64::from(options.typecheck_output)
         | u64::from(options.verify_type_preservation) << 1
         | u64::from(options.use_nbe) << 2;
@@ -796,15 +1034,24 @@ fn input_fingerprint(
     fingerprint
 }
 
-/// Runs the full pipeline for one unit on the current worker thread:
-/// decode the source and the imports' interfaces into this thread's
-/// interners, compile, and export the results as wire buffers.
-fn compile_unit(
+/// Encodes a finished compilation as a thread-portable artifact.
+fn encode_artifact(compilation: &Compilation) -> Arc<Artifact> {
+    let (artifact, _) = trace::timed("encode", || Artifact {
+        source_ty: src::wire::encode(&compilation.source_type),
+        target: tgt::wire::encode(&compilation.target),
+        target_ty: tgt::wire::encode(&compilation.target_type),
+        interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
+    });
+    Arc::new(artifact)
+}
+
+/// Decodes one unit's source and its imports' interfaces into the current
+/// worker thread's interners.
+fn decode_unit_inputs(
     graph: &UnitGraph,
     unit_index: usize,
     deps: &[(usize, Arc<Artifact>)],
-    options: CompilerOptions,
-) -> Result<(Arc<Artifact>, Option<CacheReport>, PhaseNanos), String> {
+) -> Result<(src::Env, src::Term), String> {
     let unit = graph.unit_at(unit_index);
     let (env_and_term, _) = trace::timed("decode", || {
         let term = src::wire::decode(&unit.source).map_err(|e| format!("source wire: {e}"))?;
@@ -817,14 +1064,75 @@ fn compile_unit(
         }
         Ok::<_, String>((env, term))
     });
-    let (env, term) = env_and_term?;
+    env_and_term
+}
+
+/// Runs the full pipeline for one unit on the current worker thread:
+/// decode the source and the imports' interfaces into this thread's
+/// interners, compile, and export the results as wire buffers. Failure
+/// carries the rendered message plus its folded coded diagnostic.
+#[allow(clippy::type_complexity)]
+fn compile_unit(
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    options: CompilerOptions,
+) -> Result<(Arc<Artifact>, Option<CacheReport>, PhaseNanos), (String, Vec<Diagnostic>)> {
+    let (env, term) = decode_unit_inputs(graph, unit_index, deps)
+        .map_err(|message| (message.clone(), vec![Diagnostic::error(message)]))?;
     let compiler = Compiler::with_options(CompilerOptions { collect_cache_stats: true, ..options });
-    let compilation = compiler.compile(&env, &term).map_err(|e| e.to_string())?;
-    let (artifact, _) = trace::timed("encode", || Artifact {
-        source_ty: src::wire::encode(&compilation.source_type),
-        target: tgt::wire::encode(&compilation.target),
-        target_ty: tgt::wire::encode(&compilation.target_type),
-        interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
-    });
-    Ok((Arc::new(artifact), compilation.cache_stats, compilation.phases))
+    let compilation = compiler
+        .compile(&env, &term)
+        .map_err(|e| (e.to_string(), vec![diagnostic_of_compile_error(&e)]))?;
+    Ok((encode_artifact(&compilation), compilation.cache_stats, compilation.phases))
+}
+
+/// The keep-going sibling of [`compile_unit`]: the tolerant frontend runs
+/// first, and a unit with errors yields — instead of a bare message — its
+/// full diagnostic set *and* a [`PoisonedInterface`] (origins = the unit
+/// itself) so its dependents are poisoned rather than skipped.
+#[allow(clippy::type_complexity)]
+fn compile_unit_keep_going(
+    graph: &UnitGraph,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    options: CompilerOptions,
+) -> Result<
+    (Arc<Artifact>, Option<CacheReport>, PhaseNanos, Vec<Diagnostic>),
+    (String, Vec<Diagnostic>, Option<PoisonedInterface>),
+> {
+    let unit = graph.unit_at(unit_index);
+    let (env, term) = match decode_unit_inputs(graph, unit_index, deps) {
+        Ok(inputs) => inputs,
+        Err(message) => {
+            // Wire corruption is not a type error; the recovered
+            // interface is pure sentinel and the unit is its own origin.
+            let diagnostic = Diagnostic::error(message.clone());
+            let poison = PoisonedInterface {
+                interface: src::wire::encode_portable(&src::tolerant::error_term()),
+                diagnostics: vec![diagnostic.clone()],
+                origins: vec![unit.name.clone()],
+            };
+            return Err((message, vec![diagnostic], Some(poison)));
+        }
+    };
+    let compiler = Compiler::with_options(CompilerOptions { collect_cache_stats: true, ..options });
+    let outcome = compiler.compile_keep_going(&env, &term);
+    if outcome.is_clean() {
+        let compilation = outcome.compilation.expect("clean outcomes carry a compilation");
+        let artifact = encode_artifact(&compilation);
+        return Ok((artifact, compilation.cache_stats, compilation.phases, outcome.diagnostics));
+    }
+    let errors = outcome.error_count();
+    let message = match outcome.diagnostics.iter().find(|d| d.is_error()) {
+        Some(first) if errors > 1 => format!("{} (and {} more)", first.headline(), errors - 1),
+        Some(first) => first.headline(),
+        None => "tolerant frontend produced no artifact".to_owned(),
+    };
+    let poison = PoisonedInterface {
+        interface: src::wire::encode_portable(&outcome.interface),
+        diagnostics: outcome.diagnostics.clone(),
+        origins: vec![unit.name.clone()],
+    };
+    Err((message, outcome.diagnostics, Some(poison)))
 }

@@ -57,6 +57,51 @@ const STORE_MAGIC: u64 = 0x0074_7261_6363_6363;
 /// Words in the blob header (magic, version, checksum lo, checksum hi).
 const HEADER_WORDS: usize = 4;
 
+/// A deterministic fault plan for the store's file-system operations,
+/// used by the fault-injection suites to prove the failure semantics
+/// above: any storage fault degrades to a cache miss — never a wrong
+/// answer, never a panic.
+///
+/// Each field targets the Nth call (0-based) of one operation kind since
+/// the plan was installed ([`ArtifactStore::set_faults`] resets the
+/// counters). `fail_read` and `short_read` share the read counter, so one
+/// plan can fail read 0 and truncate read 2.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the Nth `fs::read` with an injected I/O error (EIO-like).
+    pub fail_read: Option<u64>,
+    /// Truncate the Nth `fs::read` to half its bytes (a short read; the
+    /// checksum rejects the tail-less payload).
+    pub short_read: Option<u64>,
+    /// Fail the Nth temp-file `fs::write` with an injected I/O error.
+    pub fail_write: Option<u64>,
+    /// Fail the Nth `fs::rename` with an injected I/O error (the temp
+    /// file is cleaned up, as for a real rename failure).
+    pub fail_rename: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.fail_read.is_some()
+            || self.short_read.is_some()
+            || self.fail_write.is_some()
+            || self.fail_rename.is_some()
+    }
+}
+
+/// Per-operation call counters for [`FaultPlan`] matching.
+#[derive(Clone, Copy, Default, Debug)]
+struct FaultState {
+    reads: u64,
+    writes: u64,
+    renames: u64,
+}
+
+fn injected_fault(operation: &str) -> io::Error {
+    io::Error::other(format!("injected {operation} fault"))
+}
+
 /// A persistent, content-addressed artifact store rooted at a directory.
 ///
 /// Opened with [`ArtifactStore::open`] and normally owned by an
@@ -69,6 +114,8 @@ const HEADER_WORDS: usize = 4;
 pub struct ArtifactStore {
     dir: PathBuf,
     stats: StoreStats,
+    faults: FaultPlan,
+    fault_state: FaultState,
 }
 
 /// Process-wide temp-file disambiguator: combined with the process id in
@@ -86,12 +133,59 @@ impl ArtifactStore {
     pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(ArtifactStore { dir, stats: StoreStats::default() })
+        Ok(ArtifactStore {
+            dir,
+            stats: StoreStats::default(),
+            faults: FaultPlan::default(),
+            fault_state: FaultState::default(),
+        })
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Installs `plan` and resets the per-operation fault counters.
+    /// `FaultPlan::default()` disarms injection.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+        self.fault_state = FaultState::default();
+    }
+
+    /// `fs::read` with the fault plan applied: the planned read fails
+    /// outright, or returns only the first half of the bytes.
+    fn read_with_faults(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        let n = self.fault_state.reads;
+        self.fault_state.reads += 1;
+        if self.faults.fail_read == Some(n) {
+            return Err(injected_fault("read"));
+        }
+        let mut bytes = fs::read(path)?;
+        if self.faults.short_read == Some(n) {
+            bytes.truncate(bytes.len() / 2);
+        }
+        Ok(bytes)
+    }
+
+    /// `fs::write` with the fault plan applied.
+    fn write_with_faults(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let n = self.fault_state.writes;
+        self.fault_state.writes += 1;
+        if self.faults.fail_write == Some(n) {
+            return Err(injected_fault("write"));
+        }
+        fs::write(path, bytes)
+    }
+
+    /// `fs::rename` with the fault plan applied.
+    fn rename_with_faults(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let n = self.fault_state.renames;
+        self.fault_state.renames += 1;
+        if self.faults.fail_rename == Some(n) {
+            return Err(injected_fault("rename"));
+        }
+        fs::rename(from, to)
     }
 
     /// Counter snapshot, with the size fields (`entries`, `bytes`)
@@ -147,7 +241,7 @@ impl ArtifactStore {
         let path = self.blob_path(fingerprint);
         let bytes = {
             let read_span = trace::span("store.read");
-            match fs::read(&path) {
+            match self.read_with_faults(&path) {
                 Ok(bytes) => {
                     read_span.counter("bytes", bytes.len() as u64);
                     bytes
@@ -163,12 +257,15 @@ impl ArtifactStore {
             parse_blob(&bytes)
         };
         match parsed {
-            Some(artifact) => {
+            Ok(artifact) => {
                 self.stats.disk_hits += 1;
                 Some(artifact)
             }
-            None => {
+            Err(reason) => {
                 self.stats.invalid_entries += 1;
+                // Surface what was thrown away and why, so an operator
+                // watching the trace can tell self-healing from rot.
+                trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -210,7 +307,9 @@ impl ArtifactStore {
         }
         let sequence = TEMP_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let temp = self.dir.join(format!(".{fingerprint}.{}.{sequence}.tmp", std::process::id()));
-        let written = fs::write(&temp, &bytes).and_then(|()| fs::rename(&temp, &path));
+        let written = self
+            .write_with_faults(&temp, &bytes)
+            .and_then(|()| self.rename_with_faults(&temp, &path));
         match written {
             Ok(()) => self.stats.write_throughs += 1,
             Err(_) => {
@@ -255,23 +354,27 @@ pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
     Some(words)
 }
 
-/// Parses blob bytes back into an artifact; `None` on any corruption.
-/// Sections are *not* term-decoded here — the checksum already vouches
-/// for their integrity, and decoding is deferred to first use so a warm
-/// rebuild touching no term stays cheap.
-fn parse_blob(bytes: &[u8]) -> Option<Artifact> {
+/// Parses blob bytes back into an artifact, naming the corruption on
+/// failure (the reason feeds the `store.corrupt` trace event). Sections
+/// are *not* term-decoded here — the checksum already vouches for their
+/// integrity, and decoding is deferred to first use so a warm rebuild
+/// touching no term stays cheap.
+fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
     if !bytes.len().is_multiple_of(8) {
-        return None;
+        return Err("length not word-aligned");
     }
     let words: Vec<u64> = bytes
         .chunks_exact(8)
         .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
         .collect();
     if words.len() < HEADER_WORDS + 2 {
-        return None;
+        return Err("truncated header");
     }
-    if words[0] != STORE_MAGIC || words[1] != FORMAT_VERSION {
-        return None;
+    if words[0] != STORE_MAGIC {
+        return Err("bad magic");
+    }
+    if words[1] != FORMAT_VERSION {
+        return Err("format version skew");
     }
     let checksum = Fingerprint((u128::from(words[3]) << 64) | u128::from(words[2]));
     let payload = &words[HEADER_WORDS..];
@@ -280,25 +383,25 @@ fn parse_blob(bytes: &[u8]) -> Option<Artifact> {
         Fingerprint::of_words(payload) == checksum
     };
     if !verified {
-        return None;
+        return Err("checksum mismatch");
     }
     let interface_alpha = Fingerprint((u128::from(payload[1]) << 64) | u128::from(payload[0]));
     let mut cursor = 2;
     let mut sections = Vec::with_capacity(3);
     for _ in 0..3 {
-        let len = *payload.get(cursor)? as usize;
+        let len = *payload.get(cursor).ok_or("truncated section length")? as usize;
         cursor += 1;
-        let words = payload.get(cursor..cursor + len)?;
+        let words = payload.get(cursor..cursor + len).ok_or("truncated section")?;
         sections.push(WireTerm::from_words(words.to_vec()));
         cursor += len;
     }
     if cursor != payload.len() {
-        return None;
+        return Err("trailing words");
     }
     let target_ty = sections.pop().expect("three sections were pushed");
     let target = sections.pop().expect("three sections were pushed");
     let source_ty = sections.pop().expect("three sections were pushed");
-    Some(Artifact { source_ty, target, target_ty, interface_alpha })
+    Ok(Artifact { source_ty, target, target_ty, interface_alpha })
 }
 
 #[cfg(test)]

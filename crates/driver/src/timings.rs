@@ -28,6 +28,7 @@ fn status_cell(report: &BuildReport, index: usize) -> &'static str {
         },
         UnitStatus::Failed(_) => "FAILED",
         UnitStatus::Skipped(_) => "skipped",
+        UnitStatus::Poisoned { .. } => "POISONED",
     }
 }
 

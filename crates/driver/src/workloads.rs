@@ -12,9 +12,12 @@
 //! * [`deep_chain`] — each unit imports the previous one: zero available
 //!   parallelism, the scheduling-overhead control group.
 //!
-//! Every workload is closed, well-typed, and observes to a boolean at the
-//! root, so driver output can be checked end-to-end against the
-//! sequential pipeline and the linked program's value.
+//! Every workload above is closed, well-typed, and observes to a boolean
+//! at the root, so driver output can be checked end-to-end against the
+//! sequential pipeline and the linked program's value. [`broken_web`] is
+//! the deliberate exception: a 16-unit graph with exactly three broken
+//! units, built for the keep-going gate (every well-typed dependent of a
+//! broken unit must be poisoned-and-checked, never skipped).
 
 use crate::session::Session;
 use cccc_core::pipeline::CompilerOptions;
@@ -152,6 +155,54 @@ pub fn skewed(chain: usize, fan: usize, work: usize) -> Vec<WorkUnit> {
     }
     units.push(WorkUnit { name: "root".to_owned(), imports: import_names, term: body });
     units
+}
+
+/// The keep-going gate workload: 16 units, exactly three of them broken,
+/// arranged so every failure mode of error-tolerant building shows up in
+/// one build:
+///
+/// * `b0` (application of a Bool, E0003) and `b1` (let annotation
+///   mismatch, E0008) are broken leaves;
+/// * `b2` is broken *mid-graph* (unbound variable, E0001) on top of a
+///   healthy import;
+/// * `m0`–`m2` are well-typed dependents of the broken units — with
+///   keep-going they must be `Poisoned` and error-free, never `Skipped`;
+/// * `m4` depends on `b0` **and** has an error of its own (E0003), so its
+///   diagnostics must survive the upstream poison;
+/// * `g0`–`g2`, `m3`, and `t2` form a clean cone that must still compile;
+/// * `t0`, `t1`, `t3`, and `root` fan the poison back together, pinning
+///   provenance unions.
+pub fn broken_web() -> Vec<WorkUnit> {
+    let unit = |name: &str, imports: &[&str], term: src::Term| WorkUnit {
+        name: name.to_owned(),
+        imports: imports.iter().map(|&i| i.to_owned()).collect(),
+        term,
+    };
+    let fold = |names: &[&str]| {
+        let mut body = s::tt();
+        for name in names.iter().rev() {
+            body = s::ite(s::var(name), body, s::ff());
+        }
+        body
+    };
+    vec![
+        unit("b0", &[], s::app(s::tt(), s::ff())),
+        unit("b1", &[], s::let_("x", s::bool_ty(), s::star(), s::tt())),
+        unit("g0", &[], tagged("g0", work_term(1))),
+        unit("g1", &[], tagged("g1", work_term(1))),
+        unit("g2", &[], tagged("g2", work_term(1))),
+        unit("b2", &["g0"], s::ite(s::var("g0"), s::var("missing"), s::ff())),
+        unit("m0", &["b0"], s::ite(s::var("b0"), s::tt(), s::ff())),
+        unit("m1", &["b1"], s::ite(s::var("b1"), s::tt(), s::ff())),
+        unit("m2", &["b2"], s::ite(s::var("b2"), s::tt(), s::ff())),
+        unit("m3", &["g1", "g2"], fold(&["g1", "g2"])),
+        unit("m4", &["b0"], s::ite(s::var("b0"), s::app(s::tt(), s::tt()), s::ff())),
+        unit("t0", &["m0", "m1"], fold(&["m0", "m1"])),
+        unit("t1", &["m2", "m3"], fold(&["m2", "m3"])),
+        unit("t2", &["m3"], s::ite(s::var("m3"), s::ff(), s::tt())),
+        unit("t3", &["m4", "g0"], fold(&["m4", "g0"])),
+        unit("root", &["t0", "t1", "t2", "t3"], fold(&["t0", "t1", "t2", "t3"])),
+    ]
 }
 
 /// The root (final) unit of a workload built by the functions above.

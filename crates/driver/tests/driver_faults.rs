@@ -1,0 +1,279 @@
+//! Fault injection against the persistent artifact store: every storage
+//! fault — a failed or short read, a failed temp-file write, a failed
+//! rename — must degrade to a cache miss, never a wrong answer and never
+//! a panic. Each faulted build is checked differentially against a
+//! storeless oracle session: identical per-unit interface fingerprints
+//! and an identical observed value at the root.
+
+use cccc_core::pipeline::CompilerOptions;
+use cccc_driver::session::Session;
+use cccc_driver::store::{ArtifactStore, FaultPlan};
+use cccc_driver::workloads::{self, WorkUnit};
+use cccc_util::wire::Fingerprint;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cccc-fault-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Five units whose sources are structurally distinct (not merely
+/// α-variants), so every unit owns its own store blob and the read/write
+/// counters below are exact. (The stock workloads deliberately share
+/// α-fingerprints to exercise content addressing — wrong tool here.)
+fn workload() -> Vec<WorkUnit> {
+    use cccc_source::builder as s;
+    use cccc_source::prelude;
+    let unit = |name: &str, imports: &[&str], term| WorkUnit {
+        name: name.to_owned(),
+        imports: imports.iter().map(|&i: &&str| i.to_owned()).collect(),
+        term,
+    };
+    vec![
+        unit("base", &[], prelude::poly_id()),
+        unit("a", &["base"], s::app(s::app(s::var("base"), s::bool_ty()), s::tt())),
+        unit("b", &["base"], s::app(s::app(s::var("base"), s::bool_ty()), s::ff())),
+        unit("c", &["a", "b"], s::ite(s::var("a"), s::var("b"), s::ff())),
+        unit("root", &["c"], s::ite(s::var("c"), s::ff(), s::tt())),
+    ]
+}
+
+fn session_with_store(units: &[WorkUnit], dir: &PathBuf) -> Session {
+    let mut session =
+        Session::with_store(CompilerOptions::default(), dir).expect("store dir is creatable");
+    for unit in units {
+        let imports: Vec<&str> = unit.imports.iter().map(String::as_str).collect();
+        session.add_unit(&unit.name, &imports, &unit.term).unwrap();
+    }
+    session
+}
+
+/// The storeless oracle: interface fingerprint per unit plus the observed
+/// root value, computed with no store (and therefore no faults) anywhere
+/// near the build.
+fn oracle(units: &[WorkUnit]) -> (Vec<(String, Fingerprint)>, Option<bool>) {
+    let mut session = workloads::session_from(units, CompilerOptions::default());
+    let report = session.build(2).unwrap();
+    assert!(report.is_success());
+    let mut interfaces: Vec<(String, Fingerprint)> = units
+        .iter()
+        .map(|u| (u.name.clone(), session.artifact(&u.name).unwrap().interface_fingerprint()))
+        .collect();
+    interfaces.sort();
+    let observed = session.observe(workloads::root_of(units)).unwrap();
+    (interfaces, observed)
+}
+
+/// Builds under `plan` and checks the differential verdict against the
+/// oracle. Returns the session for counter assertions.
+fn build_with_faults(
+    units: &[WorkUnit],
+    dir: &PathBuf,
+    plan: FaultPlan,
+    expect: &(Vec<(String, Fingerprint)>, Option<bool>),
+) -> Session {
+    let mut session = session_with_store(units, dir);
+    session.set_store_faults(plan);
+    let report = session.build(2).unwrap();
+    assert!(report.is_success(), "faults must not fail the build: {}", report.summary());
+    let mut interfaces: Vec<(String, Fingerprint)> = units
+        .iter()
+        .map(|u| (u.name.clone(), session.artifact(&u.name).unwrap().interface_fingerprint()))
+        .collect();
+    interfaces.sort();
+    assert_eq!(interfaces, expect.0, "interfaces diverged under {plan:?}");
+    assert_eq!(
+        session.observe(workloads::root_of(units)).unwrap(),
+        expect.1,
+        "observed value diverged under {plan:?}"
+    );
+    session
+}
+
+#[test]
+fn write_faults_during_the_populating_build_are_counted_and_harmless() {
+    let units = workload();
+    let expect = oracle(&units);
+    let dir = temp_dir("write");
+    for plan in [
+        FaultPlan { fail_write: Some(0), ..FaultPlan::default() },
+        FaultPlan { fail_write: Some(3), ..FaultPlan::default() },
+        FaultPlan { fail_rename: Some(0), ..FaultPlan::default() },
+        FaultPlan { fail_rename: Some(2), ..FaultPlan::default() },
+    ] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = build_with_faults(&units, &dir, plan, &expect);
+        let stats = session.store_stats().unwrap();
+        assert_eq!(stats.write_errors, 1, "exactly the planned fault fired: {plan:?}");
+        assert_eq!(
+            stats.write_throughs as usize,
+            units.len() - 1,
+            "every other unit persisted: {plan:?}"
+        );
+        // A failed rename leaves no temp litter behind.
+        let litter = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .count();
+        assert_eq!(litter, 0, "temp files cleaned up: {plan:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_faults_on_a_warm_restart_degrade_to_recompiles() {
+    let units = workload();
+    let expect = oracle(&units);
+    let dir = temp_dir("read");
+    // Populate the store once, fault-free.
+    build_with_faults(&units, &dir, FaultPlan::default(), &expect);
+
+    for n in 0..units.len() as u64 {
+        let plan = FaultPlan { fail_read: Some(n), ..FaultPlan::default() };
+        let session = build_with_faults(&units, &dir, plan, &expect);
+        let stats = session.store_stats().unwrap();
+        assert_eq!(stats.disk_misses, 1, "the faulted read is a miss: {plan:?}");
+        assert_eq!(stats.disk_hits as usize, units.len() - 1);
+        // The recompiled unit wrote its blob back (content-addressed, the
+        // key still exists, so the save is a no-op — but never an error).
+        assert_eq!(stats.write_errors, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_reads_are_detected_deleted_and_healed() {
+    let units = workload();
+    let expect = oracle(&units);
+    let dir = temp_dir("short");
+    build_with_faults(&units, &dir, FaultPlan::default(), &expect);
+    let blobs = |dir: &PathBuf| {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "art"))
+            .count()
+    };
+    let populated = blobs(&dir);
+    assert!(populated > 0);
+
+    let plan = FaultPlan { short_read: Some(0), ..FaultPlan::default() };
+    let session = build_with_faults(&units, &dir, plan, &expect);
+    let stats = session.store_stats().unwrap();
+    // The truncated payload fails the checksum: an invalid entry, deleted
+    // on the spot, recompiled, and re-persisted by the write-through.
+    assert_eq!(stats.invalid_entries, 1);
+    assert_eq!(stats.write_throughs, 1, "self-healed: the recompile put the blob back");
+    assert_eq!(blobs(&dir), populated, "the store healed to its full size");
+
+    // And the healed store answers a fault-free restart entirely from disk.
+    let session = build_with_faults(&units, &dir, FaultPlan::default(), &expect);
+    let stats = session.store_stats().unwrap();
+    assert_eq!(stats.disk_hits as usize, units.len());
+    assert_eq!(stats.invalid_entries, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_single_fault_position_is_survivable() {
+    // Sweep one fault of each kind across every position it can fire in —
+    // the build must succeed with oracle-identical results every time.
+    let units = workload();
+    let expect = oracle(&units);
+    let dir = temp_dir("sweep");
+    let positions = units.len() as u64 + 2; // beyond-the-end plans are no-ops
+    for n in 0..positions {
+        for plan in [
+            FaultPlan { fail_read: Some(n), ..FaultPlan::default() },
+            FaultPlan { short_read: Some(n), ..FaultPlan::default() },
+            FaultPlan { fail_write: Some(n), ..FaultPlan::default() },
+            FaultPlan { fail_rename: Some(n), ..FaultPlan::default() },
+        ] {
+            let _ = std::fs::remove_dir_all(&dir);
+            // Cold build under the fault …
+            build_with_faults(&units, &dir, plan, &expect);
+            // … and a warm restart under the same fault.
+            build_with_faults(&units, &dir, plan, &expect);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn direct_store_faults_never_raise() {
+    let dir = temp_dir("direct");
+    let mut store = ArtifactStore::open(&dir).unwrap();
+    let key = Fingerprint::of_words(&[42]);
+    let artifact = {
+        use cccc_source::builder as s;
+        use cccc_target::builder as t;
+        cccc_driver::Artifact {
+            source_ty: cccc_source::wire::encode(&s::bool_ty()),
+            target: cccc_target::wire::encode(&t::tt()),
+            target_ty: cccc_target::wire::encode(&t::bool_ty()),
+            interface_alpha: Fingerprint::of_words(&[1]),
+        }
+    };
+
+    // Write fault: counted, nothing stored.
+    store.set_faults(FaultPlan { fail_write: Some(0), ..FaultPlan::default() });
+    store.save(key, &artifact);
+    assert_eq!(store.counters().write_errors, 1);
+    assert!(store.load(key).is_none());
+
+    // Rename fault: counted, temp cleaned, nothing stored.
+    store.set_faults(FaultPlan { fail_rename: Some(0), ..FaultPlan::default() });
+    store.save(key, &artifact);
+    assert_eq!(store.counters().write_errors, 2);
+    store.set_faults(FaultPlan::default());
+    assert!(store.load(key).is_none());
+
+    // Clean save, then read faults.
+    store.save(key, &artifact);
+    store.set_faults(FaultPlan { fail_read: Some(0), ..FaultPlan::default() });
+    assert!(store.load(key).is_none(), "injected read error is a miss");
+    assert!(store.load(key).is_some(), "only the planned read fails");
+
+    // Short read: invalid entry, deleted; the next save restores it.
+    store.set_faults(FaultPlan { short_read: Some(0), ..FaultPlan::default() });
+    assert!(store.load(key).is_none(), "short read fails the checksum");
+    store.set_faults(FaultPlan::default());
+    assert!(store.load(key).is_none(), "the corrupt blob was deleted");
+    store.save(key, &artifact);
+    assert!(store.load(key).is_some(), "healed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_blobs_emit_a_store_corrupt_trace_event() {
+    let units = workload();
+    let dir = temp_dir("corrupt-event");
+    session_with_store(&units, &dir).build(2).unwrap();
+
+    // Flip a payload byte in one blob: checksum mismatch on next load.
+    let blob = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "art"))
+        .expect("the build persisted blobs");
+    let mut bytes = std::fs::read(&blob).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&blob, &bytes).unwrap();
+
+    let mut session = session_with_store(&units, &dir);
+    session.set_tracing(true);
+    let report = session.build(2).unwrap();
+    assert!(report.is_success());
+    let trace = report.trace.expect("tracing was on");
+    let corrupt: Vec<_> = trace.events.iter().filter(|e| e.name == "store.corrupt").collect();
+    assert_eq!(corrupt.len(), 1, "exactly the flipped blob was reported");
+    // The event's unit field carries the blob path and the reason.
+    let label = corrupt[0].unit.as_deref().unwrap_or("");
+    assert!(label.contains(".art"), "path in event: {label}");
+    assert!(label.contains("checksum mismatch"), "reason in event: {label}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

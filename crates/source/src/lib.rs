@@ -50,7 +50,9 @@ pub mod prelude;
 pub mod pretty;
 pub mod profile;
 pub mod reduce;
+pub mod spans;
 pub mod subst;
+pub mod tolerant;
 pub mod typecheck;
 pub mod wire;
 

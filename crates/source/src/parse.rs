@@ -20,9 +20,24 @@
 //! Identifiers may contain `$`, so pretty-printed generated names re-parse.
 //! Pretty-printing a term and parsing the output yields an α-equivalent
 //! term; this round-trip property is exercised in the tests.
+//!
+//! Every parsed node is recorded in the [`crate::spans`] side-table, so the
+//! type checkers can attach source locations to their diagnostics without
+//! the hash-consed AST carrying spans.
+//!
+//! Two entry points are provided. [`parse_term`] is fail-fast and returns
+//! the first [`ParseError`]. [`parse_term_tolerant`] keeps going: at each
+//! recovery point it records the error, skips ahead to a synchronizing
+//! token (`in`, `then`, `else`, `)`, …), patches the missing subterm with
+//! the `<error>` hole ([`crate::tolerant::error_term`]) and continues, so a
+//! single pass reports every parse error and still yields a term the
+//! tolerant type checker can walk. `<error>` cannot lex as an identifier,
+//! so holes never collide with user-written names.
 
 use crate::ast::Term;
 use crate::builder::*;
+use crate::spans;
+use cccc_util::diag::Diagnostic;
 use cccc_util::span::Span;
 use cccc_util::symbol::Symbol;
 use std::fmt;
@@ -39,6 +54,11 @@ pub struct ParseError {
 impl ParseError {
     fn new(message: impl Into<String>, span: Span) -> ParseError {
         ParseError { message: message.into(), span }
+    }
+
+    /// Converts to a structured [`Diagnostic`] with the parse-error code.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error(self.message.clone()).with_code("E0100").with_span(self.span)
     }
 }
 
@@ -125,7 +145,13 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_' || c == '$' || c == '\''
 }
 
-fn tokenize(input: &str) -> Result<Vec<(Token, Span)>> {
+/// Tokenizes `input`. In tolerant mode, unknown characters are skipped and
+/// recorded in `errors`; in strict mode the first one aborts the scan.
+fn tokenize_inner(
+    input: &str,
+    tolerant: bool,
+    errors: &mut Vec<ParseError>,
+) -> Result<Vec<(Token, Span)>> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0usize;
@@ -209,10 +235,16 @@ fn tokenize(input: &str) -> Result<Vec<(Token, Span)>> {
                 i = j;
             }
             other => {
-                return Err(ParseError::new(
+                let error = ParseError::new(
                     format!("unexpected character `{other}`"),
                     Span::new(start, start + 1),
-                ))
+                );
+                if tolerant {
+                    errors.push(error);
+                    i += 1;
+                } else {
+                    return Err(error);
+                }
             }
         }
     }
@@ -223,6 +255,8 @@ struct Parser {
     tokens: Vec<(Token, Span)>,
     position: usize,
     input_len: u32,
+    tolerant: bool,
+    errors: Vec<ParseError>,
 }
 
 impl Parser {
@@ -237,6 +271,18 @@ impl Parser {
             .unwrap_or(Span::new(self.input_len, self.input_len))
     }
 
+    /// The span of the most recently consumed token (used to close the span
+    /// of a composite node once its last constituent has been parsed).
+    fn prev_span(&self) -> Span {
+        if self.position == 0 {
+            return self.current_span();
+        }
+        self.tokens
+            .get(self.position - 1)
+            .map(|(_, s)| *s)
+            .unwrap_or(Span::new(self.input_len, self.input_len))
+    }
+
     fn advance(&mut self) -> Option<Token> {
         let token = self.tokens.get(self.position).map(|(t, _)| t.clone());
         if token.is_some() {
@@ -245,10 +291,15 @@ impl Parser {
         token
     }
 
+    /// Consumes `expected` or fails *without consuming* the offending token,
+    /// so tolerant recovery can synchronize on it.
     fn expect(&mut self, expected: Token) -> Result<()> {
         let span = self.current_span();
-        match self.advance() {
-            Some(found) if found == expected => Ok(()),
+        match self.peek() {
+            Some(found) if *found == expected => {
+                self.advance();
+                Ok(())
+            }
             Some(found) => {
                 Err(ParseError::new(format!("expected {expected}, found {found}"), span))
             }
@@ -258,8 +309,12 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<String> {
         let span = self.current_span();
-        match self.advance() {
-            Some(Token::Ident(name)) => Ok(name),
+        match self.peek() {
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
             Some(found) => {
                 Err(ParseError::new(format!("expected identifier, found {found}"), span))
             }
@@ -267,61 +322,148 @@ impl Parser {
         }
     }
 
+    /// Records `span(start..last consumed token)` for `term` in the
+    /// side-table and passes the term through.
+    fn record(&self, term: Term, start: Span) -> Term {
+        spans::record(&term, start.join(self.prev_span()));
+        term
+    }
+
+    /// The `<error>` hole patched in where a subterm failed to parse.
+    fn hole(&self, at: Span) -> Term {
+        let hole = crate::tolerant::error_term();
+        spans::record(&hole, at);
+        hole
+    }
+
+    /// Skips tokens until one of `stops` (or end of input) is at the front.
+    fn sync_to(&mut self, stops: &[Token]) {
+        while let Some(token) = self.peek() {
+            if stops.contains(token) {
+                return;
+            }
+            self.advance();
+        }
+    }
+
+    /// Parses a term; in tolerant mode a failure records the error, skips to
+    /// a synchronizing token, and yields an `<error>` hole instead.
+    fn term_or_recover(&mut self, sync: &[Token]) -> Result<Term> {
+        match self.term() {
+            Ok(term) => Ok(term),
+            Err(error) if self.tolerant => {
+                let at = error.span;
+                self.errors.push(error);
+                self.sync_to(sync);
+                Ok(self.hole(at))
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Expects `expected`; in tolerant mode a mismatch records the error,
+    /// skips to `expected` or one of `sync`, and consumes `expected` if that
+    /// is what the skip stopped on.
+    fn expect_or_recover(&mut self, expected: Token, sync: &[Token]) -> Result<()> {
+        match self.expect(expected.clone()) {
+            Ok(()) => Ok(()),
+            Err(error) if self.tolerant => {
+                self.errors.push(error);
+                let mut stops = sync.to_vec();
+                stops.push(expected.clone());
+                self.sync_to(&stops);
+                if self.peek() == Some(&expected) {
+                    self.advance();
+                }
+                Ok(())
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Expects `expected`; in tolerant mode a mismatch records the error and
+    /// continues without consuming anything (for punctuation like `(` or `.`
+    /// whose absence does not call for skipping ahead).
+    fn expect_soft(&mut self, expected: Token) -> Result<()> {
+        match self.expect(expected) {
+            Ok(()) => Ok(()),
+            Err(error) if self.tolerant => {
+                self.errors.push(error);
+                Ok(())
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Expects an identifier; in tolerant mode a mismatch records the error
+    /// and substitutes the `<error>` name without consuming anything.
+    fn ident_or_recover(&mut self) -> Result<String> {
+        match self.expect_ident() {
+            Ok(name) => Ok(name),
+            Err(error) if self.tolerant => {
+                self.errors.push(error);
+                Ok(crate::tolerant::ERROR_NAME.to_string())
+            }
+            Err(error) => Err(error),
+        }
+    }
+
     /// Parses a `(x : term)` binder group followed by `.` and a body.
     fn binder_body(&mut self) -> Result<(Symbol, Term, Term)> {
-        self.expect(Token::LParen)?;
-        let name = self.expect_ident()?;
-        self.expect(Token::Colon)?;
-        let annotation = self.term()?;
-        self.expect(Token::RParen)?;
-        self.expect(Token::Dot)?;
+        self.expect_soft(Token::LParen)?;
+        let name = self.ident_or_recover()?;
+        self.expect_soft(Token::Colon)?;
+        let annotation = self.term_or_recover(&[Token::RParen, Token::Dot])?;
+        self.expect_or_recover(Token::RParen, &[Token::Dot])?;
+        self.expect_soft(Token::Dot)?;
         let body = self.term()?;
         Ok((Symbol::intern(&name), annotation, body))
     }
 
     fn term(&mut self) -> Result<Term> {
+        let start = self.current_span();
         match self.peek() {
             Some(Token::Lambda) => {
                 self.advance();
                 let (name, annotation, body) = self.binder_body()?;
-                Ok(lam_sym(name, annotation, body))
+                Ok(self.record(lam_sym(name, annotation, body), start))
             }
             Some(Token::Pi) => {
                 self.advance();
                 let (name, annotation, body) = self.binder_body()?;
-                Ok(pi_sym(name, annotation, body))
+                Ok(self.record(pi_sym(name, annotation, body), start))
             }
             Some(Token::Sigma) => {
                 self.advance();
                 let (name, annotation, body) = self.binder_body()?;
-                Ok(sigma_sym(name, annotation, body))
+                Ok(self.record(sigma_sym(name, annotation, body), start))
             }
             Some(Token::Let) => {
                 self.advance();
-                let name = self.expect_ident()?;
-                self.expect(Token::Equals)?;
-                let bound = self.term()?;
-                self.expect(Token::Colon)?;
-                let annotation = self.term()?;
-                self.expect(Token::In)?;
+                let name = self.ident_or_recover()?;
+                self.expect_or_recover(Token::Equals, &[Token::Colon, Token::In])?;
+                let bound = self.term_or_recover(&[Token::Colon, Token::In])?;
+                self.expect_or_recover(Token::Colon, &[Token::In])?;
+                let annotation = self.term_or_recover(&[Token::In])?;
+                self.expect_or_recover(Token::In, &[])?;
                 let body = self.term()?;
-                Ok(let_sym(Symbol::intern(&name), annotation, bound, body))
+                Ok(self.record(let_sym(Symbol::intern(&name), annotation, bound, body), start))
             }
             Some(Token::If) => {
                 self.advance();
-                let scrutinee = self.term()?;
-                self.expect(Token::Then)?;
-                let then_branch = self.term()?;
-                self.expect(Token::Else)?;
+                let scrutinee = self.term_or_recover(&[Token::Then, Token::Else])?;
+                self.expect_or_recover(Token::Then, &[Token::Else])?;
+                let then_branch = self.term_or_recover(&[Token::Else])?;
+                self.expect_or_recover(Token::Else, &[])?;
                 let else_branch = self.term()?;
-                Ok(ite(scrutinee, then_branch, else_branch))
+                Ok(self.record(ite(scrutinee, then_branch, else_branch), start))
             }
             _ => {
                 let left = self.application()?;
                 if matches!(self.peek(), Some(Token::Arrow)) {
                     self.advance();
                     let right = self.term()?;
-                    Ok(arrow(left, right))
+                    Ok(self.record(arrow(left, right), start))
                 } else {
                     Ok(left)
                 }
@@ -330,10 +472,11 @@ impl Parser {
     }
 
     fn application(&mut self) -> Result<Term> {
+        let start = self.current_span();
         let mut result = self.projection()?;
         while self.starts_atom() {
             let argument = self.projection()?;
-            result = app(result, argument);
+            result = self.record(app(result, argument), start);
         }
         Ok(result)
     }
@@ -357,14 +500,17 @@ impl Parser {
     }
 
     fn projection(&mut self) -> Result<Term> {
+        let start = self.current_span();
         match self.peek() {
             Some(Token::Fst) => {
                 self.advance();
-                Ok(fst(self.projection()?))
+                let inner = self.projection()?;
+                Ok(self.record(fst(inner), start))
             }
             Some(Token::Snd) => {
                 self.advance();
-                Ok(snd(self.projection()?))
+                let inner = self.projection()?;
+                Ok(self.record(snd(inner), start))
             }
             _ => self.atom(),
         }
@@ -372,26 +518,46 @@ impl Parser {
 
     fn atom(&mut self) -> Result<Term> {
         let span = self.current_span();
-        match self.advance() {
-            Some(Token::Ident(name)) => Ok(var(&name)),
-            Some(Token::Star) => Ok(star()),
-            Some(Token::BoxKw) => Ok(boxu()),
-            Some(Token::BoolKw) => Ok(bool_ty()),
-            Some(Token::True) => Ok(tt()),
-            Some(Token::False) => Ok(ff()),
+        match self.peek().cloned() {
+            Some(Token::Ident(name)) => {
+                self.advance();
+                Ok(self.record(var(&name), span))
+            }
+            Some(Token::Star) => {
+                self.advance();
+                Ok(self.record(star(), span))
+            }
+            Some(Token::BoxKw) => {
+                self.advance();
+                Ok(self.record(boxu(), span))
+            }
+            Some(Token::BoolKw) => {
+                self.advance();
+                Ok(self.record(bool_ty(), span))
+            }
+            Some(Token::True) => {
+                self.advance();
+                Ok(self.record(tt(), span))
+            }
+            Some(Token::False) => {
+                self.advance();
+                Ok(self.record(ff(), span))
+            }
             Some(Token::LParen) => {
-                let inner = self.term()?;
-                self.expect(Token::RParen)?;
+                self.advance();
+                let inner = self.term_or_recover(&[Token::RParen])?;
+                self.expect_or_recover(Token::RParen, &[])?;
                 Ok(inner)
             }
             Some(Token::LAngle) => {
-                let first = self.term()?;
-                self.expect(Token::Comma)?;
-                let second = self.term()?;
-                self.expect(Token::RAngle)?;
-                self.expect(Token::As)?;
+                self.advance();
+                let first = self.term_or_recover(&[Token::Comma, Token::RAngle])?;
+                self.expect_or_recover(Token::Comma, &[Token::RAngle])?;
+                let second = self.term_or_recover(&[Token::RAngle])?;
+                self.expect_or_recover(Token::RAngle, &[Token::As])?;
+                self.expect_soft(Token::As)?;
                 let annotation = self.atom()?;
-                Ok(pair(first, second, annotation))
+                Ok(self.record(pair(first, second, annotation), span))
             }
             Some(found) => Err(ParseError::new(format!("expected a term, found {found}"), span)),
             None => Err(ParseError::new("expected a term, found end of input", span)),
@@ -399,20 +565,59 @@ impl Parser {
     }
 }
 
-/// Parses a complete CC term from `input`.
+/// Parses a complete CC term from `input`, failing at the first error.
+///
+/// Spans for every parsed node are recorded in [`crate::spans`] (replacing
+/// those of the previously parsed program).
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] when the input does not conform to the grammar
 /// or contains trailing tokens.
 pub fn parse_term(input: &str) -> Result<Term> {
-    let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, position: 0, input_len: input.len() as u32 };
+    spans::reset();
+    let mut scan_errors = Vec::new();
+    let tokens = tokenize_inner(input, false, &mut scan_errors)?;
+    let mut parser = Parser {
+        tokens,
+        position: 0,
+        input_len: input.len() as u32,
+        tolerant: false,
+        errors: Vec::new(),
+    };
     let term = parser.term()?;
     if parser.position != parser.tokens.len() {
         return Err(ParseError::new("unexpected trailing input", parser.current_span()));
     }
     Ok(term)
+}
+
+/// Parses `input` with error recovery, returning a term (with `<error>`
+/// holes where subterms were unparseable) and *every* parse error found.
+///
+/// An empty error list means the parse was clean and the term is identical
+/// to what [`parse_term`] returns. Spans for every parsed node are recorded
+/// in [`crate::spans`].
+pub fn parse_term_tolerant(input: &str) -> (Term, Vec<ParseError>) {
+    spans::reset();
+    let mut errors = Vec::new();
+    let tokens = tokenize_inner(input, true, &mut errors)
+        .expect("tolerant tokenizer records errors instead of failing");
+    let mut parser =
+        Parser { tokens, position: 0, input_len: input.len() as u32, tolerant: true, errors };
+    let term = match parser.term() {
+        Ok(term) => term,
+        Err(error) => {
+            let at = error.span;
+            parser.errors.push(error);
+            parser.sync_to(&[]);
+            parser.hole(at)
+        }
+    };
+    if parser.position != parser.tokens.len() {
+        parser.errors.push(ParseError::new("unexpected trailing input", parser.current_span()));
+    }
+    (term, parser.errors)
 }
 
 #[cfg(test)]
@@ -529,5 +734,59 @@ mod tests {
             t = app(lam("x", bool_ty(), t.clone()), tt());
         }
         round_trips(&t);
+    }
+
+    #[test]
+    fn parser_records_spans_for_subterms() {
+        let input = "\\(x : Bool). f x";
+        let term = parse_term(input).unwrap();
+        assert_eq!(spans::span_of(&term), Some(Span::new(0, input.len() as u32)));
+        assert_eq!(spans::span_of(&bool_ty()), Some(Span::new(6, 10)));
+        assert_eq!(spans::span_of(&var("f")), Some(Span::new(13, 14)));
+    }
+
+    #[test]
+    fn tolerant_matches_strict_on_clean_input() {
+        for input in ["\\(A : *). \\(x : A). x", "let x = true : Bool in x", "fst p"] {
+            let strict = parse_term(input).unwrap();
+            let (tolerant, errors) = parse_term_tolerant(input);
+            assert!(errors.is_empty(), "{input}: {errors:?}");
+            assert!(alpha_eq(&strict, &tolerant));
+        }
+    }
+
+    #[test]
+    fn tolerant_recovers_with_holes_and_reports_every_error() {
+        // Two independent mistakes: a missing bound term and a bad character.
+        let (term, errors) = parse_term_tolerant("let x = : Bool in f # x");
+        assert!(errors.len() >= 2, "{errors:?}");
+        assert!(
+            crate::tolerant::is_poisoned(&term),
+            "recovered term should contain an <error> hole: {term}"
+        );
+    }
+
+    #[test]
+    fn tolerant_recovers_inside_if_and_parens() {
+        let (_, errors) = parse_term_tolerant("if then false else (true");
+        assert!(errors.len() >= 2, "{errors:?}");
+        let (term, errors) = parse_term_tolerant("(f x");
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(alpha_eq(&term, &app(var("f"), var("x"))));
+    }
+
+    #[test]
+    fn tolerant_empty_input_yields_hole() {
+        let (term, errors) = parse_term_tolerant("");
+        assert_eq!(errors.len(), 1);
+        assert!(crate::tolerant::is_poisoned(&term));
+    }
+
+    #[test]
+    fn parse_error_converts_to_coded_diagnostic() {
+        let err = parse_term("(x").unwrap_err();
+        let diag = err.to_diagnostic();
+        assert_eq!(diag.code.as_deref(), Some("E0100"));
+        assert!(diag.span.is_some());
     }
 }

@@ -1,0 +1,516 @@
+//! Keep-going type checking for CC: collect *every* error, not just the
+//! first.
+//!
+//! [`infer_tolerant`] mirrors the rules of [`crate::typecheck`] but never
+//! aborts. Each violation is recorded as a [`Diagnostic`] — with a stable
+//! error code, the primary span from the [`crate::spans`] side-table, and
+//! related-span notes such as "expected type came from this annotation" —
+//! and checking resumes at a recovery point with the **error sentinel**:
+//! the unparseable variable `<error>`, whose type unifies with anything.
+//!
+//! ## The sentinel
+//!
+//! `<error>` cannot lex as an identifier (see [`crate::parse`]), so it never
+//! collides with a user-written name. A term or type that mentions it is
+//! *poisoned* ([`is_poisoned`] — an O(1) query on the hash-consed free-var
+//! metadata). The tolerant checker treats poisoned types as equal to
+//! everything, which stops one genuine error from cascading into dozens of
+//! follow-on mismatches; this is the classic `TyError`/`Ty_Err` recovery
+//! scheme of production compilers.
+//!
+//! ## Recovery points
+//!
+//! - an ill-typed `let` binding poisons that binding: the body is checked
+//!   with the binder held abstract at its declared annotation (the
+//!   definition is *not* unfolded), and the binder is replaced by the
+//!   sentinel in the result type so the damage is visible downstream;
+//! - an application of a non-function (or projection of a non-pair) yields
+//!   the sentinel type after still checking the argument (operand errors
+//!   are reported even when the operator is broken);
+//! - a failed conversion check reports the mismatch and then *accepts* the
+//!   term, so each mismatch is reported exactly once;
+//! - fuel exhaustion inside normalization is reported (`E0009`) and the
+//!   fuel tank is refilled, so one diverging type does not starve the rest
+//!   of the program of diagnostics.
+//!
+//! On well-typed input the tolerant checker returns no diagnostics and a
+//! type definitionally equal to the strict checker's — pinned by tests.
+//!
+//! ## Error codes
+//!
+//! | Code | Meaning |
+//! |---|---|
+//! | `E0001` | unbound variable |
+//! | `E0002` | the universe `□` has no type |
+//! | `E0003` | application of a non-function |
+//! | `E0004` | projection of a non-pair |
+//! | `E0005` | term used as a type is not a universe |
+//! | `E0006` | pair annotation is not a Σ type |
+//! | `E0008` | type mismatch |
+//! | `E0009` | normalization ran out of fuel |
+//! | `E0100` | parse error (reported by [`crate::parse`]) |
+
+use crate::ast::{Term, Universe};
+use crate::env::Env;
+use crate::equiv::{equiv_with_engine, Engine};
+use crate::pretty::term_to_string;
+use crate::spans;
+use crate::subst::{occurs_free, subst};
+use cccc_util::diag::Diagnostic;
+use cccc_util::fuel::Fuel;
+use cccc_util::span::Span;
+use cccc_util::symbol::Symbol;
+
+/// The reserved name of the error sentinel. It contains characters that can
+/// never appear in a lexed identifier.
+pub const ERROR_NAME: &str = "<error>";
+
+/// The interned sentinel symbol.
+pub fn error_symbol() -> Symbol {
+    Symbol::intern(ERROR_NAME)
+}
+
+/// The sentinel term/type `<error>`, used both as the hole the tolerant
+/// parser patches in and as the type every recovery point assigns.
+pub fn error_term() -> Term {
+    Term::Var(error_symbol())
+}
+
+/// True when `term` mentions the error sentinel anywhere (O(1) via the
+/// interner's cached free-variable set).
+pub fn is_poisoned(term: &Term) -> bool {
+    occurs_free(error_symbol(), term)
+}
+
+/// True when any declared type or definition in `env` is poisoned.
+pub fn env_is_poisoned(env: &Env) -> bool {
+    use crate::env::Decl;
+    env.iter().any(|decl| match decl {
+        Decl::Assumption { ty, .. } => is_poisoned(ty),
+        Decl::Definition { ty, term, .. } => is_poisoned(ty) || is_poisoned(term),
+    })
+}
+
+/// The result of a tolerant run: the (possibly poisoned) type together with
+/// every diagnostic collected along the way.
+#[derive(Clone, Debug)]
+pub struct TolerantOutcome {
+    /// The inferred type; mentions `<error>` wherever recovery happened.
+    pub ty: Term,
+    /// All diagnostics, in source order of discovery.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl TolerantOutcome {
+    /// True when no error-severity diagnostic was produced.
+    pub fn is_clean(&self) -> bool {
+        !self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+}
+
+/// Infers the type of `term` under `env`, collecting every type error
+/// instead of stopping at the first.
+pub fn infer_tolerant(env: &Env, term: &Term) -> TolerantOutcome {
+    infer_tolerant_with_engine(env, term, Engine::Nbe)
+}
+
+/// [`infer_tolerant`] through an explicitly chosen equivalence engine.
+pub fn infer_tolerant_with_engine(env: &Env, term: &Term, engine: Engine) -> TolerantOutcome {
+    let mut checker = Tolerant { fuel: Fuel::default(), engine, diagnostics: Vec::new() };
+    let ty = checker.infer(env, term);
+    TolerantOutcome { ty, diagnostics: checker.diagnostics }
+}
+
+struct Tolerant {
+    fuel: Fuel,
+    engine: Engine,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Tolerant {
+    fn report(&mut self, code: &str, message: String, span: Option<Span>) {
+        let mut diagnostic = Diagnostic::error(message).with_code(code);
+        if let Some(span) = span {
+            diagnostic = diagnostic.with_span(span);
+        }
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Weak-head normalizes `term`; on fuel exhaustion reports `E0009`,
+    /// refills the tank, and recovers with the sentinel.
+    fn head_normal(&mut self, env: &Env, term: &Term, at: &Term) -> Term {
+        let result = match self.engine {
+            Engine::Nbe => crate::nbe::whnf_nbe(env, term, &mut self.fuel),
+            Engine::Step => crate::reduce::whnf(env, term, &mut self.fuel),
+        };
+        match result {
+            Ok(normal) => normal,
+            Err(error) => {
+                self.report("E0009", error.to_string(), spans::span_of(at));
+                self.fuel = Fuel::default();
+                error_term()
+            }
+        }
+    }
+
+    /// Checks `term` against `expected`. Poisoned types unify with
+    /// anything; a genuine mismatch is reported once (with the expected
+    /// type's origin as a related span when the parser saw it) and then
+    /// accepted.
+    fn check(&mut self, env: &Env, term: &Term, expected: &Term) -> bool {
+        let found = self.infer(env, term);
+        if is_poisoned(&found) || is_poisoned(expected) {
+            return true;
+        }
+        match equiv_with_engine(env, &found, expected, &mut self.fuel, self.engine) {
+            Ok(true) => true,
+            Ok(false) => {
+                let mut diagnostic = Diagnostic::error(format!(
+                    "type mismatch: `{}` has type `{}` but `{}` was expected",
+                    term_to_string(term),
+                    term_to_string(&found),
+                    term_to_string(expected),
+                ))
+                .with_code("E0008")
+                .with_note(format!("expected `{}`", term_to_string(expected)))
+                .with_note(format!("found    `{}`", term_to_string(&found)));
+                if let Some(span) = spans::span_of(term) {
+                    diagnostic = diagnostic.with_span(span);
+                }
+                if let Some(origin) = spans::span_of(expected) {
+                    diagnostic =
+                        diagnostic.with_related(origin, "expected type came from this annotation");
+                }
+                self.diagnostics.push(diagnostic);
+                false
+            }
+            Err(error) => {
+                self.report("E0009", error.to_string(), spans::span_of(term));
+                self.fuel = Fuel::default();
+                true
+            }
+        }
+    }
+
+    /// Infers the universe `term` lives in; `None` means recovery already
+    /// happened (either `term` is poisoned or a diagnostic was reported).
+    fn universe(&mut self, env: &Env, term: &Term) -> Option<Universe> {
+        if matches!(term, Term::Sort(Universe::Box)) {
+            return Some(Universe::Box);
+        }
+        let ty = self.infer(env, term);
+        if is_poisoned(&ty) {
+            return None;
+        }
+        let ty_whnf = self.head_normal(env, &ty, term);
+        match ty_whnf {
+            Term::Sort(u) => Some(u),
+            _ if is_poisoned(&ty_whnf) => None,
+            other => {
+                self.report(
+                    "E0005",
+                    format!(
+                        "`{}` is used as a type but has type `{}`, not a universe",
+                        term_to_string(term),
+                        term_to_string(&other)
+                    ),
+                    spans::span_of(term),
+                );
+                None
+            }
+        }
+    }
+
+    fn infer(&mut self, env: &Env, term: &Term) -> Term {
+        match term {
+            // The sentinel types as itself, silently: whoever introduced it
+            // already reported.
+            Term::Var(x) if *x == error_symbol() => error_term(),
+            Term::Var(x) => match env.lookup_type(*x) {
+                Some(ty) => (**ty).clone(),
+                None => {
+                    self.report("E0001", format!("unbound variable `{x}`"), spans::span_of(term));
+                    error_term()
+                }
+            },
+            Term::Sort(Universe::Star) => Term::Sort(Universe::Box),
+            Term::Sort(Universe::Box) => {
+                self.report(
+                    "E0002",
+                    "the universe □ has no type".to_string(),
+                    spans::span_of(term),
+                );
+                error_term()
+            }
+            Term::BoolTy => Term::Sort(Universe::Star),
+            Term::BoolLit(_) => Term::BoolTy,
+            Term::If { scrutinee, then_branch, else_branch } => {
+                self.check(env, scrutinee, &Term::BoolTy);
+                let then_ty = self.infer(env, then_branch);
+                if is_poisoned(&then_ty) {
+                    // Still surface the else branch's own errors.
+                    self.infer(env, else_branch);
+                } else {
+                    self.check(env, else_branch, &then_ty);
+                }
+                then_ty
+            }
+            Term::Pi { binder, domain, codomain } => {
+                self.universe(env, domain);
+                let inner = env.with_assumption(*binder, (**domain).clone());
+                match self.universe(&inner, codomain) {
+                    Some(u) => Term::Sort(u),
+                    None => error_term(),
+                }
+            }
+            Term::Sigma { binder, first, second } => {
+                let first_universe = self.universe(env, first);
+                let inner = env.with_assumption(*binder, (**first).clone());
+                let second_universe = self.universe(&inner, second);
+                match (first_universe, second_universe) {
+                    (Some(Universe::Star), Some(Universe::Star)) => Term::Sort(Universe::Star),
+                    (Some(_), Some(_)) => Term::Sort(Universe::Box),
+                    _ => error_term(),
+                }
+            }
+            Term::Lam { binder, domain, body } => {
+                self.universe(env, domain);
+                let inner = env.with_assumption(*binder, (**domain).clone());
+                let body_ty = self.infer(&inner, body);
+                if !is_poisoned(&body_ty) {
+                    // Mirror the strict checker: the resulting Π must be
+                    // well-formed.
+                    self.universe(&inner, &body_ty);
+                }
+                Term::Pi { binder: *binder, domain: domain.clone(), codomain: body_ty.rc() }
+            }
+            Term::App { func, arg } => {
+                let func_ty = self.infer(env, func);
+                if is_poisoned(&func_ty) {
+                    self.infer(env, arg);
+                    return error_term();
+                }
+                let func_ty_whnf = self.head_normal(env, &func_ty, func);
+                match func_ty_whnf {
+                    Term::Pi { binder, domain, codomain } => {
+                        self.check(env, arg, &domain);
+                        subst(&codomain, binder, arg)
+                    }
+                    _ if is_poisoned(&func_ty_whnf) => {
+                        self.infer(env, arg);
+                        error_term()
+                    }
+                    other => {
+                        self.report(
+                            "E0003",
+                            format!(
+                                "`{}` is applied but has non-function type `{}`",
+                                term_to_string(func),
+                                term_to_string(&other)
+                            ),
+                            spans::span_of(func),
+                        );
+                        self.infer(env, arg);
+                        error_term()
+                    }
+                }
+            }
+            Term::Let { binder, annotation, bound, body } => {
+                let annotation_ok = self.universe(env, annotation).is_some();
+                let bound_ok = annotation_ok && self.check(env, bound, annotation);
+                if bound_ok && !is_poisoned(bound) && !is_poisoned(annotation) {
+                    let inner =
+                        env.with_definition(*binder, (**bound).clone(), (**annotation).clone());
+                    let body_ty = self.infer(&inner, body);
+                    subst(&body_ty, *binder, bound)
+                } else {
+                    // Poison the binding: hold the binder abstract at its
+                    // declared annotation (never unfold a bad definition),
+                    // then replace it with the sentinel in the result type
+                    // so downstream consumers see the damage.
+                    let assumed = if annotation_ok { (**annotation).clone() } else { error_term() };
+                    let inner = env.with_assumption(*binder, assumed);
+                    let body_ty = self.infer(&inner, body);
+                    subst(&body_ty, *binder, &error_term())
+                }
+            }
+            Term::Pair { first, second, annotation } => {
+                self.universe(env, annotation);
+                if is_poisoned(annotation) {
+                    self.infer(env, first);
+                    self.infer(env, second);
+                    return error_term();
+                }
+                let annotation_whnf = self.head_normal(env, annotation, annotation);
+                match annotation_whnf {
+                    Term::Sigma { binder, first: first_ty, second: second_ty } => {
+                        self.check(env, first, &first_ty);
+                        let expected_second = subst(&second_ty, binder, first);
+                        self.check(env, second, &expected_second);
+                        (**annotation).clone()
+                    }
+                    _ if is_poisoned(&annotation_whnf) => {
+                        self.infer(env, first);
+                        self.infer(env, second);
+                        error_term()
+                    }
+                    _ => {
+                        self.report(
+                            "E0006",
+                            format!(
+                                "pair annotation `{}` is not a Σ type",
+                                term_to_string(annotation)
+                            ),
+                            spans::span_of(annotation),
+                        );
+                        self.infer(env, first);
+                        self.infer(env, second);
+                        error_term()
+                    }
+                }
+            }
+            Term::Fst(e) => match self.projection_sigma(env, e) {
+                Some((_, first_ty, _)) => (*first_ty).clone(),
+                None => error_term(),
+            },
+            Term::Snd(e) => match self.projection_sigma(env, e) {
+                Some((binder, _, second_ty)) => subst(&second_ty, binder, &Term::Fst(e.clone())),
+                None => error_term(),
+            },
+        }
+    }
+
+    /// Shared `fst`/`snd` support: the scrutinee's type must head-normalize
+    /// to a Σ; reports `E0004` otherwise.
+    fn projection_sigma(
+        &mut self,
+        env: &Env,
+        e: &crate::ast::RcTerm,
+    ) -> Option<(Symbol, crate::ast::RcTerm, crate::ast::RcTerm)> {
+        let e_ty = self.infer(env, e);
+        if is_poisoned(&e_ty) {
+            return None;
+        }
+        let e_ty_whnf = self.head_normal(env, &e_ty, e);
+        match e_ty_whnf {
+            Term::Sigma { binder, first, second } => Some((binder, first, second)),
+            _ if is_poisoned(&e_ty_whnf) => None,
+            other => {
+                self.report(
+                    "E0004",
+                    format!(
+                        "`{}` is projected but has non-pair type `{}`",
+                        term_to_string(e),
+                        term_to_string(&other)
+                    ),
+                    spans::span_of(e),
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::equiv::definitionally_equal;
+    use crate::typecheck::infer;
+
+    fn codes(outcome: &TolerantOutcome) -> Vec<&str> {
+        outcome.diagnostics.iter().filter_map(|d| d.code.as_deref()).collect()
+    }
+
+    #[test]
+    fn sentinel_cannot_lex() {
+        assert!(crate::parse::parse_term(ERROR_NAME).is_err());
+    }
+
+    #[test]
+    fn well_typed_terms_agree_with_strict_checker() {
+        for entry in crate::prelude::corpus() {
+            let env = Env::new();
+            let strict = infer(&env, &entry.term).expect("corpus terms are well-typed");
+            let tolerant = infer_tolerant(&env, &entry.term);
+            assert!(
+                tolerant.diagnostics.is_empty(),
+                "{}: spurious diagnostics {:?}",
+                entry.name,
+                tolerant.diagnostics
+            );
+            assert!(
+                definitionally_equal(&env, &tolerant.ty, &strict),
+                "{}: tolerant type `{}` differs from strict `{}`",
+                entry.name,
+                tolerant.ty,
+                strict
+            );
+        }
+    }
+
+    #[test]
+    fn unbound_variable_reports_and_poisons() {
+        let outcome = infer_tolerant(&Env::new(), &var("ghost"));
+        assert_eq!(codes(&outcome), vec!["E0001"]);
+        assert!(is_poisoned(&outcome.ty));
+    }
+
+    #[test]
+    fn multiple_independent_errors_are_all_reported() {
+        // Three separate errors: unbound `a`, true applied, fst of true.
+        let t = ite(app(tt(), var("a")), fst(tt()), tt());
+        let outcome = infer_tolerant(&Env::new(), &t);
+        let found = codes(&outcome);
+        assert!(found.contains(&"E0003"), "{found:?}");
+        assert!(found.contains(&"E0001"), "{found:?}");
+        assert!(found.contains(&"E0004"), "{found:?}");
+    }
+
+    #[test]
+    fn bad_let_binding_poisons_but_body_is_still_checked() {
+        // `let b = * : Bool in fst b` — the binding is ill-typed (E0008) and
+        // the body has its own error (fst of a Bool-annotated binder, E0004).
+        let t = let_("b", bool_ty(), star(), fst(var("b")));
+        let outcome = infer_tolerant(&Env::new(), &t);
+        let found = codes(&outcome);
+        assert!(found.contains(&"E0008"), "{found:?}");
+        assert!(found.contains(&"E0004"), "{found:?}");
+    }
+
+    #[test]
+    fn poisoned_type_unifies_with_anything() {
+        // Only ONE error: the unbound variable. Its poisoned type must not
+        // cascade into a mismatch against Bool.
+        let t = ite(var("ghost"), tt(), ff());
+        let outcome = infer_tolerant(&Env::new(), &t);
+        assert_eq!(codes(&outcome), vec!["E0001"]);
+    }
+
+    #[test]
+    fn mismatch_is_reported_once_then_accepted() {
+        let not = lam("b", bool_ty(), ite(var("b"), ff(), tt()));
+        let outcome = infer_tolerant(&Env::new(), &app(not, star()));
+        assert_eq!(codes(&outcome), vec!["E0008"]);
+    }
+
+    #[test]
+    fn box_as_term_reports_e0002() {
+        let outcome = infer_tolerant(&Env::new(), &app(boxu(), tt()));
+        assert!(codes(&outcome).contains(&"E0002"));
+    }
+
+    #[test]
+    fn pair_annotation_not_sigma_reports_e0006() {
+        let outcome = infer_tolerant(&Env::new(), &pair(tt(), ff(), bool_ty()));
+        assert_eq!(codes(&outcome), vec!["E0006"]);
+    }
+
+    #[test]
+    fn env_poison_detection() {
+        let clean = Env::new().with_assumption(Symbol::intern("A"), star());
+        assert!(!env_is_poisoned(&clean));
+        let dirty = clean.with_assumption(Symbol::intern("x"), error_term());
+        assert!(env_is_poisoned(&dirty));
+    }
+}

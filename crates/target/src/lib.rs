@@ -59,6 +59,7 @@ pub mod pretty;
 pub mod profile;
 pub mod reduce;
 pub mod subst;
+pub mod tolerant;
 pub mod tuple;
 pub mod typecheck;
 pub mod wire;

@@ -25,8 +25,8 @@ impl fmt::Display for Severity {
     }
 }
 
-/// A structured diagnostic: severity, message, optional source span, and a
-/// list of secondary notes.
+/// A structured diagnostic: severity, optional stable error code, message,
+/// optional source span, related secondary spans, and a list of notes.
 ///
 /// `Diagnostic` implements [`std::error::Error`], so it can be boxed or used
 /// with `?` in application code.
@@ -34,10 +34,15 @@ impl fmt::Display for Severity {
 pub struct Diagnostic {
     /// How severe the diagnostic is.
     pub severity: Severity,
+    /// Stable machine-readable code (e.g. `E0001`), if assigned.
+    pub code: Option<String>,
     /// The primary human-readable message (lowercase, no trailing period).
     pub message: String,
     /// Where in the source the problem was detected, if known.
     pub span: Option<Span>,
+    /// Secondary locations with their own labels, e.g.
+    /// "expected type came from this annotation".
+    pub related: Vec<(Span, String)>,
     /// Additional context lines.
     pub notes: Vec<String>,
 }
@@ -47,8 +52,10 @@ impl Diagnostic {
     pub fn error(message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             severity: Severity::Error,
+            code: None,
             message: message.into(),
             span: None,
+            related: Vec::new(),
             notes: Vec::new(),
         }
     }
@@ -57,15 +64,29 @@ impl Diagnostic {
     pub fn warning(message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             severity: Severity::Warning,
+            code: None,
             message: message.into(),
             span: None,
+            related: Vec::new(),
             notes: Vec::new(),
         }
+    }
+
+    /// Attaches a stable error code.
+    pub fn with_code(mut self, code: impl Into<String>) -> Diagnostic {
+        self.code = Some(code.into());
+        self
     }
 
     /// Attaches a source span.
     pub fn with_span(mut self, span: Span) -> Diagnostic {
         self.span = Some(span);
+        self
+    }
+
+    /// Appends a labelled secondary span.
+    pub fn with_related(mut self, span: Span, label: impl Into<String>) -> Diagnostic {
+        self.related.push((span, label.into()));
         self
     }
 
@@ -75,34 +96,141 @@ impl Diagnostic {
         self
     }
 
+    /// True when the diagnostic is an error (as opposed to a warning or note).
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// The one-line `severity[code]: message` form, e.g.
+    /// `error[E0008]: type mismatch`.
+    pub fn headline(&self) -> String {
+        match &self.code {
+            Some(code) => format!("{}[{}]: {}", self.severity, code, self.message),
+            None => format!("{}: {}", self.severity, self.message),
+        }
+    }
+
     /// Renders the diagnostic against the original source text, including a
-    /// line/column location when a span is present.
+    /// line/column location and a source excerpt when a span is present, and
+    /// one excerpt line per related span.
     pub fn render(&self, source: &str) -> String {
         let mut out = String::new();
         match self.span {
             Some(span) if !span.is_dummy() => {
                 let (line, col) = span.line_col(source);
-                out.push_str(&format!("{}: {} (at {}:{})", self.severity, self.message, line, col));
+                out.push_str(&format!("{} (at {}:{})", self.headline(), line, col));
                 if let Some(snippet) = span.slice(source) {
                     out.push_str(&format!("\n  --> {snippet}"));
                 }
             }
-            _ => out.push_str(&format!("{}: {}", self.severity, self.message)),
+            _ => out.push_str(&self.headline()),
+        }
+        for (span, label) in &self.related {
+            if span.is_dummy() {
+                out.push_str(&format!("\n  related: {label}"));
+            } else {
+                let (line, col) = span.line_col(source);
+                match span.slice(source) {
+                    Some(snippet) => out
+                        .push_str(&format!("\n  related ({line}:{col}): {label}\n  --> {snippet}")),
+                    None => out.push_str(&format!("\n  related ({line}:{col}): {label}")),
+                }
+            }
         }
         for note in &self.notes {
             out.push_str(&format!("\n  note: {note}"));
         }
         out
     }
+
+    /// Emits the diagnostic as a single machine-readable JSON object.
+    ///
+    /// The encoding is hand-rolled (the workspace is offline, no serde), in
+    /// the same spirit as the Chrome trace export: `severity`, `code`
+    /// (null when unassigned), `message`, `span` (`{"start": .., "end": ..}`
+    /// or null), `related` (array of `{"start", "end", "label"}`), and
+    /// `notes` (array of strings).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"severity\":\"{}\"", self.severity));
+        match &self.code {
+            Some(code) => out.push_str(&format!(",\"code\":{}", json_string(code))),
+            None => out.push_str(",\"code\":null"),
+        }
+        out.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        match self.span {
+            Some(span) if !span.is_dummy() => out
+                .push_str(&format!(",\"span\":{{\"start\":{},\"end\":{}}}", span.start, span.end)),
+            _ => out.push_str(",\"span\":null"),
+        }
+        out.push_str(",\"related\":[");
+        for (index, (span, label)) in self.related.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start\":{},\"end\":{},\"label\":{}}}",
+                span.start,
+                span.end,
+                json_string(label)
+            ));
+        }
+        out.push_str("],\"notes\":[");
+        for (index, note) in self.notes.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Emits a batch of diagnostics as a JSON array (one object per diagnostic,
+/// in the order given).
+pub fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (index, diagnostic) in diagnostics.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&diagnostic.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes `text` as a JSON string literal, including the quotes (shared
+/// by every hand-rolled JSON emitter in the workspace).
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.severity, self.message)?;
+        write!(f, "{}", self.headline())?;
         if let Some(span) = self.span {
             if !span.is_dummy() {
                 write!(f, " @ {span}")?;
             }
+        }
+        for (span, label) in &self.related {
+            write!(f, "; related @ {span}: {label}")?;
         }
         for note in &self.notes {
             write!(f, "; note: {note}")?;
@@ -167,5 +295,56 @@ mod tests {
     fn diagnostic_is_std_error() {
         fn takes_error<E: Error>(_: E) {}
         takes_error(Diagnostic::error("x"));
+    }
+
+    #[test]
+    fn code_appears_in_headline_and_display() {
+        let d = Diagnostic::error("type mismatch").with_code("E0008");
+        assert!(d.to_string().contains("error[E0008]"));
+        assert!(d.render("").contains("error[E0008]: type mismatch"));
+    }
+
+    #[test]
+    fn related_spans_render_with_excerpts() {
+        let src = "f x";
+        let d = Diagnostic::error("type mismatch")
+            .with_span(Span::new(2, 3))
+            .with_related(Span::new(0, 1), "expected type came from this annotation");
+        let rendered = d.render(src);
+        assert!(rendered.contains("related (1:1)"), "{rendered}");
+        assert!(rendered.contains("--> f"), "{rendered}");
+    }
+
+    #[test]
+    fn json_emission_is_well_formed() {
+        let d = Diagnostic::error("bad \"thing\"\n")
+            .with_code("E0001")
+            .with_span(Span::new(1, 4))
+            .with_related(Span::new(0, 1), "see here")
+            .with_note("a note");
+        let json = d.to_json();
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"code\":\"E0001\""));
+        assert!(json.contains("\"message\":\"bad \\\"thing\\\"\\n\""));
+        assert!(json.contains("\"span\":{\"start\":1,\"end\":4}"));
+        assert!(json.contains("\"label\":\"see here\""));
+        assert!(json.contains("\"notes\":[\"a note\"]"));
+    }
+
+    #[test]
+    fn json_array_wraps_all_diagnostics() {
+        let batch = vec![Diagnostic::error("one").with_code("E0001"), Diagnostic::warning("two")];
+        let json = diagnostics_to_json(&batch);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"code\":\"E0001\""));
+        assert!(json.contains("\"code\":null"));
+        assert_eq!(json.matches("\"severity\"").count(), 2);
+    }
+
+    #[test]
+    fn spanless_json_has_null_span() {
+        let json = Diagnostic::error("x").to_json();
+        assert!(json.contains("\"span\":null"));
+        assert!(json.contains("\"related\":[]"));
     }
 }

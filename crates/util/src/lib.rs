@@ -54,7 +54,7 @@ pub mod symbol;
 pub mod trace;
 pub mod wire;
 
-pub use diag::{Diagnostic, Severity};
+pub use diag::{diagnostics_to_json, Diagnostic, Severity};
 pub use fuel::Fuel;
 pub use intern::{FreeVars, FvBuilder, Internable, Interner, Node, NodeId, NodeMeta};
 pub use span::{Span, Spanned};

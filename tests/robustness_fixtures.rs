@@ -1,0 +1,175 @@
+//! Pinned multi-error fixtures: exact error codes, byte spans, related
+//! spans, and notes for representative broken programs in both CC and
+//! CC-CC. These are intentionally brittle — a change to recovery order,
+//! span bookkeeping, or message wording must show up here as a diff the
+//! reviewer can read, not as silent drift.
+
+use cccc::source::{self, builder as s};
+use cccc::target::{self, builder as t};
+use cccc::util::diag::diagnostics_to_json;
+use cccc::util::span::Span;
+use cccc::{Compiler, Diagnostic};
+
+fn codes(diagnostics: &[Diagnostic]) -> Vec<&str> {
+    diagnostics.iter().filter_map(|d| d.code.as_deref()).collect()
+}
+
+/// One fixture, three independent CC errors: an application of a
+/// non-function, an unbound variable, and a checked mismatch whose
+/// expected type has a parser-recorded origin.
+#[test]
+fn cc_fixture_pins_three_errors_with_spans() {
+    let text = "if (true false) then missing else (\\(x : Bool). x) *";
+    let outcome = Compiler::new().compile_text_keep_going(text);
+    assert!(!outcome.is_clean());
+    assert!(outcome.compilation.is_none());
+    assert!(outcome.interface_is_poisoned(), "recovery left the sentinel in the interface");
+    assert_eq!(codes(&outcome.diagnostics), vec!["E0003", "E0001", "E0008"]);
+
+    let [not_a_function, unbound, mismatch] = &outcome.diagnostics[..] else {
+        panic!("expected exactly three diagnostics, got {:?}", outcome.diagnostics)
+    };
+
+    // `true false`: the span points at the applied `true`.
+    assert_eq!(not_a_function.message, "`true` is applied but has non-function type `Bool`");
+    assert_eq!(not_a_function.span, Some(Span::new(4, 8)));
+
+    // `missing`: the span covers the whole identifier.
+    assert_eq!(unbound.message, "unbound variable `missing`");
+    assert_eq!(unbound.span, Some(Span::new(21, 28)));
+
+    // `(\(x : Bool). x) *`: primary span on the offending argument, with
+    // the expected type's origin attached as a related span.
+    assert_eq!(mismatch.span, Some(Span::new(51, 52)));
+    assert_eq!(&text[51..52], "*");
+    assert_eq!(
+        mismatch.related,
+        vec![(Span::new(41, 45), "expected type came from this annotation".to_owned())]
+    );
+    assert_eq!(&text[41..45], "Bool");
+    assert_eq!(mismatch.notes, vec!["expected `Bool`", "found    `BOX`"]);
+}
+
+/// The machine-readable rendering of the same fixture is pinned too —
+/// downstream tools parse this shape.
+#[test]
+fn cc_fixture_json_is_stable() {
+    let text = "if (true false) then missing else (\\(x : Bool). x) *";
+    let outcome = Compiler::new().compile_text_keep_going(text);
+    let json = diagnostics_to_json(&outcome.diagnostics);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    for needle in [
+        r#""code":"E0003""#,
+        r#""code":"E0001""#,
+        r#""code":"E0008""#,
+        r#""span":{"start":4,"end":8}"#,
+        r#""span":{"start":21,"end":28}"#,
+        r#"{"start":41,"end":45,"label":"expected type came from this annotation"}"#,
+        r#""notes":["expected `Bool`","found    `BOX`"]"#,
+    ] {
+        assert!(json.contains(needle), "{needle} missing from {json}");
+    }
+}
+
+/// A mismatch between two well-formed types: the related span singles out
+/// the lambda's domain annotation as the origin of the expectation.
+#[test]
+fn cc_mismatch_points_at_the_annotation_it_came_from() {
+    let text = "(\\(x : Bool). x) (\\(y : Bool). y)";
+    let outcome = Compiler::new().compile_text_keep_going(text);
+    assert_eq!(codes(&outcome.diagnostics), vec!["E0008"]);
+    let mismatch = &outcome.diagnostics[0];
+    // The primary span covers the whole offending argument …
+    assert_eq!(mismatch.span, Some(Span::new(18, 32)));
+    assert_eq!(&text[18..32], "\\(y : Bool). y");
+    // … and the related span the annotation that set the expectation.
+    assert_eq!(
+        mismatch.related,
+        vec![(Span::new(7, 11), "expected type came from this annotation".to_owned())]
+    );
+    assert_eq!(&text[7..11], "Bool");
+    assert_eq!(mismatch.notes, vec!["expected `Bool`", "found    `Pi (y : Bool). Bool`"]);
+    // Both sides of the mismatch are sentinel-free, so the interface is
+    // not poisoned — only wrong.
+    assert!(!outcome.interface_is_poisoned());
+}
+
+/// Parser recovery: an unclosed parenthesis inside an unfinished `if`
+/// yields one `E0100` per missed expectation, all anchored at the point
+/// of failure, and still hands the type checker a term.
+#[test]
+fn cc_parse_recovery_pins_every_expectation() {
+    let text = "if true then (x";
+    let outcome = Compiler::new().compile_text_keep_going(text);
+    assert_eq!(codes(&outcome.diagnostics), vec!["E0100", "E0100", "E0100"]);
+    let messages: Vec<&str> = outcome.diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert_eq!(
+        messages,
+        vec![
+            "expected `)`, found end of input",
+            "expected `else`, found end of input",
+            "expected a term, found end of input",
+        ]
+    );
+    let end = text.len() as u32;
+    for diagnostic in &outcome.diagnostics {
+        assert_eq!(diagnostic.span, Some(Span::new(end, end)), "anchored at end of input");
+    }
+    assert!(outcome.interface_is_poisoned());
+}
+
+/// The CC-CC tolerant checker pins its own code table: a non-closure
+/// application (`E1003`), open code violating the `[Code]` rule's empty
+/// environment (`E1010` + `E1001` for the stray variable itself), and a
+/// unit/Bool mismatch (`E1008`) — all from one term, in one pass.
+#[test]
+fn cc_cc_fixture_pins_four_errors() {
+    let open_code = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("stray"));
+    let term = t::ite(t::app(t::tt(), t::ff()), open_code, t::ite(t::unit_val(), t::tt(), t::ff()));
+    let outcome = target::tolerant::infer_tolerant(&target::Env::new(), &term);
+    assert!(!outcome.is_clean());
+    assert_eq!(codes(&outcome.diagnostics), vec!["E1003", "E1010", "E1001", "E1008"]);
+
+    let [not_a_closure, open, unbound, mismatch] = &outcome.diagnostics[..] else {
+        panic!("expected exactly four diagnostics, got {:?}", outcome.diagnostics)
+    };
+    assert_eq!(not_a_closure.message, "`true` is applied but has non-closure type `Bool`");
+    assert!(
+        open.message.contains("rule [Code] requires closed code")
+            && open.message.contains("`stray`"),
+        "{}",
+        open.message
+    );
+    assert_eq!(unbound.message, "unbound variable `stray`");
+    assert_eq!(mismatch.message, "type mismatch: `<>` has type `1` but `Bool` was expected");
+    assert_eq!(mismatch.notes, vec!["expected `Bool`", "found    `1`"]);
+}
+
+/// Keep-going and strict agree on what counts as broken: a fixture the
+/// strict front end rejects is never clean under recovery, and a clean
+/// program produces an identical interface along both paths.
+#[test]
+fn strict_and_tolerant_agree_on_the_fixtures() {
+    let compiler = Compiler::new();
+    for text in [
+        "if (true false) then missing else (\\(x : Bool). x) *",
+        "(\\(x : Bool). x) (\\(y : Bool). y)",
+        "if true then (x",
+    ] {
+        assert!(compiler.compile_text(text).is_err(), "{text}");
+        assert!(!compiler.compile_text_keep_going(text).is_clean(), "{text}");
+    }
+    let clean = "(\\(A : *). \\(x : A). x) Bool true";
+    let strict = compiler.compile_text(clean).unwrap();
+    let tolerant = compiler.compile_text_keep_going(clean);
+    assert!(tolerant.is_clean());
+    assert!(source::subst::alpha_eq(&tolerant.interface, &strict.source_type));
+    let recompiled = tolerant.compilation.expect("clean outcome carries the compilation");
+    assert!(target::subst::alpha_eq(&recompiled.target, &strict.target));
+    // And the error sentinel really is the recovery value: checking it
+    // against any type succeeds without further diagnostics.
+    let spliced = s::ite(source::tolerant::error_term(), s::tt(), s::ff());
+    let outcome = compiler.compile_keep_going(&source::Env::new(), &spliced);
+    assert_eq!(outcome.error_count(), 0, "the sentinel unifies instead of cascading");
+    assert!(outcome.compilation.is_none(), "but a poisoned term never reaches the backend");
+}
