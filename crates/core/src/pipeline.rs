@@ -92,6 +92,12 @@ pub struct StoreStats {
     /// Artifact write attempts that failed (I/O errors are tolerated and
     /// counted, never surfaced as build failures).
     pub write_errors: u64,
+    /// Verified-phase records answered from disk (the driver's
+    /// `.vfy` files; see the driver's `store` module). Counted apart
+    /// from `disk_hits` so artifact-blob accounting stays exact.
+    pub verified_hits: u64,
+    /// Verified-phase records written through to disk.
+    pub verified_writes: u64,
     /// Blobs in the store (a size at observation time, not a delta).
     pub entries: u64,
     /// Total bytes of those blobs (a size at observation time).
@@ -108,6 +114,8 @@ impl StoreStats {
             invalid_entries: self.invalid_entries - before.invalid_entries,
             write_throughs: self.write_throughs - before.write_throughs,
             write_errors: self.write_errors - before.write_errors,
+            verified_hits: self.verified_hits - before.verified_hits,
+            verified_writes: self.verified_writes - before.verified_writes,
             entries: self.entries,
             bytes: self.bytes,
         }
@@ -122,6 +130,8 @@ impl StoreStats {
             invalid_entries: self.invalid_entries + other.invalid_entries,
             write_throughs: self.write_throughs + other.write_throughs,
             write_errors: self.write_errors + other.write_errors,
+            verified_hits: self.verified_hits + other.verified_hits,
+            verified_writes: self.verified_writes + other.verified_writes,
             entries: self.entries.max(other.entries),
             bytes: self.bytes.max(other.bytes),
         }
@@ -137,12 +147,14 @@ impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "store {}h/{}m/{}inv, {}w (+{} failed), {} blobs / {} bytes",
+            "store {}h/{}m/{}inv, {}w (+{} failed), {}vh/{}vw, {} blobs / {} bytes",
             self.disk_hits,
             self.disk_misses,
             self.invalid_entries,
             self.write_throughs,
             self.write_errors,
+            self.verified_hits,
+            self.verified_writes,
             self.entries,
             self.bytes,
         )
@@ -728,7 +740,138 @@ impl Compiler {
         tgt::typecheck::reset_code_memo();
     }
 
-    /// Compiles an open component `Γ ⊢ e : A` to CC-CC.
+    /// Runs the `typecheck` phase alone: infers the CC type of `term`
+    /// under `env` (the unit's interface), returning the type and the
+    /// phase's wall-clock nanoseconds. Records the same `typecheck` span
+    /// a full [`Compiler::compile`] would, so traced callers see one
+    /// span per phase regardless of which entry point ran it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError::SourceType`] on an ill-typed input.
+    pub fn phase_typecheck(&self, env: &src::Env, term: &src::Term) -> Result<(src::Term, u64)> {
+        let engine =
+            if self.options.use_nbe { src::equiv::Engine::Nbe } else { src::equiv::Engine::Step };
+        let (ty, ns) =
+            trace::timed("typecheck", || src::typecheck::infer_with_engine(env, term, engine));
+        Ok((ty?, ns))
+    }
+
+    /// Runs the `translate` phase alone: closure-converts the term and
+    /// its (already inferred) type, returning `(target, target_type)`
+    /// and the phase's nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError::Translate`] if the translation fails.
+    pub fn phase_translate(
+        &self,
+        env: &src::Env,
+        term: &src::Term,
+        source_type: &src::Term,
+    ) -> Result<(tgt::Term, tgt::Term, u64)> {
+        let (translated, ns) = trace::timed("translate", || {
+            let target = translate(env, term)?;
+            let target_type = translate(env, source_type)?;
+            Ok::<_, TranslateError>((target, target_type))
+        });
+        let (target, target_type) = translated?;
+        Ok((target, target_type, ns))
+    }
+
+    /// Runs the `check` phase alone: translates the environment and
+    /// re-type-checks the produced CC-CC term in it, returning the
+    /// translated environment, the inferred target type, and the phase's
+    /// nanoseconds. Callers gate on
+    /// [`CompilerOptions::typecheck_output`] themselves — this entry
+    /// point always checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if environment translation or target
+    /// type checking fails (either would contradict type preservation).
+    pub fn phase_check(
+        &self,
+        env: &src::Env,
+        target: &tgt::Term,
+    ) -> Result<(tgt::Env, tgt::Term, u64)> {
+        let engine =
+            if self.options.use_nbe { tgt::equiv::Engine::Nbe } else { tgt::equiv::Engine::Step };
+        let (checked, ns) = trace::timed("check", || {
+            let target_env = translate_env(env)?;
+            let inferred = tgt::typecheck::infer_with_engine(&target_env, target, engine)?;
+            Ok::<_, CompileError>((target_env, inferred))
+        });
+        let (target_env, inferred) = checked?;
+        Ok((target_env, inferred, ns))
+    }
+
+    /// Runs the `verify` phase alone: Theorem 5.6 on the unit — the full
+    /// [`check_type_preservation`] checker when
+    /// [`CompilerOptions::verify_type_preservation`] is set and NbE is
+    /// available, the inline core check (inferred target type ≡
+    /// translated type) otherwise. `target_env` is reused when the
+    /// caller just ran [`Compiler::phase_check`]; passing `None` (a
+    /// verify-only re-run against cached artifacts) re-translates the
+    /// environment inside the phase. Returns the phase's nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError::Verify`] if preservation fails.
+    pub fn phase_verify(
+        &self,
+        env: &src::Env,
+        term: &src::Term,
+        target_env: Option<&tgt::Env>,
+        inferred: &tgt::Term,
+        target_type: &tgt::Term,
+    ) -> Result<u64> {
+        let engine =
+            if self.options.use_nbe { tgt::equiv::Engine::Nbe } else { tgt::equiv::Engine::Step };
+        let (verified, ns) = trace::timed("verify", || {
+            if self.options.verify_type_preservation && self.options.use_nbe {
+                // Re-use the full checker so the error message names the
+                // theorem being violated. (The metatheory checkers run the
+                // default NbE engine, so a step-only compiler falls back to
+                // the inline Theorem 5.6 core check below — it must not
+                // silently re-enter the engine it was asked to avoid.)
+                check_type_preservation(env, term)?;
+            } else {
+                let owned_env;
+                let target_env = match target_env {
+                    Some(existing) => existing,
+                    None => {
+                        owned_env = translate_env(env)?;
+                        &owned_env
+                    }
+                };
+                let mut fuel = cccc_util::fuel::Fuel::default();
+                let agrees = tgt::equiv::equiv_with_engine(
+                    target_env,
+                    inferred,
+                    target_type,
+                    &mut fuel,
+                    engine,
+                )
+                .unwrap_or(false);
+                if !agrees {
+                    return Err(CompileError::Verify(VerifyError::NotEquivalent {
+                        context: "compiled type does not match translated type".to_owned(),
+                        left: inferred.to_string(),
+                        right: target_type.to_string(),
+                    }));
+                }
+            }
+            Ok::<_, CompileError>(())
+        });
+        verified?;
+        Ok(ns)
+    }
+
+    /// Compiles an open component `Γ ⊢ e : A` to CC-CC — the per-phase
+    /// entry points ([`Compiler::phase_typecheck`] →
+    /// [`Compiler::phase_translate`] → [`Compiler::phase_check`] →
+    /// [`Compiler::phase_verify`]) composed in order.
     ///
     /// # Errors
     ///
@@ -736,61 +879,16 @@ impl Compiler {
     pub fn compile(&self, env: &src::Env, term: &src::Term) -> Result<Compilation> {
         let before = self.options.collect_cache_stats.then(cache_snapshot);
         let mut phases = PhaseNanos::default();
-        let (src_engine, tgt_engine) = if self.options.use_nbe {
-            (src::equiv::Engine::Nbe, tgt::equiv::Engine::Nbe)
-        } else {
-            (src::equiv::Engine::Step, tgt::equiv::Engine::Step)
-        };
-        let (source_type, typecheck_ns) =
-            trace::timed("typecheck", || src::typecheck::infer_with_engine(env, term, src_engine));
-        let source_type = source_type?;
+        let (source_type, typecheck_ns) = self.phase_typecheck(env, term)?;
         phases.typecheck = typecheck_ns;
-        let (translated, translate_ns) = trace::timed("translate", || {
-            let target = translate(env, term)?;
-            let target_type = translate(env, &source_type)?;
-            Ok::<_, TranslateError>((target, target_type))
-        });
-        let (target, target_type) = translated?;
+        let (target, target_type, translate_ns) = self.phase_translate(env, term, &source_type)?;
         phases.translate = translate_ns;
 
         if self.options.typecheck_output {
-            let (inferred, check_ns) = trace::timed("check", || {
-                let target_env = translate_env(env)?;
-                let inferred = tgt::typecheck::infer_with_engine(&target_env, &target, tgt_engine)?;
-                Ok::<_, CompileError>((target_env, inferred))
-            });
-            let (target_env, inferred) = inferred?;
+            let (target_env, inferred, check_ns) = self.phase_check(env, &target)?;
             phases.check = check_ns;
-            let (verified, verify_ns) = trace::timed("verify", || {
-                if self.options.verify_type_preservation && self.options.use_nbe {
-                    // Re-use the full checker so the error message names the
-                    // theorem being violated. (The metatheory checkers run the
-                    // default NbE engine, so a step-only compiler falls back to
-                    // the inline Theorem 5.6 core check below — it must not
-                    // silently re-enter the engine it was asked to avoid.)
-                    check_type_preservation(env, term)?;
-                } else {
-                    let mut fuel = cccc_util::fuel::Fuel::default();
-                    let agrees = tgt::equiv::equiv_with_engine(
-                        &target_env,
-                        &inferred,
-                        &target_type,
-                        &mut fuel,
-                        tgt_engine,
-                    )
-                    .unwrap_or(false);
-                    if !agrees {
-                        return Err(CompileError::Verify(VerifyError::NotEquivalent {
-                            context: "compiled type does not match translated type".to_owned(),
-                            left: inferred.to_string(),
-                            right: target_type.to_string(),
-                        }));
-                    }
-                }
-                Ok::<_, CompileError>(())
-            });
-            verified?;
-            phases.verify = verify_ns;
+            phases.verify =
+                self.phase_verify(env, term, Some(&target_env), &inferred, &target_type)?;
         }
 
         let cache_stats = before.map(|b| CacheReport::between(&b, &cache_snapshot()));
@@ -1049,6 +1147,8 @@ mod tests {
             invalid_entries: 1,
             write_throughs: 4,
             write_errors: 0,
+            verified_hits: 1,
+            verified_writes: 2,
             entries: 10,
             bytes: 800,
         };
@@ -1058,6 +1158,8 @@ mod tests {
             invalid_entries: 1,
             write_throughs: 6,
             write_errors: 1,
+            verified_hits: 3,
+            verified_writes: 2,
             entries: 12,
             bytes: 900,
         };
@@ -1066,6 +1168,8 @@ mod tests {
         assert_eq!(delta.disk_misses, 1);
         assert_eq!(delta.invalid_entries, 0);
         assert_eq!(delta.write_throughs, 2);
+        assert_eq!(delta.verified_hits, 2);
+        assert_eq!(delta.verified_writes, 0);
         assert_eq!(delta.lookups(), 4);
         assert_eq!(delta.entries, 12, "sizes keep the later observation");
         let doubled = delta.merged(&delta);

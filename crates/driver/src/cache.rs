@@ -1,14 +1,16 @@
 //! The fingerprint-keyed artifact cache: an in-memory tier, optionally
 //! backed by the persistent on-disk tier.
 //!
-//! A compiled unit's artifact is fully determined by its *input
-//! fingerprint*: the α-invariant fingerprint of its source, the compiler
-//! options that affect output, and the interface fingerprints of its
-//! transitive imports (a unit is compiled against interfaces only — §5.2
-//! separate compilation — so import *bodies* are deliberately absent).
-//! The cache maps unit names to `(input fingerprint, artifact)`; a build
-//! whose recomputed fingerprint matches skips the unit entirely, which is
-//! what makes a no-change rebuild re-verify nothing.
+//! A compiled unit's artifact is fully determined by its *artifact
+//! query key* ([`crate::query::artifact_key`]): the α-invariant
+//! fingerprint of its source, the output-affecting compiler options,
+//! and the interface fingerprints of its transitive imports (a unit is
+//! compiled against interfaces only — §5.2 separate compilation — so
+//! import *bodies* are deliberately absent). The cache maps unit names
+//! to `(key, artifact)`; a build whose recomputed key matches reuses
+//! the artifact, and the downstream check/verify queries decide —
+//! against the artifact's *output* fingerprint — whether anything
+//! needs to re-run at all.
 //!
 //! Lookups are **two-tier**: the in-memory map answers first; on a miss
 //! (or a stale entry) an attached [`ArtifactStore`] is consulted by the
@@ -18,13 +20,23 @@
 //! warm. Store problems never fail a lookup — a corrupt or version-skewed
 //! blob is just a miss (see [`crate::store`]).
 //!
+//! Disk loads are deduplicated with per-fingerprint **in-flight
+//! guards**: α-equivalent units on different workers share one
+//! content-addressed blob, and without the guard each would read and
+//! decode it separately. The session's workers run the protocol —
+//! [`ArtifactCache::begin_disk_load`] wins the right to read,
+//! everyone else records a coalesced wait ([`CacheStats::coalesced`])
+//! and picks the promotion up when the winner finishes. The store
+//! itself is shared as an [`Arc`] ([`ArtifactCache::store_shared`]) so
+//! the file read happens *outside* the session's cache lock.
+//!
 //! Artifacts are wire-encoded ([`cccc_target::wire`]) and shared behind
 //! [`Arc`], so cache reads hand workers cheap clones across threads.
 
 use crate::store::ArtifactStore;
 use cccc_core::pipeline::StoreStats;
 use cccc_util::wire::{Fingerprint, WireTerm};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// The compiled outputs of one unit, wire-encoded and thread-portable.
@@ -40,17 +52,30 @@ pub struct Artifact {
     /// ([`cccc_source::wire::fingerprint_alpha`]), computed at compile
     /// time.
     pub interface_alpha: Fingerprint,
+    /// The α-invariant fingerprint of the *whole output* — interface ⊕
+    /// target term ⊕ target type ([`cccc_target::wire::fingerprint_alpha`]).
+    /// This is the artifact query's early-cutoff output: downstream
+    /// check/verify queries key on it, so they re-run only when a
+    /// recompile actually changed what was produced (α-invariantly —
+    /// recompiles freshen binders differently every time).
+    pub output_alpha: Fingerprint,
 }
 
 impl Artifact {
     /// The fingerprint of the exported interface; dependents fold this
-    /// into their own input fingerprints, giving early cutoff when an
-    /// import's body changes but its interface does not. α-invariant:
+    /// into their own query keys, giving early cutoff when an import's
+    /// body changes but its interface does not. α-invariant:
     /// recompiling an import whose inferred type merely re-freshened a
     /// binder (capture-avoidance subscripts come from a global counter)
     /// must not cascade into dependents.
     pub fn interface_fingerprint(&self) -> Fingerprint {
         self.interface_alpha
+    }
+
+    /// The α-invariant fingerprint of everything this compile produced
+    /// (the artifact query's stored *output* fingerprint).
+    pub fn output_fingerprint(&self) -> Fingerprint {
+        self.output_alpha
     }
 }
 
@@ -69,6 +94,10 @@ pub struct CacheStats {
     /// Lookups whose memory entry existed but carried a stale fingerprint
     /// (the unit or an interface it depends on changed).
     pub invalidations: u64,
+    /// Lookups that waited on another worker's in-flight disk load of
+    /// the same fingerprint instead of reading the blob again
+    /// (α-equivalent units racing on one content-addressed blob).
+    pub coalesced: u64,
 }
 
 /// Which tier answered a cache lookup.
@@ -94,8 +123,12 @@ pub struct ArtifactCache {
     /// instead of a second file read. Populated only from disk loads;
     /// entries keep their disk origin for diagnostics.
     promoted: HashMap<Fingerprint, Arc<Artifact>>,
+    /// Fingerprints some worker is currently loading from disk (outside
+    /// the cache lock). Other workers wanting the same fingerprint wait
+    /// on the session's condvar instead of issuing a duplicate read.
+    in_flight: HashSet<Fingerprint>,
     stats: CacheStats,
-    store: Option<ArtifactStore>,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl ArtifactCache {
@@ -106,42 +139,43 @@ impl ArtifactCache {
 
     /// An empty memory tier over the given persistent store.
     pub fn with_store(store: ArtifactStore) -> ArtifactCache {
-        ArtifactCache { store: Some(store), ..ArtifactCache::default() }
+        ArtifactCache { store: Some(Arc::new(store)), ..ArtifactCache::default() }
     }
 
     /// The persistent store, if one is attached.
     pub fn store(&self) -> Option<&ArtifactStore> {
-        self.store.as_ref()
+        self.store.as_deref()
     }
 
-    /// Mutable access to the persistent store (wiping, maintenance).
-    pub fn store_mut(&mut self) -> Option<&mut ArtifactStore> {
-        self.store.as_mut()
+    /// A shared handle to the persistent store, so callers can perform
+    /// file reads *outside* whatever lock guards this cache (the store
+    /// is internally synchronized).
+    pub fn store_shared(&self) -> Option<Arc<ArtifactStore>> {
+        self.store.clone()
     }
 
     /// Disk-tier counters (all-zero when no store is attached). Activity
     /// counters only — no directory scan; use
     /// [`ArtifactCache::store_stats`] for sizes.
     pub fn store_counters(&self) -> StoreStats {
-        self.store.as_ref().map(ArtifactStore::counters).unwrap_or_default()
+        self.store.as_deref().map(ArtifactStore::counters).unwrap_or_default()
     }
 
     /// Disk-tier counters plus current store sizes (`None` when no store
     /// is attached).
     pub fn store_stats(&self) -> Option<StoreStats> {
-        self.store.as_ref().map(ArtifactStore::stats)
+        self.store.as_deref().map(ArtifactStore::stats)
     }
 
-    /// Looks up the artifact for `unit`, valid only under `fingerprint`:
-    /// memory first, then earlier disk promotions by fingerprint, then
-    /// the store itself. A disk hit is promoted into memory both under
-    /// the unit's name and under its fingerprint, so subsequent lookups —
-    /// including ones for *other* units with α-equivalent inputs — are
-    /// answered without touching the file system again. Disk-originated
-    /// answers report [`CacheTier::Disk`] even when the promotion map
-    /// served them: the distinction callers care about is where the
-    /// artifact ultimately came from.
-    pub fn lookup(
+    /// The memory tiers only — the named-entry map, then earlier disk
+    /// promotions by fingerprint — counting the outcome (hit, stale
+    /// invalidation, or miss). A promotion-map answer is re-inserted
+    /// under the unit's name and reports [`CacheTier::Disk`]: the
+    /// distinction callers care about is where the artifact ultimately
+    /// came from. Does **not** consult the store; callers that want the
+    /// disk tier run the in-flight-guard protocol (the session) or call
+    /// [`ArtifactCache::lookup`] (synchronous convenience).
+    pub fn lookup_memory(
         &mut self,
         unit: &str,
         fingerprint: Fingerprint,
@@ -154,12 +188,69 @@ impl ArtifactCache {
             Some(_) => self.stats.invalidations += 1,
             None => self.stats.misses += 1,
         }
-        if let Some(artifact) = self.promoted.get(&fingerprint) {
-            let artifact = Arc::clone(artifact);
-            self.entries.insert(unit.to_owned(), (fingerprint, Arc::clone(&artifact)));
-            return Some((artifact, CacheTier::Disk));
+        self.promotion(unit, fingerprint)
+    }
+
+    /// The promotion map alone, *without* counting a lookup — the
+    /// re-check a coalesced waiter performs after the winning loader
+    /// finishes (its miss was already counted by
+    /// [`ArtifactCache::lookup_memory`]).
+    pub fn promotion(
+        &mut self,
+        unit: &str,
+        fingerprint: Fingerprint,
+    ) -> Option<(Arc<Artifact>, CacheTier)> {
+        let artifact = Arc::clone(self.promoted.get(&fingerprint)?);
+        self.entries.insert(unit.to_owned(), (fingerprint, Arc::clone(&artifact)));
+        Some((artifact, CacheTier::Disk))
+    }
+
+    /// Claims the right to load `fingerprint` from disk. Returns `false`
+    /// when another worker's load is already in flight — the caller
+    /// should record a coalesced wait and sleep on the session condvar.
+    pub fn begin_disk_load(&mut self, fingerprint: Fingerprint) -> bool {
+        self.in_flight.insert(fingerprint)
+    }
+
+    /// Whether a disk load of `fingerprint` is currently in flight.
+    pub fn disk_load_in_flight(&self, fingerprint: Fingerprint) -> bool {
+        self.in_flight.contains(&fingerprint)
+    }
+
+    /// Releases the in-flight guard taken by
+    /// [`ArtifactCache::begin_disk_load`], promoting the loaded artifact
+    /// (if the read produced one) for every waiter to pick up.
+    pub fn finish_disk_load(&mut self, fingerprint: Fingerprint, artifact: Option<&Arc<Artifact>>) {
+        self.in_flight.remove(&fingerprint);
+        if let Some(artifact) = artifact {
+            self.promoted.insert(fingerprint, Arc::clone(artifact));
         }
-        let store = self.store.as_mut()?;
+    }
+
+    /// Counts one coalesced wait (a lookup answered by another worker's
+    /// in-flight disk load instead of a duplicate read).
+    pub fn note_coalesced(&mut self) {
+        self.stats.coalesced += 1;
+    }
+
+    /// Looks up the artifact for `unit`, valid only under `fingerprint`:
+    /// memory first, then earlier disk promotions by fingerprint, then
+    /// the store itself — synchronously, with the file read performed
+    /// inline (the session's workers use the in-flight-guard protocol
+    /// instead, so concurrent α-equivalent lookups read the blob once).
+    /// A disk hit is promoted into memory both under the unit's name and
+    /// under its fingerprint, so subsequent lookups — including ones for
+    /// *other* units with α-equivalent inputs — are answered without
+    /// touching the file system again.
+    pub fn lookup(
+        &mut self,
+        unit: &str,
+        fingerprint: Fingerprint,
+    ) -> Option<(Arc<Artifact>, CacheTier)> {
+        if let Some(found) = self.lookup_memory(unit, fingerprint) {
+            return Some(found);
+        }
+        let store = self.store.as_deref()?;
         let artifact = Arc::new(store.load(fingerprint)?);
         self.entries.insert(unit.to_owned(), (fingerprint, Arc::clone(&artifact)));
         self.promoted.insert(fingerprint, Arc::clone(&artifact));
@@ -188,7 +279,7 @@ impl ArtifactCache {
         artifact: Arc<Artifact>,
         rendered: Option<Vec<u64>>,
     ) {
-        if let Some(store) = self.store.as_mut() {
+        if let Some(store) = self.store.as_deref() {
             store.save_rendered(fingerprint, rendered.as_deref());
         }
         self.entries.insert(unit.to_owned(), (fingerprint, artifact));
@@ -211,11 +302,12 @@ impl ArtifactCache {
 
     /// Drops every *memory* entry and resets the memory counters (used
     /// to measure cold builds). The disk tier is deliberately untouched:
-    /// use [`ArtifactCache::store_mut`] + [`ArtifactStore::wipe`] to make
+    /// use [`ArtifactCache::store`] + [`ArtifactStore::wipe`] to make
     /// the next build cold on disk too.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.promoted.clear();
+        self.in_flight.clear();
         self.stats = CacheStats::default();
     }
 }
@@ -232,6 +324,7 @@ mod tests {
             target: wire.clone(),
             target_ty: wire.clone(),
             interface_alpha: wire.fingerprint(),
+            output_alpha: wire.fingerprint(),
         })
     }
 
@@ -281,6 +374,7 @@ mod tests {
             target: cccc_target::wire::encode(&t::tt()),
             target_ty: cccc_target::wire::encode(&t::bool_ty()),
             interface_alpha: Fingerprint::of_words(&[3]),
+            output_alpha: Fingerprint::of_words(&[4]),
         });
 
         // A miss in both tiers.
@@ -302,16 +396,48 @@ mod tests {
         assert_eq!(tier, CacheTier::Disk);
         let decoded = cccc_target::wire::decode(&hit.target).unwrap();
         assert!(matches!(decoded, cccc_target::Term::BoolLit(true)));
+        assert_eq!(hit.output_alpha, Fingerprint::of_words(&[4]), "output fp survives the disk");
         assert_eq!(cache.store_counters().disk_hits, 1);
         let (_, tier) = cache.lookup("m", fp).unwrap();
         assert_eq!(tier, CacheTier::Memory, "the disk hit was promoted");
 
         // Wiping the store makes a cleared cache fully cold.
-        cache.store_mut().unwrap().wipe().unwrap();
+        cache.store().unwrap().wipe().unwrap();
         cache.clear();
         assert!(cache.lookup("m", fp).is_none());
         assert_eq!(cache.store_stats().unwrap().entries, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_flight_guards_deduplicate_and_count_coalesced_waits() {
+        let mut cache = ArtifactCache::new();
+        let fp = Fingerprint::of_words(&[21]);
+        assert!(cache.begin_disk_load(fp), "first claimant wins the load");
+        assert!(!cache.begin_disk_load(fp), "second claimant must wait");
+        assert!(cache.disk_load_in_flight(fp));
+        cache.note_coalesced();
+
+        // The winner finishes with an artifact: waiters find it in the
+        // promotion map without another read (and without re-counting a
+        // lookup outcome).
+        let loaded = artifact(&t::tt());
+        cache.finish_disk_load(fp, Some(&loaded));
+        assert!(!cache.disk_load_in_flight(fp));
+        let (_, tier) = cache.promotion("waiter", fp).unwrap();
+        assert_eq!(tier, CacheTier::Disk, "disk origin survives the coalesced hand-off");
+        let stats = cache.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+
+        // A load that found nothing releases the guard and promotes
+        // nothing.
+        let fp2 = Fingerprint::of_words(&[22]);
+        assert!(cache.begin_disk_load(fp2));
+        cache.finish_disk_load(fp2, None);
+        assert!(!cache.disk_load_in_flight(fp2));
+        assert!(cache.promotion("waiter", fp2).is_none());
     }
 
     #[test]
@@ -328,5 +454,6 @@ mod tests {
     fn interface_fingerprint_is_the_stored_alpha_fingerprint() {
         let a = artifact(&t::tt());
         assert_eq!(a.interface_fingerprint(), a.interface_alpha);
+        assert_eq!(a.output_fingerprint(), a.output_alpha);
     }
 }

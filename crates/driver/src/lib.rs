@@ -63,6 +63,7 @@
 pub mod cache;
 pub mod graph;
 pub mod poison;
+pub mod query;
 pub mod session;
 pub mod store;
 pub mod timings;

@@ -1,37 +1,45 @@
 //! The driver session: critical-path scheduling of compilation units
-//! onto parallel workers, with fingerprint-validated artifact reuse that
-//! can outlive the process.
+//! onto parallel workers, with the pipeline re-expressed as memoized,
+//! dependency-tracked queries whose results can outlive the process.
 //!
 //! A [`Session`] owns a [`UnitGraph`], an [`ArtifactCache`] (optionally
 //! backed by a persistent [`ArtifactStore`] — [`Session::with_store`]),
-//! and the [`CompilerOptions`] every unit is compiled with.
-//! [`Session::build`] validates the graph, then runs a work-stealing
-//! pool of OS threads: each worker owns its thread's CC/CC-CC interners
-//! and memo tables (the kernel's handles are `!Send` by design), picks
-//! ready units off the shared frontier *critical-path-first* (longest
-//! chain to a sink, [`Plan::priority`]), imports its dependencies'
-//! *interfaces* through the wire codec, and either reuses a
-//! fingerprint-matching cached artifact — from memory or from disk — or
-//! runs the full [`Compiler`] pipeline — type check, closure convert,
-//! re-check, verify — exporting the result back as wire buffers and
-//! writing it through to the store.
+//! the per-phase memo tables of [`crate::query`], and the
+//! [`CompilerOptions`] every unit is compiled with. [`Session::build`]
+//! validates the graph, then runs a work-stealing pool of OS threads:
+//! each worker owns its thread's CC/CC-CC interners and memo tables (the
+//! kernel's handles are `!Send` by design), picks ready units off the
+//! shared frontier *critical-path-first* (longest chain to a sink,
+//! [`Plan::priority`]), imports its dependencies' *interfaces* through
+//! the wire codec, and then answers each pipeline phase from the
+//! narrowest query that covers it:
 //!
-//! Because a unit is compiled against interfaces only, its input
-//! fingerprint covers exactly: its own source (α-invariantly and
-//! process-stably fingerprinted), the output-affecting compiler options,
-//! and its transitive imports' interface fingerprints. A no-change
-//! rebuild therefore recomputes a few hashes and compiles nothing — and
-//! with a store attached, so does the first build of a *fresh process*
-//! over unchanged sources.
+//! - the **artifact** query (`unit → cc-artifact`) reuses a
+//!   fingerprint-matching compiled artifact — from memory or from disk —
+//!   skipping the typecheck and translate phases;
+//! - the **check** query (`artifact → checked`) reuses the re-type-check
+//!   of an α-equivalent CC-CC term;
+//! - the **verified** query (`unit → verified`) reuses the end-to-end
+//!   verification verdict, persisted as a tiny on-disk record so even a
+//!   fresh process skips the check and verify phases.
+//!
+//! The artifact key folds the dependencies' *interface* fingerprints,
+//! not their sources — that is **early cutoff**: an implementation-only
+//! edit upstream re-runs the edited unit's phases but re-executes zero
+//! phases of any dependent, because the dependency's *output* did not
+//! change. A no-change rebuild therefore recomputes a few hashes and
+//! runs nothing — and with a store attached, so does the first build of
+//! a *fresh process* over unchanged sources.
 
 use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
-use crate::graph::{Plan, UnitGraph};
+use crate::graph::{Plan, Unit, UnitGraph};
 use crate::poison::PoisonedInterface;
+use crate::query::{self, CheckMemo, PhaseRuns, QueryCounts, QueryState};
 use crate::store::{ArtifactStore, FaultPlan};
 use crate::DriverError;
 use cccc_core::pipeline::{
-    diagnostic_of_compile_error, BuildMetrics, CacheReport, Compilation, Compiler, CompilerOptions,
-    PhaseNanos, StoreStats,
+    cache_snapshot, diagnostic_of_compile_error, BuildMetrics, CacheReport, Compilation, Compiler,
+    CompilerOptions, PhaseNanos, StoreStats,
 };
 use cccc_source as src;
 use cccc_target as tgt;
@@ -47,9 +55,13 @@ use std::time::{Duration, Instant};
 /// How one unit fared in a build.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum UnitStatus {
-    /// The full pipeline ran.
+    /// At least one pipeline phase executed ([`UnitReport::phase_runs`]
+    /// says which — a verify-only re-run reports `Compiled` with only
+    /// that phase marked).
     Compiled,
-    /// A fingerprint-matching artifact was reused; nothing was re-verified.
+    /// Every phase was answered from caches: a fingerprint-matching
+    /// artifact plus a memoized (or stored) verification verdict.
+    /// Nothing re-ran.
     Cached,
     /// The pipeline failed (the message names the stage).
     Failed(String),
@@ -86,13 +98,13 @@ pub struct UnitReport {
     /// Wall time spent on the unit (fingerprinting + cache lookup +
     /// compile).
     pub duration: Duration,
-    /// The unit's input fingerprint for this build.
+    /// The unit's artifact-query key for this build (its input
+    /// fingerprint: source ⊕ dependency interfaces ⊕ option bits).
     pub fingerprint: Fingerprint,
     /// Which worker handled the unit.
     pub worker: usize,
     /// Interner and conversion-memo activity on the worker thread while
-    /// compiling this unit ([`CompilerOptions::collect_cache_stats`] is
-    /// forced on inside workers). `None` for cached/skipped units.
+    /// running this unit's phases. `None` for cached/skipped units.
     pub caches: Option<CacheReport>,
     /// Words in the unit's wire-encoded source.
     pub source_words: usize,
@@ -100,10 +112,17 @@ pub struct UnitReport {
     /// cached).
     pub target_words: usize,
     /// Wall time per pipeline phase (measured whether or not tracing is
-    /// on); `None` for cached, failed, and skipped units, which never
-    /// entered the pipeline. [`UnitReport::duration`] remains the total
-    /// including fingerprinting, cache lookup, and wire transcoding.
+    /// on); `None` for cached, failed, and skipped units. A phase the
+    /// queries skipped reports 0 here and `false` in
+    /// [`UnitReport::phase_runs`]. [`UnitReport::duration`] remains the
+    /// total including fingerprinting, cache lookup, and wire
+    /// transcoding.
     pub phases: Option<PhaseNanos>,
+    /// Which phases actually executed (completed successfully) for this
+    /// unit — the per-unit observable behind the build's
+    /// [`BuildReport::queries`] totals. All-false for cached, failed,
+    /// and skipped units.
+    pub phase_runs: PhaseRuns,
     /// Structured diagnostics the unit produced. Empty outside keep-going
     /// mode except for failed units, whose strict pipeline error is
     /// folded into one coded diagnostic; in keep-going mode, failed and
@@ -122,6 +141,10 @@ pub struct BuildReport {
     pub wall_time: Duration,
     /// Artifact-cache (memory tier) activity during this build.
     pub cache: CacheStats,
+    /// Per-phase execution totals — how many units actually ran each
+    /// phase this build, the rest having been cut off by the query
+    /// layer. The edit-script gates assert on these.
+    pub queries: QueryCounts,
     /// Persistent-store activity during this build (`None` when the
     /// session has no store attached). Activity counters only — the
     /// size fields are zero here, because sizing the store walks the
@@ -143,12 +166,12 @@ pub struct BuildReport {
 }
 
 impl BuildReport {
-    /// Units that ran the full pipeline.
+    /// Units that ran at least one pipeline phase.
     pub fn compiled_count(&self) -> usize {
         self.units.iter().filter(|u| u.status == UnitStatus::Compiled).count()
     }
 
-    /// Units answered from the artifact cache (either tier).
+    /// Units answered entirely from the caches (either tier).
     pub fn cached_count(&self) -> usize {
         self.units.iter().filter(|u| u.status == UnitStatus::Cached).count()
     }
@@ -280,6 +303,16 @@ pub struct Session {
     graph: UnitGraph,
     options: CompilerOptions,
     cache: Mutex<ArtifactCache>,
+    /// Signals the completion of an in-flight disk load, waking workers
+    /// whose lookup coalesced onto it.
+    cache_ready: Condvar,
+    /// Session-wide check/verified memo tables (see [`crate::query`]).
+    query: Mutex<QueryState>,
+    /// Early cutoff on dependency edges (the default). `false` restores
+    /// the whole-unit invalidation of the pre-query driver — any
+    /// upstream source change cascades — kept so the benchmarks can
+    /// measure exactly what cutoff buys.
+    early_cutoff: bool,
     results: HashMap<String, Arc<Artifact>>,
     poisons: HashMap<String, Arc<PoisonedInterface>>,
     tracing: bool,
@@ -327,6 +360,21 @@ struct SchedState {
     remaining: usize,
 }
 
+/// Everything a worker needs for one build, bundled so the query-layer
+/// helpers don't take ten parameters each. Shared by reference across
+/// the pool; the store handle is the session cache's own `Arc`, cloned
+/// once per build so workers can read blobs outside the cache lock.
+struct BuildCtx<'a> {
+    graph: &'a UnitGraph,
+    plan: &'a Plan,
+    options: CompilerOptions,
+    cache: &'a Mutex<ArtifactCache>,
+    cache_ready: &'a Condvar,
+    query: &'a Mutex<QueryState>,
+    store: Option<Arc<ArtifactStore>>,
+    early_cutoff: bool,
+}
+
 impl Session {
     /// An empty session compiling with the given options; artifacts are
     /// cached in memory only and die with the session.
@@ -335,6 +383,9 @@ impl Session {
             graph: UnitGraph::new(),
             options,
             cache: Mutex::new(ArtifactCache::new()),
+            cache_ready: Condvar::new(),
+            query: Mutex::new(QueryState::default()),
+            early_cutoff: true,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -362,6 +413,9 @@ impl Session {
             graph: UnitGraph::new(),
             options,
             cache: Mutex::new(ArtifactCache::with_store(store)),
+            cache_ready: Condvar::new(),
+            query: Mutex::new(QueryState::default()),
+            early_cutoff: true,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -374,7 +428,7 @@ impl Session {
     /// indices. Storage faults must degrade to cache misses, never wrong
     /// answers; the fault-injection suites drive this.
     pub fn set_store_faults(&mut self, plan: FaultPlan) {
-        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store_mut() {
+        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
             store.set_faults(plan);
         }
     }
@@ -390,6 +444,31 @@ impl Session {
     /// The options every unit is compiled with.
     pub fn options(&self) -> CompilerOptions {
         self.options
+    }
+
+    /// Replaces the compiler options for subsequent builds. Every query
+    /// key bakes in exactly the option bits its phase depends on, so
+    /// switching options never serves a stale result — and switching
+    /// *back* re-hits everything computed under the earlier options. A
+    /// verify-only flip (e.g. `verify_type_preservation`) re-runs only
+    /// the verify phase against cached cc-artifacts.
+    pub fn set_options(&mut self, options: CompilerOptions) {
+        self.options = options;
+    }
+
+    /// Disables (or re-enables) early cutoff. With cutoff off, a unit's
+    /// artifact key folds its transitive dependencies' *source*
+    /// fingerprints — the whole-unit invalidation the driver had before
+    /// the query layer — so any upstream edit cascades a full downstream
+    /// recompile. Exists for the benchmarks (and tests) that measure
+    /// cutoff against that baseline; leave it on otherwise.
+    pub fn set_early_cutoff(&mut self, on: bool) {
+        self.early_cutoff = on;
+    }
+
+    /// Whether early cutoff is enabled (the default).
+    pub fn early_cutoff(&self) -> bool {
+        self.early_cutoff
     }
 
     /// Enables (or disables) build tracing: subsequent [`Session::build`]
@@ -426,8 +505,8 @@ impl Session {
     }
 
     /// Replaces a unit's source between builds (see
-    /// [`UnitGraph::update_unit`]); the next build recompiles it and any
-    /// unit whose interface telescope it invalidates.
+    /// [`UnitGraph::update_unit`]); the next build re-runs exactly the
+    /// queries the edit invalidates.
     ///
     /// # Errors
     ///
@@ -447,24 +526,25 @@ impl Session {
         self.cache.lock().expect("driver cache poisoned").store_stats()
     }
 
-    /// Drops every cached artifact from *memory* (turns the next build
-    /// cold in this session; a persistent store, if attached, still
-    /// answers).
+    /// Drops every cached artifact *and* every check/verified memo from
+    /// memory (turns the next build cold in this session; a persistent
+    /// store, if attached, still answers).
     pub fn clear_cache(&mut self) {
         self.cache.lock().expect("driver cache poisoned").clear();
+        self.query.lock().expect("driver query state poisoned").clear();
         self.results.clear();
         self.poisons.clear();
     }
 
-    /// Deletes every blob from the persistent store (no-op without one),
-    /// so the next build after [`Session::clear_cache`] is cold on disk
-    /// too.
+    /// Deletes every blob and verified record from the persistent store
+    /// (no-op without one), so the next build after
+    /// [`Session::clear_cache`] is cold on disk too.
     ///
     /// # Errors
     ///
     /// Returns [`DriverError::Store`] on a deletion failure.
     pub fn wipe_store(&mut self) -> Result<(), DriverError> {
-        match self.cache.lock().expect("driver cache poisoned").store_mut() {
+        match self.cache.lock().expect("driver cache poisoned").store() {
             Some(store) => store.wipe().map_err(|e| DriverError::Store(e.to_string())),
             None => Ok(()),
         }
@@ -507,8 +587,8 @@ impl Session {
         src::wire::decode(&artifact.source_ty).map_err(|e| DriverError::Wire(e.to_string()))
     }
 
-    /// Compiles every unit, `workers` at a time, reusing
-    /// fingerprint-matching artifacts from previous builds.
+    /// Compiles every unit, `workers` at a time, answering each phase
+    /// from the query layer where it can.
     ///
     /// # Errors
     ///
@@ -524,7 +604,17 @@ impl Session {
         let cache_before = self.cache_stats();
         let store_before =
             self.cache.lock().expect("driver cache poisoned").store().map(ArtifactStore::counters);
-        let has_store = store_before.is_some();
+
+        let ctx = BuildCtx {
+            graph: &self.graph,
+            plan: &plan,
+            options: self.options,
+            cache: &self.cache,
+            cache_ready: &self.cache_ready,
+            query: &self.query,
+            store: self.cache.lock().expect("driver cache poisoned").store_shared(),
+            early_cutoff: self.early_cutoff,
+        };
 
         let state = Mutex::new(SchedState {
             ready: plan
@@ -546,23 +636,11 @@ impl Session {
             for worker in 0..workers {
                 let state = &state;
                 let ready_signal = &ready_signal;
-                let graph = &self.graph;
-                let cache = &self.cache;
-                let plan = &plan;
-                let options = self.options;
+                let ctx = &ctx;
                 let sink = &sink;
                 scope.spawn(move || {
                     let _trace_guard = sink.install(worker);
-                    worker_loop(
-                        worker,
-                        graph,
-                        plan,
-                        options,
-                        cache,
-                        has_store,
-                        state,
-                        ready_signal,
-                    );
+                    worker_loop(worker, ctx, state, ready_signal);
                 });
             }
         });
@@ -593,11 +671,15 @@ impl Session {
             chain[u] = durations[u] + downstream;
         }
         let critical_path_ns = chain.iter().copied().max().unwrap_or(0);
-        let units = plan
+        let units: Vec<UnitReport> = plan
             .order
             .iter()
             .map(|&u| state.reports[u].take().expect("every scheduled unit reports"))
             .collect();
+        let mut queries = QueryCounts::default();
+        for unit in &units {
+            queries.add(unit.phase_runs);
+        }
         let cache_after = self.cache_stats();
         let store = store_before.map(|before| {
             self.cache.lock().expect("driver cache poisoned").store_counters().since(&before)
@@ -616,7 +698,9 @@ impl Session {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,
                 invalidations: cache_after.invalidations - cache_before.invalidations,
+                coalesced: cache_after.coalesced - cache_before.coalesced,
             },
+            queries,
             store,
             trace: trace_data,
             metrics,
@@ -664,8 +748,8 @@ impl Session {
     /// with the plain single-program [`Compiler`], in schedule order,
     /// building each unit's typing telescope from the oracle's own
     /// inferred interfaces. No driver machinery — no wire transfer, no
-    /// cache, no workers — so the differential suites can require the
-    /// parallel build to agree with it unit by unit.
+    /// cache, no queries, no workers — so the differential suites can
+    /// require the parallel build to agree with it unit by unit.
     ///
     /// # Errors
     ///
@@ -695,18 +779,15 @@ impl Session {
     }
 }
 
-/// One worker: claim ready units, compile or reuse, publish, repeat.
-#[allow(clippy::too_many_arguments)]
+/// One worker: claim ready units, answer their queries, publish, repeat.
 fn worker_loop(
     worker: usize,
-    graph: &UnitGraph,
-    plan: &Plan,
-    options: CompilerOptions,
-    cache: &Mutex<ArtifactCache>,
-    has_store: bool,
+    ctx: &BuildCtx<'_>,
     state: &Mutex<SchedState>,
     ready_signal: &Condvar,
 ) {
+    let graph = ctx.graph;
+    let plan = ctx.plan;
     loop {
         // Claim a unit (or exit when everything is settled).
         let (unit_index, deps) = {
@@ -756,6 +837,7 @@ fn worker_loop(
                             source_words: unit.source.len(),
                             target_words: 0,
                             phases: None,
+                            phase_runs: PhaseRuns::NONE,
                             diagnostics: Vec::new(),
                         },
                         None,
@@ -766,7 +848,7 @@ fn worker_loop(
                         .into_iter()
                         .map(|(d, outcome)| (d, outcome.expect("checked above")))
                         .collect();
-                    handle_poisoned_unit(worker, graph, unit_index, &deps, options, started)
+                    handle_poisoned_unit(worker, graph, unit_index, &deps, ctx.options, started)
                 }
                 (None, false) => {
                     let deps: Vec<(usize, Arc<Artifact>)> = deps
@@ -776,9 +858,7 @@ fn worker_loop(
                             Outcome::Poisoned(_) => unreachable!("no poisoned deps here"),
                         })
                         .collect();
-                    handle_unit(
-                        worker, graph, unit_index, &deps, options, cache, has_store, started,
-                    )
+                    handle_unit(worker, ctx, unit_index, &deps, started)
                 }
             }
         };
@@ -800,55 +880,46 @@ fn worker_loop(
     }
 }
 
-/// Fingerprints, cache-checks, and (on miss) compiles one unit whose
-/// imports all have artifacts. Returns the report plus the outcome to
-/// publish.
-#[allow(clippy::too_many_arguments)]
+/// Answers one unit whose imports all have artifacts, from the narrowest
+/// query that covers each phase: artifact hit → maybe only check/verify;
+/// verified hit on top → nothing at all; artifact miss → compile, with
+/// the check/verify results still shared through the content-addressed
+/// memos. Returns the report plus the outcome to publish.
 fn handle_unit(
     worker: usize,
-    graph: &UnitGraph,
+    ctx: &BuildCtx<'_>,
     unit_index: usize,
     deps: &[(usize, Arc<Artifact>)],
-    options: CompilerOptions,
-    cache: &Mutex<ArtifactCache>,
-    has_store: bool,
     started: Instant,
 ) -> (UnitReport, Option<Outcome>) {
-    let unit = graph.unit_at(unit_index);
-    let fingerprint = {
+    let unit = ctx.graph.unit_at(unit_index);
+    let options = ctx.options;
+    let (artifact_key, dep_fp) = {
         let _span = trace::span("fingerprint");
-        input_fingerprint(graph, unit_index, deps, options)
+        let dep_fp = dep_fingerprint(ctx, unit_index, deps);
+        (query::artifact_key(unit.source_alpha, dep_fp, &options), dep_fp)
     };
 
-    // Look up under the lock, capturing this unit's share of the store
-    // activity precisely (nothing else can touch the store while the
-    // lock is held).
-    let (cached, lookup_delta) = {
-        let _span = trace::span("cache.lookup");
-        let mut cache = cache.lock().expect("driver cache poisoned");
-        let before = cache.store_counters();
-        let cached = cache.lookup(&unit.name, fingerprint);
-        (cached, cache.store_counters().since(&before))
-    };
+    let (cached, lookup_delta) = lookup_artifact(ctx, &unit.name, artifact_key);
     if let Some((artifact, tier)) = cached {
         match tier {
             CacheTier::Memory => trace::event("cache.hit.memory", &[]),
             CacheTier::Disk => trace::event("cache.hit.disk", &[]),
         }
-        let report = UnitReport {
-            name: unit.name.clone(),
-            status: UnitStatus::Cached,
-            cached_from: Some(tier),
-            duration: started.elapsed(),
-            fingerprint,
+        // Typecheck and translate are answered; the verified query
+        // decides whether check/verify can be cut off too.
+        return ensure_verified(
             worker,
-            caches: None,
-            source_words: unit.source.len(),
-            target_words: artifact.target.len(),
-            phases: None,
-            diagnostics: Vec::new(),
-        };
-        return (report, Some(Outcome::Built(artifact)));
+            ctx,
+            unit_index,
+            deps,
+            artifact,
+            tier,
+            artifact_key,
+            dep_fp,
+            lookup_delta,
+            started,
+        );
     }
     trace::event("cache.miss", &[]);
 
@@ -856,25 +927,55 @@ fn handle_unit(
     // diagnostic and no poison; keep-going failures carry the full
     // diagnostic set plus the poisoned interface to publish.
     let compiled = if options.keep_going {
-        compile_unit_keep_going(graph, unit_index, deps, options)
+        match compile_unit_keep_going(ctx.graph, unit_index, deps, options) {
+            Ok((artifact, caches, phases, diagnostics)) => {
+                // A clean keep-going compile ran every phase the options
+                // asked for; publish its verdict like the strict path
+                // does, so a later strict build over the same graph cuts
+                // off check/verify.
+                if options.typecheck_output {
+                    let verify_key = query::verify_key(
+                        unit.source_alpha,
+                        dep_fp,
+                        artifact.output_alpha,
+                        &options,
+                    );
+                    ctx.query
+                        .lock()
+                        .expect("driver query state poisoned")
+                        .record_verified(verify_key);
+                }
+                let runs = PhaseRuns {
+                    typecheck: true,
+                    translate: true,
+                    check: options.typecheck_output,
+                    verify: options.typecheck_output,
+                };
+                Ok((artifact, caches, phases, runs, diagnostics))
+            }
+            Err(failure) => Err(failure),
+        }
     } else {
-        compile_unit(graph, unit_index, deps, options)
-            .map(|(artifact, caches, phases)| (artifact, caches, phases, Vec::new()))
+        compile_unit_phases(ctx, unit_index, deps, dep_fp)
+            .map(|(artifact, caches, phases, runs)| {
+                (artifact, Some(caches), phases, runs, Vec::new())
+            })
             .map_err(|(message, diagnostics)| (message, diagnostics, None))
     };
 
     match compiled {
-        Ok((artifact, caches, phases, diagnostics)) => {
+        Ok((artifact, caches, phases, runs, diagnostics)) => {
             let target_words = artifact.target.len();
             // Render the write-through blob on this worker's own time —
             // the transcode dominates the cost of persisting, and doing
             // it under the cache lock would serialize every other
             // worker behind it.
-            let rendered = has_store.then(|| crate::store::render_blob(&artifact)).flatten();
+            let rendered =
+                ctx.store.is_some().then(|| crate::store::render_blob(&artifact)).flatten();
             let insert_delta = {
-                let mut cache = cache.lock().expect("driver cache poisoned");
+                let mut cache = ctx.cache.lock().expect("driver cache poisoned");
                 let before = cache.store_counters();
-                cache.insert_prerendered(&unit.name, fingerprint, Arc::clone(&artifact), rendered);
+                cache.insert_prerendered(&unit.name, artifact_key, Arc::clone(&artifact), rendered);
                 cache.store_counters().since(&before)
             };
             // Fold the unit's store activity (a failed disk probe plus
@@ -889,12 +990,13 @@ fn handle_unit(
                 status: UnitStatus::Compiled,
                 cached_from: None,
                 duration: started.elapsed(),
-                fingerprint,
+                fingerprint: artifact_key,
                 worker,
                 caches,
                 source_words: unit.source.len(),
                 target_words,
                 phases: Some(phases),
+                phase_runs: runs,
                 diagnostics,
             };
             (report, Some(Outcome::Built(artifact)))
@@ -906,23 +1008,136 @@ fn handle_unit(
                 trace::event("sched.poisoned", &[("own_errors", poison.error_count() as u64)]);
                 Outcome::Poisoned(Arc::new(poison))
             });
-            (
-                UnitReport {
-                    name: unit.name.clone(),
-                    status: UnitStatus::Failed(message),
-                    cached_from: None,
-                    duration: started.elapsed(),
-                    fingerprint,
-                    worker,
-                    caches: None,
-                    source_words: unit.source.len(),
-                    target_words: 0,
-                    phases: None,
-                    diagnostics,
-                },
-                outcome,
-            )
+            (failed_report(worker, unit, message, diagnostics, artifact_key, started), outcome)
         }
+    }
+}
+
+/// The cached-artifact tail of [`handle_unit`]: consult the verified
+/// query; a hit means *zero* phases run, a miss means exactly the
+/// check/verify phases re-run against the cached cc-artifact (this is
+/// where a verify-only option flip lands).
+#[allow(clippy::too_many_arguments)]
+fn ensure_verified(
+    worker: usize,
+    ctx: &BuildCtx<'_>,
+    unit_index: usize,
+    deps: &[(usize, Arc<Artifact>)],
+    artifact: Arc<Artifact>,
+    tier: CacheTier,
+    artifact_key: Fingerprint,
+    dep_fp: Fingerprint,
+    lookup_delta: StoreStats,
+    started: Instant,
+) -> (UnitReport, Option<Outcome>) {
+    let unit = ctx.graph.unit_at(unit_index);
+    let options = ctx.options;
+    if !options.typecheck_output {
+        // No verification requested: the artifact alone answers.
+        return (
+            cached_report(worker, unit, &artifact, tier, artifact_key, started),
+            Some(Outcome::Built(artifact)),
+        );
+    }
+    let verify_key = query::verify_key(unit.source_alpha, dep_fp, artifact.output_alpha, &options);
+    let check_key = query::check_key(artifact.output_alpha, dep_fp, &options);
+    if verified_hit(ctx, verify_key, check_key) {
+        trace::event("query.cutoff", &[("check", 1), ("verify", 1)]);
+        return (
+            cached_report(worker, unit, &artifact, tier, artifact_key, started),
+            Some(Outcome::Built(artifact)),
+        );
+    }
+
+    // Artifact reusable, verdict not: re-run check/verify only.
+    let before = cache_snapshot();
+    let (env, term) = match decode_unit_inputs(ctx.graph, unit_index, deps) {
+        Ok(inputs) => inputs,
+        Err(message) => {
+            let diagnostics = vec![Diagnostic::error(message.clone())];
+            return (
+                failed_report(worker, unit, message, diagnostics, artifact_key, started),
+                None,
+            );
+        }
+    };
+    let compiler = Compiler::with_options(options);
+    match run_check_verify(&compiler, ctx, &env, &term, &artifact, check_key, verify_key) {
+        Ok(run) => {
+            let phases =
+                PhaseNanos { check: run.check_ns, verify: run.verify_ns, ..PhaseNanos::default() };
+            let mut caches = CacheReport::between(&before, &cache_snapshot());
+            caches.artifact_store = lookup_delta;
+            trace::event("sched.compiled", &[("target_words", artifact.target.len() as u64)]);
+            let report = UnitReport {
+                name: unit.name.clone(),
+                status: UnitStatus::Compiled,
+                cached_from: None,
+                duration: started.elapsed(),
+                fingerprint: artifact_key,
+                worker,
+                caches: Some(caches),
+                source_words: unit.source.len(),
+                target_words: artifact.target.len(),
+                phases: Some(phases),
+                phase_runs: PhaseRuns { check: run.check_ran, verify: true, ..PhaseRuns::NONE },
+                diagnostics: Vec::new(),
+            };
+            (report, Some(Outcome::Built(artifact)))
+        }
+        Err((message, diagnostics)) => {
+            (failed_report(worker, unit, message, diagnostics, artifact_key, started), None)
+        }
+    }
+}
+
+/// A unit answered without running any phase.
+fn cached_report(
+    worker: usize,
+    unit: &Unit,
+    artifact: &Artifact,
+    tier: CacheTier,
+    fingerprint: Fingerprint,
+    started: Instant,
+) -> UnitReport {
+    UnitReport {
+        name: unit.name.clone(),
+        status: UnitStatus::Cached,
+        cached_from: Some(tier),
+        duration: started.elapsed(),
+        fingerprint,
+        worker,
+        caches: None,
+        source_words: unit.source.len(),
+        target_words: artifact.target.len(),
+        phases: None,
+        phase_runs: PhaseRuns::NONE,
+        diagnostics: Vec::new(),
+    }
+}
+
+/// A unit that failed in some phase (or in wire transcoding).
+fn failed_report(
+    worker: usize,
+    unit: &Unit,
+    message: String,
+    diagnostics: Vec<Diagnostic>,
+    fingerprint: Fingerprint,
+    started: Instant,
+) -> UnitReport {
+    UnitReport {
+        name: unit.name.clone(),
+        status: UnitStatus::Failed(message),
+        cached_from: None,
+        duration: started.elapsed(),
+        fingerprint,
+        worker,
+        caches: None,
+        source_words: unit.source.len(),
+        target_words: 0,
+        phases: None,
+        phase_runs: PhaseRuns::NONE,
+        diagnostics,
     }
 }
 
@@ -996,51 +1211,207 @@ fn handle_poisoned_unit(
             source_words: unit.source.len(),
             target_words: 0,
             phases: None,
+            phase_runs: PhaseRuns { typecheck: true, ..PhaseRuns::NONE },
             diagnostics,
         },
         Some(Outcome::Poisoned(Arc::new(poison))),
     )
 }
 
-/// A unit's input fingerprint: source ⊕ output-affecting options ⊕ the
-/// ordered interface fingerprints of its transitive imports.
+/// The dependency fingerprint a unit's query keys fold in.
+///
+/// With early cutoff (the default), each transitive dependency
+/// contributes its **interface** α-fingerprint, read off the dependency's
+/// settled artifact: a dependent re-keys only when a dependency's
+/// *output* changed. With cutoff disabled, each contributes its
+/// **source** α-fingerprint — the pre-query whole-unit behaviour, where
+/// any upstream edit cascades — so the benchmarks can measure the
+/// difference on identical workloads.
 ///
 /// Every component is **process-stable** — the source by its α-invariant
-/// fingerprint ([`Unit::source_alpha`](crate::graph::Unit)), import
-/// names by their bytes, interfaces by their stored α-fingerprints — so
-/// the same graph keys identically across restarts and the persistent
-/// store can answer a fresh process's first build. (α-invariance of the
-/// source key also means an α-variant-only edit is a cache *hit*: the
-/// cached artifact is α-equivalent to what a recompile would produce.)
-fn input_fingerprint(
-    graph: &UnitGraph,
+/// fingerprint ([`Unit::source_alpha`]), import names by their bytes,
+/// interfaces by their stored α-fingerprints — so the same graph keys
+/// identically across restarts and the persistent store can answer a
+/// fresh process's first build. (α-invariance also means an
+/// α-variant-only edit is a cache *hit*: the cached artifact is
+/// α-equivalent to what a recompile would produce.)
+fn dep_fingerprint(
+    ctx: &BuildCtx<'_>,
     unit_index: usize,
     deps: &[(usize, Arc<Artifact>)],
-    options: CompilerOptions,
 ) -> Fingerprint {
-    let unit = graph.unit_at(unit_index);
-    // `keep_going` is deliberately absent from the option bits: it can
-    // only change *whether* a unit compiles, never what a successful
-    // compile produces, so flipping it must not cold the cache.
-    let option_bits = u64::from(options.typecheck_output)
-        | u64::from(options.verify_type_preservation) << 1
-        | u64::from(options.use_nbe) << 2;
-    let mut fingerprint = unit.source_alpha.combine_word(option_bits);
-    for (d, artifact) in deps {
-        fingerprint = fingerprint
-            .combine(Fingerprint::of_str(&graph.unit_at(*d).name))
-            .combine(artifact.interface_fingerprint());
+    if ctx.early_cutoff {
+        deps.iter().fold(Fingerprint::default(), |acc, (d, artifact)| {
+            query::fold_dep(acc, &ctx.graph.unit_at(*d).name, artifact.interface_fingerprint())
+        })
+    } else {
+        ctx.plan.transitive[unit_index].iter().fold(Fingerprint::default(), |acc, &d| {
+            let dep = ctx.graph.unit_at(d);
+            query::fold_dep(acc, &dep.name, dep.source_alpha)
+        })
     }
-    fingerprint
+}
+
+/// The artifact query's storage tiers: memory under the cache lock, then
+/// — for at most one worker per fingerprint — the store, with the file
+/// read performed *outside* the lock. Workers racing for the same
+/// fingerprint (α-equivalent units) coalesce: they sleep on the session
+/// condvar and pick up the winner's promotion instead of reading and
+/// decoding the same blob twice. Returns the per-unit store-counter
+/// delta alongside (exact at one worker; a close approximation when
+/// concurrent units interleave store activity).
+fn lookup_artifact(
+    ctx: &BuildCtx<'_>,
+    unit: &str,
+    key: Fingerprint,
+) -> (Option<(Arc<Artifact>, CacheTier)>, StoreStats) {
+    let _span = trace::span("cache.lookup");
+    let mut cache = ctx.cache.lock().expect("driver cache poisoned");
+    let before = cache.store_counters();
+    if let Some(found) = cache.lookup_memory(unit, key) {
+        let delta = cache.store_counters().since(&before);
+        return (Some(found), delta);
+    }
+    let Some(store) = ctx.store.as_ref() else {
+        let delta = cache.store_counters().since(&before);
+        return (None, delta);
+    };
+    let mut counted_wait = false;
+    loop {
+        if cache.begin_disk_load(key) {
+            // This worker won the right to read the blob; do the file
+            // I/O with the lock released so unrelated lookups proceed.
+            drop(cache);
+            let loaded = store.load(key).map(Arc::new);
+            cache = ctx.cache.lock().expect("driver cache poisoned");
+            cache.finish_disk_load(key, loaded.as_ref());
+            ctx.cache_ready.notify_all();
+            let found = cache.promotion(unit, key);
+            let delta = cache.store_counters().since(&before);
+            return (found, delta);
+        }
+        // Another worker is reading this very blob: coalesce onto its
+        // load instead of decoding the same bytes twice.
+        if !counted_wait {
+            cache.note_coalesced();
+            counted_wait = true;
+        }
+        cache = ctx.cache_ready.wait(cache).expect("driver cache poisoned");
+        if let Some(found) = cache.promotion(unit, key) {
+            let delta = cache.store_counters().since(&before);
+            return (Some(found), delta);
+        }
+        // The load finished without an artifact (missing or corrupt
+        // blob): loop back — begin_disk_load now succeeds and this
+        // worker probes the store itself. Spurious wakeups land here
+        // too and simply re-wait.
+    }
+}
+
+/// Whether the verified query answers: first the session memo, then the
+/// store's verified records (which seed the memo on a hit, so the disk
+/// is consulted at most once per verdict per session).
+fn verified_hit(ctx: &BuildCtx<'_>, verify_key: Fingerprint, check_key: Fingerprint) -> bool {
+    if ctx.query.lock().expect("driver query state poisoned").is_verified(verify_key) {
+        return true;
+    }
+    let Some(store) = ctx.store.as_ref() else {
+        return false;
+    };
+    match store.load_verified(verify_key) {
+        Some((recorded_check, _)) if recorded_check == check_key => {
+            ctx.query.lock().expect("driver query state poisoned").record_verified(verify_key);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// What one [`run_check_verify`] call actually executed.
+struct CheckVerifyRun {
+    check_ns: u64,
+    verify_ns: u64,
+    /// `false` when the check phase was answered by the content-addressed
+    /// memo (an α-equivalent artifact was already checked this session).
+    check_ran: bool,
+}
+
+/// Runs the check and verify phases for `artifact`, consulting and
+/// feeding the check memo, and publishing the verified verdict — to the
+/// session memo and, when a store is attached, as an on-disk record — on
+/// success.
+fn run_check_verify(
+    compiler: &Compiler,
+    ctx: &BuildCtx<'_>,
+    env: &src::Env,
+    term: &src::Term,
+    artifact: &Artifact,
+    check_key: Fingerprint,
+    verify_key: Fingerprint,
+) -> Result<CheckVerifyRun, (String, Vec<Diagnostic>)> {
+    let wire_failure = |what: &str, detail: String| {
+        let message = format!("{what}: {detail}");
+        (message.clone(), vec![Diagnostic::error(message)])
+    };
+    let phase_failure = |e| (format!("{e}"), vec![diagnostic_of_compile_error(&e)]);
+    let memo = ctx.query.lock().expect("driver query state poisoned").check_memo(check_key);
+    let (target_env, inferred, check_output, check_ns, check_ran) = match memo {
+        Some(memo) => {
+            let inferred = tgt::wire::decode(&memo.inferred)
+                .map_err(|e| wire_failure("check memo wire", e.to_string()))?;
+            trace::event("query.cutoff", &[("check", 1)]);
+            (None, inferred, memo.output, 0u64, false)
+        }
+        None => {
+            let target = tgt::wire::decode(&artifact.target)
+                .map_err(|e| wire_failure("target wire", e.to_string()))?;
+            let (target_env, inferred, ns) =
+                compiler.phase_check(env, &target).map_err(phase_failure)?;
+            let output = tgt::wire::fingerprint_alpha(&inferred);
+            ctx.query.lock().expect("driver query state poisoned").record_check(
+                check_key,
+                CheckMemo { output, inferred: tgt::wire::encode(&inferred) },
+            );
+            (Some(target_env), inferred, output, ns, true)
+        }
+    };
+    let target_type = tgt::wire::decode(&artifact.target_ty)
+        .map_err(|e| wire_failure("target type wire", e.to_string()))?;
+    let verify_ns = compiler
+        .phase_verify(env, term, target_env.as_ref(), &inferred, &target_type)
+        .map_err(phase_failure)?;
+    ctx.query.lock().expect("driver query state poisoned").record_verified(verify_key);
+    if let Some(store) = ctx.store.as_ref() {
+        store.save_verified(verify_key, check_key, check_output);
+    }
+    Ok(CheckVerifyRun { check_ns, verify_ns, check_ran })
 }
 
 /// Encodes a finished compilation as a thread-portable artifact.
 fn encode_artifact(compilation: &Compilation) -> Arc<Artifact> {
-    let (artifact, _) = trace::timed("encode", || Artifact {
-        source_ty: src::wire::encode(&compilation.source_type),
-        target: tgt::wire::encode(&compilation.target),
-        target_ty: tgt::wire::encode(&compilation.target_type),
-        interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
+    encode_artifact_parts(&compilation.source_type, &compilation.target, &compilation.target_type)
+}
+
+/// [`encode_artifact`] from the phase outputs directly. The output
+/// fingerprint — interface ⊕ target ⊕ target type, all α-invariant — is
+/// what downstream early cutoff compares.
+fn encode_artifact_parts(
+    source_type: &src::Term,
+    target: &tgt::Term,
+    target_type: &tgt::Term,
+) -> Arc<Artifact> {
+    let (artifact, _) = trace::timed("encode", || {
+        let interface_alpha = src::wire::fingerprint_alpha(source_type);
+        let output_alpha = interface_alpha
+            .combine(tgt::wire::fingerprint_alpha(target))
+            .combine(tgt::wire::fingerprint_alpha(target_type));
+        Artifact {
+            source_ty: src::wire::encode(source_type),
+            target: tgt::wire::encode(target),
+            target_ty: tgt::wire::encode(target_type),
+            interface_alpha,
+            output_alpha,
+        }
     });
     Arc::new(artifact)
 }
@@ -1067,30 +1438,59 @@ fn decode_unit_inputs(
     env_and_term
 }
 
-/// Runs the full pipeline for one unit on the current worker thread:
-/// decode the source and the imports' interfaces into this thread's
-/// interners, compile, and export the results as wire buffers. Failure
-/// carries the rendered message plus its folded coded diagnostic.
+/// Runs the pipeline for one unit phase by phase on the current worker
+/// thread: decode the inputs into this thread's interners, typecheck,
+/// translate, and — when output checking is on — answer check/verify
+/// from the verified and check queries where they hit (α-equivalent
+/// units settle those phases once per session, whichever unit ran
+/// first). Failure carries the rendered message plus its folded coded
+/// diagnostic.
 #[allow(clippy::type_complexity)]
-fn compile_unit(
-    graph: &UnitGraph,
+fn compile_unit_phases(
+    ctx: &BuildCtx<'_>,
     unit_index: usize,
     deps: &[(usize, Arc<Artifact>)],
-    options: CompilerOptions,
-) -> Result<(Arc<Artifact>, Option<CacheReport>, PhaseNanos), (String, Vec<Diagnostic>)> {
-    let (env, term) = decode_unit_inputs(graph, unit_index, deps)
+    dep_fp: Fingerprint,
+) -> Result<(Arc<Artifact>, CacheReport, PhaseNanos, PhaseRuns), (String, Vec<Diagnostic>)> {
+    let unit = ctx.graph.unit_at(unit_index);
+    let options = ctx.options;
+    let before = cache_snapshot();
+    let (env, term) = decode_unit_inputs(ctx.graph, unit_index, deps)
         .map_err(|message| (message.clone(), vec![Diagnostic::error(message)]))?;
-    let compiler = Compiler::with_options(CompilerOptions { collect_cache_stats: true, ..options });
-    let compilation = compiler
-        .compile(&env, &term)
-        .map_err(|e| (e.to_string(), vec![diagnostic_of_compile_error(&e)]))?;
-    Ok((encode_artifact(&compilation), compilation.cache_stats, compilation.phases))
+    let compiler = Compiler::with_options(options);
+    let phase_failure = |e| (format!("{e}"), vec![diagnostic_of_compile_error(&e)]);
+    let mut phases = PhaseNanos::default();
+    let mut runs = PhaseRuns { typecheck: true, translate: true, ..PhaseRuns::NONE };
+    let (source_type, ns) = compiler.phase_typecheck(&env, &term).map_err(phase_failure)?;
+    phases.typecheck = ns;
+    let (target, target_type, ns) =
+        compiler.phase_translate(&env, &term, &source_type).map_err(phase_failure)?;
+    phases.translate = ns;
+    let artifact = encode_artifact_parts(&source_type, &target, &target_type);
+    if options.typecheck_output {
+        let verify_key =
+            query::verify_key(unit.source_alpha, dep_fp, artifact.output_alpha, &options);
+        let check_key = query::check_key(artifact.output_alpha, dep_fp, &options);
+        if verified_hit(ctx, verify_key, check_key) {
+            trace::event("query.cutoff", &[("check", 1), ("verify", 1)]);
+        } else {
+            let run =
+                run_check_verify(&compiler, ctx, &env, &term, &artifact, check_key, verify_key)?;
+            phases.check = run.check_ns;
+            phases.verify = run.verify_ns;
+            runs.check = run.check_ran;
+            runs.verify = true;
+        }
+    }
+    let caches = CacheReport::between(&before, &cache_snapshot());
+    Ok((artifact, caches, phases, runs))
 }
 
-/// The keep-going sibling of [`compile_unit`]: the tolerant frontend runs
-/// first, and a unit with errors yields — instead of a bare message — its
-/// full diagnostic set *and* a [`PoisonedInterface`] (origins = the unit
-/// itself) so its dependents are poisoned rather than skipped.
+/// The keep-going sibling of [`compile_unit_phases`]: the tolerant
+/// frontend runs first, and a unit with errors yields — instead of a
+/// bare message — its full diagnostic set *and* a [`PoisonedInterface`]
+/// (origins = the unit itself) so its dependents are poisoned rather
+/// than skipped.
 #[allow(clippy::type_complexity)]
 fn compile_unit_keep_going(
     graph: &UnitGraph,

@@ -5,14 +5,14 @@
 //! its [`Session`](crate::session::Session), so every new process used to
 //! pay the full cold-build cost. This module is the second tier: compiled
 //! artifacts are written through to an on-disk store keyed by their
-//! *input fingerprint* (source ⊕ options ⊕ import interfaces — all
+//! *artifact query key* (source ⊕ options ⊕ import interfaces — all
 //! computed α-invariantly and process-stably, see
-//! [`cccc_source::wire::fingerprint_alpha`]), and a fresh process whose
-//! recomputed keys match simply loads the blobs back.
+//! [`cccc_source::wire::fingerprint_alpha`] and [`crate::query`]), and a
+//! fresh process whose recomputed keys match simply loads the blobs back.
 //!
 //! # Blob format
 //!
-//! One file per input fingerprint, named `<fingerprint:032x>.art`, holding
+//! One file per artifact key, named `<fingerprint:032x>.art`, holding
 //! little-endian `u64` words:
 //!
 //! ```text
@@ -20,6 +20,7 @@
 //! │ magic  │ format version │ checksum (2 words, FxHash²)  │
 //! ├──────────────────────── payload ───────────────────────┤
 //! │ interface α-fingerprint (2 words)                      │
+//! │ output α-fingerprint (2 words, early-cutoff output)    │
 //! │ section: len, portable wire words of the CC interface  │
 //! │ section: len, portable wire words of the CC-CC term    │
 //! │ section: len, portable wire words of the CC-CC type    │
@@ -32,6 +33,21 @@
 //! that re-intern on load, because raw wire symbol ids are only stable
 //! within the writing process. The checksum covers the whole payload.
 //!
+//! # Verified-phase records
+//!
+//! Next to the blobs live `<fingerprint:032x>.vfy` records, keyed by the
+//! *verify query key* ([`crate::query::verify_key`]): eight words —
+//! the same magic/version/checksum header over a four-word payload
+//! holding the check query key and the check phase's output fingerprint.
+//! A record's existence says "an artifact with this source, these import
+//! interfaces, this output, and these options has passed check + verify
+//! before", so a restarted process skips both phases on unchanged units.
+//! Verified-record traffic is counted apart from blob traffic
+//! ([`StoreStats::verified_hits`] / [`StoreStats::verified_writes`]) and
+//! is *not* subject to the [`FaultPlan`] — the plan's positional
+//! counters target artifact blobs, and a lost or corrupt record merely
+//! re-runs two phases.
+//!
 //! # Failure semantics
 //!
 //! The store **never fails a build**. A missing blob is a miss; a
@@ -40,6 +56,10 @@
 //! [`StoreStats`] distinguish the cases); an I/O error while writing is
 //! counted and swallowed. Deleting the store directory (or calling
 //! [`ArtifactStore::wipe`]) merely makes the next build cold.
+//!
+//! All methods take `&self`: the store synchronizes internally, so a
+//! session can share one instance across workers ([`std::sync::Arc`])
+//! and perform file reads outside its cache lock.
 
 use crate::cache::Artifact;
 use cccc_core::pipeline::StoreStats;
@@ -50,12 +70,17 @@ use cccc_util::wire::{Fingerprint, WireTerm, FORMAT_VERSION};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// First word of every store blob ("ccccart\0", little-endian).
 const STORE_MAGIC: u64 = 0x0074_7261_6363_6363;
 
 /// Words in the blob header (magic, version, checksum lo, checksum hi).
 const HEADER_WORDS: usize = 4;
+
+/// Payload words of a verified-phase record (check key lo/hi, check
+/// output lo/hi).
+const VERIFIED_PAYLOAD_WORDS: usize = 4;
 
 /// A deterministic fault plan for the store's file-system operations,
 /// used by the fault-injection suites to prove the failure semantics
@@ -65,7 +90,9 @@ const HEADER_WORDS: usize = 4;
 /// Each field targets the Nth call (0-based) of one operation kind since
 /// the plan was installed ([`ArtifactStore::set_faults`] resets the
 /// counters). `fail_read` and `short_read` share the read counter, so one
-/// plan can fail read 0 and truncate read 2.
+/// plan can fail read 0 and truncate read 2. Only artifact-blob
+/// operations consume positions; verified-record I/O is deliberately
+/// outside the plan (see the module docs).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Fail the Nth `fs::read` with an injected I/O error (EIO-like).
@@ -102,6 +129,15 @@ fn injected_fault(operation: &str) -> io::Error {
     io::Error::other(format!("injected {operation} fault"))
 }
 
+/// The store's synchronized interior: activity counters plus the fault
+/// plan and its positional state.
+#[derive(Default, Debug)]
+struct StoreState {
+    stats: StoreStats,
+    faults: FaultPlan,
+    fault_state: FaultState,
+}
+
 /// A persistent, content-addressed artifact store rooted at a directory.
 ///
 /// Opened with [`ArtifactStore::open`] and normally owned by an
@@ -113,9 +149,7 @@ fn injected_fault(operation: &str) -> io::Error {
 #[derive(Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
-    stats: StoreStats,
-    faults: FaultPlan,
-    fault_state: FaultState,
+    state: Mutex<StoreState>,
 }
 
 /// Process-wide temp-file disambiguator: combined with the process id in
@@ -133,12 +167,7 @@ impl ArtifactStore {
     pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(ArtifactStore {
-            dir,
-            stats: StoreStats::default(),
-            faults: FaultPlan::default(),
-            fault_state: FaultState::default(),
-        })
+        Ok(ArtifactStore { dir, state: Mutex::new(StoreState::default()) })
     }
 
     /// The store's root directory.
@@ -146,52 +175,71 @@ impl ArtifactStore {
         &self.dir
     }
 
+    fn state(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        self.state.lock().expect("artifact store poisoned")
+    }
+
     /// Installs `plan` and resets the per-operation fault counters.
     /// `FaultPlan::default()` disarms injection.
-    pub fn set_faults(&mut self, plan: FaultPlan) {
-        self.faults = plan;
-        self.fault_state = FaultState::default();
+    pub fn set_faults(&self, plan: FaultPlan) {
+        let mut state = self.state();
+        state.faults = plan;
+        state.fault_state = FaultState::default();
     }
 
     /// `fs::read` with the fault plan applied: the planned read fails
-    /// outright, or returns only the first half of the bytes.
-    fn read_with_faults(&mut self, path: &Path) -> io::Result<Vec<u8>> {
-        let n = self.fault_state.reads;
-        self.fault_state.reads += 1;
-        if self.faults.fail_read == Some(n) {
+    /// outright, or returns only the first half of the bytes. The
+    /// position is claimed atomically; the file read itself runs outside
+    /// the state lock.
+    fn read_with_faults(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let (n, faults) = {
+            let mut state = self.state();
+            let n = state.fault_state.reads;
+            state.fault_state.reads += 1;
+            (n, state.faults)
+        };
+        if faults.fail_read == Some(n) {
             return Err(injected_fault("read"));
         }
         let mut bytes = fs::read(path)?;
-        if self.faults.short_read == Some(n) {
+        if faults.short_read == Some(n) {
             bytes.truncate(bytes.len() / 2);
         }
         Ok(bytes)
     }
 
     /// `fs::write` with the fault plan applied.
-    fn write_with_faults(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        let n = self.fault_state.writes;
-        self.fault_state.writes += 1;
-        if self.faults.fail_write == Some(n) {
+    fn write_with_faults(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let (n, faults) = {
+            let mut state = self.state();
+            let n = state.fault_state.writes;
+            state.fault_state.writes += 1;
+            (n, state.faults)
+        };
+        if faults.fail_write == Some(n) {
             return Err(injected_fault("write"));
         }
         fs::write(path, bytes)
     }
 
     /// `fs::rename` with the fault plan applied.
-    fn rename_with_faults(&mut self, from: &Path, to: &Path) -> io::Result<()> {
-        let n = self.fault_state.renames;
-        self.fault_state.renames += 1;
-        if self.faults.fail_rename == Some(n) {
+    fn rename_with_faults(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let (n, faults) = {
+            let mut state = self.state();
+            let n = state.fault_state.renames;
+            state.fault_state.renames += 1;
+            (n, state.faults)
+        };
+        if faults.fail_rename == Some(n) {
             return Err(injected_fault("rename"));
         }
         fs::rename(from, to)
     }
 
     /// Counter snapshot, with the size fields (`entries`, `bytes`)
-    /// refreshed by scanning the directory.
+    /// refreshed by scanning the directory for artifact blobs.
     pub fn stats(&self) -> StoreStats {
-        let mut stats = self.stats;
+        let mut stats = self.state().stats;
         stats.entries = 0;
         stats.bytes = 0;
         if let Ok(entries) = fs::read_dir(&self.dir) {
@@ -209,19 +257,20 @@ impl ArtifactStore {
     /// Counter snapshot without the directory scan (used on the per-unit
     /// hot path, where only the activity counters matter).
     pub fn counters(&self) -> StoreStats {
-        self.stats
+        self.state().stats
     }
 
-    /// Deletes every blob — and any orphaned temp file a crashed writer
-    /// left behind. The next build against this store is cold.
+    /// Deletes every blob and verified record — and any orphaned temp
+    /// file a crashed writer left behind. The next build against this
+    /// store is cold.
     ///
     /// # Errors
     ///
     /// Returns the first deletion error (the store stays usable).
-    pub fn wipe(&mut self) -> io::Result<()> {
+    pub fn wipe(&self) -> io::Result<()> {
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "art" || e == "tmp") {
+            if path.extension().is_some_and(|e| e == "art" || e == "vfy" || e == "tmp") {
                 fs::remove_file(path)?;
             }
         }
@@ -232,12 +281,16 @@ impl ArtifactStore {
         self.dir.join(format!("{fingerprint}.art"))
     }
 
+    fn verified_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.vfy"))
+    }
+
     /// Loads the artifact stored under `fingerprint`, if a valid blob
     /// exists. Corrupt blobs (bad magic, version skew, failed checksum,
     /// truncation) are counted as invalid entries, reported as misses,
     /// and *deleted* — self-healing, so the recompile's write-through can
     /// put a good blob back in their place.
-    pub fn load(&mut self, fingerprint: Fingerprint) -> Option<Artifact> {
+    pub fn load(&self, fingerprint: Fingerprint) -> Option<Artifact> {
         let path = self.blob_path(fingerprint);
         let bytes = {
             let read_span = trace::span("store.read");
@@ -247,7 +300,7 @@ impl ArtifactStore {
                     bytes
                 }
                 Err(_) => {
-                    self.stats.disk_misses += 1;
+                    self.state().stats.disk_misses += 1;
                     return None;
                 }
             }
@@ -258,11 +311,11 @@ impl ArtifactStore {
         };
         match parsed {
             Ok(artifact) => {
-                self.stats.disk_hits += 1;
+                self.state().stats.disk_hits += 1;
                 Some(artifact)
             }
             Err(reason) => {
-                self.stats.invalid_entries += 1;
+                self.state().stats.invalid_entries += 1;
                 // Surface what was thrown away and why, so an operator
                 // watching the trace can tell self-healing from rot.
                 trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
@@ -283,16 +336,16 @@ impl ArtifactStore {
     /// cache lock and hand the words to the crate-private
     /// `save_rendered`, keeping the transcode off the lock's critical
     /// section; this method is the convenient one-call form.
-    pub fn save(&mut self, fingerprint: Fingerprint, artifact: &Artifact) {
+    pub fn save(&self, fingerprint: Fingerprint, artifact: &Artifact) {
         let rendered = render_blob(artifact);
         self.save_rendered(fingerprint, rendered.as_deref());
     }
 
     /// [`ArtifactStore::save`] for a blob already rendered by
     /// [`render_blob`]; `None` records the render failure.
-    pub(crate) fn save_rendered(&mut self, fingerprint: Fingerprint, words: Option<&[u64]>) {
+    pub(crate) fn save_rendered(&self, fingerprint: Fingerprint, words: Option<&[u64]>) {
         let Some(words) = words else {
-            self.stats.write_errors += 1;
+            self.state().stats.write_errors += 1;
             return;
         };
         let path = self.blob_path(fingerprint);
@@ -301,23 +354,93 @@ impl ArtifactStore {
         }
         let write_span = trace::span("store.write");
         write_span.counter("bytes", (words.len() * 8) as u64);
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for word in words {
-            bytes.extend_from_slice(&word.to_le_bytes());
-        }
-        let sequence = TEMP_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let temp = self.dir.join(format!(".{fingerprint}.{}.{sequence}.tmp", std::process::id()));
+        let bytes = words_to_bytes(words);
+        let temp = self.temp_path(fingerprint);
         let written = self
             .write_with_faults(&temp, &bytes)
             .and_then(|()| self.rename_with_faults(&temp, &path));
         match written {
-            Ok(()) => self.stats.write_throughs += 1,
+            Ok(()) => self.state().stats.write_throughs += 1,
             Err(_) => {
                 let _ = fs::remove_file(&temp);
-                self.stats.write_errors += 1;
+                self.state().stats.write_errors += 1;
             }
         }
     }
+
+    /// Persists a verified-phase record: "the artifact whose verify
+    /// query key is `key` passed check (key `check_key`, output
+    /// `check_output`) and verify under these inputs". Atomic like blob
+    /// writes; failures are silently dropped (the record is a pure
+    /// accelerator — its absence re-runs two phases). An existing record
+    /// is left in place (records are content-addressed by their key).
+    pub fn save_verified(
+        &self,
+        key: Fingerprint,
+        check_key: Fingerprint,
+        check_output: Fingerprint,
+    ) {
+        let path = self.verified_path(key);
+        if path.exists() {
+            return;
+        }
+        let payload = [
+            check_key.0 as u64,
+            (check_key.0 >> 64) as u64,
+            check_output.0 as u64,
+            (check_output.0 >> 64) as u64,
+        ];
+        let checksum = Fingerprint::of_words(&payload);
+        let mut words = Vec::with_capacity(HEADER_WORDS + VERIFIED_PAYLOAD_WORDS);
+        words.push(STORE_MAGIC);
+        words.push(FORMAT_VERSION);
+        words.push(checksum.0 as u64);
+        words.push((checksum.0 >> 64) as u64);
+        words.extend_from_slice(&payload);
+        let bytes = words_to_bytes(&words);
+        let temp = self.temp_path(key);
+        let written = fs::write(&temp, &bytes).and_then(|()| fs::rename(&temp, &path));
+        match written {
+            Ok(()) => self.state().stats.verified_writes += 1,
+            Err(_) => {
+                let _ = fs::remove_file(&temp);
+            }
+        }
+    }
+
+    /// Loads the verified-phase record for `key`, returning the check
+    /// query key and check output fingerprint it recorded. A missing
+    /// record is simply `None`; a corrupt one is counted as an invalid
+    /// entry and deleted, like a corrupt blob.
+    pub fn load_verified(&self, key: Fingerprint) -> Option<(Fingerprint, Fingerprint)> {
+        let path = self.verified_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match parse_verified(&bytes) {
+            Ok(record) => {
+                self.state().stats.verified_hits += 1;
+                Some(record)
+            }
+            Err(reason) => {
+                self.state().stats.invalid_entries += 1;
+                trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn temp_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        let sequence = TEMP_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.dir.join(format!(".{fingerprint}.{}.{sequence}.tmp", std::process::id()))
+    }
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for word in words {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    bytes
 }
 
 /// Serializes an artifact into blob words (header + payload). Returns
@@ -335,9 +458,11 @@ pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
     let target_ty = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target_ty).ok()?);
 
     let mut payload: Vec<u64> =
-        Vec::with_capacity(2 + 3 + source_ty.len() + target.len() + target_ty.len());
+        Vec::with_capacity(4 + 3 + source_ty.len() + target.len() + target_ty.len());
     payload.push(artifact.interface_alpha.0 as u64);
     payload.push((artifact.interface_alpha.0 >> 64) as u64);
+    payload.push(artifact.output_alpha.0 as u64);
+    payload.push((artifact.output_alpha.0 >> 64) as u64);
     for section in [&source_ty, &target, &target_ty] {
         payload.push(section.len() as u64);
         payload.extend_from_slice(section.words());
@@ -354,19 +479,18 @@ pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
     Some(words)
 }
 
-/// Parses blob bytes back into an artifact, naming the corruption on
-/// failure (the reason feeds the `store.corrupt` trace event). Sections
-/// are *not* term-decoded here — the checksum already vouches for their
-/// integrity, and decoding is deferred to first use so a warm rebuild
-/// touching no term stays cheap.
-fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
+fn words_of_bytes(bytes: &[u8]) -> Result<Vec<u64>, &'static str> {
     if !bytes.len().is_multiple_of(8) {
         return Err("length not word-aligned");
     }
-    let words: Vec<u64> = bytes
+    Ok(bytes
         .chunks_exact(8)
         .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
-        .collect();
+        .collect())
+}
+
+/// Checks a record's magic, version, and checksum, returning its payload.
+fn checked_payload(words: &[u64]) -> Result<&[u64], &'static str> {
     if words.len() < HEADER_WORDS + 2 {
         return Err("truncated header");
     }
@@ -385,8 +509,27 @@ fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
     if !verified {
         return Err("checksum mismatch");
     }
-    let interface_alpha = Fingerprint((u128::from(payload[1]) << 64) | u128::from(payload[0]));
-    let mut cursor = 2;
+    Ok(payload)
+}
+
+fn fingerprint_at(payload: &[u64], index: usize) -> Fingerprint {
+    Fingerprint((u128::from(payload[index + 1]) << 64) | u128::from(payload[index]))
+}
+
+/// Parses blob bytes back into an artifact, naming the corruption on
+/// failure (the reason feeds the `store.corrupt` trace event). Sections
+/// are *not* term-decoded here — the checksum already vouches for their
+/// integrity, and decoding is deferred to first use so a warm rebuild
+/// touching no term stays cheap.
+fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
+    let words = words_of_bytes(bytes)?;
+    let payload = checked_payload(&words)?;
+    if payload.len() < 4 {
+        return Err("truncated fingerprints");
+    }
+    let interface_alpha = fingerprint_at(payload, 0);
+    let output_alpha = fingerprint_at(payload, 2);
+    let mut cursor = 4;
     let mut sections = Vec::with_capacity(3);
     for _ in 0..3 {
         let len = *payload.get(cursor).ok_or("truncated section length")? as usize;
@@ -401,7 +544,17 @@ fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
     let target_ty = sections.pop().expect("three sections were pushed");
     let target = sections.pop().expect("three sections were pushed");
     let source_ty = sections.pop().expect("three sections were pushed");
-    Ok(Artifact { source_ty, target, target_ty, interface_alpha })
+    Ok(Artifact { source_ty, target, target_ty, interface_alpha, output_alpha })
+}
+
+/// Parses a verified-phase record back into `(check_key, check_output)`.
+fn parse_verified(bytes: &[u8]) -> Result<(Fingerprint, Fingerprint), &'static str> {
+    let words = words_of_bytes(bytes)?;
+    let payload = checked_payload(&words)?;
+    if payload.len() != VERIFIED_PAYLOAD_WORDS {
+        return Err("bad record size");
+    }
+    Ok((fingerprint_at(payload, 0), fingerprint_at(payload, 2)))
 }
 
 #[cfg(test)]
@@ -423,6 +576,7 @@ mod tests {
             )),
             target_ty: tgt::wire::encode(&t::bool_ty()),
             interface_alpha: Fingerprint::of_words(&[9, 9, 9]),
+            output_alpha: Fingerprint::of_words(&[8, 8, 8]),
         }
     }
 
@@ -436,13 +590,14 @@ mod tests {
     #[test]
     fn blobs_round_trip_with_lazy_sections() {
         let dir = temp_dir("roundtrip");
-        let mut store = ArtifactStore::open(&dir).unwrap();
+        let store = ArtifactStore::open(&dir).unwrap();
         let key = Fingerprint::of_words(&[1, 2, 3]);
         let artifact = sample_artifact();
         store.save(key, &artifact);
 
         let loaded = store.load(key).expect("blob loads");
         assert_eq!(loaded.interface_alpha, artifact.interface_alpha);
+        assert_eq!(loaded.output_alpha, artifact.output_alpha);
         // Sections decode to α-equivalent terms through the relocatable
         // symbol table (the `arrow` builder freshens its binder, so the
         // loaded interface is an α-variant, not an identical term).
@@ -464,22 +619,31 @@ mod tests {
     #[test]
     fn absent_blobs_are_misses_and_wipe_empties_the_store() {
         let dir = temp_dir("wipe");
-        let mut store = ArtifactStore::open(&dir).unwrap();
+        let store = ArtifactStore::open(&dir).unwrap();
         assert!(store.load(Fingerprint::of_words(&[7])).is_none());
         assert_eq!(store.counters().disk_misses, 1);
 
         store.save(Fingerprint::of_words(&[7]), &sample_artifact());
+        store.save_verified(
+            Fingerprint::of_words(&[70]),
+            Fingerprint::of_words(&[71]),
+            Fingerprint::of_words(&[72]),
+        );
         assert_eq!(store.stats().entries, 1);
         store.wipe().unwrap();
         assert_eq!(store.stats().entries, 0);
         assert!(store.load(Fingerprint::of_words(&[7])).is_none());
+        assert!(
+            store.load_verified(Fingerprint::of_words(&[70])).is_none(),
+            "wipe removes verified records too"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn saving_an_existing_key_is_a_no_op() {
         let dir = temp_dir("dedup");
-        let mut store = ArtifactStore::open(&dir).unwrap();
+        let store = ArtifactStore::open(&dir).unwrap();
         let key = Fingerprint::of_words(&[4]);
         store.save(key, &sample_artifact());
         store.save(key, &sample_artifact());
@@ -490,9 +654,41 @@ mod tests {
     }
 
     #[test]
+    fn verified_records_round_trip_and_survive_only_intact() {
+        let dir = temp_dir("verified");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[31]);
+        let check_key = Fingerprint::of_words(&[32]);
+        let check_output = Fingerprint::of_words(&[33]);
+
+        assert!(store.load_verified(key).is_none(), "missing record is a quiet miss");
+        store.save_verified(key, check_key, check_output);
+        store.save_verified(key, check_key, check_output);
+        assert_eq!(store.counters().verified_writes, 1, "second save skips (content-addressed)");
+        assert_eq!(store.load_verified(key), Some((check_key, check_output)));
+        assert_eq!(store.counters().verified_hits, 1);
+        assert_eq!(store.counters().disk_hits, 0, "record traffic never counts as blob traffic");
+
+        // Corrupt the record: invalid entry, deleted, miss thereafter.
+        let path = store.verified_path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_verified(key).is_none());
+        assert_eq!(store.counters().invalid_entries, 1);
+        assert!(store.load_verified(key).is_none(), "the corrupt record was deleted");
+
+        // And a re-save heals it.
+        store.save_verified(key, check_key, check_output);
+        assert_eq!(store.load_verified(key), Some((check_key, check_output)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_blobs_are_invalid_entries_not_errors() {
         let dir = temp_dir("corrupt");
-        let mut store = ArtifactStore::open(&dir).unwrap();
+        let store = ArtifactStore::open(&dir).unwrap();
         let key = Fingerprint::of_words(&[5]);
         store.save(key, &sample_artifact());
         let path = store.blob_path(key);

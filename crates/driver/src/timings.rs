@@ -18,6 +18,21 @@ fn ms(ns: u64) -> String {
     format!("{:.2}", ns as f64 / 1e6)
 }
 
+/// The names of the phases a `Compiled` unit did *not* run — the query
+/// layer answered them from a memo or a verified record.
+fn skipped_phases(unit: &crate::session::UnitReport) -> Vec<&'static str> {
+    let runs = unit.phase_runs;
+    [
+        ("typecheck", runs.typecheck),
+        ("translate", runs.translate),
+        ("check", runs.check),
+        ("verify", runs.verify),
+    ]
+    .into_iter()
+    .filter_map(|(name, ran)| (!ran).then_some(name))
+    .collect()
+}
+
 fn status_cell(report: &BuildReport, index: usize) -> &'static str {
     let unit = &report.units[index];
     match &unit.status {
@@ -42,6 +57,16 @@ fn status_cell(report: &BuildReport, index: usize) -> &'static str {
 pub fn render(report: &BuildReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "build timings: {}", report.summary());
+    // How much of the pipeline the query layer actually ran (units per
+    // phase); everything else was answered from the artifact, check, or
+    // verified queries.
+    let possible = report.units.iter().filter(|u| u.status.is_ok()).count() * 4;
+    let _ = writeln!(
+        out,
+        "queries: {} run, {} cut off",
+        report.queries,
+        possible.saturating_sub(report.queries.total())
+    );
     let wall_ns = report.wall_time.as_nanos() as u64;
 
     // Per-phase totals (pipeline time only; cached units contribute 0).
@@ -69,10 +94,16 @@ pub fn render(report: &BuildReport) -> String {
         "unit", "status", "worker", "ms"
     );
     for (index, unit) in report.units.iter().enumerate() {
-        let phases = match &unit.phases {
+        let mut phases = match &unit.phases {
             Some(p) => p.to_string(),
             None => "-".to_owned(),
         };
+        // A partially re-run unit (early cutoff, memo hits) says which
+        // phases it skipped — a 0-ns phase alone doesn't distinguish
+        // "skipped" from "too fast to time".
+        if unit.status == UnitStatus::Compiled && !skipped_phases(unit).is_empty() {
+            let _ = write!(phases, "  [skipped: {}]", skipped_phases(unit).join(", "));
+        }
         let _ = writeln!(
             out,
             "  {:<name_width$}  {:<12}  {:>6}  {:>10}  {}",
@@ -151,5 +182,32 @@ mod tests {
         let rendered = render(&warm);
         assert!(rendered.contains("cached(mem)"));
         assert!(rendered.contains("(nothing compiled)"));
+    }
+
+    #[test]
+    fn query_line_and_skip_markers_render() {
+        let (units, steps) = crate::workloads::edits(1);
+        let mut session = crate::workloads::session_from(&units, CompilerOptions::default());
+        let cold = session.build(1).unwrap();
+        let rendered = render(&cold);
+        assert!(rendered.contains("queries: phases 16tc/16tr/3ck/3vf run"));
+        // The diamond's non-representative middles skipped check/verify
+        // (settled once per α-class) and the table says so.
+        assert!(rendered.contains("[skipped: check, verify]"));
+
+        // A verify-only option flip: three units re-verify, the table
+        // marks everything else they skipped.
+        crate::workloads::apply_edit(&mut session, &steps[3].action);
+        let flipped = session.build(1).unwrap();
+        let rendered = render(&flipped);
+        assert!(rendered.contains("queries: phases 0tc/0tr/0ck/3vf run"));
+        assert!(rendered.contains("61 cut off"));
+        assert!(rendered.contains("[skipped: typecheck, translate, check]"));
+
+        // A fully-cached rebuild keeps the bare "-" cells.
+        let warm = session.build(1).unwrap();
+        let rendered = render(&warm);
+        assert!(rendered.contains("queries: phases 0tc/0tr/0ck/0vf run, 64 cut off"));
+        assert!(!rendered.contains("[skipped:"));
     }
 }

@@ -204,7 +204,7 @@ fn every_single_fault_position_is_survivable() {
 #[test]
 fn direct_store_faults_never_raise() {
     let dir = temp_dir("direct");
-    let mut store = ArtifactStore::open(&dir).unwrap();
+    let store = ArtifactStore::open(&dir).unwrap();
     let key = Fingerprint::of_words(&[42]);
     let artifact = {
         use cccc_source::builder as s;
@@ -214,6 +214,7 @@ fn direct_store_faults_never_raise() {
             target: cccc_target::wire::encode(&t::tt()),
             target_ty: cccc_target::wire::encode(&t::bool_ty()),
             interface_alpha: Fingerprint::of_words(&[1]),
+            output_alpha: Fingerprint::of_words(&[2]),
         }
     };
 

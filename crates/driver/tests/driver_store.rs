@@ -238,7 +238,7 @@ fn wiping_the_store_makes_a_fresh_session_cold() {
 #[test]
 fn relocated_artifacts_are_alpha_equivalent_for_generated_programs() {
     let dir = temp_store("relocation-property");
-    let mut store = ArtifactStore::open(&dir).unwrap();
+    let store = ArtifactStore::open(&dir).unwrap();
     let compiler = Compiler::new();
     let mut generator = TermGenerator::new(0xC0C0_0005);
     let mut checked = 0;
@@ -248,11 +248,15 @@ fn relocated_artifacts_are_alpha_equivalent_for_generated_programs() {
             continue; // generator corner cases the pipeline rejects
         };
         checked += 1;
+        let interface_alpha = src::wire::fingerprint_alpha(&compilation.source_type);
         let artifact = Artifact {
             source_ty: src::wire::encode(&compilation.source_type),
             target: tgt::wire::encode(&compilation.target),
             target_ty: tgt::wire::encode(&compilation.target_type),
-            interface_alpha: src::wire::fingerprint_alpha(&compilation.source_type),
+            interface_alpha,
+            output_alpha: interface_alpha
+                .combine(tgt::wire::fingerprint_alpha(&compilation.target))
+                .combine(tgt::wire::fingerprint_alpha(&compilation.target_type)),
         };
         let key = Fingerprint::of_words(&[0xAB, i]);
         store.save(key, &artifact);

@@ -11,6 +11,7 @@
 
 use crate::ast::{RcTerm, Term, Universe};
 use cccc_util::intern::{FxHashMap, NodeId};
+use cccc_util::symbol::Symbol;
 use cccc_util::wire::{Fingerprint, WireError, WireReader, WireTerm, WireWriter};
 
 const TAG_BACKREF: u64 = 0;
@@ -57,6 +58,137 @@ pub fn encode_portable(term: &Term) -> WireTerm {
 /// its wire encoding).
 pub fn fingerprint(term: &Term) -> Fingerprint {
     encode(term).fingerprint()
+}
+
+/// An α-invariant, *process-stable* content fingerprint — the CC-CC
+/// counterpart of `cccc_source::wire::fingerprint_alpha`. Binders are
+/// numbered by a de Bruijn-style scope walk instead of hashed by name,
+/// so α-equivalent artifacts always agree even though closure conversion
+/// freshens its environment binders differently on every recompile; free
+/// variables contribute their textual names (plus generated subscript),
+/// so the fingerprint is stable across processes. The query layer keys a
+/// unit's *output* on this: a recompile that produced an α-equivalent
+/// artifact must early-cut-off every downstream phase.
+pub fn fingerprint_alpha(term: &Term) -> Fingerprint {
+    let mut writer = WireWriter::new();
+    let mut scope: Vec<Symbol> = Vec::new();
+    encode_alpha(term, &mut writer, &mut scope);
+    writer.finish().fingerprint()
+}
+
+/// Writes an occurrence of `x`: its scope depth when bound (counted from
+/// the innermost binder), its base name plus generated-subscript when
+/// free. The subscript is a separate word — not rendered into the name —
+/// so a plain symbol whose name contains `$` can never alias a generated
+/// symbol.
+fn push_alpha_var(x: Symbol, writer: &mut WireWriter, scope: &[Symbol]) {
+    match scope.iter().rev().position(|&b| b == x) {
+        Some(depth) => {
+            writer.push(1);
+            writer.push(depth as u64);
+        }
+        None => {
+            writer.push(0);
+            writer.push_str(x.base_name());
+            writer.push(x.disambiguator());
+        }
+    }
+}
+
+/// The α-invariant encoding: same tags as [`encode`], but no subterm
+/// sharing (back-references would be scope-sensitive) and binders
+/// contribute only their positions. `Code`/`CodeTy` bind the environment
+/// binder *and* the argument binder in the body/result — both are pushed
+/// (environment first, matching the field order the typechecker scopes
+/// them in), with the annotations encoded outside.
+fn encode_alpha(term: &Term, writer: &mut WireWriter, scope: &mut Vec<Symbol>) {
+    match term {
+        Term::Var(x) => {
+            writer.push(TAG_VAR);
+            push_alpha_var(*x, writer, scope);
+        }
+        Term::Sort(Universe::Star) => writer.push(TAG_STAR),
+        Term::Sort(Universe::Box) => writer.push(TAG_BOX),
+        Term::Pi { binder, domain, codomain } => {
+            writer.push(TAG_PI);
+            encode_alpha(domain, writer, scope);
+            scope.push(*binder);
+            encode_alpha(codomain, writer, scope);
+            scope.pop();
+        }
+        Term::Code { env_binder, env_ty, arg_binder, arg_ty, body } => {
+            writer.push(TAG_CODE);
+            encode_alpha(env_ty, writer, scope);
+            scope.push(*env_binder);
+            encode_alpha(arg_ty, writer, scope);
+            scope.push(*arg_binder);
+            encode_alpha(body, writer, scope);
+            scope.pop();
+            scope.pop();
+        }
+        Term::CodeTy { env_binder, env_ty, arg_binder, arg_ty, result } => {
+            writer.push(TAG_CODE_TY);
+            encode_alpha(env_ty, writer, scope);
+            scope.push(*env_binder);
+            encode_alpha(arg_ty, writer, scope);
+            scope.push(*arg_binder);
+            encode_alpha(result, writer, scope);
+            scope.pop();
+            scope.pop();
+        }
+        Term::Closure { code, env } => {
+            writer.push(TAG_CLOSURE);
+            encode_alpha(code, writer, scope);
+            encode_alpha(env, writer, scope);
+        }
+        Term::App { func, arg } => {
+            writer.push(TAG_APP);
+            encode_alpha(func, writer, scope);
+            encode_alpha(arg, writer, scope);
+        }
+        Term::Let { binder, annotation, bound, body } => {
+            writer.push(TAG_LET);
+            encode_alpha(annotation, writer, scope);
+            encode_alpha(bound, writer, scope);
+            scope.push(*binder);
+            encode_alpha(body, writer, scope);
+            scope.pop();
+        }
+        Term::Sigma { binder, first, second } => {
+            writer.push(TAG_SIGMA);
+            encode_alpha(first, writer, scope);
+            scope.push(*binder);
+            encode_alpha(second, writer, scope);
+            scope.pop();
+        }
+        Term::Pair { first, second, annotation } => {
+            writer.push(TAG_PAIR);
+            encode_alpha(first, writer, scope);
+            encode_alpha(second, writer, scope);
+            encode_alpha(annotation, writer, scope);
+        }
+        Term::Fst(e) => {
+            writer.push(TAG_FST);
+            encode_alpha(e, writer, scope);
+        }
+        Term::Snd(e) => {
+            writer.push(TAG_SND);
+            encode_alpha(e, writer, scope);
+        }
+        Term::Unit => writer.push(TAG_UNIT),
+        Term::UnitVal => writer.push(TAG_UNIT_VAL),
+        Term::BoolTy => writer.push(TAG_BOOL_TY),
+        Term::BoolLit(b) => {
+            writer.push(TAG_BOOL_LIT);
+            writer.push(u64::from(*b));
+        }
+        Term::If { scrutinee, then_branch, else_branch } => {
+            writer.push(TAG_IF);
+            encode_alpha(scrutinee, writer, scope);
+            encode_alpha(then_branch, writer, scope);
+            encode_alpha(else_branch, writer, scope);
+        }
+    }
 }
 
 /// Decodes a wire buffer produced by [`encode`] or [`encode_portable`],
@@ -315,6 +447,63 @@ mod tests {
     fn fingerprints_distinguish_terms() {
         assert_ne!(fingerprint(&t::tt()), fingerprint(&t::ff()));
         assert_ne!(fingerprint(&t::unit_ty()), fingerprint(&t::unit_val()));
+    }
+
+    #[test]
+    fn alpha_fingerprints_quotient_binder_names() {
+        // The closure-conversion case: the same code block with differently
+        // freshened env/arg binders must fingerprint identically …
+        let a = t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x"));
+        let b = t::code("m", t::unit_ty(), "y", t::bool_ty(), t::var("y"));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint_alpha(&a), fingerprint_alpha(&b));
+        // … the env binder scopes over the body too …
+        let env_a = t::code("n", t::bool_ty(), "x", t::bool_ty(), t::var("n"));
+        let env_b = t::code("m", t::bool_ty(), "y", t::bool_ty(), t::var("m"));
+        let arg_ref = t::code("m", t::bool_ty(), "y", t::bool_ty(), t::var("y"));
+        assert_eq!(fingerprint_alpha(&env_a), fingerprint_alpha(&env_b));
+        assert_ne!(fingerprint_alpha(&env_a), fingerprint_alpha(&arg_ref));
+        // … code types are quotiented the same way …
+        let ty_a = t::code_ty("n", t::unit_ty(), "x", t::bool_ty(), t::bool_ty());
+        let ty_b = t::code_ty("e", t::unit_ty(), "v", t::bool_ty(), t::bool_ty());
+        assert_eq!(fingerprint_alpha(&ty_a), fingerprint_alpha(&ty_b));
+        // … free variables still count by name …
+        assert_ne!(fingerprint_alpha(&t::var("p")), fingerprint_alpha(&t::var("q")));
+        // … and Π/Σ/let binders are quotiented too.
+        let pi_a = t::pi("A", t::star(), t::var("A"));
+        let pi_b = t::pi("B", t::star(), t::var("B"));
+        assert_eq!(fingerprint_alpha(&pi_a), fingerprint_alpha(&pi_b));
+        let let_a = t::let_("u", t::unit_ty(), t::unit_val(), t::var("u"));
+        let let_b = t::let_("w", t::unit_ty(), t::unit_val(), t::var("w"));
+        assert_eq!(fingerprint_alpha(&let_a), fingerprint_alpha(&let_b));
+    }
+
+    #[test]
+    fn alpha_fingerprints_hash_free_variables_by_name() {
+        // A free plain symbol and a free generated symbol with the same
+        // base name must not collide …
+        let plain = t::var("w");
+        let generated = cccc_util::symbol::Symbol::fresh("w");
+        assert_ne!(fingerprint_alpha(&plain), fingerprint_alpha(&Term::Var(generated)));
+        // … two interned copies of the same name agree …
+        assert_eq!(fingerprint_alpha(&t::var("w")), fingerprint_alpha(&plain));
+        // … and a plain symbol textually equal to a generated symbol's
+        // display form does not alias it.
+        let aliased = t::var(&format!("w${}", generated.disambiguator()));
+        assert_ne!(fingerprint_alpha(&aliased), fingerprint_alpha(&Term::Var(generated)));
+    }
+
+    #[test]
+    fn alpha_fingerprints_are_stable_across_generated_binder_refreshes() {
+        // Encode portably, decode (re-freshening generated binders), and
+        // the α-fingerprint must not move — the property the query layer's
+        // early cutoff rests on.
+        let env_binder = cccc_util::symbol::Symbol::fresh("env");
+        let generated =
+            t::code_sym(env_binder, t::unit_ty(), "y".into(), t::bool_ty(), t::var("y"));
+        let decoded = decode(&encode_portable(&generated)).unwrap();
+        assert_ne!(fingerprint(&generated), fingerprint(&decoded));
+        assert_eq!(fingerprint_alpha(&generated), fingerprint_alpha(&decoded));
     }
 
     #[test]

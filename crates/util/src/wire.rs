@@ -59,7 +59,11 @@ use std::sync::Arc;
 /// header vocabulary). Bump on any incompatible change; persistent
 /// stores write it into their blob headers and treat mismatches as
 /// misses, never as errors.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// History: 1 = original sectioned artifact blobs; 2 = artifact blobs
+/// gained the output α-fingerprint (early cutoff) and the store grew
+/// verified-phase records.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// First word of a portable buffer. Raw buffers always start with a
 /// small language tag word, so the marker can never be confused for one.
