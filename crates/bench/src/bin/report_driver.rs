@@ -589,6 +589,16 @@ impl EditNumbers {
     fn speedup(&self) -> f64 {
         self.no_cutoff_ns as f64 / self.incremental_ns.max(1) as f64
     }
+
+    /// Whether the model predicts real pipeline work (typecheck or
+    /// translate) for this step. Steps that re-run nothing — or only
+    /// the sub-microsecond check/verify memo walks — finish in
+    /// scheduler-bookkeeping time on both sessions, so a *ratio* of the
+    /// two walls is timer noise; the JSON reports their absolute delta
+    /// instead, and the speedup gate only ever reads ratio steps.
+    fn has_ratio_scale_work(&self) -> bool {
+        self.predicted.typecheck + self.predicted.translate > 0
+    }
 }
 
 /// All numbers for the edit-script probe.
@@ -1073,7 +1083,9 @@ fn render_query_json(query: &QueryNumbers, reps: u32) -> String {
          rebuild with early cutoff (dependency keys fold imported INTERFACE fingerprints); \
          no_cutoff_ns is the same edit on a session keyed by imported SOURCES - the \
          whole-unit-cascade baseline this PR replaced. check/verify counts are per alpha-class \
-         (content-addressed), which is why the signature edit re-verifies 3, not 16.\",\n",
+         (content-addressed), which is why the signature edit re-verifies 3, not 16. Steps \
+         whose model predicts zero typecheck/translate work report delta_ns (absolute, can go \
+         negative with timer noise) instead of a ratio of two noise-floor walls.\",\n",
     );
     out.push_str("  \"workload\": \"edits(diamond_16)\",\n");
     out.push_str(&format!("  \"cold_build_ns\": {},\n", query.cold_ns));
@@ -1083,10 +1095,20 @@ fn render_query_json(query: &QueryNumbers, reps: u32) -> String {
     ));
     out.push_str("  \"edits\": [\n");
     for (index, step) in query.steps.iter().enumerate() {
+        // Zero-pipeline-work steps (α-rename, the verify-only flip)
+        // complete in microseconds on both sessions — a ratio of two
+        // noise-floor walls swings run to run and reads as a regression
+        // when nothing changed. Report those as an absolute delta; keep
+        // the ratio for steps the model predicts real work on.
+        let comparison = if step.has_ratio_scale_work() {
+            format!("\"speedup_vs_no_cutoff\": {:.1}", step.speedup())
+        } else {
+            format!("\"delta_ns\": {}", step.no_cutoff_ns as i128 - step.incremental_ns as i128)
+        };
         out.push_str(&format!(
             "    {{ \"label\": \"{}\", \"predicted\": {}, \"measured\": {}, \
              \"compiled_units\": {}, \"incremental_ns\": {}, \"no_cutoff_ns\": {}, \
-             \"no_cutoff_phases\": {}, \"speedup_vs_no_cutoff\": {:.1} }}{}\n",
+             \"no_cutoff_phases\": {}, {comparison} }}{}\n",
             step.label,
             counts(&step.predicted),
             counts(&step.measured),
@@ -1094,7 +1116,6 @@ fn render_query_json(query: &QueryNumbers, reps: u32) -> String {
             step.incremental_ns,
             step.no_cutoff_ns,
             counts(&step.no_cutoff_measured),
-            step.speedup(),
             if index + 1 == query.steps.len() { "" } else { "," }
         ));
     }

@@ -98,6 +98,24 @@ pub struct StoreStats {
     pub verified_hits: u64,
     /// Verified-phase records written through to disk.
     pub verified_writes: u64,
+    /// Bytes read from blob files — headers, section tables, and any
+    /// section bodies actually decoded (lazy loads count only what they
+    /// touch).
+    pub bytes_read: u64,
+    /// Bytes written through to blob files.
+    pub bytes_written: u64,
+    /// Blob sections materialized into wire terms (eagerly at load, or
+    /// lazily at first access).
+    pub sections_decoded: u64,
+    /// Blob sections a lazy load left on disk undecoded. A section
+    /// counted skipped at load is re-counted under `sections_decoded`
+    /// if a later access materializes it, so the pair measures load-time
+    /// laziness rather than partitioning the sections.
+    pub sections_skipped: u64,
+    /// Blobs evicted by a size-bounded garbage-collection sweep.
+    pub gc_evictions: u64,
+    /// Bytes reclaimed by those evictions.
+    pub gc_evicted_bytes: u64,
     /// Blobs in the store (a size at observation time, not a delta).
     pub entries: u64,
     /// Total bytes of those blobs (a size at observation time).
@@ -116,6 +134,12 @@ impl StoreStats {
             write_errors: self.write_errors - before.write_errors,
             verified_hits: self.verified_hits - before.verified_hits,
             verified_writes: self.verified_writes - before.verified_writes,
+            bytes_read: self.bytes_read - before.bytes_read,
+            bytes_written: self.bytes_written - before.bytes_written,
+            sections_decoded: self.sections_decoded - before.sections_decoded,
+            sections_skipped: self.sections_skipped - before.sections_skipped,
+            gc_evictions: self.gc_evictions - before.gc_evictions,
+            gc_evicted_bytes: self.gc_evicted_bytes - before.gc_evicted_bytes,
             entries: self.entries,
             bytes: self.bytes,
         }
@@ -132,6 +156,12 @@ impl StoreStats {
             write_errors: self.write_errors + other.write_errors,
             verified_hits: self.verified_hits + other.verified_hits,
             verified_writes: self.verified_writes + other.verified_writes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            sections_decoded: self.sections_decoded + other.sections_decoded,
+            sections_skipped: self.sections_skipped + other.sections_skipped,
+            gc_evictions: self.gc_evictions + other.gc_evictions,
+            gc_evicted_bytes: self.gc_evicted_bytes + other.gc_evicted_bytes,
             entries: self.entries.max(other.entries),
             bytes: self.bytes.max(other.bytes),
         }
@@ -147,7 +177,9 @@ impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "store {}h/{}m/{}inv, {}w (+{} failed), {}vh/{}vw, {} blobs / {} bytes",
+            "store {}h/{}m/{}inv, {}w (+{} failed), {}vh/{}vw, \
+             io {}B r/{}B w, sections {}d/{}s, gc {} (-{}B), \
+             {} blobs / {} bytes",
             self.disk_hits,
             self.disk_misses,
             self.invalid_entries,
@@ -155,6 +187,12 @@ impl fmt::Display for StoreStats {
             self.write_errors,
             self.verified_hits,
             self.verified_writes,
+            self.bytes_read,
+            self.bytes_written,
+            self.sections_decoded,
+            self.sections_skipped,
+            self.gc_evictions,
+            self.gc_evicted_bytes,
             self.entries,
             self.bytes,
         )
@@ -1149,6 +1187,12 @@ mod tests {
             write_errors: 0,
             verified_hits: 1,
             verified_writes: 2,
+            bytes_read: 100,
+            bytes_written: 400,
+            sections_decoded: 2,
+            sections_skipped: 4,
+            gc_evictions: 0,
+            gc_evicted_bytes: 0,
             entries: 10,
             bytes: 800,
         };
@@ -1160,6 +1204,12 @@ mod tests {
             write_errors: 1,
             verified_hits: 3,
             verified_writes: 2,
+            bytes_read: 250,
+            bytes_written: 600,
+            sections_decoded: 5,
+            sections_skipped: 10,
+            gc_evictions: 2,
+            gc_evicted_bytes: 160,
             entries: 12,
             bytes: 900,
         };
@@ -1170,12 +1220,24 @@ mod tests {
         assert_eq!(delta.write_throughs, 2);
         assert_eq!(delta.verified_hits, 2);
         assert_eq!(delta.verified_writes, 0);
+        assert_eq!(delta.bytes_read, 150);
+        assert_eq!(delta.bytes_written, 200);
+        assert_eq!(delta.sections_decoded, 3);
+        assert_eq!(delta.sections_skipped, 6);
+        assert_eq!(delta.gc_evictions, 2);
+        assert_eq!(delta.gc_evicted_bytes, 160);
         assert_eq!(delta.lookups(), 4);
         assert_eq!(delta.entries, 12, "sizes keep the later observation");
         let doubled = delta.merged(&delta);
         assert_eq!(doubled.disk_hits, 6);
+        assert_eq!(doubled.bytes_read, 300);
+        assert_eq!(doubled.sections_skipped, 12);
+        assert_eq!(doubled.gc_evicted_bytes, 320);
         assert_eq!(doubled.entries, 12, "sizes take the max, not the sum");
         assert!(delta.to_string().contains("store"));
+        assert!(delta.to_string().contains("io 150B r/200B w"));
+        assert!(delta.to_string().contains("sections 3d/6s"));
+        assert!(delta.to_string().contains("gc 2 (-160B)"));
 
         // A report whose window saw store activity renders it.
         let mut with_store = CacheReport::default();

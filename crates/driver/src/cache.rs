@@ -33,35 +33,121 @@
 //! Artifacts are wire-encoded ([`cccc_target::wire`]) and shared behind
 //! [`Arc`], so cache reads hand workers cheap clones across threads.
 
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, LazySections};
 use cccc_core::pipeline::StoreStats;
 use cccc_util::wire::{Fingerprint, WireTerm};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+/// Where an artifact's three wire sections live: in memory (a fresh
+/// compile, or an eager disk load) or still on disk behind a lazily
+/// loaded blob's section table.
+#[derive(Debug)]
+enum Sections {
+    /// All three sections materialized.
+    Eager { source_ty: WireTerm, target: WireTerm, target_ty: WireTerm },
+    /// Sections `pread` + checksummed on first access (see
+    /// [`crate::store`]'s v3 blob format).
+    Lazy(LazySections),
+}
+
 /// The compiled outputs of one unit, wire-encoded and thread-portable.
-#[derive(Clone, Debug)]
+///
+/// The two α-invariant fingerprints — interface and whole-output — are
+/// always available (a lazy disk load reads them straight from the blob
+/// header), so the query pipeline's fingerprint folding, early cutoff,
+/// and `verified`-record checks never force a section decode. The
+/// section accessors are fallible: on a lazily loaded artifact the
+/// first access performs the deferred read, and a blob that rotted on
+/// disk since its header was verified surfaces the corruption *here* —
+/// the session treats that as a cache miss and recompiles.
+#[derive(Debug)]
 pub struct Artifact {
-    /// The unit's inferred CC type — its exported interface.
-    pub source_ty: WireTerm,
-    /// The closure-converted CC-CC term.
-    pub target: WireTerm,
-    /// The translation of the interface (the type the target checks at).
-    pub target_ty: WireTerm,
-    /// The α-invariant fingerprint of the interface
-    /// ([`cccc_source::wire::fingerprint_alpha`]), computed at compile
-    /// time.
-    pub interface_alpha: Fingerprint,
-    /// The α-invariant fingerprint of the *whole output* — interface ⊕
-    /// target term ⊕ target type ([`cccc_target::wire::fingerprint_alpha`]).
-    /// This is the artifact query's early-cutoff output: downstream
-    /// check/verify queries key on it, so they re-run only when a
-    /// recompile actually changed what was produced (α-invariantly —
-    /// recompiles freshen binders differently every time).
-    pub output_alpha: Fingerprint,
+    sections: Sections,
+    interface_alpha: Fingerprint,
+    output_alpha: Fingerprint,
 }
 
 impl Artifact {
+    /// An artifact whose sections are in memory — the shape every fresh
+    /// compile produces.
+    pub fn new(
+        source_ty: WireTerm,
+        target: WireTerm,
+        target_ty: WireTerm,
+        interface_alpha: Fingerprint,
+        output_alpha: Fingerprint,
+    ) -> Artifact {
+        Artifact {
+            sections: Sections::Eager { source_ty, target, target_ty },
+            interface_alpha,
+            output_alpha,
+        }
+    }
+
+    /// An artifact over a lazily loaded blob (fingerprints from its
+    /// header, sections decoded on demand).
+    pub(crate) fn lazy(
+        sections: LazySections,
+        interface_alpha: Fingerprint,
+        output_alpha: Fingerprint,
+    ) -> Artifact {
+        Artifact { sections: Sections::Lazy(sections), interface_alpha, output_alpha }
+    }
+
+    /// Whether the sections are still on disk (nothing decoded until
+    /// accessed).
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.sections, Sections::Lazy(_))
+    }
+
+    /// The unit's inferred CC type — its exported interface.
+    ///
+    /// # Errors
+    ///
+    /// On a lazily loaded artifact whose blob rotted on disk, the
+    /// corruption detected at first decode (the blob has already been
+    /// invalidated and deleted by the store).
+    pub fn source_ty(&self) -> Result<WireTerm, String> {
+        match &self.sections {
+            Sections::Eager { source_ty, .. } => Ok(source_ty.clone()),
+            Sections::Lazy(lazy) => lazy.section(0),
+        }
+    }
+
+    /// The closure-converted CC-CC term.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Artifact::source_ty`].
+    pub fn target(&self) -> Result<WireTerm, String> {
+        match &self.sections {
+            Sections::Eager { target, .. } => Ok(target.clone()),
+            Sections::Lazy(lazy) => lazy.section(1),
+        }
+    }
+
+    /// The translation of the interface (the type the target checks at).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Artifact::source_ty`].
+    pub fn target_ty(&self) -> Result<WireTerm, String> {
+        match &self.sections {
+            Sections::Eager { target_ty, .. } => Ok(target_ty.clone()),
+            Sections::Lazy(lazy) => lazy.section(2),
+        }
+    }
+
+    /// The encoded size of the CC-CC term in words — from the section
+    /// table on a lazy artifact, so reporting it never forces a decode.
+    pub fn target_words(&self) -> usize {
+        match &self.sections {
+            Sections::Eager { target, .. } => target.len(),
+            Sections::Lazy(lazy) => lazy.section_words(1),
+        }
+    }
+
     /// The fingerprint of the exported interface; dependents fold this
     /// into their own query keys, giving early cutoff when an import's
     /// body changes but its interface does not. α-invariant:
@@ -72,8 +158,12 @@ impl Artifact {
         self.interface_alpha
     }
 
-    /// The α-invariant fingerprint of everything this compile produced
-    /// (the artifact query's stored *output* fingerprint).
+    /// The α-invariant fingerprint of the *whole output* — interface ⊕
+    /// target term ⊕ target type ([`cccc_target::wire::fingerprint_alpha`]).
+    /// This is the artifact query's early-cutoff output: downstream
+    /// check/verify queries key on it, so they re-run only when a
+    /// recompile actually changed what was produced (α-invariantly —
+    /// recompiles freshen binders differently every time).
     pub fn output_fingerprint(&self) -> Fingerprint {
         self.output_alpha
     }
@@ -319,13 +409,13 @@ mod tests {
 
     fn artifact(term: &cccc_target::Term) -> Arc<Artifact> {
         let wire = cccc_target::wire::encode(term);
-        Arc::new(Artifact {
-            source_ty: wire.clone(),
-            target: wire.clone(),
-            target_ty: wire.clone(),
-            interface_alpha: wire.fingerprint(),
-            output_alpha: wire.fingerprint(),
-        })
+        Arc::new(Artifact::new(
+            wire.clone(),
+            wire.clone(),
+            wire.clone(),
+            wire.fingerprint(),
+            wire.fingerprint(),
+        ))
     }
 
     #[test]
@@ -355,7 +445,7 @@ mod tests {
         assert!(cache.lookup("m", fp1).is_none());
         let (hit, tier) = cache.lookup("m", fp2).unwrap();
         assert_eq!(tier, CacheTier::Memory);
-        let decoded = cccc_target::wire::decode(&hit.target).unwrap();
+        let decoded = cccc_target::wire::decode(&hit.target().unwrap()).unwrap();
         assert!(matches!(decoded, cccc_target::Term::BoolLit(false)));
     }
 
@@ -369,13 +459,13 @@ mod tests {
         // A well-formed artifact (each section in its own language): the
         // store transcodes sections on write-through, so — unlike the
         // memory-only tests above — the fields must decode.
-        let stored = Arc::new(Artifact {
-            source_ty: cccc_source::wire::encode(&cccc_source::builder::bool_ty()),
-            target: cccc_target::wire::encode(&t::tt()),
-            target_ty: cccc_target::wire::encode(&t::bool_ty()),
-            interface_alpha: Fingerprint::of_words(&[3]),
-            output_alpha: Fingerprint::of_words(&[4]),
-        });
+        let stored = Arc::new(Artifact::new(
+            cccc_source::wire::encode(&cccc_source::builder::bool_ty()),
+            cccc_target::wire::encode(&t::tt()),
+            cccc_target::wire::encode(&t::bool_ty()),
+            Fingerprint::of_words(&[3]),
+            Fingerprint::of_words(&[4]),
+        ));
 
         // A miss in both tiers.
         assert!(cache.lookup("m", fp).is_none());
@@ -394,9 +484,14 @@ mod tests {
         cache.clear();
         let (hit, tier) = cache.lookup("m", fp).unwrap();
         assert_eq!(tier, CacheTier::Disk);
-        let decoded = cccc_target::wire::decode(&hit.target).unwrap();
+        assert!(hit.is_lazy(), "disk hits defer their section decodes");
+        let decoded = cccc_target::wire::decode(&hit.target().unwrap()).unwrap();
         assert!(matches!(decoded, cccc_target::Term::BoolLit(true)));
-        assert_eq!(hit.output_alpha, Fingerprint::of_words(&[4]), "output fp survives the disk");
+        assert_eq!(
+            hit.output_fingerprint(),
+            Fingerprint::of_words(&[4]),
+            "output fp survives the disk"
+        );
         assert_eq!(cache.store_counters().disk_hits, 1);
         let (_, tier) = cache.lookup("m", fp).unwrap();
         assert_eq!(tier, CacheTier::Memory, "the disk hit was promoted");
@@ -451,9 +546,19 @@ mod tests {
     }
 
     #[test]
-    fn interface_fingerprint_is_the_stored_alpha_fingerprint() {
-        let a = artifact(&t::tt());
-        assert_eq!(a.interface_fingerprint(), a.interface_alpha);
-        assert_eq!(a.output_fingerprint(), a.output_alpha);
+    fn fresh_artifacts_answer_every_accessor_in_memory() {
+        let wire = cccc_target::wire::encode(&t::tt());
+        let a = Artifact::new(
+            wire.clone(),
+            wire.clone(),
+            wire.clone(),
+            Fingerprint::of_words(&[5]),
+            Fingerprint::of_words(&[6]),
+        );
+        assert!(!a.is_lazy());
+        assert_eq!(a.interface_fingerprint(), Fingerprint::of_words(&[5]));
+        assert_eq!(a.output_fingerprint(), Fingerprint::of_words(&[6]));
+        assert_eq!(a.target_words(), wire.len());
+        assert!(a.source_ty().is_ok() && a.target().is_ok() && a.target_ty().is_ok());
     }
 }

@@ -73,7 +73,7 @@ pub use cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 pub use graph::{Plan, Unit, UnitGraph};
 pub use poison::PoisonedInterface;
 pub use session::{BuildReport, Session, UnitReport, UnitStatus};
-pub use store::{ArtifactStore, FaultPlan};
+pub use store::{ArtifactStore, DecodeMode, FaultPlan, GcReport, StoreBudget};
 
 use std::fmt;
 

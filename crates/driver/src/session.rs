@@ -35,7 +35,7 @@ use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
 use crate::graph::{Plan, Unit, UnitGraph};
 use crate::poison::PoisonedInterface;
 use crate::query::{self, CheckMemo, PhaseRuns, QueryCounts, QueryState};
-use crate::store::{ArtifactStore, FaultPlan};
+use crate::store::{ArtifactStore, DecodeMode, FaultPlan, GcReport, StoreBudget};
 use crate::DriverError;
 use cccc_core::pipeline::{
     cache_snapshot, diagnostic_of_compile_error, BuildMetrics, CacheReport, Compilation, Compiler,
@@ -46,9 +46,9 @@ use cccc_target as tgt;
 use cccc_util::diag::{diagnostics_to_json, json_string, Diagnostic};
 use cccc_util::symbol::Symbol;
 use cccc_util::trace::{self, BuildTrace, TraceSink};
-use cccc_util::wire::Fingerprint;
+use cccc_util::wire::{Fingerprint, WireTerm};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -151,6 +151,9 @@ pub struct BuildReport {
     /// directory and a warm rebuild must not pay for that inside the
     /// build; ask [`Session::store_stats`] when sizes are wanted.
     pub store: Option<StoreStats>,
+    /// What the post-build store GC sweep did (`None` unless a store
+    /// *and* a [`Session::set_store_budget`] budget are configured).
+    pub gc: Option<GcReport>,
     /// Every span and event the build recorded (`None` unless
     /// [`Session::set_tracing`] enabled tracing). Export with
     /// [`BuildTrace::to_chrome_json`].
@@ -313,6 +316,10 @@ pub struct Session {
     /// upstream source change cascades — kept so the benchmarks can
     /// measure exactly what cutoff buys.
     early_cutoff: bool,
+    /// When set, every [`Session::build`] ends with a store GC sweep
+    /// down to this byte budget, protecting the keys reachable from the
+    /// build that just finished.
+    store_budget: Option<StoreBudget>,
     results: HashMap<String, Arc<Artifact>>,
     poisons: HashMap<String, Arc<PoisonedInterface>>,
     tracing: bool,
@@ -386,6 +393,7 @@ impl Session {
             cache_ready: Condvar::new(),
             query: Mutex::new(QueryState::default()),
             early_cutoff: true,
+            store_budget: None,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -416,6 +424,7 @@ impl Session {
             cache_ready: Condvar::new(),
             query: Mutex::new(QueryState::default()),
             early_cutoff: true,
+            store_budget: None,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -430,6 +439,35 @@ impl Session {
     pub fn set_store_faults(&mut self, plan: FaultPlan) {
         if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
             store.set_faults(plan);
+        }
+    }
+
+    /// Caps the persistent store at `budget` bytes: every build ends
+    /// with a GC sweep ([`ArtifactStore::gc`]) that protects the keys
+    /// reachable from the build that just ran — artifact keys and
+    /// verified-record keys for every unit that produced an artifact —
+    /// and evicts the rest, least recently used first. `None` (the
+    /// default) disables sweeping. No-op without a store.
+    pub fn set_store_budget(&mut self, budget: Option<StoreBudget>) {
+        self.store_budget = budget;
+    }
+
+    /// Forces the store to fully decode every blob at load time instead
+    /// of deferring sections to first access — the pre-v3 behaviour,
+    /// kept so the benchmarks can measure what lazy decoding saves.
+    /// No-op without a store.
+    pub fn set_store_eager_decode(&mut self, eager: bool) {
+        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
+            store.set_decode_mode(if eager { DecodeMode::Eager } else { DecodeMode::Lazy });
+        }
+    }
+
+    /// Injects artificial latency into every store blob load (applied
+    /// outside all session locks) so tests can observe disk-load
+    /// concurrency deterministically. No-op without a store.
+    pub fn set_store_read_delay(&mut self, delay: Duration) {
+        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
+            store.set_read_delay(delay);
         }
     }
 
@@ -572,7 +610,8 @@ impl Session {
     /// unit, or [`DriverError::Wire`] on a corrupt artifact.
     pub fn target_term(&self, name: &str) -> Result<tgt::Term, DriverError> {
         let artifact = self.artifact(name).ok_or_else(|| DriverError::NotBuilt(name.to_owned()))?;
-        tgt::wire::decode(&artifact.target).map_err(|e| DriverError::Wire(e.to_string()))
+        let target = artifact.target().map_err(DriverError::Wire)?;
+        tgt::wire::decode(&target).map_err(|e| DriverError::Wire(e.to_string()))
     }
 
     /// The exported interface (inferred CC type) of `name`, decoded into
@@ -584,7 +623,8 @@ impl Session {
     /// unit, or [`DriverError::Wire`] on a corrupt artifact.
     pub fn interface(&self, name: &str) -> Result<src::Term, DriverError> {
         let artifact = self.artifact(name).ok_or_else(|| DriverError::NotBuilt(name.to_owned()))?;
-        src::wire::decode(&artifact.source_ty).map_err(|e| DriverError::Wire(e.to_string()))
+        let source_ty = artifact.source_ty().map_err(DriverError::Wire)?;
+        src::wire::decode(&source_ty).map_err(|e| DriverError::Wire(e.to_string()))
     }
 
     /// Compiles every unit, `workers` at a time, answering each phase
@@ -659,6 +699,13 @@ impl Session {
                 None => {}
             }
         }
+        // Sweep the store down to its budget while the reachable set is
+        // fresh — before the store-counter delta below, so the sweep's
+        // eviction counters land in this build's report.
+        let gc = match (self.store_budget, ctx.store.as_deref()) {
+            (Some(budget), Some(store)) => Some(store.gc(&self.live_store_keys(&plan), budget)),
+            _ => None,
+        };
         // Critical path over *this build's* measured per-unit durations:
         // the longest dependency chain, the schedule-independent lower
         // bound the makespan is reported against.
@@ -702,10 +749,56 @@ impl Session {
             },
             queries,
             store,
+            gc,
             trace: trace_data,
             metrics,
             critical_path_ns,
         })
+    }
+
+    /// The store keys reachable from the build that just finished: for
+    /// every unit with an artifact, its artifact query key and (when
+    /// output checking is on) its verify query key, computed exactly as
+    /// the workers computed them. This is the GC's protected set — both
+    /// `.art` blobs and `.vfy` records for the current graph survive a
+    /// sweep, so the next warm build stays warm.
+    fn live_store_keys(&self, plan: &Plan) -> HashSet<Fingerprint> {
+        let options = self.options;
+        let mut live = HashSet::new();
+        'units: for &u in &plan.order {
+            let unit = self.graph.unit_at(u);
+            let Some(artifact) = self.results.get(&unit.name) else {
+                continue;
+            };
+            let dep_fp = if self.early_cutoff {
+                let mut acc = Fingerprint::default();
+                for &d in &plan.transitive[u] {
+                    let dep = self.graph.unit_at(d);
+                    // A dependency without an artifact means this unit
+                    // cannot have one either; be conservative anyway.
+                    let Some(dep_artifact) = self.results.get(&dep.name) else {
+                        continue 'units;
+                    };
+                    acc = query::fold_dep(acc, &dep.name, dep_artifact.interface_fingerprint());
+                }
+                acc
+            } else {
+                plan.transitive[u].iter().fold(Fingerprint::default(), |acc, &d| {
+                    let dep = self.graph.unit_at(d);
+                    query::fold_dep(acc, &dep.name, dep.source_alpha)
+                })
+            };
+            live.insert(query::artifact_key(unit.source_alpha, dep_fp, &options));
+            if options.typecheck_output {
+                live.insert(query::verify_key(
+                    unit.source_alpha,
+                    dep_fp,
+                    artifact.output_fingerprint(),
+                    &options,
+                ));
+            }
+        }
+        live
     }
 
     /// Links the compiled program rooted at `root`: every transitive
@@ -908,7 +1001,7 @@ fn handle_unit(
         }
         // Typecheck and translate are answered; the verified query
         // decides whether check/verify can be cut off too.
-        return ensure_verified(
+        let verified = ensure_verified(
             worker,
             ctx,
             unit_index,
@@ -920,8 +1013,18 @@ fn handle_unit(
             lookup_delta,
             started,
         );
+        match verified {
+            Some(result) => return result,
+            // The hit was a lazily loaded blob whose term sections
+            // rotted on disk after its header was verified. The store
+            // has already counted the invalid entry and deleted the
+            // blob; degrade to a recompile, whose write-through puts a
+            // fresh blob back.
+            None => trace::event("cache.rot", &[]),
+        }
+    } else {
+        trace::event("cache.miss", &[]);
     }
-    trace::event("cache.miss", &[]);
 
     // One shape for both modes: strict failures carry their folded
     // diagnostic and no poison; keep-going failures carry the full
@@ -937,7 +1040,7 @@ fn handle_unit(
                     let verify_key = query::verify_key(
                         unit.source_alpha,
                         dep_fp,
-                        artifact.output_alpha,
+                        artifact.output_fingerprint(),
                         &options,
                     );
                     ctx.query
@@ -965,7 +1068,7 @@ fn handle_unit(
 
     match compiled {
         Ok((artifact, caches, phases, runs, diagnostics)) => {
-            let target_words = artifact.target.len();
+            let target_words = artifact.target_words();
             // Render the write-through blob on this worker's own time —
             // the transcode dominates the cost of persisting, and doing
             // it under the cache lock would serialize every other
@@ -1014,9 +1117,15 @@ fn handle_unit(
 }
 
 /// The cached-artifact tail of [`handle_unit`]: consult the verified
-/// query; a hit means *zero* phases run, a miss means exactly the
+/// query; a hit means *zero* phases run — and, on a lazily loaded
+/// artifact, zero section decodes — a miss means exactly the
 /// check/verify phases re-run against the cached cc-artifact (this is
 /// where a verify-only option flip lands).
+///
+/// Returns `None` when the artifact's lazily loaded term sections turn
+/// out to have rotted on disk (the deferred decode failed its
+/// per-section checksum): the store has already invalidated and deleted
+/// the blob, and the caller falls through to a plain recompile.
 #[allow(clippy::too_many_arguments)]
 fn ensure_verified(
     worker: usize,
@@ -1029,46 +1138,53 @@ fn ensure_verified(
     dep_fp: Fingerprint,
     lookup_delta: StoreStats,
     started: Instant,
-) -> (UnitReport, Option<Outcome>) {
+) -> Option<(UnitReport, Option<Outcome>)> {
     let unit = ctx.graph.unit_at(unit_index);
     let options = ctx.options;
     if !options.typecheck_output {
         // No verification requested: the artifact alone answers.
-        return (
+        return Some((
             cached_report(worker, unit, &artifact, tier, artifact_key, started),
             Some(Outcome::Built(artifact)),
-        );
+        ));
     }
-    let verify_key = query::verify_key(unit.source_alpha, dep_fp, artifact.output_alpha, &options);
-    let check_key = query::check_key(artifact.output_alpha, dep_fp, &options);
+    let verify_key =
+        query::verify_key(unit.source_alpha, dep_fp, artifact.output_fingerprint(), &options);
+    let check_key = query::check_key(artifact.output_fingerprint(), dep_fp, &options);
     if verified_hit(ctx, verify_key, check_key) {
         trace::event("query.cutoff", &[("check", 1), ("verify", 1)]);
-        return (
+        return Some((
             cached_report(worker, unit, &artifact, tier, artifact_key, started),
             Some(Outcome::Built(artifact)),
-        );
+        ));
     }
 
-    // Artifact reusable, verdict not: re-run check/verify only.
+    // Artifact reusable, verdict not: re-run check/verify only. That
+    // needs the term sections — on a lazy artifact this is the moment
+    // the deferred reads happen, and the moment on-disk rot surfaces.
+    let (Ok(target), Ok(target_ty)) = (artifact.target(), artifact.target_ty()) else {
+        return None;
+    };
     let before = cache_snapshot();
     let (env, term) = match decode_unit_inputs(ctx.graph, unit_index, deps) {
         Ok(inputs) => inputs,
         Err(message) => {
             let diagnostics = vec![Diagnostic::error(message.clone())];
-            return (
+            return Some((
                 failed_report(worker, unit, message, diagnostics, artifact_key, started),
                 None,
-            );
+            ));
         }
     };
     let compiler = Compiler::with_options(options);
-    match run_check_verify(&compiler, ctx, &env, &term, &artifact, check_key, verify_key) {
+    match run_check_verify(&compiler, ctx, &env, &term, &target, &target_ty, check_key, verify_key)
+    {
         Ok(run) => {
             let phases =
                 PhaseNanos { check: run.check_ns, verify: run.verify_ns, ..PhaseNanos::default() };
             let mut caches = CacheReport::between(&before, &cache_snapshot());
             caches.artifact_store = lookup_delta;
-            trace::event("sched.compiled", &[("target_words", artifact.target.len() as u64)]);
+            trace::event("sched.compiled", &[("target_words", target.len() as u64)]);
             let report = UnitReport {
                 name: unit.name.clone(),
                 status: UnitStatus::Compiled,
@@ -1078,15 +1194,15 @@ fn ensure_verified(
                 worker,
                 caches: Some(caches),
                 source_words: unit.source.len(),
-                target_words: artifact.target.len(),
+                target_words: target.len(),
                 phases: Some(phases),
                 phase_runs: PhaseRuns { check: run.check_ran, verify: true, ..PhaseRuns::NONE },
                 diagnostics: Vec::new(),
             };
-            (report, Some(Outcome::Built(artifact)))
+            Some((report, Some(Outcome::Built(artifact))))
         }
         Err((message, diagnostics)) => {
-            (failed_report(worker, unit, message, diagnostics, artifact_key, started), None)
+            Some((failed_report(worker, unit, message, diagnostics, artifact_key, started), None))
         }
     }
 }
@@ -1109,7 +1225,9 @@ fn cached_report(
         worker,
         caches: None,
         source_words: unit.source.len(),
-        target_words: artifact.target.len(),
+        // From the blob's section table on a lazy artifact — reporting
+        // the size must not force a section decode.
+        target_words: artifact.target_words(),
         phases: None,
         phase_runs: PhaseRuns::NONE,
         diagnostics: Vec::new(),
@@ -1161,16 +1279,18 @@ fn handle_poisoned_unit(
     for (d, outcome) in deps {
         let dep = graph.unit_at(*d);
         let interface_wire = match outcome {
-            Outcome::Built(artifact) => &artifact.source_ty,
+            Outcome::Built(artifact) => artifact.source_ty().ok(),
             Outcome::Poisoned(poison) => {
                 upstream.extend(poison.origins.iter().cloned());
-                &poison.interface
+                Some(poison.interface.clone())
             }
         };
-        // A wire failure here is process-local corruption that should not
-        // happen; degrade to the sentinel so the unit still checks.
-        let interface =
-            src::wire::decode(interface_wire).unwrap_or_else(|_| src::tolerant::error_term());
+        // A wire (or lazy-section) failure here is corruption that
+        // should not reach this path; degrade to the sentinel so the
+        // unit still checks.
+        let interface = interface_wire
+            .and_then(|wire| src::wire::decode(&wire).ok())
+            .unwrap_or_else(src::tolerant::error_term);
         env.push_assumption(dep.symbol, interface);
     }
     upstream.sort();
@@ -1336,16 +1456,20 @@ struct CheckVerifyRun {
     check_ran: bool,
 }
 
-/// Runs the check and verify phases for `artifact`, consulting and
-/// feeding the check memo, and publishing the verified verdict — to the
-/// session memo and, when a store is attached, as an on-disk record — on
-/// success.
+/// Runs the check and verify phases against the artifact's `target` and
+/// `target_ty` wires (already fetched by the caller — on a lazy artifact
+/// that fetch is where disk rot surfaces, before this function is
+/// reached), consulting and feeding the check memo, and publishing the
+/// verified verdict — to the session memo and, when a store is attached,
+/// as an on-disk record — on success.
+#[allow(clippy::too_many_arguments)]
 fn run_check_verify(
     compiler: &Compiler,
     ctx: &BuildCtx<'_>,
     env: &src::Env,
     term: &src::Term,
-    artifact: &Artifact,
+    target: &WireTerm,
+    target_ty: &WireTerm,
     check_key: Fingerprint,
     verify_key: Fingerprint,
 ) -> Result<CheckVerifyRun, (String, Vec<Diagnostic>)> {
@@ -1363,7 +1487,7 @@ fn run_check_verify(
             (None, inferred, memo.output, 0u64, false)
         }
         None => {
-            let target = tgt::wire::decode(&artifact.target)
+            let target = tgt::wire::decode(target)
                 .map_err(|e| wire_failure("target wire", e.to_string()))?;
             let (target_env, inferred, ns) =
                 compiler.phase_check(env, &target).map_err(phase_failure)?;
@@ -1375,7 +1499,7 @@ fn run_check_verify(
             (Some(target_env), inferred, output, ns, true)
         }
     };
-    let target_type = tgt::wire::decode(&artifact.target_ty)
+    let target_type = tgt::wire::decode(target_ty)
         .map_err(|e| wire_failure("target type wire", e.to_string()))?;
     let verify_ns = compiler
         .phase_verify(env, term, target_env.as_ref(), &inferred, &target_type)
@@ -1405,13 +1529,13 @@ fn encode_artifact_parts(
         let output_alpha = interface_alpha
             .combine(tgt::wire::fingerprint_alpha(target))
             .combine(tgt::wire::fingerprint_alpha(target_type));
-        Artifact {
-            source_ty: src::wire::encode(source_type),
-            target: tgt::wire::encode(target),
-            target_ty: tgt::wire::encode(target_type),
+        Artifact::new(
+            src::wire::encode(source_type),
+            tgt::wire::encode(target),
+            tgt::wire::encode(target_type),
             interface_alpha,
             output_alpha,
-        }
+        )
     });
     Arc::new(artifact)
 }
@@ -1429,7 +1553,15 @@ fn decode_unit_inputs(
         let mut env = src::Env::new();
         for (d, artifact) in deps {
             let dep = graph.unit_at(*d);
-            let interface = src::wire::decode(&artifact.source_ty)
+            // A lazy dependency artifact whose interface section rotted
+            // fails the unit here — its own artifact hit already
+            // settled, so there is no recompile to fall back to. The
+            // fault suites pin this as the one storage edge that
+            // surfaces as a unit failure.
+            let interface_wire = artifact
+                .source_ty()
+                .map_err(|e| format!("interface wire for `{}`: {e}", dep.name))?;
+            let interface = src::wire::decode(&interface_wire)
                 .map_err(|e| format!("interface wire for `{}`: {e}", dep.name))?;
             env.push_assumption(dep.symbol, interface);
         }
@@ -1469,13 +1601,25 @@ fn compile_unit_phases(
     let artifact = encode_artifact_parts(&source_type, &target, &target_type);
     if options.typecheck_output {
         let verify_key =
-            query::verify_key(unit.source_alpha, dep_fp, artifact.output_alpha, &options);
-        let check_key = query::check_key(artifact.output_alpha, dep_fp, &options);
+            query::verify_key(unit.source_alpha, dep_fp, artifact.output_fingerprint(), &options);
+        let check_key = query::check_key(artifact.output_fingerprint(), dep_fp, &options);
         if verified_hit(ctx, verify_key, check_key) {
             trace::event("query.cutoff", &[("check", 1), ("verify", 1)]);
         } else {
-            let run =
-                run_check_verify(&compiler, ctx, &env, &term, &artifact, check_key, verify_key)?;
+            let target_wire =
+                artifact.target().expect("fresh artifacts hold their sections in memory");
+            let target_ty_wire =
+                artifact.target_ty().expect("fresh artifacts hold their sections in memory");
+            let run = run_check_verify(
+                &compiler,
+                ctx,
+                &env,
+                &term,
+                &target_wire,
+                &target_ty_wire,
+                check_key,
+                verify_key,
+            )?;
             phases.check = run.check_ns;
             phases.verify = run.verify_ns;
             runs.check = run.check_ran;

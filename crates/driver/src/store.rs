@@ -10,43 +10,72 @@
 //! [`cccc_source::wire::fingerprint_alpha`] and [`crate::query`]), and a
 //! fresh process whose recomputed keys match simply loads the blobs back.
 //!
-//! # Blob format
+//! # Blob format (v3)
 //!
 //! One file per artifact key, named `<fingerprint:032x>.art`, holding
 //! little-endian `u64` words:
 //!
 //! ```text
-//! ┌──────────────────────── header ────────────────────────┐
-//! │ magic  │ format version │ checksum (2 words, FxHash²)  │
-//! ├──────────────────────── payload ───────────────────────┤
+//! ┌────────────────── header (21 words) ───────────────────┐
+//! │ magic │ format version │ header checksum (2 words)     │
 //! │ interface α-fingerprint (2 words)                      │
 //! │ output α-fingerprint (2 words, early-cutoff output)    │
-//! │ section: len, portable wire words of the CC interface  │
-//! │ section: len, portable wire words of the CC-CC term    │
-//! │ section: len, portable wire words of the CC-CC type    │
+//! │ section count (= 3)                                    │
+//! │ 3 × section entry: offset, length, checksum (2 words)  │
+//! ├───────────────── sections (contiguous) ────────────────┤
+//! │ portable wire words of the CC interface                │
+//! │ portable wire words of the CC-CC term                  │
+//! │ portable wire words of the CC-CC type                  │
 //! └────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! The header checksum covers the header body (fingerprints, count, and
+//! the section table); each table entry carries the offset (in words,
+//! from the start of the file), length, and checksum of its own section.
+//! A load therefore reads and verifies only the 168-byte header; section
+//! bodies stay on disk behind the open file handle and are `pread` and
+//! checksummed **lazily**, at first access (`LazySections`) — a warm
+//! rebuild whose verified records answer everything never touches a term
+//! payload at all. [`DecodeMode::Eager`] restores the old
+//! load-everything behaviour (the benchmarks use it as the full-decode
+//! baseline).
 //!
 //! Sections are **portable** wire buffers ([`cccc_source::wire::encode_portable`],
 //! [`cccc_target::wire::encode_portable`]): each carries a relocatable
 //! symbol table mapping local ids to `(base name, disambiguator)` pairs
 //! that re-intern on load, because raw wire symbol ids are only stable
-//! within the writing process. The checksum covers the whole payload.
+//! within the writing process. v2 blobs (whole-payload checksum, no
+//! section table) read as a format version skew — an invalid entry, so a
+//! miss — and the recompile's write-through rewrites them in v3.
 //!
 //! # Verified-phase records
 //!
 //! Next to the blobs live `<fingerprint:032x>.vfy` records, keyed by the
 //! *verify query key* ([`crate::query::verify_key`]): eight words —
-//! the same magic/version/checksum header over a four-word payload
-//! holding the check query key and the check phase's output fingerprint.
-//! A record's existence says "an artifact with this source, these import
-//! interfaces, this output, and these options has passed check + verify
-//! before", so a restarted process skips both phases on unchanged units.
-//! Verified-record traffic is counted apart from blob traffic
-//! ([`StoreStats::verified_hits`] / [`StoreStats::verified_writes`]) and
-//! is *not* subject to the [`FaultPlan`] — the plan's positional
+//! the same magic/version plus a whole-payload checksum over a four-word
+//! payload holding the check query key and the check phase's output
+//! fingerprint. A record's existence says "an artifact with this source,
+//! these import interfaces, this output, and these options has passed
+//! check + verify before", so a restarted process skips both phases on
+//! unchanged units. Verified-record traffic is counted apart from blob
+//! traffic ([`StoreStats::verified_hits`] / [`StoreStats::verified_writes`])
+//! and is *not* subject to the [`FaultPlan`] — the plan's positional
 //! counters target artifact blobs, and a lost or corrupt record merely
 //! re-runs two phases.
+//!
+//! # Garbage collection
+//!
+//! The store grows without bound unless asked not to:
+//! [`ArtifactStore::gc`] sweeps it down to a [`StoreBudget`]. Keys
+//! reachable from the current graph (the caller's *live* set — artifact
+//! keys and verify keys alike, computed by the session from its last
+//! build) are protected; everything else is evicted least-recently-used
+//! first, by the store's recorded access order. Only if the live set
+//! alone exceeds the budget are live entries evicted too (the budget is
+//! a hard bound), again LRU-first. Eviction is a plain `unlink`, which
+//! is safe against concurrent readers: a load that already opened the
+//! blob keeps reading its sections from the open handle; a load that
+//! opens after the unlink is an ordinary miss.
 //!
 //! # Failure semantics
 //!
@@ -54,8 +83,11 @@
 //! truncated, checksum-failing, version-skewed, or otherwise corrupt blob
 //! is an *invalid entry* and also a miss (the counters in
 //! [`StoreStats`] distinguish the cases); an I/O error while writing is
-//! counted and swallowed. Deleting the store directory (or calling
-//! [`ArtifactStore::wipe`]) merely makes the next build cold.
+//! counted and swallowed. A lazily-loaded section that turns out corrupt
+//! at first decode is the same invalid entry, just detected later — the
+//! blob is deleted and the session degrades to a recompile. Deleting the
+//! store directory (or calling [`ArtifactStore::wipe`]) merely makes the
+//! next build cold.
 //!
 //! All methods take `&self`: the store synchronizes internally, so a
 //! session can share one instance across workers ([`std::sync::Arc`])
@@ -67,20 +99,80 @@ use cccc_source as src;
 use cccc_target as tgt;
 use cccc_util::trace;
 use cccc_util::wire::{Fingerprint, WireTerm, FORMAT_VERSION};
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// First word of every store blob ("ccccart\0", little-endian).
 const STORE_MAGIC: u64 = 0x0074_7261_6363_6363;
 
-/// Words in the blob header (magic, version, checksum lo, checksum hi).
-const HEADER_WORDS: usize = 4;
+/// Bytes per stored word.
+const WORD_BYTES: usize = 8;
+
+/// Sections in every artifact blob (CC interface, CC-CC term, CC-CC
+/// type).
+const SECTION_COUNT: usize = 3;
+
+/// First word of the section table (after magic, version, header
+/// checksum, the two fingerprints, and the section count).
+const SECTION_TABLE_WORD: usize = 9;
+
+/// Words per section-table entry (offset, length, checksum lo/hi).
+const SECTION_ENTRY_WORDS: usize = 4;
+
+/// Words in a v3 blob header: the fixed prefix plus the section table.
+/// Sections start here.
+const HEADER_V3_WORDS: usize = SECTION_TABLE_WORD + SECTION_COUNT * SECTION_ENTRY_WORDS;
+
+/// Words in a verified-record header (magic, version, checksum lo, hi).
+const RECORD_HEADER_WORDS: usize = 4;
 
 /// Payload words of a verified-phase record (check key lo/hi, check
 /// output lo/hi).
 const VERIFIED_PAYLOAD_WORDS: usize = 4;
+
+/// Whether a blob's sections are materialized at load time or `pread`
+/// on demand.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// Read and verify the 168-byte header only; sections stay on disk
+    /// behind the open file handle until first access (the default).
+    #[default]
+    Lazy,
+    /// Read and checksum every section at load — the pre-v3 behaviour,
+    /// kept as the full-decode baseline the benchmarks compare against.
+    Eager,
+}
+
+/// A byte budget for [`ArtifactStore::gc`]: after a sweep the store's
+/// blobs and records together occupy at most `max_bytes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreBudget {
+    /// The hard upper bound, in bytes, on the store after a sweep.
+    pub max_bytes: u64,
+}
+
+/// What one [`ArtifactStore::gc`] sweep saw and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries (blobs + verified records) the sweep examined.
+    pub scanned: u64,
+    /// Their total size in bytes before the sweep.
+    pub scanned_bytes: u64,
+    /// Entries protected by the caller's live set.
+    pub live: u64,
+    /// Entries deleted.
+    pub evicted: u64,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Bytes still in the store after the sweep.
+    pub retained_bytes: u64,
+}
 
 /// A deterministic fault plan for the store's file-system operations,
 /// used by the fault-injection suites to prove the failure semantics
@@ -89,17 +181,29 @@ const VERIFIED_PAYLOAD_WORDS: usize = 4;
 ///
 /// Each field targets the Nth call (0-based) of one operation kind since
 /// the plan was installed ([`ArtifactStore::set_faults`] resets the
-/// counters). `fail_read` and `short_read` share the read counter, so one
-/// plan can fail read 0 and truncate read 2. Only artifact-blob
+/// counters). The four read-side faults share one counter — each
+/// [`ArtifactStore::load`] claims a single position, whatever mix of
+/// open, `pread`, and truncation faults is armed — so one plan can fail
+/// the open at position 0 and truncate position 2. Only artifact-blob
 /// operations consume positions; verified-record I/O is deliberately
 /// outside the plan (see the module docs).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Fail the Nth `fs::read` with an injected I/O error (EIO-like).
+    /// Fail the Nth load's file open with an injected I/O error
+    /// (EIO-like); the load is a plain miss.
     pub fail_read: Option<u64>,
-    /// Truncate the Nth `fs::read` to half its bytes (a short read; the
-    /// checksum rejects the tail-less payload).
+    /// Fail the Nth load's header `pread` with an injected I/O error;
+    /// like `fail_read`, a plain miss (I/O failures are never blamed on
+    /// the blob).
+    pub fail_pread: Option<u64>,
+    /// Make the Nth load see the file at half its true length (a short
+    /// read / torn page): the header's extent checks reject the blob as
+    /// an invalid entry.
     pub short_read: Option<u64>,
+    /// Make the Nth load see the file truncated in the middle of the
+    /// section table: an invalid entry with reason "truncated section
+    /// table".
+    pub truncate_table: Option<u64>,
     /// Fail the Nth temp-file `fs::write` with an injected I/O error.
     pub fail_write: Option<u64>,
     /// Fail the Nth `fs::rename` with an injected I/O error (the temp
@@ -111,7 +215,9 @@ impl FaultPlan {
     /// Whether any fault is armed.
     pub fn is_armed(&self) -> bool {
         self.fail_read.is_some()
+            || self.fail_pread.is_some()
             || self.short_read.is_some()
+            || self.truncate_table.is_some()
             || self.fail_write.is_some()
             || self.fail_rename.is_some()
     }
@@ -129,13 +235,47 @@ fn injected_fault(operation: &str) -> io::Error {
     io::Error::other(format!("injected {operation} fault"))
 }
 
+/// Counters a store shares with the [`LazySections`] of every artifact
+/// it has loaded, so deferred section reads can account their I/O
+/// without holding (or even knowing about) the store's state lock. All
+/// monotonic; [`ArtifactStore::counters`] folds them into [`StoreStats`].
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    bytes_read: AtomicU64,
+    sections_decoded: AtomicU64,
+    /// Blobs whose corruption was discovered lazily, at first section
+    /// decode (counted into [`StoreStats::invalid_entries`]).
+    invalid: AtomicU64,
+}
+
 /// The store's synchronized interior: activity counters plus the fault
-/// plan and its positional state.
+/// plan and its positional state, the decode mode, and the LRU access
+/// clock for GC.
 #[derive(Default, Debug)]
 struct StoreState {
     stats: StoreStats,
     faults: FaultPlan,
     fault_state: FaultState,
+    decode_mode: DecodeMode,
+    /// Injected latency per blob load, applied *outside* every lock —
+    /// the concurrency tests use it to make disk-load overlap
+    /// observable even on single-CPU hosts.
+    read_delay: Duration,
+    /// Monotonic access clock; bumped on every hit or write so
+    /// [`ArtifactStore::gc`] can evict least-recently-used first.
+    clock: u64,
+    /// Last access tick per key (blobs and verified records share the
+    /// key space — their fingerprints come from different query domains
+    /// and cannot collide).
+    access: HashMap<Fingerprint, u64>,
+}
+
+impl StoreState {
+    fn touch(&mut self, key: Fingerprint) {
+        self.clock += 1;
+        let tick = self.clock;
+        self.access.insert(key, tick);
+    }
 }
 
 /// A persistent, content-addressed artifact store rooted at a directory.
@@ -150,13 +290,14 @@ struct StoreState {
 pub struct ArtifactStore {
     dir: PathBuf,
     state: Mutex<StoreState>,
+    shared: Arc<SharedCounters>,
 }
 
 /// Process-wide temp-file disambiguator: combined with the process id in
 /// the temp name, it keeps concurrent writers — including two store
 /// instances in one process sharing a directory — off each other's
 /// in-flight files.
-static TEMP_SEQUENCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TEMP_SEQUENCE: AtomicU64 = AtomicU64::new(0);
 
 impl ArtifactStore {
     /// Opens (creating if necessary) a store rooted at `dir`.
@@ -167,7 +308,11 @@ impl ArtifactStore {
     pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(ArtifactStore { dir, state: Mutex::new(StoreState::default()) })
+        Ok(ArtifactStore {
+            dir,
+            state: Mutex::new(StoreState::default()),
+            shared: Arc::new(SharedCounters::default()),
+        })
     }
 
     /// The store's root directory.
@@ -187,25 +332,17 @@ impl ArtifactStore {
         state.fault_state = FaultState::default();
     }
 
-    /// `fs::read` with the fault plan applied: the planned read fails
-    /// outright, or returns only the first half of the bytes. The
-    /// position is claimed atomically; the file read itself runs outside
-    /// the state lock.
-    fn read_with_faults(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let (n, faults) = {
-            let mut state = self.state();
-            let n = state.fault_state.reads;
-            state.fault_state.reads += 1;
-            (n, state.faults)
-        };
-        if faults.fail_read == Some(n) {
-            return Err(injected_fault("read"));
-        }
-        let mut bytes = fs::read(path)?;
-        if faults.short_read == Some(n) {
-            bytes.truncate(bytes.len() / 2);
-        }
-        Ok(bytes)
+    /// Switches between lazy (default) and eager section decoding for
+    /// subsequent loads. Already-loaded artifacts keep their mode.
+    pub fn set_decode_mode(&self, mode: DecodeMode) {
+        self.state().decode_mode = mode;
+    }
+
+    /// Injects `delay` of latency into every subsequent blob load,
+    /// applied outside all locks — a stand-in for slow media that makes
+    /// disk-load concurrency deterministic to test.
+    pub fn set_read_delay(&self, delay: Duration) {
+        self.state().read_delay = delay;
     }
 
     /// `fs::write` with the fault plan applied.
@@ -239,7 +376,7 @@ impl ArtifactStore {
     /// Counter snapshot, with the size fields (`entries`, `bytes`)
     /// refreshed by scanning the directory for artifact blobs.
     pub fn stats(&self) -> StoreStats {
-        let mut stats = self.state().stats;
+        let mut stats = self.counters();
         stats.entries = 0;
         stats.bytes = 0;
         if let Ok(entries) = fs::read_dir(&self.dir) {
@@ -255,9 +392,15 @@ impl ArtifactStore {
     }
 
     /// Counter snapshot without the directory scan (used on the per-unit
-    /// hot path, where only the activity counters matter).
+    /// hot path, where only the activity counters matter). Folds in the
+    /// lazily-accounted section reads (`SharedCounters`), so deferred
+    /// decodes show up here as they happen.
     pub fn counters(&self) -> StoreStats {
-        self.state().stats
+        let mut stats = self.state().stats;
+        stats.bytes_read += self.shared.bytes_read.load(Ordering::Relaxed);
+        stats.sections_decoded += self.shared.sections_decoded.load(Ordering::Relaxed);
+        stats.invalid_entries += self.shared.invalid.load(Ordering::Relaxed);
+        stats
     }
 
     /// Deletes every blob and verified record — and any orphaned temp
@@ -286,43 +429,192 @@ impl ArtifactStore {
     }
 
     /// Loads the artifact stored under `fingerprint`, if a valid blob
-    /// exists. Corrupt blobs (bad magic, version skew, failed checksum,
-    /// truncation) are counted as invalid entries, reported as misses,
-    /// and *deleted* — self-healing, so the recompile's write-through can
-    /// put a good blob back in their place.
+    /// exists. Only the header is read and verified here; in the default
+    /// [`DecodeMode::Lazy`] the three sections stay on disk behind the
+    /// returned artifact's file handle. Corrupt blobs (bad magic,
+    /// version skew, failed header checksum, truncation) are counted as
+    /// invalid entries, reported as misses, and *deleted* — self-healing,
+    /// so the recompile's write-through can put a good blob back in
+    /// their place.
     pub fn load(&self, fingerprint: Fingerprint) -> Option<Artifact> {
         let path = self.blob_path(fingerprint);
-        let bytes = {
-            let read_span = trace::span("store.read");
-            match self.read_with_faults(&path) {
-                Ok(bytes) => {
-                    read_span.counter("bytes", bytes.len() as u64);
-                    bytes
-                }
-                Err(_) => {
-                    self.state().stats.disk_misses += 1;
-                    return None;
-                }
-            }
+        let (position, faults, mode, delay) = {
+            let mut state = self.state();
+            let n = state.fault_state.reads;
+            state.fault_state.reads += 1;
+            (n, state.faults, state.decode_mode, state.read_delay)
         };
-        let parsed = {
-            let _span = trace::span("store.decode");
-            parse_blob(&bytes)
-        };
-        match parsed {
-            Ok(artifact) => {
-                self.state().stats.disk_hits += 1;
-                Some(artifact)
-            }
-            Err(reason) => {
-                self.state().stats.invalid_entries += 1;
-                // Surface what was thrown away and why, so an operator
-                // watching the trace can tell self-healing from rot.
-                trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
-                let _ = fs::remove_file(&path);
-                None
-            }
+
+        let read_span = trace::span("store.read");
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
+
+        // Injected open failure: indistinguishable from a missing blob.
+        if faults.fail_read == Some(position) {
+            drop(read_span);
+            self.state().stats.disk_misses += 1;
+            return None;
+        }
+        let opened = fs::File::open(&path).and_then(|file| {
+            let len = file.metadata()?.len();
+            Ok((file, len))
+        });
+        let (file, real_len) = match opened {
+            Ok(pair) => pair,
+            Err(_) => {
+                drop(read_span);
+                self.state().stats.disk_misses += 1;
+                return None;
+            }
+        };
+
+        // Injected truncations: the load *sees* a shorter file than is
+        // on disk. The header's extent checks reject it exactly as they
+        // would a genuinely torn blob, and — like real truncation — the
+        // blob is treated as invalid and deleted (the write-through
+        // heals it).
+        let mut virtual_len = real_len;
+        if faults.short_read == Some(position) {
+            virtual_len = real_len / 2;
+        }
+        if faults.truncate_table == Some(position) {
+            virtual_len = virtual_len.min(((SECTION_TABLE_WORD + 2) * WORD_BYTES) as u64);
+        }
+
+        let header = match self.read_header(&file, real_len, virtual_len, faults, position) {
+            Ok(Ok(header)) => header,
+            Ok(Err(reason)) => {
+                drop(read_span);
+                self.invalidate_blob(&path, reason);
+                return None;
+            }
+            Err(()) => {
+                // Real (or injected) I/O failure mid-read: a miss, never
+                // blamed on the blob.
+                drop(read_span);
+                self.state().stats.disk_misses += 1;
+                return None;
+            }
+        };
+
+        let artifact = match mode {
+            DecodeMode::Lazy => {
+                let lazy = LazySections {
+                    file,
+                    path: path.clone(),
+                    entries: header.entries,
+                    cells: Default::default(),
+                    counters: Arc::clone(&self.shared),
+                };
+                Artifact::lazy(lazy, header.interface_alpha, header.output_alpha)
+            }
+            DecodeMode::Eager => {
+                let mut sections = Vec::with_capacity(SECTION_COUNT);
+                for entry in header.entries {
+                    match self.read_section_eager(&file, entry) {
+                        Ok(Ok(section)) => sections.push(section),
+                        Ok(Err(reason)) => {
+                            drop(read_span);
+                            self.invalidate_blob(&path, reason);
+                            return None;
+                        }
+                        Err(()) => {
+                            drop(read_span);
+                            self.state().stats.disk_misses += 1;
+                            return None;
+                        }
+                    }
+                }
+                let target_ty = sections.pop().expect("three sections were read");
+                let target = sections.pop().expect("three sections were read");
+                let source_ty = sections.pop().expect("three sections were read");
+                Artifact::new(
+                    source_ty,
+                    target,
+                    target_ty,
+                    header.interface_alpha,
+                    header.output_alpha,
+                )
+            }
+        };
+        drop(read_span);
+
+        let mut state = self.state();
+        state.stats.disk_hits += 1;
+        if mode == DecodeMode::Lazy {
+            state.stats.sections_skipped += SECTION_COUNT as u64;
+        }
+        state.touch(fingerprint);
+        Some(artifact)
+    }
+
+    /// Reads and validates a blob's 21-word header against the (possibly
+    /// fault-shortened) file length. `Err(())` is an I/O failure (a
+    /// miss); `Ok(Err(reason))` names a corruption (an invalid entry).
+    fn read_header(
+        &self,
+        file: &fs::File,
+        real_len: u64,
+        virtual_len: u64,
+        faults: FaultPlan,
+        position: u64,
+    ) -> Result<Result<BlobHeader, &'static str>, ()> {
+        if !real_len.is_multiple_of(WORD_BYTES as u64) {
+            return Ok(Err("length not word-aligned"));
+        }
+        let virtual_words = (virtual_len / WORD_BYTES as u64) as usize;
+        if virtual_words < SECTION_TABLE_WORD {
+            return Ok(Err("truncated header"));
+        }
+        if virtual_words < HEADER_V3_WORDS {
+            return Ok(Err("truncated section table"));
+        }
+        if faults.fail_pread == Some(position) {
+            return Err(());
+        }
+        let mut bytes = [0u8; HEADER_V3_WORDS * WORD_BYTES];
+        file.read_exact_at(&mut bytes, 0).map_err(|_| ())?;
+        self.shared.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let words: Vec<u64> = bytes
+            .chunks_exact(WORD_BYTES)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+            .collect();
+        Ok(parse_header(&words, virtual_words))
+    }
+
+    /// Reads and verifies one section body for an eager load. `Err(())`
+    /// is an I/O failure; `Ok(Err(reason))` a corruption.
+    fn read_section_eager(
+        &self,
+        file: &fs::File,
+        entry: SectionEntry,
+    ) -> Result<Result<WireTerm, &'static str>, ()> {
+        let mut bytes = vec![0u8; entry.len_words as usize * WORD_BYTES];
+        file.read_exact_at(&mut bytes, entry.offset_words * WORD_BYTES as u64).map_err(|_| ())?;
+        self.shared.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let words = match words_of_bytes(&bytes) {
+            Ok(words) => words,
+            Err(reason) => return Ok(Err(reason)),
+        };
+        let intact = {
+            let _span = trace::span("store.checksum");
+            Fingerprint::of_words(&words) == entry.checksum
+        };
+        if !intact {
+            return Ok(Err("section checksum mismatch"));
+        }
+        self.shared.sections_decoded.fetch_add(1, Ordering::Relaxed);
+        Ok(Ok(WireTerm::from_words(words)))
+    }
+
+    /// Counts, traces, and deletes a blob rejected at load time.
+    fn invalidate_blob(&self, path: &Path, reason: &str) {
+        self.state().stats.invalid_entries += 1;
+        // Surface what was thrown away and why, so an operator watching
+        // the trace can tell self-healing from rot.
+        trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
+        let _ = fs::remove_file(path);
     }
 
     /// Writes `artifact` through to disk under `fingerprint`, transcoding
@@ -353,14 +645,19 @@ impl ArtifactStore {
             return;
         }
         let write_span = trace::span("store.write");
-        write_span.counter("bytes", (words.len() * 8) as u64);
+        write_span.counter("bytes", (words.len() * WORD_BYTES) as u64);
         let bytes = words_to_bytes(words);
         let temp = self.temp_path(fingerprint);
         let written = self
             .write_with_faults(&temp, &bytes)
             .and_then(|()| self.rename_with_faults(&temp, &path));
         match written {
-            Ok(()) => self.state().stats.write_throughs += 1,
+            Ok(()) => {
+                let mut state = self.state();
+                state.stats.write_throughs += 1;
+                state.stats.bytes_written += bytes.len() as u64;
+                state.touch(fingerprint);
+            }
             Err(_) => {
                 let _ = fs::remove_file(&temp);
                 self.state().stats.write_errors += 1;
@@ -391,7 +688,7 @@ impl ArtifactStore {
             (check_output.0 >> 64) as u64,
         ];
         let checksum = Fingerprint::of_words(&payload);
-        let mut words = Vec::with_capacity(HEADER_WORDS + VERIFIED_PAYLOAD_WORDS);
+        let mut words = Vec::with_capacity(RECORD_HEADER_WORDS + VERIFIED_PAYLOAD_WORDS);
         words.push(STORE_MAGIC);
         words.push(FORMAT_VERSION);
         words.push(checksum.0 as u64);
@@ -401,7 +698,12 @@ impl ArtifactStore {
         let temp = self.temp_path(key);
         let written = fs::write(&temp, &bytes).and_then(|()| fs::rename(&temp, &path));
         match written {
-            Ok(()) => self.state().stats.verified_writes += 1,
+            Ok(()) => {
+                let mut state = self.state();
+                state.stats.verified_writes += 1;
+                state.stats.bytes_written += bytes.len() as u64;
+                state.touch(key);
+            }
             Err(_) => {
                 let _ = fs::remove_file(&temp);
             }
@@ -417,7 +719,10 @@ impl ArtifactStore {
         let bytes = fs::read(&path).ok()?;
         match parse_verified(&bytes) {
             Ok(record) => {
-                self.state().stats.verified_hits += 1;
+                let mut state = self.state();
+                state.stats.verified_hits += 1;
+                state.stats.bytes_read += bytes.len() as u64;
+                state.touch(key);
                 Some(record)
             }
             Err(reason) => {
@@ -429,52 +734,301 @@ impl ArtifactStore {
         }
     }
 
+    /// Sweeps the store down to `budget`. Entries whose keys are in
+    /// `live` — the caller's reachable set: artifact keys *and* verify
+    /// keys for the current graph — are protected; the rest are evicted
+    /// least-recently-used first (by the store's recorded access order;
+    /// entries it never touched rank oldest). If the live set alone
+    /// exceeds the budget, live entries are evicted too, LRU-first: the
+    /// budget is a hard bound, and an evicted live entry merely makes
+    /// some future build re-compile and write it back.
+    ///
+    /// Safe against concurrent readers: eviction is an `unlink`, and a
+    /// load that already holds the blob's file handle keeps reading its
+    /// sections; one that opens later sees an ordinary miss.
+    pub fn gc(&self, live: &HashSet<Fingerprint>, budget: StoreBudget) -> GcReport {
+        let _span = trace::span("store.gc");
+        struct Victim {
+            path: PathBuf,
+            len: u64,
+            live: bool,
+            access: u64,
+        }
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return GcReport::default();
+        };
+        let access = {
+            let state = self.state();
+            state.access.clone()
+        };
+        let mut entries: Vec<Victim> = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if !path.extension().is_some_and(|e| e == "art" || e == "vfy") {
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let key =
+                path.file_stem().and_then(|stem| stem.to_str()).and_then(parse_fingerprint_stem);
+            // An unparsable stem is foreign debris: never live, oldest
+            // possible rank, first out the door.
+            let live = key.is_some_and(|k| live.contains(&k));
+            let access = key.and_then(|k| access.get(&k).copied()).unwrap_or(0);
+            entries.push(Victim { path, len, live, access });
+        }
+
+        let total: u64 = entries.iter().map(|e| e.len).sum();
+        let mut report = GcReport {
+            scanned: entries.len() as u64,
+            scanned_bytes: total,
+            live: entries.iter().filter(|e| e.live).count() as u64,
+            ..GcReport::default()
+        };
+        // Dead before live, then oldest access first, then path for a
+        // deterministic tie-break.
+        entries.sort_by(|a, b| (a.live, a.access, &a.path).cmp(&(b.live, b.access, &b.path)));
+        let mut remaining = total;
+        for victim in &entries {
+            if remaining <= budget.max_bytes {
+                break;
+            }
+            if fs::remove_file(&victim.path).is_ok() {
+                remaining -= victim.len;
+                report.evicted += 1;
+                report.evicted_bytes += victim.len;
+            }
+        }
+        report.retained_bytes = remaining;
+        if report.evicted > 0 {
+            let mut state = self.state();
+            state.stats.gc_evictions += report.evicted;
+            state.stats.gc_evicted_bytes += report.evicted_bytes;
+        }
+        report
+    }
+
     fn temp_path(&self, fingerprint: Fingerprint) -> PathBuf {
-        let sequence = TEMP_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let sequence = TEMP_SEQUENCE.fetch_add(1, Ordering::Relaxed);
         self.dir.join(format!(".{fingerprint}.{}.{sequence}.tmp", std::process::id()))
     }
 }
 
+/// Parses a `<fingerprint:032x>` file stem back into a key.
+fn parse_fingerprint_stem(stem: &str) -> Option<Fingerprint> {
+    if stem.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(stem, 16).ok().map(Fingerprint)
+}
+
+/// One entry of a v3 blob's section table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SectionEntry {
+    offset_words: u64,
+    len_words: u64,
+    checksum: Fingerprint,
+}
+
+/// A validated v3 blob header.
+struct BlobHeader {
+    interface_alpha: Fingerprint,
+    output_alpha: Fingerprint,
+    entries: [SectionEntry; SECTION_COUNT],
+}
+
+/// Validates a v3 header (magic, version, header checksum, section
+/// count, and section extents against the file length), naming the
+/// corruption on failure.
+fn parse_header(words: &[u64], file_words: usize) -> Result<BlobHeader, &'static str> {
+    debug_assert_eq!(words.len(), HEADER_V3_WORDS);
+    if words[0] != STORE_MAGIC {
+        return Err("bad magic");
+    }
+    if words[1] != FORMAT_VERSION {
+        return Err("format version skew");
+    }
+    let recorded = Fingerprint((u128::from(words[3]) << 64) | u128::from(words[2]));
+    let intact = {
+        let _span = trace::span("store.checksum");
+        Fingerprint::of_words(&words[4..HEADER_V3_WORDS]) == recorded
+    };
+    if !intact {
+        return Err("header checksum mismatch");
+    }
+    if words[8] != SECTION_COUNT as u64 {
+        return Err("bad section count");
+    }
+    let interface_alpha = Fingerprint((u128::from(words[5]) << 64) | u128::from(words[4]));
+    let output_alpha = Fingerprint((u128::from(words[7]) << 64) | u128::from(words[6]));
+    let mut entries =
+        [SectionEntry { offset_words: 0, len_words: 0, checksum: Fingerprint::default() };
+            SECTION_COUNT];
+    let mut expected_offset = HEADER_V3_WORDS as u64;
+    for (index, entry) in entries.iter_mut().enumerate() {
+        let base = SECTION_TABLE_WORD + index * SECTION_ENTRY_WORDS;
+        let offset_words = words[base];
+        let len_words = words[base + 1];
+        if offset_words != expected_offset {
+            return Err("bad section offset");
+        }
+        expected_offset = expected_offset.checked_add(len_words).ok_or("bad section offset")?;
+        *entry = SectionEntry {
+            offset_words,
+            len_words,
+            checksum: Fingerprint(
+                (u128::from(words[base + 3]) << 64) | u128::from(words[base + 2]),
+            ),
+        };
+    }
+    match expected_offset.cmp(&(file_words as u64)) {
+        std::cmp::Ordering::Greater => Err("truncated section"),
+        std::cmp::Ordering::Less => Err("trailing words"),
+        std::cmp::Ordering::Equal => Ok(BlobHeader { interface_alpha, output_alpha, entries }),
+    }
+}
+
+/// The deferred-decode half of a lazily-loaded artifact: an open file
+/// handle, the blob's section table, and one memo cell per section.
+/// Each section is `pread`, checksummed, and materialized at most once,
+/// on first access — the deletion-safe handle means a concurrent GC (or
+/// a corrupt-and-deleted sibling) never invalidates it.
+///
+/// Corruption discovered here — a failed per-section checksum, a short
+/// `pread` — is the lazy twin of a corrupt load: counted as an invalid
+/// entry, traced as `store.corrupt`, and the blob deleted so the next
+/// build writes a fresh one. The accessor then returns `Err`, and the
+/// session degrades to a recompile.
+pub(crate) struct LazySections {
+    file: fs::File,
+    path: PathBuf,
+    entries: [SectionEntry; SECTION_COUNT],
+    cells: [OnceLock<Result<WireTerm, String>>; SECTION_COUNT],
+    counters: Arc<SharedCounters>,
+}
+
+impl std::fmt::Debug for LazySections {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazySections")
+            .field("path", &self.path)
+            .field("decoded", &self.cells.iter().filter(|c| c.get().is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LazySections {
+    /// The section at `index` (0 = CC interface, 1 = CC-CC term, 2 =
+    /// CC-CC type), read and verified on first call, memoized after.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corruption (or I/O failure) that made the section
+    /// unreadable; the blob has already been deleted and counted.
+    pub(crate) fn section(&self, index: usize) -> Result<WireTerm, String> {
+        self.cells[index].get_or_init(|| self.read_section(index)).clone()
+    }
+
+    /// The section's encoded size in words, straight from the table —
+    /// available without decoding anything.
+    pub(crate) fn section_words(&self, index: usize) -> usize {
+        self.entries[index].len_words as usize
+    }
+
+    fn read_section(&self, index: usize) -> Result<WireTerm, String> {
+        let entry = self.entries[index];
+        let result = (|| {
+            let span = trace::span("store.section");
+            let mut bytes = vec![0u8; entry.len_words as usize * WORD_BYTES];
+            self.file
+                .read_exact_at(&mut bytes, entry.offset_words * WORD_BYTES as u64)
+                .map_err(|e| format!("section read failed: {e}"))?;
+            span.counter("bytes", bytes.len() as u64);
+            self.counters.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            let words = words_of_bytes(&bytes).map_err(str::to_owned)?;
+            let intact = {
+                let _span = trace::span("store.checksum");
+                Fingerprint::of_words(&words) == entry.checksum
+            };
+            if !intact {
+                return Err("section checksum mismatch".to_owned());
+            }
+            Ok(WireTerm::from_words(words))
+        })();
+        match result {
+            Ok(section) => {
+                self.counters.sections_decoded.fetch_add(1, Ordering::Relaxed);
+                Ok(section)
+            }
+            Err(reason) => {
+                // Lazy rot: the same self-healing as a corrupt load,
+                // just detected at first decode instead.
+                self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                trace::event_for(
+                    &format!("{} ({reason})", self.path.display()),
+                    "store.corrupt",
+                    &[],
+                );
+                let _ = fs::remove_file(&self.path);
+                Err(reason)
+            }
+        }
+    }
+}
+
 fn words_to_bytes(words: &[u64]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(words.len() * 8);
+    let mut bytes = Vec::with_capacity(words.len() * WORD_BYTES);
     for word in words {
         bytes.extend_from_slice(&word.to_le_bytes());
     }
     bytes
 }
 
-/// Serializes an artifact into blob words (header + payload). Returns
-/// `None` if a section fails to decode — a process-local corruption that
-/// should never happen and is treated as a write error. Pure CPU work
-/// (the transcode dominates write-through cost), so the driver's workers
-/// run it outside the session cache lock.
+/// Serializes an artifact into v3 blob words (header with section table,
+/// then the three section bodies). Returns `None` if a section fails to
+/// decode — a process-local corruption that should never happen and is
+/// treated as a write error. Pure CPU work (the transcode dominates
+/// write-through cost), so the driver's workers run it outside the
+/// session cache lock.
 pub(crate) fn render_blob(artifact: &Artifact) -> Option<Vec<u64>> {
     let render_span = trace::span("store.render");
     // Transcode each section into the portable encoding. The in-memory
     // sections were produced by this process (or loaded portably), so
     // decoding them here cannot fail on well-formed artifacts.
-    let source_ty = src::wire::encode_portable(&src::wire::decode(&artifact.source_ty).ok()?);
-    let target = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target).ok()?);
-    let target_ty = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target_ty).ok()?);
+    let source_ty =
+        src::wire::encode_portable(&src::wire::decode(&artifact.source_ty().ok()?).ok()?);
+    let target = tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target().ok()?).ok()?);
+    let target_ty =
+        tgt::wire::encode_portable(&tgt::wire::decode(&artifact.target_ty().ok()?).ok()?);
 
-    let mut payload: Vec<u64> =
-        Vec::with_capacity(4 + 3 + source_ty.len() + target.len() + target_ty.len());
-    payload.push(artifact.interface_alpha.0 as u64);
-    payload.push((artifact.interface_alpha.0 >> 64) as u64);
-    payload.push(artifact.output_alpha.0 as u64);
-    payload.push((artifact.output_alpha.0 >> 64) as u64);
-    for section in [&source_ty, &target, &target_ty] {
-        payload.push(section.len() as u64);
-        payload.extend_from_slice(section.words());
-    }
-    let checksum = Fingerprint::of_words(&payload);
-
-    let mut words = Vec::with_capacity(HEADER_WORDS + payload.len());
+    let sections = [&source_ty, &target, &target_ty];
+    let section_words: usize = sections.iter().map(|s| s.len()).sum();
+    let mut words = Vec::with_capacity(HEADER_V3_WORDS + section_words);
     words.push(STORE_MAGIC);
     words.push(FORMAT_VERSION);
-    words.push(checksum.0 as u64);
-    words.push((checksum.0 >> 64) as u64);
-    words.extend_from_slice(&payload);
+    words.push(0); // header checksum, filled in below
+    words.push(0);
+    let interface_alpha = artifact.interface_fingerprint();
+    let output_alpha = artifact.output_fingerprint();
+    words.push(interface_alpha.0 as u64);
+    words.push((interface_alpha.0 >> 64) as u64);
+    words.push(output_alpha.0 as u64);
+    words.push((output_alpha.0 >> 64) as u64);
+    words.push(SECTION_COUNT as u64);
+    let mut offset = HEADER_V3_WORDS as u64;
+    for section in sections {
+        let checksum = Fingerprint::of_words(section.words());
+        words.push(offset);
+        words.push(section.len() as u64);
+        words.push(checksum.0 as u64);
+        words.push((checksum.0 >> 64) as u64);
+        offset += section.len() as u64;
+    }
+    debug_assert_eq!(words.len(), HEADER_V3_WORDS);
+    let header_checksum = Fingerprint::of_words(&words[4..HEADER_V3_WORDS]);
+    words[2] = header_checksum.0 as u64;
+    words[3] = (header_checksum.0 >> 64) as u64;
+    for section in sections {
+        words.extend_from_slice(section.words());
+    }
     render_span.counter("words", words.len() as u64);
     Some(words)
 }
@@ -489,9 +1043,12 @@ fn words_of_bytes(bytes: &[u8]) -> Result<Vec<u64>, &'static str> {
         .collect())
 }
 
-/// Checks a record's magic, version, and checksum, returning its payload.
+/// Checks a verified record's magic, version, and whole-payload
+/// checksum, returning its payload. (Artifact blobs use the richer v3
+/// header — [`parse_header`]; this framing is for the tiny fixed-size
+/// `.vfy` records, where a section table would be overhead.)
 fn checked_payload(words: &[u64]) -> Result<&[u64], &'static str> {
-    if words.len() < HEADER_WORDS + 2 {
+    if words.len() < RECORD_HEADER_WORDS + 2 {
         return Err("truncated header");
     }
     if words[0] != STORE_MAGIC {
@@ -501,7 +1058,7 @@ fn checked_payload(words: &[u64]) -> Result<&[u64], &'static str> {
         return Err("format version skew");
     }
     let checksum = Fingerprint((u128::from(words[3]) << 64) | u128::from(words[2]));
-    let payload = &words[HEADER_WORDS..];
+    let payload = &words[RECORD_HEADER_WORDS..];
     let verified = {
         let _span = trace::span("store.checksum");
         Fingerprint::of_words(payload) == checksum
@@ -514,37 +1071,6 @@ fn checked_payload(words: &[u64]) -> Result<&[u64], &'static str> {
 
 fn fingerprint_at(payload: &[u64], index: usize) -> Fingerprint {
     Fingerprint((u128::from(payload[index + 1]) << 64) | u128::from(payload[index]))
-}
-
-/// Parses blob bytes back into an artifact, naming the corruption on
-/// failure (the reason feeds the `store.corrupt` trace event). Sections
-/// are *not* term-decoded here — the checksum already vouches for their
-/// integrity, and decoding is deferred to first use so a warm rebuild
-/// touching no term stays cheap.
-fn parse_blob(bytes: &[u8]) -> Result<Artifact, &'static str> {
-    let words = words_of_bytes(bytes)?;
-    let payload = checked_payload(&words)?;
-    if payload.len() < 4 {
-        return Err("truncated fingerprints");
-    }
-    let interface_alpha = fingerprint_at(payload, 0);
-    let output_alpha = fingerprint_at(payload, 2);
-    let mut cursor = 4;
-    let mut sections = Vec::with_capacity(3);
-    for _ in 0..3 {
-        let len = *payload.get(cursor).ok_or("truncated section length")? as usize;
-        cursor += 1;
-        let words = payload.get(cursor..cursor + len).ok_or("truncated section")?;
-        sections.push(WireTerm::from_words(words.to_vec()));
-        cursor += len;
-    }
-    if cursor != payload.len() {
-        return Err("trailing words");
-    }
-    let target_ty = sections.pop().expect("three sections were pushed");
-    let target = sections.pop().expect("three sections were pushed");
-    let source_ty = sections.pop().expect("three sections were pushed");
-    Ok(Artifact { source_ty, target, target_ty, interface_alpha, output_alpha })
 }
 
 /// Parses a verified-phase record back into `(check_key, check_output)`.
@@ -564,20 +1090,16 @@ mod tests {
     use cccc_target::builder as t;
 
     fn sample_artifact() -> Artifact {
-        Artifact {
-            source_ty: src::wire::encode(&s::pi(
-                "A",
-                s::star(),
-                s::arrow(s::var("A"), s::var("A")),
-            )),
-            target: tgt::wire::encode(&t::closure(
+        Artifact::new(
+            src::wire::encode(&s::pi("A", s::star(), s::arrow(s::var("A"), s::var("A")))),
+            tgt::wire::encode(&t::closure(
                 t::code("n", t::unit_ty(), "x", t::bool_ty(), t::var("x")),
                 t::unit_val(),
             )),
-            target_ty: tgt::wire::encode(&t::bool_ty()),
-            interface_alpha: Fingerprint::of_words(&[9, 9, 9]),
-            output_alpha: Fingerprint::of_words(&[8, 8, 8]),
-        }
+            tgt::wire::encode(&t::bool_ty()),
+            Fingerprint::of_words(&[9, 9, 9]),
+            Fingerprint::of_words(&[8, 8, 8]),
+        )
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -596,23 +1118,51 @@ mod tests {
         store.save(key, &artifact);
 
         let loaded = store.load(key).expect("blob loads");
-        assert_eq!(loaded.interface_alpha, artifact.interface_alpha);
-        assert_eq!(loaded.output_alpha, artifact.output_alpha);
-        // Sections decode to α-equivalent terms through the relocatable
-        // symbol table (the `arrow` builder freshens its binder, so the
-        // loaded interface is an α-variant, not an identical term).
-        let original = src::wire::decode(&artifact.source_ty).unwrap();
-        let decoded = src::wire::decode(&loaded.source_ty).unwrap();
+        assert!(loaded.is_lazy(), "default decode mode defers the sections");
+        assert_eq!(loaded.interface_fingerprint(), artifact.interface_fingerprint());
+        assert_eq!(loaded.output_fingerprint(), artifact.output_fingerprint());
+        // Nothing decoded yet: the load read only the header.
+        let after_load = store.counters();
+        assert_eq!(after_load.sections_decoded, 0);
+        assert_eq!(after_load.sections_skipped, 3);
+        assert_eq!(after_load.bytes_read, (HEADER_V3_WORDS * WORD_BYTES) as u64);
+        // Sections decode on demand to α-equivalent terms through the
+        // relocatable symbol table (the `arrow` builder freshens its
+        // binder, so the loaded interface is an α-variant, not an
+        // identical term).
+        let original = src::wire::decode(&artifact.source_ty().unwrap()).unwrap();
+        let decoded = src::wire::decode(&loaded.source_ty().unwrap()).unwrap();
         assert!(cccc_source::subst::alpha_eq(&original, &decoded));
-        let original = tgt::wire::decode(&artifact.target).unwrap();
-        let decoded = tgt::wire::decode(&loaded.target).unwrap();
+        let original = tgt::wire::decode(&artifact.target().unwrap()).unwrap();
+        let decoded = tgt::wire::decode(&loaded.target().unwrap()).unwrap();
         assert!(cccc_target::subst::alpha_eq(&original, &decoded));
-
+        // A second access is a memo hit: still 2 decoded, no new bytes.
+        let _ = loaded.target().unwrap();
         let stats = store.stats();
+        assert_eq!(stats.sections_decoded, 2);
+        assert!(stats.bytes_read > after_load.bytes_read);
         assert_eq!(stats.write_throughs, 1);
         assert_eq!(stats.disk_hits, 1);
         assert_eq!(stats.entries, 1);
         assert!(stats.bytes > 0);
+        assert_eq!(stats.bytes_written, stats.bytes, "one blob written, fully accounted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eager_mode_decodes_everything_at_load() {
+        let dir = temp_dir("eager");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[6, 6]);
+        store.save(key, &sample_artifact());
+        store.set_decode_mode(DecodeMode::Eager);
+        let loaded = store.load(key).expect("blob loads");
+        assert!(!loaded.is_lazy());
+        let counters = store.counters();
+        assert_eq!(counters.sections_decoded, 3);
+        assert_eq!(counters.sections_skipped, 0);
+        assert!(loaded.target().is_ok());
+        assert_eq!(store.counters().sections_decoded, 3, "accesses are free after an eager load");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -694,20 +1244,20 @@ mod tests {
         let path = store.blob_path(key);
         let good = fs::read(&path).unwrap();
 
-        // Truncated blob.
+        // Truncated blob (extent checks catch it at load, even though
+        // the cut lands in a section body the header never reads).
         fs::write(&path, &good[..good.len() / 2]).unwrap();
         assert!(store.load(key).is_none());
 
-        // Flipped payload byte: checksum mismatch.
+        // Flipped fingerprint byte: header checksum mismatch.
         let mut flipped = good.clone();
-        let last = flipped.len() - 1;
-        flipped[last] ^= 0xFF;
+        flipped[4 * WORD_BYTES] ^= 0xFF;
         fs::write(&path, &flipped).unwrap();
         assert!(store.load(key).is_none());
 
-        // Version skew: bump the version word.
+        // Version skew: bump the version word (how a v2 blob reads).
         let mut skewed = good.clone();
-        skewed[8] = skewed[8].wrapping_add(1);
+        skewed[WORD_BYTES] = skewed[WORD_BYTES].wrapping_add(1);
         fs::write(&path, &skewed).unwrap();
         assert!(store.load(key).is_none());
 
@@ -727,6 +1277,96 @@ mod tests {
         // The original bytes still load.
         fs::write(&path, &good).unwrap();
         assert!(store.load(key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lazy_section_rot_invalidates_and_deletes_on_first_decode() {
+        let dir = temp_dir("lazy-rot");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[44]);
+        store.save(key, &sample_artifact());
+        let path = store.blob_path(key);
+
+        // Flip the blob's last byte: it lands in the final section's
+        // body, which the header read never touches …
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let loaded = store.load(key).expect("the header is intact, so the load succeeds");
+        assert_eq!(store.counters().invalid_entries, 0);
+
+        // … untouched sections still decode …
+        assert!(loaded.source_ty().is_ok());
+        assert!(loaded.target().is_ok());
+
+        // … and the rotted one fails at first access: counted, deleted,
+        // memoized.
+        let err = loaded.target_ty().expect_err("rot is detected at decode");
+        assert!(err.contains("checksum mismatch"), "reason names the corruption: {err}");
+        assert_eq!(store.counters().invalid_entries, 1);
+        assert!(!path.exists(), "the rotted blob self-healed by deletion");
+        assert!(loaded.target_ty().is_err(), "the verdict is memoized");
+        assert_eq!(store.counters().invalid_entries, 1, "… and not re-counted");
+        assert!(store.load(key).is_none(), "the key is a miss now");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_respects_the_live_set_and_the_hard_budget() {
+        let dir = temp_dir("gc");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let keys: Vec<Fingerprint> = (0..4).map(|i| Fingerprint::of_words(&[100 + i])).collect();
+        for &key in &keys {
+            store.save(key, &sample_artifact());
+        }
+        let blob_len = fs::metadata(store.blob_path(keys[0])).unwrap().len();
+        // Touch key 2 so it is the most recently used of the dead set.
+        assert!(store.load(keys[2]).is_some());
+
+        // Budget for exactly two blobs; keys 0 and 1 are live.
+        let live: HashSet<Fingerprint> = [keys[0], keys[1]].into_iter().collect();
+        let report = store.gc(&live, StoreBudget { max_bytes: 2 * blob_len });
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.live, 2);
+        assert_eq!(report.evicted, 2, "both dead blobs go (live ones fit the budget)");
+        assert_eq!(report.retained_bytes, 2 * blob_len);
+        assert!(store.load(keys[0]).is_some(), "live keys survive");
+        assert!(store.load(keys[1]).is_some());
+        assert!(store.load(keys[2]).is_none(), "dead keys are gone");
+        assert!(store.load(keys[3]).is_none());
+        assert_eq!(store.counters().gc_evictions, 2);
+        assert_eq!(store.counters().gc_evicted_bytes, 2 * blob_len);
+
+        // A budget below the live set evicts live entries too — the
+        // budget is a hard bound — least recently used first.
+        assert!(store.load(keys[1]).is_some(), "touch key 1: key 0 becomes the LRU");
+        let report = store.gc(&live, StoreBudget { max_bytes: blob_len });
+        assert_eq!(report.evicted, 1);
+        assert!(store.load(keys[0]).is_none(), "the older live key was sacrificed");
+        assert!(store.load(keys[1]).is_some(), "the newer live key survived");
+        assert!(store.stats().bytes <= blob_len);
+
+        // Under budget: a sweep is a no-op.
+        let report = store.gc(&live, StoreBudget { max_bytes: u64::MAX });
+        assert_eq!(report.evicted, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_verified_records_with_the_same_key_space() {
+        let dir = temp_dir("gc-vfy");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let live_key = Fingerprint::of_words(&[201]);
+        let dead_key = Fingerprint::of_words(&[202]);
+        store.save_verified(live_key, Fingerprint::of_words(&[1]), Fingerprint::of_words(&[2]));
+        store.save_verified(dead_key, Fingerprint::of_words(&[3]), Fingerprint::of_words(&[4]));
+        let live: HashSet<Fingerprint> = [live_key].into_iter().collect();
+        let report = store.gc(&live, StoreBudget { max_bytes: 64 });
+        assert_eq!(report.evicted, 1);
+        assert!(store.load_verified(live_key).is_some());
+        assert!(store.load_verified(dead_key).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -67,6 +67,30 @@ pub fn render(report: &BuildReport) -> String {
         report.queries,
         possible.saturating_sub(report.queries.total())
     );
+    // Persistent-store traffic for this build, when a store is attached:
+    // the byte and section counters say how much of the blobs the lazy
+    // loads actually touched.
+    if let Some(store) = &report.store {
+        let _ = writeln!(
+            out,
+            "store: {} disk hits / {} misses, {} written, io {}B read / {}B written, \
+             sections {} decoded / {} deferred",
+            store.disk_hits,
+            store.disk_misses,
+            store.write_throughs,
+            store.bytes_read,
+            store.bytes_written,
+            store.sections_decoded,
+            store.sections_skipped,
+        );
+    }
+    if let Some(gc) = &report.gc {
+        let _ = writeln!(
+            out,
+            "store gc: {} of {} entries evicted (-{}B), {} live protected, {}B retained",
+            gc.evicted, gc.scanned, gc.evicted_bytes, gc.live, gc.retained_bytes,
+        );
+    }
     let wall_ns = report.wall_time.as_nanos() as u64;
 
     // Per-phase totals (pipeline time only; cached units contribute 0).

@@ -1,7 +1,8 @@
 //! Fault injection against the persistent artifact store: every storage
-//! fault — a failed or short read, a failed temp-file write, a failed
-//! rename — must degrade to a cache miss, never a wrong answer and never
-//! a panic. Each faulted build is checked differentially against a
+//! fault — a failed open, a failed header `pread`, a short read, a
+//! truncated section table, a failed temp-file write, a failed rename —
+//! must degrade to a cache miss, never a wrong answer and never a
+//! panic. Each faulted build is checked differentially against a
 //! storeless oracle session: identical per-unit interface fingerprints
 //! and an identical observed value at the root.
 
@@ -187,7 +188,9 @@ fn every_single_fault_position_is_survivable() {
     for n in 0..positions {
         for plan in [
             FaultPlan { fail_read: Some(n), ..FaultPlan::default() },
+            FaultPlan { fail_pread: Some(n), ..FaultPlan::default() },
             FaultPlan { short_read: Some(n), ..FaultPlan::default() },
+            FaultPlan { truncate_table: Some(n), ..FaultPlan::default() },
             FaultPlan { fail_write: Some(n), ..FaultPlan::default() },
             FaultPlan { fail_rename: Some(n), ..FaultPlan::default() },
         ] {
@@ -209,13 +212,13 @@ fn direct_store_faults_never_raise() {
     let artifact = {
         use cccc_source::builder as s;
         use cccc_target::builder as t;
-        cccc_driver::Artifact {
-            source_ty: cccc_source::wire::encode(&s::bool_ty()),
-            target: cccc_target::wire::encode(&t::tt()),
-            target_ty: cccc_target::wire::encode(&t::bool_ty()),
-            interface_alpha: Fingerprint::of_words(&[1]),
-            output_alpha: Fingerprint::of_words(&[2]),
-        }
+        cccc_driver::Artifact::new(
+            cccc_source::wire::encode(&s::bool_ty()),
+            cccc_target::wire::encode(&t::tt()),
+            cccc_target::wire::encode(&t::bool_ty()),
+            Fingerprint::of_words(&[1]),
+            Fingerprint::of_words(&[2]),
+        )
     };
 
     // Write fault: counted, nothing stored.
@@ -237,13 +240,29 @@ fn direct_store_faults_never_raise() {
     assert!(store.load(key).is_none(), "injected read error is a miss");
     assert!(store.load(key).is_some(), "only the planned read fails");
 
-    // Short read: invalid entry, deleted; the next save restores it.
+    // Header pread fault: the open succeeds but the read errors — a
+    // miss, never blamed on the blob, which survives intact.
+    store.set_faults(FaultPlan { fail_pread: Some(0), ..FaultPlan::default() });
+    assert!(store.load(key).is_none(), "injected pread error is a miss");
+    store.set_faults(FaultPlan::default());
+    assert!(store.load(key).is_some(), "the blob was not deleted for an I/O failure");
+
+    // Short read: invalid entry (the extent checks reject it), deleted;
+    // the next save restores it.
     store.set_faults(FaultPlan { short_read: Some(0), ..FaultPlan::default() });
-    assert!(store.load(key).is_none(), "short read fails the checksum");
+    assert!(store.load(key).is_none(), "short read fails the extent checks");
     store.set_faults(FaultPlan::default());
     assert!(store.load(key).is_none(), "the corrupt blob was deleted");
     store.save(key, &artifact);
     assert!(store.load(key).is_some(), "healed");
+
+    // Truncated section table: same invalid-entry degradation.
+    store.set_faults(FaultPlan { truncate_table: Some(0), ..FaultPlan::default() });
+    assert!(store.load(key).is_none(), "a torn section table is an invalid entry");
+    store.set_faults(FaultPlan::default());
+    assert!(store.load(key).is_none(), "the torn blob was deleted");
+    store.save(key, &artifact);
+    assert!(store.load(key).is_some(), "healed again");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -253,7 +272,11 @@ fn corrupt_blobs_emit_a_store_corrupt_trace_event() {
     let dir = temp_dir("corrupt-event");
     session_with_store(&units, &dir).build(2).unwrap();
 
-    // Flip a payload byte in one blob: checksum mismatch on next load.
+    // Flip a header byte in one blob (a fingerprint word, inside the
+    // header-checksum-covered region): header checksum mismatch on the
+    // next load. A *body* byte would go undetected here — lazy loads
+    // read only the header, and the warm build's verified records mean
+    // no section is ever decoded.
     let blob = std::fs::read_dir(&dir)
         .unwrap()
         .flatten()
@@ -261,8 +284,7 @@ fn corrupt_blobs_emit_a_store_corrupt_trace_event() {
         .find(|p| p.extension().is_some_and(|x| x == "art"))
         .expect("the build persisted blobs");
     let mut bytes = std::fs::read(&blob).unwrap();
-    let last = bytes.len() - 1;
-    bytes[last] ^= 0xFF;
+    bytes[40] ^= 0xFF;
     std::fs::write(&blob, &bytes).unwrap();
 
     let mut session = session_with_store(&units, &dir);

@@ -170,8 +170,10 @@ fn corrupt_blobs_degrade_to_recompiles_never_to_errors() {
     let dir = temp_store("corruption");
     session_with_store(&units, &dir).build(2).unwrap();
 
-    // Vandalise every blob a different way: truncation, checksum
-    // breakage, version skew, emptiness.
+    // Vandalise every blob a different way the *header read* catches:
+    // truncation, header-checksum breakage, version skew, emptiness.
+    // (Section-body rot is invisible to the v3 header load by design —
+    // the lazy-rot test below covers that path.)
     let mut blobs: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .flatten()
@@ -184,7 +186,7 @@ fn corrupt_blobs_degrade_to_recompiles_never_to_errors() {
         let mut bytes = std::fs::read(path).unwrap();
         match i {
             0 => bytes.truncate(bytes.len() / 3),
-            1 => *bytes.last_mut().unwrap() ^= 0xFF,
+            1 => bytes[40] ^= 0xFF, // a fingerprint word: header checksum mismatch
             2 => bytes[8] = bytes[8].wrapping_add(1), // format version word
             _ => bytes.clear(),
         }
@@ -206,6 +208,99 @@ fn corrupt_blobs_degrade_to_recompiles_never_to_errors() {
     // And now the repaired store answers a second restart warm.
     let mut again = session_with_store(&units, &dir);
     let warm = again.build(2).unwrap();
+    assert_eq!(warm.compiled_count(), 0, "{}", warm.summary());
+    assert_eq!(warm.disk_cached_count(), units.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lazily_rotted_sections_degrade_to_recompiles_and_self_heal() {
+    let units = deep_chain(3, 2);
+    let dir = temp_store("lazy-rot");
+    session_with_store(&units, &dir).build(2).unwrap();
+
+    // Flip the last byte of every blob — section-body rot the v3 header
+    // read cannot see — and delete the verified records, so the warm
+    // build must decode term sections for check/verify and trips over
+    // the rot there.
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = entry.path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("art") => {
+                let mut bytes = std::fs::read(&path).unwrap();
+                *bytes.last_mut().unwrap() ^= 0xFF;
+                std::fs::write(&path, &bytes).unwrap();
+            }
+            Some("vfy") => std::fs::remove_file(&path).unwrap(),
+            _ => {}
+        }
+    }
+
+    // Every unit's blob loads (the header is intact), the deferred
+    // decode fails its per-section checksum, and the session falls back
+    // to a recompile — never an error.
+    let mut session = session_with_store(&units, &dir);
+    let report = session.build(2).unwrap();
+    assert!(report.is_success(), "lazy rot must not fail the build: {}", report.summary());
+    assert_eq!(report.compiled_count(), units.len(), "{}", report.summary());
+    let store = report.store.expect("session has a store");
+    assert_eq!(store.invalid_entries, 3, "each rotted blob is detected at first decode");
+    assert_eq!(store.write_throughs, 3, "recompiles heal the store");
+    assert_eq!(session.observe(root_of(&units)).unwrap(), Some(true));
+
+    // The healed store answers a second restart warm.
+    let warm = session_with_store(&units, &dir).build(2).unwrap();
+    assert_eq!(warm.compiled_count(), 0, "{}", warm.summary());
+    assert_eq!(warm.disk_cached_count(), units.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_gc_sweeps_stale_entries_and_keeps_warm_builds_warm() {
+    let units = diamond(4, 2);
+    let dir = temp_store("gc-session");
+    session_with_store(&units, &dir).build(2).unwrap();
+
+    // Edit base's implementation (interface unchanged): its old blob
+    // and verified record become unreachable from any future build.
+    let mut session = session_with_store(&units, &dir);
+    let retagged = src::builder::let_(
+        "tag_gc",
+        src::builder::bool_ty(),
+        src::builder::ff(),
+        src::prelude::poly_id(),
+    );
+    session.update_unit("base", &retagged).unwrap();
+    session.build(2).unwrap();
+
+    let disk_bytes = || -> u64 {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "art" || x == "vfy"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum()
+    };
+    let total = disk_bytes();
+
+    // Any budget below the current size forces a sweep; stale entries
+    // go first, so the reachable set survives untouched.
+    let budget = total - 1;
+    session.set_store_budget(Some(cccc_driver::StoreBudget { max_bytes: budget }));
+    let report = session.build(2).unwrap();
+    assert_eq!(report.compiled_count(), 0, "{}", report.summary());
+    let gc = report.gc.expect("budgeted build reports its sweep");
+    assert!(gc.evicted >= 1, "something stale was evicted: {gc:?}");
+    assert!(gc.retained_bytes <= budget);
+    assert!(disk_bytes() <= budget, "the budget is enforced on disk");
+    assert_eq!(report.store.expect("session has a store").gc_evictions, gc.evicted);
+
+    // The sweep took nothing the current graph can reach: a restart-warm
+    // build of the *retagged* graph over the swept store compiles
+    // nothing. (The pre-edit base blob is exactly what the sweep ate.)
+    let mut restarted = session_with_store(&units, &dir);
+    restarted.update_unit("base", &retagged).unwrap();
+    let warm = restarted.build(2).unwrap();
     assert_eq!(warm.compiled_count(), 0, "{}", warm.summary());
     assert_eq!(warm.disk_cached_count(), units.len());
     let _ = std::fs::remove_dir_all(&dir);
@@ -249,31 +344,34 @@ fn relocated_artifacts_are_alpha_equivalent_for_generated_programs() {
         };
         checked += 1;
         let interface_alpha = src::wire::fingerprint_alpha(&compilation.source_type);
-        let artifact = Artifact {
-            source_ty: src::wire::encode(&compilation.source_type),
-            target: tgt::wire::encode(&compilation.target),
-            target_ty: tgt::wire::encode(&compilation.target_type),
+        let artifact = Artifact::new(
+            src::wire::encode(&compilation.source_type),
+            tgt::wire::encode(&compilation.target),
+            tgt::wire::encode(&compilation.target_type),
             interface_alpha,
-            output_alpha: interface_alpha
+            interface_alpha
                 .combine(tgt::wire::fingerprint_alpha(&compilation.target))
                 .combine(tgt::wire::fingerprint_alpha(&compilation.target_type)),
-        };
+        );
         let key = Fingerprint::of_words(&[0xAB, i]);
         store.save(key, &artifact);
         let loaded = store.load(key).expect("blob loads back");
 
-        assert_eq!(loaded.interface_alpha, artifact.interface_alpha);
-        let interface = src::wire::decode(&loaded.source_ty).expect("interface decodes");
+        assert_eq!(loaded.interface_fingerprint(), artifact.interface_fingerprint());
+        let interface_wire = loaded.source_ty().expect("interface section decodes");
+        let interface = src::wire::decode(&interface_wire).expect("interface decodes");
         assert!(
             src::subst::alpha_eq(&interface, &compilation.source_type),
             "relocated interface differs for program {i}: {term}"
         );
-        let target = tgt::wire::decode(&loaded.target).expect("target decodes");
+        let target_wire = loaded.target().expect("target section decodes");
+        let target = tgt::wire::decode(&target_wire).expect("target decodes");
         assert!(
             tgt::subst::alpha_eq(&target, &compilation.target),
             "relocated target differs for program {i}: {term}"
         );
-        let target_ty = tgt::wire::decode(&loaded.target_ty).expect("target type decodes");
+        let target_ty_wire = loaded.target_ty().expect("target type section decodes");
+        let target_ty = tgt::wire::decode(&target_ty_wire).expect("target type decodes");
         assert!(
             tgt::subst::alpha_eq(&target_ty, &compilation.target_type),
             "relocated target type differs for program {i}: {term}"
@@ -282,7 +380,8 @@ fn relocated_artifacts_are_alpha_equivalent_for_generated_programs() {
         // A second load freshens generated names *again*; α-equivalence
         // must be stable under repeated relocation.
         let reloaded = store.load(key).expect("blob loads twice");
-        let target_again = tgt::wire::decode(&reloaded.target).expect("target decodes");
+        let target_again_wire = reloaded.target().expect("target section decodes");
+        let target_again = tgt::wire::decode(&target_again_wire).expect("target decodes");
         assert!(tgt::subst::alpha_eq(&target_again, &target));
     }
     assert!(checked >= 20, "only {checked}/40 generated programs compiled");

@@ -372,7 +372,7 @@ fn chrome_export_is_valid_json_with_one_track_per_worker() {
         "store.render",
         "store.write",
         "store.read",
-        "store.decode",
+        "store.section",
         "store.checksum",
     ] {
         assert!(span_names.contains(&required), "no `{required}` span in the export");

@@ -62,8 +62,11 @@ use std::sync::Arc;
 ///
 /// History: 1 = original sectioned artifact blobs; 2 = artifact blobs
 /// gained the output α-fingerprint (early cutoff) and the store grew
-/// verified-phase records.
-pub const FORMAT_VERSION: u64 = 2;
+/// verified-phase records; 3 = blob headers carry a section offset
+/// table with per-section checksums, so loaders seek to — and verify —
+/// exactly the sections they decode (v2 blobs read as version skew:
+/// misses, then rewritten in v3 by the recompile's write-through).
+pub const FORMAT_VERSION: u64 = 3;
 
 /// First word of a portable buffer. Raw buffers always start with a
 /// small language tag word, so the marker can never be confused for one.
