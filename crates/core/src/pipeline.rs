@@ -58,6 +58,19 @@ pub struct CompilerOptions {
     /// this flag deliberately does **not** participate in the driver's
     /// input fingerprints.
     pub keep_going: bool,
+    /// Wall-clock budget for a whole driver build. When it elapses the
+    /// session's watchdog cancels the build cooperatively: in-flight
+    /// units stop at their next phase boundary or fuel checkpoint, the
+    /// rest of the frontier is skipped, and the partial report comes back
+    /// with [`BuildOutcome::DeadlineExceeded`]. Like `keep_going`, deadlines
+    /// never change what a successful compile produces, so they do not
+    /// participate in input fingerprints.
+    pub build_deadline: Option<std::time::Duration>,
+    /// Wall-clock budget for any *single* unit's compile. An overrunning
+    /// unit is flagged by name and the build is cancelled the same
+    /// cooperative way (one runaway unit cannot take the session's cached
+    /// progress with it).
+    pub unit_deadline: Option<std::time::Duration>,
 }
 
 impl Default for CompilerOptions {
@@ -68,6 +81,52 @@ impl Default for CompilerOptions {
             use_nbe: true,
             collect_cache_stats: false,
             keep_going: false,
+            build_deadline: None,
+            unit_deadline: None,
+        }
+    }
+}
+
+/// How a driver build ended: ran to completion, or was cut short
+/// cooperatively. A non-`Completed` outcome still comes with a
+/// well-formed partial report — every unit has a status, completed units
+/// keep their cached artifacts, and the store's atomic temp+rename
+/// writes guarantee nothing is half-persisted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum BuildOutcome {
+    /// Every unit ran to a terminal status with no cancellation.
+    #[default]
+    Completed,
+    /// Cancelled through the session's `CancelToken`.
+    Cancelled,
+    /// A [`CompilerOptions::build_deadline`] or
+    /// [`CompilerOptions::unit_deadline`] elapsed; `overran` names the
+    /// units that were past the per-unit budget when the watchdog fired
+    /// (empty for a whole-build deadline).
+    DeadlineExceeded {
+        /// Units flagged over the per-unit budget, sorted by name.
+        overran: Vec<String>,
+    },
+}
+
+impl BuildOutcome {
+    /// Whether the build ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, BuildOutcome::Completed)
+    }
+}
+
+impl fmt::Display for BuildOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildOutcome::Completed => write!(f, "completed"),
+            BuildOutcome::Cancelled => write!(f, "cancelled"),
+            BuildOutcome::DeadlineExceeded { overran } if overran.is_empty() => {
+                write!(f, "deadline exceeded")
+            }
+            BuildOutcome::DeadlineExceeded { overran } => {
+                write!(f, "deadline exceeded (overran: {})", overran.join(", "))
+            }
         }
     }
 }
@@ -116,6 +175,14 @@ pub struct StoreStats {
     pub gc_evictions: u64,
     /// Bytes reclaimed by those evictions.
     pub gc_evicted_bytes: u64,
+    /// Individual retry attempts made against transient I/O faults
+    /// (interrupted opens, failed preads, torn writes) before giving up.
+    /// Permanent faults — checksum corruption — are never retried.
+    pub retries: u64,
+    /// Operations that *succeeded* on a retry attempt — each one is a
+    /// warm hit (or a persisted artifact) the pre-retry store would have
+    /// lost to a miss.
+    pub retry_successes: u64,
     /// Blobs in the store (a size at observation time, not a delta).
     pub entries: u64,
     /// Total bytes of those blobs (a size at observation time).
@@ -140,6 +207,8 @@ impl StoreStats {
             sections_skipped: self.sections_skipped - before.sections_skipped,
             gc_evictions: self.gc_evictions - before.gc_evictions,
             gc_evicted_bytes: self.gc_evicted_bytes - before.gc_evicted_bytes,
+            retries: self.retries - before.retries,
+            retry_successes: self.retry_successes - before.retry_successes,
             entries: self.entries,
             bytes: self.bytes,
         }
@@ -162,6 +231,8 @@ impl StoreStats {
             sections_skipped: self.sections_skipped + other.sections_skipped,
             gc_evictions: self.gc_evictions + other.gc_evictions,
             gc_evicted_bytes: self.gc_evicted_bytes + other.gc_evicted_bytes,
+            retries: self.retries + other.retries,
+            retry_successes: self.retry_successes + other.retry_successes,
             entries: self.entries.max(other.entries),
             bytes: self.bytes.max(other.bytes),
         }
@@ -179,7 +250,7 @@ impl fmt::Display for StoreStats {
             f,
             "store {}h/{}m/{}inv, {}w (+{} failed), {}vh/{}vw, \
              io {}B r/{}B w, sections {}d/{}s, gc {} (-{}B), \
-             {} blobs / {} bytes",
+             retry {}/{} ok, {} blobs / {} bytes",
             self.disk_hits,
             self.disk_misses,
             self.invalid_entries,
@@ -193,6 +264,8 @@ impl fmt::Display for StoreStats {
             self.sections_skipped,
             self.gc_evictions,
             self.gc_evicted_bytes,
+            self.retries,
+            self.retry_successes,
             self.entries,
             self.bytes,
         )
@@ -1193,6 +1266,8 @@ mod tests {
             sections_skipped: 4,
             gc_evictions: 0,
             gc_evicted_bytes: 0,
+            retries: 1,
+            retry_successes: 0,
             entries: 10,
             bytes: 800,
         };
@@ -1210,6 +1285,8 @@ mod tests {
             sections_skipped: 10,
             gc_evictions: 2,
             gc_evicted_bytes: 160,
+            retries: 4,
+            retry_successes: 2,
             entries: 12,
             bytes: 900,
         };
@@ -1226,6 +1303,8 @@ mod tests {
         assert_eq!(delta.sections_skipped, 6);
         assert_eq!(delta.gc_evictions, 2);
         assert_eq!(delta.gc_evicted_bytes, 160);
+        assert_eq!(delta.retries, 3);
+        assert_eq!(delta.retry_successes, 2);
         assert_eq!(delta.lookups(), 4);
         assert_eq!(delta.entries, 12, "sizes keep the later observation");
         let doubled = delta.merged(&delta);
@@ -1233,11 +1312,14 @@ mod tests {
         assert_eq!(doubled.bytes_read, 300);
         assert_eq!(doubled.sections_skipped, 12);
         assert_eq!(doubled.gc_evicted_bytes, 320);
+        assert_eq!(doubled.retries, 6);
+        assert_eq!(doubled.retry_successes, 4);
         assert_eq!(doubled.entries, 12, "sizes take the max, not the sum");
         assert!(delta.to_string().contains("store"));
         assert!(delta.to_string().contains("io 150B r/200B w"));
         assert!(delta.to_string().contains("sections 3d/6s"));
         assert!(delta.to_string().contains("gc 2 (-160B)"));
+        assert!(delta.to_string().contains("retry 3/2 ok"));
 
         // A report whose window saw store activity renders it.
         let mut with_store = CacheReport::default();

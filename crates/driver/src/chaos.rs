@@ -1,0 +1,269 @@
+//! Chaos harness: seeded, composable failure injection for whole driver
+//! sessions.
+//!
+//! The fault plans of [`crate::store`] perturb one subsystem at a time;
+//! this module composes *every* resilience mechanism at once. From a
+//! single seed, [`ChaosPlan::for_seed`] derives a deterministic cocktail
+//! of storage faults, an injected worker panic ([`PanicPlan`]), store
+//! read latency, a mid-build cancellation point, and a worker count —
+//! and [`run`] executes a 16-unit workload under that cocktail, then
+//! checks the invariants every resilient build must keep:
+//!
+//! 1. **No aborts.** The build returns a well-formed [`BuildReport`]
+//!    whatever fired — panics are isolated per unit, faults are retried
+//!    or degraded, cancellation drains the frontier cooperatively.
+//! 2. **Statuses partition the graph.** Every unit reports exactly one
+//!    terminal status; the per-status counts sum to the unit count.
+//! 3. **Poison provenance is canonical.** [`BuildReport::poison_roots`]
+//!    is sorted and deduplicated.
+//! 4. **Completed work is correct.** Every unit that ended with an
+//!    artifact is checked α-equivalent — interface and compiled term —
+//!    against the storeless sequential oracle
+//!    ([`crate::session::Session::compile_sequential`]). Chaos may shrink
+//!    the completed subset, never corrupt it.
+//!
+//! The `driver_chaos` integration suite sweeps seeds through [`run`];
+//! the `report_chaos` benchmark binary distills the same sweeps into
+//! gated JSON.
+
+use crate::session::{BuildReport, Session, UnitStatus};
+use crate::store::FaultPlan;
+use crate::workloads::{self, WorkUnit};
+use cccc_core::pipeline::CompilerOptions;
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Panics the Nth compile dispatched through the session (0-based),
+/// simulating an internal compiler bug on an arbitrary worker thread.
+/// Shared across the pool; the countdown is atomic, so exactly one unit
+/// panics however the scheduler interleaves.
+#[derive(Debug)]
+pub struct PanicPlan {
+    remaining: AtomicI64,
+}
+
+impl PanicPlan {
+    /// A plan that panics the `n`th compile (0-based: `on_nth_compile(0)`
+    /// panics the first unit to enter the pipeline).
+    pub fn on_nth_compile(n: u64) -> Arc<PanicPlan> {
+        Arc::new(PanicPlan { remaining: AtomicI64::new(n as i64) })
+    }
+
+    /// Called by the session at the top of each unit's compile, outside
+    /// every lock (an injected panic must never poison session state the
+    /// isolation machinery is being tested against). Panics when the
+    /// countdown reaches its unit.
+    pub fn tick(&self, unit: &str) {
+        if self.remaining.fetch_sub(1, Ordering::Relaxed) == 0 {
+            panic!("chaos: injected panic in `{unit}`");
+        }
+    }
+}
+
+/// A tiny xorshift64 generator — deterministic per seed, no external
+/// crates, good enough to decorrelate the plan dimensions.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Never zero: xorshift has a fixed point there.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform-ish draw in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// `true` with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// One deterministic failure cocktail, derived from a seed.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// The seed everything below was derived from.
+    pub seed: u64,
+    /// Storage faults to arm on the session's store.
+    pub faults: FaultPlan,
+    /// When set, the Nth compile panics ([`PanicPlan`]).
+    pub panic_on: Option<u64>,
+    /// When set, the session's token is cancelled after this many units
+    /// have settled (0 cancels before the first claim).
+    pub cancel_after: Option<usize>,
+    /// Artificial latency per store blob load, in microseconds.
+    pub read_delay_us: u64,
+    /// Worker-pool width for the build.
+    pub workers: usize,
+    /// Whether the build runs in keep-going mode (poisoned interfaces
+    /// instead of skips downstream of failures and panics).
+    pub keep_going: bool,
+}
+
+impl ChaosPlan {
+    /// Derives a plan from `seed`. Every dimension fires with moderate,
+    /// independent probability so most runs compose at least two
+    /// mechanisms while quiet runs (nothing armed) still appear.
+    pub fn for_seed(seed: u64) -> ChaosPlan {
+        let mut rng = Rng::new(seed);
+        let position = |rng: &mut Rng| Some(rng.below(20));
+        let faults = FaultPlan {
+            fail_read: rng.chance(1, 3).then(|| position(&mut rng)).flatten(),
+            fail_pread: rng.chance(1, 4).then(|| position(&mut rng)).flatten(),
+            short_read: rng.chance(1, 4).then(|| position(&mut rng)).flatten(),
+            truncate_table: rng.chance(1, 5).then(|| position(&mut rng)).flatten(),
+            fail_write: rng.chance(1, 3).then(|| position(&mut rng)).flatten(),
+            fail_rename: rng.chance(1, 4).then(|| position(&mut rng)).flatten(),
+        };
+        let panic_on = rng.chance(1, 2).then(|| rng.below(16));
+        let cancel_after = rng.chance(1, 3).then(|| rng.below(17) as usize);
+        let read_delay_us = if rng.chance(1, 3) { rng.below(300) } else { 0 };
+        let workers = 1 + rng.below(4) as usize;
+        let keep_going = rng.chance(1, 2);
+        ChaosPlan { seed, faults, panic_on, cancel_after, read_delay_us, workers, keep_going }
+    }
+
+    /// How many fault-plan dimensions this plan arms (storage faults,
+    /// panic, cancellation, latency) — the `report_chaos` JSON surfaces
+    /// this so a sweep can show it exercised more than quiet runs.
+    pub fn armed_faults(&self) -> usize {
+        let f = &self.faults;
+        [f.fail_read, f.fail_pread, f.short_read, f.truncate_table, f.fail_write, f.fail_rename]
+            .iter()
+            .filter(|p| p.is_some())
+            .count()
+            + usize::from(self.panic_on.is_some())
+            + usize::from(self.cancel_after.is_some())
+            + usize::from(self.read_delay_us > 0)
+    }
+}
+
+/// The stock chaos workload: a 16-unit diamond (every unit well-typed,
+/// so the sequential oracle covers the whole graph and any shrinkage of
+/// the completed subset is attributable to the injected chaos alone).
+pub fn workload() -> Vec<WorkUnit> {
+    workloads::diamond(14, 2)
+}
+
+/// What one chaos run produced, after all invariants passed.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The plan the run executed.
+    pub plan: ChaosPlan,
+    /// The build's report (well-formed even under cancellation).
+    pub report: BuildReport,
+    /// Store retry traffic: `(retries, retry_successes)`.
+    pub retries: (u64, u64),
+    /// How many completed units were differentially checked against the
+    /// sequential oracle.
+    pub oracle_checked: usize,
+}
+
+/// Runs `units` under `plan` with a persistent store in `store_dir`,
+/// then checks every chaos invariant (see the module docs). Panics —
+/// failing the calling test — on any violation.
+pub fn run(units: &[WorkUnit], plan: &ChaosPlan, store_dir: &Path) -> ChaosOutcome {
+    let options = CompilerOptions { keep_going: plan.keep_going, ..CompilerOptions::default() };
+    let mut session = Session::with_store(options, store_dir).expect("store dir is creatable");
+    for unit in units {
+        let imports: Vec<&str> = unit.imports.iter().map(String::as_str).collect();
+        session.add_unit(&unit.name, &imports, &unit.term).expect("workload has no duplicates");
+    }
+    session.set_store_faults(plan.faults);
+    if plan.read_delay_us > 0 {
+        session.set_store_read_delay(Duration::from_micros(plan.read_delay_us));
+    }
+    if let Some(n) = plan.panic_on {
+        session.set_panic_plan(Some(PanicPlan::on_nth_compile(n)));
+    }
+    session.set_cancel_after_units(plan.cancel_after);
+
+    let report = session.build(plan.workers).expect("the workload graph is valid");
+    let retries =
+        session.store_stats().map_or((0, 0), |stats| (stats.retries, stats.retry_successes));
+    let oracle_checked = check_invariants(units, &session, &report, plan);
+    ChaosOutcome { plan: plan.clone(), report, retries, oracle_checked }
+}
+
+/// The chaos invariants, shared by [`run`] and the cancellation sweep in
+/// the integration suite. Returns how many completed units the oracle
+/// verified. Panics on any violation, naming the seed.
+pub fn check_invariants(
+    units: &[WorkUnit],
+    session: &Session,
+    report: &BuildReport,
+    plan: &ChaosPlan,
+) -> usize {
+    let seed = plan.seed;
+    // Statuses partition the graph: one report per unit, counts sum up.
+    assert_eq!(report.units.len(), units.len(), "one report per unit (seed {seed})");
+    let mut names: Vec<&str> = report.units.iter().map(|u| u.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), units.len(), "no duplicate unit reports (seed {seed})");
+    let counted = report.compiled_count()
+        + report.cached_count()
+        + report.failed_count()
+        + report.skipped_count()
+        + report.poisoned_count()
+        + report.panicked_count();
+    assert_eq!(counted, units.len(), "statuses partition the graph (seed {seed})");
+
+    // Poison provenance is canonical.
+    let roots = report.poison_roots();
+    let mut canonical = roots.clone();
+    canonical.sort();
+    canonical.dedup();
+    assert_eq!(roots, canonical, "poison roots sorted and deduplicated (seed {seed})");
+
+    // A panic plan that fired shows up as exactly one panicked unit
+    // carrying the injected message as an E0500 diagnostic.
+    for unit in &report.units {
+        if let UnitStatus::Panicked { message } = &unit.status {
+            assert!(
+                message.contains("chaos: injected panic"),
+                "only injected panics expected under chaos (seed {seed}): {message}"
+            );
+            assert!(
+                unit.diagnostics.iter().any(|d| d.code.as_deref() == Some("E0500")),
+                "panicked units carry an E0500 diagnostic (seed {seed})"
+            );
+        }
+    }
+    assert!(report.panicked_count() <= 1, "at most one injected panic (seed {seed})");
+
+    // Completed subsets are correct: α-equivalent to the sequential
+    // oracle, interface and compiled term both.
+    let oracle_session = workloads::session_from(units, CompilerOptions::default());
+    let oracle = oracle_session.compile_sequential().expect("the chaos workload is well-typed");
+    let mut checked = 0;
+    for (name, compilation) in &oracle {
+        let unit = report.units.iter().find(|u| &u.name == name).expect("every unit reports");
+        if !unit.status.is_ok() {
+            continue;
+        }
+        let interface = session.interface(name).expect("ok units decode their interface");
+        assert!(
+            cccc_source::subst::alpha_eq(&interface, &compilation.source_type),
+            "interface of `{name}` diverged from the oracle (seed {seed})"
+        );
+        let target = session.target_term(name).expect("ok units decode their term");
+        assert!(
+            cccc_target::subst::alpha_eq(&target, &compilation.target),
+            "compiled term of `{name}` diverged from the oracle (seed {seed})"
+        );
+        checked += 1;
+    }
+    checked
+}

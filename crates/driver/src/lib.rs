@@ -23,6 +23,10 @@
 //!   type-check and report their *own* errors instead of being skipped;
 //! * [`workloads`] — multi-unit workload families (independent units,
 //!   diamonds, deep chains) for the benches and the differential suites;
+//! * [`chaos`] — the seeded chaos harness: composable storage faults,
+//!   injected worker panics, read latency, and mid-build cancellation,
+//!   with every run differentially checked against the sequential
+//!   oracle;
 //! * [`timings`] — the `--timings` text report: per-phase totals,
 //!   per-unit table, and (for traced builds,
 //!   [`session::Session::set_tracing`]) worker utilization and the
@@ -61,6 +65,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod graph;
 pub mod poison;
 pub mod query;
@@ -70,6 +75,7 @@ pub mod timings;
 pub mod workloads;
 
 pub use cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
+pub use chaos::{ChaosOutcome, ChaosPlan, PanicPlan};
 pub use graph::{Plan, Unit, UnitGraph};
 pub use poison::PoisonedInterface;
 pub use session::{BuildReport, Session, UnitReport, UnitStatus};

@@ -32,18 +32,21 @@
 //! a *fresh process* over unchanged sources.
 
 use crate::cache::{Artifact, ArtifactCache, CacheStats, CacheTier};
+use crate::chaos::PanicPlan;
 use crate::graph::{Plan, Unit, UnitGraph};
 use crate::poison::PoisonedInterface;
 use crate::query::{self, CheckMemo, PhaseRuns, QueryCounts, QueryState};
 use crate::store::{ArtifactStore, DecodeMode, FaultPlan, GcReport, StoreBudget};
 use crate::DriverError;
 use cccc_core::pipeline::{
-    cache_snapshot, diagnostic_of_compile_error, BuildMetrics, CacheReport, Compilation, Compiler,
-    CompilerOptions, PhaseNanos, StoreStats,
+    cache_snapshot, diagnostic_of_compile_error, BuildMetrics, BuildOutcome, CacheReport,
+    Compilation, Compiler, CompilerOptions, PhaseNanos, StoreStats,
 };
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::cancel::{self, CancelReason, CancelToken};
 use cccc_util::diag::{diagnostics_to_json, json_string, Diagnostic};
+use cccc_util::panics;
 use cccc_util::symbol::Symbol;
 use cccc_util::trace::{self, BuildTrace, TraceSink};
 use cccc_util::wire::{Fingerprint, WireTerm};
@@ -66,7 +69,18 @@ pub enum UnitStatus {
     /// The pipeline failed (the message names the stage).
     Failed(String),
     /// An import failed (or was itself skipped), so this unit never ran.
+    /// Cancelled and deadline-stopped units land here too, with the stop
+    /// reason as the message.
     Skipped(String),
+    /// The unit's compile panicked. The panic was caught on the worker
+    /// ([`cccc_util::panics::capture`]), the payload preserved here and
+    /// as an `E0500` diagnostic, and the worker returned to the
+    /// frontier — dependents are skipped (or poisoned, in keep-going
+    /// mode) exactly as if the unit had failed a phase.
+    Panicked {
+        /// The panic payload, with its source location when known.
+        message: String,
+    },
     /// Keep-going mode only: an import was poisoned, so this unit was
     /// type-checked tolerantly against the partial interface instead of
     /// being skipped. `upstream` names the root-cause units (sorted,
@@ -135,6 +149,13 @@ pub struct UnitReport {
 pub struct BuildReport {
     /// Per-unit diagnostics, in schedule (topological) order.
     pub units: Vec<UnitReport>,
+    /// How the build ended: ran to completion, cancelled through the
+    /// session's [`CancelToken`], or stopped by a
+    /// [`CompilerOptions::build_deadline`] /
+    /// [`CompilerOptions::unit_deadline`]. A non-completed build still
+    /// reports every unit — the ones the stop overtook as
+    /// [`UnitStatus::Skipped`].
+    pub outcome: BuildOutcome,
     /// Number of workers the pool ran.
     pub workers: usize,
     /// End-to-end wall time of the build.
@@ -198,6 +219,23 @@ impl BuildReport {
     /// Units checked against a poisoned import (keep-going mode only).
     pub fn poisoned_count(&self) -> usize {
         self.units.iter().filter(|u| matches!(u.status, UnitStatus::Poisoned { .. })).count()
+    }
+
+    /// Units whose compile panicked (caught and isolated on the worker).
+    pub fn panicked_count(&self) -> usize {
+        self.units.iter().filter(|u| matches!(u.status, UnitStatus::Panicked { .. })).count()
+    }
+
+    /// The caught panic payloads, paired with their unit names, in
+    /// schedule order.
+    pub fn panics(&self) -> Vec<(&str, &str)> {
+        self.units
+            .iter()
+            .filter_map(|u| match &u.status {
+                UnitStatus::Panicked { message } => Some((u.name.as_str(), message.as_str())),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Every diagnostic any unit produced, paired with its unit name, in
@@ -292,6 +330,13 @@ impl BuildReport {
         if poisoned > 0 {
             line.push_str(&format!(", {poisoned} poisoned"));
         }
+        let panicked = self.panicked_count();
+        if panicked > 0 {
+            line.push_str(&format!(", {panicked} panicked"));
+        }
+        if !self.outcome.is_completed() {
+            line.push_str(&format!(" [{}]", self.outcome));
+        }
         line
     }
 }
@@ -320,6 +365,20 @@ pub struct Session {
     /// down to this byte budget, protecting the keys reachable from the
     /// build that just finished.
     store_budget: Option<StoreBudget>,
+    /// The session's cancellation token: installed on every worker
+    /// thread for the duration of a build, observed at claim points,
+    /// phase boundaries, fuel checkpoints, and store retries. Handed out
+    /// by [`Session::cancel_handle`]; also tripped by the deadline
+    /// watchdog and the deterministic [`Session::set_cancel_after_units`]
+    /// test hook.
+    cancel: CancelToken,
+    /// When set, the token is cancelled as soon as this many units have
+    /// settled (0 = before the first claim). Deterministic mid-build
+    /// cancellation for the chaos and sweep suites.
+    cancel_after: Option<usize>,
+    /// When set, each unit entering the pipeline ticks the plan — the
+    /// chaos harness's injected-panic hook.
+    panic_plan: Option<Arc<PanicPlan>>,
     results: HashMap<String, Arc<Artifact>>,
     poisons: HashMap<String, Arc<PoisonedInterface>>,
     tracing: bool,
@@ -365,6 +424,13 @@ struct SchedState {
     outcomes: Vec<Option<Outcome>>,
     reports: Vec<Option<UnitReport>>,
     remaining: usize,
+    /// When each in-flight unit was claimed (`None` once it settles) —
+    /// the deadline watchdog scans these.
+    claimed_at: Vec<Option<Instant>>,
+    /// Units the watchdog flagged over the per-unit deadline (sorted,
+    /// deduplicated on insert); reported in
+    /// [`BuildOutcome::DeadlineExceeded`].
+    overran: Vec<String>,
 }
 
 /// Everything a worker needs for one build, bundled so the query-layer
@@ -380,6 +446,9 @@ struct BuildCtx<'a> {
     query: &'a Mutex<QueryState>,
     store: Option<Arc<ArtifactStore>>,
     early_cutoff: bool,
+    cancel: CancelToken,
+    cancel_after: Option<usize>,
+    panic_plan: Option<Arc<PanicPlan>>,
 }
 
 impl Session {
@@ -394,6 +463,9 @@ impl Session {
             query: Mutex::new(QueryState::default()),
             early_cutoff: true,
             store_budget: None,
+            cancel: CancelToken::new(),
+            cancel_after: None,
+            panic_plan: None,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -425,6 +497,9 @@ impl Session {
             query: Mutex::new(QueryState::default()),
             early_cutoff: true,
             store_budget: None,
+            cancel: CancelToken::new(),
+            cancel_after: None,
+            panic_plan: None,
             results: HashMap::new(),
             poisons: HashMap::new(),
             tracing: false,
@@ -437,7 +512,9 @@ impl Session {
     /// indices. Storage faults must degrade to cache misses, never wrong
     /// answers; the fault-injection suites drive this.
     pub fn set_store_faults(&mut self, plan: FaultPlan) {
-        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
+        if let Some(store) =
+            self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).store()
+        {
             store.set_faults(plan);
         }
     }
@@ -457,7 +534,9 @@ impl Session {
     /// kept so the benchmarks can measure what lazy decoding saves.
     /// No-op without a store.
     pub fn set_store_eager_decode(&mut self, eager: bool) {
-        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
+        if let Some(store) =
+            self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).store()
+        {
             store.set_decode_mode(if eager { DecodeMode::Eager } else { DecodeMode::Lazy });
         }
     }
@@ -466,9 +545,41 @@ impl Session {
     /// outside all session locks) so tests can observe disk-load
     /// concurrency deterministically. No-op without a store.
     pub fn set_store_read_delay(&mut self, delay: Duration) {
-        if let Some(store) = self.cache.lock().expect("driver cache poisoned").store() {
+        if let Some(store) =
+            self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).store()
+        {
             store.set_read_delay(delay);
         }
+    }
+
+    /// A clone of the session's cancellation token. Cancelling it — from
+    /// any thread, a signal handler, a UI — stops the *next* claim on
+    /// every worker and trips the cooperative checkpoints inside running
+    /// units (fuel ticks, store retries), so an in-flight
+    /// [`Session::build`] winds down within roughly one unit's compile
+    /// time and returns a partial report with
+    /// [`BuildOutcome::Cancelled`]. The build consumes the cancellation:
+    /// the token is reset when the report is assembled, so the following
+    /// build starts live.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancels the session's token deterministically once `count` units
+    /// have settled (0 cancels before the first claim); `None` disables.
+    /// The chaos harness and the cancellation sweep drive this — it
+    /// exercises exactly the code paths an asynchronous
+    /// [`Session::cancel_handle`] cancellation takes, minus the race.
+    pub fn set_cancel_after_units(&mut self, count: Option<usize>) {
+        self.cancel_after = count;
+    }
+
+    /// Installs (or clears) an injected-panic plan: each unit entering
+    /// the pipeline ticks it, and the planned tick panics on its worker.
+    /// The chaos harness uses this to prove panic isolation; see
+    /// [`PanicPlan::on_nth_compile`].
+    pub fn set_panic_plan(&mut self, plan: Option<Arc<PanicPlan>>) {
+        self.panic_plan = plan;
     }
 
     /// A session holding a single closed unit named `main` — the existing
@@ -556,20 +667,20 @@ impl Session {
     /// Artifact-cache (memory tier) counters accumulated over the
     /// session.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("driver cache poisoned").stats()
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats()
     }
 
     /// Persistent-store counters and sizes (`None` without a store).
     pub fn store_stats(&self) -> Option<StoreStats> {
-        self.cache.lock().expect("driver cache poisoned").store_stats()
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).store_stats()
     }
 
     /// Drops every cached artifact *and* every check/verified memo from
     /// memory (turns the next build cold in this session; a persistent
     /// store, if attached, still answers).
     pub fn clear_cache(&mut self) {
-        self.cache.lock().expect("driver cache poisoned").clear();
-        self.query.lock().expect("driver query state poisoned").clear();
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.query.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         self.results.clear();
         self.poisons.clear();
     }
@@ -582,7 +693,7 @@ impl Session {
     ///
     /// Returns [`DriverError::Store`] on a deletion failure.
     pub fn wipe_store(&mut self) -> Result<(), DriverError> {
-        match self.cache.lock().expect("driver cache poisoned").store() {
+        match self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).store() {
             Some(store) => store.wipe().map_err(|e| DriverError::Store(e.to_string())),
             None => Ok(()),
         }
@@ -642,8 +753,12 @@ impl Session {
         let workers = workers.max(1).min(unit_count.max(1));
         let started = Instant::now();
         let cache_before = self.cache_stats();
-        let store_before =
-            self.cache.lock().expect("driver cache poisoned").store().map(ArtifactStore::counters);
+        let store_before = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .store()
+            .map(ArtifactStore::counters);
 
         let ctx = BuildCtx {
             graph: &self.graph,
@@ -652,9 +767,21 @@ impl Session {
             cache: &self.cache,
             cache_ready: &self.cache_ready,
             query: &self.query,
-            store: self.cache.lock().expect("driver cache poisoned").store_shared(),
+            store: self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .store_shared(),
             early_cutoff: self.early_cutoff,
+            cancel: self.cancel.clone(),
+            cancel_after: self.cancel_after,
+            panic_plan: self.panic_plan.clone(),
         };
+        // Cancel-before-anything: the sweep suites ask for the smallest
+        // partial report — every unit skipped, nothing claimed.
+        if self.cancel_after == Some(0) {
+            self.cancel.cancel_with(CancelReason::User);
+        }
 
         let state = Mutex::new(SchedState {
             ready: plan
@@ -668,9 +795,13 @@ impl Session {
             outcomes: vec![None; unit_count],
             reports: vec![None; unit_count],
             remaining: unit_count,
+            claimed_at: vec![None; unit_count],
+            overran: Vec::new(),
         });
         let ready_signal = Condvar::new();
         let sink = TraceSink::new(self.tracing);
+        let watchdog =
+            self.options.build_deadline.is_some() || self.options.unit_deadline.is_some();
 
         std::thread::scope(|scope| {
             for worker in 0..workers {
@@ -680,12 +811,20 @@ impl Session {
                 let sink = &sink;
                 scope.spawn(move || {
                     let _trace_guard = sink.install(worker);
+                    // Fuel checkpoints and store retries poll the ambient
+                    // token; install it for this worker's whole build.
+                    let _cancel_guard = cancel::install(&ctx.cancel);
                     worker_loop(worker, ctx, state, ready_signal);
                 });
             }
+            if watchdog {
+                let state = &state;
+                let ctx = &ctx;
+                scope.spawn(move || watchdog_loop(ctx, state, started));
+            }
         });
 
-        let mut state = state.into_inner().expect("driver scheduler poisoned");
+        let mut state = state.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         self.results.clear();
         self.poisons.clear();
         for (u, outcome) in state.outcomes.iter().enumerate() {
@@ -729,7 +868,11 @@ impl Session {
         }
         let cache_after = self.cache_stats();
         let store = store_before.map(|before| {
-            self.cache.lock().expect("driver cache poisoned").store_counters().since(&before)
+            self.cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .store_counters()
+                .since(&before)
         });
         let trace_data = sink.finish();
         let metrics = trace_data.as_ref().map(|t| {
@@ -737,8 +880,19 @@ impl Session {
             metrics.critical_path_ns = critical_path_ns;
             metrics
         });
+        // The build consumes any cancellation it observed: record how it
+        // ended, then reset the token so the next build starts live.
+        let outcome = match self.cancel.reason() {
+            None => BuildOutcome::Completed,
+            Some(CancelReason::User) => BuildOutcome::Cancelled,
+            Some(CancelReason::BuildDeadline | CancelReason::UnitDeadline) => {
+                BuildOutcome::DeadlineExceeded { overran: std::mem::take(&mut state.overran) }
+            }
+        };
+        self.cancel.reset();
         Ok(BuildReport {
             units,
+            outcome,
             workers,
             wall_time: started.elapsed(),
             cache: CacheStats {
@@ -884,7 +1038,7 @@ fn worker_loop(
     loop {
         // Claim a unit (or exit when everything is settled).
         let (unit_index, deps) = {
-            let mut guard = state.lock().expect("driver scheduler poisoned");
+            let mut guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if guard.remaining == 0 {
                     ready_signal.notify_all();
@@ -898,9 +1052,11 @@ fn worker_loop(
                         .iter()
                         .map(|&d| (d, guard.outcomes[d].clone()))
                         .collect();
+                    // Start the unit's deadline clock for the watchdog.
+                    guard.claimed_at[u] = Some(Instant::now());
                     break (u, deps);
                 }
-                guard = ready_signal.wait(guard).expect("driver scheduler poisoned");
+                guard = ready_signal.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
 
@@ -908,60 +1064,85 @@ fn worker_loop(
         let unit = graph.unit_at(unit_index);
         trace::set_unit(Some(&unit.name));
         trace::event("sched.claim", &[("priority", plan.priority[unit_index])]);
-        let (report, outcome) = {
-            let _unit_span = trace::span("unit");
-            let missing = deps.iter().find(|(_, outcome)| outcome.is_none()).map(|(d, _)| *d);
-            let any_poisoned = deps.iter().any(|(_, o)| matches!(o, Some(Outcome::Poisoned(_))));
-            match (missing, any_poisoned) {
-                (Some(failed_dep), _) => {
-                    trace::event("sched.skip", &[]);
-                    (
-                        UnitReport {
-                            name: unit.name.clone(),
-                            status: UnitStatus::Skipped(format!(
-                                "import `{}` did not produce an artifact",
-                                graph.unit_at(failed_dep).name
-                            )),
-                            cached_from: None,
-                            duration: started.elapsed(),
-                            fingerprint: Fingerprint::default(),
-                            worker,
-                            caches: None,
-                            source_words: unit.source.len(),
-                            target_words: 0,
-                            phases: None,
-                            phase_runs: PhaseRuns::NONE,
-                            diagnostics: Vec::new(),
-                        },
-                        None,
-                    )
+        let (mut report, mut outcome) = if let Some(reason) = ctx.cancel.reason() {
+            // The build is winding down: claimed units are skipped
+            // without entering the pipeline, so the frontier drains in
+            // one pass and the partial report stays well-formed.
+            trace::event("sched.skip", &[]);
+            (skipped_report(worker, unit, format!("build stopped: {reason}"), started), None)
+        } else {
+            // Everything a unit executes runs inside a panic capture: a
+            // compiler bug in one unit becomes that unit's Panicked
+            // status, never a dead worker or an aborted build.
+            let dispatched = panics::capture(|| {
+                let _unit_span = trace::span("unit");
+                let missing = deps.iter().find(|(_, outcome)| outcome.is_none()).map(|(d, _)| *d);
+                let any_poisoned =
+                    deps.iter().any(|(_, o)| matches!(o, Some(Outcome::Poisoned(_))));
+                match (missing, any_poisoned) {
+                    (Some(failed_dep), _) => {
+                        trace::event("sched.skip", &[]);
+                        let reason = format!(
+                            "import `{}` did not produce an artifact",
+                            graph.unit_at(failed_dep).name
+                        );
+                        (skipped_report(worker, unit, reason, started), None)
+                    }
+                    (None, true) => {
+                        let deps: Vec<(usize, Outcome)> = deps
+                            .into_iter()
+                            .map(|(d, outcome)| (d, outcome.expect("checked above")))
+                            .collect();
+                        handle_poisoned_unit(worker, graph, unit_index, &deps, ctx.options, started)
+                    }
+                    (None, false) => {
+                        let deps: Vec<(usize, Arc<Artifact>)> = deps
+                            .into_iter()
+                            .map(|(d, outcome)| match outcome.expect("checked above") {
+                                Outcome::Built(artifact) => (d, artifact),
+                                Outcome::Poisoned(_) => unreachable!("no poisoned deps here"),
+                            })
+                            .collect();
+                        handle_unit(worker, ctx, unit_index, &deps, started)
+                    }
                 }
-                (None, true) => {
-                    let deps: Vec<(usize, Outcome)> = deps
-                        .into_iter()
-                        .map(|(d, outcome)| (d, outcome.expect("checked above")))
-                        .collect();
-                    handle_poisoned_unit(worker, graph, unit_index, &deps, ctx.options, started)
-                }
-                (None, false) => {
-                    let deps: Vec<(usize, Arc<Artifact>)> = deps
-                        .into_iter()
-                        .map(|(d, outcome)| match outcome.expect("checked above") {
-                            Outcome::Built(artifact) => (d, artifact),
-                            Outcome::Poisoned(_) => unreachable!("no poisoned deps here"),
-                        })
-                        .collect();
-                    handle_unit(worker, ctx, unit_index, &deps, started)
+            });
+            match dispatched {
+                Ok(result) => result,
+                Err(message) => {
+                    trace::event("sched.panicked", &[]);
+                    panicked_outcome(worker, unit, &message, ctx.options, started)
                 }
             }
         };
+        // A failure while the build is cancelled is indistinguishable
+        // from the cancellation itself (checkpoints surface as fuel
+        // exhaustion mid-phase): report it as the stop it is, publish
+        // nothing, and let genuine results that raced ahead stand.
+        if let Some(reason) = ctx.cancel.reason() {
+            if matches!(report.status, UnitStatus::Failed(_)) {
+                report.status = UnitStatus::Skipped(format!("build stopped: {reason}"));
+                report.diagnostics.clear();
+                report.phases = None;
+                report.phase_runs = PhaseRuns::NONE;
+                outcome = None;
+            }
+        }
         trace::set_unit(None);
 
         // Publish the outcome and wake anyone waiting on the frontier.
-        let mut guard = state.lock().expect("driver scheduler poisoned");
+        let mut guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.claimed_at[unit_index] = None;
         guard.outcomes[unit_index] = outcome;
         guard.reports[unit_index] = Some(report);
         guard.remaining -= 1;
+        // The deterministic mid-build cancellation hook: trip the token
+        // the moment the configured number of units have settled.
+        if let Some(after) = ctx.cancel_after {
+            if guard.outcomes.len() - guard.remaining >= after {
+                ctx.cancel.cancel_with(CancelReason::User);
+            }
+        }
         for &v in &plan.dependents[unit_index] {
             guard.pending[v] -= 1;
             if guard.pending[v] == 0 {
@@ -987,6 +1168,12 @@ fn handle_unit(
 ) -> (UnitReport, Option<Outcome>) {
     let unit = ctx.graph.unit_at(unit_index);
     let options = ctx.options;
+    // The chaos harness's injected-panic hook. Ticked here — outside
+    // every session lock — so an injected panic exercises the capture
+    // path without poisoning shared state.
+    if let Some(plan) = ctx.panic_plan.as_deref() {
+        plan.tick(&unit.name);
+    }
     let (artifact_key, dep_fp) = {
         let _span = trace::span("fingerprint");
         let dep_fp = dep_fingerprint(ctx, unit_index, deps);
@@ -1045,7 +1232,7 @@ fn handle_unit(
                     );
                     ctx.query
                         .lock()
-                        .expect("driver query state poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .record_verified(verify_key);
                 }
                 let runs = PhaseRuns {
@@ -1076,7 +1263,7 @@ fn handle_unit(
             let rendered =
                 ctx.store.is_some().then(|| crate::store::render_blob(&artifact)).flatten();
             let insert_delta = {
-                let mut cache = ctx.cache.lock().expect("driver cache poisoned");
+                let mut cache = ctx.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let before = cache.store_counters();
                 cache.insert_prerendered(&unit.name, artifact_key, Arc::clone(&artifact), rendered);
                 cache.store_counters().since(&before)
@@ -1259,6 +1446,115 @@ fn failed_report(
     }
 }
 
+/// A unit that never entered the pipeline: a missing import artifact, or
+/// a build winding down after cancellation (the reason says which).
+fn skipped_report(worker: usize, unit: &Unit, reason: String, started: Instant) -> UnitReport {
+    UnitReport {
+        name: unit.name.clone(),
+        status: UnitStatus::Skipped(reason),
+        cached_from: None,
+        duration: started.elapsed(),
+        fingerprint: Fingerprint::default(),
+        worker,
+        caches: None,
+        source_words: unit.source.len(),
+        target_words: 0,
+        phases: None,
+        phase_runs: PhaseRuns::NONE,
+        diagnostics: Vec::new(),
+    }
+}
+
+/// The report/outcome pair for a unit whose compile panicked: the caught
+/// payload becomes the unit's [`UnitStatus::Panicked`] status and an
+/// `E0500` diagnostic. In keep-going mode the unit publishes a sentinel
+/// poisoned interface — dependents type-check tolerantly and surface
+/// their own diagnostics, exactly as downstream of a type error; in
+/// strict mode it publishes nothing and dependents are skipped.
+fn panicked_outcome(
+    worker: usize,
+    unit: &Unit,
+    message: &str,
+    options: CompilerOptions,
+    started: Instant,
+) -> (UnitReport, Option<Outcome>) {
+    let diagnostic =
+        Diagnostic::error(format!("internal compiler panic: {message}")).with_code("E0500");
+    let outcome = options.keep_going.then(|| {
+        Outcome::Poisoned(Arc::new(PoisonedInterface {
+            interface: src::wire::encode_portable(&src::tolerant::error_term()),
+            diagnostics: vec![diagnostic.clone()],
+            origins: vec![unit.name.clone()],
+        }))
+    });
+    (
+        UnitReport {
+            name: unit.name.clone(),
+            status: UnitStatus::Panicked { message: message.to_owned() },
+            cached_from: None,
+            duration: started.elapsed(),
+            fingerprint: Fingerprint::default(),
+            worker,
+            caches: None,
+            source_words: unit.source.len(),
+            target_words: 0,
+            phases: None,
+            phase_runs: PhaseRuns::NONE,
+            diagnostics: vec![diagnostic],
+        },
+        outcome,
+    )
+}
+
+/// How often the deadline watchdog polls. Fine-grained enough that unit
+/// deadlines in the low milliseconds are honored promptly; coarse enough
+/// that the scheduler lock sees negligible extra traffic.
+const WATCHDOG_TICK: Duration = Duration::from_micros(200);
+
+/// The deadline watchdog: a sidecar thread (spawned only when a deadline
+/// is configured) polling wall clocks against
+/// [`CompilerOptions::build_deadline`] and
+/// [`CompilerOptions::unit_deadline`]. An overrun trips the session's
+/// token — the same cooperative cancellation a [`Session::cancel_handle`]
+/// user triggers — and per-unit overruns are recorded by name (sorted,
+/// deduplicated) for [`BuildOutcome::DeadlineExceeded`]. Exits when the
+/// last unit settles.
+fn watchdog_loop(ctx: &BuildCtx<'_>, state: &Mutex<SchedState>, build_started: Instant) {
+    loop {
+        {
+            let mut guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if guard.remaining == 0 {
+                return;
+            }
+            if let Some(limit) = ctx.options.build_deadline {
+                if build_started.elapsed() > limit {
+                    ctx.cancel.cancel_with(CancelReason::BuildDeadline);
+                }
+            }
+            if let Some(limit) = ctx.options.unit_deadline {
+                let now = Instant::now();
+                let overrunning: Vec<usize> = guard
+                    .claimed_at
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(u, claimed)| match claimed {
+                        Some(at) if now.duration_since(*at) > limit => Some(u),
+                        _ => None,
+                    })
+                    .collect();
+                for u in overrunning {
+                    ctx.cancel.cancel_with(CancelReason::UnitDeadline);
+                    let name = ctx.graph.unit_at(u).name.clone();
+                    if let Err(position) = guard.overran.binary_search(&name) {
+                        guard.overran.insert(position, name);
+                    }
+                }
+            }
+        }
+        std::thread::sleep(WATCHDOG_TICK);
+    }
+}
+
 /// Keep-going path for a unit at least one of whose imports is poisoned:
 /// build the typing environment from the mixed interfaces — compiled ones
 /// and partial ones — run the tolerant frontend, report the unit's *own*
@@ -1386,7 +1682,7 @@ fn lookup_artifact(
     key: Fingerprint,
 ) -> (Option<(Arc<Artifact>, CacheTier)>, StoreStats) {
     let _span = trace::span("cache.lookup");
-    let mut cache = ctx.cache.lock().expect("driver cache poisoned");
+    let mut cache = ctx.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let before = cache.store_counters();
     if let Some(found) = cache.lookup_memory(unit, key) {
         let delta = cache.store_counters().since(&before);
@@ -1403,7 +1699,7 @@ fn lookup_artifact(
             // I/O with the lock released so unrelated lookups proceed.
             drop(cache);
             let loaded = store.load(key).map(Arc::new);
-            cache = ctx.cache.lock().expect("driver cache poisoned");
+            cache = ctx.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             cache.finish_disk_load(key, loaded.as_ref());
             ctx.cache_ready.notify_all();
             let found = cache.promotion(unit, key);
@@ -1416,7 +1712,7 @@ fn lookup_artifact(
             cache.note_coalesced();
             counted_wait = true;
         }
-        cache = ctx.cache_ready.wait(cache).expect("driver cache poisoned");
+        cache = ctx.cache_ready.wait(cache).unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(found) = cache.promotion(unit, key) {
             let delta = cache.store_counters().since(&before);
             return (Some(found), delta);
@@ -1432,7 +1728,7 @@ fn lookup_artifact(
 /// store's verified records (which seed the memo on a hit, so the disk
 /// is consulted at most once per verdict per session).
 fn verified_hit(ctx: &BuildCtx<'_>, verify_key: Fingerprint, check_key: Fingerprint) -> bool {
-    if ctx.query.lock().expect("driver query state poisoned").is_verified(verify_key) {
+    if ctx.query.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_verified(verify_key) {
         return true;
     }
     let Some(store) = ctx.store.as_ref() else {
@@ -1440,7 +1736,10 @@ fn verified_hit(ctx: &BuildCtx<'_>, verify_key: Fingerprint, check_key: Fingerpr
     };
     match store.load_verified(verify_key) {
         Some((recorded_check, _)) if recorded_check == check_key => {
-            ctx.query.lock().expect("driver query state poisoned").record_verified(verify_key);
+            ctx.query
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .record_verified(verify_key);
             true
         }
         _ => false,
@@ -1478,7 +1777,8 @@ fn run_check_verify(
         (message.clone(), vec![Diagnostic::error(message)])
     };
     let phase_failure = |e| (format!("{e}"), vec![diagnostic_of_compile_error(&e)]);
-    let memo = ctx.query.lock().expect("driver query state poisoned").check_memo(check_key);
+    let memo =
+        ctx.query.lock().unwrap_or_else(std::sync::PoisonError::into_inner).check_memo(check_key);
     let (target_env, inferred, check_output, check_ns, check_ran) = match memo {
         Some(memo) => {
             let inferred = tgt::wire::decode(&memo.inferred)
@@ -1492,7 +1792,7 @@ fn run_check_verify(
             let (target_env, inferred, ns) =
                 compiler.phase_check(env, &target).map_err(phase_failure)?;
             let output = tgt::wire::fingerprint_alpha(&inferred);
-            ctx.query.lock().expect("driver query state poisoned").record_check(
+            ctx.query.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record_check(
                 check_key,
                 CheckMemo { output, inferred: tgt::wire::encode(&inferred) },
             );
@@ -1504,7 +1804,7 @@ fn run_check_verify(
     let verify_ns = compiler
         .phase_verify(env, term, target_env.as_ref(), &inferred, &target_type)
         .map_err(phase_failure)?;
-    ctx.query.lock().expect("driver query state poisoned").record_verified(verify_key);
+    ctx.query.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record_verified(verify_key);
     if let Some(store) = ctx.store.as_ref() {
         store.save_verified(verify_key, check_key, check_output);
     }

@@ -89,6 +89,16 @@
 //! store directory (or calling [`ArtifactStore::wipe`]) merely makes the
 //! next build cold.
 //!
+//! Faults are classified before they degrade: **transient** ones — an
+//! interrupted open, a failed `pread`, a torn write — are retried a
+//! bounded number of times with deterministic jittered backoff
+//! ([`cccc_util::cancel::Backoff`]) before being accepted as a miss or
+//! write error, while **permanent** ones (corruption) are never retried.
+//! Retry traffic is visible in [`StoreStats::retries`] /
+//! [`StoreStats::retry_successes`] and as `store.retry` trace events
+//! (sharing `store.corrupt`'s structured `path=… reason=… attempt=N`
+//! payload).
+//!
 //! All methods take `&self`: the store synchronizes internally, so a
 //! session can share one instance across workers ([`std::sync::Arc`])
 //! and perform file reads outside its cache lock.
@@ -97,6 +107,7 @@ use crate::cache::Artifact;
 use cccc_core::pipeline::StoreStats;
 use cccc_source as src;
 use cccc_target as tgt;
+use cccc_util::cancel::{self, Backoff};
 use cccc_util::trace;
 use cccc_util::wire::{Fingerprint, WireTerm, FORMAT_VERSION};
 use std::collections::{HashMap, HashSet};
@@ -181,10 +192,15 @@ pub struct GcReport {
 ///
 /// Each field targets the Nth call (0-based) of one operation kind since
 /// the plan was installed ([`ArtifactStore::set_faults`] resets the
-/// counters). The four read-side faults share one counter — each
-/// [`ArtifactStore::load`] claims a single position, whatever mix of
-/// open, `pread`, and truncation faults is armed — so one plan can fail
-/// the open at position 0 and truncate position 2. Only artifact-blob
+/// counters). The four read-side faults share one counter — each load
+/// *attempt* claims a single position, whatever mix of open, `pread`,
+/// and truncation faults is armed — so one plan can fail the open at
+/// position 0 and truncate position 2. Because transient faults are
+/// retried and a retry claims the *next* position, a single injected
+/// `fail_read` or `fail_pread` is recovered on the following attempt:
+/// the load ends in a disk hit, counted under
+/// [`StoreStats::retry_successes`]. Corruption faults (`short_read`,
+/// `truncate_table`) are permanent and never retried. Only artifact-blob
 /// operations consume positions; verified-record I/O is deliberately
 /// outside the plan (see the module docs).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -233,6 +249,34 @@ struct FaultState {
 
 fn injected_fault(operation: &str) -> io::Error {
     io::Error::other(format!("injected {operation} fault"))
+}
+
+/// Emits a `store.corrupt` or `store.retry` event with the shared
+/// structured payload both carry: the blob path, the reason, and the
+/// 0-based attempt the fault landed on. Pinned by the `driver_trace`
+/// suite — consumers parse `path=… reason=… attempt=N`, so the three
+/// fields always appear, in this order, whatever the fault.
+fn fault_event(name: &'static str, path: &Path, reason: &str, attempt: u64) {
+    trace::event_for(
+        &format!("path={} reason={reason} attempt={attempt}", path.display()),
+        name,
+        &[],
+    );
+}
+
+/// What one [`ArtifactStore::load`] attempt concluded, steering the
+/// retry loop: hits and permanent outcomes (no blob, corruption) return
+/// immediately; transient I/O faults are worth another attempt.
+enum LoadAttempt {
+    /// A valid blob: counted as a disk hit.
+    Hit(Box<Artifact>),
+    /// No blob for the key, or a corrupt one (already counted, traced,
+    /// and deleted) — retrying cannot help.
+    Absent,
+    /// A transient I/O failure — an interrupted open or a failed header
+    /// `pread` — that left the blob untouched on disk. The payload names
+    /// the fault for the `store.retry` event.
+    Transient(String),
 }
 
 /// Counters a store shares with the [`LazySections`] of every artifact
@@ -321,7 +365,11 @@ impl ArtifactStore {
     }
 
     fn state(&self) -> std::sync::MutexGuard<'_, StoreState> {
-        self.state.lock().expect("artifact store poisoned")
+        // Tolerate a poisoned lock: the state is counters and an access
+        // clock, consistent after any partial update, and panic
+        // isolation in the driver means a panicking worker must not
+        // wedge every other worker's store access.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Installs `plan` and resets the per-operation fault counters.
@@ -436,8 +484,61 @@ impl ArtifactStore {
     /// invalid entries, reported as misses, and *deleted* — self-healing,
     /// so the recompile's write-through can put a good blob back in
     /// their place.
+    ///
+    /// Transient I/O faults — an interrupted open, a failed header
+    /// `pread` — are *retried* with a bounded, deterministically
+    /// jittered backoff ([`Backoff`], seeded from the key) before the
+    /// load gives up as a miss: a flaky read must not cost a warm hit.
+    /// Each attempt is counted in [`StoreStats::retries`], traced as
+    /// `store.retry`, and — because retries run inside the session's
+    /// per-fingerprint in-flight guard — never raced by a sibling load
+    /// of the same key. Corruption is permanent and never retried, and a
+    /// missing blob returns immediately (cold misses pay no backoff).
+    /// A cancelled build stops retrying at once.
     pub fn load(&self, fingerprint: Fingerprint) -> Option<Artifact> {
         let path = self.blob_path(fingerprint);
+        // Deterministic per-key jitter: tests replay exact schedules.
+        let seed = (fingerprint.0 as u64) ^ ((fingerprint.0 >> 64) as u64);
+        let mut backoff = Backoff::new(seed);
+        let mut attempt = 0u64;
+        loop {
+            match self.load_attempt(&path, attempt) {
+                LoadAttempt::Hit(artifact) => {
+                    let mut state = self.state();
+                    state.stats.disk_hits += 1;
+                    if artifact.is_lazy() {
+                        state.stats.sections_skipped += SECTION_COUNT as u64;
+                    }
+                    if attempt > 0 {
+                        // A warm hit the pre-retry store lost to a miss.
+                        state.stats.retry_successes += 1;
+                    }
+                    state.touch(fingerprint);
+                    return Some(*artifact);
+                }
+                LoadAttempt::Absent => return None,
+                LoadAttempt::Transient(reason) => {
+                    let delay = if cancel::cancelled() { None } else { backoff.next_delay() };
+                    let Some(delay) = delay else {
+                        // Out of attempts (or cancelled): the transient
+                        // fault degrades to the ordinary miss it always
+                        // was.
+                        self.state().stats.disk_misses += 1;
+                        return None;
+                    };
+                    self.state().stats.retries += 1;
+                    fault_event("store.retry", &path, &reason, attempt);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One load attempt: claims one fault-plan read position, reads and
+    /// validates the header, and classifies the outcome for [`load`]'s
+    /// retry loop. Hit bookkeeping (counters, LRU touch) is the caller's.
+    fn load_attempt(&self, path: &Path, attempt: u64) -> LoadAttempt {
         let (position, faults, mode, delay) = {
             let mut state = self.state();
             let n = state.fault_state.reads;
@@ -450,23 +551,23 @@ impl ArtifactStore {
             std::thread::sleep(delay);
         }
 
-        // Injected open failure: indistinguishable from a missing blob.
+        // Injected open failure: an `EINTR`-shaped transient.
         if faults.fail_read == Some(position) {
-            drop(read_span);
-            self.state().stats.disk_misses += 1;
-            return None;
+            return LoadAttempt::Transient("injected read fault".to_owned());
         }
-        let opened = fs::File::open(&path).and_then(|file| {
+        let opened = fs::File::open(path).and_then(|file| {
             let len = file.metadata()?.len();
             Ok((file, len))
         });
         let (file, real_len) = match opened {
             Ok(pair) => pair,
-            Err(_) => {
+            Err(error) if error.kind() == io::ErrorKind::NotFound => {
+                // The ordinary cold miss: nothing to retry, no backoff.
                 drop(read_span);
                 self.state().stats.disk_misses += 1;
-                return None;
+                return LoadAttempt::Absent;
             }
+            Err(error) => return LoadAttempt::Transient(format!("open failed: {error}")),
         };
 
         // Injected truncations: the load *sees* a shorter file than is
@@ -486,15 +587,13 @@ impl ArtifactStore {
             Ok(Ok(header)) => header,
             Ok(Err(reason)) => {
                 drop(read_span);
-                self.invalidate_blob(&path, reason);
-                return None;
+                self.invalidate_blob(path, reason, attempt);
+                return LoadAttempt::Absent;
             }
             Err(()) => {
-                // Real (or injected) I/O failure mid-read: a miss, never
-                // blamed on the blob.
-                drop(read_span);
-                self.state().stats.disk_misses += 1;
-                return None;
+                // Real (or injected) I/O failure mid-read: transient,
+                // never blamed on the blob.
+                return LoadAttempt::Transient("header pread failed".to_owned());
             }
         };
 
@@ -502,7 +601,7 @@ impl ArtifactStore {
             DecodeMode::Lazy => {
                 let lazy = LazySections {
                     file,
-                    path: path.clone(),
+                    path: path.to_path_buf(),
                     entries: header.entries,
                     cells: Default::default(),
                     counters: Arc::clone(&self.shared),
@@ -516,13 +615,11 @@ impl ArtifactStore {
                         Ok(Ok(section)) => sections.push(section),
                         Ok(Err(reason)) => {
                             drop(read_span);
-                            self.invalidate_blob(&path, reason);
-                            return None;
+                            self.invalidate_blob(path, reason, attempt);
+                            return LoadAttempt::Absent;
                         }
                         Err(()) => {
-                            drop(read_span);
-                            self.state().stats.disk_misses += 1;
-                            return None;
+                            return LoadAttempt::Transient("section pread failed".to_owned());
                         }
                     }
                 }
@@ -539,14 +636,7 @@ impl ArtifactStore {
             }
         };
         drop(read_span);
-
-        let mut state = self.state();
-        state.stats.disk_hits += 1;
-        if mode == DecodeMode::Lazy {
-            state.stats.sections_skipped += SECTION_COUNT as u64;
-        }
-        state.touch(fingerprint);
-        Some(artifact)
+        LoadAttempt::Hit(Box::new(artifact))
     }
 
     /// Reads and validates a blob's 21-word header against the (possibly
@@ -609,11 +699,11 @@ impl ArtifactStore {
     }
 
     /// Counts, traces, and deletes a blob rejected at load time.
-    fn invalidate_blob(&self, path: &Path, reason: &str) {
+    fn invalidate_blob(&self, path: &Path, reason: &str, attempt: u64) {
         self.state().stats.invalid_entries += 1;
         // Surface what was thrown away and why, so an operator watching
         // the trace can tell self-healing from rot.
-        trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
+        fault_event("store.corrupt", path, reason, attempt);
         let _ = fs::remove_file(path);
     }
 
@@ -635,6 +725,13 @@ impl ArtifactStore {
 
     /// [`ArtifactStore::save`] for a blob already rendered by
     /// [`render_blob`]; `None` records the render failure.
+    ///
+    /// Write and rename failures are transient until proven otherwise:
+    /// the whole temp-file + rename sequence is retried under the same
+    /// bounded [`Backoff`] as loads (atomicity is per attempt, so a
+    /// reader still sees the whole blob or none of it). Only after the
+    /// attempt budget is spent does the failure count as a
+    /// [`StoreStats::write_errors`] — swallowed, as ever.
     pub(crate) fn save_rendered(&self, fingerprint: Fingerprint, words: Option<&[u64]>) {
         let Some(words) = words else {
             self.state().stats.write_errors += 1;
@@ -647,21 +744,38 @@ impl ArtifactStore {
         let write_span = trace::span("store.write");
         write_span.counter("bytes", (words.len() * WORD_BYTES) as u64);
         let bytes = words_to_bytes(words);
-        let temp = self.temp_path(fingerprint);
-        let written = self
-            .write_with_faults(&temp, &bytes)
-            .and_then(|()| self.rename_with_faults(&temp, &path));
-        match written {
-            Ok(()) => {
-                let mut state = self.state();
-                state.stats.write_throughs += 1;
-                state.stats.bytes_written += bytes.len() as u64;
-                state.touch(fingerprint);
-            }
-            Err(_) => {
-                let _ = fs::remove_file(&temp);
+        // Decorrelate the write schedule from the same key's read one.
+        let seed = (fingerprint.0 as u64) ^ ((fingerprint.0 >> 64) as u64) ^ 1;
+        let mut backoff = Backoff::new(seed);
+        let mut attempt = 0u64;
+        loop {
+            let temp = self.temp_path(fingerprint);
+            let written = self
+                .write_with_faults(&temp, &bytes)
+                .and_then(|()| self.rename_with_faults(&temp, &path));
+            let error = match written {
+                Ok(()) => {
+                    let mut state = self.state();
+                    state.stats.write_throughs += 1;
+                    state.stats.bytes_written += bytes.len() as u64;
+                    if attempt > 0 {
+                        state.stats.retry_successes += 1;
+                    }
+                    state.touch(fingerprint);
+                    return;
+                }
+                Err(error) => error,
+            };
+            let _ = fs::remove_file(&temp);
+            let delay = if cancel::cancelled() { None } else { backoff.next_delay() };
+            let Some(delay) = delay else {
                 self.state().stats.write_errors += 1;
-            }
+                return;
+            };
+            self.state().stats.retries += 1;
+            fault_event("store.retry", &path, &format!("{error}"), attempt);
+            std::thread::sleep(delay);
+            attempt += 1;
         }
     }
 
@@ -727,7 +841,7 @@ impl ArtifactStore {
             }
             Err(reason) => {
                 self.state().stats.invalid_entries += 1;
-                trace::event_for(&format!("{} ({reason})", path.display()), "store.corrupt", &[]);
+                fault_event("store.corrupt", &path, reason, 0);
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -962,11 +1076,7 @@ impl LazySections {
                 // Lazy rot: the same self-healing as a corrupt load,
                 // just detected at first decode instead.
                 self.counters.invalid.fetch_add(1, Ordering::Relaxed);
-                trace::event_for(
-                    &format!("{} ({reason})", self.path.display()),
-                    "store.corrupt",
-                    &[],
-                );
+                fault_event("store.corrupt", &self.path, &reason, 0);
                 let _ = fs::remove_file(&self.path);
                 Err(reason)
             }
@@ -1351,6 +1461,85 @@ mod tests {
         // Under budget: a sweep is a no-op.
         let report = store.gc(&live, StoreBudget { max_bytes: u64::MAX });
         assert_eq!(report.evicted, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_into_hits() {
+        let dir = temp_dir("retry-read");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[61]);
+        store.save(key, &sample_artifact());
+
+        // Fail the first attempt's open: the retry claims the next read
+        // position and succeeds — a warm hit the pre-retry store lost.
+        store.set_faults(FaultPlan { fail_read: Some(0), ..FaultPlan::default() });
+        assert!(store.load(key).is_some(), "one transient fault is absorbed by a retry");
+        let stats = store.counters();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.disk_misses, 0, "the fault never surfaced as a miss");
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.retry_successes, 1);
+
+        // Two stacked transients (open, then pread) still recover within
+        // the attempt budget.
+        store.set_faults(FaultPlan {
+            fail_read: Some(0),
+            fail_pread: Some(1),
+            ..FaultPlan::default()
+        });
+        assert!(store.load(key).is_some());
+        let stats = store.counters();
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.retry_successes, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_blobs_and_corruption_are_never_retried() {
+        let dir = temp_dir("retry-permanent");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[62]);
+
+        // A cold miss claims exactly one read position: no retry, no
+        // backoff latency on the common path.
+        assert!(store.load(key).is_none());
+        assert_eq!(store.counters().retries, 0);
+        assert_eq!(store.state().fault_state.reads, 1);
+
+        // Corruption is permanent: one attempt, invalidated, deleted.
+        // (`set_faults` reset the positional counters above.)
+        store.save(key, &sample_artifact());
+        store.set_faults(FaultPlan { short_read: Some(0), ..FaultPlan::default() });
+        assert!(store.load(key).is_none());
+        let stats = store.counters();
+        assert_eq!(stats.invalid_entries, 1);
+        assert_eq!(stats.retries, 0, "corruption must not be retried");
+        assert!(!store.blob_path(key).exists(), "still self-healing");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_into_write_throughs() {
+        let dir = temp_dir("retry-write");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = Fingerprint::of_words(&[63]);
+        // Writes and renames keep separate positional counters, and a
+        // failed write short-circuits its attempt's rename: attempt 0
+        // fails the write, attempt 1 fails the (first) rename, attempt 2
+        // lands the blob.
+        store.set_faults(FaultPlan {
+            fail_write: Some(0),
+            fail_rename: Some(0),
+            ..FaultPlan::default()
+        });
+        store.save(key, &sample_artifact());
+        let stats = store.counters();
+        assert_eq!(stats.write_throughs, 1, "the artifact landed despite two faults");
+        assert_eq!(stats.write_errors, 0);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.retry_successes, 1);
+        assert!(store.load(key).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -44,6 +44,7 @@ fn status_cell(report: &BuildReport, index: usize) -> &'static str {
         UnitStatus::Failed(_) => "FAILED",
         UnitStatus::Skipped(_) => "skipped",
         UnitStatus::Poisoned { .. } => "POISONED",
+        UnitStatus::Panicked { .. } => "PANICKED",
     }
 }
 
@@ -67,14 +68,23 @@ pub fn render(report: &BuildReport) -> String {
         report.queries,
         possible.saturating_sub(report.queries.total())
     );
+    // Memory-tier cache traffic, including how many same-fingerprint
+    // lookups coalesced onto another worker's in-flight disk load.
+    let cache = &report.cache;
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses, {} invalidated, {} coalesced",
+        cache.hits, cache.misses, cache.invalidations, cache.coalesced,
+    );
     // Persistent-store traffic for this build, when a store is attached:
     // the byte and section counters say how much of the blobs the lazy
-    // loads actually touched.
+    // loads actually touched; the retry counters say how many transient
+    // I/O faults were absorbed before anything degraded to a miss.
     if let Some(store) = &report.store {
         let _ = writeln!(
             out,
             "store: {} disk hits / {} misses, {} written, io {}B read / {}B written, \
-             sections {} decoded / {} deferred",
+             sections {} decoded / {} deferred, {} retries ({} recovered)",
             store.disk_hits,
             store.disk_misses,
             store.write_throughs,
@@ -82,6 +92,8 @@ pub fn render(report: &BuildReport) -> String {
             store.bytes_written,
             store.sections_decoded,
             store.sections_skipped,
+            store.retries,
+            store.retry_successes,
         );
     }
     if let Some(gc) = &report.gc {

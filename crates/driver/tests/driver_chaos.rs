@@ -1,0 +1,242 @@
+//! The chaos suite: resilient sessions under composed failure.
+//!
+//! Every test here drives [`cccc_driver::chaos`]: seeded cocktails of
+//! storage faults, injected worker panics, store read latency, and
+//! mid-build cancellation over 16-unit workloads. The invariants — no
+//! process aborts, statuses partition the graph, poison provenance is
+//! canonical, and every completed unit is α-equivalent to the
+//! sequential oracle — are checked by `chaos::run` on each build.
+
+use cccc_core::pipeline::{BuildOutcome, CompilerOptions};
+use cccc_driver::chaos::{self, ChaosPlan, PanicPlan};
+use cccc_driver::session::UnitStatus;
+use cccc_driver::workloads;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cccc-chaos-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn twenty_seeded_chaos_runs_keep_every_invariant() {
+    let units = chaos::workload();
+    assert_eq!(units.len(), 16);
+    let dir = temp_dir("seeds");
+    let mut cancelled = 0;
+    let mut panicked = 0;
+    let mut faults_armed = 0;
+    for seed in 0..20 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = ChaosPlan::for_seed(seed);
+        faults_armed += plan.armed_faults();
+        let outcome = chaos::run(&units, &plan, &dir);
+        cancelled += usize::from(!outcome.report.outcome.is_completed());
+        panicked += outcome.report.panicked_count();
+    }
+    // The sweep exercised the mechanisms, not just quiet runs.
+    assert!(faults_armed >= 20, "the seeds armed plenty of chaos: {faults_armed}");
+    assert!(cancelled > 0, "some seeds cancelled mid-build");
+    assert!(panicked > 0, "some seeds injected a panic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_panicking_unit_is_isolated_and_its_dependents_are_skipped() {
+    let units = chaos::workload();
+    let mut session = workloads::session_from(&units, CompilerOptions::default());
+    // Panic the very first compile — the diamond's base — so every other
+    // unit sits downstream of the panic.
+    session.set_panic_plan(Some(PanicPlan::on_nth_compile(0)));
+    let report = session.build(2).expect("a panic never aborts the build");
+
+    assert_eq!(report.panicked_count(), 1, "exactly the planned panic fired");
+    assert!(!report.is_success());
+    assert_eq!(report.outcome, BuildOutcome::Completed, "a panic is not a cancellation");
+    let (unit, message) = report.panics()[0];
+    assert_eq!(unit, "base");
+    assert!(message.contains("chaos: injected panic in `base`"), "payload preserved: {message}");
+    let panicked = report.units.iter().find(|u| u.name == "base").unwrap();
+    assert!(
+        panicked.diagnostics.iter().any(|d| d.code.as_deref() == Some("E0500")),
+        "the panic is a structured E0500 diagnostic"
+    );
+    // Everything downstream is skipped, exactly like under a failure.
+    assert_eq!(report.skipped_count(), units.len() - 1);
+    assert!(report.summary().contains("1 panicked"), "summary: {}", report.summary());
+
+    // The worker survived: the same session builds clean next time.
+    session.set_panic_plan(None);
+    let clean = session.build(2).unwrap();
+    assert!(clean.is_success());
+}
+
+#[test]
+fn keep_going_poisons_dependents_of_a_panicked_unit() {
+    let units = chaos::workload();
+    let options = CompilerOptions { keep_going: true, ..CompilerOptions::default() };
+    let mut session = workloads::session_from(&units, options);
+    session.set_panic_plan(Some(PanicPlan::on_nth_compile(0)));
+    let report = session.build(2).unwrap();
+
+    assert_eq!(report.panicked_count(), 1);
+    // Dependents type-check tolerantly against the sentinel interface
+    // instead of being skipped, and the provenance names the panicked
+    // unit as the root.
+    assert_eq!(report.poisoned_count(), units.len() - 1);
+    assert_eq!(report.skipped_count(), 0);
+    assert_eq!(report.poison_roots(), vec!["base".to_owned()]);
+}
+
+#[test]
+fn a_pre_cancelled_session_skips_everything_and_recovers() {
+    let units = chaos::workload();
+    let mut session = workloads::session_from(&units, CompilerOptions::default());
+    // Cancelling through the session handle before the build starts is
+    // the deterministic form of an external cancel racing the frontier.
+    session.cancel_handle().cancel();
+    let report = session.build(2).unwrap();
+    assert_eq!(report.outcome, BuildOutcome::Cancelled);
+    assert_eq!(report.skipped_count(), units.len(), "nothing was claimed");
+    for unit in &report.units {
+        assert_eq!(unit.status, UnitStatus::Skipped("build stopped: cancelled".to_owned()));
+    }
+    // The build consumed the cancellation: the next one runs to the end.
+    let next = session.build(2).unwrap();
+    assert_eq!(next.outcome, BuildOutcome::Completed);
+    assert!(next.is_success());
+}
+
+#[test]
+fn cancellation_at_every_frontier_size_leaves_a_well_formed_partial_report() {
+    let units = chaos::workload();
+    // One oracle serves the whole sweep: the diamond is deterministic.
+    let oracle_session = workloads::session_from(&units, CompilerOptions::default());
+    let oracle = oracle_session.compile_sequential().unwrap();
+
+    for workers in [1, 2, 4] {
+        for settled in 0..=units.len() {
+            let mut session = workloads::session_from(&units, CompilerOptions::default());
+            session.set_cancel_after_units(Some(settled));
+            let report = session.build(workers).unwrap();
+
+            assert_eq!(
+                report.outcome,
+                BuildOutcome::Cancelled,
+                "the cancel-after hook fired ({workers} workers, after {settled})"
+            );
+            assert_eq!(report.units.len(), units.len());
+            let ok = report.units.iter().filter(|u| u.status.is_ok()).count();
+            assert_eq!(
+                ok + report.skipped_count(),
+                units.len(),
+                "a clean workload splits into completed and skipped only"
+            );
+            assert!(
+                ok >= settled,
+                "at least the pre-cancellation units completed: {ok} < {settled}"
+            );
+            assert!(report.poison_roots().is_empty());
+            // Completed subset α-equivalent to the oracle, every time.
+            for (name, compilation) in &oracle {
+                let unit = report.units.iter().find(|u| &u.name == name).unwrap();
+                if !unit.status.is_ok() {
+                    continue;
+                }
+                let target = session.target_term(name).unwrap();
+                assert!(
+                    cccc_target::subst::alpha_eq(&target, &compilation.target),
+                    "unit `{name}` diverged ({workers} workers, cancel after {settled})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_zero_build_deadline_stops_the_build_before_any_unit() {
+    let units = chaos::workload();
+    let options =
+        CompilerOptions { build_deadline: Some(Duration::ZERO), ..CompilerOptions::default() };
+    let mut session = workloads::session_from(&units, options);
+    let report = session.build(2).unwrap();
+    assert_eq!(report.outcome, BuildOutcome::DeadlineExceeded { overran: Vec::new() });
+    assert!(report.summary().contains("deadline exceeded"), "summary: {}", report.summary());
+    // Units the deadline overtook are skipped with the reason.
+    assert!(report.units.iter().all(|u| u.status.is_ok()
+        || u.status == UnitStatus::Skipped("build stopped: build deadline exceeded".to_owned())));
+
+    // Deadlines live in the options, not the token: clearing them makes
+    // the same session build to completion.
+    session.set_options(CompilerOptions::default());
+    let next = session.build(2).unwrap();
+    assert_eq!(next.outcome, BuildOutcome::Completed);
+    assert!(next.is_success());
+}
+
+#[test]
+fn a_zero_unit_deadline_flags_the_overrunning_units_by_name() {
+    let units = chaos::workload();
+    let options =
+        CompilerOptions { unit_deadline: Some(Duration::ZERO), ..CompilerOptions::default() };
+    let mut session = workloads::session_from(&units, options);
+    let report = session.build(2).unwrap();
+    match &report.outcome {
+        BuildOutcome::DeadlineExceeded { overran } => {
+            assert!(!overran.is_empty(), "the watchdog flagged the in-flight units");
+            let mut sorted = overran.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(*overran, sorted, "overran list is sorted and deduplicated");
+            for name in overran {
+                assert!(units.iter().any(|u| &u.name == name), "flagged a real unit: {name}");
+            }
+        }
+        other => panic!("expected a unit-deadline stop, got {other}"),
+    }
+    // A partial report, never an abort: statuses still partition.
+    let ok = report.units.iter().filter(|u| u.status.is_ok()).count();
+    assert_eq!(
+        ok + report.skipped_count() + report.failed_count(),
+        units.len(),
+        "deadline stops leave only ok/skipped units: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn chaos_composes_with_a_persistent_store_warm_restart() {
+    // A warm restart under a read fault plus an injected panic: the
+    // faulted read is retried into a hit, the panicked unit is isolated,
+    // and everything the build completed matches the oracle.
+    let units = chaos::workload();
+    let dir = temp_dir("warm");
+    let plan = ChaosPlan {
+        seed: 424242,
+        faults: cccc_driver::store::FaultPlan::default(),
+        panic_on: None,
+        cancel_after: None,
+        read_delay_us: 0,
+        workers: 2,
+        keep_going: false,
+    };
+    // Populate cold, chaos-free.
+    let cold = chaos::run(&units, &plan, &dir);
+    assert!(cold.report.is_success());
+
+    let warm_plan = ChaosPlan {
+        faults: cccc_driver::store::FaultPlan {
+            fail_read: Some(0),
+            ..cccc_driver::store::FaultPlan::default()
+        },
+        panic_on: Some(3),
+        ..plan
+    };
+    let warm = chaos::run(&units, &warm_plan, &dir);
+    assert_eq!(warm.report.panicked_count(), 1);
+    assert!(warm.retries.0 >= 1, "the armed read fault was retried");
+    assert_eq!(warm.retries.0, warm.retries.1, "every transient fault recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+}

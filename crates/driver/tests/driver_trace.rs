@@ -459,6 +459,77 @@ fn utilization_math_is_pinned_to_a_hand_computed_diamond_schedule() {
     assert!((metrics.makespan_gap().unwrap() - 1.0).abs() < 1e-9);
 }
 
+/// Splits the structured payload `store.corrupt` and `store.retry`
+/// events share — `path=<blob> reason=<why> attempt=<n>`, fields always
+/// in that order, the attempt a bare 0-based integer.
+fn parse_fault_payload(label: &str) -> (&str, &str, u64) {
+    let rest = label.strip_prefix("path=").expect("payload starts with `path=`");
+    let (path, rest) = rest.split_once(" reason=").expect("` reason=` follows the path");
+    let (reason, attempt) = rest.split_once(" attempt=").expect("` attempt=` ends the payload");
+    (path, reason, attempt.parse().expect("the attempt is a bare integer"))
+}
+
+#[test]
+fn store_fault_events_share_one_structured_payload() {
+    // The transient (`store.retry`) and permanent (`store.corrupt`)
+    // fault events carry one machine-parsable payload instead of ad-hoc
+    // strings; this test pins the exact shape for trace consumers.
+    let dir = temp_dir("fault-payload");
+    let units = workloads::diamond(14, 2);
+    let build = |faults: cccc_driver::store::FaultPlan| {
+        let mut session = Session::with_store(CompilerOptions::default(), &dir).unwrap();
+        for unit in &units {
+            let imports: Vec<&str> = unit.imports.iter().map(String::as_str).collect();
+            session.add_unit(&unit.name, &imports, &unit.term).unwrap();
+        }
+        session.set_store_faults(faults);
+        session.set_tracing(true);
+        let report = session.build(1).unwrap();
+        assert!(report.is_success(), "faults never fail a build: {}", report.summary());
+        report.trace.expect("tracing was on")
+    };
+
+    // Populate cold and fault-free …
+    build(cccc_driver::store::FaultPlan::default());
+
+    // … then arm a transient open fault on the warm restart: the first
+    // load attempt fails, is retried into a hit, and the retry is traced
+    // with the structured payload.
+    let trace = build(cccc_driver::store::FaultPlan {
+        fail_read: Some(0),
+        ..cccc_driver::store::FaultPlan::default()
+    });
+    let retries: Vec<_> = trace.events.iter().filter(|e| e.name == "store.retry").collect();
+    assert_eq!(retries.len(), 1, "one armed fault, one retry event");
+    let (path, reason, attempt) = parse_fault_payload(retries[0].unit.as_deref().unwrap());
+    assert!(path.ends_with(".art"), "the payload names the blob: {path}");
+    assert_eq!(reason, "injected read fault");
+    assert_eq!(attempt, 0, "the fault landed on the first attempt");
+    assert!(!trace.events.iter().any(|e| e.name == "store.corrupt"), "a retry is not corruption");
+
+    // Permanent corruption — a flipped header byte — emits the sibling
+    // event with the same payload shape (and is never retried).
+    let blob = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "art"))
+        .expect("the build persisted blobs");
+    let mut bytes = std::fs::read(&blob).unwrap();
+    bytes[40] ^= 0xFF;
+    std::fs::write(&blob, &bytes).unwrap();
+
+    let trace = build(cccc_driver::store::FaultPlan::default());
+    let corrupt: Vec<_> = trace.events.iter().filter(|e| e.name == "store.corrupt").collect();
+    assert_eq!(corrupt.len(), 1, "exactly the flipped blob was reported");
+    let (path, reason, attempt) = parse_fault_payload(corrupt[0].unit.as_deref().unwrap());
+    assert_eq!(path, blob.to_string_lossy(), "the payload names the corrupt blob");
+    assert!(reason.contains("checksum mismatch"), "the payload says why: {reason}");
+    assert_eq!(attempt, 0, "corruption is permanent: no retries, attempt 0");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn linking_and_evaluator_costs_appear_in_captured_traces() {
     let mut session = diamond_session();

@@ -27,14 +27,23 @@ impl Fuel {
     }
 
     /// Consumes one unit of fuel. Returns `false` when the tank is empty.
+    ///
+    /// Every 1024 ticks this doubles as a cooperative-cancellation
+    /// checkpoint: if the thread's installed [`crate::cancel`] token has
+    /// been cancelled, the tank is drained on the spot and the caller
+    /// sees ordinary fuel exhaustion — normalization unwinds through the
+    /// checkers' existing out-of-fuel error path, no new plumbing.
     #[must_use]
     pub fn tick(&mut self) -> bool {
         if self.remaining == 0 {
-            false
-        } else {
-            self.remaining -= 1;
-            true
+            return false;
         }
+        self.remaining -= 1;
+        if self.remaining & 0x3FF == 0 && crate::cancel::cancelled() {
+            self.remaining = 0;
+            return false;
+        }
+        true
     }
 
     /// Steps still available.
@@ -93,6 +102,22 @@ mod tests {
         let mut fuel = Fuel::new(0);
         assert!(!fuel.tick());
         assert!(fuel.is_exhausted());
+    }
+
+    #[test]
+    fn cancellation_drains_the_tank_at_a_checkpoint() {
+        let token = crate::cancel::CancelToken::new();
+        let _guard = crate::cancel::install(&token);
+        let mut fuel = Fuel::new(5000);
+        assert!(fuel.tick());
+        token.cancel();
+        let mut survived = 0u64;
+        while fuel.tick() {
+            survived += 1;
+            assert!(survived <= 1024, "cancellation surfaces within one checkpoint window");
+        }
+        assert!(fuel.is_exhausted(), "the checkpoint drains the tank");
+        assert!(!fuel.tick());
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! * [`diag`] — structured diagnostics shared by type checkers and parsers.
 //! * [`fuel`] — a fuel counter used to bound normalization on (possibly
 //!   ill-typed) input so that the equivalence checkers always terminate.
+//!   Fuel ticks double as cooperative-cancellation checkpoints.
+//! * [`cancel`] — shared [`cancel::CancelToken`]s (one atomic word,
+//!   zero-cost uncancelled check), a thread-local install point so deep
+//!   code can poll without signature plumbing, and the deterministic
+//!   [`cancel::Backoff`] retry schedule for transient I/O faults.
+//! * [`panics`] — scoped panic capture: run a closure, get its panic
+//!   message back as an `Err` instead of a dead thread, without
+//!   suppressing panic reporting anywhere else.
 //! * [`trace`] — thread-local, lock-free build tracing: spans and events
 //!   with counter payloads behind a zero-cost-when-disabled
 //!   [`trace::TraceSink`], collected into a [`trace::BuildTrace`] with a
@@ -44,16 +52,19 @@
 //! ```
 
 pub mod binder;
+pub mod cancel;
 pub mod cost;
 pub mod diag;
 pub mod fuel;
 pub mod intern;
+pub mod panics;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
 pub mod trace;
 pub mod wire;
 
+pub use cancel::{Backoff, CancelReason, CancelToken};
 pub use diag::{diagnostics_to_json, Diagnostic, Severity};
 pub use fuel::Fuel;
 pub use intern::{FreeVars, FvBuilder, Internable, Interner, Node, NodeId, NodeMeta};

@@ -1,0 +1,104 @@
+//! Scoped panic capture for worker isolation.
+//!
+//! The driver wraps each unit's compile in [`capture`]: a panic anywhere
+//! inside becomes an `Err(message)` instead of killing the worker thread,
+//! and the default panic hook's stderr backtrace chatter is suppressed
+//! *for that scope only* — panics on other threads (or outside a capture
+//! scope on this one) still reach the previously installed hook, so
+//! `#[should_panic]` tests and genuine crashes keep their reporting.
+//!
+//! The hook is process-global (that is how [`std::panic::set_hook`]
+//! works), installed once on first use; a thread-local flag decides per
+//! panic whether to swallow or delegate.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe, PanicHookInfo};
+use std::sync::{Once, OnceLock};
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+type Hook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+static INSTALL: Once = Once::new();
+static PREVIOUS: OnceLock<Hook> = OnceLock::new();
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn install_hook() {
+    INSTALL.call_once(|| {
+        let _ = PREVIOUS.set(panic::take_hook());
+        panic::set_hook(Box::new(|info| {
+            if CAPTURING.with(Cell::get) {
+                let mut message = payload_message(info.payload());
+                if let Some(location) = info.location() {
+                    message.push_str(&format!(" (at {location})"));
+                }
+                MESSAGE.with(|slot| *slot.borrow_mut() = Some(message));
+            } else if let Some(previous) = PREVIOUS.get() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting any panic it raises into `Err(message)`.
+///
+/// The message is the panic payload (for `panic!("...")` the formatted
+/// string) plus the `file:line:column` location when the hook saw one.
+/// While `f` runs, panics on this thread bypass the default hook — no
+/// stderr spew for an isolated, reported failure.
+pub fn capture<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    CAPTURING.with(|flag| flag.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|flag| flag.set(false));
+    match result {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let hooked = MESSAGE.with(|slot| slot.borrow_mut().take());
+            Err(hooked.unwrap_or_else(|| payload_message(payload.as_ref())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_returns_ok_values() {
+        assert_eq!(capture(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn capture_reports_the_panic_message_and_location() {
+        let error = capture(|| -> u32 { panic!("boom in unit `mid03`") }).unwrap_err();
+        assert!(error.contains("boom in unit `mid03`"), "got: {error}");
+        assert!(error.contains("panics.rs"), "location is appended: {error}");
+    }
+
+    #[test]
+    fn capture_handles_string_payloads() {
+        let error = capture(|| -> u32 { std::panic::panic_any(format!("owned {}", 7)) });
+        assert!(error.unwrap_err().contains("owned 7"));
+    }
+
+    #[test]
+    fn captures_are_reusable_after_a_panic() {
+        let _ = capture(|| -> u32 { panic!("first") });
+        assert_eq!(capture(|| 7), Ok(7));
+        let error = capture(|| -> u32 { panic!("second") }).unwrap_err();
+        assert!(error.contains("second"));
+    }
+}
